@@ -1,0 +1,57 @@
+"""Ablation: sensitivity of the thresholding algorithm to rho.
+
+The paper tuned the near-peak duration threshold rho with "sensitivity
+analyses".  This bench sweeps rho and reports back-test accuracy plus
+the negotiable-rate it induces: too small and every dimension looks
+non-negotiable (the engine over-provisions negotiators); too large and
+sustained demand gets negotiated away.
+"""
+
+import numpy as np
+
+from repro.catalog import DeploymentType
+from repro.core import DopplerEngine, ThresholdingSummarizer
+
+from .conftest import backtest_accuracy, report, run_once
+
+RHOS = (0.01, 0.05, 0.1, 0.2, 0.4)
+EVAL_LIMIT = 70
+
+
+def test_ablation_rho_sensitivity(benchmark, catalog, db_fleet):
+    fleet = db_fleet[:EVAL_LIMIT]
+
+    def evaluate(rho):
+        summarizer = ThresholdingSummarizer(rho=rho)
+        engine = DopplerEngine(catalog=catalog, summarizer=summarizer)
+        engine.fit([customer.record for customer in fleet])
+        accuracy, _micro, _n = backtest_accuracy(
+            engine, fleet, DeploymentType.SQL_DB, exclude_over_provisioned=True
+        )
+        profiler = engine.profiler_for(DeploymentType.SQL_DB)
+        negotiable_rate = float(
+            np.mean(
+                [
+                    np.mean(profiler.profile(customer.record.trace).negotiable)
+                    for customer in fleet
+                ]
+            )
+        )
+        return accuracy, negotiable_rate
+
+    run_once(benchmark, lambda: evaluate(0.1))
+
+    lines = [f"{'rho':>6} {'accuracy':>9} {'negotiable dim rate':>20}"]
+    accuracies = {}
+    for rho in RHOS:
+        accuracy, negotiable_rate = evaluate(rho)
+        accuracies[rho] = accuracy
+        lines.append(f"{rho:>6.2f} {accuracy:>9.1%} {negotiable_rate:>20.1%}")
+    lines.append("")
+    lines.append(
+        "shape check: the production default (rho = 0.1) sits on the "
+        "accuracy plateau; the extreme settings do not beat it"
+    )
+    best = max(accuracies.values())
+    assert accuracies[0.1] >= best - 0.08
+    report("ablation_rho", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Extension bench: the satisfaction feedback loop adapting group targets.
+
+Paper Sections 4/5.5: DMA's planned feedback loop re-trains the
+profiling module from customer satisfaction.  This bench simulates a
+preference shift -- a group of customers becomes less tolerant of
+throttling than the batch training data suggested -- and shows the
+online loop converging to the new tolerance while the frozen batch
+model keeps recommending at the stale target.
+"""
+
+import numpy as np
+
+from repro.core import GroupObservation, GroupScoreModel
+from repro.extensions import FeedbackEvent, FeedbackLoop
+
+from .conftest import report, run_once
+
+GROUP = (0, 0, 0)
+STALE_TARGET = 0.15  # what batch training learned
+TRUE_TARGET = 0.04  # what the group actually tolerates now
+N_EVENTS = 60
+
+
+def test_ext_feedback_adaptation(benchmark):
+    rng = np.random.default_rng(0)
+    batch = GroupScoreModel.fit(
+        [GroupObservation(GROUP, STALE_TARGET + rng.normal(0, 0.01)) for _ in range(20)]
+    )
+
+    def run_loop():
+        loop = FeedbackLoop(model=batch, learning_rate=0.15)
+        trajectory = [loop.target_probability(GROUP)]
+        for _ in range(N_EVENTS):
+            observed = float(np.clip(loop.target_probability(GROUP), 0.0, 1.0))
+            satisfied = observed <= TRUE_TARGET + float(rng.normal(0, 0.005))
+            loop.record(
+                FeedbackEvent(
+                    group_key=GROUP,
+                    observed_throttling=observed,
+                    satisfied=bool(satisfied),
+                )
+            )
+            trajectory.append(loop.target_probability(GROUP))
+        return loop, trajectory
+
+    loop, trajectory = run_once(benchmark, run_loop)
+
+    checkpoints = [0, 5, 10, 20, 40, N_EVENTS]
+    lines = [
+        f"preference shift: batch target {STALE_TARGET:.2f} -> true tolerance "
+        f"{TRUE_TARGET:.2f}",
+        "",
+        f"{'events':>7} {'group target P_g':>17}",
+    ]
+    for checkpoint in checkpoints:
+        lines.append(f"{checkpoint:>7} {trajectory[checkpoint]:>17.4f}")
+
+    final = trajectory[-1]
+    refined = loop.refined_model()
+    lines.append("")
+    lines.append(
+        f"frozen batch model keeps recommending at P_g={STALE_TARGET:.2f}; the "
+        f"feedback loop converged to {final:.3f} "
+        f"(true {TRUE_TARGET:.2f}) after {N_EVENTS} events"
+    )
+    lines.append(
+        f"refined model target: {refined.target_probability(GROUP):.3f} over "
+        f"{refined.groups[GROUP].count} effective observations"
+    )
+    assert abs(final - TRUE_TARGET) < abs(STALE_TARGET - TRUE_TARGET) / 3
+    report("ext_feedback_adaptation", "\n".join(lines))

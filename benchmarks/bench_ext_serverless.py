@@ -1,0 +1,79 @@
+"""Extension bench: serverless-vs-provisioned crossover.
+
+Paper Section 7 names serverless as the next target.  The decision
+has a classic structure: serverless bills only while running at a
+per-vCore premium, so mostly-idle workloads save and sustained
+workloads overpay.  This bench sweeps the duty cycle and reports the
+crossover point.
+"""
+
+import numpy as np
+
+from repro.extensions import ServerlessAdvisor
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import report, run_once
+
+#: Hours of busy time per day swept across the duty-cycle axis.
+BUSY_HOURS_PER_DAY = (0.5, 1, 2, 4, 8, 12, 18, 24)
+PEAK_VCORES = 4.0
+
+
+def duty_cycle_trace(busy_hours: float) -> PerformanceTrace:
+    """A week of 10-minute samples: busy block daily, idle otherwise."""
+    samples_per_day = 144
+    busy_samples = int(round(busy_hours * 6))
+    day = np.zeros(samples_per_day)
+    day[:busy_samples] = PEAK_VCORES
+    cpu = np.tile(day, 7)
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(cpu),
+            PerfDimension.STORAGE: TimeSeries(np.full(cpu.size, 100.0)),
+        },
+        entity_id=f"duty-{busy_hours}h",
+    )
+
+
+def test_ext_serverless_crossover(benchmark, catalog):
+    advisor = ServerlessAdvisor(catalog=catalog)
+
+    def sweep():
+        return {
+            hours: advisor.advise(duty_cycle_trace(hours))
+            for hours in BUSY_HOURS_PER_DAY
+        }
+
+    advice_by_hours = run_once(benchmark, sweep)
+
+    lines = [
+        f"(daily duty-cycle sweep, {PEAK_VCORES:g}-vCore busy block, 7-day window)",
+        "",
+        f"{'busy h/day':>11} {'provisioned $/mo':>17} {'serverless $/mo':>16} "
+        f"{'paused':>7} {'winner':>12}",
+    ]
+    winners = {}
+    for hours in BUSY_HOURS_PER_DAY:
+        advice = advice_by_hours[hours]
+        serverless_cost = (
+            advice.serverless.monthly_cost if advice.serverless else float("nan")
+        )
+        paused = advice.serverless.paused_fraction if advice.serverless else 0.0
+        winners[hours] = advice.recommended_tier
+        lines.append(
+            f"{hours:>11g} {advice.provisioned_monthly:>17,.0f} "
+            f"{serverless_cost:>16,.0f} {paused:>7.0%} {advice.recommended_tier:>12}"
+        )
+
+    lines.append("")
+    crossover = next(
+        (hours for hours in BUSY_HOURS_PER_DAY if winners[hours] == "provisioned"),
+        None,
+    )
+    lines.append(
+        f"crossover: serverless wins below ~{crossover}h busy per day, "
+        "provisioned above -- the duty-cycle economics the serverless tier exists for"
+    )
+    assert winners[BUSY_HOURS_PER_DAY[0]] == "serverless"
+    assert winners[BUSY_HOURS_PER_DAY[-1]] == "provisioned"
+    report("ext_serverless_crossover", "\n".join(lines))

@@ -1,0 +1,63 @@
+"""Figure 1: examples of Azure SQL SKU offerings.
+
+Regenerates the six-row SKU excerpt of paper Figure 1 (BC/GP pairs at
+2, 4 and 6 vCores) from the generated catalog and benchmarks full
+catalog construction.
+"""
+
+from repro.catalog import (
+    DeploymentType,
+    HardwareGeneration,
+    ServiceTier,
+    SkuCatalog,
+)
+
+from .conftest import report, run_once
+
+#: The rows of paper Figure 1: (tier, vCores, max memory GB, IOPS,
+#: log MBps, latency ms, $/h) -- compute-only price.
+PAPER_ROWS = [
+    ("BC", 2, 10.4, 8000, 24.0, 1, 1.36),
+    ("GP", 2, 10.4, 640, 7.5, 5, 0.51),
+    ("BC", 4, 20.8, 16000, 48.0, 1, 2.72),
+    ("GP", 4, 20.8, 1280, 15.0, 5, 1.01),
+    ("BC", 6, 31.1, 24000, 72.0, 1, 4.08),
+    ("GP", 6, 31.1, 1920, 22.5, 5, 1.52),
+]
+
+
+def test_fig01_sku_offerings(benchmark):
+    catalog = run_once(benchmark, SkuCatalog.default)
+
+    lines = [
+        f"catalog size: {len(catalog)} SKUs (paper: 'over 200 PaaS cloud SKUs')",
+        "",
+        f"{'tier':>4} {'vCores':>6} {'MaxMem GB':>10} {'MaxIOPS':>8} "
+        f"{'MaxLog MBps':>12} {'MinIOLat ms':>12} {'paper $/h':>10} {'built $/h':>10}",
+    ]
+    for tier_name, vcores, memory, iops, log_rate, latency, paper_price in PAPER_ROWS:
+        tier = (
+            ServiceTier.BUSINESS_CRITICAL if tier_name == "BC" else ServiceTier.GENERAL_PURPOSE
+        )
+        matches = [
+            sku
+            for sku in catalog
+            if sku.deployment is DeploymentType.SQL_DB
+            and sku.tier is tier
+            and sku.hardware is HardwareGeneration.GEN5
+            and sku.limits.vcores == vcores
+        ]
+        sku = matches[0]
+        lines.append(
+            f"{tier_name:>4} {vcores:>6} {sku.limits.max_memory_gb:>10.1f} "
+            f"{sku.limits.max_data_iops:>8.0f} {sku.limits.max_log_rate_mbps:>12.1f} "
+            f"{sku.limits.min_io_latency_ms:>12.0f} {paper_price:>10.2f} "
+            f"{sku.price_per_hour:>10.2f}"
+        )
+        assert sku.limits.max_memory_gb == round(memory, 1) or abs(
+            sku.limits.max_memory_gb - memory
+        ) < 0.2
+        assert sku.limits.max_data_iops == iops
+        assert abs(sku.limits.max_log_rate_mbps - log_rate) < 0.01
+        assert sku.limits.min_io_latency_ms == latency
+    report("fig01_catalog", "\n".join(lines))

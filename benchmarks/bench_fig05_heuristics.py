@@ -1,0 +1,87 @@
+"""Figure 5: heuristics disagree on complex price-performance curves.
+
+The paper's Figure-5 example (DB GP SKUs at 2..14 cores): the largest-
+performance-increase rule picks GP 6, the largest-slope rule GP 4, the
+95 % performance threshold GP 12 -- while the customer actually chose
+GP 14.  This bench rebuilds an equivalent multi-plateau curve and
+shows the three heuristics scattering while the profile match lands on
+the customer's strict target.
+"""
+
+import numpy as np
+
+from repro.core import (
+    GroupObservation,
+    GroupScoreModel,
+    PricePerformanceCurve,
+    largest_performance_increase,
+    largest_slope,
+    performance_threshold,
+)
+from repro.catalog import (
+    DeploymentType,
+    HardwareGeneration,
+    ResourceLimits,
+    ServiceTier,
+    SkuSpec,
+)
+
+from .conftest import report, run_once
+
+
+def figure5_curve():
+    """A complex curve shaped like paper Figure 5 over GP 2..14 cores."""
+    vcores = [2, 4, 6, 8, 10, 12, 14]
+    probabilities = [0.55, 0.30, 0.285, 0.12, 0.118, 0.045, 0.0]
+    skus = [
+        SkuSpec(
+            deployment=DeploymentType.SQL_DB,
+            tier=ServiceTier.GENERAL_PURPOSE,
+            hardware=HardwareGeneration.GEN5,
+            limits=ResourceLimits(
+                vcores=v,
+                max_memory_gb=v * 5.2,
+                max_data_iops=v * 320.0,
+                max_log_rate_mbps=v * 3.75,
+                max_data_size_gb=1024.0,
+                min_io_latency_ms=5.0,
+            ),
+            price_per_hour=v * 0.2525,
+            name=f"DB GP {v}",
+        )
+        for v in vcores
+    ]
+    return PricePerformanceCurve.from_probabilities(
+        skus, np.asarray(probabilities), entity_id="fig5"
+    )
+
+
+def test_fig05_heuristic_disagreement(benchmark):
+    curve = figure5_curve()
+
+    def run_heuristics():
+        return (
+            largest_performance_increase(curve),
+            largest_slope(curve),
+            performance_threshold(curve, gamma=0.95),
+        )
+
+    increase, slope, threshold = run_once(benchmark, run_heuristics)
+
+    # The paper's customer chose GP 14 (strict, zero-throttling target).
+    strict_model = GroupScoreModel.fit([GroupObservation((1, 1, 1, 1), 0.0)])
+    matched = strict_model.recommend(curve, (1, 1, 1, 1))
+
+    lines = [
+        curve.render_ascii(width=64),
+        "",
+        f"{'strategy':>32} {'picked SKU':>12} (paper figure-5 analysis)",
+        f"{'largest performance increase':>32} {increase.sku_name:>12} (paper: GP 6)",
+        f"{'largest slope':>32} {slope.sku_name:>12} (paper: GP 4)",
+        f"{'performance threshold (95%)':>32} {threshold.sku_name:>12} (paper: GP 12)",
+        f"{'Doppler profile match (strict)':>32} {matched.sku.name:>12} (customer chose: GP 14)",
+    ]
+    picks = {increase.sku_name, slope.sku_name, threshold.sku_name}
+    assert len(picks) >= 2, "heuristics should disagree on the complex curve"
+    assert matched.sku.name == "DB GP 14"
+    report("fig05_heuristics", "\n".join(lines))

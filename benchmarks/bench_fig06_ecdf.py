@@ -1,0 +1,74 @@
+"""Figure 6: ECDF and raw time series across performance dimensions.
+
+The paper uses these plots to motivate the AUC summarizers: transient
+spiky usage piles ECDF mass near zero (high AUC), steady usage keeps
+the ECDF low until the peak (low AUC).
+"""
+
+import numpy as np
+
+from repro.dma import sparkline
+from repro.ml import ecdf, ecdf_auc, minmax_scale
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    DiurnalPattern,
+    PlateauPattern,
+    SpikyPattern,
+    WorkloadSpec,
+    generate_trace,
+)
+
+from .conftest import report, run_once
+
+
+def mixed_workload():
+    spec = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: SpikyPattern(base=1.0, peak=8.0, spike_probability=0.006),
+            PerfDimension.MEMORY: PlateauPattern(level=24.0),
+            PerfDimension.IOPS: DiurnalPattern(trough=200.0, peak=900.0),
+            PerfDimension.LOG_RATE: SpikyPattern(base=0.5, peak=5.0, spike_probability=0.01),
+        },
+        storage_gb=150.0,
+        base_latency_ms=5.0,
+        entity_id="fig6",
+    )
+    return generate_trace(spec, duration_days=7, interval_minutes=10, rng=6)
+
+
+def test_fig06_ecdf_and_series(benchmark):
+    trace = mixed_workload()
+    dims = (
+        PerfDimension.CPU,
+        PerfDimension.MEMORY,
+        PerfDimension.IOPS,
+        PerfDimension.LOG_RATE,
+    )
+
+    def build_ecdfs():
+        return {dim: ecdf(trace[dim].values) for dim in dims}
+
+    distributions = run_once(benchmark, build_ecdfs)
+
+    lines = ["(b) raw time series:"]
+    for dim in dims:
+        lines.append(f"  {dim.name:>9} {sparkline(trace[dim].values, width=60)}")
+    lines.append("")
+    lines.append("(a) ECDF (deciles of the value range) and minmax-scaled AUC:")
+    aucs = {}
+    for dim in dims:
+        distribution = distributions[dim]
+        lo, hi = distribution.support[0], distribution.support[-1]
+        grid = np.linspace(lo, hi, 11)[1:]
+        cdf_row = " ".join(f"{float(distribution(x)):4.2f}" for x in grid)
+        auc = ecdf_auc(minmax_scale(trace[dim].values))
+        aucs[dim] = auc
+        lines.append(f"  {dim.name:>9} [{cdf_row}]  AUC={auc:.3f}")
+    lines.append("")
+    lines.append(
+        "spiky dimensions (CPU, LOG_RATE) show high AUC; the sustained "
+        "plateau (MEMORY) shows low AUC -- the Figure-6 separation."
+    )
+    assert aucs[PerfDimension.CPU] > aucs[PerfDimension.MEMORY]
+    assert aucs[PerfDimension.LOG_RATE] > aucs[PerfDimension.MEMORY]
+    report("fig06_ecdf", "\n".join(lines))

@@ -1,0 +1,103 @@
+"""Figure 8: the major types of price-performance curves.
+
+Builds the four archetype workloads and shows their curves classify as
+flat / simple / complex, including the over-provisioned flat-curve
+example (the paper's GP-80-core customer whose workload fits GP 2).
+"""
+
+from repro.catalog import DeploymentType
+from repro.core import CurveShape, DopplerEngine, PricePerformanceModeler
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    DiurnalPattern,
+    PlateauPattern,
+    SpikyPattern,
+    WorkloadSpec,
+    generate_trace,
+)
+
+from .conftest import report, run_once
+
+
+def archetype_specs():
+    flat = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: PlateauPattern(level=0.8),
+            PerfDimension.MEMORY: PlateauPattern(level=4.0),
+            PerfDimension.IOPS: PlateauPattern(level=200.0),
+            PerfDimension.LOG_RATE: PlateauPattern(level=1.5),
+        },
+        storage_gb=60.0,
+        base_latency_ms=7.0,
+        entity_id="flat",
+    )
+    simple = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: PlateauPattern(level=7.0, dip_scale=0.03),
+            PerfDimension.MEMORY: PlateauPattern(level=30.0, dip_scale=0.03),
+            PerfDimension.IOPS: PlateauPattern(level=1500.0, dip_scale=0.03),
+            PerfDimension.LOG_RATE: PlateauPattern(level=12.0, dip_scale=0.03),
+        },
+        storage_gb=200.0,
+        base_latency_ms=6.0,
+        entity_id="simple",
+    )
+    complex_one = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: SpikyPattern(base=2.0, peak=20.0, spike_probability=0.01),
+            PerfDimension.MEMORY: DiurnalPattern(trough=20.0, peak=60.0),
+            PerfDimension.IOPS: SpikyPattern(base=400.0, peak=4000.0, spike_probability=0.01),
+            PerfDimension.LOG_RATE: DiurnalPattern(trough=2.0, peak=14.0),
+        },
+        storage_gb=500.0,
+        base_latency_ms=4.0,
+        entity_id="complex-I",
+    )
+    complex_two = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: DiurnalPattern(trough=3.0, peak=26.0),
+            PerfDimension.MEMORY: PlateauPattern(level=80.0),
+            PerfDimension.IOPS: DiurnalPattern(trough=500.0, peak=6000.0),
+            PerfDimension.LOG_RATE: SpikyPattern(base=3.0, peak=20.0, spike_probability=0.02),
+        },
+        storage_gb=900.0,
+        base_latency_ms=3.0,
+        entity_id="complex-II",
+    )
+    return flat, simple, complex_one, complex_two
+
+
+def test_fig08_curve_types(benchmark, catalog):
+    ppm = PricePerformanceModeler(catalog=catalog)
+    traces = [
+        generate_trace(spec, duration_days=7, interval_minutes=10, rng=i)
+        for i, spec in enumerate(archetype_specs())
+    ]
+
+    curves = run_once(
+        benchmark,
+        lambda: [ppm.build_curve(trace, DeploymentType.SQL_DB) for trace in traces],
+    )
+
+    expected = [CurveShape.FLAT, CurveShape.SIMPLE, CurveShape.COMPLEX, CurveShape.COMPLEX]
+    lines = []
+    for trace, curve, want in zip(traces, curves, expected):
+        lines.append(f"--- {trace.entity_id} (expected {want.value}) ---")
+        lines.append(curve.render_ascii(width=56, height=9))
+        lines.append(f"classified: {curve.shape().value}")
+        lines.append("")
+        assert curve.shape() is want, trace.entity_id
+
+    # The Figure-8a anecdote: a flat-curve customer on a huge SKU is
+    # over-provisioned with six-figure annual savings available.
+    engine = DopplerEngine(catalog=catalog)
+    big_sku = catalog.for_deployment(DeploymentType.SQL_DB)[-1]
+    over = engine.assess_over_provisioning(traces[0], DeploymentType.SQL_DB, big_sku.name)
+    lines.append(
+        f"flat-curve customer parked on {big_sku.name}: over-provisioned="
+        f"{over.is_over_provisioned}, right-size to {over.recommended_sku.name}, "
+        f"annual savings ${over.annual_savings:,.0f}"
+    )
+    assert over.is_over_provisioned
+    assert over.annual_savings > 50_000
+    report("fig08_curve_types", "\n".join(lines))

@@ -1,0 +1,116 @@
+"""Figure 10: confidence-score distribution versus bootstrap window size.
+
+The paper examines migrated customers with >= 30 days of counters and
+shows the confidence score rising as the bootstrap window grows past
+one week: "1-day's data is often not sufficient to capture standard
+workload behavior" (Section 3.4).  The mechanism is temporal
+structure -- business workloads carry daily and weekly cycles, so a
+sub-day window often misses the demand peaks entirely and a sub-week
+window can land on a weekend.  The benchmark workloads therefore carry
+both cycles, and the bootstrap uses contiguous windows (as resampling
+a collection window does).
+"""
+
+import numpy as np
+
+from repro.catalog import DeploymentType
+from repro.core import DopplerEngine, confidence_score
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    Composite,
+    DiurnalPattern,
+    PlateauPattern,
+    WorkloadSpec,
+    generate_trace,
+)
+
+from .conftest import report, run_once
+
+#: Bootstrap window sizes swept (hours), as in the Figure-10 x axis.
+WINDOW_HOURS = (12, 24, 72, 168, 336)
+
+INTERVAL_MINUTES = 60.0
+N_CUSTOMERS = 8
+N_ROUNDS = 10
+WEEK_MINUTES = 7 * 24 * 60.0
+
+
+def business_workload(seed: int):
+    """30-day workload with daily peaks modulated by a weekly cycle."""
+    rng = np.random.default_rng(seed)
+    peak = float(rng.uniform(4.0, 18.0))
+    daily = DiurnalPattern(trough=peak * 0.15, peak=peak * 0.7, noise=0.04)
+    weekly = DiurnalPattern(
+        trough=0.0, peak=peak * 0.3, period_minutes=WEEK_MINUTES, noise=0.04
+    )
+    spec = WorkloadSpec(
+        patterns={
+            PerfDimension.CPU: Composite(daily, weekly),
+            PerfDimension.MEMORY: PlateauPattern(level=peak * 3.5),
+            PerfDimension.IOPS: Composite(
+                DiurnalPattern(trough=peak * 40.0, peak=peak * 220.0, noise=0.05),
+                DiurnalPattern(
+                    trough=0.0, peak=peak * 80.0, period_minutes=WEEK_MINUTES, noise=0.05
+                ),
+            ),
+            PerfDimension.LOG_RATE: DiurnalPattern(
+                trough=peak * 0.3, peak=peak * 1.2, noise=0.05
+            ),
+        },
+        storage_gb=float(rng.uniform(100.0, 600.0)),
+        base_latency_ms=6.0,
+        entity_id=f"fig10-{seed}",
+    )
+    return generate_trace(
+        spec, duration_days=30.0, interval_minutes=INTERVAL_MINUTES, rng=rng
+    )
+
+
+def test_fig10_confidence_vs_window(benchmark, catalog):
+    traces = [business_workload(seed) for seed in range(N_CUSTOMERS)]
+    engine = DopplerEngine(catalog=catalog)
+
+    def recommender(trace):
+        return engine._recommend_sku_name(trace, DeploymentType.SQL_DB, None)
+
+    def sweep():
+        scores = {hours: [] for hours in WINDOW_HOURS}
+        for index, trace in enumerate(traces):
+            for hours in WINDOW_HOURS:
+                window = max(1, int(hours * 60 / INTERVAL_MINUTES))
+                result = confidence_score(
+                    trace,
+                    recommender=recommender,
+                    n_rounds=N_ROUNDS,
+                    mode="block",
+                    window_samples=window,
+                    rng=1000 * index + hours,
+                )
+                scores[hours].append(result.score)
+        return scores
+
+    scores = run_once(benchmark, sweep)
+
+    lines = [
+        f"({N_CUSTOMERS} customers with 30-day histories carrying daily+weekly "
+        f"cycles, {N_ROUNDS} bootstrap rounds per window)",
+        "",
+        f"{'window':>8} {'mean conf':>10} {'p25':>6} {'median':>7} {'p75':>6}",
+    ]
+    means = []
+    for hours in WINDOW_HOURS:
+        values = np.array(scores[hours])
+        means.append(values.mean())
+        label = f"{hours}h" if hours < 168 else f"{hours // 24}d"
+        lines.append(
+            f"{label:>8} {values.mean():>10.3f} {np.quantile(values, 0.25):>6.2f} "
+            f"{np.median(values):>7.2f} {np.quantile(values, 0.75):>6.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "shape check: confidence rises with the collection window; the "
+        "1-week-plus windows clearly beat the sub-day windows (paper: 1 week "
+        "is the minimum for a reasonable recommendation)"
+    )
+    assert np.mean(means[-2:]) > np.mean(means[:2])
+    report("fig10_confidence", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Figure 13: perf counters when the synthesized workload replays on
+the four Table-6 SKUs.
+
+The paper's validation: on the under-provisioned SKU1 the vCore trace
+pins at capacity and IO latency blows up; SKU2 tracks the demand with
+latency in the comfortable range; SKU3/SKU4 add nothing but cost.
+"""
+
+import numpy as np
+
+from repro.telemetry import PerfDimension
+from repro.workloads import WorkloadSynthesizer, replay_on_sku
+
+from .conftest import report, run_once
+from .bench_fig12_synth_curve import source_customer_trace, table6_catalog
+
+
+def test_fig13_replay_counters(benchmark):
+    trace = source_customer_trace()
+    synth = WorkloadSynthesizer().synthesize(trace)
+    demand = synth.demand_trace(rng=13)
+    catalog = table6_catalog()
+
+    def replay_all():
+        return {sku.name: replay_on_sku(demand, sku, rng=131) for sku in catalog}
+
+    results = run_once(benchmark, replay_all)
+
+    lines = [
+        f"{'SKU':>5} {'used vCores':>24} {'log(latency ms)':>28} "
+        f"{'throttled':>10} {'meets lat':>10}",
+        f"{'':>5} {'mean':>7} {'p95':>7} {'max':>8} {'mean':>8} {'p95':>9} {'p99':>9}",
+    ]
+    for name in ("SKU1", "SKU2", "SKU3", "SKU4"):
+        result = results[name]
+        vcores = result.observed[PerfDimension.CPU].values
+        latency = result.observed[PerfDimension.IO_LATENCY].values
+        log_latency = np.log(latency)
+        lines.append(
+            f"{name:>5} {vcores.mean():>7.2f} {np.quantile(vcores, 0.95):>7.2f} "
+            f"{vcores.max():>8.2f} {log_latency.mean():>8.2f} "
+            f"{np.quantile(log_latency, 0.95):>9.2f} "
+            f"{np.quantile(log_latency, 0.99):>9.2f} "
+            f"{result.throttled_fraction:>10.1%} {str(result.meets_latency):>10}"
+        )
+
+    lines.append("")
+    lines.append("ECDF of used vCores (quartiles):")
+    for name in ("SKU1", "SKU2", "SKU3", "SKU4"):
+        vcores = results[name].observed[PerfDimension.CPU].values
+        quartiles = " ".join(f"{np.quantile(vcores, q):6.2f}" for q in (0.25, 0.5, 0.75, 1.0))
+        lines.append(f"  {name}: {quartiles}")
+
+    sku1, sku2 = results["SKU1"], results["SKU2"]
+    sku3, sku4 = results["SKU3"], results["SKU4"]
+    lines.append("")
+    lines.append(
+        "shape check: SKU1 severely throttled with inflated latency; SKU2 "
+        "adequate; SKU3/SKU4 indistinguishable from SKU2 (pure over-provision)"
+    )
+    # SKU1 pins at 4 vCores and inflates latency.
+    assert sku1.observed[PerfDimension.CPU].max() <= 4.0 + 1e-9
+    assert sku1.throttled_fraction > 0.3
+    assert sku1.p99_latency_ms > 3 * sku2.p99_latency_ms
+    # SKU2 is comfortable.
+    assert sku2.meets_latency
+    assert sku2.throttled_fraction < 0.05
+    # Bigger SKUs add nothing.
+    assert abs(sku3.mean_latency_ms - sku2.mean_latency_ms) < 1.0
+    assert abs(sku4.mean_latency_ms - sku2.mean_latency_ms) < 1.0
+    report("fig13_replay", "\n".join(lines))

@@ -1,0 +1,79 @@
+"""Scalability bench: curve-build cost vs trace length and catalog size.
+
+"Make sure the solution can scale" is one of the paper's four design
+principles (Section 3.1): DMA serves hundreds of assessment requests
+daily, so a recommendation must be interactive.  This bench measures
+the production estimator's curve-build latency as the assessment
+window and the SKU catalog grow, verifying the roughly linear
+behaviour the vectorized implementation is designed for.
+"""
+
+import time
+
+import numpy as np
+
+from repro.catalog import DeploymentType, SkuCatalog
+from repro.core import PricePerformanceModeler
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import report
+
+TRACE_DAYS = (1, 7, 14, 30)
+CATALOG_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def trace_of_days(days: float) -> PerformanceTrace:
+    n = int(days * 144)
+    rng = np.random.default_rng(0)
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(rng.uniform(1, 8, n)),
+            PerfDimension.MEMORY: TimeSeries(rng.uniform(4, 30, n)),
+            PerfDimension.IOPS: TimeSeries(rng.uniform(100, 3000, n)),
+            PerfDimension.IO_LATENCY: TimeSeries(rng.uniform(2, 8, n)),
+            PerfDimension.LOG_RATE: TimeSeries(rng.uniform(1, 20, n)),
+            PerfDimension.STORAGE: TimeSeries(np.full(n, 200.0)),
+        },
+        entity_id=f"scale-{days}d",
+    )
+
+
+def timed_build(ppm: PricePerformanceModeler, trace: PerformanceTrace) -> float:
+    start = time.perf_counter()
+    ppm.build_curve(trace, DeploymentType.SQL_DB)
+    return time.perf_counter() - start
+
+
+def test_scalability(benchmark, catalog):
+    ppm = PricePerformanceModeler(catalog=catalog)
+    # The representative interactive case: 7 days x full catalog.
+    benchmark(lambda: ppm.build_curve(trace_of_days(7), DeploymentType.SQL_DB))
+
+    lines = ["curve-build latency vs assessment window (full catalog):"]
+    window_times = {}
+    for days in TRACE_DAYS:
+        trace = trace_of_days(days)
+        seconds = min(timed_build(ppm, trace) for _ in range(3))
+        window_times[days] = seconds
+        lines.append(f"  {days:>3} days ({trace.n_samples:>5} samples): {seconds * 1e3:8.1f} ms")
+
+    lines.append("")
+    lines.append("curve-build latency vs catalog size (7-day trace):")
+    trace = trace_of_days(7)
+    for fraction in CATALOG_FRACTIONS:
+        keep = max(10, int(len(catalog) * fraction))
+        sub = SkuCatalog.from_skus(list(catalog)[:keep])
+        sub_ppm = PricePerformanceModeler(catalog=sub)
+        seconds = min(timed_build(sub_ppm, trace) for _ in range(3))
+        lines.append(f"  {keep:>4} SKUs: {seconds * 1e3:8.1f} ms")
+
+    lines.append("")
+    lines.append(
+        "shape check: 30-day/full-catalog builds stay interactive (< 1 s) and "
+        "cost grows far slower than quadratically with the window"
+    )
+    assert window_times[30] < 1.0
+    # 30x the samples must cost well under 900x (quadratic) the 1-day
+    # build; the generous bound keeps the check robust to timer noise.
+    assert window_times[30] < 200.0 * window_times[1] + 0.2
+    report("scalability", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Table 2: file IO characteristics of Azure SQL MI GP storage tiers."""
+
+from repro.catalog import PREMIUM_DISK_TIERS, plan_file_layout
+
+from .conftest import report, run_once
+
+#: Paper Table 2 anchor rows: tier -> (file-size upper bound GiB, IOPS,
+#: throughput MiB/s).
+PAPER_TIERS = {
+    "P10": (128, 500, 100),
+    "P20": (512, 2300, 150),
+    "P50": (4096, 7500, 250),
+    "P60": (8192, 12500, 480),
+}
+
+
+def test_table2_storage_tiers(benchmark):
+    # Time the layout-planning hot path on a representative estate.
+    layout = run_once(
+        benchmark,
+        lambda: plan_file_layout([64.0, 200.0, 480.0, 1500.0, 3800.0, 6000.0]),
+    )
+    assert layout.total_iops > 0
+
+    lines = [
+        f"{'tier':>5} {'max file GiB':>13} {'IOPS':>7} {'MiB/s':>7}   (paper anchors marked *)"
+    ]
+    for tier in PREMIUM_DISK_TIERS:
+        marker = " *" if tier.name in PAPER_TIERS else ""
+        lines.append(
+            f"{tier.name:>5} {tier.max_file_size_gib:>13.0f} {tier.iops:>7.0f} "
+            f"{tier.throughput_mibps:>7.0f}{marker}"
+        )
+        if tier.name in PAPER_TIERS:
+            size, iops, throughput = PAPER_TIERS[tier.name]
+            assert tier.max_file_size_gib == size
+            assert tier.iops == iops
+            assert tier.throughput_mibps == throughput
+    lines.append("")
+    lines.append(
+        "example layout [64, 200, 480, 1500, 3800, 6000] GiB -> "
+        + ", ".join(t.name for t in layout.tiers)
+        + f"; instance IOPS limit = {layout.total_iops:.0f}"
+    )
+    report("table2_storage_tiers", "\n".join(lines))

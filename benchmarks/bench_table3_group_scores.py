@@ -1,0 +1,67 @@
+"""Table 3: scores associated with each Azure SQL MI customer group.
+
+Fits the group-score model on the simulated MI fleet with the
+production thresholding profiler and prints the per-group mean (std)
+score of the chosen SKUs, next to the paper's Table-3 values.
+The expected shape: the all-negotiable group (000) carries a clearly
+lower score than the all-strict group (111).
+"""
+
+from repro.catalog import DeploymentType
+from repro.core import DopplerEngine, group_key_to_label
+
+from .conftest import report, run_once
+
+#: Paper Table 3: group key (vCores, Memory, IOPS; 0 = negotiable) ->
+#: average (std) score.
+PAPER_TABLE3 = {
+    (0, 0, 0): (0.8500, 0.057),
+    (0, 0, 1): (0.9739, 0.054),
+    (0, 1, 0): (0.9351, 0.017),
+    (0, 1, 1): (0.9692, 0.051),
+    (1, 0, 0): (0.9869, 0.026),
+    (1, 0, 1): (0.9974, 0.045),
+    (1, 1, 0): (0.9668, 0.015),
+    (1, 1, 1): (0.9974, 0.056),
+}
+
+
+def test_table3_group_scores(benchmark, catalog, mi_fleet):
+    def fit():
+        engine = DopplerEngine(catalog=catalog)
+        engine.fit([customer.record for customer in mi_fleet])
+        return engine
+
+    engine = run_once(benchmark, fit)
+    model = engine.group_model(DeploymentType.SQL_MI)
+    assert model is not None
+
+    lines = [
+        f"{'group':>6} {'paper score (std)':>18} {'measured score (std)':>21} {'n':>5}",
+    ]
+    for key in sorted(PAPER_TABLE3):
+        paper_mean, paper_std = PAPER_TABLE3[key]
+        stats = model.groups.get(key)
+        if stats is None:
+            measured = "      (no members)"
+            lines.append(
+                f"{group_key_to_label(key):>6} {paper_mean:>10.4f} ({paper_std:.3f}) {measured:>21} {0:>5}"
+            )
+            continue
+        lines.append(
+            f"{group_key_to_label(key):>6} {paper_mean:>10.4f} ({paper_std:.3f}) "
+            f"{stats.score_mean:>13.4f} ({stats.score_std:.3f}) {stats.count:>5}"
+        )
+
+    all_negotiable = model.groups.get((0, 0, 0))
+    all_strict = model.groups.get((1, 1, 1))
+    if all_negotiable and all_strict:
+        lines.append("")
+        lines.append(
+            "shape check: all-negotiable group accepts more throttling "
+            f"({all_negotiable.score_mean:.3f}) than the all-strict group "
+            f"({all_strict.score_mean:.3f})"
+        )
+        assert all_negotiable.score_mean < all_strict.score_mean
+        assert all_strict.score_mean > 0.99
+    report("table3_group_scores", "\n".join(lines))

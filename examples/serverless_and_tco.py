@@ -1,0 +1,80 @@
+"""Compute-model and TCO advisory for a migration candidate.
+
+Combines the two extension modules of paper Sections 5.5 and 7: should
+this workload land on a provisioned SKU or the serverless tier, and
+what does either save versus staying on-premises?
+
+Run with::
+
+    python examples/serverless_and_tco.py
+"""
+
+import numpy as np
+
+from repro import DeploymentType, DopplerEngine, PerfDimension, SkuCatalog
+from repro.extensions import OnPremCostModel, ServerlessAdvisor, compare_tco
+from repro.telemetry import PerformanceTrace, TimeSeries
+
+
+def nightly_batch_workload() -> PerformanceTrace:
+    """A reporting database: busy 3 hours nightly, idle otherwise."""
+    samples_per_day = 144  # 10-minute cadence
+    day = np.zeros(samples_per_day)
+    day[6:24] = 5.0  # 01:00-04:00 batch window, ~5 vCores
+    cpu = np.tile(day, 14)
+    rng = np.random.default_rng(0)
+    cpu = cpu * np.abs(rng.normal(1.0, 0.05, cpu.size))
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(cpu),
+            PerfDimension.MEMORY: TimeSeries(np.where(cpu > 0.1, 20.0, 2.0)),
+            PerfDimension.IOPS: TimeSeries(cpu * 300.0),
+            PerfDimension.LOG_RATE: TimeSeries(cpu * 1.2),
+            PerfDimension.STORAGE: TimeSeries(np.full(cpu.size, 400.0)),
+        },
+        entity_id="nightly-reporting",
+    )
+
+
+def main() -> None:
+    catalog = SkuCatalog.default()
+    trace = nightly_batch_workload()
+
+    # 1. Provisioned recommendation (the deployed Doppler path).
+    engine = DopplerEngine(catalog=catalog)
+    recommendation = engine.recommend(trace, DeploymentType.SQL_DB)
+    print(f"Workload: {trace.entity_id} ({trace.duration_days:.0f} days of counters)")
+    print(f"Provisioned pick: {recommendation.sku.describe()}")
+
+    # 2. Serverless comparison (Section 7 extension).
+    advice = ServerlessAdvisor(catalog=catalog).advise(trace)
+    print(f"\nBusy fraction of the window: {advice.busy_fraction:.0%}")
+    if advice.serverless is not None:
+        ev = advice.serverless
+        print(
+            f"Best serverless option: {ev.offer.name} at ${ev.monthly_cost:,.0f}/mo "
+            f"(paused {ev.paused_fraction:.0%} of the time, "
+            f"mean billed {ev.mean_billed_vcores:.1f} vCores)"
+        )
+    print(
+        f"Recommended compute model: {advice.recommended_tier} "
+        f"(saves ${advice.monthly_saving:,.0f}/mo over the alternative)"
+    )
+
+    # 3. TCO versus staying on-premises (Section 5.5 extension).
+    cheaper_monthly = (
+        advice.serverless.monthly_cost
+        if advice.recommended_tier == "serverless" and advice.serverless
+        else advice.provisioned_monthly
+    )
+    tco = compare_tco(trace, advice.provisioned_sku, cost_model=OnPremCostModel())
+    print(f"\nTCO: {tco.describe()}")
+    onprem_vs_best = tco.onprem_monthly - cheaper_monthly
+    print(
+        f"Against the recommended compute model the migration saves "
+        f"${onprem_vs_best * 12:,.0f}/year."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Detecting the need for a SKU change from curve drift.
+
+Paper Section 5.2.3 / Figure 11: price-performance curves regenerated
+from fresh counters adapt to changing resource usage -- Doppler can
+detect that a workload has outgrown (or no longer needs) its SKU
+before the customer notices degradation.
+
+This example simulates customers whose demand shifts mid-life,
+regenerates the curve on each side of the shift and prints the
+detected moves, including the throttling the customer would suffer by
+keeping the stale SKU.
+
+Run with::
+
+    python examples/sku_change_monitoring.py
+"""
+
+from repro import SkuCatalog
+from repro.simulation import simulate_sku_change_customers
+
+
+def main() -> None:
+    catalog = SkuCatalog.default()
+    customers = simulate_sku_change_customers(
+        8,
+        catalog,
+        duration_days=7,
+        interval_minutes=30,
+        upgrade_fraction=0.75,
+        rng=7,
+    )
+
+    print(
+        f"{'customer':>12} {'direction':>10} {'held SKU':>26} "
+        f"{'curve now demands':>26} {'stale-SKU throttling':>21}"
+    )
+    for customer in customers:
+        throttling = customer.stale_sku_throttling()
+        customer_id = customer.before_trace.entity_id.rsplit("-", 1)[0]
+        print(
+            f"{customer_id:>12} {customer.direction:>10} "
+            f"{customer.before_sku_name:>26} {customer.after_sku_name:>26} "
+            f"{throttling:>21.1%}"
+        )
+
+    upgrades = [c for c in customers if c.direction == "upgrade"]
+    if upgrades:
+        worst = max(upgrades, key=lambda c: c.stale_sku_throttling())
+        print(
+            f"\nWorst stale-SKU exposure: {worst.stale_sku_throttling():.0%} "
+            "throttling (the paper's Figure-11 customer faced >40%)."
+        )
+    print(
+        "Doppler regenerates the curve from rolling counters, so the "
+        "upgrade need is visible as soon as the workload shifts."
+    )
+
+
+if __name__ == "__main__":
+    main()

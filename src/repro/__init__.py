@@ -1,0 +1,87 @@
+"""Doppler: automated SKU recommendation for SQL cloud migration.
+
+A full reproduction of *Doppler: Automated SKU Recommendation in
+Migrating SQL Workloads to the Cloud* (Cahoon et al., PVLDB 15(12),
+VLDB 2022): price-performance modelling over resource-throttling
+probabilities, customer profiling via negotiability summarizers,
+profile-matched SKU selection, bootstrap confidence scores, the naive
+baseline, the DMA integration pipeline, and the simulation substrates
+(SKU catalog, telemetry, workload synthesis/replay, customer fleets)
+the evaluation requires.
+
+Quickstart::
+
+    from repro import DopplerEngine, SkuCatalog, DeploymentType
+
+    engine = DopplerEngine(catalog=SkuCatalog.default())
+    recommendation = engine.recommend(trace, DeploymentType.SQL_DB)
+    print(recommendation.explain())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-versus-measured results.
+"""
+
+from .catalog import (
+    DeploymentType,
+    HardwareGeneration,
+    PricingModel,
+    ResourceLimits,
+    ServiceTier,
+    SkuCatalog,
+    SkuSpec,
+)
+from .core import (
+    BaselineStrategy,
+    CloudCustomerRecord,
+    ConfidenceResult,
+    CurveShape,
+    CustomerProfile,
+    CustomerProfiler,
+    DopplerEngine,
+    DopplerRecommendation,
+    GroupScoreModel,
+    OverProvisionReport,
+    PricePerformanceCurve,
+    PricePerformanceModeler,
+    ThresholdingSummarizer,
+    confidence_score,
+)
+from .dma import AssessmentPipeline, AssessmentResult
+from .telemetry import PerfDimension, PerformanceTrace, TimeSeries
+from .workloads import WorkloadSpec, WorkloadSynthesizer, generate_trace, replay_on_sku
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeploymentType",
+    "HardwareGeneration",
+    "PricingModel",
+    "ResourceLimits",
+    "ServiceTier",
+    "SkuCatalog",
+    "SkuSpec",
+    "BaselineStrategy",
+    "CloudCustomerRecord",
+    "ConfidenceResult",
+    "CurveShape",
+    "CustomerProfile",
+    "CustomerProfiler",
+    "DopplerEngine",
+    "DopplerRecommendation",
+    "GroupScoreModel",
+    "OverProvisionReport",
+    "PricePerformanceCurve",
+    "PricePerformanceModeler",
+    "ThresholdingSummarizer",
+    "confidence_score",
+    "AssessmentPipeline",
+    "AssessmentResult",
+    "PerfDimension",
+    "PerformanceTrace",
+    "TimeSeries",
+    "WorkloadSpec",
+    "WorkloadSynthesizer",
+    "generate_trace",
+    "replay_on_sku",
+    "__version__",
+]

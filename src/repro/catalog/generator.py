@@ -1,0 +1,160 @@
+"""Generator for the full Azure SQL PaaS SKU catalog.
+
+Microsoft Azure offers "over 200 different PaaS cloud SKUs" (paper
+Sections 1-2).  The proprietary catalog is not available, so this
+module generates a faithful stand-in: the cross product of
+
+* deployment type (SQL DB, SQL MI),
+* service tier (General Purpose, Business Critical),
+* hardware generation (Gen5, Premium series),
+* the published vCore ladder, and
+* a ladder of max-data-size options per compute size,
+
+with capacities extrapolated from the anchor points the paper publishes
+(Figure 1 for DB: per-vCore memory, IOPS, log rate, price; Table 2 for
+MI storage tiers).  The extrapolation rules are linear per vCore, which
+is how the published Azure resource-limit tables scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .models import (
+    DeploymentType,
+    HardwareGeneration,
+    ResourceLimits,
+    ServiceTier,
+    SkuSpec,
+)
+from .pricing import DEFAULT_PRICING, PricingModel
+
+__all__ = [
+    "DB_VCORE_LADDER",
+    "MI_VCORE_LADDER",
+    "generate_skus",
+    "default_catalog_skus",
+]
+
+#: Published vCore options for Azure SQL DB (vCore purchasing model).
+DB_VCORE_LADDER: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 32, 40, 64, 80)
+
+#: Published vCore options for Azure SQL MI.
+MI_VCORE_LADDER: tuple[int, ...] = (4, 8, 16, 24, 32, 40, 64, 80)
+
+#: Max-data-size ladder (GB) offered per compute size.  Azure lets a
+#: database pick its max size independently of compute within bounds.
+_DB_STORAGE_LADDER_GB: tuple[float, ...] = (250.0, 512.0, 1024.0, 2048.0, 4096.0)
+_MI_STORAGE_LADDER_GB: tuple[float, ...] = (256.0, 512.0, 1024.0, 2048.0, 8192.0)
+
+# Per-vCore capacity slopes anchored on Figure 1 of the paper
+# (DB GP 2 vCores: 640 IOPS, 7.5 MBps log; DB BC 2 vCores: 8000 IOPS,
+# 24 MBps log) and the published MI limit tables.
+_DB_GP_IOPS_PER_VCORE = 320.0
+_DB_BC_IOPS_PER_VCORE = 4000.0
+_MI_GP_IOPS_PER_VCORE = 400.0  # nominal; superseded by the file layout
+_MI_BC_IOPS_PER_VCORE = 2750.0
+_GP_LOG_RATE_PER_VCORE = 3.75
+_BC_LOG_RATE_PER_VCORE = 12.0
+_GP_IO_LATENCY_MS = 5.0
+_BC_IO_LATENCY_MS = 1.0
+_LOG_RATE_CAP_MBPS = 96.0  # published Azure ceiling on log throughput
+
+
+def _storage_cap_gb(deployment: DeploymentType, vcores: int) -> float:
+    """Largest max-data-size option available at a compute size.
+
+    Small compute sizes cannot attach the largest storage options; the
+    cap grows with vCores, mirroring the published limit tables
+    (Figure 1 shows 1024 GB at 2-4 vCores and 1536 GB at 6 vCores).
+    """
+    if deployment is DeploymentType.SQL_DB:
+        if vcores <= 4:
+            return 1024.0
+        if vcores <= 8:
+            return 2048.0
+        return 4096.0
+    if vcores <= 8:
+        return 2048.0
+    return 8192.0
+
+
+def generate_skus(
+    pricing: PricingModel = DEFAULT_PRICING,
+    hardware_generations: tuple[HardwareGeneration, ...] = (
+        HardwareGeneration.GEN5,
+        HardwareGeneration.PREMIUM_SERIES,
+    ),
+) -> Iterator[SkuSpec]:
+    """Yield every SKU in the generated catalog.
+
+    Args:
+        pricing: Price sheet used to compute the hourly price.
+        hardware_generations: Hardware series to include.  The default
+            pair yields a catalog of 200+ SKUs, matching the scale the
+            paper reports for the real Azure catalog.
+
+    Yields:
+        :class:`SkuSpec` instances in a deterministic order
+        (deployment, tier, hardware, vCores, storage).
+    """
+    for deployment in DeploymentType:
+        ladder = DB_VCORE_LADDER if deployment is DeploymentType.SQL_DB else MI_VCORE_LADDER
+        storage_ladder = (
+            _DB_STORAGE_LADDER_GB
+            if deployment is DeploymentType.SQL_DB
+            else _MI_STORAGE_LADDER_GB
+        )
+        for tier in ServiceTier:
+            for hardware in hardware_generations:
+                for vcores in ladder:
+                    cap = _storage_cap_gb(deployment, vcores)
+                    sizes = [size for size in storage_ladder if size <= cap]
+                    if not sizes:
+                        sizes = [cap]
+                    for max_data_gb in sizes:
+                        limits = _build_limits(deployment, tier, hardware, vcores, max_data_gb)
+                        price = pricing.price_per_hour(deployment, tier, hardware, limits)
+                        yield SkuSpec(
+                            deployment=deployment,
+                            tier=tier,
+                            hardware=hardware,
+                            limits=limits,
+                            price_per_hour=price,
+                        )
+
+
+def _build_limits(
+    deployment: DeploymentType,
+    tier: ServiceTier,
+    hardware: HardwareGeneration,
+    vcores: int,
+    max_data_gb: float,
+) -> ResourceLimits:
+    """Extrapolate the capacity vector for one SKU."""
+    memory = vcores * hardware.memory_per_vcore_gb
+    if deployment is DeploymentType.SQL_DB:
+        iops_slope = (
+            _DB_GP_IOPS_PER_VCORE if tier is ServiceTier.GENERAL_PURPOSE else _DB_BC_IOPS_PER_VCORE
+        )
+    else:
+        iops_slope = (
+            _MI_GP_IOPS_PER_VCORE if tier is ServiceTier.GENERAL_PURPOSE else _MI_BC_IOPS_PER_VCORE
+        )
+    log_slope = (
+        _GP_LOG_RATE_PER_VCORE if tier is ServiceTier.GENERAL_PURPOSE else _BC_LOG_RATE_PER_VCORE
+    )
+    latency = _GP_IO_LATENCY_MS if tier is ServiceTier.GENERAL_PURPOSE else _BC_IO_LATENCY_MS
+    return ResourceLimits(
+        vcores=float(vcores),
+        max_memory_gb=memory,
+        max_data_iops=iops_slope * vcores,
+        max_log_rate_mbps=min(log_slope * vcores, _LOG_RATE_CAP_MBPS),
+        max_data_size_gb=max_data_gb,
+        min_io_latency_ms=latency,
+    )
+
+
+def default_catalog_skus() -> list[SkuSpec]:
+    """Materialize the default generated catalog as a list."""
+    return list(generate_skus())

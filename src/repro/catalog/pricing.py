@@ -1,0 +1,81 @@
+"""Billing interface: hourly and monthly pricing for PaaS SKUs.
+
+The DMA data-preprocessing module of the paper (Section 4) consults "a
+billing interface ... to compute the prices for each SKU".  The real
+interface is the Azure retail price API; here prices follow the
+published vCore-model structure with the per-tier rates anchored to the
+examples of Figure 1 of the paper (DB GP 2 vCores -> $0.51/h, DB BC 2
+vCores -> $1.36/h) plus a storage component.
+
+All downstream code consumes prices only through
+:class:`PricingModel.price_per_hour`, so a deployment that has live
+price sheets can swap this module out without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .models import DeploymentType, HardwareGeneration, ResourceLimits, ServiceTier
+
+__all__ = ["PricingModel", "DEFAULT_PRICING"]
+
+
+@dataclass(frozen=True, slots=True)
+class PricingModel:
+    """vCore purchasing-model price sheet.
+
+    Attributes:
+        db_gp_vcore_hour: DB General Purpose USD per vCore-hour.
+        db_bc_vcore_hour: DB Business Critical USD per vCore-hour.
+        mi_gp_vcore_hour: MI General Purpose USD per vCore-hour.
+        mi_bc_vcore_hour: MI Business Critical USD per vCore-hour.
+        storage_gb_hour: USD per provisioned GB-hour beyond the
+            included storage allowance.
+        included_storage_gb: Storage allowance bundled with the compute
+            price.
+    """
+
+    db_gp_vcore_hour: float = 0.2525
+    db_bc_vcore_hour: float = 0.6800
+    mi_gp_vcore_hour: float = 0.2740
+    mi_bc_vcore_hour: float = 0.7350
+    storage_gb_hour: float = 0.000160
+    included_storage_gb: float = 32.0
+
+    def vcore_rate(self, deployment: DeploymentType, tier: ServiceTier) -> float:
+        """USD per vCore-hour for a deployment/tier combination."""
+        if deployment is DeploymentType.SQL_DB:
+            if tier is ServiceTier.GENERAL_PURPOSE:
+                return self.db_gp_vcore_hour
+            return self.db_bc_vcore_hour
+        if tier is ServiceTier.GENERAL_PURPOSE:
+            return self.mi_gp_vcore_hour
+        return self.mi_bc_vcore_hour
+
+    def price_per_hour(
+        self,
+        deployment: DeploymentType,
+        tier: ServiceTier,
+        hardware: HardwareGeneration,
+        limits: ResourceLimits,
+    ) -> float:
+        """Hourly list price of a SKU with the given capacities.
+
+        The price is ``vcores * rate * hardware multiplier`` plus the
+        storage surcharge for provisioned data beyond the included
+        allowance.  Business Critical bundles its local SSD storage, so
+        the surcharge rate is doubled for BC to reflect the premium
+        local storage, matching the published price spread.
+        """
+        compute = limits.vcores * self.vcore_rate(deployment, tier)
+        compute *= hardware.price_multiplier
+        billable_gb = max(0.0, limits.max_data_size_gb - self.included_storage_gb)
+        storage_rate = self.storage_gb_hour
+        if tier is ServiceTier.BUSINESS_CRITICAL:
+            storage_rate *= 2.0
+        return compute + billable_gb * storage_rate
+
+
+#: Module-level default price sheet used by the catalog generator.
+DEFAULT_PRICING = PricingModel()

@@ -1,0 +1,102 @@
+"""Catalog persistence: the DMA static-input format.
+
+Paper Section 4: "Additional inputs of relevant SKU resource limits
+and customer profiles ... are calculated offline and saved in the
+application as static input."  This module is the SKU-limits half of
+that static input: a versioned JSON document for
+:class:`~repro.catalog.catalog.SkuCatalog` so the assessment runtime
+(which runs on customers' machines, offline) carries its own catalog
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .catalog import SkuCatalog
+from .models import (
+    DeploymentType,
+    HardwareGeneration,
+    ResourceLimits,
+    ServiceTier,
+    SkuSpec,
+)
+
+__all__ = [
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "dump_catalog_json",
+    "load_catalog_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _sku_to_dict(sku: SkuSpec) -> dict[str, Any]:
+    limits = sku.limits
+    return {
+        "name": sku.name,
+        "deployment": sku.deployment.value,
+        "tier": sku.tier.value,
+        "hardware": sku.hardware.value,
+        "price_per_hour": sku.price_per_hour,
+        "limits": {
+            "vcores": limits.vcores,
+            "max_memory_gb": limits.max_memory_gb,
+            "max_data_iops": limits.max_data_iops,
+            "max_log_rate_mbps": limits.max_log_rate_mbps,
+            "max_data_size_gb": limits.max_data_size_gb,
+            "min_io_latency_ms": limits.min_io_latency_ms,
+        },
+    }
+
+
+def _sku_from_dict(payload: dict[str, Any]) -> SkuSpec:
+    limits = payload["limits"]
+    return SkuSpec(
+        deployment=DeploymentType(payload["deployment"]),
+        tier=ServiceTier(payload["tier"]),
+        hardware=HardwareGeneration(payload["hardware"]),
+        limits=ResourceLimits(
+            vcores=float(limits["vcores"]),
+            max_memory_gb=float(limits["max_memory_gb"]),
+            max_data_iops=float(limits["max_data_iops"]),
+            max_log_rate_mbps=float(limits["max_log_rate_mbps"]),
+            max_data_size_gb=float(limits["max_data_size_gb"]),
+            min_io_latency_ms=float(limits["min_io_latency_ms"]),
+        ),
+        price_per_hour=float(payload["price_per_hour"]),
+        name=str(payload["name"]),
+    )
+
+
+def catalog_to_dict(catalog: SkuCatalog) -> dict[str, Any]:
+    """Serialize a catalog to a JSON-compatible document."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "skus": [_sku_to_dict(sku) for sku in catalog],
+    }
+
+
+def catalog_from_dict(document: dict[str, Any]) -> SkuCatalog:
+    """Reconstruct a catalog from :func:`catalog_to_dict` output.
+
+    Raises:
+        ValueError: On unknown format versions.
+    """
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported catalog format version: {version!r}")
+    return SkuCatalog.from_skus(_sku_from_dict(item) for item in document["skus"])
+
+
+def dump_catalog_json(catalog: SkuCatalog, path: str | Path) -> None:
+    """Write a catalog snapshot to disk."""
+    Path(path).write_text(json.dumps(catalog_to_dict(catalog)), encoding="utf-8")
+
+
+def load_catalog_json(path: str | Path) -> SkuCatalog:
+    """Read a catalog snapshot written by :func:`dump_catalog_json`."""
+    return catalog_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,173 @@
+"""Premium-disk storage tiers and file-layout planning for Azure SQL MI.
+
+Azure SQL Managed Instance General Purpose places every database file
+on its own Azure Premium Disk.  Disks come in fixed size tiers
+(P10 ... P80) and bigger disks carry higher IOPS and throughput limits
+(paper Table 2).  Consequently the IOPS limit of an MI GP instance is
+not a fixed per-SKU number: it is the sum of the per-file disk limits
+of the chosen file layout.
+
+The paper's recommendation flow for MI (Section 3.2) therefore runs a
+two-step procedure:
+
+* Step 1 -- pick the storage tier for each data file from the file size
+  and check that the resulting layout covers 100 % of the storage
+  requirement and at least 95 % of the observed IOPS and throughput
+  demand; if it cannot, only Business Critical SKUs stay in play.
+* Step 2 -- build the price-performance curve with the layout's summed
+  IOPS as the instance-level IOPS limit.
+
+This module implements the tier table, the per-file tier selection and
+the instance-level layout aggregation used by
+:class:`repro.core.ppm.PricePerformanceModeler`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "StorageTier",
+    "PREMIUM_DISK_TIERS",
+    "tier_for_file_size",
+    "FileLayout",
+    "plan_file_layout",
+    "IOPS_THROUGHPUT_COVERAGE",
+]
+
+#: Fraction of the observed IOPS / throughput demand a GP file layout
+#: must cover in Step 1 before GP SKUs are considered viable.  The
+#: paper fixes this at 95 %, "chosen based on file layout analysis of
+#: current on-cloud Azure SQL MI resources".
+IOPS_THROUGHPUT_COVERAGE = 0.95
+
+
+@dataclass(frozen=True, slots=True)
+class StorageTier:
+    """One premium-disk storage tier (a row of paper Table 2).
+
+    Attributes:
+        name: Tier label, e.g. ``P10``.
+        max_file_size_gib: Largest file the tier accommodates, in GiB.
+        iops: Per-disk IOPS limit.
+        throughput_mibps: Per-disk throughput limit in MiB/s.
+    """
+
+    name: str
+    max_file_size_gib: float
+    iops: float
+    throughput_mibps: float
+
+
+#: Premium disk tier table, ordered by capacity.  The P10/P20/P50/P60
+#: rows match paper Table 2; the remaining rows follow the published
+#: Azure premium-disk ladder so intermediate file sizes resolve to a
+#: sensible tier.
+PREMIUM_DISK_TIERS: tuple[StorageTier, ...] = (
+    StorageTier("P10", 128.0, 500.0, 100.0),
+    StorageTier("P15", 256.0, 1100.0, 125.0),
+    StorageTier("P20", 512.0, 2300.0, 150.0),
+    StorageTier("P30", 1024.0, 5000.0, 200.0),
+    StorageTier("P40", 2048.0, 7500.0, 250.0),
+    StorageTier("P50", 4096.0, 7500.0, 250.0),
+    StorageTier("P60", 8192.0, 12500.0, 480.0),
+    StorageTier("P70", 16384.0, 15000.0, 750.0),
+    StorageTier("P80", 32768.0, 20000.0, 900.0),
+)
+
+_TIER_UPPER_BOUNDS = [tier.max_file_size_gib for tier in PREMIUM_DISK_TIERS]
+
+
+def tier_for_file_size(file_size_gib: float) -> StorageTier:
+    """Return the smallest storage tier whose disk fits ``file_size_gib``.
+
+    Args:
+        file_size_gib: Size of one database file in GiB.  Must be
+            positive and no larger than the largest tier (32 TiB).
+
+    Raises:
+        ValueError: If the file does not fit on any premium disk.
+    """
+    if file_size_gib <= 0:
+        raise ValueError(f"file size must be positive, got {file_size_gib!r}")
+    index = bisect.bisect_left(_TIER_UPPER_BOUNDS, file_size_gib)
+    if index >= len(PREMIUM_DISK_TIERS):
+        raise ValueError(
+            f"file of {file_size_gib:.0f} GiB exceeds the largest premium disk "
+            f"({_TIER_UPPER_BOUNDS[-1]:.0f} GiB)"
+        )
+    return PREMIUM_DISK_TIERS[index]
+
+
+@dataclass(frozen=True, slots=True)
+class FileLayout:
+    """Resolved premium-disk layout for a set of database files.
+
+    Attributes:
+        tiers: Storage tier chosen for each file, in input order.
+        file_sizes_gib: The file sizes the layout was planned for.
+    """
+
+    tiers: tuple[StorageTier, ...]
+    file_sizes_gib: tuple[float, ...]
+
+    @property
+    def total_iops(self) -> float:
+        """Instance-level IOPS limit: the sum over all file disks.
+
+        This is the quantity substituted for ``R_IOPS_i`` in the MI
+        price-performance curve (paper Section 3.2, Step 2).
+        """
+        return sum(tier.iops for tier in self.tiers)
+
+    @property
+    def total_throughput_mibps(self) -> float:
+        """Instance-level throughput limit: the sum over all file disks."""
+        return sum(tier.throughput_mibps for tier in self.tiers)
+
+    @property
+    def total_capacity_gib(self) -> float:
+        """Total provisioned disk capacity of the layout."""
+        return sum(tier.max_file_size_gib for tier in self.tiers)
+
+    def covers(
+        self,
+        required_iops: float,
+        required_throughput_mibps: float,
+        coverage: float = IOPS_THROUGHPUT_COVERAGE,
+    ) -> bool:
+        """Check the paper's Step-1 95 % IOPS/throughput filter.
+
+        Args:
+            required_iops: Observed workload IOPS demand (a high
+                quantile of the counter series).
+            required_throughput_mibps: Observed throughput demand.
+            coverage: Required fraction of demand covered; defaults to
+                the paper's 95 %.
+        """
+        return (
+            self.total_iops >= coverage * required_iops
+            and self.total_throughput_mibps >= coverage * required_throughput_mibps
+        )
+
+
+def plan_file_layout(file_sizes_gib: Sequence[float] | Iterable[float]) -> FileLayout:
+    """Plan a premium-disk layout: one disk (tier) per database file.
+
+    Args:
+        file_sizes_gib: Sizes of the database data files in GiB.
+
+    Returns:
+        The :class:`FileLayout` mapping each file to the smallest tier
+        that fits it.
+
+    Raises:
+        ValueError: If no files are given or any file does not fit.
+    """
+    sizes = tuple(float(size) for size in file_sizes_gib)
+    if not sizes:
+        raise ValueError("a file layout needs at least one data file")
+    tiers = tuple(tier_for_file_size(size) for size in sizes)
+    return FileLayout(tiers=tiers, file_sizes_gib=sizes)

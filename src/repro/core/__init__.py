@@ -1,0 +1,95 @@
+"""Doppler core: the paper's primary contribution.
+
+Price-performance modelling (throttling probabilities, monotone
+curves, MI storage tiering), curve heuristics, customer profiling
+(negotiability summarizers and grouping), profile matching
+(equations (3)-(6)), bootstrap confidence scores, the naive baseline
+and the :class:`DopplerEngine` facade.
+"""
+
+from .baseline import BaselineStrategy
+from .confidence import ConfidenceResult, Recommender, confidence_score
+from .curve import CurvePoint, CurveShape, PricePerformanceCurve
+from .engine import DopplerEngine
+from .heuristics import (
+    DEFAULT_EPSILON,
+    DEFAULT_GAMMA,
+    HeuristicChoice,
+    largest_performance_increase,
+    largest_slope,
+    performance_threshold,
+)
+from .matching import GroupObservation, GroupScoreModel, GroupStatistics
+from .negotiability import (
+    ALL_SUMMARIZERS,
+    CombinedSummarizer,
+    MaxAucSummarizer,
+    MinMaxAucSummarizer,
+    NegotiabilitySummarizer,
+    OutlierSummarizer,
+    StlSummarizer,
+    ThresholdingSummarizer,
+)
+from .persistence import (
+    dump_group_model_json,
+    group_model_from_dict,
+    group_model_to_dict,
+    load_group_model_json,
+)
+from .ppm import MiStoragePlan, PricePerformanceModeler
+from .profiler import CustomerProfile, CustomerProfiler, group_key_to_label
+from .throttling import (
+    CopulaThrottlingEstimator,
+    EmpiricalThrottlingEstimator,
+    KdeThrottlingEstimator,
+    ThrottlingEstimator,
+    capacity_vector,
+    demand_matrix,
+)
+from .types import CloudCustomerRecord, DopplerRecommendation, OverProvisionReport
+
+__all__ = [
+    "BaselineStrategy",
+    "ConfidenceResult",
+    "Recommender",
+    "confidence_score",
+    "CurvePoint",
+    "CurveShape",
+    "PricePerformanceCurve",
+    "DopplerEngine",
+    "DEFAULT_EPSILON",
+    "DEFAULT_GAMMA",
+    "HeuristicChoice",
+    "largest_performance_increase",
+    "largest_slope",
+    "performance_threshold",
+    "GroupObservation",
+    "GroupScoreModel",
+    "GroupStatistics",
+    "ALL_SUMMARIZERS",
+    "CombinedSummarizer",
+    "MaxAucSummarizer",
+    "MinMaxAucSummarizer",
+    "NegotiabilitySummarizer",
+    "OutlierSummarizer",
+    "StlSummarizer",
+    "ThresholdingSummarizer",
+    "dump_group_model_json",
+    "group_model_from_dict",
+    "group_model_to_dict",
+    "load_group_model_json",
+    "MiStoragePlan",
+    "PricePerformanceModeler",
+    "CustomerProfile",
+    "CustomerProfiler",
+    "group_key_to_label",
+    "CopulaThrottlingEstimator",
+    "EmpiricalThrottlingEstimator",
+    "KdeThrottlingEstimator",
+    "ThrottlingEstimator",
+    "capacity_vector",
+    "demand_matrix",
+    "CloudCustomerRecord",
+    "DopplerRecommendation",
+    "OverProvisionReport",
+]

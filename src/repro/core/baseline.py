@@ -1,0 +1,100 @@
+"""The naive baseline SKU-selection strategy (paper Section 2).
+
+Before Doppler, the DMA tool shipped a baseline that collapses "the
+entire time-series vector collected on each available perf counter
+into one scalar value" -- the max or a large (95 %) quantile -- and
+suggests "the cheapest Azure PaaS offering that satisfies all the
+requirements".  Two failure modes follow, both reproduced here and
+measured in the Section-5.3 benchmark:
+
+* sizing to the peak over-provisions spiky workloads;
+* when no SKU satisfies every scalar at 100 %, the baseline returns
+  *nothing* ("the baseline strategy actually fails to provide any SKU
+  recommendation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.catalog import SkuCatalog
+from ..catalog.models import DeploymentType, SkuSpec
+from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["BaselineStrategy"]
+
+
+@dataclass(frozen=True)
+class BaselineStrategy:
+    """Quantile-reduction baseline recommender.
+
+    Attributes:
+        quantile: The reduction quantile; 1.0 is the max, the paper's
+            comparison uses 0.95.
+    """
+
+    quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {self.quantile!r}")
+
+    def scalar_demands(self, trace: PerformanceTrace) -> dict[PerfDimension, float]:
+        """Collapse every counter into its reduction scalar.
+
+        The reduction is deliberately *uniform* across dimensions --
+        "taking the entire time-series vector collected on each
+        available perf counter and collapsing it into one scalar
+        value" (paper Section 2).  For latency this is exactly the
+        baseline's documented mistake: the 95th percentile of observed
+        latency is a *loose* requirement (latency-sensitive workloads
+        show low latencies most of the time), so the baseline accepts
+        lower-end SKUs that cannot actually deliver the latency the
+        workload needs (paper Section 5.3: "the baseline incorrectly
+        specifies a lower-end SKU").
+        """
+        return {
+            dim: trace[dim].quantile(self.quantile) for dim in trace.dimensions
+        }
+
+    def satisfies(self, sku: SkuSpec, demands: dict[PerfDimension, float]) -> bool:
+        """Whether a SKU meets every scalar demand at 100 %."""
+        for dim, demand in demands.items():
+            capacity = dim.capacity_of(sku.limits)
+            if dim.lower_is_better:
+                if capacity > demand:
+                    return False
+            elif demand > capacity:
+                return False
+        return True
+
+    def recommend(
+        self,
+        trace: PerformanceTrace,
+        deployment: DeploymentType,
+        catalog: SkuCatalog,
+    ) -> SkuSpec | None:
+        """Cheapest SKU satisfying all scalar demands, or ``None``.
+
+        Args:
+            trace: Customer performance history.
+            deployment: Target deployment type.
+            catalog: Candidate SKU catalog.
+
+        Returns:
+            The recommendation, or ``None`` when no SKU meets every
+            requirement (the baseline's documented failure mode).
+        """
+        wanted = DB_DIMENSIONS if deployment is DeploymentType.SQL_DB else MI_DIMENSIONS
+        dimensions = tuple(dim for dim in wanted if dim in trace)
+        demands = {
+            dim: value
+            for dim, value in self.scalar_demands(trace).items()
+            if dim in dimensions or dim is PerfDimension.STORAGE
+        }
+        candidates = catalog.for_deployment(deployment)
+        for sku in candidates:  # price ascending
+            if self.satisfies(sku, demands):
+                return sku
+        return None

@@ -1,0 +1,109 @@
+"""Confidence score via bootstrapping (paper Section 3.4, Figure 7).
+
+The recommendation is sensitive to the collection window, so Doppler
+surfaces a secondary metric: re-run the full recommendation on
+bootstrapped subsets of the counter data and report the fraction of
+runs that return the same SKU as the original.  Stable utilization
+yields high confidence; erratic or too-short histories yield low
+confidence, which DMA uses as a guardrail to request a longer
+collection period (at least one week, per Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..ml.bootstrap import block_bootstrap_indices, bootstrap_indices, resolve_rng
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["ConfidenceResult", "confidence_score"]
+
+#: A recommender: trace in, recommended SKU name out.
+Recommender = Callable[[PerformanceTrace], str]
+
+
+@dataclass(frozen=True)
+class ConfidenceResult:
+    """Outcome of the bootstrap confidence computation.
+
+    Attributes:
+        score: Fraction of bootstrap runs agreeing with the original
+            recommendation, in [0, 1].
+        original_sku: Recommendation on the full trace.
+        votes: SKU name -> number of bootstrap runs recommending it.
+        n_rounds: Number of bootstrap rounds executed.
+    """
+
+    score: float
+    original_sku: str
+    votes: dict[str, int]
+    n_rounds: int
+
+    @property
+    def is_confident(self) -> bool:
+        """The DMA guardrail: below 0.7 the tool suggests collecting
+        more data before trusting the recommendation."""
+        return self.score >= 0.7
+
+
+def confidence_score(
+    trace: PerformanceTrace,
+    recommender: Recommender,
+    n_rounds: int = 20,
+    mode: Literal["block", "iid"] = "block",
+    window_samples: int | None = None,
+    sample_fraction: float = 0.8,
+    rng: int | np.random.Generator | None = None,
+) -> ConfidenceResult:
+    """Bootstrap the trace and measure recommendation stability.
+
+    Args:
+        trace: Full customer performance history.
+        recommender: The end-to-end recommendation function to probe
+            (typically ``lambda t: engine.recommend(t, dep).sku.name``).
+        n_rounds: Bootstrap repetitions; the paper's figures use a
+            handful of rounds per window size.
+        mode: ``block`` draws one contiguous random window per round
+            (the Figure-10 "window size" experiment); ``iid`` resamples
+            time points with replacement.
+        window_samples: Window length for ``block`` mode; defaults to
+            half the trace.
+        sample_fraction: Resample size for ``iid`` mode.
+        rng: Seed or generator.
+
+    Returns:
+        The :class:`ConfidenceResult`; ``score`` is the proportion of
+        rounds matching the full-trace recommendation (paper
+        Section 3.4).
+    """
+    generator = resolve_rng(rng)
+    original = recommender(trace)
+    n = trace.n_samples
+    if mode == "block":
+        window = window_samples if window_samples is not None else max(1, n // 2)
+        index_stream = block_bootstrap_indices(n, n_rounds, window=window, rng=generator)
+    elif mode == "iid":
+        index_stream = bootstrap_indices(
+            n, n_rounds, rng=generator, sample_fraction=sample_fraction
+        )
+    else:
+        raise ValueError(f"unknown bootstrap mode {mode!r}")
+
+    votes: dict[str, int] = {}
+    agreements = 0
+    rounds = 0
+    for indices in index_stream:
+        choice = recommender(trace.subsample(indices))
+        votes[choice] = votes.get(choice, 0) + 1
+        if choice == original:
+            agreements += 1
+        rounds += 1
+    return ConfidenceResult(
+        score=agreements / rounds,
+        original_sku=original,
+        votes=votes,
+        n_rounds=rounds,
+    )

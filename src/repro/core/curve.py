@@ -1,0 +1,209 @@
+"""Price-performance curves (paper Section 3.2, Figures 4, 5, 8).
+
+A price-performance curve relates the monthly price of every relevant
+SKU to its *score* -- one minus the throttling probability -- giving
+the customer a personalized rank of cloud targets.  The paper enforces
+monotonicity "so that customers cannot select SKUs that are more
+expensive and less performant", and classifies curves into three
+typical shapes (Section 5.1): *flat* (every SKU already satisfies the
+workload), *simple* (a clean 0 %/100 % bifurcation) and *complex* (a
+genuine ranking across many throttling levels).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..catalog.models import SkuSpec
+
+__all__ = ["CurvePoint", "CurveShape", "PricePerformanceCurve"]
+
+#: Scores within this tolerance of the extremes count as exactly 0/1
+#: for shape classification.
+_SHAPE_TOLERANCE = 0.005
+
+
+class CurveShape(enum.Enum):
+    """The three typical price-performance curve shapes (Section 5.1)."""
+
+    FLAT = "flat"
+    SIMPLE = "simple"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True, slots=True)
+class CurvePoint:
+    """One SKU's position on a price-performance curve.
+
+    Attributes:
+        sku: The cloud target.
+        monthly_price: Monthly subscription cost (x axis).
+        throttling_probability: Raw estimated ``P_n(SKU_i)``.
+        score: Monotonicity-adjusted performance score ``1 - P``
+            (y axis).  May exceed ``1 - throttling_probability`` when
+            the running-max adjustment lifted a point dominated by a
+            cheaper, better SKU.
+    """
+
+    sku: SkuSpec
+    monthly_price: float
+    throttling_probability: float
+    score: float
+
+
+@dataclass(frozen=True)
+class PricePerformanceCurve:
+    """A monotone price-performance ranking of candidate SKUs.
+
+    Attributes:
+        points: Curve points sorted by monthly price ascending; the
+            ``score`` field is monotone non-decreasing.
+        entity_id: The assessed workload's identifier.
+    """
+
+    points: tuple[CurvePoint, ...]
+    entity_id: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a price-performance curve needs at least one point")
+        prices = [point.monthly_price for point in self.points]
+        if any(b < a for a, b in zip(prices, prices[1:])):
+            raise ValueError("curve points must be sorted by price ascending")
+        scores = [point.score for point in self.points]
+        if any(b < a - 1e-12 for a, b in zip(scores, scores[1:])):
+            raise ValueError("curve scores must be monotone non-decreasing")
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        skus: list[SkuSpec],
+        probabilities: np.ndarray,
+        entity_id: str = "unnamed",
+    ) -> "PricePerformanceCurve":
+        """Build a curve from raw throttling probabilities.
+
+        SKUs are sorted by price and the score is made monotone with a
+        running maximum of ``1 - P`` (the paper's monotonicity
+        enforcement): a SKU can never be ranked below a cheaper SKU
+        that throttles less.
+
+        Args:
+            skus: Candidate SKUs in any order.
+            probabilities: ``P_n(SKU_i)`` aligned with ``skus``.
+            entity_id: Workload identifier for reports.
+        """
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (len(skus),):
+            raise ValueError(
+                f"expected {len(skus)} probabilities, got shape {probabilities.shape}"
+            )
+        if probabilities.size and (
+            probabilities.min() < -1e-9 or probabilities.max() > 1.0 + 1e-9
+        ):
+            raise ValueError("throttling probabilities must lie in [0, 1]")
+        order = sorted(
+            range(len(skus)), key=lambda i: (skus[i].monthly_price, skus[i].vcores)
+        )
+        points = []
+        running_best = 0.0
+        for index in order:
+            raw_probability = float(np.clip(probabilities[index], 0.0, 1.0))
+            running_best = max(running_best, 1.0 - raw_probability)
+            points.append(
+                CurvePoint(
+                    sku=skus[index],
+                    monthly_price=skus[index].monthly_price,
+                    throttling_probability=raw_probability,
+                    score=running_best,
+                )
+            )
+        return cls(points=tuple(points), entity_id=entity_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def scores(self) -> np.ndarray:
+        return np.array([point.score for point in self.points])
+
+    def prices(self) -> np.ndarray:
+        return np.array([point.monthly_price for point in self.points])
+
+    def point_for(self, sku_name: str) -> CurvePoint:
+        """The curve point of a given SKU.
+
+        Raises:
+            KeyError: If the SKU is not on this curve.
+        """
+        for point in self.points:
+            if point.sku.name == sku_name:
+                return point
+        raise KeyError(sku_name)
+
+    def shape(self) -> CurveShape:
+        """Classify into flat / simple / complex (paper Section 5.1)."""
+        scores = self.scores()
+        all_full = np.all(scores >= 1.0 - _SHAPE_TOLERANCE)
+        if all_full:
+            return CurveShape.FLAT
+        at_extremes = np.all(
+            (scores >= 1.0 - _SHAPE_TOLERANCE) | (scores <= _SHAPE_TOLERANCE)
+        )
+        if at_extremes and scores.max() >= 1.0 - _SHAPE_TOLERANCE:
+            return CurveShape.SIMPLE
+        return CurveShape.COMPLEX
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+    def cheapest_full_performance(self) -> CurvePoint | None:
+        """Cheapest point with (near-)zero throttling, or None."""
+        for point in self.points:
+            if point.score >= 1.0 - _SHAPE_TOLERANCE:
+                return point
+        return None
+
+    def cheapest_at_least(self, score: float) -> CurvePoint | None:
+        """Cheapest point whose score reaches ``score``, or None."""
+        for point in self.points:
+            if point.score >= score:
+                return point
+        return None
+
+    def position_of(self, sku_name: str) -> int:
+        """Rank of a SKU on the curve (0 = cheapest).
+
+        Raises:
+            KeyError: If the SKU is not on this curve.
+        """
+        for index, point in enumerate(self.points):
+            if point.sku.name == sku_name:
+                return index
+        raise KeyError(sku_name)
+
+    def render_ascii(self, width: int = 60, height: int = 12) -> str:
+        """Plain-text rendering for the resource-use dashboard."""
+        prices = self.prices()
+        scores = self.scores()
+        lo, hi = prices.min(), prices.max()
+        span = hi - lo if hi > lo else 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for price, score in zip(prices, scores):
+            x = int((price - lo) / span * (width - 1))
+            y = int((1.0 - score) * (height - 1))
+            grid[y][x] = "o"
+        lines = ["1.0 |" + "".join(grid[0])]
+        lines += ["    |" + "".join(row) for row in grid[1:-1]]
+        lines.append("0.0 |" + "".join(grid[-1]))
+        lines.append("    +" + "-" * width)
+        lines.append(f"     ${lo:,.0f}/mo{' ' * max(1, width - 20)}${hi:,.0f}/mo")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Profile matching: from group membership to one optimal SKU.
+
+Implements equations (3)-(6) of the paper.  For each customer group
+``g`` the model learns the expected throttling probability at the
+group's chosen SKUs,
+
+    P_g = E_{n : g_n = g} [ P_n(SKU*_n) ]            (3)
+
+and recommends, for a new customer ``n'`` in group ``g``, the SKU
+
+    argmin_i | P_n'(SKU_i) - P_g |                   (4)
+    subject to  P_n'(SKU_i) <= P_g                   (6)
+
+i.e. the SKU whose throttling probability is closest to -- but not
+worse than -- what similar migrated customers settled on.  When no
+curve point satisfies the constraint (the whole curve throttles more
+than the group target), the closest point overall is returned,
+mirroring the deployed engine's always-recommend contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .curve import CurvePoint, PricePerformanceCurve
+from .profiler import GroupKey, group_key_to_label
+
+__all__ = ["GroupObservation", "GroupStatistics", "GroupScoreModel"]
+
+
+@dataclass(frozen=True)
+class GroupObservation:
+    """One migrated customer's contribution to the group statistics.
+
+    Attributes:
+        group_key: The customer's negotiability group.
+        throttling_probability: ``P_n(SKU*_n)`` -- the throttling
+            probability of the SKU the customer fixed, read off their
+            own price-performance curve.
+    """
+
+    group_key: GroupKey
+    throttling_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.throttling_probability <= 1.0:
+            raise ValueError(
+                f"throttling probability must be in [0, 1], "
+                f"got {self.throttling_probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """Per-group summary of chosen-SKU throttling (paper Table 3).
+
+    Attributes:
+        p_mean: ``P_g`` -- mean throttling probability (equation (3)).
+        p_std: Standard deviation of the members' probabilities.
+        count: Number of customers in the group.
+    """
+
+    p_mean: float
+    p_std: float
+    count: int
+
+    @property
+    def score_mean(self) -> float:
+        """Mean score ``1 - P`` (the "Average Score" column of Table 3)."""
+        return 1.0 - self.p_mean
+
+    @property
+    def score_std(self) -> float:
+        return self.p_std
+
+
+@dataclass(frozen=True)
+class GroupScoreModel:
+    """Learned group targets plus the equation-(4)-(6) selector.
+
+    Attributes:
+        groups: Statistics per group key.
+        fallback: Statistics pooled across all observations, used for
+            groups never seen in training.
+    """
+
+    groups: Mapping[GroupKey, GroupStatistics]
+    fallback: GroupStatistics
+
+    @classmethod
+    def fit(cls, observations: Iterable[GroupObservation]) -> "GroupScoreModel":
+        """Estimate ``P_g`` per group from migrated-customer data.
+
+        Raises:
+            ValueError: If no observations are supplied.
+        """
+        by_group: dict[GroupKey, list[float]] = {}
+        everything: list[float] = []
+        for observation in observations:
+            by_group.setdefault(observation.group_key, []).append(
+                observation.throttling_probability
+            )
+            everything.append(observation.throttling_probability)
+        if not everything:
+            raise ValueError("cannot fit a group model from zero observations")
+        groups = {
+            key: GroupStatistics(
+                p_mean=float(np.mean(values)),
+                p_std=float(np.std(values)),
+                count=len(values),
+            )
+            for key, values in by_group.items()
+        }
+        fallback = GroupStatistics(
+            p_mean=float(np.mean(everything)),
+            p_std=float(np.std(everything)),
+            count=len(everything),
+        )
+        return cls(groups=groups, fallback=fallback)
+
+    def statistics_for(self, group_key: GroupKey) -> GroupStatistics:
+        """Group statistics, falling back to the pooled estimate."""
+        return self.groups.get(group_key, self.fallback)
+
+    def target_probability(self, group_key: GroupKey) -> float:
+        """``P_g`` for the group (equation (3))."""
+        return self.statistics_for(group_key).p_mean
+
+    def recommend(
+        self, curve: PricePerformanceCurve, group_key: GroupKey
+    ) -> CurvePoint:
+        """Pick the optimal SKU for a profiled customer (eqs. (4)-(6)).
+
+        Scans the monotone curve for the point whose throttling
+        probability is closest to the group target without exceeding
+        it; ties resolve to the cheapest SKU.  If nothing satisfies the
+        constraint, the overall closest point is returned.
+        """
+        target = self.target_probability(group_key)
+        feasible_best: CurvePoint | None = None
+        feasible_gap = float("inf")
+        overall_best = curve.points[0]
+        overall_gap = float("inf")
+        for point in curve.points:
+            probability = 1.0 - point.score
+            gap = abs(probability - target)
+            if gap < overall_gap - 1e-12:
+                overall_gap = gap
+                overall_best = point
+            if probability <= target + 1e-12 and gap < feasible_gap - 1e-12:
+                feasible_gap = gap
+                feasible_best = point
+        return feasible_best if feasible_best is not None else overall_best
+
+    def describe(self) -> str:
+        """Table-3-style rendering of the learned group scores."""
+        lines = ["group  count  avg_score  (std)"]
+        for key in sorted(self.groups):
+            stats = self.groups[key]
+            lines.append(
+                f"{group_key_to_label(key):>5}  {stats.count:>5}  "
+                f"{stats.score_mean:>9.4f}  ({stats.score_std:.3f})"
+            )
+        return "\n".join(lines)

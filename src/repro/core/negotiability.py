@@ -1,0 +1,236 @@
+"""Negotiability summarizers (paper Section 3.3).
+
+The Customer Profiler compresses each performance dimension's counter
+series into one scalar describing how *negotiable* the dimension is:
+"if the spikiness of customers' performance counters is rare and
+short-lived, consider that performance dimension negotiable".  The
+paper compares six summarization strategies (Section 5.2.1, Table 4):
+
+1. **Thresholding algorithm** (deployed in production): find the max
+   peak, form a window one standard deviation below it, and measure the
+   fraction of the assessment period spent inside the window.  A long
+   stay near the peak (> rho) means the demand is sustained and the
+   dimension is *non-negotiable*.
+2. **MinMax Scaler AUC**: AUC of the ECDF after min-max scaling; high
+   AUC indicates transiently spiky usage (negotiable).
+3. **Max Scaler AUC**: like (2) but only max-scaled, which better
+   separates large spikes.
+4. **Outlier percentage**: the fraction of samples at least three
+   standard deviations from the mean; spiky series have a small but
+   positive fraction, steady ones none.
+5. **STL variance decomposition**: ``max(0, 1 - var(I)/var(R))``; a
+   low score means the series is residual (spike) driven.
+6. **MinMax AUC combined with thresholding**: the concatenated feature
+   vector of (2) and (1).
+
+Each summarizer exposes a continuous ``features`` vector (the
+clustering input of equation (2)) and a binary ``is_negotiable``
+decision (the enumeration grouping deployed in DMA).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.auc import ecdf_auc
+from ..ml.outliers import outlier_fraction
+from ..ml.scaling import max_scale, minmax_scale
+from ..ml.stl import stl_variance_score
+from ..telemetry.timeseries import TimeSeries
+
+__all__ = [
+    "NegotiabilitySummarizer",
+    "ThresholdingSummarizer",
+    "MinMaxAucSummarizer",
+    "MaxAucSummarizer",
+    "OutlierSummarizer",
+    "StlSummarizer",
+    "CombinedSummarizer",
+    "ALL_SUMMARIZERS",
+]
+
+
+class NegotiabilitySummarizer(abc.ABC):
+    """Collapses one counter series into negotiability evidence."""
+
+    #: Stable identifier used in reports and Table-4 rows.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def features(self, series: TimeSeries) -> np.ndarray:
+        """Continuous feature vector for clustering (equation (2))."""
+
+    @abc.abstractmethod
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        """Binary negotiability decision for enumeration grouping."""
+
+
+@dataclass(frozen=True)
+class ThresholdingSummarizer(NegotiabilitySummarizer):
+    """The production thresholding algorithm (paper Section 3.3).
+
+    Attributes:
+        rho: Fraction of the assessment period spent near the peak
+            above which the dimension is non-negotiable.  The paper
+            tuned rho with sensitivity analyses; 0.1 is the default
+            here and ``bench_ablation_rho`` sweeps it.
+        window_sigmas: Width of the near-peak window in standard
+            deviations below the max (paper: one).
+    """
+
+    rho: float = 0.1
+    window_sigmas: float = 1.0
+    name: str = "thresholding"
+
+    def near_peak_fraction(self, series: TimeSeries) -> float:
+        """Fraction of samples within ``window_sigmas``*std of the max."""
+        values = series.values
+        peak = values.max()
+        spread = values.std()
+        if spread == 0:
+            # A perfectly constant series is always at its peak:
+            # sustained demand, nothing to negotiate.
+            return 1.0
+        window_floor = peak - self.window_sigmas * spread
+        return float(np.mean(values >= window_floor))
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.array([self.near_peak_fraction(series)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return self.near_peak_fraction(series) < self.rho
+
+
+@dataclass(frozen=True)
+class MinMaxAucSummarizer(NegotiabilitySummarizer):
+    """ECDF AUC after min-max scaling; high AUC = spiky = negotiable."""
+
+    cutoff: float = 0.7
+    name: str = "minmax_auc"
+
+    def auc(self, series: TimeSeries) -> float:
+        return ecdf_auc(minmax_scale(series.values))
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.array([self.auc(series)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return self.auc(series) > self.cutoff
+
+
+@dataclass(frozen=True)
+class MaxAucSummarizer(NegotiabilitySummarizer):
+    """ECDF AUC after max scaling; "better identifies large spikes"."""
+
+    cutoff: float = 0.6
+    name: str = "max_auc"
+
+    def auc(self, series: TimeSeries) -> float:
+        return ecdf_auc(max_scale(series.values))
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.array([self.auc(series)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return self.auc(series) > self.cutoff
+
+
+@dataclass(frozen=True)
+class OutlierSummarizer(NegotiabilitySummarizer):
+    """3-sigma outlier share; a positive share flags transient spikes."""
+
+    n_sigma: float = 3.0
+    cutoff: float = 0.002
+    name: str = "outlier_pct"
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.array([outlier_fraction(series.values, n_sigma=self.n_sigma)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return outlier_fraction(series.values, n_sigma=self.n_sigma) > self.cutoff
+
+
+@dataclass(frozen=True)
+class StlSummarizer(NegotiabilitySummarizer):
+    """STL explained-variance score; residual-driven series negotiate.
+
+    A low explained-variance score alone does not imply spikes: a
+    plateau with small unstructured measurement noise is also
+    residual-driven, yet its demand is sustained.  The binary decision
+    therefore additionally requires the residual to be *large* relative
+    to the demand level (coefficient of variation above
+    ``min_variation``) before calling the dimension negotiable.
+
+    Attributes:
+        period_samples: Seasonal period in samples (one day at the
+            10-minute DMA cadence = 144).
+        cutoff: Explained-variance score below which the series is
+            dominated by irregular variation.
+        min_variation: Minimum coefficient of variation (std/mean) for
+            the irregular variation to count as spikes worth
+            negotiating over.
+    """
+
+    period_samples: int = 144
+    cutoff: float = 0.6
+    min_variation: float = 0.3
+    name: str = "stl_variance"
+
+    def score(self, series: TimeSeries) -> float:
+        n = len(series)
+        period = self.period_samples
+        if n < 2 * period:
+            # Short trace: fall back to the largest period that fits.
+            period = max(2, n // 2)
+        return stl_variance_score(series.values, period=period)
+
+    def _coefficient_of_variation(self, series: TimeSeries) -> float:
+        mean = series.mean()
+        if mean <= 0:
+            return 0.0
+        return series.std() / mean
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.array([self.score(series)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return (
+            self.score(series) < self.cutoff
+            and self._coefficient_of_variation(series) > self.min_variation
+        )
+
+
+@dataclass(frozen=True)
+class CombinedSummarizer(NegotiabilitySummarizer):
+    """MinMax AUC features concatenated with thresholding features.
+
+    The paper's sixth strategy ("MinMax Scaler AUC result combined with
+    thresholding").  The binary decision requires both components to
+    agree the dimension is negotiable, which is the conservative
+    composition: disagreement means the spike evidence is ambiguous
+    and the engine should not negotiate the dimension away.
+    """
+
+    auc: MinMaxAucSummarizer = MinMaxAucSummarizer()
+    thresholding: ThresholdingSummarizer = ThresholdingSummarizer()
+    name: str = "minmax_auc_plus_thresholding"
+
+    def features(self, series: TimeSeries) -> np.ndarray:
+        return np.concatenate([self.auc.features(series), self.thresholding.features(series)])
+
+    def is_negotiable(self, series: TimeSeries) -> bool:
+        return self.auc.is_negotiable(series) and self.thresholding.is_negotiable(series)
+
+
+#: The six strategies compared in paper Table 4, in row order.
+ALL_SUMMARIZERS: tuple[NegotiabilitySummarizer, ...] = (
+    MinMaxAucSummarizer(),
+    MaxAucSummarizer(),
+    ThresholdingSummarizer(),
+    OutlierSummarizer(),
+    StlSummarizer(),
+    CombinedSummarizer(),
+)

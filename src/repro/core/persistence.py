@@ -1,0 +1,81 @@
+"""Group-profile persistence: the DMA static-input format.
+
+Paper Section 4: customer profiles are "calculated offline and saved
+in the application as static input" -- the group-score model is
+trained on Azure-side telemetry and shipped to the customer-local DMA
+runtime as a file.  This module serializes
+:class:`~repro.core.matching.GroupScoreModel` to a versioned JSON
+document and restores it, so an engine can be fitted in one process
+and deployed in another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .matching import GroupScoreModel, GroupStatistics
+
+__all__ = [
+    "group_model_to_dict",
+    "group_model_from_dict",
+    "dump_group_model_json",
+    "load_group_model_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _stats_to_dict(stats: GroupStatistics) -> dict[str, Any]:
+    return {"p_mean": stats.p_mean, "p_std": stats.p_std, "count": stats.count}
+
+
+def _stats_from_dict(payload: dict[str, Any]) -> GroupStatistics:
+    return GroupStatistics(
+        p_mean=float(payload["p_mean"]),
+        p_std=float(payload["p_std"]),
+        count=int(payload["count"]),
+    )
+
+
+def group_model_to_dict(model: GroupScoreModel) -> dict[str, Any]:
+    """Serialize a fitted group-score model."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "groups": {
+            "".join(str(bit) for bit in key): _stats_to_dict(stats)
+            for key, stats in model.groups.items()
+        },
+        "fallback": _stats_to_dict(model.fallback),
+    }
+
+
+def group_model_from_dict(document: dict[str, Any]) -> GroupScoreModel:
+    """Restore a model from :func:`group_model_to_dict` output.
+
+    Raises:
+        ValueError: On unknown format versions or malformed keys.
+    """
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported group-model format version: {version!r}")
+    groups = {}
+    for label, payload in document["groups"].items():
+        if not set(label) <= {"0", "1"}:
+            raise ValueError(f"malformed group label {label!r}")
+        key = tuple(int(bit) for bit in label)
+        groups[key] = _stats_from_dict(payload)
+    return GroupScoreModel(
+        groups=groups, fallback=_stats_from_dict(document["fallback"])
+    )
+
+
+def dump_group_model_json(model: GroupScoreModel, path: str | Path) -> None:
+    """Write the offline-trained profiles to disk (the DMA static input)."""
+    Path(path).write_text(json.dumps(group_model_to_dict(model)), encoding="utf-8")
+
+
+def load_group_model_json(path: str | Path) -> GroupScoreModel:
+    """Load profiles written by :func:`dump_group_model_json`."""
+    return group_model_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

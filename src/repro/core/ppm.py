@@ -1,0 +1,199 @@
+"""Price-Performance Modeler (PPM) -- paper Section 3.2 and Figure 3.
+
+The PPM is the first of Doppler's two modules.  It takes three inputs
+-- the customer's performance counters, the SKU catalog and the
+billing interface (already folded into each SKU's price) -- and
+produces the price-performance curve.
+
+For SQL DB targets it evaluates the full six-dimension throttling
+probability directly.  For SQL MI it first runs the two-step
+storage-tier procedure: plan the premium-disk file layout from the
+data size, verify the layout covers 100 % of storage and >= 95 % of
+the IOPS/throughput demand (else restrict the candidate set to
+Business Critical), then build the instance-level curve with the
+layout's summed IOPS as the GP IOPS limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog.catalog import SkuCatalog
+from ..catalog.models import DeploymentType, ServiceTier
+from ..catalog.storage import IOPS_THROUGHPUT_COVERAGE, FileLayout, plan_file_layout
+from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
+from ..telemetry.trace import PerformanceTrace
+from .curve import PricePerformanceCurve
+from .throttling import EmpiricalThrottlingEstimator, ThrottlingEstimator
+
+__all__ = ["PricePerformanceModeler", "MiStoragePlan"]
+
+#: Quantile summarizing the IOPS/throughput demand checked in Step 1.
+_STEP1_DEMAND_QUANTILE = 0.99
+
+#: Assumed IO transfer size for converting IOPS into MiB/s when the
+#: workload trace has no native throughput counter (8 KiB SQL pages).
+_IO_TRANSFER_KIB = 8.0
+
+
+@dataclass(frozen=True)
+class MiStoragePlan:
+    """Outcome of the MI Step-1 storage-tier determination.
+
+    Attributes:
+        layout: The planned premium-disk file layout.
+        gp_allowed: Whether GP SKUs stay in the candidate set (the
+            layout covered >= 95 % of IOPS and throughput demand).
+        required_iops: IOPS demand checked against the layout.
+        required_throughput_mibps: Throughput demand checked.
+    """
+
+    layout: FileLayout
+    gp_allowed: bool
+    required_iops: float
+    required_throughput_mibps: float
+
+
+@dataclass(frozen=True)
+class PricePerformanceModeler:
+    """Builds price-performance curves from counters and a catalog.
+
+    Attributes:
+        catalog: All candidate SKUs (both deployments; filtered per
+            call).
+        estimator: Joint throttling-probability estimator; defaults to
+            the paper's non-parametric production estimator.
+    """
+
+    catalog: SkuCatalog
+    estimator: ThrottlingEstimator = field(default_factory=EmpiricalThrottlingEstimator)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build_curve(
+        self,
+        trace: PerformanceTrace,
+        deployment: DeploymentType,
+        file_sizes_gib: list[float] | None = None,
+    ) -> PricePerformanceCurve:
+        """Produce the price-performance curve for one workload.
+
+        Args:
+            trace: Customer performance history.  DB curves use up to
+                six dimensions, MI curves four (paper Section 3.2);
+                dimensions absent from the trace are skipped.
+            deployment: Target deployment type.
+            file_sizes_gib: Explicit MI data-file sizes; default is a
+                single file holding the observed data size.
+
+        Returns:
+            The monotone price-performance curve over every catalog
+            SKU of the deployment that can hold the data.
+
+        Raises:
+            ValueError: If no SKU can accommodate the workload's
+                storage footprint.
+        """
+        if deployment is DeploymentType.SQL_DB:
+            return self._build_db_curve(trace)
+        return self._build_mi_curve(trace, file_sizes_gib)
+
+    def plan_mi_storage(
+        self,
+        trace: PerformanceTrace,
+        file_sizes_gib: list[float] | None = None,
+    ) -> MiStoragePlan:
+        """Run MI Step 1: storage-tier planning and the 95 % filter."""
+        data_size = self._storage_footprint(trace)
+        sizes = file_sizes_gib if file_sizes_gib else [data_size]
+        layout = plan_file_layout(sizes)
+        required_iops, required_throughput = self._io_demand(trace)
+        gp_allowed = layout.covers(
+            required_iops, required_throughput, coverage=IOPS_THROUGHPUT_COVERAGE
+        )
+        return MiStoragePlan(
+            layout=layout,
+            gp_allowed=gp_allowed,
+            required_iops=required_iops,
+            required_throughput_mibps=required_throughput,
+        )
+
+    # ------------------------------------------------------------------
+    # DB path
+    # ------------------------------------------------------------------
+    def _build_db_curve(self, trace: PerformanceTrace) -> PricePerformanceCurve:
+        dimensions = tuple(dim for dim in DB_DIMENSIONS if dim in trace)
+        if not dimensions:
+            raise ValueError("trace has none of the DB performance dimensions")
+        candidates = self.catalog.for_deployment(DeploymentType.SQL_DB)
+        candidates = self._fit_storage(candidates, trace)
+        skus = list(candidates)
+        probabilities = self.estimator.probabilities(trace, skus, dimensions)
+        return PricePerformanceCurve.from_probabilities(
+            skus, probabilities, entity_id=trace.entity_id
+        )
+
+    # ------------------------------------------------------------------
+    # MI path (two-step procedure, paper Section 3.2)
+    # ------------------------------------------------------------------
+    def _build_mi_curve(
+        self,
+        trace: PerformanceTrace,
+        file_sizes_gib: list[float] | None,
+    ) -> PricePerformanceCurve:
+        dimensions = tuple(dim for dim in MI_DIMENSIONS if dim in trace)
+        if not dimensions:
+            raise ValueError("trace has none of the MI performance dimensions")
+        plan = self.plan_mi_storage(trace, file_sizes_gib)
+
+        candidates = self.catalog.for_deployment(DeploymentType.SQL_MI)
+        candidates = self._fit_storage(candidates, trace)
+        if not plan.gp_allowed:
+            candidates = candidates.for_tier(ServiceTier.BUSINESS_CRITICAL)
+        skus = list(candidates)
+        if not skus:
+            raise ValueError("no MI SKU satisfies the storage requirement")
+
+        # Step 2: GP SKUs inherit the file layout's summed IOPS limit.
+        overrides = {
+            sku.name: plan.layout.total_iops
+            for sku in skus
+            if sku.tier is ServiceTier.GENERAL_PURPOSE
+        }
+        probabilities = self.estimator.probabilities(
+            trace, skus, dimensions, iops_overrides=overrides
+        )
+        return PricePerformanceCurve.from_probabilities(
+            skus, probabilities, entity_id=trace.entity_id
+        )
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _storage_footprint(trace: PerformanceTrace) -> float:
+        if PerfDimension.STORAGE in trace:
+            return trace[PerfDimension.STORAGE].max()
+        return 1.0
+
+    def _fit_storage(self, candidates: SkuCatalog, trace: PerformanceTrace) -> SkuCatalog:
+        """Drop SKUs that cannot hold the data at 100 % (never negotiable)."""
+        footprint = self._storage_footprint(trace)
+        fitted = candidates.fitting_storage(footprint)
+        if not len(fitted):
+            raise ValueError(
+                f"no candidate SKU can hold {footprint:.0f} GB of data"
+            )
+        return fitted
+
+    @staticmethod
+    def _io_demand(trace: PerformanceTrace) -> tuple[float, float]:
+        """(IOPS, MiB/s) demand summarized at a high quantile."""
+        if PerfDimension.IOPS not in trace:
+            return 0.0, 0.0
+        iops = trace[PerfDimension.IOPS].quantile(_STEP1_DEMAND_QUANTILE)
+        throughput = iops * _IO_TRANSFER_KIB / 1024.0
+        return iops, throughput

@@ -1,0 +1,169 @@
+"""Customer Profiler: negotiability vectors and customer groups.
+
+The second Doppler module (paper Figure 3 and Section 3.3).  Each
+customer's counter matrix is summarized into a per-dimension
+negotiability vector; customers sharing a vector form a group.  The
+deployed engine groups by "straightforward enumeration" of the binary
+vector -- 2^4 = 16 groups for SQL DB (CPU, memory, IOPS, log rate) and
+2^3 = 8 for SQL MI (CPU, memory, IOPS).  Generic k-means and
+hierarchical clustering over the continuous feature vectors are kept
+as the "standard ML clustering" alternatives the paper tested.
+
+Convention: following paper Table 3, a group key component of ``0``
+denotes *negotiable* and ``1`` denotes *non-negotiable*.  (Section
+5.2.1's prose uses the opposite encoding in one example; Table 3 is
+the normative source because the group scores depend on it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from ..ml.hierarchical import agglomerative
+from ..ml.kmeans import kmeans
+from ..telemetry.counters import PerfDimension
+from ..telemetry.trace import PerformanceTrace
+from .negotiability import NegotiabilitySummarizer, ThresholdingSummarizer
+
+__all__ = ["CustomerProfile", "CustomerProfiler", "group_key_to_label"]
+
+GroupKey = tuple[int, ...]
+
+
+def group_key_to_label(key: GroupKey) -> str:
+    """Readable group label, e.g. ``(0, 1, 0)`` -> ``"010"``."""
+    return "".join(str(bit) for bit in key)
+
+
+@dataclass(frozen=True)
+class CustomerProfile:
+    """One customer's profiling outcome.
+
+    Attributes:
+        entity_id: The profiled workload.
+        dimensions: Profiled dimensions, in group-key order.
+        negotiable: Per-dimension negotiability decision.
+        features: Concatenated continuous summarizer features.
+        group_key: Enumeration group key; 0 = negotiable (Table 3).
+    """
+
+    entity_id: str
+    dimensions: tuple[PerfDimension, ...]
+    negotiable: tuple[bool, ...]
+    features: np.ndarray
+    group_key: GroupKey
+
+    @property
+    def group_label(self) -> str:
+        return group_key_to_label(self.group_key)
+
+    def negotiable_dimensions(self) -> tuple[PerfDimension, ...]:
+        return tuple(
+            dim for dim, flag in zip(self.dimensions, self.negotiable) if flag
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{dim.name}={'negotiable' if flag else 'non-negotiable'}"
+            for dim, flag in zip(self.dimensions, self.negotiable)
+        ]
+        return f"group {self.group_label}: " + ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class CustomerProfiler:
+    """Profiles workloads into negotiability groups.
+
+    Attributes:
+        dimensions: Dimensions to summarize; use
+            :data:`~repro.telemetry.counters.PROFILING_DB_DIMENSIONS`
+            for DB and
+            :data:`~repro.telemetry.counters.PROFILING_MI_DIMENSIONS`
+            for MI.
+        summarizer: Negotiability strategy; defaults to the deployed
+            thresholding algorithm.
+    """
+
+    dimensions: tuple[PerfDimension, ...]
+    summarizer: NegotiabilitySummarizer = field(default_factory=ThresholdingSummarizer)
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ValueError("profiler needs at least one dimension")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of enumeration groups (2^n_dimensions)."""
+        return 2 ** len(self.dimensions)
+
+    def profile(self, trace: PerformanceTrace) -> CustomerProfile:
+        """Summarize one trace into its negotiability profile.
+
+        Raises:
+            KeyError: If the trace lacks one of the profiled
+                dimensions.
+        """
+        negotiable = []
+        features = []
+        for dim in self.dimensions:
+            series = trace[dim]
+            negotiable.append(self.summarizer.is_negotiable(series))
+            features.append(self.summarizer.features(series))
+        key = tuple(0 if flag else 1 for flag in negotiable)
+        return CustomerProfile(
+            entity_id=trace.entity_id,
+            dimensions=self.dimensions,
+            negotiable=tuple(negotiable),
+            features=np.concatenate(features),
+            group_key=key,
+        )
+
+    def feature_matrix(self, traces: Iterable[PerformanceTrace]) -> np.ndarray:
+        """Stack continuous profiles into an ``(n_customers, n_features)`` matrix."""
+        rows = [self.profile(trace).features for trace in traces]
+        if not rows:
+            raise ValueError("feature matrix needs at least one trace")
+        return np.vstack(rows)
+
+    def cluster(
+        self,
+        traces: Sequence[PerformanceTrace],
+        method: Literal["kmeans", "hierarchical", "enumeration"] = "enumeration",
+        n_clusters: int | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Assign a cluster label to every trace.
+
+        Args:
+            traces: Workloads to cluster.
+            method: ``enumeration`` (the deployed strategy), or the
+                generic ``kmeans`` / ``hierarchical`` alternatives over
+                the continuous features.
+            n_clusters: Cluster count for the generic methods; defaults
+                to the enumeration group count (capped at the number
+                of traces).
+            rng: Seed or generator for k-means.
+
+        Returns:
+            Integer labels, one per trace.  For ``enumeration`` the
+            label is the group key read as a binary number, so labels
+            are comparable across calls.
+        """
+        if not traces:
+            raise ValueError("clustering needs at least one trace")
+        if method == "enumeration":
+            labels = []
+            for trace in traces:
+                key = self.profile(trace).group_key
+                labels.append(int("".join(map(str, key)), 2))
+            return np.asarray(labels, dtype=int)
+        matrix = self.feature_matrix(traces)
+        k = n_clusters if n_clusters is not None else min(self.n_groups, len(traces))
+        if method == "kmeans":
+            return kmeans(matrix, k=k, rng=rng).labels
+        if method == "hierarchical":
+            return agglomerative(matrix, n_clusters=k).labels
+        raise ValueError(f"unknown clustering method {method!r}")

@@ -1,0 +1,25 @@
+"""DMA integration layer (paper Section 4).
+
+The three modules built for the Data Migration Assistant: data
+preprocessing, the SKU recommendation pipeline and the resource-use
+dashboard, plus a small CLI front end.
+"""
+
+from .dashboard import ecdf_bar, render_dashboard, sparkline
+from .pipeline import AssessmentPipeline, AssessmentResult
+from .preprocess import MIN_RELIABLE_DAYS, DataPreprocessor, PreprocessReport
+from .tracking import RecommendationStore, RetentionSummary, TrackedRecommendation
+
+__all__ = [
+    "ecdf_bar",
+    "render_dashboard",
+    "sparkline",
+    "AssessmentPipeline",
+    "AssessmentResult",
+    "MIN_RELIABLE_DAYS",
+    "DataPreprocessor",
+    "PreprocessReport",
+    "RecommendationStore",
+    "RetentionSummary",
+    "TrackedRecommendation",
+]

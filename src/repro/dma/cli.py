@@ -1,0 +1,91 @@
+"""Command-line front end: ``doppler-assess``.
+
+A minimal stand-in for the DMA executable: reads a trace JSON file
+(see :mod:`repro.telemetry.serialize`), runs the assessment pipeline
+against the default catalog and prints the dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..catalog.models import DeploymentType
+from ..telemetry.serialize import load_trace_json
+from .pipeline import AssessmentPipeline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="doppler-assess",
+        description=(
+            "Assess a SQL workload trace and recommend an Azure SQL PaaS SKU "
+            "(Doppler, VLDB 2022 reproduction)."
+        ),
+    )
+    parser.add_argument("trace", help="Path to a trace JSON file")
+    parser.add_argument(
+        "--deployment",
+        choices=["db", "mi"],
+        default="db",
+        help="Target deployment type (default: db)",
+    )
+    parser.add_argument(
+        "--confidence",
+        action="store_true",
+        help="Also compute the bootstrap confidence score",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="Random seed for the bootstrap"
+    )
+    parser.add_argument(
+        "--file-sizes",
+        type=float,
+        nargs="+",
+        metavar="GIB",
+        help="MI data-file sizes in GiB (drives the premium-disk layout)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="Append the issued recommendation to a JSONL tracking store",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        trace = load_trace_json(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load trace: {error}", file=sys.stderr)
+        return 2
+    deployment = DeploymentType.SQL_DB if args.deployment == "db" else DeploymentType.SQL_MI
+    pipeline = AssessmentPipeline.with_default_catalog()
+    result = pipeline.assess(
+        [trace],
+        deployment,
+        entity_id=trace.entity_id,
+        file_sizes_gib=args.file_sizes,
+        with_confidence=args.confidence,
+        rng=args.seed,
+    )
+    print(result.dashboard)
+    if result.baseline_sku is not None:
+        print(f"\nBaseline (95th-percentile) pick: {result.baseline_sku.describe()}")
+    else:
+        print("\nBaseline (95th-percentile) pick: <no SKU satisfies all requirements>")
+    if args.store:
+        from .tracking import RecommendationStore
+
+        store = RecommendationStore(args.store)
+        store.record(trace.entity_id, deployment.short_name, result.doppler)
+        print(f"\nRecommendation recorded in {args.store} ({len(store)} total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

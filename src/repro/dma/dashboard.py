@@ -1,0 +1,79 @@
+"""Resource Use Module: the assessment dashboard (paper Section 4).
+
+"Provides a visualization dashboard for customers to better understand
+their workload resource needs.  It outputs time series and
+distribution plots of customer usage across various perf dimensions,
+as well as the price-performance curve, so that customers can
+understand why they received a specific SKU recommendation."
+
+The runtime ships on customers' local machines; this reproduction
+renders plain-text (terminal) panels: sparkline time series, ECDF
+bars, the ASCII curve and the recommendation explanation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import DopplerRecommendation
+from ..ml.ecdf import ecdf
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["sparkline", "ecdf_bar", "render_dashboard"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Compress a series into a unicode sparkline of ``width`` chars."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return ""
+    if array.size > width:
+        # Bucket-average down to the display width.
+        edges = np.linspace(0, array.size, width + 1).astype(int)
+        array = np.array([array[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a])
+    lo, hi = array.min(), array.max()
+    span = hi - lo if hi > lo else 1.0
+    indices = ((array - lo) / span * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def ecdf_bar(values: np.ndarray, n_bins: int = 10, width: int = 40) -> str:
+    """Text ECDF: one bar per decile of the value range."""
+    distribution = ecdf(values)
+    lo = float(distribution.support[0])
+    hi = float(distribution.support[-1])
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for i in range(1, n_bins + 1):
+        x = lo + span * i / n_bins
+        p = float(distribution(x))
+        bar = "#" * int(round(p * width))
+        lines.append(f"  <= {x:>10.2f} |{bar:<{width}}| {p:>6.1%}")
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    trace: PerformanceTrace,
+    recommendation: DopplerRecommendation,
+    width: int = 60,
+) -> str:
+    """Full text dashboard for one assessment."""
+    sections = [
+        f"=== Doppler assessment: {trace.entity_id} "
+        f"({trace.duration_days:.1f} days @ {trace.interval_minutes:.0f} min) ==="
+    ]
+    sections.append("\n-- Resource usage (time series) --")
+    for dim in trace.dimensions:
+        series = trace[dim]
+        sections.append(
+            f"{dim.name:>10} [{dim.unit:>7}] {sparkline(series.values, width)} "
+            f"max={series.max():.2f} p95={series.quantile(0.95):.2f}"
+        )
+    sections.append("\n-- Price-performance curve --")
+    sections.append(recommendation.curve.render_ascii(width=width))
+    sections.append(f"curve shape: {recommendation.curve.shape().value}")
+    sections.append("\n-- Recommendation --")
+    sections.append(recommendation.explain())
+    return "\n".join(sections)

@@ -1,0 +1,132 @@
+"""SKU Recommendation Pipeline: the DMA-facing orchestration layer.
+
+The third module the paper built for DMA integration (Section 4):
+"runs the Doppler Engine to build customized price-performance curves
+and recommend the optimal SKU based on customer usage profiling.
+This pipeline depends on the performance counter input, the customer
+profiling results and relevant SKUs from the data preprocessing
+module."
+
+:class:`AssessmentPipeline` glues preprocessing, the engine and the
+dashboard together and also exposes the baseline strategy side-by-side
+(the DMA recommendation engine ships both, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog.catalog import SkuCatalog
+from ..catalog.models import DeploymentType, SkuSpec
+from ..core.baseline import BaselineStrategy
+from ..core.engine import DopplerEngine
+from ..core.types import DopplerRecommendation
+from ..telemetry.trace import PerformanceTrace
+from .dashboard import render_dashboard
+from .preprocess import DataPreprocessor, PreprocessReport
+
+__all__ = ["AssessmentResult", "AssessmentPipeline"]
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """Everything one DMA assessment produces.
+
+    Attributes:
+        preprocess: Preprocessing report (window validation, cleanup).
+        doppler: The elastic-strategy recommendation.
+        baseline_sku: The naive baseline's pick, or None when it fails
+            (its documented failure mode).
+        dashboard: Rendered resource-use dashboard text.
+    """
+
+    preprocess: PreprocessReport
+    doppler: DopplerRecommendation
+    baseline_sku: SkuSpec | None
+    dashboard: str
+
+    @property
+    def strategies_agree(self) -> bool:
+        return (
+            self.baseline_sku is not None
+            and self.baseline_sku.name == self.doppler.sku.name
+        )
+
+
+@dataclass
+class AssessmentPipeline:
+    """End-to-end DMA assessment: raw counters in, recommendation out.
+
+    Attributes:
+        engine: The Doppler engine (fit it with migrated-customer data
+            before use for profile-matched selections).
+        preprocessor: Raw-counter preprocessing stage.
+        baseline: The legacy baseline strategy, run alongside Doppler.
+    """
+
+    engine: DopplerEngine
+    preprocessor: DataPreprocessor = field(default_factory=DataPreprocessor)
+    baseline: BaselineStrategy = field(default_factory=BaselineStrategy)
+
+    @classmethod
+    def with_default_catalog(cls) -> "AssessmentPipeline":
+        """Pipeline over the generated default SKU catalog (cold start)."""
+        return cls(engine=DopplerEngine(catalog=SkuCatalog.default()))
+
+    @property
+    def catalog(self) -> SkuCatalog:
+        return self.engine.catalog
+
+    def assess(
+        self,
+        raw_traces: list[PerformanceTrace],
+        deployment: DeploymentType,
+        entity_id: str = "assessment",
+        file_sizes_gib: list[float] | None = None,
+        with_confidence: bool = False,
+        rng: int | np.random.Generator | None = None,
+    ) -> AssessmentResult:
+        """Run one full assessment.
+
+        Args:
+            raw_traces: Collector output (file/database level; a
+                single trace is used as-is).
+            deployment: Target deployment type.
+            entity_id: Name of the assessed entity.
+            file_sizes_gib: Optional explicit MI file layout.
+            with_confidence: Also compute the bootstrap confidence.
+            rng: Seed or generator for the bootstrap.
+        """
+        report = self.preprocessor.preprocess(raw_traces, entity_id=entity_id)
+        recommendation = self.engine.recommend(
+            report.trace,
+            deployment,
+            file_sizes_gib=file_sizes_gib,
+            with_confidence=with_confidence,
+            rng=rng,
+        )
+        if not report.window_sufficient:
+            recommendation = DopplerRecommendation(
+                sku=recommendation.sku,
+                curve=recommendation.curve,
+                profile=recommendation.profile,
+                target_probability=recommendation.target_probability,
+                expected_throttling=recommendation.expected_throttling,
+                confidence=recommendation.confidence,
+                strategy=recommendation.strategy,
+                notes=recommendation.notes
+                + (
+                    f"WARNING: only {report.window_days:.1f} days of data; "
+                    "collect at least 7 days for a reliable recommendation",
+                ),
+            )
+        baseline_sku = self.baseline.recommend(report.trace, deployment, self.catalog)
+        dashboard = render_dashboard(report.trace, recommendation)
+        return AssessmentResult(
+            preprocess=report,
+            doppler=recommendation,
+            baseline_sku=baseline_sku,
+            dashboard=dashboard,
+        )

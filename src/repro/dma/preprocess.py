@@ -1,0 +1,160 @@
+"""DMA Data Preprocessing Module (paper Section 4).
+
+Transforms raw collector output into the format the Doppler engine
+ingests: resample to the 10-minute cadence, aggregate file-level
+counters to database and instance level, validate the window length
+and clean pathological samples.  "Given that the existing baseline
+strategy compresses the original data into one scalar value, this
+separate module is needed to avoid such high dimension reduction."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import Mapping
+
+from ..telemetry.aggregate import aggregate_traces
+from ..telemetry.counters import PerfDimension
+from ..telemetry.gaps import repair_gaps
+from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES, TimeSeries
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["PreprocessReport", "DataPreprocessor"]
+
+#: Minimum assessment window Doppler considers reliable (Section 5.2.2:
+#: "1-week is the minimum duration needed").
+MIN_RELIABLE_DAYS = 7.0
+
+
+@dataclass(frozen=True)
+class PreprocessReport:
+    """Outcome of preprocessing one workload's raw counters.
+
+    Attributes:
+        trace: The cleaned, aggregated, model-ready trace.
+        window_days: Length of the usable window.
+        window_sufficient: Whether the window reaches the 7-day
+            guideline.
+        n_clamped_samples: Raw samples clamped for being negative or
+            non-finite.
+    """
+
+    trace: PerformanceTrace
+    window_days: float
+    window_sufficient: bool
+    n_clamped_samples: int
+
+
+@dataclass(frozen=True)
+class DataPreprocessor:
+    """Raw counters -> model-ready traces.
+
+    Attributes:
+        target_interval_minutes: Cadence the engine expects.
+    """
+
+    target_interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES
+
+    def clean_series(self, series: TimeSeries) -> tuple[TimeSeries, int]:
+        """Clamp negative samples to zero.
+
+        Collectors occasionally emit negative deltas when counters
+        reset; they carry no demand information.
+
+        Returns:
+            (cleaned series, number of clamped samples).
+        """
+        values = series.values
+        bad = values < 0
+        if not bad.any():
+            return series, 0
+        return series.with_values(np.where(bad, 0.0, values)), int(bad.sum())
+
+    def from_raw_counters(
+        self,
+        raw: Mapping[PerfDimension, "np.ndarray"],
+        entity_id: str,
+        interval_minutes: float | None = None,
+        max_gap_samples: int = 18,
+    ) -> PreprocessReport:
+        """Build a model-ready trace from raw counters with gaps.
+
+        Collector streams mark dropped samples as NaN; this entry
+        point repairs them (see :mod:`repro.telemetry.gaps`) before
+        running the standard preprocessing.  A window containing a gap
+        longer than ``max_gap_samples`` is flagged insufficient even
+        when nominally long enough -- the interpolated stretch carries
+        no real information.
+
+        Args:
+            raw: Per-dimension raw sample vectors (NaN = missing).
+            entity_id: Name of the assessed entity.
+            interval_minutes: Stream cadence; defaults to the target.
+            max_gap_samples: Longest credible gap.
+        """
+        interval = (
+            interval_minutes if interval_minutes is not None else self.target_interval_minutes
+        )
+        series: dict[PerfDimension, TimeSeries] = {}
+        credible = True
+        for dimension, values in raw.items():
+            repaired = repair_gaps(
+                values, interval_minutes=interval, max_gap_samples=max_gap_samples
+            )
+            credible &= repaired.credible
+            series[dimension] = repaired.series
+        trace = PerformanceTrace(series=series, entity_id=entity_id)
+        report = self.preprocess([trace], entity_id=entity_id)
+        if not credible:
+            report = PreprocessReport(
+                trace=report.trace,
+                window_days=report.window_days,
+                window_sufficient=False,
+                n_clamped_samples=report.n_clamped_samples,
+            )
+        return report
+
+    def preprocess(self, raw_traces: list[PerformanceTrace], entity_id: str) -> PreprocessReport:
+        """Clean, aggregate and validate raw collector output.
+
+        Args:
+            raw_traces: File- or database-level traces from the
+                collector; a single-element list is treated as already
+                aggregated.
+            entity_id: Identifier for the aggregated entity.
+
+        Raises:
+            ValueError: If no traces are supplied.
+        """
+        if not raw_traces:
+            raise ValueError("preprocessing needs at least one trace")
+        clamped = 0
+        cleaned_traces = []
+        for trace in raw_traces:
+            cleaned_series = {}
+            for dim in trace.dimensions:
+                series, n_bad = self.clean_series(trace[dim])
+                cleaned_series[dim] = series
+                clamped += n_bad
+            cleaned_traces.append(
+                PerformanceTrace(series=cleaned_series, entity_id=trace.entity_id)
+            )
+        aggregated = (
+            cleaned_traces[0]
+            if len(cleaned_traces) == 1
+            else aggregate_traces(cleaned_traces, entity_id=entity_id)
+        )
+        if aggregated.interval_minutes < self.target_interval_minutes:
+            aggregated = aggregated.resample(self.target_interval_minutes)
+        window_days = aggregated.duration_days
+        return PreprocessReport(
+            trace=PerformanceTrace(
+                series=dict(aggregated.series), entity_id=entity_id
+            ),
+            window_days=window_days,
+            window_sufficient=window_days >= MIN_RELIABLE_DAYS,
+            n_clamped_samples=clamped,
+        )

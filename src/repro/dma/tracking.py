@@ -1,0 +1,228 @@
+"""Recommendation tracking and the feedback bridge (paper Section 4).
+
+The deployed DMA runtime lives on customers' machines, so Doppler's
+recommendations "are currently stored locally"; the paper describes
+the planned integration that "will provide an online means to track
+every step of a customers' migration journey ... keep a record of all
+the recommended SKUs from Doppler and whether these SKUs were selected
+for migration, and ... examine the retention of each customer.  This
+feedback loop will be integrated in the Doppler framework."
+
+:class:`RecommendationStore` implements that record: an append-only
+JSONL log of issued recommendations, adoption updates, retention
+queries and the bridge that turns tracked outcomes into
+:class:`~repro.extensions.feedback.FeedbackEvent` objects for the
+online profiling refinement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Iterator
+
+from ..core.profiler import GroupKey
+from ..core.types import DopplerRecommendation
+
+__all__ = ["TrackedRecommendation", "RecommendationStore", "RetentionSummary"]
+
+#: Customers keeping a SKU this long count as satisfied (the paper's
+#: retention criterion for "optimal" choices).
+SATISFACTION_RETENTION_DAYS = 40.0
+
+
+@dataclass(frozen=True)
+class TrackedRecommendation:
+    """One issued recommendation and its (eventual) outcome.
+
+    Attributes:
+        entity_id: The assessed workload.
+        deployment: ``DB`` or ``MI``.
+        sku_name: The recommended SKU.
+        monthly_price: Its monthly price at issue time.
+        expected_throttling: Predicted throttling probability.
+        group_label: The customer's negotiability group label.
+        strategy: Selection strategy that produced the SKU.
+        confidence: Bootstrap confidence, if computed.
+        adopted: Whether the customer migrated to the SKU (None =
+            unknown yet).
+        retention_days: How long the customer has kept the SKU.
+        observed_throttling: Post-migration observed throttling, when
+            reported.
+    """
+
+    entity_id: str
+    deployment: str
+    sku_name: str
+    monthly_price: float
+    expected_throttling: float
+    group_label: str
+    strategy: str
+    confidence: float | None = None
+    adopted: bool | None = None
+    retention_days: float | None = None
+    observed_throttling: float | None = None
+
+    @property
+    def is_satisfied(self) -> bool | None:
+        """Retention-based satisfaction (None while retention unknown)."""
+        if self.adopted is not True or self.retention_days is None:
+            return None
+        return self.retention_days >= SATISFACTION_RETENTION_DAYS
+
+
+@dataclass(frozen=True)
+class RetentionSummary:
+    """Fleet-level adoption/retention statistics.
+
+    Attributes:
+        n_issued: Recommendations issued.
+        n_adopted: Recommendations the customer migrated to.
+        n_satisfied: Adopted and retained >= 40 days.
+        mean_retention_days: Mean retention among adopters with data.
+    """
+
+    n_issued: int
+    n_adopted: int
+    n_satisfied: int
+    mean_retention_days: float
+
+    @property
+    def adoption_rate(self) -> float:
+        return self.n_adopted / self.n_issued if self.n_issued else 0.0
+
+    @property
+    def satisfaction_rate(self) -> float:
+        return self.n_satisfied / self.n_adopted if self.n_adopted else 0.0
+
+
+class RecommendationStore:
+    """Append-only JSONL store of tracked recommendations.
+
+    Args:
+        path: Store file; created on first write.
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._records: dict[str, TrackedRecommendation] = {}
+        if self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self._path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                record = TrackedRecommendation(**payload)
+                self._records[record.entity_id] = record
+
+    def _append(self, record: TrackedRecommendation) -> None:
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(asdict(record)) + "\n")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        entity_id: str,
+        deployment: str,
+        recommendation: DopplerRecommendation,
+    ) -> TrackedRecommendation:
+        """Log one issued recommendation."""
+        tracked = TrackedRecommendation(
+            entity_id=entity_id,
+            deployment=deployment,
+            sku_name=recommendation.sku.name,
+            monthly_price=recommendation.monthly_price,
+            expected_throttling=recommendation.expected_throttling,
+            group_label=recommendation.profile.group_label,
+            strategy=recommendation.strategy,
+            confidence=(
+                recommendation.confidence.score
+                if recommendation.confidence is not None
+                else None
+            ),
+        )
+        self._records[entity_id] = tracked
+        self._append(tracked)
+        return tracked
+
+    def update_outcome(
+        self,
+        entity_id: str,
+        adopted: bool,
+        retention_days: float | None = None,
+        observed_throttling: float | None = None,
+    ) -> TrackedRecommendation:
+        """Record the migration outcome for an issued recommendation.
+
+        Raises:
+            KeyError: If no recommendation was issued for the entity.
+        """
+        current = self._records[entity_id]
+        updated = replace(
+            current,
+            adopted=adopted,
+            retention_days=retention_days,
+            observed_throttling=observed_throttling,
+        )
+        self._records[entity_id] = updated
+        self._append(updated)
+        return updated
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._records
+
+    def get(self, entity_id: str) -> TrackedRecommendation:
+        return self._records[entity_id]
+
+    def records(self) -> Iterator[TrackedRecommendation]:
+        return iter(self._records.values())
+
+    def retention_summary(self) -> RetentionSummary:
+        """Fleet-level adoption and retention statistics."""
+        issued = len(self._records)
+        adopters = [r for r in self._records.values() if r.adopted]
+        satisfied = [r for r in adopters if r.is_satisfied]
+        with_retention = [r for r in adopters if r.retention_days is not None]
+        mean_retention = (
+            sum(r.retention_days for r in with_retention) / len(with_retention)
+            if with_retention
+            else 0.0
+        )
+        return RetentionSummary(
+            n_issued=issued,
+            n_adopted=len(adopters),
+            n_satisfied=len(satisfied),
+            mean_retention_days=mean_retention,
+        )
+
+    def feedback_events(self):
+        """Yield feedback events for the online profiling refinement.
+
+        Only outcomes with both an observed throttling level and a
+        resolvable satisfaction signal become events.
+        """
+        from ..extensions.feedback import FeedbackEvent
+
+        for record in self._records.values():
+            satisfied = record.is_satisfied
+            if satisfied is None or record.observed_throttling is None:
+                continue
+            group_key: GroupKey = tuple(int(bit) for bit in record.group_label)
+            yield FeedbackEvent(
+                group_key=group_key,
+                observed_throttling=record.observed_throttling,
+                satisfied=satisfied,
+            )

@@ -1,0 +1,54 @@
+"""Extensions beyond the deployed Doppler (paper Sections 5.5 and 7).
+
+The paper names four directions work was "currently underway" on:
+serverless and hyperscale targets, a broader total-cost-of-ownership
+comparison, and a satisfaction feedback loop for the profiling module.
+Each is implemented here on top of the unchanged core engine,
+demonstrating the framework's claimed extensibility.
+"""
+
+from .adf import (
+    ADF_RUNTIME_LADDER,
+    AdfRecommendation,
+    AdfRuntimeOption,
+    adf_runtime_catalog,
+    pipeline_trace,
+    recommend_adf_runtime,
+)
+from .advisor import ComputeTierAdvice, ServerlessAdvisor
+from .feedback import FeedbackEvent, FeedbackLoop
+from .hyperscale import (
+    HYPERSCALE_MAX_STORAGE_GB,
+    catalog_with_hyperscale,
+    hyperscale_skus,
+)
+from .serverless import (
+    ServerlessEvaluation,
+    ServerlessOffer,
+    default_serverless_offers,
+    evaluate_serverless,
+)
+from .tco import OnPremCostModel, TcoComparison, compare_tco
+
+__all__ = [
+    "ADF_RUNTIME_LADDER",
+    "AdfRecommendation",
+    "AdfRuntimeOption",
+    "adf_runtime_catalog",
+    "pipeline_trace",
+    "recommend_adf_runtime",
+    "ComputeTierAdvice",
+    "ServerlessAdvisor",
+    "FeedbackEvent",
+    "FeedbackLoop",
+    "HYPERSCALE_MAX_STORAGE_GB",
+    "catalog_with_hyperscale",
+    "hyperscale_skus",
+    "ServerlessEvaluation",
+    "ServerlessOffer",
+    "default_serverless_offers",
+    "evaluate_serverless",
+    "OnPremCostModel",
+    "TcoComparison",
+    "compare_tco",
+]

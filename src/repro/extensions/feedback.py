@@ -1,0 +1,125 @@
+"""Customer-satisfaction feedback loop (paper Sections 4 and 5.5).
+
+"This feedback loop will be integrated in the Doppler framework, to
+improve our customer profiling module" -- once DMA reports whether a
+recommended SKU was adopted and whether the customer stayed satisfied,
+the per-group throttling targets can be retrained online instead of in
+offline batches.
+
+:class:`FeedbackLoop` wraps a fitted
+:class:`~repro.core.matching.GroupScoreModel` and updates each group's
+target with an exponential moving average:
+
+* a *satisfied* customer confirms their observed throttling level is
+  acceptable for the group -> move the target toward it;
+* an *unsatisfied* customer (too much throttling) pushes the target
+  down toward zero, making the group's future recommendations more
+  conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.matching import GroupScoreModel, GroupStatistics
+from ..core.profiler import GroupKey
+
+__all__ = ["FeedbackEvent", "FeedbackLoop"]
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One post-migration satisfaction signal.
+
+    Attributes:
+        group_key: The customer's negotiability group.
+        observed_throttling: Throttling they actually experienced on
+            the recommended SKU.
+        satisfied: Whether they kept the SKU / reported satisfaction.
+    """
+
+    group_key: GroupKey
+    observed_throttling: float
+    satisfied: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.observed_throttling <= 1.0:
+            raise ValueError(
+                f"observed throttling must be in [0, 1], got {self.observed_throttling!r}"
+            )
+
+
+@dataclass
+class FeedbackLoop:
+    """Online refinement of group throttling targets.
+
+    Attributes:
+        model: The batch-fitted group-score model to start from.
+        learning_rate: EMA step size per feedback event.
+        dissatisfaction_shrink: Fraction of the current target kept
+            when an unsatisfied event arrives (target tightens).
+    """
+
+    model: GroupScoreModel
+    learning_rate: float = 0.1
+    dissatisfaction_shrink: float = 0.5
+    _targets: dict[GroupKey, float] = field(default_factory=dict, repr=False)
+    _counts: dict[GroupKey, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {self.learning_rate!r}")
+        if not 0.0 <= self.dissatisfaction_shrink < 1.0:
+            raise ValueError(
+                f"dissatisfaction_shrink must be in [0, 1), got "
+                f"{self.dissatisfaction_shrink!r}"
+            )
+
+    def target_probability(self, group_key: GroupKey) -> float:
+        """Current (possibly refined) target ``P_g`` for a group."""
+        if group_key in self._targets:
+            return self._targets[group_key]
+        return self.model.target_probability(group_key)
+
+    def events_seen(self, group_key: GroupKey) -> int:
+        return self._counts.get(group_key, 0)
+
+    def record(self, event: FeedbackEvent) -> float:
+        """Fold one feedback event into the group target.
+
+        Returns:
+            The group's updated target probability.
+        """
+        current = self.target_probability(event.group_key)
+        if event.satisfied:
+            updated = (
+                (1.0 - self.learning_rate) * current
+                + self.learning_rate * event.observed_throttling
+            )
+        else:
+            # The customer found their throttling unacceptable: the
+            # acceptable level must be below what they observed.  Pull
+            # the target toward a shrunken fraction of the observation.
+            ceiling = event.observed_throttling * self.dissatisfaction_shrink
+            updated = min(current, (1.0 - self.learning_rate) * current
+                          + self.learning_rate * ceiling)
+        self._targets[event.group_key] = updated
+        self._counts[event.group_key] = self._counts.get(event.group_key, 0) + 1
+        return updated
+
+    def refined_model(self) -> GroupScoreModel:
+        """Materialize the refined targets as a new GroupScoreModel.
+
+        Groups without feedback keep their batch statistics; groups
+        with feedback get their EMA target with the batch std and an
+        updated count.
+        """
+        groups = dict(self.model.groups)
+        for key, target in self._targets.items():
+            base = self.model.statistics_for(key)
+            groups[key] = GroupStatistics(
+                p_mean=target,
+                p_std=base.p_std,
+                count=base.count + self._counts[key],
+            )
+        return GroupScoreModel(groups=groups, fallback=self.model.fallback)

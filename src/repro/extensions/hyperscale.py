@@ -1,0 +1,87 @@
+"""Azure SQL Hyperscale tier (paper Section 7 future work).
+
+Hyperscale decouples compute from storage: storage grows on demand to
+100 TB and is billed per allocated GB, while compute follows the
+vCore ladder.  For Doppler the relevant consequences are (a) the
+storage dimension effectively never throttles (the catalog cap is two
+orders of magnitude above DB/MI) and (b) the price has a significant
+usage-proportional storage component.
+
+``hyperscale_skus`` builds the tier as ordinary :class:`SkuSpec`
+entries so the existing Price-Performance Modeler ranks them with no
+code changes -- the extensibility property the paper claims.
+"""
+
+from __future__ import annotations
+
+from ..catalog.catalog import SkuCatalog
+from ..catalog.models import (
+    DeploymentType,
+    HardwareGeneration,
+    ResourceLimits,
+    ServiceTier,
+    SkuSpec,
+)
+
+__all__ = ["hyperscale_skus", "catalog_with_hyperscale", "HYPERSCALE_MAX_STORAGE_GB"]
+
+#: Hyperscale storage ceiling: 100 TB.
+HYPERSCALE_MAX_STORAGE_GB = 102_400.0
+
+_HS_VCORE_LADDER = (2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 64, 80)
+_HS_VCORE_HOUR = 0.2920
+_HS_MEMORY_PER_VCORE_GB = 5.1
+_HS_IOPS_PER_VCORE = 1000.0  # multi-tier cache: between GP and BC
+_HS_LOG_RATE_MBPS = 100.0  # hyperscale's fixed log-service throughput
+_HS_IO_LATENCY_MS = 3.0
+_HS_STORAGE_GB_HOUR = 0.000137
+
+
+def hyperscale_skus(
+    provisioned_storage_gb: float = 10_240.0,
+) -> list[SkuSpec]:
+    """Build the Hyperscale vCore ladder as plain catalog SKUs.
+
+    Args:
+        provisioned_storage_gb: Storage to price into the monthly
+            cost (hyperscale bills allocated storage; the throttling
+            cap stays at the 100 TB tier ceiling regardless).
+    """
+    if not 0.0 < provisioned_storage_gb <= HYPERSCALE_MAX_STORAGE_GB:
+        raise ValueError(
+            f"provisioned storage must be in (0, {HYPERSCALE_MAX_STORAGE_GB}], "
+            f"got {provisioned_storage_gb!r}"
+        )
+    skus = []
+    for vcores in _HS_VCORE_LADDER:
+        limits = ResourceLimits(
+            vcores=float(vcores),
+            max_memory_gb=vcores * _HS_MEMORY_PER_VCORE_GB,
+            max_data_iops=vcores * _HS_IOPS_PER_VCORE,
+            max_log_rate_mbps=_HS_LOG_RATE_MBPS,
+            max_data_size_gb=HYPERSCALE_MAX_STORAGE_GB,
+            min_io_latency_ms=_HS_IO_LATENCY_MS,
+        )
+        price = (
+            vcores * _HS_VCORE_HOUR
+            + provisioned_storage_gb * _HS_STORAGE_GB_HOUR
+        )
+        skus.append(
+            SkuSpec(
+                deployment=DeploymentType.SQL_DB,
+                tier=ServiceTier.GENERAL_PURPOSE,
+                hardware=HardwareGeneration.GEN5,
+                limits=limits,
+                price_per_hour=price,
+                name=f"DB_HS_Gen5_{vcores}v",
+            )
+        )
+    return skus
+
+
+def catalog_with_hyperscale(
+    base: SkuCatalog,
+    provisioned_storage_gb: float = 10_240.0,
+) -> SkuCatalog:
+    """Extend a catalog with the Hyperscale ladder."""
+    return SkuCatalog.from_skus(list(base) + hyperscale_skus(provisioned_storage_gb))

@@ -1,0 +1,209 @@
+"""Azure SQL serverless tier support (paper Section 7 future work).
+
+The paper's conclusion: "work is currently underway to extend this
+approach to assess other offerings like Azure SQL serverless [and]
+hyperscale".  Serverless changes the economics Doppler reasons about:
+compute is billed per vCore-*second actually used* between a
+configurable (min, max) vCore range, and the database auto-pauses
+after an idle period, dropping compute cost to zero.  The monthly
+price of a serverless target is therefore a *function of the
+workload*, not a catalog constant -- the price-performance curve's x
+coordinate must be computed from the trace.
+
+This module models the serverless offer and evaluates
+(effective monthly cost, throttling probability) pairs so serverless
+candidates can be ranked on the same curve as provisioned SKUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..catalog.models import HOURS_PER_MONTH
+from ..telemetry.counters import PerfDimension
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = [
+    "ServerlessOffer",
+    "ServerlessEvaluation",
+    "default_serverless_offers",
+    "evaluate_serverless",
+]
+
+#: Memory provisioned per billed vCore (matches the Gen5 ratio).
+_MEMORY_PER_VCORE_GB = 3.0
+
+#: Serverless GP IO follows the provisioned GP slope.
+_IOPS_PER_VCORE = 320.0
+_LOG_RATE_PER_VCORE = 3.75
+_IO_LATENCY_MS = 5.0
+
+
+@dataclass(frozen=True)
+class ServerlessOffer:
+    """One serverless configuration (a max-vCores ladder rung).
+
+    Attributes:
+        max_vcores: Compute ceiling; the throttling capacity.
+        min_vcores: Billing floor while the database is running.
+        price_per_vcore_hour: Compute price per billed vCore-hour.
+            Serverless unit compute is priced above provisioned
+            (Azure: roughly 1.5x) because you only pay while active.
+        auto_pause_delay_minutes: Idle time after which compute pauses
+            and billing stops (storage keeps billing).
+        pause_threshold_vcores: Demand level under which a sample
+            counts as idle for auto-pause purposes.
+        storage_gb_hour: Storage price per GB-hour.
+        name: Stable identifier.
+    """
+
+    max_vcores: float
+    min_vcores: float
+    price_per_vcore_hour: float = 0.38
+    auto_pause_delay_minutes: float = 60.0
+    pause_threshold_vcores: float = 0.05
+    storage_gb_hour: float = 0.000160
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_vcores <= 0 or self.min_vcores <= 0:
+            raise ValueError("vCore bounds must be positive")
+        if self.min_vcores > self.max_vcores:
+            raise ValueError(
+                f"min_vcores {self.min_vcores} exceeds max_vcores {self.max_vcores}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"DB_SERVERLESS_{self.max_vcores:g}v"
+            )
+
+    @property
+    def max_memory_gb(self) -> float:
+        return self.max_vcores * _MEMORY_PER_VCORE_GB
+
+    @property
+    def max_data_iops(self) -> float:
+        return self.max_vcores * _IOPS_PER_VCORE
+
+    @property
+    def max_log_rate_mbps(self) -> float:
+        return self.max_vcores * _LOG_RATE_PER_VCORE
+
+    @property
+    def min_io_latency_ms(self) -> float:
+        return _IO_LATENCY_MS
+
+
+@dataclass(frozen=True)
+class ServerlessEvaluation:
+    """Workload-dependent assessment of one serverless offer.
+
+    Attributes:
+        offer: The evaluated configuration.
+        monthly_cost: Effective monthly bill (compute + storage) for
+            this workload.
+        throttling_probability: Joint throttling probability against
+            the offer's max capacities.
+        paused_fraction: Fraction of the assessment window spent
+            auto-paused.
+        mean_billed_vcores: Average billed vCores while running.
+    """
+
+    offer: ServerlessOffer
+    monthly_cost: float
+    throttling_probability: float
+    paused_fraction: float
+    mean_billed_vcores: float
+
+
+def default_serverless_offers() -> list[ServerlessOffer]:
+    """The serverless max-vCores ladder (min = max/8, Azure's default)."""
+    return [
+        ServerlessOffer(max_vcores=float(v), min_vcores=max(0.5, v / 8.0))
+        for v in (1, 2, 4, 6, 8, 10, 16, 24, 32, 40)
+    ]
+
+
+def _paused_mask(
+    cpu: np.ndarray, interval_minutes: float, offer: ServerlessOffer
+) -> np.ndarray:
+    """True where the database is auto-paused.
+
+    A sample is paused once demand has stayed below the idle threshold
+    for at least ``auto_pause_delay_minutes`` (and resumes immediately
+    on demand).
+    """
+    delay_samples = max(1, int(round(offer.auto_pause_delay_minutes / interval_minutes)))
+    idle = cpu <= offer.pause_threshold_vcores
+    paused = np.zeros_like(idle)
+    run = 0
+    for i, is_idle in enumerate(idle):
+        run = run + 1 if is_idle else 0
+        paused[i] = run > delay_samples
+    return paused
+
+
+def evaluate_serverless(
+    trace: PerformanceTrace,
+    offer: ServerlessOffer,
+) -> ServerlessEvaluation:
+    """Evaluate one serverless offer against a workload.
+
+    Billing model: per sample, billed vCores = clamp(max(cpu demand,
+    memory demand / 3 GB), min_vcores, max_vcores) while running, zero
+    while auto-paused.  Storage bills continuously.  Throttling uses
+    the offer's max capacities on CPU, memory, IOPS, log rate and
+    latency -- the same union predicate as provisioned SKUs.
+
+    Args:
+        trace: Customer performance history (needs at least CPU).
+        offer: The serverless configuration.
+    """
+    cpu = trace[PerfDimension.CPU].values
+    interval = trace.interval_minutes
+    paused = _paused_mask(cpu, interval, offer)
+
+    memory_driven = np.zeros_like(cpu)
+    if PerfDimension.MEMORY in trace:
+        memory_driven = trace[PerfDimension.MEMORY].values / _MEMORY_PER_VCORE_GB
+    demand_vcores = np.maximum(cpu, memory_driven)
+    billed = np.clip(demand_vcores, offer.min_vcores, offer.max_vcores)
+    billed = np.where(paused, 0.0, billed)
+
+    hours_per_sample = interval / 60.0
+    window_hours = trace.n_samples * hours_per_sample
+    compute_cost = billed.sum() * hours_per_sample * offer.price_per_vcore_hour
+    # Scale the window's compute bill to a standard month.
+    compute_monthly = compute_cost * (HOURS_PER_MONTH / window_hours)
+    storage_gb = (
+        trace[PerfDimension.STORAGE].max() if PerfDimension.STORAGE in trace else 0.0
+    )
+    storage_monthly = storage_gb * offer.storage_gb_hour * HOURS_PER_MONTH
+
+    violated = cpu > offer.max_vcores
+    if PerfDimension.MEMORY in trace:
+        violated |= trace[PerfDimension.MEMORY].values > offer.max_memory_gb
+    if PerfDimension.IOPS in trace:
+        violated |= trace[PerfDimension.IOPS].values > offer.max_data_iops
+    if PerfDimension.LOG_RATE in trace:
+        violated |= trace[PerfDimension.LOG_RATE].values > offer.max_log_rate_mbps
+    if PerfDimension.IO_LATENCY in trace:
+        latency = trace[PerfDimension.IO_LATENCY].values
+        violated |= (1.0 / np.maximum(latency, 1e-9)) > (1.0 / offer.min_io_latency_ms)
+    # A resume from pause adds a cold-start stall, observed as
+    # throttling on the first busy sample after a paused one.
+    resume = ~paused & np.roll(paused, 1)
+    resume[0] = False
+    violated |= resume
+
+    running = ~paused
+    mean_billed = float(billed[running].mean()) if running.any() else 0.0
+    return ServerlessEvaluation(
+        offer=offer,
+        monthly_cost=float(compute_monthly + storage_monthly),
+        throttling_probability=float(violated.mean()),
+        paused_fraction=float(paused.mean()),
+        mean_billed_vcores=mean_billed,
+    )

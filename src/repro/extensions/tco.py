@@ -1,0 +1,136 @@
+"""Total cost of ownership comparison (paper Section 5.5).
+
+"Efforts are underway to integrate Doppler into a broader total cost
+of ownership (TCO) project, in which customers moving to Azure would
+be able to systematically compare the differences between keeping
+their workloads on-prem [or] moving", with Doppler supplying the
+optimal SKU and its cost.
+
+This module implements the on-prem side of that comparison: an
+amortized monthly cost model for a self-hosted SQL server (hardware,
+licensing, operations, power/colocation) and a report pairing it with
+Doppler's PaaS recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.models import SkuSpec
+from ..telemetry.counters import PerfDimension
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["OnPremCostModel", "TcoComparison", "compare_tco"]
+
+
+@dataclass(frozen=True)
+class OnPremCostModel:
+    """Amortized monthly cost of running SQL on-premises.
+
+    Defaults are deliberately round, industry-survey-scale numbers;
+    every knob is explicit so a customer can plug in their own.
+
+    Attributes:
+        server_cost_per_core: Hardware acquisition cost per physical
+            core (chassis, CPU, RAM share).
+        storage_cost_per_gb: Acquisition cost per GB of enterprise SSD.
+        amortization_years: Hardware depreciation horizon.
+        sql_license_per_core_year: SQL Server licensing per core-year.
+        ops_cost_per_server_month: DBA/ops labour attributed to one
+            server per month.
+        power_cooling_per_core_month: Power, cooling and rack share
+            per provisioned core per month.
+        headroom_factor: On-prem servers are provisioned above peak
+            demand (you cannot resize hardware elastically).
+    """
+
+    server_cost_per_core: float = 550.0
+    storage_cost_per_gb: float = 0.45
+    amortization_years: float = 4.0
+    sql_license_per_core_year: float = 1800.0
+    ops_cost_per_server_month: float = 900.0
+    power_cooling_per_core_month: float = 11.0
+    headroom_factor: float = 1.5
+
+    def provisioned_cores(self, trace: PerformanceTrace) -> float:
+        """Physical cores an on-prem deployment would provision.
+
+        Peak observed demand times the headroom factor, rounded up to
+        an even core count (sockets come in pairs), minimum four.
+        """
+        peak = trace[PerfDimension.CPU].max() if PerfDimension.CPU in trace else 1.0
+        cores = peak * self.headroom_factor
+        even = 2 * round(cores / 2 + 0.49)
+        return float(max(4, even))
+
+    def monthly_cost(self, trace: PerformanceTrace) -> float:
+        """Fully loaded monthly cost of hosting ``trace`` on-premises."""
+        cores = self.provisioned_cores(trace)
+        storage_gb = (
+            trace[PerfDimension.STORAGE].max() if PerfDimension.STORAGE in trace else 0.0
+        )
+        months = self.amortization_years * 12.0
+        hardware = (cores * self.server_cost_per_core) / months
+        storage = (storage_gb * self.storage_cost_per_gb) / months
+        license_cost = cores * self.sql_license_per_core_year / 12.0
+        power = cores * self.power_cooling_per_core_month
+        return hardware + storage + license_cost + power + self.ops_cost_per_server_month
+
+
+@dataclass(frozen=True)
+class TcoComparison:
+    """On-prem versus recommended-PaaS cost comparison.
+
+    Attributes:
+        onprem_monthly: Fully loaded on-prem monthly cost.
+        paas_monthly: Monthly price of the recommended SKU.
+        recommended_sku: The Doppler recommendation compared against.
+        onprem_cores: Cores the on-prem model provisions.
+    """
+
+    onprem_monthly: float
+    paas_monthly: float
+    recommended_sku: SkuSpec
+    onprem_cores: float
+
+    @property
+    def monthly_saving(self) -> float:
+        """Positive when migrating saves money."""
+        return self.onprem_monthly - self.paas_monthly
+
+    @property
+    def annual_saving(self) -> float:
+        return self.monthly_saving * 12.0
+
+    @property
+    def migration_favored(self) -> bool:
+        return self.monthly_saving > 0
+
+    def describe(self) -> str:
+        direction = "favors migration" if self.migration_favored else "favors staying"
+        return (
+            f"on-prem ${self.onprem_monthly:,.0f}/mo ({self.onprem_cores:.0f} cores) vs "
+            f"{self.recommended_sku.name} ${self.paas_monthly:,.0f}/mo -> "
+            f"{direction} (${abs(self.monthly_saving):,.0f}/mo)"
+        )
+
+
+def compare_tco(
+    trace: PerformanceTrace,
+    recommended_sku: SkuSpec,
+    cost_model: OnPremCostModel | None = None,
+) -> TcoComparison:
+    """Build the TCO comparison for one workload.
+
+    Args:
+        trace: Customer performance history.
+        recommended_sku: Doppler's PaaS recommendation for it.
+        cost_model: On-prem cost assumptions; defaults supplied.
+    """
+    model = cost_model if cost_model is not None else OnPremCostModel()
+    return TcoComparison(
+        onprem_monthly=model.monthly_cost(trace),
+        paas_monthly=recommended_sku.monthly_price,
+        recommended_sku=recommended_sku,
+        onprem_cores=model.provisioned_cores(trace),
+    )

@@ -1,0 +1,43 @@
+"""ML primitives implemented from scratch for the Doppler pipeline.
+
+scikit-learn and statsmodels are unavailable offline; this subpackage
+provides the specific algorithms the paper relies on: ECDF/AUC
+summaries, scaling, outlier fractions, bootstrap resampling, k-means,
+agglomerative clustering, a compact STL decomposition and a Gaussian
+product-kernel density estimator.
+"""
+
+from .auc import ecdf_auc, ecdf_auc_by_integration
+from .copula import GaussianCopulaModel
+from .bootstrap import block_bootstrap_indices, bootstrap_indices, resolve_rng
+from .ecdf import Ecdf, ecdf
+from .hierarchical import HierarchicalResult, Linkage, agglomerative
+from .kde import GaussianKde
+from .kmeans import KMeansResult, kmeans
+from .outliers import outlier_fraction
+from .scaling import max_scale, minmax_scale
+from .stl import StlDecomposition, loess_smooth, stl_decompose, stl_variance_score
+
+__all__ = [
+    "ecdf_auc",
+    "ecdf_auc_by_integration",
+    "block_bootstrap_indices",
+    "bootstrap_indices",
+    "resolve_rng",
+    "Ecdf",
+    "ecdf",
+    "HierarchicalResult",
+    "Linkage",
+    "agglomerative",
+    "GaussianKde",
+    "GaussianCopulaModel",
+    "KMeansResult",
+    "kmeans",
+    "outlier_fraction",
+    "max_scale",
+    "minmax_scale",
+    "StlDecomposition",
+    "loess_smooth",
+    "stl_decompose",
+    "stl_variance_score",
+]

@@ -1,0 +1,143 @@
+"""Gaussian-copula joint distribution estimation.
+
+The second parametric path the paper evaluated for the throttling
+probability: "multivariate kernel density estimation based on vine
+copulas" (Section 3.2, citing Nagler & Czado).  A full vine is out of
+scope offline; the Gaussian copula is its one-tree special case and
+captures the same modelling idea -- separate the marginals from the
+dependence structure:
+
+1. each marginal is modelled by its smoothed ECDF;
+2. observations are mapped to normal scores
+   ``z = Phi^{-1}(F_hat(x))``;
+3. the dependence is a correlation matrix over the normal scores;
+4. joint box probabilities ``P(X_1 <= u_1, ..., X_d <= u_d)`` are the
+   multivariate-normal orthant probabilities of the transformed
+   bounds, estimated by quasi-Monte Carlo.
+
+Like the KDE path, this gives smoother small-sample curves than the
+empirical frequency at a (much) higher evaluation cost -- exactly the
+trade-off the paper resolves in favour of the non-parametric default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+from .bootstrap import resolve_rng
+
+__all__ = ["GaussianCopulaModel"]
+
+#: Clamp for ECDF values before the probit transform (avoids +-inf).
+_ECDF_CLAMP = 1e-4
+
+
+@dataclass(frozen=True)
+class GaussianCopulaModel:
+    """Gaussian copula with ECDF marginals over an (n, d) sample.
+
+    Attributes:
+        sample_sorted: Per-dimension sorted sample values, ``(d, n)``.
+        correlation: Normal-score correlation matrix, ``(d, d)``.
+        cholesky: Cholesky factor of (regularized) ``correlation``.
+    """
+
+    sample_sorted: np.ndarray
+    correlation: np.ndarray
+    cholesky: np.ndarray
+
+    @classmethod
+    def fit(cls, sample: np.ndarray) -> "GaussianCopulaModel":
+        """Fit marginals and dependence from an ``(n, d)`` sample.
+
+        Raises:
+            ValueError: On an empty or 1-sample input.
+        """
+        data = np.atleast_2d(np.asarray(sample, dtype=float))
+        n, d = data.shape
+        if n < 2:
+            raise ValueError("copula fit needs at least two samples")
+        sample_sorted = np.sort(data, axis=0).T  # (d, n)
+
+        # Normal scores from the mid-rank ECDF.
+        ranks = np.argsort(np.argsort(data, axis=0), axis=0) + 0.5
+        uniforms = np.clip(ranks / n, _ECDF_CLAMP, 1.0 - _ECDF_CLAMP)
+        scores = ndtri(uniforms)
+        correlation = np.corrcoef(scores, rowvar=False)
+        correlation = np.atleast_2d(correlation)
+        # Regularize: constant dimensions yield NaN correlations.
+        correlation = np.where(np.isfinite(correlation), correlation, 0.0)
+        np.fill_diagonal(correlation, 1.0)
+        # Shrink slightly toward identity for a safe Cholesky.
+        correlation = 0.999 * correlation + 0.001 * np.eye(d)
+        cholesky = np.linalg.cholesky(correlation)
+        return cls(
+            sample_sorted=sample_sorted,
+            correlation=correlation,
+            cholesky=cholesky,
+        )
+
+    @property
+    def n_dims(self) -> int:
+        return int(self.sample_sorted.shape[0])
+
+    def marginal_cdf(self, dimension: int, x: float) -> float:
+        """Smoothed ECDF of one marginal at ``x`` (linear interpolation)."""
+        values = self.sample_sorted[dimension]
+        n = values.size
+        position = np.searchsorted(values, x, side="right")
+        if position == 0:
+            return _ECDF_CLAMP
+        if position >= n:
+            return 1.0 - _ECDF_CLAMP
+        # Interpolate between the surrounding order statistics.
+        lower, upper = values[position - 1], values[position]
+        if upper > lower:
+            fraction = (x - lower) / (upper - lower)
+        else:
+            fraction = 0.0
+        cdf = (position + fraction) / (n + 1)
+        return float(np.clip(cdf, _ECDF_CLAMP, 1.0 - _ECDF_CLAMP))
+
+    def cdf_box(
+        self,
+        upper: np.ndarray,
+        n_draws: int = 4096,
+        rng: int | np.random.Generator | None = 0,
+    ) -> float:
+        """``P(X_1 <= u_1, ..., X_d <= u_d)`` under the copula model.
+
+        Monte-Carlo over correlated normal scores: draw ``z ~ N(0, R)``
+        and count draws inside the transformed box.
+
+        Args:
+            upper: Per-dimension upper bounds, shape ``(d,)``.
+            n_draws: Monte-Carlo sample size.
+            rng: Seed or generator (seeded by default so curve builds
+                are deterministic).
+        """
+        bounds = np.asarray(upper, dtype=float)
+        if bounds.shape != (self.n_dims,):
+            raise ValueError(f"expected {self.n_dims} bounds, got shape {bounds.shape}")
+        z_bounds = ndtri(
+            np.array(
+                [self.marginal_cdf(dim, bounds[dim]) for dim in range(self.n_dims)]
+            )
+        )
+        generator = resolve_rng(rng)
+        normals = generator.standard_normal((n_draws, self.n_dims))
+        correlated = normals @ self.cholesky.T
+        inside = np.all(correlated <= z_bounds[None, :], axis=1)
+        return float(inside.mean())
+
+    def exceedance_probability(
+        self,
+        upper: np.ndarray,
+        n_draws: int = 4096,
+        rng: int | np.random.Generator | None = 0,
+    ) -> float:
+        """``P(any dimension exceeds its bound)`` -- the throttling form."""
+        return 1.0 - self.cdf_box(upper, n_draws=n_draws, rng=rng)

@@ -1,0 +1,73 @@
+"""Empirical cumulative distribution functions.
+
+The Customer Profiler's AUC summarizers (paper Section 3.3) operate on
+the ECDF of each counter: "The area under the curve (AUC) is calculated
+on the empirical cumulative distribution function (ECDF) for each
+performance dimension."  Figure 6 of the paper plots these ECDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ecdf", "ecdf"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """Right-continuous step ECDF of a sample.
+
+    Attributes:
+        support: Sorted unique sample values.
+        probabilities: ``P(X <= support[k])`` for each support point.
+    """
+
+    support: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        support = np.asarray(self.support, dtype=float)
+        probabilities = np.asarray(self.probabilities, dtype=float)
+        if support.ndim != 1 or support.shape != probabilities.shape:
+            raise ValueError("support and probabilities must be matching 1-D arrays")
+        if support.size == 0:
+            raise ValueError("ECDF needs at least one sample")
+        support.setflags(write=False)
+        probabilities.setflags(write=False)
+        object.__setattr__(self, "support", support)
+        object.__setattr__(self, "probabilities", probabilities)
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate ``P(X <= x)``; vectorised over arrays."""
+        indices = np.searchsorted(self.support, np.asarray(x, dtype=float), side="right")
+        padded = np.concatenate([[0.0], self.probabilities])
+        result = padded[indices]
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(result)
+        return result
+
+    def quantile(self, q: float) -> float:
+        """Smallest support value with cumulative probability >= ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        index = int(np.searchsorted(self.probabilities, q, side="left"))
+        index = min(index, self.support.size - 1)
+        return float(self.support[index])
+
+
+def ecdf(sample: np.ndarray) -> Ecdf:
+    """Build the ECDF of a 1-D sample.
+
+    Args:
+        sample: Raw observations (any order, duplicates allowed).
+    """
+    values = np.asarray(sample, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("ECDF needs at least one sample")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("ECDF sample contains non-finite values")
+    support, counts = np.unique(values, return_counts=True)
+    probabilities = np.cumsum(counts) / values.size
+    return Ecdf(support=support, probabilities=probabilities)

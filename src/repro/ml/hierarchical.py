@@ -1,0 +1,110 @@
+"""Agglomerative hierarchical clustering.
+
+The second "standard ML clustering" option named by the paper
+(Section 3.3, citing Johnson 1967).  Implements bottom-up merging with
+single, complete or average linkage using the Lance-Williams update,
+returning flat cluster labels for a requested cluster count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["HierarchicalResult", "agglomerative", "Linkage"]
+
+Linkage = Literal["single", "complete", "average"]
+
+
+@dataclass(frozen=True)
+class HierarchicalResult:
+    """Flat clustering extracted from the dendrogram.
+
+    Attributes:
+        labels: Cluster index per input row, in ``[0, n_clusters)``.
+        n_clusters: Number of flat clusters requested.
+        merge_heights: Distance at which each of the ``n - n_clusters``
+            merges happened, in merge order.
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    merge_heights: tuple[float, ...]
+
+
+def agglomerative(
+    points: np.ndarray,
+    n_clusters: int,
+    linkage: Linkage = "average",
+) -> HierarchicalResult:
+    """Cluster rows of ``points`` into ``n_clusters`` groups bottom-up.
+
+    Args:
+        points: ``(n_samples, n_features)`` data matrix.
+        n_clusters: Flat cluster count to cut the dendrogram at.
+        linkage: Inter-cluster distance rule.
+
+    Raises:
+        ValueError: On an invalid cluster count or linkage.
+    """
+    data = np.atleast_2d(np.asarray(points, dtype=float))
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("clustering needs at least one point")
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters!r}")
+    if linkage not in ("single", "complete", "average"):
+        raise ValueError(f"unknown linkage {linkage!r}")
+
+    # Pairwise Euclidean distances; inf on the diagonal simplifies argmin.
+    diff = data[:, None, :] - data[None, :, :]
+    distances = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    np.fill_diagonal(distances, np.inf)
+
+    active = list(range(n))
+    sizes = {i: 1 for i in range(n)}
+    membership = {i: [i] for i in range(n)}
+    heights: list[float] = []
+
+    while len(active) > n_clusters:
+        # Find the closest active pair.
+        sub = distances[np.ix_(active, active)]
+        flat = int(np.argmin(sub))
+        a_idx, b_idx = divmod(flat, len(active))
+        a, b = active[a_idx], active[b_idx]
+        if a > b:
+            a, b = b, a
+        merge_distance = float(distances[a, b])
+        heights.append(merge_distance)
+
+        # Lance-Williams update of distances from the merged cluster
+        # (stored in slot ``a``) to every other active cluster.
+        for other in active:
+            if other in (a, b):
+                continue
+            d_ao, d_bo = distances[a, other], distances[b, other]
+            if linkage == "single":
+                new_distance = min(d_ao, d_bo)
+            elif linkage == "complete":
+                new_distance = max(d_ao, d_bo)
+            else:
+                size_a, size_b = sizes[a], sizes[b]
+                new_distance = (size_a * d_ao + size_b * d_bo) / (size_a + size_b)
+            distances[a, other] = new_distance
+            distances[other, a] = new_distance
+
+        sizes[a] += sizes[b]
+        membership[a].extend(membership[b])
+        active.remove(b)
+        distances[b, :] = np.inf
+        distances[:, b] = np.inf
+
+    labels = np.empty(n, dtype=int)
+    for cluster_index, root in enumerate(sorted(active)):
+        for point in membership[root]:
+            labels[point] = cluster_index
+    return HierarchicalResult(
+        labels=labels, n_clusters=len(active), merge_heights=tuple(heights)
+    )

@@ -1,0 +1,145 @@
+"""k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The Customer Profiler clusters negotiability vectors with "standard ML
+clustering algorithms such as k-means [Hartigan & Wong 1979] and
+hierarchical clustering" (paper Section 3.3, equation (2)).  scikit-
+learn is not available in this environment, so the algorithm is
+implemented from scratch on NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bootstrap import resolve_rng
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means fit.
+
+    Attributes:
+        centers: ``(k, n_features)`` centroid matrix.
+        labels: Cluster index per input row.
+        inertia: Sum of squared distances to assigned centroids.
+        n_iterations: Lloyd iterations until convergence.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centers.shape[0])
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest learned centroid."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        distances = _pairwise_sq_distances(points, self.centers)
+        return distances.argmin(axis=1)
+
+
+def _pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, ``(n_points, n_centers)``."""
+    diff = points[:, None, :] - centers[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]), dtype=float)
+    centers[0] = points[rng.integers(0, n)]
+    closest_sq = _pairwise_sq_distances(points, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points coincide with chosen centers; any choice works.
+            centers[i] = points[rng.integers(0, n)]
+            continue
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centers[i] = points[choice]
+        new_sq = _pairwise_sq_distances(points, centers[i : i + 1]).ravel()
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: int | np.random.Generator | None = None,
+    max_iterations: int = 300,
+    tolerance: float = 1e-8,
+    n_restarts: int = 4,
+) -> KMeansResult:
+    """Cluster rows of ``points`` into ``k`` groups.
+
+    Runs Lloyd's algorithm from ``n_restarts`` k-means++ seedings and
+    keeps the lowest-inertia fit.
+
+    Args:
+        points: ``(n_samples, n_features)`` data matrix.
+        k: Number of clusters, ``1 <= k <= n_samples``.
+        rng: Seed or generator for seeding.
+        max_iterations: Lloyd iteration cap per restart.
+        tolerance: Stop when centroid movement (squared) falls below.
+        n_restarts: Independent seedings to try.
+
+    Raises:
+        ValueError: On an invalid ``k`` or empty input.
+    """
+    data = np.atleast_2d(np.asarray(points, dtype=float))
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("kmeans needs at least one point")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k!r}")
+    generator = resolve_rng(rng)
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, n_restarts)):
+        result = _lloyd(data, k, generator, max_iterations, tolerance)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _lloyd(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int,
+    tolerance: float,
+) -> KMeansResult:
+    centers = _kmeanspp_init(data, k, rng)
+    labels = np.zeros(data.shape[0], dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        distances = _pairwise_sq_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if members.size:
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the worst-served point.
+                worst = distances.min(axis=1).argmax()
+                new_centers[cluster] = data[worst]
+        movement = float(((new_centers - centers) ** 2).sum())
+        centers = new_centers
+        if movement <= tolerance:
+            break
+    distances = _pairwise_sq_distances(data, centers)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iterations=iteration)

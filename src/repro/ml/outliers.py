@@ -1,0 +1,45 @@
+"""Outlier-percentage summarizer.
+
+One of the competing negotiability definitions (paper Section 3.3):
+"The portion of (performance) counters that exist at least three
+standard deviations away from the average were calculated as a means
+to capture spiky usage."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["outlier_fraction"]
+
+
+def outlier_fraction(
+    values: np.ndarray, n_sigma: float = 3.0, upward_only: bool = True
+) -> float:
+    """Fraction of samples at least ``n_sigma`` std-devs from the mean.
+
+    Args:
+        values: Raw counter samples.
+        n_sigma: Distance threshold in standard deviations; the paper
+            uses three.
+        upward_only: Count only upward excursions (the default).  The
+            summarizer exists "to capture spiky usage"; resource
+            spikes are high-side events, and counting deep idle dips
+            would misread a sustained plateau with occasional pauses
+            as spiky.
+
+    Returns:
+        A value in [0, 1].  A constant series has zero outliers.
+    """
+    array = np.asarray(values, dtype=float).ravel()
+    if array.size == 0:
+        raise ValueError("outlier fraction needs at least one sample")
+    if n_sigma <= 0:
+        raise ValueError(f"n_sigma must be positive, got {n_sigma!r}")
+    spread = array.std()
+    if spread == 0:
+        return 0.0
+    deviations = array - array.mean()
+    if not upward_only:
+        deviations = np.abs(deviations)
+    return float(np.mean(deviations >= n_sigma * spread))

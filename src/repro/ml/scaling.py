@@ -1,0 +1,41 @@
+"""Feature scaling helpers used by the negotiability summarizers.
+
+The paper's two AUC summarizers differ only in the normalization
+applied before the ECDF-AUC computation: the *MinMax Scaler AUC*
+rescales to [0, 1], while the *Max Scaler AUC* divides by the max only
+("better identifies large spikes in resource use", Section 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minmax_scale", "max_scale"]
+
+
+def minmax_scale(values: np.ndarray) -> np.ndarray:
+    """Rescale to ``[0, 1]`` via ``(x - min) / (max - min)``.
+
+    A constant series maps to all zeros (zero spread means zero
+    normalized deviation, which the AUC summarizer reads as perfectly
+    steady usage).
+    """
+    array = np.asarray(values, dtype=float)
+    low = array.min()
+    spread = array.max() - low
+    if spread <= 0:
+        return np.zeros_like(array)
+    return (array - low) / spread
+
+
+def max_scale(values: np.ndarray) -> np.ndarray:
+    """Rescale via ``x / max(x)``.
+
+    A non-positive max (all-idle counter) maps to zeros rather than
+    dividing by zero.
+    """
+    array = np.asarray(values, dtype=float)
+    peak = array.max()
+    if peak <= 0:
+        return np.zeros_like(array)
+    return array / peak

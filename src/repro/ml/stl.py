@@ -1,0 +1,153 @@
+"""Seasonal-Trend decomposition using Loess (STL).
+
+The "STL variance decomposition" negotiability summarizer (paper
+Section 3.3, citing Cleveland et al. 1990) decomposes a counter series
+``R = T + S + I`` into trend, seasonal and irregular (residual)
+components and scores steadiness as ``max(0, 1 - var(I)/var(R))``: the
+closer to one, the more of the observed variance is explained by trend
+plus seasonality.
+
+statsmodels is not available offline, so this module implements a
+compact STL variant from scratch:
+
+* the *trend* is a loess (locally weighted linear regression) smooth of
+  the deseasonalized series;
+* the *seasonal* component is the cycle-subseries mean of the
+  detrended series (the classical-decomposition inner step of STL),
+  re-centred to sum to zero over a period;
+* one outer iteration refines trend and seasonal against each other.
+
+This captures the variance-partitioning contract the summarizer needs
+without the full robustness-weight machinery of reference STL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StlDecomposition", "stl_decompose", "loess_smooth", "stl_variance_score"]
+
+
+@dataclass(frozen=True)
+class StlDecomposition:
+    """Additive decomposition ``observed = trend + seasonal + residual``."""
+
+    observed: np.ndarray
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+
+    def explained_variance_ratio(self) -> float:
+        """``max(0, 1 - var(residual)/var(observed))`` (paper formula)."""
+        total = float(np.var(self.observed))
+        if total == 0:
+            return 1.0
+        return max(0.0, 1.0 - float(np.var(self.residual)) / total)
+
+
+def loess_smooth(values: np.ndarray, span: float = 0.3, degree: int = 1) -> np.ndarray:
+    """Locally weighted linear smoothing with the tricube kernel.
+
+    Args:
+        values: 1-D series to smooth.
+        span: Fraction of points in each local window, in (0, 1].
+        degree: Local polynomial degree (0 or 1).
+
+    Returns:
+        The smoothed series, same length as ``values``.
+    """
+    series = np.asarray(values, dtype=float).ravel()
+    n = series.size
+    if n == 0:
+        raise ValueError("loess needs at least one sample")
+    if not 0.0 < span <= 1.0:
+        raise ValueError(f"span must be in (0, 1], got {span!r}")
+    if degree not in (0, 1):
+        raise ValueError(f"degree must be 0 or 1, got {degree!r}")
+    window = max(degree + 1, int(np.ceil(span * n)))
+    if window >= n:
+        window = n
+    x = np.arange(n, dtype=float)
+    smoothed = np.empty(n)
+    half = window // 2
+    for i in range(n):
+        lo = max(0, min(i - half, n - window))
+        hi = lo + window
+        xs = x[lo:hi]
+        ys = series[lo:hi]
+        span_width = max(abs(x[i] - xs[0]), abs(xs[-1] - x[i]), 1.0)
+        weights = (1.0 - (np.abs(xs - x[i]) / span_width) ** 3) ** 3
+        weights = np.clip(weights, 0.0, None)
+        total = weights.sum()
+        if total <= 0:
+            smoothed[i] = ys.mean()
+            continue
+        if degree == 0:
+            smoothed[i] = float(np.sum(weights * ys) / total)
+        else:
+            # Weighted least squares fit of y = a + b x at x[i].
+            w_sum = total
+            wx = np.sum(weights * xs)
+            wy = np.sum(weights * ys)
+            wxx = np.sum(weights * xs * xs)
+            wxy = np.sum(weights * xs * ys)
+            denominator = w_sum * wxx - wx * wx
+            if abs(denominator) < 1e-12:
+                smoothed[i] = wy / w_sum
+            else:
+                slope = (w_sum * wxy - wx * wy) / denominator
+                intercept = (wy - slope * wx) / w_sum
+                smoothed[i] = intercept + slope * x[i]
+    return smoothed
+
+
+def _cycle_subseries_means(detrended: np.ndarray, period: int) -> np.ndarray:
+    """Seasonal estimate: mean of each phase across cycles, zero-centred."""
+    n = detrended.size
+    phases = np.arange(n) % period
+    seasonal_by_phase = np.array(
+        [detrended[phases == phase].mean() for phase in range(period)]
+    )
+    seasonal_by_phase -= seasonal_by_phase.mean()
+    return seasonal_by_phase[phases]
+
+
+def stl_decompose(
+    values: np.ndarray,
+    period: int,
+    trend_span: float = 0.5,
+    n_outer: int = 2,
+) -> StlDecomposition:
+    """Decompose a series into trend + seasonal + residual.
+
+    Args:
+        values: 1-D series; needs at least two full periods.
+        period: Seasonal period in samples (e.g. one day of 10-minute
+            samples = 144).
+        trend_span: Loess span for the trend smooth.
+        n_outer: Trend/seasonal refinement iterations.
+
+    Raises:
+        ValueError: If the series is shorter than two periods.
+    """
+    series = np.asarray(values, dtype=float).ravel()
+    if period < 2:
+        raise ValueError(f"period must be at least 2, got {period!r}")
+    if series.size < 2 * period:
+        raise ValueError(
+            f"series of {series.size} samples is shorter than two periods ({2 * period})"
+        )
+    seasonal = np.zeros_like(series)
+    trend = np.zeros_like(series)
+    for _ in range(max(1, n_outer)):
+        trend = loess_smooth(series - seasonal, span=trend_span)
+        seasonal = _cycle_subseries_means(series - trend, period)
+    residual = series - trend - seasonal
+    return StlDecomposition(observed=series, trend=trend, seasonal=seasonal, residual=residual)
+
+
+def stl_variance_score(values: np.ndarray, period: int) -> float:
+    """The paper's STL summarizer: ``max(0, 1 - var(I)/var(R))``."""
+    return stl_decompose(values, period=period).explained_variance_ratio()

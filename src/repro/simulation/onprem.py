@@ -1,0 +1,189 @@
+"""On-premise SQL estates (paper Sections 5.1 and 5.3).
+
+The paper's new-migration-customer data: "257 SQL servers with 1,974
+databases collected from Azure Migrate", with no ground-truth cloud
+SKU.  The text notes "the majority of performance histories were
+extracted from relatively idle workloads", with a small number of
+active customers whose histories support a robust recommendation --
+the Section-5.3 comparison focuses on three such customers and
+highlights ten instances where the baseline under-specifies latency
+or fails entirely.
+
+The simulated estate mirrors that composition: servers host several
+databases, most of them idle, a minority running active workloads
+including latency-sensitive ones (observed IO latency well below the
+GP 5 ms floor) that expose the baseline's failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.bootstrap import resolve_rng
+from ..telemetry.aggregate import aggregate_instance
+from ..telemetry.counters import PerfDimension
+from ..telemetry.trace import PerformanceTrace
+from ..workloads.generator import WorkloadSpec, generate_trace
+from ..workloads.patterns import (
+    DiurnalPattern,
+    IdlePattern,
+    PlateauPattern,
+    SpikyPattern,
+)
+
+__all__ = ["OnPremDatabase", "OnPremServer", "simulate_onprem_estate"]
+
+
+@dataclass(frozen=True)
+class OnPremDatabase:
+    """One on-prem database's assessment trace.
+
+    Attributes:
+        trace: Collected counters.
+        activity: ``idle``, ``active`` or ``latency_sensitive``.
+    """
+
+    trace: PerformanceTrace
+    activity: str
+
+
+@dataclass(frozen=True)
+class OnPremServer:
+    """One on-prem SQL server hosting several databases."""
+
+    server_id: str
+    databases: tuple[OnPremDatabase, ...]
+
+    def instance_trace(self) -> PerformanceTrace:
+        """Server-level rollup of the database traces."""
+        return aggregate_instance(
+            [database.trace for database in self.databases], instance_id=self.server_id
+        )
+
+
+def _database_spec(
+    activity: str, index: str, rng: np.random.Generator
+) -> WorkloadSpec:
+    if activity == "idle":
+        level = float(rng.uniform(0.02, 0.15))
+        patterns = {
+            PerfDimension.CPU: IdlePattern(level=level, noise=0.4),
+            PerfDimension.MEMORY: PlateauPattern(level=float(rng.uniform(0.5, 2.0))),
+            PerfDimension.IOPS: IdlePattern(level=level * 200.0, noise=0.5),
+            PerfDimension.LOG_RATE: IdlePattern(level=level * 2.0, noise=0.5),
+        }
+        storage = float(rng.uniform(5.0, 80.0))
+        base_latency = float(rng.uniform(6.0, 12.0))
+    elif activity == "latency_sensitive":
+        cpu = float(rng.uniform(2.0, 10.0))
+        patterns = {
+            PerfDimension.CPU: DiurnalPattern(trough=cpu * 0.5, peak=cpu, noise=0.05),
+            PerfDimension.MEMORY: PlateauPattern(level=cpu * 4.0),
+            PerfDimension.IOPS: DiurnalPattern(
+                trough=cpu * 200.0, peak=cpu * 450.0, noise=0.05
+            ),
+            PerfDimension.LOG_RATE: DiurnalPattern(
+                trough=cpu * 0.8, peak=cpu * 2.0, noise=0.05
+            ),
+        }
+        storage = float(rng.uniform(100.0, 900.0))
+        # The workload currently enjoys (and needs) sub-GP-floor
+        # latency.  Two sub-populations reproduce the two baseline
+        # failure modes of paper Section 5.3:
+        #
+        # * sub-millisecond local NVMe estates keep observed latency
+        #   below every PaaS SKU's floor -- the baseline finds *no*
+        #   SKU satisfying all scalars and returns nothing;
+        # * busier estates show queueing-inflated latency tails, so
+        #   the baseline's uniform 95th-percentile reduction reads a
+        #   loose requirement and under-specifies a lower-end (GP)
+        #   SKU that cannot deliver the latency the workload needs.
+        base_latency = float(rng.uniform(0.4, 2.5))
+        if base_latency < 0.75:
+            saturation = cpu * 450.0 * 4.0  # headroom: tail stays sub-ms
+        else:
+            saturation = cpu * 450.0 * 1.1  # queueing inflates the tail
+        return WorkloadSpec(
+            patterns=patterns,
+            storage_gb=storage,
+            base_latency_ms=base_latency,
+            saturation_iops=saturation,
+            entity_id=index,
+        )
+    else:  # active
+        cpu = float(rng.uniform(1.5, 12.0))
+        patterns = {
+            PerfDimension.CPU: SpikyPattern(
+                base=cpu * 0.3, peak=cpu, spike_probability=0.008
+            ),
+            PerfDimension.MEMORY: PlateauPattern(level=cpu * 3.5),
+            PerfDimension.IOPS: SpikyPattern(
+                base=cpu * 80.0, peak=cpu * 350.0, spike_probability=0.008
+            ),
+            PerfDimension.LOG_RATE: SpikyPattern(
+                base=cpu * 0.5, peak=cpu * 2.0, spike_probability=0.008
+            ),
+        }
+        storage = float(rng.uniform(50.0, 600.0))
+        base_latency = float(rng.uniform(5.5, 9.0))
+    return WorkloadSpec(
+        patterns=patterns,
+        storage_gb=storage,
+        base_latency_ms=base_latency,
+        entity_id=index,
+    )
+
+
+def simulate_onprem_estate(
+    n_servers: int = 16,
+    databases_per_server: tuple[int, int] = (3, 12),
+    idle_fraction: float = 0.75,
+    latency_sensitive_fraction: float = 0.08,
+    duration_days: float = 7.0,
+    interval_minutes: float = 10.0,
+    rng: int | np.random.Generator | None = None,
+) -> list[OnPremServer]:
+    """Simulate an on-prem SQL estate assessed by Azure Migrate.
+
+    Args:
+        n_servers: Number of SQL servers (paper: 257; scaled down by
+            default for test speed).
+        databases_per_server: (min, max) databases hosted per server.
+        idle_fraction: Share of idle databases (the paper's majority).
+        latency_sensitive_fraction: Share of databases whose current
+            storage delivers sub-cloud-GP latency.
+        duration_days: Assessment window.
+        interval_minutes: Counter cadence.
+        rng: Seed or generator.
+    """
+    if not 0.0 <= idle_fraction + latency_sensitive_fraction <= 1.0:
+        raise ValueError("activity fractions must sum to at most 1")
+    generator = resolve_rng(rng)
+    servers = []
+    for server_index in range(n_servers):
+        lo, hi = databases_per_server
+        n_databases = int(generator.integers(lo, hi + 1))
+        databases = []
+        for db_index in range(n_databases):
+            roll = generator.random()
+            if roll < idle_fraction:
+                activity = "idle"
+            elif roll < idle_fraction + latency_sensitive_fraction:
+                activity = "latency_sensitive"
+            else:
+                activity = "active"
+            entity = f"onprem-{server_index:03d}-db{db_index:02d}"
+            spec = _database_spec(activity, entity, generator)
+            trace = generate_trace(
+                spec,
+                duration_days=duration_days,
+                interval_minutes=interval_minutes,
+                rng=generator,
+            )
+            databases.append(OnPremDatabase(trace=trace, activity=activity))
+        servers.append(
+            OnPremServer(server_id=f"onprem-{server_index:03d}", databases=tuple(databases))
+        )
+    return servers

@@ -1,0 +1,379 @@
+"""Simulated migrated-customer fleets.
+
+Stands in for the proprietary back-testing population of paper
+Section 5: 9,295 SQL MI and 7,041 SQL DB customers with cloud counter
+histories and SKUs fixed for >= 40 days.  Each simulated customer is
+generated *from* ground-truth negotiability flags:
+
+* a *curve archetype* -- flat / simple / complex, with the mixture
+  calibrated to paper Figure 9 (roughly 74 % flat, ~2 % simple, ~24 %
+  complex) -- fixes the demand scale relative to the SKU ladder;
+* per profiled dimension, the negotiability flag picks the temporal
+  pattern: negotiable dimensions get rare short spikes, non-negotiable
+  ones get sustained plateau / bursty / diurnal load;
+* the chosen SKU comes from the
+  :class:`~repro.simulation.choice.ExpertChoiceModel`, including the
+  ~10 % over-provisioned segment.
+
+Because the counters are generated from the flags, the profiling
+pipeline faces a *recoverable but noisy* inference problem -- the same
+shape as the real estimation task -- and the expert choices carry
+individual tolerance noise the group averaging has to smooth over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..catalog.catalog import SkuCatalog
+from ..catalog.models import DeploymentType, ServiceTier
+from ..catalog.storage import plan_file_layout
+from ..core.ppm import PricePerformanceModeler
+from ..core.types import CloudCustomerRecord
+from ..ml.bootstrap import resolve_rng
+from ..telemetry.counters import (
+    PROFILING_DB_DIMENSIONS,
+    PROFILING_MI_DIMENSIONS,
+    PerfDimension,
+)
+from ..workloads.generator import WorkloadSpec, generate_trace
+from ..workloads.patterns import (
+    BurstyPattern,
+    Composite,
+    DemandPattern,
+    DiurnalPattern,
+    PlateauPattern,
+    SpikyPattern,
+)
+from .choice import ExpertChoiceModel
+
+__all__ = ["FleetConfig", "SimulatedCustomer", "simulate_fleet", "simulate_customer"]
+
+CurveArchetype = Literal["flat", "simple", "complex"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of a simulated migrated-customer fleet.
+
+    Attributes:
+        deployment: Target deployment type of the fleet.
+        n_customers: Fleet size.
+        duration_days: Length of each counter history.
+        interval_minutes: Counter cadence (DMA: 10 minutes; coarser
+            values speed up large fleets without changing behaviour).
+        flat_fraction: Share of flat-curve customers (Figure 9:
+            ~73-75 %).
+        simple_fraction: Share of simple (bifurcating) curves.
+        over_provision_rate: Share of over-provisioned customers
+            (paper: ~10 %).
+        negotiable_probability: Per-dimension probability of a
+            ground-truth negotiable flag.
+        choice_model: Expert SKU-choice behaviour.
+        short_stay_fraction: Share of customers that changed SKU in
+            under 40 days (excluded from training by the engine).
+    """
+
+    deployment: DeploymentType
+    n_customers: int
+    duration_days: float = 14.0
+    interval_minutes: float = 10.0
+    flat_fraction: float = 0.74
+    simple_fraction: float = 0.02
+    over_provision_rate: float = 0.10
+    negotiable_probability: float = 0.5
+    choice_model: ExpertChoiceModel = field(default_factory=ExpertChoiceModel)
+    short_stay_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.n_customers <= 0:
+            raise ValueError(f"n_customers must be positive, got {self.n_customers!r}")
+        if self.flat_fraction + self.simple_fraction > 1.0:
+            raise ValueError("flat_fraction + simple_fraction must not exceed 1")
+
+    @property
+    def profiling_dimensions(self) -> tuple[PerfDimension, ...]:
+        if self.deployment is DeploymentType.SQL_DB:
+            return PROFILING_DB_DIMENSIONS
+        return PROFILING_MI_DIMENSIONS
+
+    @classmethod
+    def paper_db(cls, n_customers: int, **overrides) -> "FleetConfig":
+        """SQL DB fleet calibrated to the paper's evaluation population.
+
+        Curve-type mixture from Figure 9 (73.3 % flat, 26.2 % complex)
+        and database-level expert choices with moderate individual
+        noise.
+        """
+        defaults = dict(
+            deployment=DeploymentType.SQL_DB,
+            n_customers=n_customers,
+            flat_fraction=0.733,
+            simple_fraction=0.005,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def paper_mi(cls, n_customers: int, **overrides) -> "FleetConfig":
+        """SQL MI fleet calibrated to the paper's evaluation population.
+
+        Curve mixture from Figure 9 (74.9 % flat, 21.7 % complex).
+        MI choices are instance-level: they aggregate many databases,
+        which averages out per-dimension idiosyncrasy, so the expert
+        tolerance band is narrower and upgrade noise lower -- the
+        mechanism behind the paper's higher MI accuracy (96.7 % vs
+        89.4 %, Table 5).
+        """
+        defaults = dict(
+            deployment=DeploymentType.SQL_MI,
+            n_customers=n_customers,
+            flat_fraction=0.749,
+            simple_fraction=0.015,
+            choice_model=ExpertChoiceModel(
+                negotiable_tolerance=(0.05, 0.062),
+                strict_tolerance=(0.0005, 0.0012),
+                upgrade_noise=0.015,
+            ),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(frozen=True)
+class SimulatedCustomer:
+    """One simulated migrated customer with its ground truth.
+
+    Attributes:
+        record: The training record (trace + chosen SKU) the engine
+            sees.
+        true_negotiable: Ground-truth negotiability per profiling
+            dimension (hidden from the engine).
+        archetype: The curve archetype the customer was drawn from.
+        is_over_provisioned: Ground-truth over-provisioning flag.
+    """
+
+    record: CloudCustomerRecord
+    true_negotiable: tuple[bool, ...]
+    archetype: CurveArchetype
+    is_over_provisioned: bool
+
+    @property
+    def chosen_sku_name(self) -> str:
+        return self.record.chosen_sku_name
+
+
+def _flat_capacities(
+    deployment: DeploymentType, catalog: SkuCatalog, storage_gb: float
+) -> dict[PerfDimension, float]:
+    """Capacities of the cheapest SKU that can hold ``storage_gb``.
+
+    Flat-curve customers must stay below these on every dimension so
+    that every candidate SKU satisfies them.  For MI General Purpose
+    the IOPS ceiling is the premium-disk file-layout limit, not the
+    SKU nominal.
+    """
+    candidates = catalog.for_deployment(deployment).fitting_storage(storage_gb)
+    cheapest = candidates.cheapest()
+    iops_cap = cheapest.limits.max_data_iops
+    if deployment is DeploymentType.SQL_MI and cheapest.tier is ServiceTier.GENERAL_PURPOSE:
+        iops_cap = plan_file_layout([max(storage_gb, 1.0)]).total_iops
+    return {
+        PerfDimension.CPU: cheapest.limits.vcores,
+        PerfDimension.MEMORY: cheapest.limits.max_memory_gb,
+        PerfDimension.IOPS: iops_cap,
+        PerfDimension.LOG_RATE: cheapest.limits.max_log_rate_mbps,
+    }
+
+
+def _pattern_for(
+    dimension: PerfDimension,
+    negotiable: bool,
+    peak: float,
+    archetype: CurveArchetype,
+    rng: np.random.Generator,
+) -> DemandPattern:
+    """Pick the temporal pattern implied by a negotiability flag."""
+    if archetype == "simple":
+        # Simple curves need hard 0/1 bifurcation: sustained plateau.
+        return PlateauPattern(level=peak, dip_scale=0.04)
+    if negotiable:
+        if rng.random() < 0.5:
+            # Rare short spikes over a low base: the paper's canonical
+            # negotiable shape (Figure 4a).
+            return SpikyPattern(
+                base=peak * float(rng.uniform(0.15, 0.35)),
+                peak=peak,
+                spike_probability=float(rng.uniform(0.004, 0.012)),
+                spike_duration_samples=int(rng.integers(2, 5)),
+                noise=0.05,
+            )
+        # Spikes riding a daily cycle: the heavier-tailed negotiable
+        # shape.  The continuous diurnal base makes intermediate
+        # throttling levels reachable on the curve, which is what lets
+        # all-negotiable customers settle at visibly lower scores
+        # (paper Table 3, group 1: 0.85).
+        return Composite(
+            DiurnalPattern(
+                trough=peak * 0.1,
+                peak=peak * float(rng.uniform(0.65, 0.78)),
+                phase_fraction=float(rng.uniform(0.0, 1.0)),
+                noise=0.05,
+            ),
+            SpikyPattern(
+                base=0.0,
+                peak=peak * float(rng.uniform(0.22, 0.35)),
+                spike_probability=float(rng.uniform(0.004, 0.012)),
+                spike_duration_samples=int(rng.integers(2, 5)),
+                noise=0.05,
+            ),
+        )
+    style = rng.integers(0, 3)
+    if style == 0:
+        return PlateauPattern(level=peak, dip_scale=float(rng.uniform(0.04, 0.09)))
+    if style == 1:
+        return BurstyPattern(
+            low=peak * float(rng.uniform(0.45, 0.65)),
+            high=peak,
+            mean_on_samples=int(rng.integers(24, 72)),
+            mean_off_samples=int(rng.integers(24, 72)),
+            noise=0.04,
+        )
+    return DiurnalPattern(
+        trough=peak * float(rng.uniform(0.45, 0.6)),
+        peak=peak,
+        phase_fraction=float(rng.uniform(0.0, 1.0)),
+        noise=0.04,
+    )
+
+
+def _draw_peaks(
+    config: FleetConfig,
+    archetype: CurveArchetype,
+    storage_gb: float,
+    catalog: SkuCatalog,
+    rng: np.random.Generator,
+) -> dict[PerfDimension, float]:
+    """Per-dimension peak demand consistent with the curve archetype."""
+    if archetype == "flat":
+        caps = _flat_capacities(config.deployment, catalog, storage_gb)
+        return {
+            dim: cap * float(rng.uniform(0.2, 0.75))
+            for dim, cap in caps.items()
+        }
+    # Demand spanning the SKU ladder.  CPU anchors the scale; the other
+    # dimensions follow with per-customer intensity ratios.
+    cpu_peak = float(np.exp(rng.uniform(np.log(2.5), np.log(40.0))))
+    memory_peak = cpu_peak * float(rng.uniform(2.0, 6.5))
+    iops_peak = cpu_peak * float(rng.uniform(100.0, 1200.0))
+    log_peak = cpu_peak * float(rng.uniform(0.5, 4.0))
+    return {
+        PerfDimension.CPU: cpu_peak,
+        PerfDimension.MEMORY: memory_peak,
+        PerfDimension.IOPS: iops_peak,
+        PerfDimension.LOG_RATE: log_peak,
+    }
+
+
+def simulate_customer(
+    config: FleetConfig,
+    catalog: SkuCatalog,
+    ppm: PricePerformanceModeler,
+    customer_index: int,
+    rng: np.random.Generator,
+) -> SimulatedCustomer:
+    """Generate one migrated customer (trace + expert-chosen SKU)."""
+    roll = rng.random()
+    if roll < config.flat_fraction:
+        archetype: CurveArchetype = "flat"
+    elif roll < config.flat_fraction + config.simple_fraction:
+        archetype = "simple"
+    else:
+        archetype = "complex"
+
+    dims = config.profiling_dimensions
+    if archetype == "complex":
+        negotiable = tuple(
+            bool(rng.random() < config.negotiable_probability) for _ in dims
+        )
+    else:
+        # Flat-curve customers run small, steady estates and simple-curve
+        # customers sustained plateaus; both present no transient spikes
+        # to negotiate away.  This keeps the negotiable groups driven by
+        # complex-curve customers, matching the separation of group
+        # scores in paper Table 3.
+        negotiable = tuple(False for _ in dims)
+
+    if archetype == "flat":
+        storage_gb = float(rng.uniform(20.0, 200.0))
+        base_latency = float(rng.uniform(5.5, 10.0))
+    elif archetype == "simple":
+        storage_gb = float(rng.uniform(50.0, 500.0))
+        base_latency = float(rng.uniform(5.5, 8.0))
+    else:
+        storage_gb = float(rng.uniform(100.0, 1800.0))
+        base_latency = float(rng.uniform(1.2, 8.0))
+
+    peaks = _draw_peaks(config, archetype, storage_gb, catalog, rng)
+    patterns = {
+        dim: _pattern_for(dim, flag, peaks[dim], archetype, rng)
+        for dim, flag in zip(dims, negotiable)
+    }
+    spec = WorkloadSpec(
+        patterns=patterns,
+        storage_gb=storage_gb,
+        base_latency_ms=base_latency,
+        saturation_iops=max(peaks[PerfDimension.IOPS] * 1.5, 1000.0),
+        entity_id=f"{config.deployment.short_name}-cust-{customer_index:05d}",
+    )
+    trace = generate_trace(
+        spec,
+        duration_days=config.duration_days,
+        interval_minutes=config.interval_minutes,
+        rng=rng,
+    )
+
+    curve = ppm.build_curve(trace, config.deployment)
+    over_provisioned = bool(rng.random() < config.over_provision_rate)
+    point = config.choice_model.choose(
+        curve, negotiable, over_provisioned=over_provisioned, rng=rng
+    )
+    if rng.random() < config.short_stay_fraction:
+        days_on_sku = float(rng.uniform(5.0, 39.0))
+    else:
+        days_on_sku = float(rng.uniform(40.0, 400.0))
+    record = CloudCustomerRecord(
+        trace=trace,
+        deployment=config.deployment,
+        chosen_sku_name=point.sku.name,
+        days_on_sku=days_on_sku,
+    )
+    return SimulatedCustomer(
+        record=record,
+        true_negotiable=negotiable,
+        archetype=archetype,
+        is_over_provisioned=over_provisioned,
+    )
+
+
+def simulate_fleet(
+    config: FleetConfig,
+    catalog: SkuCatalog,
+    rng: int | np.random.Generator | None = None,
+) -> list[SimulatedCustomer]:
+    """Generate a whole fleet of migrated customers.
+
+    Args:
+        config: Fleet shape.
+        catalog: SKU catalog (shared with the engine under test).
+        rng: Seed or generator; fleets are reproducible bit-for-bit.
+    """
+    generator = resolve_rng(rng)
+    ppm = PricePerformanceModeler(catalog=catalog)
+    return [
+        simulate_customer(config, catalog, ppm, index, generator)
+        for index in range(config.n_customers)
+    ]

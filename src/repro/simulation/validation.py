@@ -1,0 +1,195 @@
+"""Ground-truth validation metrics for the simulated fleets.
+
+The simulator knows each customer's true negotiability flags and
+over-provisioning status, so -- unlike the paper, which could only
+back-test against chosen SKUs -- this reproduction can also measure
+how well each pipeline *stage* recovers its hidden target:
+
+* :func:`profiling_quality` -- per-dimension precision/recall of a
+  negotiability summarizer against the true flags;
+* :func:`selection_quality` -- recommendation accuracy plus the rank
+  distance between recommended and chosen SKUs (a miss by one curve
+  step is very different from a miss by ten);
+* :func:`overprovision_detection_quality` -- confusion counts for the
+  right-sizing detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..catalog.models import DeploymentType
+from ..core.engine import DopplerEngine
+from ..core.profiler import CustomerProfiler
+from .population import SimulatedCustomer
+
+__all__ = [
+    "ProfilingQuality",
+    "SelectionQuality",
+    "DetectionQuality",
+    "profiling_quality",
+    "selection_quality",
+    "overprovision_detection_quality",
+]
+
+
+@dataclass(frozen=True)
+class ProfilingQuality:
+    """Binary-classification quality of negotiability inference.
+
+    Attributes:
+        precision: Of dimensions called negotiable, how many truly are.
+        recall: Of truly negotiable dimensions, how many were found.
+        accuracy: Per-dimension flag accuracy.
+        exact_group_rate: Fraction of customers whose whole group key
+            was recovered exactly.
+    """
+
+    precision: float
+    recall: float
+    accuracy: float
+    exact_group_rate: float
+
+
+@dataclass(frozen=True)
+class SelectionQuality:
+    """Recommendation quality against expert-chosen SKUs.
+
+    Attributes:
+        accuracy: Exact-match rate.
+        mean_rank_error: Mean |recommended rank - chosen rank| on the
+            customer's curve.
+        within_one_rank: Fraction of recommendations within one curve
+            step of the chosen SKU.
+        n_evaluated: Customers evaluated.
+    """
+
+    accuracy: float
+    mean_rank_error: float
+    within_one_rank: float
+    n_evaluated: int
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Confusion counts for over-provisioning detection."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+        return (self.true_positive + self.true_negative) / total if total else 0.0
+
+
+def profiling_quality(
+    profiler: CustomerProfiler,
+    fleet: Sequence[SimulatedCustomer],
+) -> ProfilingQuality:
+    """Score a summarizer's flag recovery against the ground truth."""
+    if not fleet:
+        raise ValueError("profiling quality needs at least one customer")
+    tp = fp = tn = fn = 0
+    exact = 0
+    for customer in fleet:
+        profile = profiler.profile(customer.record.trace)
+        if profile.negotiable == customer.true_negotiable:
+            exact += 1
+        for inferred, truth in zip(profile.negotiable, customer.true_negotiable):
+            if inferred and truth:
+                tp += 1
+            elif inferred and not truth:
+                fp += 1
+            elif not inferred and not truth:
+                tn += 1
+            else:
+                fn += 1
+    total = tp + fp + tn + fn
+    return ProfilingQuality(
+        precision=tp / (tp + fp) if tp + fp else 1.0,
+        recall=tp / (tp + fn) if tp + fn else 1.0,
+        accuracy=(tp + tn) / total,
+        exact_group_rate=exact / len(fleet),
+    )
+
+
+def selection_quality(
+    engine: DopplerEngine,
+    fleet: Sequence[SimulatedCustomer],
+    deployment: DeploymentType,
+    exclude_over_provisioned: bool = True,
+) -> SelectionQuality:
+    """Score recommendations against chosen SKUs, with rank distances."""
+    hits = 0
+    rank_errors: list[int] = []
+    for customer in fleet:
+        if not customer.record.is_settled:
+            continue
+        if exclude_over_provisioned and customer.is_over_provisioned:
+            continue
+        result = engine.recommend(customer.record.trace, deployment)
+        curve = result.curve
+        try:
+            chosen_rank = curve.position_of(customer.chosen_sku_name)
+        except KeyError:
+            continue
+        recommended_rank = curve.position_of(result.sku.name)
+        error = abs(recommended_rank - chosen_rank)
+        rank_errors.append(error)
+        hits += error == 0
+    if not rank_errors:
+        raise ValueError("no evaluable customers in the fleet")
+    errors = np.asarray(rank_errors)
+    return SelectionQuality(
+        accuracy=hits / errors.size,
+        mean_rank_error=float(errors.mean()),
+        within_one_rank=float((errors <= 1).mean()),
+        n_evaluated=int(errors.size),
+    )
+
+
+def overprovision_detection_quality(
+    engine: DopplerEngine,
+    fleet: Sequence[SimulatedCustomer],
+    deployment: DeploymentType,
+) -> DetectionQuality:
+    """Confusion counts of the right-sizing detector vs ground truth."""
+    tp = fp = tn = fn = 0
+    for customer in fleet:
+        report = engine.assess_over_provisioning(
+            customer.record.trace, deployment, customer.chosen_sku_name
+        )
+        flagged = report.is_over_provisioned
+        truth = customer.is_over_provisioned
+        if flagged and truth:
+            tp += 1
+        elif flagged and not truth:
+            fp += 1
+        elif not flagged and not truth:
+            tn += 1
+        else:
+            fn += 1
+    return DetectionQuality(
+        true_positive=tp, false_positive=fp, true_negative=tn, false_negative=fn
+    )

@@ -1,0 +1,82 @@
+"""File -> database -> instance counter rollups.
+
+The DMA Perf Collector & Pre-Aggregator gathers counters at the file
+level and aggregates them "at the file, database and instance levels"
+(paper Section 4).  Aggregation semantics differ per dimension:
+
+* throughput-like counters (CPU, IOPS, log rate) and footprints
+  (memory, storage) *add up* across children;
+* IO latency does not add: the observable instance latency is the
+  worst (max) of the children's latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .counters import PerfDimension
+from .timeseries import TimeSeries
+from .trace import PerformanceTrace
+
+__all__ = ["aggregate_traces", "aggregate_database", "aggregate_instance"]
+
+
+def _combine(dimension: PerfDimension, series: Sequence[TimeSeries]) -> TimeSeries:
+    """Fold child series into one parent series for a dimension."""
+    combined = series[0]
+    for child in series[1:]:
+        if dimension.lower_is_better:
+            combined = combined.pointwise_max(child)
+        else:
+            combined = combined + child
+    return combined
+
+
+def aggregate_traces(
+    traces: Iterable[PerformanceTrace],
+    entity_id: str,
+) -> PerformanceTrace:
+    """Roll child traces up into one parent trace.
+
+    All children must expose the same dimension set with aligned
+    clocks.
+
+    Args:
+        traces: Child traces (e.g. one per database file).
+        entity_id: Identifier for the aggregated entity.
+
+    Raises:
+        ValueError: If no traces are given or dimension sets differ.
+    """
+    trace_list = list(traces)
+    if not trace_list:
+        raise ValueError("cannot aggregate zero traces")
+    dimension_sets = {trace.dimensions for trace in trace_list}
+    if len(dimension_sets) != 1:
+        raise ValueError(
+            "child traces expose different dimension sets: "
+            f"{sorted(tuple(d.name for d in dims) for dims in dimension_sets)}"
+        )
+    dimensions = trace_list[0].dimensions
+    series = {
+        dim: _combine(dim, [trace[dim] for trace in trace_list]) for dim in dimensions
+    }
+    return PerformanceTrace(series=series, entity_id=entity_id)
+
+
+def aggregate_database(
+    file_traces: Iterable[PerformanceTrace], database_id: str
+) -> PerformanceTrace:
+    """File-level traces -> one database-level trace."""
+    return aggregate_traces(file_traces, entity_id=database_id)
+
+
+def aggregate_instance(
+    database_traces: Iterable[PerformanceTrace], instance_id: str
+) -> PerformanceTrace:
+    """Database-level traces -> one instance-level trace.
+
+    This is the granularity at which MI recommendations are produced
+    ("instance-level price-performance curves", paper Section 3.2).
+    """
+    return aggregate_traces(database_traces, entity_id=instance_id)

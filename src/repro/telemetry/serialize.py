@@ -1,0 +1,95 @@
+"""JSON and CSV round-trip serialization for telemetry.
+
+The AzMigrate appliance stores counters locally on the target database
+before uploading them to the control plane (paper Figure 2).  This
+module provides the equivalent persistence layer: a versioned JSON
+document format for traces and a flat CSV export for the resource-use
+dashboard.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .counters import PerfDimension
+from .timeseries import TimeSeries
+from .trace import PerformanceTrace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "dump_trace_json",
+    "load_trace_json",
+    "trace_to_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: PerformanceTrace) -> dict[str, Any]:
+    """Convert a trace to a JSON-serializable document."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "entity_id": trace.entity_id,
+        "interval_minutes": trace.interval_minutes,
+        "series": {
+            dim.name: {
+                "start_minute": trace[dim].start_minute,
+                "values": trace[dim].values.tolist(),
+            }
+            for dim in trace.dimensions
+        },
+    }
+
+
+def trace_from_dict(document: dict[str, Any]) -> PerformanceTrace:
+    """Reconstruct a trace from :func:`trace_to_dict` output.
+
+    Raises:
+        ValueError: On unknown format versions or malformed documents.
+    """
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    interval = float(document["interval_minutes"])
+    series: dict[PerfDimension, TimeSeries] = {}
+    for name, payload in document["series"].items():
+        try:
+            dimension = PerfDimension[name]
+        except KeyError:
+            raise ValueError(f"unknown performance dimension {name!r}") from None
+        series[dimension] = TimeSeries(
+            values=np.asarray(payload["values"], dtype=float),
+            interval_minutes=interval,
+            start_minute=float(payload.get("start_minute", 0.0)),
+        )
+    return PerformanceTrace(series=series, entity_id=str(document.get("entity_id", "unnamed")))
+
+
+def dump_trace_json(trace: PerformanceTrace, path: str | Path) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
+
+
+def load_trace_json(path: str | Path) -> PerformanceTrace:
+    """Read a trace from a JSON file written by :func:`dump_trace_json`."""
+    return trace_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def trace_to_csv(trace: PerformanceTrace) -> str:
+    """Render a trace as CSV text (timestamp plus one column per dimension)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    dims = trace.dimensions
+    writer.writerow(["minute"] + [dim.value for dim in dims])
+    stamps = trace[dims[0]].timestamps_minutes()
+    columns = [trace[dim].values for dim in dims]
+    for i, stamp in enumerate(stamps):
+        writer.writerow([f"{stamp:.1f}"] + [f"{column[i]:.6g}" for column in columns])
+    return buffer.getvalue()

@@ -1,0 +1,63 @@
+"""Workload generation, synthesis and replay substrate.
+
+Stands in for the proprietary customer traces and the internal
+workload-synthesis tool of paper Section 5.4: temporal demand
+patterns, benchmark resource signatures (TPC-C/H/DS, YCSB), trace
+generation, trace-matching synthesis and a SKU execution simulator.
+"""
+
+from .generator import WorkloadSpec, generate_trace
+from .patterns import (
+    BurstyPattern,
+    Composite,
+    DemandPattern,
+    DiurnalPattern,
+    IdlePattern,
+    PlateauPattern,
+    RampPattern,
+    SpikyPattern,
+    SteadyPattern,
+)
+from .profiles import (
+    STANDARD_BENCHMARKS,
+    TPCC,
+    TPCDS,
+    TPCH,
+    YCSB,
+    BenchmarkPiece,
+    BenchmarkSignature,
+)
+from .replay import ReplayResult, replay_on_sku
+from .synthesizer import (
+    FidelityReport,
+    SynthesizedWorkload,
+    WorkloadSynthesizer,
+    fidelity_report,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_trace",
+    "BurstyPattern",
+    "Composite",
+    "DemandPattern",
+    "DiurnalPattern",
+    "IdlePattern",
+    "PlateauPattern",
+    "RampPattern",
+    "SpikyPattern",
+    "SteadyPattern",
+    "STANDARD_BENCHMARKS",
+    "TPCC",
+    "TPCDS",
+    "TPCH",
+    "YCSB",
+    "BenchmarkPiece",
+    "BenchmarkSignature",
+    "ReplayResult",
+    "replay_on_sku",
+    "FidelityReport",
+    "fidelity_report",
+    "SynthesizedWorkload",
+    "WorkloadSynthesizer",
+]

@@ -1,0 +1,243 @@
+"""Temporal demand patterns for synthetic workloads.
+
+The proprietary customer traces behind the paper's evaluation cannot be
+redistributed, so every experiment synthesizes traces from these
+building blocks.  Each pattern maps an assessment clock to a
+non-negative demand level; the shapes mirror the behaviours the paper
+discusses:
+
+* :class:`SteadyPattern` -- stable utilization (high confidence scores,
+  non-negotiable dimensions);
+* :class:`SpikyPattern` -- rare, short-lived spikes over a low base
+  (the paper's canonical *negotiable* dimension, Figure 4a);
+* :class:`DiurnalPattern` -- daily seasonality (the STL summarizer's
+  target case);
+* :class:`BurstyPattern` -- sustained on/off plateaus (long spells near
+  peak => non-negotiable despite variance);
+* :class:`RampPattern` -- monotone growth (SKU-change customers,
+  Figure 11);
+* :class:`IdlePattern` -- near-zero demand (the "relatively idle"
+  on-prem estates of Section 5.3).
+
+All patterns are deterministic given a seeded generator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.bootstrap import resolve_rng
+
+__all__ = [
+    "DemandPattern",
+    "SteadyPattern",
+    "SpikyPattern",
+    "DiurnalPattern",
+    "BurstyPattern",
+    "RampPattern",
+    "IdlePattern",
+    "PlateauPattern",
+    "Composite",
+]
+
+_MINUTES_PER_DAY = 24.0 * 60.0
+
+
+class DemandPattern(abc.ABC):
+    """A non-negative demand signal over the assessment clock."""
+
+    @abc.abstractmethod
+    def generate(
+        self,
+        n_samples: int,
+        interval_minutes: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Produce ``n_samples`` demand values at the given cadence."""
+
+    def _noise(
+        self, n: int, scale: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Multiplicative lognormal-ish jitter centred on 1."""
+        if scale <= 0:
+            return np.ones(n)
+        return np.exp(rng.normal(0.0, scale, size=n))
+
+
+@dataclass(frozen=True)
+class SteadyPattern(DemandPattern):
+    """Stable demand around ``level`` with small relative noise."""
+
+    level: float
+    noise: float = 0.05
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        base = np.full(n_samples, self.level)
+        return np.maximum(0.0, base * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class SpikyPattern(DemandPattern):
+    """Low base demand with rare, short spikes to ``peak``.
+
+    Attributes:
+        base: Demand between spikes.
+        peak: Demand during a spike.
+        spike_probability: Per-sample probability that a spike starts.
+        spike_duration_samples: How many consecutive samples a spike
+            lasts.  Short durations relative to the assessment period
+            make the dimension *negotiable* under the thresholding
+            algorithm.
+        noise: Relative jitter.
+    """
+
+    base: float
+    peak: float
+    spike_probability: float = 0.01
+    spike_duration_samples: int = 3
+    noise: float = 0.05
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        values = np.full(n_samples, self.base)
+        starts = np.flatnonzero(generator.random(n_samples) < self.spike_probability)
+        for start in starts:
+            stop = min(n_samples, start + max(1, self.spike_duration_samples))
+            values[start:stop] = self.peak
+        # Guarantee at least one spike so the peak is observable.
+        if starts.size == 0 and n_samples > self.spike_duration_samples:
+            start = int(generator.integers(0, n_samples - self.spike_duration_samples))
+            values[start : start + self.spike_duration_samples] = self.peak
+        return np.maximum(0.0, values * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class DiurnalPattern(DemandPattern):
+    """Daily sinusoidal demand between trough and peak.
+
+    Attributes:
+        trough: Overnight demand floor.
+        peak: Midday demand ceiling.
+        period_minutes: Cycle length; default one day.
+        phase_fraction: Phase offset as a fraction of the period.
+        noise: Relative jitter.
+    """
+
+    trough: float
+    peak: float
+    period_minutes: float = _MINUTES_PER_DAY
+    phase_fraction: float = 0.0
+    noise: float = 0.05
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        t = np.arange(n_samples) * interval_minutes
+        phase = 2.0 * np.pi * (t / self.period_minutes + self.phase_fraction)
+        mid = 0.5 * (self.peak + self.trough)
+        amplitude = 0.5 * (self.peak - self.trough)
+        values = mid + amplitude * np.sin(phase)
+        return np.maximum(0.0, values * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class BurstyPattern(DemandPattern):
+    """Alternating sustained high/low plateaus (batch-style load).
+
+    Attributes:
+        low: Demand in the off phase.
+        high: Demand in the on phase.
+        mean_on_samples: Average on-phase length (geometric).
+        mean_off_samples: Average off-phase length (geometric).
+        noise: Relative jitter.
+    """
+
+    low: float
+    high: float
+    mean_on_samples: int = 36
+    mean_off_samples: int = 36
+    noise: float = 0.05
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        values = np.empty(n_samples)
+        position = 0
+        on = bool(generator.random() < 0.5)
+        while position < n_samples:
+            mean = self.mean_on_samples if on else self.mean_off_samples
+            length = 1 + int(generator.geometric(1.0 / max(1, mean)))
+            stop = min(n_samples, position + length)
+            values[position:stop] = self.high if on else self.low
+            position = stop
+            on = not on
+        return np.maximum(0.0, values * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class PlateauPattern(DemandPattern):
+    """Demand hugging a ceiling with downward-only excursions.
+
+    Real sustained-load counters saturate against a plateau: the upper
+    tail is compressed (the resource cannot demand more than the
+    application drives) while dips happen freely.  Under the
+    thresholding summarizer most samples sit within one standard
+    deviation of the max, so the dimension reads *non-negotiable* --
+    exactly the behaviour the paper attributes to steady workloads.
+
+    Attributes:
+        level: The plateau demand (also approximately the max).
+        dip_scale: Scale of the half-normal downward excursions,
+            relative to ``level``.
+    """
+
+    level: float
+    dip_scale: float = 0.06
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        dips = np.abs(generator.normal(0.0, self.dip_scale, size=n_samples))
+        return np.maximum(0.0, self.level * (1.0 - dips))
+
+
+@dataclass(frozen=True)
+class RampPattern(DemandPattern):
+    """Linear demand growth from ``start`` to ``end`` over the window."""
+
+    start: float
+    end: float
+    noise: float = 0.05
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        values = np.linspace(self.start, self.end, n_samples)
+        return np.maximum(0.0, values * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class IdlePattern(DemandPattern):
+    """Near-zero demand with occasional tiny activity."""
+
+    level: float = 0.05
+    noise: float = 0.5
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        base = np.full(n_samples, self.level)
+        return np.maximum(0.0, base * self._noise(n_samples, self.noise, generator))
+
+
+@dataclass(frozen=True)
+class Composite(DemandPattern):
+    """Pointwise sum of two patterns (e.g. diurnal base + spikes)."""
+
+    first: DemandPattern
+    second: DemandPattern
+
+    def generate(self, n_samples, interval_minutes, rng=None):
+        generator = resolve_rng(rng)
+        return self.first.generate(n_samples, interval_minutes, generator) + self.second.generate(
+            n_samples, interval_minutes, generator
+        )

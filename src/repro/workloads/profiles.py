@@ -1,0 +1,166 @@
+"""Resource signatures of standardized benchmarks.
+
+The paper's workload synthesizer (Section 5.4) builds synthetic
+workloads "by combining pieces of standardized benchmarks (e.g.,
+TPC-C, TPC-DS, TPC-H, and YCSB) with different database sizes (i.e.,
+scaling factors), query frequency, and concurrency".
+
+A :class:`BenchmarkSignature` captures the steady-state resource
+demand of one benchmark *per unit of concurrency at scale factor 1*.
+Scaling rules follow the benchmarks' published behaviour:
+
+* concurrency multiplies throughput-type demands (CPU, IOPS, log rate)
+  roughly linearly until saturation -- we keep the linear regime and
+  let the replay simulator model saturation;
+* scale factor grows the working set: storage linearly, memory with a
+  sub-linear exponent (hot set grows slower than data);
+* query frequency multiplies CPU/IOPS demand directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..telemetry.counters import PerfDimension
+
+__all__ = [
+    "BenchmarkSignature",
+    "TPCC",
+    "TPCH",
+    "TPCDS",
+    "YCSB",
+    "STANDARD_BENCHMARKS",
+    "BenchmarkPiece",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSignature:
+    """Per-client steady-state demand of one benchmark at SF 1.
+
+    Attributes:
+        name: Benchmark name.
+        cpu_vcores: vCores consumed per concurrent client.
+        memory_gb: Resident memory per unit scale factor.
+        iops: Data IOPS per concurrent client.
+        log_rate_mbps: Log write rate per concurrent client (OLTP
+            benchmarks write heavily, analytic ones barely).
+        storage_gb: Data footprint per unit scale factor.
+        io_latency_ms: Latency the benchmark *requires* to meet its
+            response-time criteria (lower = more demanding).
+        memory_scale_exponent: Hot-set growth exponent with scale
+            factor.
+    """
+
+    name: str
+    cpu_vcores: float
+    memory_gb: float
+    iops: float
+    log_rate_mbps: float
+    storage_gb: float
+    io_latency_ms: float
+    memory_scale_exponent: float = 0.7
+
+    def demand(
+        self,
+        scale_factor: float = 1.0,
+        concurrency: int = 1,
+        query_frequency: float = 1.0,
+    ) -> dict[PerfDimension, float]:
+        """Steady-state demand for a parameterized benchmark piece.
+
+        Args:
+            scale_factor: Database size multiplier.
+            concurrency: Number of concurrent clients.
+            query_frequency: Request-rate multiplier applied on top of
+                concurrency.
+
+        Returns:
+            Demand per dimension, in the dimension's native unit.
+        """
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be positive, got {scale_factor!r}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency!r}")
+        if query_frequency <= 0:
+            raise ValueError(f"query_frequency must be positive, got {query_frequency!r}")
+        rate = concurrency * query_frequency
+        return {
+            PerfDimension.CPU: self.cpu_vcores * rate,
+            PerfDimension.MEMORY: self.memory_gb * scale_factor**self.memory_scale_exponent,
+            PerfDimension.IOPS: self.iops * rate,
+            PerfDimension.LOG_RATE: self.log_rate_mbps * rate,
+            PerfDimension.STORAGE: self.storage_gb * scale_factor,
+            PerfDimension.IO_LATENCY: self.io_latency_ms,
+        }
+
+
+#: OLTP order-entry: write-heavy, log- and IOPS-bound, latency-critical.
+TPCC = BenchmarkSignature(
+    name="TPC-C",
+    cpu_vcores=0.18,
+    memory_gb=1.2,
+    iops=220.0,
+    log_rate_mbps=0.9,
+    storage_gb=9.6,
+    io_latency_ms=2.0,
+)
+
+#: Analytic ad-hoc queries: CPU/memory-bound scans, few log writes.
+TPCH = BenchmarkSignature(
+    name="TPC-H",
+    cpu_vcores=0.85,
+    memory_gb=4.5,
+    iops=90.0,
+    log_rate_mbps=0.05,
+    storage_gb=11.0,
+    io_latency_ms=8.0,
+)
+
+#: Decision support with wider schema: like TPC-H, heavier memory.
+TPCDS = BenchmarkSignature(
+    name="TPC-DS",
+    cpu_vcores=0.70,
+    memory_gb=6.0,
+    iops=110.0,
+    log_rate_mbps=0.08,
+    storage_gb=13.0,
+    io_latency_ms=8.0,
+)
+
+#: Key-value serving: IOPS-bound point reads/writes, tiny CPU.
+YCSB = BenchmarkSignature(
+    name="YCSB",
+    cpu_vcores=0.06,
+    memory_gb=0.8,
+    iops=450.0,
+    log_rate_mbps=0.35,
+    storage_gb=4.0,
+    io_latency_ms=1.5,
+)
+
+#: The four benchmark families the paper's synthesizer combines.
+STANDARD_BENCHMARKS: tuple[BenchmarkSignature, ...] = (TPCC, TPCH, TPCDS, YCSB)
+
+
+@dataclass(frozen=True)
+class BenchmarkPiece:
+    """One parameterized benchmark component of a synthesized workload."""
+
+    signature: BenchmarkSignature
+    scale_factor: float = 1.0
+    concurrency: int = 1
+    query_frequency: float = 1.0
+
+    def demand(self) -> dict[PerfDimension, float]:
+        return self.signature.demand(
+            scale_factor=self.scale_factor,
+            concurrency=self.concurrency,
+            query_frequency=self.query_frequency,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.signature.name}(sf={self.scale_factor:g}, "
+            f"clients={self.concurrency}, freq={self.query_frequency:g})"
+        )

@@ -1,0 +1,162 @@
+"""Unit tests for the catalog generator, pricing model and catalog API."""
+
+import pytest
+
+from repro.catalog import (
+    DEFAULT_PRICING,
+    DeploymentType,
+    HardwareGeneration,
+    PricingModel,
+    ServiceTier,
+    SkuCatalog,
+    default_catalog_skus,
+    generate_skus,
+)
+
+from .conftest import make_sku
+
+
+class TestPricing:
+    def test_figure1_db_gp_2core_anchor(self):
+        """Figure 1: DB GP 2 vCores listed at $0.51/h (compute only)."""
+        compute = 2 * DEFAULT_PRICING.db_gp_vcore_hour
+        assert compute == pytest.approx(0.505, abs=0.01)
+
+    def test_figure1_db_bc_2core_anchor(self):
+        compute = 2 * DEFAULT_PRICING.db_bc_vcore_hour
+        assert compute == pytest.approx(1.36, abs=0.01)
+
+    def test_bc_costs_more_than_gp(self):
+        sku_gp = make_sku(4, ServiceTier.GENERAL_PURPOSE)
+        limits = sku_gp.limits
+        for deployment in DeploymentType:
+            gp = DEFAULT_PRICING.price_per_hour(
+                deployment, ServiceTier.GENERAL_PURPOSE, HardwareGeneration.GEN5, limits
+            )
+            bc = DEFAULT_PRICING.price_per_hour(
+                deployment, ServiceTier.BUSINESS_CRITICAL, HardwareGeneration.GEN5, limits
+            )
+            assert bc > gp
+
+    def test_price_scales_with_vcores(self):
+        small = make_sku(2, storage_gb=32.0).limits
+        big = make_sku(8, storage_gb=32.0).limits
+        p_small = DEFAULT_PRICING.price_per_hour(
+            DeploymentType.SQL_DB, ServiceTier.GENERAL_PURPOSE, HardwareGeneration.GEN5, small
+        )
+        p_big = DEFAULT_PRICING.price_per_hour(
+            DeploymentType.SQL_DB, ServiceTier.GENERAL_PURPOSE, HardwareGeneration.GEN5, big
+        )
+        assert p_big > p_small * 3.5
+
+    def test_storage_surcharge_applies_beyond_allowance(self):
+        pricing = PricingModel()
+        small = make_sku(2, storage_gb=32.0).limits
+        big = make_sku(2, storage_gb=2048.0).limits
+        p_small = pricing.price_per_hour(
+            DeploymentType.SQL_DB, ServiceTier.GENERAL_PURPOSE, HardwareGeneration.GEN5, small
+        )
+        p_big = pricing.price_per_hour(
+            DeploymentType.SQL_DB, ServiceTier.GENERAL_PURPOSE, HardwareGeneration.GEN5, big
+        )
+        assert p_big > p_small
+
+
+class TestGenerator:
+    def test_catalog_exceeds_200_skus(self):
+        """The paper: Azure has 'over 200 different PaaS cloud SKUs'."""
+        assert len(default_catalog_skus()) > 200
+
+    def test_deterministic_order(self):
+        assert [sku.name for sku in generate_skus()] == [
+            sku.name for sku in generate_skus()
+        ]
+
+    def test_unique_names(self):
+        names = [sku.name for sku in generate_skus()]
+        assert len(names) == len(set(names))
+
+    def test_both_deployments_and_tiers_present(self):
+        skus = default_catalog_skus()
+        combos = {(sku.deployment, sku.tier) for sku in skus}
+        assert len(combos) == 4
+
+    def test_figure1_db_gp_2core_limits(self):
+        """Figure 1 anchor row: GP 2 vCores -> 10.4 GB mem, 640 IOPS, 7.5 MBps."""
+        match = [
+            sku
+            for sku in default_catalog_skus()
+            if sku.deployment is DeploymentType.SQL_DB
+            and sku.tier is ServiceTier.GENERAL_PURPOSE
+            and sku.hardware is HardwareGeneration.GEN5
+            and sku.limits.vcores == 2
+        ]
+        assert match
+        sku = match[0]
+        assert sku.limits.max_memory_gb == pytest.approx(10.4)
+        assert sku.limits.max_data_iops == pytest.approx(640)
+        assert sku.limits.max_log_rate_mbps == pytest.approx(7.5)
+        assert sku.limits.min_io_latency_ms == 5.0
+
+    def test_figure1_db_bc_2core_limits(self):
+        match = [
+            sku
+            for sku in default_catalog_skus()
+            if sku.deployment is DeploymentType.SQL_DB
+            and sku.tier is ServiceTier.BUSINESS_CRITICAL
+            and sku.hardware is HardwareGeneration.GEN5
+            and sku.limits.vcores == 2
+        ]
+        sku = match[0]
+        assert sku.limits.max_data_iops == pytest.approx(8000)
+        assert sku.limits.max_log_rate_mbps == pytest.approx(24.0)
+        assert sku.limits.min_io_latency_ms == 1.0
+
+    def test_log_rate_capped(self):
+        for sku in default_catalog_skus():
+            assert sku.limits.max_log_rate_mbps <= 96.0
+
+
+class TestSkuCatalog:
+    def test_sorted_by_price(self, default_catalog):
+        prices = [sku.monthly_price for sku in default_catalog]
+        assert prices == sorted(prices)
+
+    def test_cheapest(self, small_catalog):
+        assert small_catalog.cheapest().vcores == 2
+
+    def test_for_deployment_filters(self, default_catalog):
+        db_only = default_catalog.for_deployment(DeploymentType.SQL_DB)
+        assert all(sku.deployment is DeploymentType.SQL_DB for sku in db_only)
+        assert len(db_only) < len(default_catalog)
+
+    def test_for_tier_filters(self, small_catalog):
+        bc = small_catalog.for_tier(ServiceTier.BUSINESS_CRITICAL)
+        assert len(bc) == 5
+        assert all(sku.tier is ServiceTier.BUSINESS_CRITICAL for sku in bc)
+
+    def test_fitting_storage(self, default_catalog):
+        fitted = default_catalog.fitting_storage(3000.0)
+        assert all(sku.limits.max_data_size_gb >= 3000.0 for sku in fitted)
+        assert len(fitted) > 0
+
+    def test_by_name_roundtrip(self, small_catalog):
+        sku = small_catalog[3]
+        assert small_catalog.by_name(sku.name) is sku
+
+    def test_by_name_missing_raises(self, small_catalog):
+        with pytest.raises(KeyError):
+            small_catalog.by_name("nope")
+
+    def test_duplicate_names_rejected(self):
+        sku = make_sku(2, name="dup")
+        with pytest.raises(ValueError, match="duplicate"):
+            SkuCatalog.from_skus([sku, make_sku(4, name="dup")])
+
+    def test_empty_catalog_cheapest_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            SkuCatalog.from_skus([]).cheapest()
+
+    def test_price_range(self, small_catalog):
+        lo, hi = small_catalog.price_range()
+        assert lo < hi

@@ -1,0 +1,127 @@
+"""Unit tests for repro.catalog.models."""
+
+import math
+
+import pytest
+
+from repro.catalog import (
+    HOURS_PER_MONTH,
+    DeploymentType,
+    HardwareGeneration,
+    ResourceLimits,
+    ServiceTier,
+    SkuSpec,
+)
+
+from .conftest import make_sku
+
+
+def limits(**overrides):
+    base = dict(
+        vcores=4.0,
+        max_memory_gb=20.8,
+        max_data_iops=1280.0,
+        max_log_rate_mbps=15.0,
+        max_data_size_gb=1024.0,
+        min_io_latency_ms=5.0,
+    )
+    base.update(overrides)
+    return ResourceLimits(**base)
+
+
+class TestResourceLimits:
+    def test_valid_limits_accepted(self):
+        result = limits()
+        assert result.vcores == 4.0
+        assert result.max_memory_gb == 20.8
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "vcores",
+            "max_memory_gb",
+            "max_data_iops",
+            "max_log_rate_mbps",
+            "max_data_size_gb",
+            "min_io_latency_ms",
+        ],
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            limits(**{field: 0.0})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            limits(vcores=bad)
+
+    def test_dominates_reflexive(self):
+        assert limits().dominates(limits())
+
+    def test_dominates_bigger_machine(self):
+        big = limits(vcores=8.0, max_memory_gb=41.6, max_data_iops=2560.0)
+        assert big.dominates(limits())
+        assert not limits().dominates(big)
+
+    def test_dominates_latency_is_inverted(self):
+        fast = limits(min_io_latency_ms=1.0)
+        slow = limits(min_io_latency_ms=5.0)
+        assert fast.dominates(slow)
+        assert not slow.dominates(fast)
+
+    def test_with_iops_replaces_only_iops(self):
+        replaced = limits().with_iops(9999.0)
+        assert replaced.max_data_iops == 9999.0
+        assert replaced.vcores == limits().vcores
+        assert replaced.max_memory_gb == limits().max_memory_gb
+
+
+class TestSkuSpec:
+    def test_monthly_price(self):
+        sku = make_sku(2)
+        assert sku.monthly_price == pytest.approx(sku.price_per_hour * HOURS_PER_MONTH)
+
+    def test_auto_generated_name_is_stable(self):
+        a = make_sku(4)
+        b = make_sku(4)
+        assert a.name == b.name
+        assert "DB_GP" in a.name
+
+    def test_explicit_name_preserved(self):
+        sku = make_sku(4, name="custom")
+        assert sku.name == "custom"
+
+    def test_rejects_non_positive_price(self):
+        with pytest.raises(ValueError, match="price"):
+            SkuSpec(
+                deployment=DeploymentType.SQL_DB,
+                tier=ServiceTier.GENERAL_PURPOSE,
+                hardware=HardwareGeneration.GEN5,
+                limits=limits(),
+                price_per_hour=0.0,
+            )
+
+    def test_describe_matches_figure1_format(self):
+        text = make_sku(2).describe()
+        assert "DB GP 2 vCores" in text
+        assert "$" in text and "IOPS" in text
+
+    def test_vcores_property(self):
+        assert make_sku(8).vcores == 8.0
+
+
+class TestEnums:
+    def test_deployment_short_names(self):
+        assert DeploymentType.SQL_DB.short_name == "DB"
+        assert DeploymentType.SQL_MI.short_name == "MI"
+
+    def test_tier_short_names(self):
+        assert ServiceTier.GENERAL_PURPOSE.short_name == "GP"
+        assert ServiceTier.BUSINESS_CRITICAL.short_name == "BC"
+
+    def test_gen5_memory_matches_figure1(self):
+        # Figure 1: 2 vCores -> 10.4 GB max memory.
+        assert 2 * HardwareGeneration.GEN5.memory_per_vcore_gb == pytest.approx(10.4)
+
+    def test_premium_series_costs_more(self):
+        assert HardwareGeneration.PREMIUM_SERIES.price_multiplier > 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for repro.catalog.storage (MI premium-disk tiers)."""
+
+import pytest
+
+from repro.catalog import (
+    PREMIUM_DISK_TIERS,
+    FileLayout,
+    plan_file_layout,
+    tier_for_file_size,
+)
+
+
+class TestTierTable:
+    def test_table2_anchor_rows(self):
+        # Paper Table 2: P10 / P20 / P50 / P60 limits.
+        by_name = {tier.name: tier for tier in PREMIUM_DISK_TIERS}
+        assert by_name["P10"].iops == 500 and by_name["P10"].throughput_mibps == 100
+        assert by_name["P20"].iops == 2300 and by_name["P20"].throughput_mibps == 150
+        assert by_name["P50"].iops == 7500 and by_name["P50"].throughput_mibps == 250
+        assert by_name["P60"].iops == 12500 and by_name["P60"].throughput_mibps == 480
+
+    def test_tiers_sorted_by_capacity(self):
+        sizes = [tier.max_file_size_gib for tier in PREMIUM_DISK_TIERS]
+        assert sizes == sorted(sizes)
+
+    def test_iops_monotone_with_capacity(self):
+        iops = [tier.iops for tier in PREMIUM_DISK_TIERS]
+        assert iops == sorted(iops)
+
+
+class TestTierForFileSize:
+    def test_small_file_gets_p10(self):
+        assert tier_for_file_size(50.0).name == "P10"
+
+    def test_boundary_is_inclusive(self):
+        # Table 2: P10 covers [0, 128] GiB.
+        assert tier_for_file_size(128.0).name == "P10"
+        assert tier_for_file_size(128.0001).name == "P15"
+
+    def test_multi_tib_file(self):
+        assert tier_for_file_size(3000.0).name == "P50"
+        assert tier_for_file_size(5000.0).name == "P60"
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            tier_for_file_size(0.0)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            tier_for_file_size(40000.0)
+
+
+class TestFileLayout:
+    def test_one_disk_per_file(self):
+        layout = plan_file_layout([100.0, 400.0, 3000.0])
+        assert [tier.name for tier in layout.tiers] == ["P10", "P20", "P50"]
+
+    def test_total_iops_is_sum(self):
+        layout = plan_file_layout([100.0, 100.0, 100.0])
+        assert layout.total_iops == 3 * 500.0
+
+    def test_total_throughput_is_sum(self):
+        layout = plan_file_layout([100.0, 400.0])
+        assert layout.total_throughput_mibps == 100.0 + 150.0
+
+    def test_total_capacity(self):
+        layout = plan_file_layout([100.0, 400.0])
+        assert layout.total_capacity_gib == 128.0 + 512.0
+
+    def test_covers_uses_95_percent_rule(self):
+        layout = plan_file_layout([100.0])  # 500 IOPS, 100 MiB/s
+        # 520 IOPS demand: 500 >= 0.95 * 520 = 494 -> covered.
+        assert layout.covers(520.0, 50.0)
+        # 600 IOPS demand: 500 < 570 -> not covered.
+        assert not layout.covers(600.0, 50.0)
+
+    def test_covers_checks_throughput_too(self):
+        layout = plan_file_layout([100.0])
+        assert not layout.covers(100.0, 200.0)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            plan_file_layout([])
+
+    def test_layout_paper_example_three_128gb_files(self):
+        # Paper: "a customer can choose an MI SKU that creates 3 files
+        # that can each fit within a 128GB disk".
+        layout = plan_file_layout([128.0, 128.0, 128.0])
+        assert all(tier.name == "P10" for tier in layout.tiers)
+        assert layout.total_iops == 1500.0

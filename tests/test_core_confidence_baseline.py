@@ -1,0 +1,124 @@
+"""Unit tests for the confidence score and the baseline strategy."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType
+from repro.core import BaselineStrategy, confidence_score
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import full_trace, make_trace
+
+
+class TestConfidenceScore:
+    def test_stable_trace_full_confidence(self):
+        trace = full_trace(cpu_level=1.0)
+        result = confidence_score(trace, recommender=lambda t: "always-same", n_rounds=10, rng=0)
+        assert result.score == 1.0
+        assert result.is_confident
+        assert result.votes == {"always-same": 10}
+
+    def test_unstable_recommender_low_confidence(self):
+        trace = full_trace()
+        counter = iter(range(1000))
+
+        def flaky(t):
+            return f"sku-{next(counter) % 5}"
+
+        result = confidence_score(trace, recommender=flaky, n_rounds=10, rng=0)
+        assert result.score < 0.7
+        assert not result.is_confident
+
+    def test_score_is_agreement_fraction(self):
+        trace = make_trace(np.concatenate([np.full(50, 1.0), np.full(50, 9.0)]))
+
+        def half_dependent(t):
+            return "big" if t[PerfDimension.CPU].mean() > 4.0 else "small"
+
+        result = confidence_score(
+            trace, recommender=half_dependent, n_rounds=40, mode="block",
+            window_samples=50, rng=0,
+        )
+        assert result.original_sku == "big"
+        assert 0.1 < result.score < 0.9  # windows land on either half
+
+    def test_iid_mode(self):
+        trace = full_trace()
+        result = confidence_score(
+            trace, recommender=lambda t: "x", n_rounds=5, mode="iid", rng=1
+        )
+        assert result.n_rounds == 5
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_score(full_trace(), recommender=lambda t: "x", mode="bogus")
+
+    def test_deterministic_given_seed(self):
+        trace = full_trace()
+        scores = [
+            confidence_score(trace, recommender=lambda t: "x", n_rounds=4, rng=9).score
+            for _ in range(2)
+        ]
+        assert scores[0] == scores[1]
+
+
+class TestBaseline:
+    def test_picks_cheapest_satisfying_sku(self, small_catalog):
+        trace = full_trace(cpu_level=3.0)  # needs > 2, <= 4 vCores
+        sku = BaselineStrategy(quantile=1.0).recommend(
+            trace, DeploymentType.SQL_DB, small_catalog
+        )
+        assert sku is not None
+        assert sku.vcores == 4
+
+    def test_quantile_95_ignores_rare_spikes(self, small_catalog):
+        cpu = np.full(1000, 1.0)
+        cpu[:5] = 30.0  # 0.5% of samples spike
+        trace = make_trace(cpu)
+        max_pick = BaselineStrategy(quantile=1.0).recommend(
+            trace, DeploymentType.SQL_DB, small_catalog
+        )
+        q95_pick = BaselineStrategy(quantile=0.95).recommend(
+            trace, DeploymentType.SQL_DB, small_catalog
+        )
+        assert max_pick.vcores == 32
+        assert q95_pick.vcores == 2
+
+    def test_over_provisions_spiky_workloads(self, small_catalog):
+        """The paper's critique: max-reduction sizes to the peak."""
+        cpu = np.full(1000, 1.0)
+        cpu[::100] = 14.0
+        trace = make_trace(cpu)
+        sku = BaselineStrategy(quantile=1.0).recommend(
+            trace, DeploymentType.SQL_DB, small_catalog
+        )
+        assert sku.vcores == 16  # sized to the rare peak
+
+    def test_returns_none_when_nothing_satisfies(self, small_catalog):
+        """The documented failure mode (paper Section 5.3)."""
+        trace = make_trace(np.full(10, 1000.0))  # no SKU has 1000 vCores
+        assert (
+            BaselineStrategy().recommend(trace, DeploymentType.SQL_DB, small_catalog)
+            is None
+        )
+
+    def test_latency_requirement_respected(self, small_catalog):
+        """A sub-5ms latency need excludes every GP SKU."""
+        trace = make_trace(np.full(100, 1.0), io_latency_ms=np.full(100, 1.5))
+        sku = BaselineStrategy().recommend(trace, DeploymentType.SQL_DB, small_catalog)
+        assert sku is not None
+        assert sku.limits.min_io_latency_ms <= 1.5
+
+    def test_storage_always_enforced(self, small_catalog):
+        trace = make_trace(np.full(10, 1.0), data_size_gb=np.full(10, 900.0))
+        sku = BaselineStrategy().recommend(trace, DeploymentType.SQL_DB, small_catalog)
+        assert sku.limits.max_data_size_gb >= 900.0
+
+    def test_scalar_demands_shape(self):
+        trace = full_trace()
+        demands = BaselineStrategy().scalar_demands(trace)
+        assert set(demands) == set(trace.dimensions)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            BaselineStrategy(quantile=0.0)

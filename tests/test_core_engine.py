@@ -1,0 +1,166 @@
+"""Unit tests for the DopplerEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType
+from repro.core import CloudCustomerRecord, DopplerEngine
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+from repro.workloads import PlateauPattern, SpikyPattern
+
+from .conftest import full_trace
+
+N = 1008
+
+
+def db_trace(flags=(False, False, False, False), scale=1.0, latency=6.0, seed=0):
+    """DB-dimension trace; spiky where flag True, plateau otherwise."""
+    rng = np.random.default_rng(seed)
+    dims = (
+        PerfDimension.CPU,
+        PerfDimension.MEMORY,
+        PerfDimension.IOPS,
+        PerfDimension.LOG_RATE,
+    )
+    peaks = {
+        PerfDimension.CPU: 6.0 * scale,
+        PerfDimension.MEMORY: 20.0 * scale,
+        PerfDimension.IOPS: 1200.0 * scale,
+        PerfDimension.LOG_RATE: 10.0 * scale,
+    }
+    series = {}
+    for dim, negotiable in zip(dims, flags):
+        if negotiable:
+            pattern = SpikyPattern(base=peaks[dim] * 0.2, peak=peaks[dim], spike_probability=0.006)
+        else:
+            pattern = PlateauPattern(level=peaks[dim])
+        series[dim] = TimeSeries(values=pattern.generate(N, 10.0, rng=rng))
+    series[PerfDimension.IO_LATENCY] = TimeSeries(
+        values=np.abs(rng.normal(latency, 0.3, N)) + 0.1
+    )
+    series[PerfDimension.STORAGE] = TimeSeries(values=np.full(N, 120.0))
+    return PerformanceTrace(series=series, entity_id=f"db-{seed}")
+
+
+class TestColdStart:
+    def test_recommend_without_fit_uses_fallback(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        result = engine.recommend(full_trace(cpu_level=1.0), DeploymentType.SQL_DB)
+        assert result.strategy == "cheapest_full_performance"
+        assert result.sku.vcores == 2
+        assert "heuristic fallback" in " ".join(result.notes)
+
+    def test_explain_renders(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        result = engine.recommend(full_trace(), DeploymentType.SQL_DB)
+        text = result.explain()
+        assert "Recommended SKU" in text
+        assert "Workload profile" in text
+
+
+class TestFitAndRecommend:
+    def make_training(self, small_catalog, n=6):
+        """Strict customers settled on the cheapest 100 % SKU."""
+        engine = DopplerEngine(catalog=small_catalog)
+        records = []
+        for seed in range(n):
+            trace = db_trace(scale=0.5, seed=seed)
+            curve = engine.ppm.build_curve(trace, DeploymentType.SQL_DB)
+            full = curve.cheapest_full_performance() or curve.points[-1]
+            records.append(
+                CloudCustomerRecord(
+                    trace=trace,
+                    deployment=DeploymentType.SQL_DB,
+                    chosen_sku_name=full.sku.name,
+                )
+            )
+        return engine, records
+
+    def test_fit_learns_group_model(self, small_catalog):
+        engine, records = self.make_training(small_catalog)
+        engine.fit(records)
+        assert engine.group_model(DeploymentType.SQL_DB) is not None
+        assert engine.group_model(DeploymentType.SQL_MI) is None
+
+    def test_recommend_matches_strict_training(self, small_catalog):
+        engine, records = self.make_training(small_catalog)
+        engine.fit(records)
+        result = engine.recommend(db_trace(scale=0.5, seed=99), DeploymentType.SQL_DB)
+        assert result.strategy == "profile_match"
+        curve = result.curve
+        full = curve.cheapest_full_performance()
+        assert result.sku.name == full.sku.name
+
+    def test_unsettled_records_ignored(self, small_catalog):
+        engine, records = self.make_training(small_catalog)
+        short = [
+            CloudCustomerRecord(
+                trace=r.trace,
+                deployment=r.deployment,
+                chosen_sku_name=r.chosen_sku_name,
+                days_on_sku=10.0,
+            )
+            for r in records
+        ]
+        engine.fit(short)
+        assert engine.group_model(DeploymentType.SQL_DB) is None
+
+    def test_unknown_chosen_sku_skipped(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        record = CloudCustomerRecord(
+            trace=db_trace(),
+            deployment=DeploymentType.SQL_DB,
+            chosen_sku_name="not-in-catalog",
+        )
+        engine.fit([record])
+        assert engine.group_model(DeploymentType.SQL_DB) is None
+
+    def test_confidence_attached_when_requested(self, small_catalog):
+        engine, records = self.make_training(small_catalog, n=3)
+        engine.fit(records)
+        result = engine.recommend(
+            db_trace(scale=0.5, seed=42),
+            DeploymentType.SQL_DB,
+            with_confidence=True,
+            confidence_rounds=4,
+            rng=0,
+        )
+        assert result.confidence is not None
+        assert result.confidence.n_rounds == 4
+        assert 0.0 <= result.confidence.score <= 1.0
+
+
+class TestOverProvisioning:
+    def test_detects_over_provisioned_customer(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        trace = full_trace(cpu_level=1.0)  # fits the 2-vCore SKU
+        expensive = small_catalog[-1]
+        report = engine.assess_over_provisioning(
+            trace, DeploymentType.SQL_DB, expensive.name
+        )
+        assert report.is_over_provisioned
+        assert report.recommended_sku.vcores == 2
+        assert report.monthly_savings > 0
+        assert report.annual_savings == pytest.approx(report.monthly_savings * 12)
+
+    def test_right_sized_customer_not_flagged(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        trace = full_trace(cpu_level=1.0)
+        cheapest = small_catalog.cheapest()
+        report = engine.assess_over_provisioning(
+            trace, DeploymentType.SQL_DB, cheapest.name
+        )
+        assert not report.is_over_provisioned
+        assert report.monthly_savings == 0.0
+
+    def test_utilization_ratio(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        trace = full_trace(cpu_level=1.0)
+        sku_16 = next(s for s in small_catalog if s.vcores == 16)
+        report = engine.assess_over_provisioning(trace, DeploymentType.SQL_DB, sku_16.name)
+        assert report.utilization_ratio < 0.2
+
+    def test_unknown_sku_raises(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        with pytest.raises(KeyError):
+            engine.assess_over_provisioning(full_trace(), DeploymentType.SQL_DB, "nope")

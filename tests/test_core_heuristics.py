@@ -1,0 +1,75 @@
+"""Unit tests for the curve heuristics (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PricePerformanceCurve,
+    largest_performance_increase,
+    largest_slope,
+    performance_threshold,
+)
+
+from .conftest import make_sku
+
+
+def curve_from(probs, vcores=(2, 4, 6, 8, 10, 12, 14)):
+    skus = [make_sku(v) for v in vcores]
+    return PricePerformanceCurve.from_probabilities(skus, np.asarray(probs, dtype=float))
+
+
+class TestLargestPerformanceIncrease:
+    def test_flat_curve_picks_cheapest(self):
+        choice = largest_performance_increase(curve_from([0.0] * 7))
+        assert choice.point.sku.vcores == 2
+
+    def test_picks_point_after_last_significant_gain(self):
+        choice = largest_performance_increase(curve_from([0.9, 0.5, 0.2, 0.0, 0.0, 0.0, 0.0]))
+        assert choice.point.sku.vcores == 8
+
+    def test_epsilon_controls_significance(self):
+        probs = [0.5, 0.1, 0.095, 0.0, 0.0, 0.0, 0.0]
+        loose = largest_performance_increase(curve_from(probs), epsilon=0.2)
+        tight = largest_performance_increase(curve_from(probs), epsilon=0.001)
+        assert loose.point.sku.vcores < tight.point.sku.vcores
+
+
+class TestLargestSlope:
+    def test_finds_steepest_step(self):
+        # Biggest jump (0.9 -> 0.1) happens at the 4-core step.
+        choice = largest_slope(curve_from([0.9, 0.1, 0.05, 0.0, 0.0, 0.0, 0.0]))
+        assert choice.point.sku.vcores == 4
+
+    def test_single_point_curve(self):
+        curve = PricePerformanceCurve.from_probabilities([make_sku(2)], np.array([0.3]))
+        assert largest_slope(curve).point.sku.vcores == 2
+
+
+class TestPerformanceThreshold:
+    def test_first_point_reaching_gamma(self):
+        choice = performance_threshold(curve_from([0.9, 0.5, 0.2, 0.04, 0.0, 0.0, 0.0]), gamma=0.95)
+        assert choice.point.sku.vcores == 8
+
+    def test_fallback_when_unreachable(self):
+        curve = curve_from([0.9, 0.8, 0.7, 0.6, 0.5, 0.5, 0.5])
+        choice = performance_threshold(curve, gamma=0.95)
+        assert choice.point.sku.name == curve.points[-1].sku.name
+        assert "no SKU reaches" in choice.detail
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            performance_threshold(curve_from([0.0] * 7), gamma=1.5)
+
+
+class TestFigure5Disagreement:
+    def test_heuristics_disagree_on_complex_curves(self):
+        """Reproduces the Figure-5 phenomenon: three heuristics, three
+        different SKUs on a multi-plateau curve."""
+        probs = [0.55, 0.32, 0.30, 0.12, 0.115, 0.05, 0.0]
+        curve = curve_from(probs)
+        picks = {
+            largest_performance_increase(curve).point.sku.vcores,
+            largest_slope(curve).point.sku.vcores,
+            performance_threshold(curve, gamma=0.95).point.sku.vcores,
+        }
+        assert len(picks) >= 2  # at least two heuristics disagree

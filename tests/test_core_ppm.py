@@ -1,0 +1,156 @@
+"""Unit tests for the Price-Performance Modeler (incl. MI two-step)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, ServiceTier, SkuCatalog
+from repro.core import PricePerformanceModeler
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import full_trace, make_sku
+
+
+def mi_catalog():
+    skus = []
+    for vcores in (4, 8, 16, 32):
+        skus.append(
+            make_sku(vcores, ServiceTier.GENERAL_PURPOSE, DeploymentType.SQL_MI,
+                     iops_per_vcore=400.0, storage_gb=2048.0,
+                     price_per_vcore_hour=0.274)
+        )
+        skus.append(
+            make_sku(vcores, ServiceTier.BUSINESS_CRITICAL, DeploymentType.SQL_MI,
+                     iops_per_vcore=2750.0, storage_gb=2048.0,
+                     price_per_vcore_hour=0.735)
+        )
+    return SkuCatalog.from_skus(skus)
+
+
+def mi_trace(cpu_level=2.0, iops_level=300.0, latency=6.0, storage=100.0, n=288):
+    rng = np.random.default_rng(0)
+    jitter = lambda level: np.abs(rng.normal(1.0, 0.02, n)) * level
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(jitter(cpu_level)),
+            PerfDimension.MEMORY: TimeSeries(jitter(cpu_level * 4)),
+            PerfDimension.IOPS: TimeSeries(jitter(iops_level)),
+            PerfDimension.IO_LATENCY: TimeSeries(jitter(latency)),
+            PerfDimension.STORAGE: TimeSeries(jitter(storage)),
+        },
+        entity_id="mi-test",
+    )
+
+
+class TestDbCurve:
+    def test_curve_covers_fitting_skus(self, small_catalog, steady_trace):
+        ppm = PricePerformanceModeler(catalog=small_catalog)
+        curve = ppm.build_curve(steady_trace, DeploymentType.SQL_DB)
+        assert len(curve) == len(small_catalog)
+
+    def test_small_steady_workload_gets_flat_curve(self, small_catalog, steady_trace):
+        ppm = PricePerformanceModeler(catalog=small_catalog)
+        curve = ppm.build_curve(steady_trace, DeploymentType.SQL_DB)
+        assert curve.shape().value == "flat"
+
+    def test_storage_misfit_skus_dropped(self, small_catalog):
+        trace = full_trace(cpu_level=1.0)
+        big_storage = PerformanceTrace(
+            series={
+                **{dim: trace[dim] for dim in trace.dimensions if dim is not PerfDimension.STORAGE},
+                PerfDimension.STORAGE: trace[PerfDimension.STORAGE].with_values(
+                    np.full(trace.n_samples, 4000.0)
+                ),
+            },
+            entity_id="big",
+        )
+        ppm = PricePerformanceModeler(catalog=small_catalog)
+        with pytest.raises(ValueError, match="hold"):
+            ppm.build_curve(big_storage, DeploymentType.SQL_DB)
+
+    def test_missing_all_dimensions_rejected(self, small_catalog):
+        trace = PerformanceTrace(
+            series={PerfDimension.STORAGE: TimeSeries(np.full(10, 10.0))}
+        )
+        ppm = PricePerformanceModeler(catalog=small_catalog)
+        with pytest.raises(ValueError, match="MI performance dimensions"):
+            ppm.build_curve(trace, DeploymentType.SQL_MI)
+
+    def test_big_workload_throttles_small_skus(self, small_catalog):
+        trace = full_trace(cpu_level=10.0)
+        ppm = PricePerformanceModeler(catalog=small_catalog)
+        curve = ppm.build_curve(trace, DeploymentType.SQL_DB)
+        assert curve.points[0].throttling_probability > 0.9
+        assert curve.points[-1].score == pytest.approx(1.0)
+
+
+class TestMiStorageStep:
+    def test_plan_defaults_to_single_file(self):
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        plan = ppm.plan_mi_storage(mi_trace(storage=100.0))
+        assert len(plan.layout.tiers) == 1
+        assert plan.layout.tiers[0].name == "P10"
+
+    def test_explicit_file_layout(self):
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        plan = ppm.plan_mi_storage(mi_trace(), file_sizes_gib=[100.0, 100.0, 100.0])
+        assert plan.layout.total_iops == 1500.0
+
+    def test_gp_allowed_when_layout_covers_demand(self):
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        plan = ppm.plan_mi_storage(mi_trace(iops_level=300.0, storage=100.0))
+        assert plan.gp_allowed  # P10 = 500 IOPS >= 0.95 * ~310
+
+    def test_gp_excluded_when_layout_cannot_cover(self):
+        """Step 1: IOPS demand beyond the layout -> BC-only candidates."""
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        trace = mi_trace(iops_level=3000.0, storage=100.0)  # P10 = 500 IOPS
+        plan = ppm.plan_mi_storage(trace)
+        assert not plan.gp_allowed
+        curve = ppm.build_curve(trace, DeploymentType.SQL_MI)
+        tiers = {point.sku.tier for point in curve}
+        assert tiers == {ServiceTier.BUSINESS_CRITICAL}
+
+    def test_gp_iops_limit_from_layout_not_nominal(self):
+        """Step 2: the GP IOPS cap is the summed file-disk limit."""
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        # 450 IOPS demand: below P10's 500 (layout) but above nothing
+        # nominal -- GP 4 cores nominal would be 1600.  Use a demand
+        # *between* layout (500) and nominal (1600) to expose the
+        # difference: 1000 IOPS.
+        trace = mi_trace(iops_level=1000.0, storage=100.0)
+        plan = ppm.plan_mi_storage(trace)
+        # Layout covers 95%? 500 < 0.95*~1010 -> GP excluded entirely.
+        assert not plan.gp_allowed
+
+    def test_gp_throttles_on_layout_limit(self):
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        # Demand ~480 IOPS: layout P10=500 covers >=95 % (Step 1 passes),
+        # but spikes above 500 throttle under the layout limit even
+        # though every GP SKU's nominal limit (>=1600) would not.
+        rng = np.random.default_rng(1)
+        n = 288
+        iops = np.full(n, 400.0)
+        iops[::20] = 520.0  # 5% of samples above the 500 layout cap
+        trace = PerformanceTrace(
+            series={
+                PerfDimension.CPU: TimeSeries(np.full(n, 1.0)),
+                PerfDimension.MEMORY: TimeSeries(np.full(n, 4.0)),
+                PerfDimension.IOPS: TimeSeries(iops),
+                PerfDimension.IO_LATENCY: TimeSeries(np.full(n, 6.0)),
+                PerfDimension.STORAGE: TimeSeries(np.full(n, 100.0)),
+            },
+            entity_id="gp-layout",
+        )
+        curve = ppm.build_curve(trace, DeploymentType.SQL_MI)
+        cheapest_gp = next(
+            point for point in curve if point.sku.tier is ServiceTier.GENERAL_PURPOSE
+        )
+        assert cheapest_gp.throttling_probability > 0.0
+
+
+class TestMiCurve:
+    def test_instance_curve_built(self):
+        ppm = PricePerformanceModeler(catalog=mi_catalog())
+        curve = ppm.build_curve(mi_trace(), DeploymentType.SQL_MI)
+        assert len(curve) > 0
+        assert all(p.sku.deployment is DeploymentType.SQL_MI for p in curve)

@@ -1,0 +1,175 @@
+"""Unit tests for the Customer Profiler and group-score matching."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CustomerProfiler,
+    GroupObservation,
+    GroupScoreModel,
+    PricePerformanceCurve,
+    group_key_to_label,
+)
+from repro.telemetry import (
+    PROFILING_DB_DIMENSIONS,
+    PROFILING_MI_DIMENSIONS,
+    PerfDimension,
+    PerformanceTrace,
+    TimeSeries,
+)
+from repro.workloads import PlateauPattern, SpikyPattern
+
+from .conftest import make_sku
+
+N = 1008
+
+
+def mixed_trace(negotiable_flags, dims=PROFILING_MI_DIMENSIONS, seed=0):
+    """Trace whose dimensions are spiky (negotiable) or plateau."""
+    rng = np.random.default_rng(seed)
+    series = {}
+    for dim, negotiable in zip(dims, negotiable_flags):
+        if negotiable:
+            pattern = SpikyPattern(base=1.0, peak=6.0, spike_probability=0.006)
+        else:
+            pattern = PlateauPattern(level=3.0)
+        series[dim] = TimeSeries(values=pattern.generate(N, 10.0, rng=rng))
+    return PerformanceTrace(series=series, entity_id="mixed")
+
+
+class TestProfiler:
+    def test_group_key_encoding_follows_table3(self):
+        """0 = negotiable, 1 = non-negotiable (paper Table 3)."""
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        profile = profiler.profile(mixed_trace((True, False, True)))
+        assert profile.group_key == (0, 1, 0)
+        assert profile.negotiable == (True, False, True)
+
+    def test_group_count(self):
+        assert CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS).n_groups == 8
+        assert CustomerProfiler(dimensions=PROFILING_DB_DIMENSIONS).n_groups == 16
+
+    def test_group_label(self):
+        assert group_key_to_label((0, 1, 1)) == "011"
+
+    def test_negotiable_dimensions_listed(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        profile = profiler.profile(mixed_trace((True, False, False)))
+        assert profile.negotiable_dimensions() == (PerfDimension.CPU,)
+
+    def test_describe_readable(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        text = profiler.profile(mixed_trace((True, False, False))).describe()
+        assert "CPU=negotiable" in text
+        assert "MEMORY=non-negotiable" in text
+
+    def test_missing_dimension_raises(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_DB_DIMENSIONS)
+        with pytest.raises(KeyError):
+            profiler.profile(mixed_trace((True, False, True)))  # no LOG_RATE
+
+    def test_feature_matrix_shape(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        traces = [mixed_trace((True, False, True), seed=s) for s in range(4)]
+        assert profiler.feature_matrix(traces).shape == (4, 3)
+
+    def test_enumeration_clustering_labels(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        traces = [
+            mixed_trace((True, True, True)),
+            mixed_trace((False, False, False)),
+        ]
+        labels = profiler.cluster(traces, method="enumeration")
+        assert labels.tolist() == [0, 7]  # 000 -> 0, 111 -> 7
+
+    @pytest.mark.parametrize("method", ["kmeans", "hierarchical"])
+    def test_generic_clustering_separates_extremes(self, method):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        spiky = [mixed_trace((True, True, True), seed=s) for s in range(3)]
+        steady = [mixed_trace((False, False, False), seed=s) for s in range(3)]
+        labels = profiler.cluster(spiky + steady, method=method, n_clusters=2, rng=0)
+        assert len(set(labels[:3].tolist())) == 1
+        assert len(set(labels[3:].tolist())) == 1
+        assert labels[0] != labels[3]
+
+    def test_unknown_method_rejected(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        with pytest.raises(ValueError, match="unknown clustering"):
+            profiler.cluster([mixed_trace((True, True, True))], method="dbscan")
+
+    def test_empty_inputs_rejected(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_MI_DIMENSIONS)
+        with pytest.raises(ValueError):
+            profiler.cluster([], method="enumeration")
+        with pytest.raises(ValueError):
+            CustomerProfiler(dimensions=())
+
+
+def curve_from(probs, vcores=(2, 4, 8, 16, 32)):
+    skus = [make_sku(v) for v in vcores]
+    return PricePerformanceCurve.from_probabilities(skus, np.asarray(probs, dtype=float))
+
+
+class TestGroupScoreModel:
+    def fit_model(self):
+        observations = [
+            GroupObservation((0, 0, 0), 0.15),
+            GroupObservation((0, 0, 0), 0.17),
+            GroupObservation((1, 1, 1), 0.0),
+            GroupObservation((1, 1, 1), 0.004),
+        ]
+        return GroupScoreModel.fit(observations)
+
+    def test_group_means(self):
+        model = self.fit_model()
+        assert model.target_probability((0, 0, 0)) == pytest.approx(0.16)
+        assert model.target_probability((1, 1, 1)) == pytest.approx(0.002)
+
+    def test_table3_score_columns(self):
+        model = self.fit_model()
+        stats = model.statistics_for((0, 0, 0))
+        assert stats.score_mean == pytest.approx(0.84)
+        assert stats.count == 2
+
+    def test_unseen_group_uses_fallback(self):
+        model = self.fit_model()
+        pooled = np.mean([0.15, 0.17, 0.0, 0.004])
+        assert model.target_probability((0, 1, 0)) == pytest.approx(pooled)
+
+    def test_recommend_respects_constraint(self):
+        """Equation (6): P(SKU) <= P_g."""
+        model = self.fit_model()
+        curve = curve_from([0.4, 0.2, 0.1, 0.05, 0.0])
+        point = model.recommend(curve, (0, 0, 0))  # target 0.16
+        assert 1.0 - point.score <= 0.16 + 1e-9
+        # Closest-below-target is the 0.1 point (8 vCores).
+        assert point.sku.vcores == 8
+
+    def test_recommend_strict_group_goes_full_performance(self):
+        model = self.fit_model()
+        curve = curve_from([0.4, 0.2, 0.1, 0.05, 0.0])
+        point = model.recommend(curve, (1, 1, 1))  # target 0.002
+        assert point.sku.vcores == 32
+
+    def test_recommend_flat_curve_picks_cheapest(self):
+        model = self.fit_model()
+        curve = curve_from([0.0, 0.0, 0.0, 0.0, 0.0])
+        assert model.recommend(curve, (0, 0, 0)).sku.vcores == 2
+
+    def test_recommend_infeasible_falls_back_to_closest(self):
+        model = self.fit_model()
+        curve = curve_from([0.9, 0.8, 0.7, 0.6, 0.5])
+        point = model.recommend(curve, (1, 1, 1))  # nothing <= 0.002
+        assert point.sku.vcores == 32  # closest overall
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GroupScoreModel.fit([])
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            GroupObservation((0,), 1.5)
+
+    def test_describe_contains_groups(self):
+        text = self.fit_model().describe()
+        assert "000" in text and "111" in text

@@ -1,0 +1,131 @@
+"""Unit tests for throttling-probability estimation (equation (1))."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmpiricalThrottlingEstimator,
+    KdeThrottlingEstimator,
+    capacity_vector,
+    demand_matrix,
+)
+from repro.telemetry import PerfDimension
+
+from .conftest import make_sku, make_trace
+
+DIMS2 = (PerfDimension.CPU, PerfDimension.MEMORY)
+
+
+class TestDemandMatrix:
+    def test_columns_follow_dimension_order(self):
+        trace = make_trace(np.array([1.0, 2.0]), memory_gb=np.array([3.0, 4.0]))
+        matrix = demand_matrix(trace, DIMS2)
+        np.testing.assert_allclose(matrix[:, 0], [1.0, 2.0])
+        np.testing.assert_allclose(matrix[:, 1], [3.0, 4.0])
+
+    def test_latency_column_inverted(self):
+        trace = make_trace(np.ones(2), io_latency_ms=np.array([2.0, 4.0]))
+        matrix = demand_matrix(trace, (PerfDimension.IO_LATENCY,))
+        np.testing.assert_allclose(matrix[:, 0], [0.5, 0.25])
+
+    def test_capacity_vector_latency_inverted(self):
+        sku = make_sku(4)  # GP -> 5 ms floor
+        caps = capacity_vector(sku.limits, (PerfDimension.CPU, PerfDimension.IO_LATENCY))
+        np.testing.assert_allclose(caps, [4.0, 0.2])
+
+
+class TestEmpiricalEstimator:
+    def test_zero_when_always_satisfied(self):
+        trace = make_trace(np.full(10, 1.0), memory_gb=np.full(10, 5.0))
+        sku = make_sku(4)
+        p = EmpiricalThrottlingEstimator().probability(trace, sku, DIMS2)
+        assert p == 0.0
+
+    def test_one_when_always_violated(self):
+        trace = make_trace(np.full(10, 100.0), memory_gb=np.full(10, 5.0))
+        sku = make_sku(4)
+        assert EmpiricalThrottlingEstimator().probability(trace, sku, DIMS2) == 1.0
+
+    def test_counts_violating_fraction(self):
+        cpu = np.array([1.0, 1.0, 9.0, 9.0])  # half the samples exceed 4 vCores
+        trace = make_trace(cpu, memory_gb=np.full(4, 5.0))
+        assert EmpiricalThrottlingEstimator().probability(trace, make_sku(4), DIMS2) == 0.5
+
+    def test_union_semantics_not_sum(self):
+        """A sample violating two dimensions counts once (eq. (1) is a union)."""
+        cpu = np.array([9.0, 1.0])
+        memory = np.array([99.0, 1.0])  # violates together with CPU
+        trace = make_trace(cpu, memory_gb=memory)
+        assert EmpiricalThrottlingEstimator().probability(trace, make_sku(4), DIMS2) == 0.5
+
+    def test_joint_dependence_matters(self):
+        """Correlated vs anti-correlated spikes give different unions."""
+        correlated = make_trace(
+            np.array([9.0, 1.0, 1.0, 1.0]), memory_gb=np.array([99.0, 1.0, 1.0, 1.0])
+        )
+        anti = make_trace(
+            np.array([9.0, 1.0, 1.0, 1.0]), memory_gb=np.array([1.0, 99.0, 1.0, 1.0])
+        )
+        estimator = EmpiricalThrottlingEstimator()
+        sku = make_sku(4)
+        assert estimator.probability(correlated, sku, DIMS2) == 0.25
+        assert estimator.probability(anti, sku, DIMS2) == 0.5
+
+    def test_batch_matches_scalar(self):
+        trace = make_trace(
+            np.random.default_rng(0).uniform(0, 10, 50),
+            memory_gb=np.random.default_rng(1).uniform(0, 40, 50),
+        )
+        skus = [make_sku(v) for v in (2, 4, 8, 16)]
+        estimator = EmpiricalThrottlingEstimator()
+        batch = estimator.probabilities(trace, skus, DIMS2)
+        singles = [estimator.probability(trace, sku, DIMS2) for sku in skus]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_iops_override_applied(self):
+        trace = make_trace(np.ones(4), data_iops=np.full(4, 1000.0))
+        sku = make_sku(2)  # 640 IOPS nominal
+        dims = (PerfDimension.CPU, PerfDimension.IOPS)
+        estimator = EmpiricalThrottlingEstimator()
+        assert estimator.probabilities(trace, [sku], dims)[0] == 1.0
+        with_override = estimator.probabilities(
+            trace, [sku], dims, iops_overrides={sku.name: 1500.0}
+        )
+        assert with_override[0] == 0.0
+
+    def test_bigger_sku_never_throttles_more(self):
+        rng = np.random.default_rng(2)
+        trace = make_trace(rng.uniform(0, 20, 200), memory_gb=rng.uniform(0, 80, 200))
+        estimator = EmpiricalThrottlingEstimator()
+        probs = estimator.probabilities(
+            trace, [make_sku(v) for v in (2, 4, 8, 16, 32)], DIMS2
+        )
+        assert np.all(np.diff(probs) <= 1e-12)
+
+    def test_empty_sku_list(self):
+        trace = make_trace(np.ones(3))
+        assert EmpiricalThrottlingEstimator().probabilities(trace, [], DIMS2).size == 0
+
+
+class TestKdeEstimator:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        trace = make_trace(rng.uniform(1, 3, 300), memory_gb=rng.uniform(5, 15, 300))
+        p = KdeThrottlingEstimator().probability(trace, make_sku(4), DIMS2)
+        assert 0.0 <= p <= 1.0
+
+    def test_agrees_with_empirical_in_clear_cases(self):
+        rng = np.random.default_rng(1)
+        trace = make_trace(rng.uniform(0.5, 1.0, 400), memory_gb=rng.uniform(2, 4, 400))
+        empirical = EmpiricalThrottlingEstimator().probability(trace, make_sku(16), DIMS2)
+        kde = KdeThrottlingEstimator().probability(trace, make_sku(16), DIMS2)
+        assert empirical == 0.0
+        assert kde < 0.05
+
+    def test_monotone_in_sku_size(self):
+        rng = np.random.default_rng(2)
+        trace = make_trace(rng.uniform(0, 20, 200), memory_gb=rng.uniform(0, 80, 200))
+        probs = KdeThrottlingEstimator().probabilities(
+            trace, [make_sku(v) for v in (2, 8, 32)], DIMS2
+        )
+        assert probs[0] >= probs[1] >= probs[2]

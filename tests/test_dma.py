@@ -1,0 +1,174 @@
+"""Unit tests for the DMA integration layer (preprocess, pipeline, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType
+from repro.dma import (
+    AssessmentPipeline,
+    DataPreprocessor,
+    ecdf_bar,
+    render_dashboard,
+    sparkline,
+)
+from repro.dma.cli import main as cli_main
+from repro.core import DopplerEngine
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries, dump_trace_json
+
+from .conftest import full_trace, make_trace
+
+
+class TestPreprocessor:
+    def test_clamps_negative_samples(self):
+        trace = make_trace(np.array([1.0, -2.0, 3.0]))
+        report = DataPreprocessor().preprocess([trace], entity_id="x")
+        assert report.n_clamped_samples == 1
+        assert report.trace[PerfDimension.CPU].min() == 0.0
+
+    def test_aggregates_multiple_traces(self):
+        a = make_trace(np.ones(6), entity_id="f1")
+        b = make_trace(np.full(6, 2.0), entity_id="f2")
+        report = DataPreprocessor().preprocess([a, b], entity_id="db")
+        assert report.trace.entity_id == "db"
+        np.testing.assert_allclose(report.trace[PerfDimension.CPU].values, np.full(6, 3.0))
+
+    def test_resamples_fine_grained_input(self):
+        trace = make_trace(np.arange(60.0), interval_minutes=1.0)
+        report = DataPreprocessor().preprocess([trace], entity_id="x")
+        assert report.trace.interval_minutes == 10.0
+        assert report.trace.n_samples == 6
+
+    def test_window_sufficiency_flag(self):
+        short = full_trace(n=144)  # one day
+        report = DataPreprocessor().preprocess([short], entity_id="x")
+        assert not report.window_sufficient
+        long = full_trace(n=144 * 8)  # eight days
+        assert DataPreprocessor().preprocess([long], entity_id="x").window_sufficient
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            DataPreprocessor().preprocess([], entity_id="x")
+
+
+class TestDashboard:
+    def test_sparkline_width(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_constant(self):
+        assert set(sparkline(np.ones(10))) <= set("▁▂▃▄▅▆▇█")
+
+    def test_ecdf_bar_renders_percentages(self):
+        text = ecdf_bar(np.arange(100.0))
+        assert "100.0%" in text
+
+    def test_render_dashboard_sections(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        trace = full_trace()
+        recommendation = engine.recommend(trace, DeploymentType.SQL_DB)
+        text = render_dashboard(trace, recommendation)
+        assert "Resource usage" in text
+        assert "Price-performance curve" in text
+        assert "Recommended SKU" in text
+
+
+class TestPipeline:
+    def test_assessment_end_to_end(self, small_catalog):
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
+        result = pipeline.assess([full_trace(n=144 * 8)], DeploymentType.SQL_DB)
+        assert result.doppler.sku is not None
+        assert result.baseline_sku is not None
+        assert "Doppler assessment" in result.dashboard
+
+    def test_short_window_warning_attached(self, small_catalog):
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
+        result = pipeline.assess([full_trace(n=72)], DeploymentType.SQL_DB)
+        assert any("WARNING" in note for note in result.doppler.notes)
+
+    def test_strategies_agree_on_steady_workload(self, small_catalog):
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
+        result = pipeline.assess([full_trace(cpu_level=1.0, n=144 * 8)], DeploymentType.SQL_DB)
+        # Steady small workload: both strategies pick the cheapest fit.
+        assert result.strategies_agree
+
+    def test_default_catalog_constructor(self):
+        pipeline = AssessmentPipeline.with_default_catalog()
+        assert len(pipeline.catalog) > 200
+
+    def test_confidence_flows_through(self, small_catalog):
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
+        result = pipeline.assess(
+            [full_trace(n=144 * 8)],
+            DeploymentType.SQL_DB,
+            with_confidence=True,
+            rng=0,
+        )
+        assert result.doppler.confidence is not None
+
+
+class TestCli:
+    def test_cli_happy_path(self, tmp_path, capsys):
+        trace = full_trace(n=144 * 8)
+        path = tmp_path / "trace.json"
+        dump_trace_json(trace, path)
+        exit_code = cli_main([str(path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Recommended SKU" in output
+        assert "Baseline" in output
+
+    def test_cli_missing_file(self, capsys):
+        assert cli_main(["/does/not/exist.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRawCounterIngestion:
+    def test_gaps_repaired_and_trace_built(self):
+        rng = np.random.default_rng(0)
+        cpu = rng.uniform(1.0, 2.0, 144 * 8)
+        cpu[100:104] = np.nan
+        report = DataPreprocessor().from_raw_counters(
+            {PerfDimension.CPU: cpu}, entity_id="gappy"
+        )
+        assert report.trace.n_samples == cpu.size
+        assert np.all(np.isfinite(report.trace[PerfDimension.CPU].values))
+        assert report.window_sufficient
+
+    def test_long_gap_marks_window_insufficient(self):
+        cpu = np.ones(144 * 8)
+        cpu[200:260] = np.nan  # 10-hour gap at the 10-minute cadence
+        report = DataPreprocessor().from_raw_counters(
+            {PerfDimension.CPU: cpu}, entity_id="gappy"
+        )
+        assert not report.window_sufficient
+
+    def test_custom_interval_respected(self):
+        cpu = np.ones(100)
+        report = DataPreprocessor(target_interval_minutes=30.0).from_raw_counters(
+            {PerfDimension.CPU: cpu}, entity_id="x", interval_minutes=30.0
+        )
+        assert report.trace.interval_minutes == 30.0
+
+
+class TestCliExtendedFlags:
+    def test_cli_store_flag(self, tmp_path, capsys):
+        from repro.dma import RecommendationStore
+
+        trace = full_trace(n=144 * 8, entity_id="cli-tracked")
+        trace_path = tmp_path / "trace.json"
+        dump_trace_json(trace, trace_path)
+        store_path = tmp_path / "store.jsonl"
+        assert cli_main([str(trace_path), "--store", str(store_path)]) == 0
+        assert "recorded" in capsys.readouterr().out
+        store = RecommendationStore(store_path)
+        assert "cli-tracked" in store
+
+    def test_cli_mi_with_file_sizes(self, tmp_path, capsys):
+        trace = full_trace(n=144 * 8, entity_id="cli-mi")
+        trace_path = tmp_path / "trace.json"
+        dump_trace_json(trace, trace_path)
+        exit_code = cli_main(
+            [str(trace_path), "--deployment", "mi", "--file-sizes", "100", "100"]
+        )
+        assert exit_code == 0
+        assert "Recommended SKU" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Unit tests for the ADF adaptation and the Gaussian-copula estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CopulaThrottlingEstimator,
+    EmpiricalThrottlingEstimator,
+)
+from repro.extensions import (
+    ADF_RUNTIME_LADDER,
+    adf_runtime_catalog,
+    pipeline_trace,
+    recommend_adf_runtime,
+)
+from repro.ml import GaussianCopulaModel
+from repro.telemetry import PerfDimension
+
+from .conftest import make_sku, make_trace
+
+
+class TestAdfLadder:
+    def test_ladder_shape(self):
+        assert len(ADF_RUNTIME_LADDER) == 8
+        dius = [option.dius for option in ADF_RUNTIME_LADDER]
+        assert dius == sorted(dius)
+
+    def test_catalog_projection(self):
+        catalog = adf_runtime_catalog()
+        assert len(catalog) == len(ADF_RUNTIME_LADDER)
+        cheapest = catalog.cheapest()
+        assert cheapest.name == "IR_2DIU"
+
+    def test_capacity_scaling(self):
+        small, big = ADF_RUNTIME_LADDER[0], ADF_RUNTIME_LADDER[-1]
+        ratio = big.dius / small.dius
+        assert big.cores == pytest.approx(small.cores * ratio)
+        assert big.movement_mbps == pytest.approx(small.movement_mbps * ratio)
+        assert big.price_per_hour == pytest.approx(small.price_per_hour * ratio)
+
+
+class TestAdfRecommendation:
+    def bursty_pipeline(self, peak_mbps=300.0, n=288):
+        rng = np.random.default_rng(0)
+        movement = np.where(rng.random(n) < 0.2, peak_mbps, 20.0)
+        cores = movement / 40.0
+        memory = cores * 3.0
+        return pipeline_trace(cores, memory, movement)
+
+    def test_recommends_a_ladder_runtime(self):
+        recommendation = recommend_adf_runtime(self.bursty_pipeline())
+        assert recommendation.runtime.name.startswith("IR_")
+        assert 0.0 <= recommendation.expected_throttling <= 1.0
+
+    def test_bigger_pipelines_get_bigger_runtimes(self):
+        small = recommend_adf_runtime(self.bursty_pipeline(peak_mbps=100.0))
+        big = recommend_adf_runtime(self.bursty_pipeline(peak_mbps=2000.0))
+        assert big.runtime.dius > small.runtime.dius
+
+    def test_gamma_trades_cost_for_performance(self):
+        trace = self.bursty_pipeline(peak_mbps=600.0)
+        strict = recommend_adf_runtime(trace, gamma=0.999)
+        loose = recommend_adf_runtime(trace, gamma=0.85)
+        assert loose.runtime.price_per_hour <= strict.runtime.price_per_hour
+
+    def test_curve_covers_whole_ladder(self):
+        recommendation = recommend_adf_runtime(self.bursty_pipeline())
+        assert len(recommendation.curve) == len(ADF_RUNTIME_LADDER)
+
+
+class TestGaussianCopulaModel:
+    def correlated_sample(self, n=400, rho=0.8, seed=0):
+        rng = np.random.default_rng(seed)
+        z1 = rng.standard_normal(n)
+        z2 = rho * z1 + np.sqrt(1 - rho**2) * rng.standard_normal(n)
+        return np.column_stack([np.exp(z1), np.exp(z2)])  # lognormal marginals
+
+    def test_cdf_bounds(self):
+        model = GaussianCopulaModel.fit(self.correlated_sample())
+        assert model.cdf_box(np.array([1e-6, 1e-6])) < 0.01
+        assert model.cdf_box(np.array([1e6, 1e6])) > 0.99
+
+    def test_marginal_cdf_median(self):
+        model = GaussianCopulaModel.fit(self.correlated_sample())
+        median = float(np.median(model.sample_sorted[0]))
+        assert model.marginal_cdf(0, median) == pytest.approx(0.5, abs=0.05)
+
+    def test_captures_positive_dependence(self):
+        """Correlated dims: joint box prob exceeds independence product."""
+        model = GaussianCopulaModel.fit(self.correlated_sample(rho=0.9))
+        u = float(np.quantile(model.sample_sorted[0], 0.5))
+        v = float(np.quantile(model.sample_sorted[1], 0.5))
+        joint = model.cdf_box(np.array([u, v]), n_draws=20000, rng=0)
+        independent = model.marginal_cdf(0, u) * model.marginal_cdf(1, v)
+        assert joint > independent + 0.05
+
+    def test_deterministic_with_seed(self):
+        model = GaussianCopulaModel.fit(self.correlated_sample())
+        bounds = np.array([1.0, 1.0])
+        assert model.cdf_box(bounds, rng=7) == model.cdf_box(bounds, rng=7)
+
+    def test_constant_dimension_tolerated(self):
+        sample = np.column_stack([np.full(100, 2.0), np.arange(100.0)])
+        model = GaussianCopulaModel.fit(sample)
+        assert 0.0 <= model.cdf_box(np.array([2.5, 50.0])) <= 1.0
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianCopulaModel.fit(np.zeros((1, 2)))
+
+    def test_wrong_bound_shape_rejected(self):
+        model = GaussianCopulaModel.fit(self.correlated_sample())
+        with pytest.raises(ValueError):
+            model.cdf_box(np.zeros(3))
+
+
+class TestCopulaThrottlingEstimator:
+    DIMS = (PerfDimension.CPU, PerfDimension.MEMORY)
+
+    def test_agrees_with_empirical_in_clear_cases(self):
+        rng = np.random.default_rng(1)
+        trace = make_trace(rng.uniform(0.5, 1.5, 300), memory_gb=rng.uniform(2, 6, 300))
+        sku = make_sku(16)
+        empirical = EmpiricalThrottlingEstimator().probability(trace, sku, self.DIMS)
+        copula = CopulaThrottlingEstimator().probability(trace, sku, self.DIMS)
+        assert empirical == 0.0
+        assert copula < 0.05
+
+    def test_monotone_in_sku_size(self):
+        rng = np.random.default_rng(2)
+        trace = make_trace(rng.uniform(0, 20, 300), memory_gb=rng.uniform(0, 80, 300))
+        estimator = CopulaThrottlingEstimator()
+        probs = estimator.probabilities(
+            trace, [make_sku(v) for v in (2, 8, 32)], self.DIMS
+        )
+        assert probs[0] >= probs[1] >= probs[2]
+
+    def test_close_to_empirical_on_smooth_demand(self):
+        rng = np.random.default_rng(3)
+        trace = make_trace(
+            rng.lognormal(1.0, 0.5, 500), memory_gb=rng.lognormal(2.0, 0.5, 500)
+        )
+        sku = make_sku(8)
+        empirical = EmpiricalThrottlingEstimator().probability(trace, sku, self.DIMS)
+        copula = CopulaThrottlingEstimator(n_draws=20000).probability(
+            trace, sku, self.DIMS
+        )
+        assert copula == pytest.approx(empirical, abs=0.08)

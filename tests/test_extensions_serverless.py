@@ -1,0 +1,131 @@
+"""Unit tests for the serverless tier extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    ComputeTierAdvice,
+    ServerlessAdvisor,
+    ServerlessOffer,
+    default_serverless_offers,
+    evaluate_serverless,
+)
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import full_trace, make_trace
+
+
+def trace_with(cpu, storage=100.0, interval=10.0):
+    cpu = np.asarray(cpu, dtype=float)
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(cpu, interval_minutes=interval),
+            PerfDimension.STORAGE: TimeSeries(
+                np.full(cpu.size, storage), interval_minutes=interval
+            ),
+        },
+        entity_id="sl",
+    )
+
+
+class TestServerlessOffer:
+    def test_default_ladder(self):
+        offers = default_serverless_offers()
+        assert len(offers) == 10
+        assert all(o.min_vcores <= o.max_vcores for o in offers)
+
+    def test_capacities_scale_with_max_vcores(self):
+        offer = ServerlessOffer(max_vcores=8.0, min_vcores=1.0)
+        assert offer.max_memory_gb == pytest.approx(24.0)
+        assert offer.max_data_iops == pytest.approx(8 * 320.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerlessOffer(max_vcores=2.0, min_vcores=4.0)
+        with pytest.raises(ValueError):
+            ServerlessOffer(max_vcores=0.0, min_vcores=0.0)
+
+    def test_auto_name(self):
+        assert ServerlessOffer(max_vcores=4.0, min_vcores=0.5).name == "DB_SERVERLESS_4v"
+
+
+class TestEvaluate:
+    def test_idle_workload_pauses_and_costs_little(self):
+        # 1 busy hour then a fully idle day.
+        cpu = np.concatenate([np.full(6, 2.0), np.zeros(144)])
+        offer = ServerlessOffer(max_vcores=4.0, min_vcores=0.5)
+        evaluation = evaluate_serverless(trace_with(cpu), offer)
+        assert evaluation.paused_fraction > 0.8
+        busy_always = evaluate_serverless(
+            trace_with(np.full(150, 2.0)), offer
+        )
+        assert evaluation.monthly_cost < busy_always.monthly_cost / 3
+
+    def test_no_pause_before_delay(self):
+        # Idle gaps shorter than the 60-minute delay never pause.
+        cpu = np.tile(np.concatenate([np.full(4, 2.0), np.zeros(4)]), 20)
+        offer = ServerlessOffer(max_vcores=4.0, min_vcores=0.5)
+        evaluation = evaluate_serverless(trace_with(cpu), offer)
+        assert evaluation.paused_fraction == 0.0
+
+    def test_billing_floor_applies(self):
+        cpu = np.full(100, 0.1)  # tiny but non-idle demand
+        offer = ServerlessOffer(max_vcores=8.0, min_vcores=2.0)
+        evaluation = evaluate_serverless(trace_with(cpu), offer)
+        assert evaluation.mean_billed_vcores == pytest.approx(2.0)
+
+    def test_ceiling_throttles(self):
+        cpu = np.full(100, 10.0)
+        offer = ServerlessOffer(max_vcores=4.0, min_vcores=0.5)
+        evaluation = evaluate_serverless(trace_with(cpu), offer)
+        assert evaluation.throttling_probability == pytest.approx(1.0)
+
+    def test_resume_stall_counts_as_throttling(self):
+        cpu = np.concatenate([np.zeros(20), np.full(10, 2.0)])
+        offer = ServerlessOffer(
+            max_vcores=8.0, min_vcores=0.5, auto_pause_delay_minutes=30.0
+        )
+        evaluation = evaluate_serverless(trace_with(cpu), offer)
+        assert evaluation.throttling_probability > 0.0
+
+    def test_memory_drives_billing(self):
+        trace = PerformanceTrace(
+            series={
+                PerfDimension.CPU: TimeSeries(np.full(50, 0.5)),
+                PerfDimension.MEMORY: TimeSeries(np.full(50, 18.0)),  # 6 vCores worth
+            },
+            entity_id="mem",
+        )
+        offer = ServerlessOffer(max_vcores=8.0, min_vcores=0.5)
+        evaluation = evaluate_serverless(trace, offer)
+        assert evaluation.mean_billed_vcores == pytest.approx(6.0, rel=0.01)
+
+    def test_cost_scales_with_usage(self):
+        offer = ServerlessOffer(max_vcores=8.0, min_vcores=0.5)
+        light = evaluate_serverless(trace_with(np.full(100, 1.0)), offer)
+        heavy = evaluate_serverless(trace_with(np.full(100, 6.0)), offer)
+        assert heavy.monthly_cost > 4 * light.monthly_cost
+
+
+class TestAdvisor:
+    def test_idle_spiky_workload_goes_serverless(self, default_catalog):
+        # Busy one hour per day, idle otherwise.
+        day = np.concatenate([np.full(6, 3.0), np.zeros(138)])
+        cpu = np.tile(day, 7)
+        advice = ServerlessAdvisor(catalog=default_catalog).advise(trace_with(cpu))
+        assert advice.recommended_tier == "serverless"
+        assert advice.serverless is not None
+        assert advice.monthly_saving > 0
+
+    def test_steady_workload_stays_provisioned(self, default_catalog):
+        trace = full_trace(cpu_level=3.0, n=1008)
+        advice = ServerlessAdvisor(catalog=default_catalog).advise(trace)
+        assert advice.recommended_tier == "provisioned"
+
+    def test_advice_always_has_both_sides(self, default_catalog):
+        trace = full_trace(cpu_level=1.0, n=288)
+        advice = ServerlessAdvisor(catalog=default_catalog).advise(trace)
+        assert isinstance(advice, ComputeTierAdvice)
+        assert advice.provisioned_sku is not None
+        assert advice.serverless is not None
+        assert 0.0 <= advice.busy_fraction <= 1.0

@@ -1,0 +1,171 @@
+"""Unit tests for the TCO, feedback-loop and hyperscale extensions."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, SkuCatalog
+from repro.core import GroupObservation, GroupScoreModel, PricePerformanceModeler
+from repro.extensions import (
+    FeedbackEvent,
+    FeedbackLoop,
+    HYPERSCALE_MAX_STORAGE_GB,
+    OnPremCostModel,
+    catalog_with_hyperscale,
+    compare_tco,
+    hyperscale_skus,
+)
+from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+from .conftest import full_trace, make_sku
+
+
+class TestOnPremCostModel:
+    def test_provisioned_cores_headroom_and_floor(self):
+        model = OnPremCostModel(headroom_factor=1.5)
+        trace = full_trace(cpu_level=8.0)
+        cores = model.provisioned_cores(trace)
+        assert cores >= 8.0 * 1.5
+        assert cores % 2 == 0
+        tiny = full_trace(cpu_level=0.2)
+        assert model.provisioned_cores(tiny) == 4.0
+
+    def test_monthly_cost_components_positive(self):
+        cost = OnPremCostModel().monthly_cost(full_trace(cpu_level=4.0))
+        assert cost > 0
+
+    def test_cost_grows_with_demand(self):
+        model = OnPremCostModel()
+        assert model.monthly_cost(full_trace(cpu_level=16.0)) > model.monthly_cost(
+            full_trace(cpu_level=2.0)
+        )
+
+    def test_licensing_dominates_at_scale(self):
+        """SQL licensing is the classic on-prem cost driver."""
+        model = OnPremCostModel()
+        trace = full_trace(cpu_level=16.0)
+        cores = model.provisioned_cores(trace)
+        license_monthly = cores * model.sql_license_per_core_year / 12.0
+        assert license_monthly > 0.5 * model.monthly_cost(trace)
+
+
+class TestTcoComparison:
+    def test_small_workload_favors_migration(self, small_catalog):
+        trace = full_trace(cpu_level=2.0)
+        sku = small_catalog.cheapest()
+        comparison = compare_tco(trace, sku)
+        assert comparison.migration_favored
+        assert comparison.annual_saving == pytest.approx(12 * comparison.monthly_saving)
+
+    def test_describe_mentions_direction(self, small_catalog):
+        comparison = compare_tco(full_trace(cpu_level=2.0), small_catalog.cheapest())
+        assert "favors migration" in comparison.describe()
+
+    def test_custom_cost_model_can_flip_the_answer(self, small_catalog):
+        trace = full_trace(cpu_level=2.0)
+        expensive_sku = small_catalog[-1]
+        cheap_onprem = OnPremCostModel(
+            server_cost_per_core=50.0,
+            sql_license_per_core_year=100.0,
+            ops_cost_per_server_month=50.0,
+            power_cooling_per_core_month=1.0,
+        )
+        comparison = compare_tco(trace, expensive_sku, cost_model=cheap_onprem)
+        assert not comparison.migration_favored
+
+
+class TestFeedbackLoop:
+    def base_model(self):
+        return GroupScoreModel.fit(
+            [
+                GroupObservation((0, 0, 0), 0.10),
+                GroupObservation((1, 1, 1), 0.001),
+            ]
+        )
+
+    def test_satisfied_feedback_moves_target_toward_observation(self):
+        loop = FeedbackLoop(model=self.base_model(), learning_rate=0.5)
+        updated = loop.record(
+            FeedbackEvent(group_key=(0, 0, 0), observed_throttling=0.20, satisfied=True)
+        )
+        assert 0.10 < updated < 0.20
+        assert loop.target_probability((0, 0, 0)) == updated
+
+    def test_dissatisfied_feedback_tightens_target(self):
+        loop = FeedbackLoop(model=self.base_model(), learning_rate=0.5)
+        before = loop.target_probability((0, 0, 0))
+        updated = loop.record(
+            FeedbackEvent(group_key=(0, 0, 0), observed_throttling=0.10, satisfied=False)
+        )
+        assert updated < before
+
+    def test_dissatisfaction_never_raises_target(self):
+        loop = FeedbackLoop(model=self.base_model(), learning_rate=1.0)
+        before = loop.target_probability((1, 1, 1))
+        updated = loop.record(
+            FeedbackEvent(group_key=(1, 1, 1), observed_throttling=0.9, satisfied=False)
+        )
+        assert updated <= before
+
+    def test_untouched_groups_keep_batch_targets(self):
+        loop = FeedbackLoop(model=self.base_model())
+        loop.record(FeedbackEvent((0, 0, 0), 0.2, True))
+        assert loop.target_probability((1, 1, 1)) == pytest.approx(0.001)
+
+    def test_refined_model_roundtrip(self):
+        loop = FeedbackLoop(model=self.base_model(), learning_rate=0.5)
+        loop.record(FeedbackEvent((0, 0, 0), 0.2, True))
+        refined = loop.refined_model()
+        assert refined.target_probability((0, 0, 0)) == pytest.approx(
+            loop.target_probability((0, 0, 0))
+        )
+        assert refined.groups[(0, 0, 0)].count == 2  # 1 batch + 1 feedback
+
+    def test_convergence_to_stable_signal(self):
+        loop = FeedbackLoop(model=self.base_model(), learning_rate=0.3)
+        for _ in range(40):
+            loop.record(FeedbackEvent((0, 0, 0), 0.05, True))
+        assert loop.target_probability((0, 0, 0)) == pytest.approx(0.05, abs=0.005)
+        assert loop.events_seen((0, 0, 0)) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackLoop(model=self.base_model(), learning_rate=0.0)
+        with pytest.raises(ValueError):
+            FeedbackEvent((0,), 1.5, True)
+
+
+class TestHyperscale:
+    def test_ladder_and_caps(self):
+        skus = hyperscale_skus()
+        assert len(skus) == 13
+        assert all(sku.limits.max_data_size_gb == HYPERSCALE_MAX_STORAGE_GB for sku in skus)
+        assert all(sku.name.startswith("DB_HS_") for sku in skus)
+
+    def test_storage_priced_in(self):
+        small = hyperscale_skus(provisioned_storage_gb=1024.0)[0]
+        big = hyperscale_skus(provisioned_storage_gb=51200.0)[0]
+        assert big.price_per_hour > small.price_per_hour
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(ValueError):
+            hyperscale_skus(provisioned_storage_gb=0.0)
+        with pytest.raises(ValueError):
+            hyperscale_skus(provisioned_storage_gb=HYPERSCALE_MAX_STORAGE_GB * 2)
+
+    def test_ppm_ranks_hyperscale_without_changes(self, small_catalog):
+        """The extensibility claim: HS SKUs flow through the modeler."""
+        extended = catalog_with_hyperscale(small_catalog, provisioned_storage_gb=8192.0)
+        # A workload too big for any DB/MI storage tier.
+        n = 288
+        trace = PerformanceTrace(
+            series={
+                PerfDimension.CPU: TimeSeries(np.full(n, 4.0)),
+                PerfDimension.MEMORY: TimeSeries(np.full(n, 16.0)),
+                PerfDimension.STORAGE: TimeSeries(np.full(n, 8000.0)),
+            },
+            entity_id="huge",
+        )
+        ppm = PricePerformanceModeler(catalog=extended)
+        curve = ppm.build_curve(trace, DeploymentType.SQL_DB)
+        assert all(point.sku.name.startswith("DB_HS_") for point in curve)
+        assert curve.cheapest_full_performance() is not None

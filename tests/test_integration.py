@@ -1,0 +1,243 @@
+"""Integration tests: the full pipelines the paper's evaluation runs."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, SkuCatalog
+from repro.core import BaselineStrategy, CurveShape, DopplerEngine
+from repro.dma import AssessmentPipeline
+from repro.simulation import (
+    FleetConfig,
+    simulate_fleet,
+    simulate_onprem_estate,
+    simulate_sku_change_customers,
+)
+from repro.telemetry import PerfDimension
+from repro.workloads import WorkloadSynthesizer, replay_on_sku
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return SkuCatalog.default()
+
+
+@pytest.fixture(scope="module")
+def db_fleet(catalog):
+    config = FleetConfig.paper_db(60, duration_days=4, interval_minutes=30)
+    return simulate_fleet(config, catalog, rng=11)
+
+
+@pytest.fixture(scope="module")
+def fitted_engine(catalog, db_fleet):
+    engine = DopplerEngine(catalog=catalog)
+    engine.fit([c.record for c in db_fleet])
+    return engine
+
+
+class TestBacktestPipeline:
+    """Section 5.2: back-testing on migrated-customer data."""
+
+    def test_backtest_accuracy_in_paper_zone(self, fitted_engine, db_fleet):
+        hits = total = 0
+        for customer in db_fleet:
+            if customer.is_over_provisioned or not customer.record.is_settled:
+                continue
+            result = fitted_engine.recommend(
+                customer.record.trace, DeploymentType.SQL_DB
+            )
+            hits += result.sku.name == customer.chosen_sku_name
+            total += 1
+        accuracy = hits / total
+        # Paper Table 5: 89.4 % for DB.  Small fleets are noisy; the
+        # invariant we hold is "clearly better than chance and in the
+        # high-accuracy regime".
+        assert accuracy > 0.75
+
+    def test_excluding_over_provisioned_improves_accuracy(self, fitted_engine, db_fleet):
+        """The Table-4 -> Table-5 improvement."""
+
+        def accuracy(customers):
+            hits = total = 0
+            for customer in customers:
+                if not customer.record.is_settled:
+                    continue
+                result = fitted_engine.recommend(
+                    customer.record.trace, DeploymentType.SQL_DB
+                )
+                hits += result.sku.name == customer.chosen_sku_name
+                total += 1
+            return hits / max(total, 1)
+
+        with_op = accuracy(db_fleet)
+        without_op = accuracy([c for c in db_fleet if not c.is_over_provisioned])
+        assert without_op > with_op
+
+    def test_curve_type_mixture(self, fitted_engine, db_fleet):
+        """Figure 9: flat curves dominate, complex is a solid minority."""
+        shapes = []
+        for customer in db_fleet:
+            curve = fitted_engine.ppm.build_curve(
+                customer.record.trace, DeploymentType.SQL_DB
+            )
+            shapes.append(curve.shape())
+        flat_share = shapes.count(CurveShape.FLAT) / len(shapes)
+        complex_share = shapes.count(CurveShape.COMPLEX) / len(shapes)
+        assert flat_share > 0.5
+        assert complex_share > 0.05
+
+
+class TestRightSizing:
+    """Section 5.1: identifying over-provisioned cloud customers."""
+
+    def test_over_provisioned_customers_detected(self, fitted_engine, db_fleet):
+        flagged = []
+        for customer in db_fleet:
+            report = fitted_engine.assess_over_provisioning(
+                customer.record.trace,
+                DeploymentType.SQL_DB,
+                customer.chosen_sku_name,
+            )
+            flagged.append(report.is_over_provisioned)
+        truth = [c.is_over_provisioned for c in db_fleet]
+        # Detection agrees with ground truth on a clear majority.
+        agreement = np.mean([f == t for f, t in zip(flagged, truth)])
+        assert agreement > 0.8
+
+    def test_savings_reported_for_flagged_customers(self, fitted_engine, db_fleet):
+        over = [c for c in db_fleet if c.is_over_provisioned]
+        if not over:
+            pytest.skip("no over-provisioned customer in this fleet draw")
+        report = fitted_engine.assess_over_provisioning(
+            over[0].record.trace, DeploymentType.SQL_DB, over[0].chosen_sku_name
+        )
+        if report.is_over_provisioned:
+            assert report.monthly_savings > 0
+
+
+class TestSkuChangeDetection:
+    """Section 5.2.3 / Figure 11."""
+
+    def test_curves_detect_upgrades(self, catalog):
+        customers = simulate_sku_change_customers(
+            5, catalog, duration_days=2, interval_minutes=30, upgrade_fraction=1.0, rng=3
+        )
+        for customer in customers:
+            assert customer.changed
+            # The old SKU throttles badly on the new workload.
+            assert customer.stale_sku_throttling() > 0.2
+
+
+class TestOnPremComparison:
+    """Section 5.3: Doppler vs the baseline on on-prem estates."""
+
+    def test_doppler_always_recommends_baseline_sometimes_fails(self, catalog):
+        servers = simulate_onprem_estate(
+            n_servers=6, duration_days=2, interval_minutes=30,
+            idle_fraction=0.4, latency_sensitive_fraction=0.4, rng=5,
+        )
+        engine = DopplerEngine(catalog=catalog)
+        baseline = BaselineStrategy(quantile=0.95)
+        doppler_count = baseline_count = total = 0
+        for server in servers:
+            for database in server.databases:
+                total += 1
+                result = engine.recommend(database.trace, DeploymentType.SQL_DB)
+                assert result.sku is not None
+                doppler_count += 1
+                if baseline.recommend(database.trace, DeploymentType.SQL_DB, catalog):
+                    baseline_count += 1
+        assert doppler_count == total
+        assert baseline_count <= total
+
+
+class TestSynthesisReplayLoop:
+    """Section 5.4: synthesize from history, replay on ranked SKUs."""
+
+    def test_recommended_sku_survives_replay(self, catalog, db_fleet):
+        complex_customers = [c for c in db_fleet if c.archetype == "complex"]
+        if not complex_customers:
+            pytest.skip("no complex customer in this fleet draw")
+        trace = complex_customers[0].record.trace
+        engine = DopplerEngine(catalog=catalog)
+        result = engine.recommend(trace, DeploymentType.SQL_DB)
+        synth = WorkloadSynthesizer().synthesize(trace)
+        demand = synth.demand_trace(rng=0)
+
+        chosen = replay_on_sku(demand, result.sku, rng=1)
+        cheapest = replay_on_sku(demand, result.curve.points[0].sku, rng=1)
+        # The recommendation throttles no more than the cheapest SKU.
+        assert chosen.throttled_fraction <= cheapest.throttled_fraction + 1e-9
+
+
+class TestFullDmaFlow:
+    def test_pipeline_on_simulated_customer(self, catalog, db_fleet):
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=catalog))
+        customer = db_fleet[0]
+        result = pipeline.assess(
+            [customer.record.trace],
+            DeploymentType.SQL_DB,
+            entity_id="integration",
+        )
+        assert result.doppler.sku.deployment is DeploymentType.SQL_DB
+        assert "integration" in result.dashboard
+
+
+class TestMiBacktest:
+    """Section 5.2 for Managed Instance targets."""
+
+    def test_mi_fit_and_recommend(self, catalog):
+        from repro.simulation import FleetConfig, simulate_fleet
+
+        fleet = simulate_fleet(
+            FleetConfig.paper_mi(40, duration_days=3, interval_minutes=30),
+            catalog,
+            rng=21,
+        )
+        engine = DopplerEngine(catalog=catalog)
+        engine.fit([c.record for c in fleet])
+        assert engine.group_model(DeploymentType.SQL_MI) is not None
+        hits = total = 0
+        for customer in fleet:
+            if customer.is_over_provisioned or not customer.record.is_settled:
+                continue
+            result = engine.recommend(customer.record.trace, DeploymentType.SQL_MI)
+            assert result.sku.deployment is DeploymentType.SQL_MI
+            hits += result.sku.name == customer.chosen_sku_name
+            total += 1
+        assert hits / total > 0.7
+
+    def test_mi_pipeline_with_file_layout(self, catalog):
+        from repro.dma import AssessmentPipeline
+        from repro.simulation import FleetConfig, simulate_fleet
+
+        fleet = simulate_fleet(
+            FleetConfig.paper_mi(3, duration_days=3, interval_minutes=30),
+            catalog,
+            rng=22,
+        )
+        pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=catalog))
+        result = pipeline.assess(
+            [fleet[0].record.trace],
+            DeploymentType.SQL_MI,
+            entity_id="mi-pipeline",
+            file_sizes_gib=[128.0, 128.0],
+        )
+        assert result.doppler.sku.deployment is DeploymentType.SQL_MI
+
+
+class TestStaticInputDeployment:
+    """Section 4: offline-trained profiles shipped to the local runtime."""
+
+    def test_profiles_roundtrip_preserves_fleet_recommendations(
+        self, catalog, db_fleet, fitted_engine, tmp_path
+    ):
+        path = tmp_path / "profiles.json"
+        fitted_engine.save_profiles(path, DeploymentType.SQL_DB)
+        deployed = DopplerEngine(catalog=catalog)
+        deployed.load_profiles(path, DeploymentType.SQL_DB)
+        for customer in db_fleet[:10]:
+            original = fitted_engine.recommend(
+                customer.record.trace, DeploymentType.SQL_DB
+            )
+            restored = deployed.recommend(customer.record.trace, DeploymentType.SQL_DB)
+            assert original.sku.name == restored.sku.name

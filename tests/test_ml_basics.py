@@ -1,0 +1,150 @@
+"""Unit tests for ECDF, AUC, scaling, outliers and bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    block_bootstrap_indices,
+    bootstrap_indices,
+    ecdf,
+    ecdf_auc,
+    ecdf_auc_by_integration,
+    max_scale,
+    minmax_scale,
+    outlier_fraction,
+    resolve_rng,
+)
+
+
+class TestEcdf:
+    def test_monotone_and_ends_at_one(self):
+        distribution = ecdf(np.array([3.0, 1.0, 2.0, 2.0]))
+        probs = distribution.probabilities
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_evaluation(self):
+        distribution = ecdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert distribution(0.5) == 0.0
+        assert distribution(2.0) == pytest.approx(0.5)
+        assert distribution(10.0) == 1.0
+
+    def test_vectorised_evaluation(self):
+        distribution = ecdf(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(distribution(np.array([0.0, 1.5, 3.0])), [0.0, 0.5, 1.0])
+
+    def test_quantile(self):
+        distribution = ecdf(np.arange(1.0, 101.0))
+        assert distribution.quantile(0.5) == pytest.approx(50.0)
+        assert distribution.quantile(1.0) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([1.0, np.nan]))
+
+
+class TestAuc:
+    def test_spiky_sample_has_high_auc(self):
+        # Mostly idle with one spike at the top of the range.
+        values = np.concatenate([np.full(99, 0.01), [1.0]])
+        assert ecdf_auc(values) > 0.9
+
+    def test_steady_high_sample_has_low_auc(self):
+        values = np.full(100, 0.95)
+        assert ecdf_auc(values) < 0.1
+
+    def test_uniform_sample_auc_half(self):
+        values = np.linspace(0.0, 1.0, 1001)
+        assert ecdf_auc(values) == pytest.approx(0.5, abs=0.01)
+
+    def test_matches_reference_integration(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            values = rng.random(50)
+            assert ecdf_auc(values) == pytest.approx(
+                ecdf_auc_by_integration(values), abs=1e-12
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            ecdf_auc(np.array([0.5, 1.5]))
+
+
+class TestScaling:
+    def test_minmax_range(self):
+        scaled = minmax_scale(np.array([2.0, 4.0, 6.0]))
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_minmax_constant_is_zero(self):
+        np.testing.assert_array_equal(minmax_scale(np.full(5, 3.0)), np.zeros(5))
+
+    def test_max_scale(self):
+        scaled = max_scale(np.array([2.0, 4.0]))
+        np.testing.assert_allclose(scaled, [0.5, 1.0])
+
+    def test_max_scale_all_zero(self):
+        np.testing.assert_array_equal(max_scale(np.zeros(3)), np.zeros(3))
+
+
+class TestOutliers:
+    def test_constant_has_none(self):
+        assert outlier_fraction(np.full(100, 5.0)) == 0.0
+
+    def test_spike_detected(self):
+        values = np.concatenate([np.zeros(999), [100.0]])
+        assert outlier_fraction(values) == pytest.approx(0.001)
+
+    def test_gaussian_has_few(self):
+        rng = np.random.default_rng(0)
+        assert outlier_fraction(rng.normal(size=100_000)) < 0.01
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            outlier_fraction(np.ones(3), n_sigma=0.0)
+
+
+class TestBootstrap:
+    def test_resolve_rng_passthrough(self):
+        generator = np.random.default_rng(5)
+        assert resolve_rng(generator) is generator
+
+    def test_resolve_rng_seed_deterministic(self):
+        assert resolve_rng(3).random() == resolve_rng(3).random()
+
+    def test_iid_shapes(self):
+        rounds = list(bootstrap_indices(100, 5, rng=0))
+        assert len(rounds) == 5
+        assert all(r.shape == (100,) for r in rounds)
+        assert all(r.min() >= 0 and r.max() < 100 for r in rounds)
+
+    def test_iid_sample_fraction(self):
+        rounds = list(bootstrap_indices(100, 2, rng=0, sample_fraction=0.5))
+        assert all(r.shape == (50,) for r in rounds)
+
+    def test_block_windows_are_contiguous(self):
+        for indices in block_bootstrap_indices(100, 8, window=20, rng=1):
+            assert indices.shape == (20,)
+            assert np.all(np.diff(indices) == 1)
+
+    def test_block_window_clipped_to_series(self):
+        rounds = list(block_bootstrap_indices(10, 3, window=50, rng=2))
+        assert all(r.shape == (10,) for r in rounds)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(bootstrap_indices(0, 1))
+        with pytest.raises(ValueError):
+            list(bootstrap_indices(10, 0))
+        with pytest.raises(ValueError):
+            list(bootstrap_indices(10, 1, sample_fraction=0.0))
+        with pytest.raises(ValueError):
+            list(block_bootstrap_indices(10, 1, window=0))
+
+    def test_determinism_with_seed(self):
+        a = [r.tolist() for r in bootstrap_indices(50, 3, rng=7)]
+        b = [r.tolist() for r in bootstrap_indices(50, 3, rng=7)]
+        assert a == b

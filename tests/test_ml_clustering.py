@@ -1,0 +1,114 @@
+"""Unit tests for k-means and agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml import agglomerative, kmeans
+
+
+def three_blobs(rng_seed=0, n_per=20, spread=0.1):
+    rng = np.random.default_rng(rng_seed)
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [0.0, 5.0]])
+    points = np.vstack(
+        [center + rng.normal(0, spread, size=(n_per, 2)) for center in centers]
+    )
+    labels = np.repeat(np.arange(3), n_per)
+    return points, labels
+
+
+def clustering_matches(found, truth):
+    """Label-permutation-invariant equality of two clusterings."""
+    mapping = {}
+    for f, t in zip(found, truth):
+        if f in mapping and mapping[f] != t:
+            return False
+        mapping[f] = t
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = three_blobs()
+        result = kmeans(points, k=3, rng=0)
+        assert clustering_matches(result.labels, truth)
+
+    def test_inertia_decreases_with_k(self):
+        points, _ = three_blobs()
+        inertias = [kmeans(points, k=k, rng=0).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        result = kmeans(points, k=3, rng=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_one_center_is_mean(self):
+        points, _ = three_blobs()
+        result = kmeans(points, k=1, rng=0)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0), atol=1e-9)
+
+    def test_predict_assigns_nearest(self):
+        points, _ = three_blobs()
+        result = kmeans(points, k=3, rng=0)
+        predicted = result.predict(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        assert predicted[0] != predicted[1]
+
+    def test_labels_in_range(self):
+        points, _ = three_blobs()
+        result = kmeans(points, k=3, rng=1)
+        assert set(result.labels) <= {0, 1, 2}
+
+    def test_deterministic_with_seed(self):
+        points, _ = three_blobs()
+        a = kmeans(points, k=3, rng=9)
+        b = kmeans(points, k=3, rng=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        result = kmeans(points, k=2, rng=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, k=0)
+        with pytest.raises(ValueError):
+            kmeans(points, k=4)
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_recovers_blobs(self, linkage):
+        points, truth = three_blobs()
+        result = agglomerative(points, n_clusters=3, linkage=linkage)
+        assert clustering_matches(result.labels, truth)
+
+    def test_n_clusters_respected(self):
+        points, _ = three_blobs()
+        result = agglomerative(points, n_clusters=2)
+        assert len(set(result.labels.tolist())) == 2
+
+    def test_one_cluster(self):
+        points, _ = three_blobs()
+        result = agglomerative(points, n_clusters=1)
+        assert set(result.labels.tolist()) == {0}
+
+    def test_merge_heights_non_decreasing_for_single_linkage(self):
+        # Single linkage merge heights are monotone (no inversions).
+        points, _ = three_blobs()
+        result = agglomerative(points, n_clusters=1, linkage="single")
+        heights = list(result.merge_heights)
+        assert heights == sorted(heights)
+
+    def test_n_clusters_equals_n_points(self):
+        points = np.array([[0.0], [1.0], [5.0]])
+        result = agglomerative(points, n_clusters=3)
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_invalid_arguments(self):
+        points = np.zeros((3, 1))
+        with pytest.raises(ValueError):
+            agglomerative(points, n_clusters=0)
+        with pytest.raises(ValueError):
+            agglomerative(points, n_clusters=3, linkage="ward")

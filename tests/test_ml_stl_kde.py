@@ -1,0 +1,123 @@
+"""Unit tests for the STL decomposition and the Gaussian KDE."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianKde, loess_smooth, stl_decompose, stl_variance_score
+
+
+def seasonal_series(n=576, period=144, amplitude=1.0, noise=0.05, trend_slope=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (
+        5.0
+        + trend_slope * t
+        + amplitude * np.sin(2 * np.pi * t / period)
+        + rng.normal(0, noise, size=n)
+    )
+
+
+class TestLoess:
+    def test_smooths_constant_exactly(self):
+        values = np.full(50, 3.0)
+        np.testing.assert_allclose(loess_smooth(values), values, atol=1e-9)
+
+    def test_recovers_linear_trend(self):
+        values = np.linspace(0.0, 10.0, 100)
+        np.testing.assert_allclose(loess_smooth(values, span=0.3), values, atol=1e-6)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(1)
+        noisy = 5.0 + rng.normal(0, 1.0, size=200)
+        smoothed = loess_smooth(noisy, span=0.5)
+        assert smoothed.std() < noisy.std() / 2
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            loess_smooth(np.ones(10), span=0.0)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            loess_smooth(np.ones(10), degree=2)
+
+
+class TestStl:
+    def test_additive_identity(self):
+        series = seasonal_series()
+        decomposition = stl_decompose(series, period=144)
+        np.testing.assert_allclose(
+            decomposition.trend + decomposition.seasonal + decomposition.residual,
+            series,
+            atol=1e-9,
+        )
+
+    def test_seasonal_signal_mostly_explained(self):
+        series = seasonal_series(noise=0.05)
+        assert stl_variance_score(series, period=144) > 0.9
+
+    def test_pure_noise_poorly_explained(self):
+        rng = np.random.default_rng(2)
+        noise = rng.normal(size=576)
+        assert stl_variance_score(noise, period=144) < 0.4
+
+    def test_trend_plus_season_explained(self):
+        series = seasonal_series(trend_slope=0.01, noise=0.05)
+        assert stl_variance_score(series, period=144) > 0.85
+
+    def test_seasonal_component_zero_mean_per_period(self):
+        series = seasonal_series()
+        decomposition = stl_decompose(series, period=144)
+        assert abs(decomposition.seasonal[:144].mean()) < 0.05
+
+    def test_constant_series_score_is_one(self):
+        assert stl_variance_score(np.full(300, 2.0), period=10) == 1.0
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError, match="shorter than two periods"):
+            stl_decompose(np.ones(100), period=144)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            stl_decompose(np.ones(100), period=1)
+
+
+class TestGaussianKde:
+    def test_cdf_box_bounds(self):
+        rng = np.random.default_rng(3)
+        kde = GaussianKde.fit(rng.normal(size=(200, 2)))
+        assert kde.cdf_box(np.array([-10.0, -10.0])) < 0.01
+        assert kde.cdf_box(np.array([10.0, 10.0])) > 0.99
+
+    def test_cdf_monotone_in_bounds(self):
+        rng = np.random.default_rng(4)
+        kde = GaussianKde.fit(rng.normal(size=(200, 1)))
+        values = [kde.cdf_box(np.array([x])) for x in (-1.0, 0.0, 1.0)]
+        assert values == sorted(values)
+
+    def test_exceedance_complements_cdf(self):
+        rng = np.random.default_rng(5)
+        kde = GaussianKde.fit(rng.normal(size=(100, 2)))
+        bounds = np.array([0.5, 0.5])
+        assert kde.exceedance_probability(bounds) == pytest.approx(
+            1.0 - kde.cdf_box(bounds)
+        )
+
+    def test_median_cdf_near_half(self):
+        rng = np.random.default_rng(6)
+        kde = GaussianKde.fit(rng.normal(size=(2000, 1)))
+        assert kde.cdf_box(np.array([0.0])) == pytest.approx(0.5, abs=0.05)
+
+    def test_constant_dimension_behaves_like_step(self):
+        sample = np.column_stack([np.full(100, 2.0), np.arange(100.0)])
+        kde = GaussianKde.fit(sample)
+        assert kde.cdf_box(np.array([1.9, 200.0])) < 0.01
+        assert kde.cdf_box(np.array([2.1, 200.0])) > 0.99
+
+    def test_wrong_bound_shape_rejected(self):
+        kde = GaussianKde.fit(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            kde.cdf_box(np.zeros(3))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKde.fit(np.zeros((0, 2)))

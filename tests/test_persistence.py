@@ -1,0 +1,122 @@
+"""Unit tests for catalog and group-profile persistence (DMA static input)."""
+
+import pytest
+
+from repro.catalog import (
+    SkuCatalog,
+    catalog_from_dict,
+    catalog_to_dict,
+    dump_catalog_json,
+    load_catalog_json,
+)
+from repro.catalog import DeploymentType
+from repro.core import (
+    DopplerEngine,
+    GroupObservation,
+    GroupScoreModel,
+    dump_group_model_json,
+    group_model_from_dict,
+    group_model_to_dict,
+    load_group_model_json,
+)
+
+from .conftest import full_trace
+
+
+class TestCatalogSerialization:
+    def test_dict_roundtrip(self, small_catalog):
+        restored = catalog_from_dict(catalog_to_dict(small_catalog))
+        assert len(restored) == len(small_catalog)
+        assert restored.names() == small_catalog.names()
+        for original, loaded in zip(small_catalog, restored):
+            assert loaded.price_per_hour == original.price_per_hour
+            assert loaded.limits == original.limits
+            assert loaded.deployment is original.deployment
+            assert loaded.tier is original.tier
+
+    def test_json_roundtrip(self, tmp_path, small_catalog):
+        path = tmp_path / "catalog.json"
+        dump_catalog_json(small_catalog, path)
+        restored = load_catalog_json(path)
+        assert restored.names() == small_catalog.names()
+
+    def test_full_default_catalog_roundtrip(self, tmp_path, default_catalog):
+        path = tmp_path / "catalog.json"
+        dump_catalog_json(default_catalog, path)
+        restored = load_catalog_json(path)
+        assert len(restored) == len(default_catalog)
+
+    def test_unknown_version_rejected(self, small_catalog):
+        document = catalog_to_dict(small_catalog)
+        document["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            catalog_from_dict(document)
+
+
+class TestGroupModelSerialization:
+    def model(self):
+        return GroupScoreModel.fit(
+            [
+                GroupObservation((0, 0, 1), 0.12),
+                GroupObservation((0, 0, 1), 0.10),
+                GroupObservation((1, 1, 1), 0.002),
+            ]
+        )
+
+    def test_dict_roundtrip(self):
+        model = self.model()
+        restored = group_model_from_dict(group_model_to_dict(model))
+        assert set(restored.groups) == set(model.groups)
+        for key in model.groups:
+            assert restored.groups[key].p_mean == pytest.approx(model.groups[key].p_mean)
+            assert restored.groups[key].count == model.groups[key].count
+        assert restored.fallback.p_mean == pytest.approx(model.fallback.p_mean)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        dump_group_model_json(self.model(), path)
+        restored = load_group_model_json(path)
+        assert restored.target_probability((0, 0, 1)) == pytest.approx(0.11)
+
+    def test_malformed_label_rejected(self):
+        document = group_model_to_dict(self.model())
+        document["groups"]["01x"] = document["groups"].pop("001")
+        with pytest.raises(ValueError, match="malformed"):
+            group_model_from_dict(document)
+
+    def test_unknown_version_rejected(self):
+        document = group_model_to_dict(self.model())
+        document["format_version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            group_model_from_dict(document)
+
+
+class TestEngineProfileDeployment:
+    def test_offline_train_then_deploy(self, tmp_path, small_catalog):
+        """The paper's Section-4 flow: fit offline, ship profiles, load
+        in the customer-local runtime."""
+        from repro.core import CloudCustomerRecord
+
+        offline = DopplerEngine(catalog=small_catalog)
+        trace = full_trace(cpu_level=0.5, n=1008)
+        curve = offline.ppm.build_curve(trace, DeploymentType.SQL_DB)
+        record = CloudCustomerRecord(
+            trace=trace,
+            deployment=DeploymentType.SQL_DB,
+            chosen_sku_name=curve.points[0].sku.name,
+        )
+        offline.fit([record])
+        path = tmp_path / "profiles.json"
+        offline.save_profiles(path, DeploymentType.SQL_DB)
+
+        deployed = DopplerEngine(catalog=small_catalog)
+        deployed.load_profiles(path, DeploymentType.SQL_DB)
+        result = deployed.recommend(trace, DeploymentType.SQL_DB)
+        assert result.strategy == "profile_match"
+        offline_result = offline.recommend(trace, DeploymentType.SQL_DB)
+        assert result.sku.name == offline_result.sku.name
+
+    def test_save_without_fit_raises(self, tmp_path, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        with pytest.raises(ValueError, match="no fitted group model"):
+            engine.save_profiles(tmp_path / "x.json", DeploymentType.SQL_DB)

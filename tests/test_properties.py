@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    EmpiricalThrottlingEstimator,
+    GroupObservation,
+    GroupScoreModel,
+    PricePerformanceCurve,
+)
+from repro.ml import (
+    agglomerative,
+    ecdf,
+    ecdf_auc,
+    ecdf_auc_by_integration,
+    kmeans,
+    loess_smooth,
+    max_scale,
+    minmax_scale,
+    outlier_fraction,
+)
+from repro.telemetry import PerfDimension, TimeSeries
+
+from .conftest import make_sku, make_trace
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+samples = arrays(np.float64, st.integers(2, 80), elements=finite_floats)
+positive_samples = arrays(np.float64, st.integers(2, 80), elements=positive_floats)
+unit_samples = arrays(
+    np.float64,
+    st.integers(1, 80),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestEcdfProperties:
+    @given(samples)
+    def test_ecdf_is_a_cdf(self, values):
+        distribution = ecdf(values)
+        probs = distribution.probabilities
+        assert np.all(probs > 0)
+        assert probs[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(probs) >= 0)
+
+    @given(samples, finite_floats)
+    def test_ecdf_evaluation_in_unit_interval(self, values, x):
+        assert 0.0 <= ecdf(values)(x) <= 1.0
+
+    @given(unit_samples)
+    def test_auc_identities(self, values):
+        auc = ecdf_auc(values)
+        assert 0.0 <= auc <= 1.0
+        assert auc == pytest.approx(ecdf_auc_by_integration(values), abs=1e-9)
+        assert auc == pytest.approx(1.0 - values.mean(), abs=1e-9)
+
+
+class TestScalingProperties:
+    @given(samples)
+    def test_minmax_bounds(self, values):
+        scaled = minmax_scale(values)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    @given(positive_samples)
+    def test_max_scale_preserves_ratios(self, values):
+        scaled = max_scale(values)
+        assert scaled.max() == pytest.approx(1.0)
+        ratio = values / values.max()
+        np.testing.assert_allclose(scaled, ratio, atol=1e-12)
+
+    @given(samples)
+    def test_outlier_fraction_bounded(self, values):
+        assert 0.0 <= outlier_fraction(values) <= 0.5
+
+
+class TestCurveProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 12),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    def test_curve_always_monotone(self, probabilities):
+        skus = [make_sku(2 * (i + 1)) for i in range(probabilities.size)]
+        curve = PricePerformanceCurve.from_probabilities(skus, probabilities)
+        scores = curve.scores()
+        assert np.all(np.diff(scores) >= -1e-12)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+        # Monotone adjustment never lowers a score below 1 - raw P.
+        for point in curve:
+            assert point.score >= 1.0 - point.throttling_probability - 1e-12
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 12),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_group_matching_satisfies_constraint_when_feasible(
+        self, probabilities, target
+    ):
+        skus = [make_sku(2 * (i + 1)) for i in range(probabilities.size)]
+        curve = PricePerformanceCurve.from_probabilities(skus, probabilities)
+        model = GroupScoreModel.fit([GroupObservation((0,), target)])
+        point = model.recommend(curve, (0,))
+        feasible = [p for p in curve if 1.0 - p.score <= target + 1e-12]
+        if feasible:
+            assert 1.0 - point.score <= target + 1e-12
+            best_gap = min(abs(1.0 - p.score - target) for p in feasible)
+            assert abs(1.0 - point.score - target) == pytest.approx(best_gap, abs=1e-9)
+
+
+class TestThrottlingProperties:
+    @settings(max_examples=25)
+    @given(
+        arrays(np.float64, 30, elements=st.floats(min_value=0.0, max_value=50.0, allow_nan=False)),
+        arrays(np.float64, 30, elements=st.floats(min_value=0.0, max_value=200.0, allow_nan=False)),
+    )
+    def test_probability_bounds_and_monotonicity(self, cpu, memory):
+        trace = make_trace(cpu, memory_gb=memory)
+        estimator = EmpiricalThrottlingEstimator()
+        dims = (PerfDimension.CPU, PerfDimension.MEMORY)
+        skus = [make_sku(v) for v in (2, 4, 8, 16, 32, 64)]
+        probs = estimator.probabilities(trace, skus, dims)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+        assert np.all(np.diff(probs) <= 1e-12)  # bigger SKU never worse
+
+    @settings(max_examples=25)
+    @given(
+        arrays(np.float64, 20, elements=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    )
+    def test_union_at_least_each_marginal(self, cpu):
+        """P(union) >= max of per-dimension violation rates."""
+        memory = np.roll(cpu, 7) * 4.0
+        trace = make_trace(cpu, memory_gb=memory)
+        sku = make_sku(8)
+        estimator = EmpiricalThrottlingEstimator()
+        joint = estimator.probability(
+            trace, sku, (PerfDimension.CPU, PerfDimension.MEMORY)
+        )
+        cpu_only = estimator.probability(trace, sku, (PerfDimension.CPU,))
+        memory_only = estimator.probability(trace, sku, (PerfDimension.MEMORY,))
+        assert joint >= max(cpu_only, memory_only) - 1e-12
+        assert joint <= cpu_only + memory_only + 1e-12
+
+
+class TestClusteringProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(4, 25), st.integers(1, 4)),
+            elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        ),
+        st.integers(1, 4),
+    )
+    def test_kmeans_partitions_all_points(self, points, k):
+        k = min(k, points.shape[0])
+        result = kmeans(points, k=k, rng=0)
+        assert result.labels.shape == (points.shape[0],)
+        assert set(result.labels.tolist()) <= set(range(k))
+        assert result.inertia >= 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 20), st.integers(1, 3)),
+            elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        ),
+        st.integers(1, 5),
+    )
+    def test_agglomerative_cluster_count(self, points, k):
+        k = min(k, points.shape[0])
+        result = agglomerative(points, n_clusters=k)
+        assert len(set(result.labels.tolist())) == k
+
+
+class TestTimeSeriesProperties:
+    @given(positive_samples)
+    def test_resample_preserves_mean_of_full_buckets(self, values):
+        if values.size < 4:
+            return
+        ts = TimeSeries(values=values, interval_minutes=10.0)
+        coarse = ts.resample(20.0)
+        n_full = (len(ts) // 2) * 2
+        assert coarse.mean() == pytest.approx(values[:n_full].mean(), rel=1e-9)
+
+    @given(positive_samples)
+    def test_degree0_loess_stays_within_data_range(self, values):
+        """Degree-0 loess is a weighted average: range-bounded exactly.
+
+        (Degree-1 loess may legitimately overshoot at the boundaries,
+        like any local linear extrapolation.)
+        """
+        smoothed = loess_smooth(values, span=0.5, degree=0)
+        assert smoothed.min() >= values.min() - 1e-9
+        assert smoothed.max() <= values.max() + 1e-9
+
+
+class TestStoragePlanProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=30000.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_layout_invariants(self, sizes):
+        from repro.catalog import plan_file_layout
+
+        layout = plan_file_layout(sizes)
+        # One disk per file, each disk fits its file.
+        assert len(layout.tiers) == len(sizes)
+        for tier, size in zip(layout.tiers, sizes):
+            assert tier.max_file_size_gib >= size
+        # Provisioned capacity covers the data; limits are sums.
+        assert layout.total_capacity_gib >= sum(sizes)
+        assert layout.total_iops == pytest.approx(sum(t.iops for t in layout.tiers))
+
+    @given(st.floats(min_value=0.5, max_value=30000.0, allow_nan=False))
+    def test_tier_selection_is_minimal(self, size):
+        from repro.catalog import PREMIUM_DISK_TIERS, tier_for_file_size
+
+        tier = tier_for_file_size(size)
+        smaller = [t for t in PREMIUM_DISK_TIERS if t.max_file_size_gib < tier.max_file_size_gib]
+        assert all(t.max_file_size_gib < size for t in smaller)
+
+
+class TestServerlessProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=10, max_size=200),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_cost_scales_linearly_with_rate(self, cpu, rate):
+        import numpy as np
+
+        from repro.extensions import ServerlessOffer, evaluate_serverless
+        from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+        trace = PerformanceTrace(
+            series={PerfDimension.CPU: TimeSeries(np.asarray(cpu))}
+        )
+        base_offer = ServerlessOffer(max_vcores=16.0, min_vcores=0.5, price_per_vcore_hour=rate)
+        double_offer = ServerlessOffer(
+            max_vcores=16.0, min_vcores=0.5, price_per_vcore_hour=2 * rate
+        )
+        base = evaluate_serverless(trace, base_offer)
+        double = evaluate_serverless(trace, double_offer)
+        assert double.monthly_cost == pytest.approx(2 * base.monthly_cost, rel=1e-9)
+        assert double.throttling_probability == base.throttling_probability
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=30.0, allow_nan=False), min_size=10, max_size=200)
+    )
+    def test_bigger_ceiling_never_throttles_more(self, cpu):
+        import numpy as np
+
+        from repro.extensions import ServerlessOffer, evaluate_serverless
+        from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+
+        trace = PerformanceTrace(
+            series={PerfDimension.CPU: TimeSeries(np.asarray(cpu))}
+        )
+        small = evaluate_serverless(trace, ServerlessOffer(max_vcores=4.0, min_vcores=0.5))
+        big = evaluate_serverless(trace, ServerlessOffer(max_vcores=32.0, min_vcores=0.5))
+        assert big.throttling_probability <= small.throttling_probability + 1e-12

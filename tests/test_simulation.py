@@ -1,0 +1,227 @@
+"""Unit tests for the customer-population simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, SkuCatalog
+from repro.core import PricePerformanceCurve
+from repro.simulation import (
+    PAPER_MONTHS,
+    ExpertChoiceModel,
+    FleetConfig,
+    simulate_adoption_log,
+    simulate_fleet,
+    simulate_onprem_estate,
+    simulate_sku_change_customers,
+)
+from repro.telemetry import PerfDimension
+
+from .conftest import make_sku
+
+
+@pytest.fixture(scope="module")
+def db_fleet(default_catalog_module):
+    config = FleetConfig.paper_db(40, duration_days=3, interval_minutes=30)
+    return simulate_fleet(config, default_catalog_module, rng=7)
+
+
+@pytest.fixture(scope="module")
+def default_catalog_module():
+    return SkuCatalog.default()
+
+
+def curve_from(probs, vcores=(2, 4, 8, 16, 32)):
+    skus = [make_sku(v) for v in vcores]
+    return PricePerformanceCurve.from_probabilities(skus, np.asarray(probs, dtype=float))
+
+
+class TestExpertChoiceModel:
+    def test_negotiable_customer_tolerates_throttling(self):
+        model = ExpertChoiceModel(upgrade_noise=0.0)
+        curve = curve_from([0.3, 0.12, 0.04, 0.0, 0.0])
+        # Three negotiable dims -> tolerance in [0.09, 0.24].
+        point = model.choose(curve, (True, True, True), rng=0)
+        assert 1.0 - point.score > 0.0
+
+    def test_strict_customer_near_full_performance(self):
+        model = ExpertChoiceModel(upgrade_noise=0.0)
+        curve = curve_from([0.3, 0.12, 0.04, 0.0, 0.0])
+        point = model.choose(curve, (False, False, False), rng=0)
+        assert point.score >= 0.999
+
+    def test_flat_curve_strict_customer_picks_cheapest(self):
+        model = ExpertChoiceModel(upgrade_noise=0.0)
+        curve = curve_from([0.0] * 5)
+        assert model.choose(curve, (False, False, False), rng=0).sku.vcores == 2
+
+    def test_over_provisioned_choice_far_up_the_curve(self):
+        model = ExpertChoiceModel()
+        curve = curve_from([0.0] * 5)
+        point = model.choose(curve, (False, False, False), over_provisioned=True, rng=0)
+        assert curve.position_of(point.sku.name) >= 3
+
+    def test_tolerance_scales_with_negotiable_count(self):
+        model = ExpertChoiceModel()
+        few = model.throttling_tolerance((True, False, False), rng=0)
+        many = model.throttling_tolerance((True, True, True), rng=0)
+        assert many > few
+
+    def test_nothing_within_tolerance_takes_best(self):
+        model = ExpertChoiceModel(upgrade_noise=0.0)
+        curve = curve_from([0.9, 0.8, 0.75, 0.7, 0.65])
+        point = model.choose(curve, (False, False, False), rng=0)
+        assert point.sku.vcores == 32
+
+
+class TestFleet:
+    def test_fleet_size_and_determinism(self, default_catalog_module):
+        config = FleetConfig.paper_db(10, duration_days=2, interval_minutes=30)
+        a = simulate_fleet(config, default_catalog_module, rng=3)
+        b = simulate_fleet(config, default_catalog_module, rng=3)
+        assert len(a) == 10
+        assert [c.chosen_sku_name for c in a] == [c.chosen_sku_name for c in b]
+
+    def test_chosen_skus_exist_in_catalog(self, db_fleet, default_catalog_module):
+        for customer in db_fleet:
+            default_catalog_module.by_name(customer.chosen_sku_name)  # no raise
+
+    def test_deployment_consistency(self, db_fleet):
+        assert all(
+            c.record.deployment is DeploymentType.SQL_DB for c in db_fleet
+        )
+
+    def test_traces_have_profiling_dimensions(self, db_fleet):
+        for customer in db_fleet:
+            for dim in (
+                PerfDimension.CPU,
+                PerfDimension.MEMORY,
+                PerfDimension.IOPS,
+                PerfDimension.LOG_RATE,
+            ):
+                assert dim in customer.record.trace
+
+    def test_flat_majority(self, db_fleet):
+        flat = sum(1 for c in db_fleet if c.archetype == "flat")
+        assert flat / len(db_fleet) > 0.5
+
+    def test_non_complex_customers_are_strict(self, db_fleet):
+        for customer in db_fleet:
+            if customer.archetype != "complex":
+                assert customer.true_negotiable == tuple(
+                    False for _ in customer.true_negotiable
+                )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(deployment=DeploymentType.SQL_DB, n_customers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(
+                deployment=DeploymentType.SQL_DB,
+                n_customers=1,
+                flat_fraction=0.9,
+                simple_fraction=0.2,
+            )
+
+    def test_mi_preset_dimensions(self):
+        config = FleetConfig.paper_mi(5)
+        assert len(config.profiling_dimensions) == 3
+
+
+class TestSkuChangeCustomers:
+    def test_upgrades_move_to_pricier_skus(self, default_catalog_module):
+        customers = simulate_sku_change_customers(
+            6, default_catalog_module, duration_days=2, interval_minutes=30,
+            upgrade_fraction=1.0, rng=0,
+        )
+        for customer in customers:
+            assert customer.direction == "upgrade"
+            before = default_catalog_module.by_name(customer.before_sku_name)
+            after = default_catalog_module.by_name(customer.after_sku_name)
+            assert after.monthly_price > before.monthly_price
+
+    def test_stale_sku_would_throttle(self, default_catalog_module):
+        """Figure 11: keeping the old SKU on the new workload throttles."""
+        customers = simulate_sku_change_customers(
+            4, default_catalog_module, duration_days=2, interval_minutes=30,
+            upgrade_fraction=1.0, rng=1,
+        )
+        assert all(c.stale_sku_throttling() > 0.2 for c in customers)
+
+    def test_downgrade_direction(self, default_catalog_module):
+        customers = simulate_sku_change_customers(
+            4, default_catalog_module, duration_days=2, interval_minutes=30,
+            upgrade_fraction=0.0, rng=2,
+        )
+        assert all(c.direction == "downgrade" for c in customers)
+
+
+class TestOnPrem:
+    def test_estate_structure(self):
+        servers = simulate_onprem_estate(
+            n_servers=3, databases_per_server=(2, 4), duration_days=1,
+            interval_minutes=30, rng=0,
+        )
+        assert len(servers) == 3
+        for server in servers:
+            assert 2 <= len(server.databases) <= 4
+
+    def test_mostly_idle(self):
+        servers = simulate_onprem_estate(
+            n_servers=6, duration_days=1, interval_minutes=30, rng=1
+        )
+        activities = [db.activity for s in servers for db in s.databases]
+        assert activities.count("idle") / len(activities) > 0.5
+
+    def test_latency_sensitive_dbs_have_low_latency(self):
+        servers = simulate_onprem_estate(
+            n_servers=8, duration_days=1, interval_minutes=30, rng=2,
+            idle_fraction=0.5, latency_sensitive_fraction=0.3,
+        )
+        sensitive = [
+            db for s in servers for db in s.databases if db.activity == "latency_sensitive"
+        ]
+        assert sensitive
+        for db in sensitive:
+            assert db.trace[PerfDimension.IO_LATENCY].quantile(0.05) < 5.0
+
+    def test_instance_rollup(self):
+        servers = simulate_onprem_estate(
+            n_servers=1, databases_per_server=(3, 3), duration_days=1,
+            interval_minutes=30, rng=3,
+        )
+        instance = servers[0].instance_trace()
+        db_cpu_sum = sum(
+            db.trace[PerfDimension.CPU].values.sum() for db in servers[0].databases
+        )
+        assert instance[PerfDimension.CPU].values.sum() == pytest.approx(db_cpu_sum)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            simulate_onprem_estate(idle_fraction=0.9, latency_sensitive_fraction=0.3)
+
+
+class TestAdoption:
+    def test_paper_months_present(self):
+        assert [m.label for m in PAPER_MONTHS] == ["Oct-21", "Nov-21", "Dec-21", "Jan-22"]
+
+    def test_log_matches_profile_scale(self):
+        log = simulate_adoption_log(volume_scale=0.2, rng=0)
+        by_month = {}
+        for request in log:
+            by_month.setdefault(request.month, []).append(request)
+        for month in PAPER_MONTHS:
+            requests = by_month[month.label]
+            assert len(requests) == max(1, round(month.unique_instances * 0.2))
+            databases = sum(r.n_databases for r in requests)
+            expected = month.databases_per_instance * len(requests)
+            assert databases == pytest.approx(expected, rel=0.3)
+
+    def test_recommendations_exceed_databases(self):
+        """Table 1: recommendation counts exceed database counts."""
+        log = simulate_adoption_log(volume_scale=0.3, rng=1)
+        assert sum(r.n_recommendations for r in log) >= sum(r.n_databases for r in log)
+
+    def test_deterministic(self):
+        a = simulate_adoption_log(volume_scale=0.1, rng=5)
+        b = simulate_adoption_log(volume_scale=0.1, rng=5)
+        assert [(r.month, r.n_databases) for r in a] == [(r.month, r.n_databases) for r in b]

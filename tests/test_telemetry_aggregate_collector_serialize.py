@@ -1,0 +1,128 @@
+"""Unit tests for telemetry aggregation, the collector and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    PerfCollector,
+    PerfDimension,
+    PerformanceTrace,
+    TimeSeries,
+    aggregate_database,
+    aggregate_instance,
+    aggregate_traces,
+    dump_trace_json,
+    load_trace_json,
+    trace_from_dict,
+    trace_to_csv,
+    trace_to_dict,
+)
+
+from .conftest import make_trace
+
+
+def file_trace(cpu, latency, entity):
+    return PerformanceTrace(
+        series={
+            PerfDimension.CPU: TimeSeries(np.asarray(cpu, dtype=float)),
+            PerfDimension.IO_LATENCY: TimeSeries(np.asarray(latency, dtype=float)),
+        },
+        entity_id=entity,
+    )
+
+
+class TestAggregation:
+    def test_throughput_dims_sum(self):
+        a = file_trace([1.0, 2.0], [5.0, 5.0], "f1")
+        b = file_trace([3.0, 4.0], [5.0, 5.0], "f2")
+        db = aggregate_database([a, b], "db1")
+        assert list(db[PerfDimension.CPU].values) == [4.0, 6.0]
+
+    def test_latency_takes_max(self):
+        a = file_trace([1.0], [2.0], "f1")
+        b = file_trace([1.0], [9.0], "f2")
+        db = aggregate_database([a, b], "db1")
+        assert list(db[PerfDimension.IO_LATENCY].values) == [9.0]
+
+    def test_instance_rollup_entity_id(self):
+        inst = aggregate_instance([file_trace([1.0], [1.0], "d")], "server-7")
+        assert inst.entity_id == "server-7"
+
+    def test_single_trace_passthrough_values(self):
+        a = file_trace([1.5], [2.5], "f")
+        out = aggregate_traces([a], "x")
+        assert list(out[PerfDimension.CPU].values) == [1.5]
+
+    def test_zero_traces_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            aggregate_traces([], "x")
+
+    def test_mismatched_dimension_sets_rejected(self):
+        a = file_trace([1.0], [1.0], "f1")
+        b = make_trace(np.ones(1))
+        with pytest.raises(ValueError, match="different dimension sets"):
+            aggregate_traces([a, b], "x")
+
+
+class TestCollector:
+    def test_run_produces_expected_samples(self):
+        collector = PerfCollector(interval_minutes=10.0, entity_id="c1")
+        trace = collector.run(
+            lambda minute: {PerfDimension.CPU: minute / 10.0}, duration_days=1.0
+        )
+        assert trace.n_samples == 144
+        assert trace.entity_id == "c1"
+        assert trace[PerfDimension.CPU].values[1] == 1.0
+
+    def test_record_dimension_change_rejected(self):
+        collector = PerfCollector()
+        collector.record({PerfDimension.CPU: 1.0})
+        with pytest.raises(ValueError, match="changed"):
+            collector.record({PerfDimension.MEMORY: 1.0})
+
+    def test_empty_collector_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            PerfCollector().to_trace()
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCollector().run(lambda m: {PerfDimension.CPU: 0.0}, duration_days=0.0)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        trace = make_trace(np.array([1.0, 2.0]), memory_gb=np.array([3.0, 4.0]))
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.entity_id == trace.entity_id
+        assert restored.dimensions == trace.dimensions
+        np.testing.assert_allclose(
+            restored[PerfDimension.CPU].values, trace[PerfDimension.CPU].values
+        )
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = make_trace(np.array([1.0, 2.0]))
+        path = tmp_path / "trace.json"
+        dump_trace_json(trace, path)
+        restored = load_trace_json(path)
+        np.testing.assert_allclose(
+            restored[PerfDimension.CPU].values, trace[PerfDimension.CPU].values
+        )
+
+    def test_unknown_version_rejected(self):
+        doc = trace_to_dict(make_trace(np.ones(2)))
+        doc["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            trace_from_dict(doc)
+
+    def test_unknown_dimension_rejected(self):
+        doc = trace_to_dict(make_trace(np.ones(2)))
+        doc["series"]["BOGUS"] = doc["series"].pop("CPU")
+        with pytest.raises(ValueError, match="unknown performance dimension"):
+            trace_from_dict(doc)
+
+    def test_csv_has_header_and_rows(self):
+        trace = make_trace(np.array([1.0, 2.0]), memory_gb=np.array([3.0, 4.0]))
+        csv_text = trace_to_csv(trace)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "minute,cpu_vcores,memory_gb"
+        assert len(lines) == 3

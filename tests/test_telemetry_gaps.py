@@ -1,0 +1,105 @@
+"""Unit and property tests for counter gap repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import longest_gap, repair_gaps
+
+
+class TestLongestGap:
+    def test_no_gaps(self):
+        assert longest_gap(np.array([False, False, False])) == 0
+
+    def test_single_run(self):
+        assert longest_gap(np.array([False, True, True, True, False])) == 3
+
+    def test_multiple_runs_takes_max(self):
+        mask = np.array([True, False, True, True, False, True])
+        assert longest_gap(mask) == 2
+
+    def test_all_missing(self):
+        assert longest_gap(np.ones(5, dtype=bool)) == 5
+
+
+class TestRepairGaps:
+    def test_no_gaps_passthrough(self):
+        repair = repair_gaps(np.array([1.0, 2.0, 3.0]))
+        assert repair.n_missing == 0
+        assert repair.credible
+        np.testing.assert_array_equal(repair.series.values, [1.0, 2.0, 3.0])
+
+    def test_interior_gap_interpolated(self):
+        repair = repair_gaps(np.array([1.0, np.nan, 3.0]))
+        assert repair.n_missing == 1
+        np.testing.assert_allclose(repair.series.values, [1.0, 2.0, 3.0])
+
+    def test_leading_and_trailing_gaps_filled(self):
+        repair = repair_gaps(np.array([np.nan, 2.0, np.nan]))
+        np.testing.assert_allclose(repair.series.values, [2.0, 2.0, 2.0])
+
+    def test_long_gap_not_credible(self):
+        values = np.concatenate([[1.0], np.full(20, np.nan), [2.0]])
+        repair = repair_gaps(values, max_gap_samples=18)
+        assert not repair.credible
+        assert repair.longest_gap_samples == 20
+        # ...but the series is still dense and usable.
+        assert np.all(np.isfinite(repair.series.values))
+
+    def test_short_gap_credible(self):
+        values = np.concatenate([[1.0], np.full(5, np.nan), [2.0]])
+        assert repair_gaps(values, max_gap_samples=18).credible
+
+    def test_clock_preserved(self):
+        repair = repair_gaps(
+            np.array([1.0, np.nan, 3.0]), interval_minutes=30.0, start_minute=60.0
+        )
+        assert repair.series.interval_minutes == 30.0
+        assert repair.series.start_minute == 60.0
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="every sample"):
+            repair_gaps(np.full(4, np.nan))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            repair_gaps(np.array([]))
+
+
+class TestRepairProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.none(),
+            ),
+            min_size=1,
+            max_size=60,
+        ).filter(lambda items: any(value is not None for value in items))
+    )
+    def test_repair_is_dense_and_range_bounded(self, items):
+        values = np.array(
+            [np.nan if value is None else value for value in items], dtype=float
+        )
+        repair = repair_gaps(values)
+        assert np.all(np.isfinite(repair.series.values))
+        observed = values[np.isfinite(values)]
+        assert repair.series.values.min() >= observed.min() - 1e-9
+        assert repair.series.values.max() <= observed.max() + 1e-9
+        # Known samples are untouched.
+        known_mask = np.isfinite(values)
+        np.testing.assert_array_equal(
+            repair.series.values[known_mask], values[known_mask]
+        )
+
+    @given(st.integers(1, 40), st.integers(0, 39))
+    def test_gap_statistics_consistent(self, n, gap_start):
+        values = np.arange(float(n))
+        gap_start = min(gap_start, n - 1)
+        values[gap_start] = np.nan
+        if np.isfinite(values).sum() == 0:
+            return
+        repair = repair_gaps(values)
+        assert repair.n_missing == 1
+        assert repair.longest_gap_samples == 1

@@ -1,0 +1,128 @@
+"""Unit tests for repro.telemetry.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import TimeSeries
+
+
+def series(values, interval=10.0, start=0.0):
+    return TimeSeries(values=np.asarray(values, dtype=float), interval_minutes=interval, start_minute=start)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = series([1, 2, 3])
+        assert len(ts) == 3
+        assert list(ts) == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            series([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            TimeSeries(values=np.zeros((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            series([1.0, float("nan")])
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            series([1.0], interval=0.0)
+
+    def test_values_are_readonly(self):
+        ts = series([1, 2, 3])
+        with pytest.raises(ValueError):
+            ts.values[0] = 99.0
+
+
+class TestClocks:
+    def test_durations(self):
+        ts = series(np.ones(144), interval=10.0)
+        assert ts.duration_minutes == 1440.0
+        assert ts.duration_hours == 24.0
+        assert ts.duration_days == pytest.approx(1.0)
+
+    def test_timestamps(self):
+        ts = series([1, 2, 3], interval=10.0, start=5.0)
+        assert list(ts.timestamps_minutes()) == [5.0, 15.0, 25.0]
+
+
+class TestStatistics:
+    def test_summary_stats(self):
+        ts = series([1, 2, 3, 4])
+        assert ts.max() == 4.0
+        assert ts.min() == 1.0
+        assert ts.mean() == 2.5
+        assert ts.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_quantile(self):
+        ts = series(np.arange(101))
+        assert ts.quantile(0.95) == pytest.approx(95.0)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            series([1.0]).quantile(1.5)
+
+
+class TestTransforms:
+    def test_slice_window(self):
+        ts = series(np.arange(10), interval=10.0)
+        window = ts.slice_window(20.0, 50.0)
+        assert list(window.values) == [2.0, 3.0, 4.0]
+        assert window.start_minute == 20.0
+
+    def test_slice_window_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            series([1, 2, 3]).slice_window(1000.0, 2000.0)
+
+    def test_head_minutes(self):
+        ts = series(np.arange(10), interval=10.0)
+        assert len(ts.head_minutes(30.0)) == 3
+
+    def test_resample_averages_buckets(self):
+        ts = series([1, 3, 5, 7], interval=10.0)
+        coarse = ts.resample(20.0)
+        assert list(coarse.values) == [2.0, 6.0]
+        assert coarse.interval_minutes == 20.0
+
+    def test_resample_identity(self):
+        ts = series([1, 2, 3])
+        assert ts.resample(10.0) is ts
+
+    def test_resample_drops_trailing_partial_bucket(self):
+        ts = series([1, 3, 5], interval=10.0)
+        coarse = ts.resample(20.0)
+        assert list(coarse.values) == [2.0]
+
+    def test_resample_non_integral_rejected(self):
+        with pytest.raises(ValueError, match="integral multiple"):
+            series([1, 2, 3]).resample(15.0)
+
+    def test_clip_upper(self):
+        ts = series([1, 5, 9]).clip_upper(5.0)
+        assert list(ts.values) == [1.0, 5.0, 5.0]
+
+    def test_add_aligned(self):
+        total = series([1, 2]) + series([10, 20])
+        assert list(total.values) == [11.0, 22.0]
+
+    def test_add_misaligned_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            series([1, 2]) + series([1, 2, 3])
+
+    def test_add_misaligned_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            series([1, 2]) + series([1, 2], interval=20.0)
+
+    def test_pointwise_max(self):
+        merged = series([1, 9]).pointwise_max(series([5, 2]))
+        assert list(merged.values) == [5.0, 9.0]
+
+    def test_with_values_keeps_clock(self):
+        ts = series([1, 2], interval=30.0, start=10.0)
+        replaced = ts.with_values([7, 8])
+        assert replaced.interval_minutes == 30.0
+        assert replaced.start_minute == 10.0

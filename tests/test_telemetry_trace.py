@@ -1,0 +1,159 @@
+"""Unit tests for repro.telemetry.trace and counters."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ResourceLimits
+from repro.telemetry import (
+    DB_DIMENSIONS,
+    MI_DIMENSIONS,
+    PROFILING_DB_DIMENSIONS,
+    PROFILING_MI_DIMENSIONS,
+    PerfDimension,
+    PerformanceTrace,
+    TimeSeries,
+)
+
+from .conftest import make_trace
+
+
+LIMITS = ResourceLimits(
+    vcores=4.0,
+    max_memory_gb=20.8,
+    max_data_iops=1280.0,
+    max_log_rate_mbps=15.0,
+    max_data_size_gb=1024.0,
+    min_io_latency_ms=5.0,
+)
+
+
+class TestPerfDimension:
+    def test_dimension_counts_match_paper(self):
+        # Section 3.2: DB adds log rate and storage to the 4 primary dims.
+        assert len(DB_DIMENSIONS) == 6
+        assert len(MI_DIMENSIONS) == 4
+        # Section 5.2.1: 2^4 = 16 DB groups, 2^3 = 8 MI groups.
+        assert len(PROFILING_DB_DIMENSIONS) == 4
+        assert len(PROFILING_MI_DIMENSIONS) == 3
+
+    def test_only_latency_is_inverted(self):
+        inverted = [dim for dim in PerfDimension if dim.lower_is_better]
+        assert inverted == [PerfDimension.IO_LATENCY]
+
+    def test_capacity_of(self):
+        assert PerfDimension.CPU.capacity_of(LIMITS) == 4.0
+        assert PerfDimension.MEMORY.capacity_of(LIMITS) == 20.8
+        assert PerfDimension.IOPS.capacity_of(LIMITS) == 1280.0
+        assert PerfDimension.LOG_RATE.capacity_of(LIMITS) == 15.0
+        assert PerfDimension.STORAGE.capacity_of(LIMITS) == 1024.0
+        assert PerfDimension.IO_LATENCY.capacity_of(LIMITS) == 5.0
+
+    def test_demand_and_capacity_throughput(self):
+        demand, capacity = PerfDimension.CPU.demand_and_capacity(3.0, LIMITS)
+        assert (demand, capacity) == (3.0, 4.0)
+
+    def test_demand_and_capacity_latency_inversion(self):
+        # Workload observing 2 ms needs better than the 5 ms floor.
+        demand, capacity = PerfDimension.IO_LATENCY.demand_and_capacity(2.0, LIMITS)
+        assert demand == pytest.approx(0.5)
+        assert capacity == pytest.approx(0.2)
+        assert demand > capacity  # throttled
+
+    def test_latency_zero_sample_guarded(self):
+        demand, _ = PerfDimension.IO_LATENCY.demand_and_capacity(0.0, LIMITS)
+        assert np.isfinite(demand)
+
+    def test_units(self):
+        assert PerfDimension.CPU.unit == "vCores"
+        assert PerfDimension.IO_LATENCY.unit == "ms"
+
+
+class TestPerformanceTrace:
+    def test_basic_properties(self):
+        trace = make_trace(np.ones(6), memory_gb=np.ones(6))
+        assert trace.n_samples == 6
+        assert trace.interval_minutes == 10.0
+        assert PerfDimension.CPU in trace
+        assert PerfDimension.IOPS not in trace
+
+    def test_dimensions_in_enum_order(self):
+        trace = make_trace(np.ones(4), data_size_gb=np.ones(4), memory_gb=np.ones(4))
+        assert trace.dimensions == (
+            PerfDimension.CPU,
+            PerfDimension.MEMORY,
+            PerfDimension.STORAGE,
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            PerformanceTrace(
+                series={
+                    PerfDimension.CPU: TimeSeries(np.ones(4)),
+                    PerfDimension.MEMORY: TimeSeries(np.ones(5)),
+                }
+            )
+
+    def test_mismatched_intervals_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            PerformanceTrace(
+                series={
+                    PerfDimension.CPU: TimeSeries(np.ones(4), interval_minutes=10.0),
+                    PerfDimension.MEMORY: TimeSeries(np.ones(4), interval_minutes=5.0),
+                }
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PerformanceTrace(series={})
+
+    def test_getitem_missing_dimension_message(self):
+        trace = make_trace(np.ones(3))
+        with pytest.raises(KeyError, match="MEMORY"):
+            trace[PerfDimension.MEMORY]
+
+    def test_matrix_shape_and_order(self):
+        trace = make_trace(np.array([1.0, 2.0]), memory_gb=np.array([3.0, 4.0]))
+        matrix = trace.matrix()
+        assert matrix.shape == (2, 2)
+        assert list(matrix[:, 0]) == [1.0, 2.0]
+        assert list(matrix[:, 1]) == [3.0, 4.0]
+
+    def test_restrict(self):
+        trace = make_trace(np.ones(3), memory_gb=np.ones(3), data_iops=np.ones(3))
+        restricted = trace.restrict((PerfDimension.CPU, PerfDimension.IOPS))
+        assert restricted.dimensions == (PerfDimension.CPU, PerfDimension.IOPS)
+
+    def test_restrict_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_trace(np.ones(3)).restrict((PerfDimension.LOG_RATE,))
+
+    def test_subsample(self):
+        trace = make_trace(np.array([1.0, 2.0, 3.0]), memory_gb=np.array([4.0, 5.0, 6.0]))
+        sub = trace.subsample(np.array([2, 0]))
+        assert list(sub[PerfDimension.CPU].values) == [3.0, 1.0]
+        assert list(sub[PerfDimension.MEMORY].values) == [6.0, 4.0]
+
+    def test_subsample_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(np.ones(3)).subsample(np.array([], dtype=int))
+
+    def test_head_days(self):
+        trace = make_trace(np.arange(288.0))  # 2 days at 10 min
+        assert trace.head_days(1.0).n_samples == 144
+
+    def test_resample(self):
+        trace = make_trace(np.arange(12.0))
+        coarse = trace.resample(30.0)
+        assert coarse.n_samples == 4
+        assert coarse.interval_minutes == 30.0
+
+    def test_peak_demands_max(self):
+        trace = make_trace(np.array([1.0, 5.0]), io_latency_ms=np.array([2.0, 8.0]))
+        peaks = trace.peak_demands(1.0)
+        assert peaks[PerfDimension.CPU] == 5.0
+        # Latency demand is the most demanding (smallest) observation.
+        assert peaks[PerfDimension.IO_LATENCY] == 2.0
+
+    def test_peak_demands_quantile(self):
+        trace = make_trace(np.arange(101.0))
+        assert trace.peak_demands(0.95)[PerfDimension.CPU] == pytest.approx(95.0)

@@ -1,0 +1,155 @@
+"""Unit tests for recommendation tracking and ground-truth validation."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType
+from repro.core import DopplerEngine
+from repro.dma import RecommendationStore
+from repro.extensions import FeedbackLoop
+from repro.simulation import (
+    DetectionQuality,
+    FleetConfig,
+    overprovision_detection_quality,
+    profiling_quality,
+    selection_quality,
+    simulate_fleet,
+)
+
+from .conftest import full_trace
+
+
+@pytest.fixture(scope="module")
+def mini_setup():
+    from repro.catalog import SkuCatalog
+
+    catalog = SkuCatalog.default()
+    config = FleetConfig.paper_db(30, duration_days=3, interval_minutes=30)
+    fleet = simulate_fleet(config, catalog, rng=77)
+    engine = DopplerEngine(catalog=catalog)
+    engine.fit([c.record for c in fleet])
+    return catalog, fleet, engine
+
+
+class TestRecommendationStore:
+    def issue(self, store, engine, entity="cust-1"):
+        recommendation = engine.recommend(full_trace(entity_id=entity), DeploymentType.SQL_DB)
+        return store.record(entity, "DB", recommendation)
+
+    def test_record_and_get(self, tmp_path, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        store = RecommendationStore(tmp_path / "recs.jsonl")
+        tracked = self.issue(store, engine)
+        assert len(store) == 1
+        assert "cust-1" in store
+        assert store.get("cust-1").sku_name == tracked.sku_name
+        assert tracked.adopted is None
+
+    def test_persistence_roundtrip(self, tmp_path, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        path = tmp_path / "recs.jsonl"
+        store = RecommendationStore(path)
+        self.issue(store, engine)
+        store.update_outcome("cust-1", adopted=True, retention_days=90.0,
+                             observed_throttling=0.01)
+        reloaded = RecommendationStore(path)
+        record = reloaded.get("cust-1")
+        assert record.adopted is True
+        assert record.retention_days == 90.0
+        assert record.is_satisfied is True
+
+    def test_update_unknown_entity_raises(self, tmp_path):
+        store = RecommendationStore(tmp_path / "recs.jsonl")
+        with pytest.raises(KeyError):
+            store.update_outcome("ghost", adopted=True)
+
+    def test_retention_summary(self, tmp_path, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog)
+        store = RecommendationStore(tmp_path / "recs.jsonl")
+        for i, (adopted, days) in enumerate(
+            [(True, 120.0), (True, 10.0), (False, None), (None, None)]
+        ):
+            entity = f"cust-{i}"
+            self.issue(store, engine, entity=entity)
+            if adopted is not None:
+                store.update_outcome(entity, adopted=adopted, retention_days=days,
+                                     observed_throttling=0.0)
+        summary = store.retention_summary()
+        assert summary.n_issued == 4
+        assert summary.n_adopted == 2
+        assert summary.n_satisfied == 1
+        assert summary.adoption_rate == pytest.approx(0.5)
+        assert summary.satisfaction_rate == pytest.approx(0.5)
+        assert summary.mean_retention_days == pytest.approx(65.0)
+
+    def test_feedback_bridge(self, tmp_path, small_catalog):
+        """Tracked outcomes feed the online profiling refinement."""
+        engine = DopplerEngine(catalog=small_catalog)
+        store = RecommendationStore(tmp_path / "recs.jsonl")
+        self.issue(store, engine, entity="happy")
+        store.update_outcome("happy", adopted=True, retention_days=100.0,
+                             observed_throttling=0.02)
+        self.issue(store, engine, entity="unhappy")
+        store.update_outcome("unhappy", adopted=True, retention_days=5.0,
+                             observed_throttling=0.30)
+        events = list(store.feedback_events())
+        assert len(events) == 2
+        satisfied = {e.satisfied for e in events}
+        assert satisfied == {True, False}
+        # The events are consumable by the FeedbackLoop.
+        from repro.core import GroupObservation, GroupScoreModel
+
+        group_key = events[0].group_key
+        loop = FeedbackLoop(
+            model=GroupScoreModel.fit([GroupObservation(group_key, 0.05)])
+        )
+        for event in events:
+            loop.record(event)
+        assert loop.events_seen(group_key) >= 1
+
+
+class TestValidationMetrics:
+    def test_profiling_quality_high_on_simulated_fleet(self, mini_setup):
+        catalog, fleet, engine = mini_setup
+        quality = profiling_quality(
+            engine.profiler_for(DeploymentType.SQL_DB), fleet
+        )
+        assert quality.accuracy > 0.8
+        assert quality.exact_group_rate >= 0.6
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+
+    def test_selection_quality_rank_metrics(self, mini_setup):
+        catalog, fleet, engine = mini_setup
+        quality = selection_quality(engine, fleet, DeploymentType.SQL_DB)
+        assert quality.n_evaluated > 0
+        assert 0.0 <= quality.accuracy <= 1.0
+        assert quality.within_one_rank >= quality.accuracy
+        assert quality.mean_rank_error < 10.0
+
+    def test_detection_quality_confusion_counts(self, mini_setup):
+        catalog, fleet, engine = mini_setup
+        quality = overprovision_detection_quality(
+            engine, fleet, DeploymentType.SQL_DB
+        )
+        total = (
+            quality.true_positive
+            + quality.false_positive
+            + quality.true_negative
+            + quality.false_negative
+        )
+        assert total == len(fleet)
+        assert quality.accuracy > 0.7
+
+    def test_detection_quality_properties(self):
+        quality = DetectionQuality(
+            true_positive=8, false_positive=2, true_negative=85, false_negative=5
+        )
+        assert quality.precision == pytest.approx(0.8)
+        assert quality.recall == pytest.approx(8 / 13)
+        assert quality.accuracy == pytest.approx(0.93)
+
+    def test_empty_fleet_rejected(self, mini_setup):
+        catalog, fleet, engine = mini_setup
+        with pytest.raises(ValueError):
+            profiling_quality(engine.profiler_for(DeploymentType.SQL_DB), [])

@@ -1,0 +1,147 @@
+"""Unit tests for benchmark signatures and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    STANDARD_BENCHMARKS,
+    TPCC,
+    TPCH,
+    YCSB,
+    BenchmarkPiece,
+    SpikyPattern,
+    SteadyPattern,
+    WorkloadSpec,
+    generate_trace,
+)
+
+
+class TestBenchmarkSignatures:
+    def test_four_standard_benchmarks(self):
+        names = {bench.name for bench in STANDARD_BENCHMARKS}
+        assert names == {"TPC-C", "TPC-H", "TPC-DS", "YCSB"}
+
+    def test_demand_has_all_dimensions(self):
+        demand = TPCC.demand()
+        assert set(demand) == set(PerfDimension)
+
+    def test_concurrency_scales_throughput_not_memory(self):
+        one = TPCC.demand(concurrency=1)
+        ten = TPCC.demand(concurrency=10)
+        assert ten[PerfDimension.CPU] == pytest.approx(10 * one[PerfDimension.CPU])
+        assert ten[PerfDimension.IOPS] == pytest.approx(10 * one[PerfDimension.IOPS])
+        assert ten[PerfDimension.MEMORY] == one[PerfDimension.MEMORY]
+
+    def test_scale_factor_grows_storage_linearly(self):
+        assert TPCH.demand(scale_factor=10)[PerfDimension.STORAGE] == pytest.approx(
+            10 * TPCH.demand(scale_factor=1)[PerfDimension.STORAGE]
+        )
+
+    def test_scale_factor_grows_memory_sublinearly(self):
+        small = TPCH.demand(scale_factor=1)[PerfDimension.MEMORY]
+        big = TPCH.demand(scale_factor=10)[PerfDimension.MEMORY]
+        assert small < big < 10 * small
+
+    def test_query_frequency_multiplies_rates(self):
+        base = YCSB.demand(query_frequency=1.0)
+        double = YCSB.demand(query_frequency=2.0)
+        assert double[PerfDimension.IOPS] == pytest.approx(2 * base[PerfDimension.IOPS])
+
+    def test_workload_characters(self):
+        # OLTP writes logs hard; analytics barely.
+        assert TPCC.demand()[PerfDimension.LOG_RATE] > 10 * TPCH.demand()[PerfDimension.LOG_RATE]
+        # Key-value serving is IOPS-heavy per unit CPU.
+        assert (
+            YCSB.demand()[PerfDimension.IOPS] / YCSB.demand()[PerfDimension.CPU]
+            > TPCH.demand()[PerfDimension.IOPS] / TPCH.demand()[PerfDimension.CPU]
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TPCC.demand(scale_factor=0.0)
+        with pytest.raises(ValueError):
+            TPCC.demand(concurrency=0)
+        with pytest.raises(ValueError):
+            TPCC.demand(query_frequency=0.0)
+
+    def test_piece_describe(self):
+        piece = BenchmarkPiece(signature=TPCC, scale_factor=2.0, concurrency=3)
+        assert "TPC-C" in piece.describe()
+        assert "clients=3" in piece.describe()
+
+
+class TestGenerateTrace:
+    def spec(self):
+        return WorkloadSpec(
+            patterns={
+                PerfDimension.CPU: SteadyPattern(level=2.0),
+                PerfDimension.IOPS: SpikyPattern(base=100.0, peak=800.0),
+            },
+            storage_gb=50.0,
+            base_latency_ms=2.0,
+            entity_id="gen-test",
+        )
+
+    def test_sample_count_from_duration(self):
+        trace = generate_trace(self.spec(), duration_days=1.0, rng=0)
+        assert trace.n_samples == 144
+
+    def test_implicit_dimensions_added(self):
+        trace = generate_trace(self.spec(), duration_days=1.0, rng=0)
+        assert PerfDimension.STORAGE in trace
+        assert PerfDimension.IO_LATENCY in trace
+
+    def test_storage_near_footprint(self):
+        trace = generate_trace(self.spec(), duration_days=1.0, rng=0)
+        assert trace[PerfDimension.STORAGE].mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_latency_correlates_with_iops_pressure(self):
+        spec = WorkloadSpec(
+            patterns={
+                PerfDimension.CPU: SteadyPattern(level=1.0),
+                PerfDimension.IOPS: SpikyPattern(
+                    base=100.0, peak=4500.0, spike_probability=0.05, noise=0.0
+                ),
+            },
+            storage_gb=50.0,
+            base_latency_ms=2.0,
+            saturation_iops=5000.0,
+        )
+        trace = generate_trace(spec, duration_days=2.0, rng=0)
+        iops = trace[PerfDimension.IOPS].values
+        latency = trace[PerfDimension.IO_LATENCY].values
+        assert latency[iops > 4000].mean() > latency[iops < 500].mean()
+
+    def test_explicit_dimension_selection(self):
+        trace = generate_trace(
+            self.spec(), duration_days=1.0, rng=0, dimensions=(PerfDimension.CPU,)
+        )
+        assert trace.dimensions == (PerfDimension.CPU,)
+
+    def test_deterministic(self):
+        a = generate_trace(self.spec(), duration_days=1.0, rng=5)
+        b = generate_trace(self.spec(), duration_days=1.0, rng=5)
+        np.testing.assert_array_equal(
+            a[PerfDimension.CPU].values, b[PerfDimension.CPU].values
+        )
+
+    def test_unsatisfiable_dimension_rejected(self):
+        with pytest.raises(ValueError, match="no pattern supplied"):
+            generate_trace(
+                self.spec(),
+                duration_days=1.0,
+                dimensions=(PerfDimension.CPU, PerfDimension.MEMORY),
+            )
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            generate_trace(self.spec(), duration_days=0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(patterns={})
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                patterns={PerfDimension.CPU: SteadyPattern(level=1.0)}, storage_gb=0.0
+            )

@@ -1,0 +1,126 @@
+"""Unit tests for the temporal demand patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BurstyPattern,
+    Composite,
+    DiurnalPattern,
+    IdlePattern,
+    PlateauPattern,
+    RampPattern,
+    SpikyPattern,
+    SteadyPattern,
+)
+
+N = 1008  # one week at 10-minute cadence
+INTERVAL = 10.0
+
+
+ALL_PATTERNS = [
+    SteadyPattern(level=2.0),
+    SpikyPattern(base=1.0, peak=6.0),
+    DiurnalPattern(trough=1.0, peak=4.0),
+    BurstyPattern(low=1.0, high=5.0),
+    PlateauPattern(level=3.0),
+    RampPattern(start=1.0, end=8.0),
+    IdlePattern(),
+    Composite(SteadyPattern(level=1.0), SpikyPattern(base=0.0, peak=3.0)),
+]
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+class TestCommonContract:
+    def test_shape_and_nonnegative(self, pattern):
+        values = pattern.generate(N, INTERVAL, rng=0)
+        assert values.shape == (N,)
+        assert np.all(values >= 0.0)
+        assert np.all(np.isfinite(values))
+
+    def test_deterministic_given_seed(self, pattern):
+        a = pattern.generate(N, INTERVAL, rng=13)
+        b = pattern.generate(N, INTERVAL, rng=13)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSteady:
+    def test_mean_near_level(self):
+        values = SteadyPattern(level=3.0, noise=0.05).generate(N, INTERVAL, rng=0)
+        assert values.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_zero_noise_is_constant(self):
+        values = SteadyPattern(level=2.0, noise=0.0).generate(100, INTERVAL, rng=0)
+        np.testing.assert_array_equal(values, np.full(100, 2.0))
+
+
+class TestSpiky:
+    def test_peak_reached_and_base_dominates(self):
+        pattern = SpikyPattern(base=1.0, peak=6.0, spike_probability=0.01, noise=0.0)
+        values = pattern.generate(N, INTERVAL, rng=0)
+        assert values.max() == pytest.approx(6.0)
+        assert np.median(values) == pytest.approx(1.0)
+
+    def test_at_least_one_spike_guaranteed(self):
+        pattern = SpikyPattern(base=1.0, peak=6.0, spike_probability=0.0, noise=0.0)
+        values = pattern.generate(N, INTERVAL, rng=0)
+        assert values.max() == pytest.approx(6.0)
+
+    def test_spike_time_fraction_small(self):
+        pattern = SpikyPattern(base=1.0, peak=6.0, spike_probability=0.005, noise=0.0)
+        values = pattern.generate(N, INTERVAL, rng=1)
+        assert np.mean(values > 3.0) < 0.1
+
+
+class TestDiurnal:
+    def test_range(self):
+        values = DiurnalPattern(trough=1.0, peak=4.0, noise=0.0).generate(N, INTERVAL, rng=0)
+        assert values.min() == pytest.approx(1.0, abs=0.01)
+        assert values.max() == pytest.approx(4.0, abs=0.01)
+
+    def test_daily_period(self):
+        values = DiurnalPattern(trough=1.0, peak=4.0, noise=0.0).generate(288, INTERVAL, rng=0)
+        # Samples one day apart should match.
+        np.testing.assert_allclose(values[:144], values[144:], atol=1e-9)
+
+
+class TestBursty:
+    def test_bimodal(self):
+        values = BurstyPattern(low=1.0, high=5.0, noise=0.0).generate(N, INTERVAL, rng=0)
+        assert set(np.round(np.unique(values), 6)) == {1.0, 5.0}
+
+    def test_sustained_phases(self):
+        values = BurstyPattern(
+            low=1.0, high=5.0, mean_on_samples=50, mean_off_samples=50, noise=0.0
+        ).generate(N, INTERVAL, rng=0)
+        transitions = np.sum(np.abs(np.diff(values)) > 1.0)
+        assert transitions < N / 10
+
+
+class TestPlateau:
+    def test_values_never_exceed_level(self):
+        values = PlateauPattern(level=3.0).generate(N, INTERVAL, rng=0)
+        assert values.max() <= 3.0 + 1e-12
+
+    def test_mass_concentrated_near_peak(self):
+        """The property the thresholding summarizer relies on."""
+        values = PlateauPattern(level=3.0, dip_scale=0.06).generate(N, INTERVAL, rng=0)
+        window_floor = values.max() - values.std()
+        assert np.mean(values >= window_floor) > 0.3
+
+
+class TestRamp:
+    def test_monotone_trend(self):
+        values = RampPattern(start=1.0, end=8.0, noise=0.0).generate(100, INTERVAL, rng=0)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(8.0)
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestComposite:
+    def test_sums_components(self):
+        composite = Composite(
+            SteadyPattern(level=1.0, noise=0.0), SteadyPattern(level=2.0, noise=0.0)
+        )
+        values = composite.generate(10, INTERVAL, rng=0)
+        np.testing.assert_allclose(values, np.full(10, 3.0))

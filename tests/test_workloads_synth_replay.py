@@ -1,0 +1,155 @@
+"""Unit tests for the workload synthesizer and the replay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ServiceTier
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    WorkloadSynthesizer,
+    replay_on_sku,
+)
+
+from .conftest import full_trace, make_sku
+
+
+class TestSynthesizer:
+    def test_synthesis_matches_throughput_targets(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        peak = synth.peak_demand()
+        target = synth.target_demands
+        for dim in (PerfDimension.CPU, PerfDimension.IOPS):
+            assert peak[dim] == pytest.approx(target[dim], rel=0.6)
+
+    def test_pieces_are_standard_benchmarks(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        assert synth.pieces
+        names = {piece.signature.name for piece in synth.pieces}
+        assert names <= {"TPC-C", "TPC-H", "TPC-DS", "YCSB"}
+
+    def test_shape_profile_normalized(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        assert synth.shape.min() >= 0.0
+        assert synth.shape.max() <= 1.0
+        assert synth.shape.size == spiky_db_trace.n_samples
+
+    def test_demand_trace_dimensions(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        assert set(demand.dimensions) == set(PerfDimension)
+        assert demand.n_samples == spiky_db_trace.n_samples
+
+    def test_idle_target_still_yields_a_mix(self):
+        trace = full_trace(cpu_level=0.01)
+        synth = WorkloadSynthesizer().synthesize(trace)
+        assert synth.pieces  # minimal YCSB fallback
+
+    def test_describe_mentions_components(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        assert "SynthesizedWorkload" in synth.describe()
+
+    def test_storage_scaled_to_footprint(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        storage = synth.peak_demand()[PerfDimension.STORAGE]
+        target = synth.target_demands[PerfDimension.STORAGE]
+        assert storage == pytest.approx(target, rel=0.5)
+
+
+class TestReplay:
+    def test_big_sku_serves_demand_unclipped(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        big = make_sku(64, ServiceTier.BUSINESS_CRITICAL, iops_per_vcore=4000.0,
+                       log_per_vcore=12.0, storage_gb=4096.0)
+        result = replay_on_sku(demand, big, rng=1)
+        assert result.throttled_fraction < 0.01
+        np.testing.assert_allclose(
+            result.observed[PerfDimension.CPU].values,
+            demand[PerfDimension.CPU].values,
+            rtol=1e-9,
+        )
+
+    def test_small_sku_clips_cpu_at_capacity(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        small = make_sku(2, storage_gb=4096.0)
+        result = replay_on_sku(demand, small, rng=1)
+        observed = result.observed[PerfDimension.CPU].values
+        assert observed.max() <= 2.0 + 1e-9
+        assert result.throttled_fraction > 0.1
+
+    def test_latency_blows_up_on_undersized_sku(self, spiky_db_trace):
+        """The Figure-13 separation: small SKU -> inflated IO latency."""
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        small = make_sku(2, storage_gb=4096.0)
+        big = make_sku(64, ServiceTier.BUSINESS_CRITICAL, iops_per_vcore=4000.0,
+                       log_per_vcore=12.0, storage_gb=4096.0)
+        lat_small = replay_on_sku(demand, small, rng=1).p99_latency_ms
+        lat_big = replay_on_sku(demand, big, rng=1).p99_latency_ms
+        assert lat_small > 3 * lat_big
+
+    def test_backlog_defers_work(self):
+        """Clipped demand extends the busy period instead of vanishing."""
+        from repro.workloads.replay import _clip_with_backlog
+
+        demand = np.array([5.0, 0.0, 0.0])
+        observed, backlog = _clip_with_backlog(demand, capacity=2.0)
+        np.testing.assert_allclose(observed, [2.0, 2.0, 1.0])
+        np.testing.assert_allclose(backlog, [3.0, 1.0, 0.0])
+        assert observed.sum() == pytest.approx(demand.sum())
+
+    def test_memory_overflow_spills_into_io(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        tight_memory = make_sku(8, memory_per_vcore=0.1, iops_per_vcore=2000.0,
+                                storage_gb=4096.0)
+        roomy_memory = make_sku(8, memory_per_vcore=10.0, iops_per_vcore=2000.0,
+                                storage_gb=4096.0)
+        spilled = replay_on_sku(demand, tight_memory, rng=1)
+        clean = replay_on_sku(demand, roomy_memory, rng=1)
+        assert spilled.mean_latency_ms >= clean.mean_latency_ms
+
+    def test_meets_latency_property(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        big = make_sku(64, ServiceTier.BUSINESS_CRITICAL, iops_per_vcore=4000.0,
+                       log_per_vcore=12.0, storage_gb=4096.0)
+        assert replay_on_sku(demand, big, rng=1).meets_latency
+
+    def test_observed_trace_has_latency(self, spiky_db_trace):
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        result = replay_on_sku(synth.demand_trace(rng=0), make_sku(8, storage_gb=4096.0), rng=1)
+        assert PerfDimension.IO_LATENCY in result.observed
+
+
+class TestFidelity:
+    def test_synthesized_trace_mimics_source(self, spiky_db_trace):
+        """The Section-5.4 claim, quantified."""
+        from repro.workloads import WorkloadSynthesizer, fidelity_report
+
+        synth = WorkloadSynthesizer().synthesize(spiky_db_trace)
+        demand = synth.demand_trace(rng=0)
+        report = fidelity_report(spiky_db_trace, demand)
+        assert report.per_dimension
+        assert report.mean_error < 0.6
+        assert report.worst_error < 1.5
+
+    def test_identical_traces_are_perfectly_faithful(self, spiky_db_trace):
+        from repro.workloads import fidelity_report
+
+        report = fidelity_report(spiky_db_trace, spiky_db_trace)
+        assert report.worst_error == pytest.approx(0.0)
+        assert report.is_faithful()
+
+    def test_no_shared_dimensions_rejected(self, spiky_db_trace):
+        import numpy as np
+
+        from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+        from repro.workloads import fidelity_report
+
+        latency_only = PerformanceTrace(
+            series={PerfDimension.IO_LATENCY: TimeSeries(np.full(10, 5.0))}
+        )
+        with pytest.raises(ValueError, match="no shared"):
+            fidelity_report(spiky_db_trace, latency_only)
