@@ -1,0 +1,6 @@
+"""Benchmark package marker.
+
+Makes ``benchmarks`` importable as a package so the ``bench_*``
+modules can use ``from .conftest import ...`` for the shared report
+and timing helpers when collected via ``pytest benchmarks/``.
+"""

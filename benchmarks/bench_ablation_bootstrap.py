@@ -12,7 +12,7 @@ import numpy as np
 from repro.catalog import DeploymentType
 from repro.core import confidence_score
 
-from .conftest import report, run_once
+from .conftest import report
 
 ROUND_COUNTS = (4, 8, 16, 32)
 N_REPEATS = 6

@@ -6,7 +6,6 @@ price-performance curve is generated over the four replay SKUs of
 Table 6, and Doppler identifies SKU2 as the optimal target.
 """
 
-import numpy as np
 
 from repro.catalog import (
     DeploymentType,

@@ -1,0 +1,249 @@
+"""Fleet-scale throughput benchmark: customers/sec, serial vs parallel.
+
+Generates synthetic customer populations with :mod:`repro.workloads`,
+fits a Doppler engine on a simulated migrated fleet, then measures the
+:class:`~repro.fleet.engine.FleetEngine` recommendation throughput at
+several fleet sizes -- once on the serial backend, once on the
+parallel backend -- and verifies the two passes produce byte-identical
+results (the fleet determinism contract).
+
+Standalone script (not a pytest benchmark)::
+
+    python benchmarks/bench_fleet_scale.py            # 100 / 1000 / 5000
+    python benchmarks/bench_fleet_scale.py --smoke    # tiny CI-sized run
+
+Exit status: 1 when parallel results differ from serial, 2 when the
+parallel speedup misses the threshold on a multi-core machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # running as a script without installation
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro import DopplerEngine, FleetCustomer, FleetEngine, SkuCatalog
+from repro.catalog import DeploymentType
+from repro.fleet import FleetRecommendation, summarize_fleet
+from repro.simulation import FleetConfig, simulate_fleet
+from repro.telemetry import PerfDimension
+from repro.workloads import (
+    BurstyPattern,
+    DiurnalPattern,
+    PlateauPattern,
+    SpikyPattern,
+    WorkloadSpec,
+    generate_trace,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "fleet_scale.txt"
+
+
+def make_customers(
+    n: int, duration_days: float, interval_minutes: float, seed: int
+) -> list[FleetCustomer]:
+    """``n`` synthetic DB customers spanning the usual workload shapes."""
+    rng = np.random.default_rng(seed)
+    customers = []
+    for index in range(n):
+        cpu_peak = float(np.exp(rng.uniform(np.log(1.5), np.log(32.0))))
+        style = index % 4
+        if style == 0:
+            cpu = SpikyPattern(
+                base=cpu_peak * 0.25, peak=cpu_peak, spike_probability=0.008
+            )
+        elif style == 1:
+            cpu = DiurnalPattern(trough=cpu_peak * 0.3, peak=cpu_peak)
+        elif style == 2:
+            cpu = PlateauPattern(level=cpu_peak)
+        else:
+            cpu = BurstyPattern(low=cpu_peak * 0.4, high=cpu_peak)
+        spec = WorkloadSpec(
+            patterns={
+                PerfDimension.CPU: cpu,
+                PerfDimension.MEMORY: PlateauPattern(
+                    level=cpu_peak * float(rng.uniform(2.5, 5.5))
+                ),
+                PerfDimension.IOPS: SpikyPattern(
+                    base=cpu_peak * 60.0,
+                    peak=cpu_peak * float(rng.uniform(200.0, 700.0)),
+                    spike_probability=0.01,
+                ),
+                PerfDimension.LOG_RATE: DiurnalPattern(
+                    trough=cpu_peak * 0.4, peak=cpu_peak * 2.0
+                ),
+            },
+            storage_gb=float(rng.uniform(30.0, 900.0)),
+            base_latency_ms=float(rng.uniform(4.0, 8.0)),
+            entity_id=f"fleet-bench-{index:05d}",
+        )
+        trace = generate_trace(
+            spec,
+            duration_days=duration_days,
+            interval_minutes=interval_minutes,
+            rng=rng,
+        )
+        customers.append(
+            FleetCustomer(
+                customer_id=spec.entity_id,
+                trace=trace,
+                deployment=DeploymentType.SQL_DB,
+            )
+        )
+    return customers
+
+
+def canonical_bytes(results: list[FleetRecommendation]) -> bytes:
+    """Deterministic byte encoding of a fleet pass for equality checks."""
+    lines = []
+    for result in results:
+        if result.recommendation is None:
+            lines.append(f"{result.customer_id}|ERROR|{result.error}")
+        else:
+            rec = result.recommendation
+            lines.append(
+                f"{result.customer_id}|{rec.sku.name}|{rec.strategy}"
+                f"|{rec.expected_throttling!r}|{rec.target_probability!r}"
+                f"|{result.over_provisioned}"
+            )
+    return "\n".join(lines).encode("utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="100,1000,5000",
+        help="comma-separated fleet sizes (default: 100,1000,5000)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI: small fleet, short traces, no speedup gate",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="process",
+        help="parallel backend to compare against serial (default: process)",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="parallel pool size")
+    parser.add_argument(
+        "--train-size", type=int, default=160, help="simulated training-fleet size"
+    )
+    parser.add_argument("--duration-days", type=float, default=7.0)
+    parser.add_argument("--interval-minutes", type=float, default=30.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required parallel/serial speedup on >= 2 cores (default: 2.0)",
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    args = parser.parse_args(argv)
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes or any(size <= 0 for size in sizes):
+        parser.error(f"--sizes needs positive fleet sizes, got {args.sizes!r}")
+    duration = args.duration_days
+    interval = args.interval_minutes
+    train_size = args.train_size
+    if args.smoke:
+        sizes, duration, interval, train_size = [16], 2.0, 60.0, 24
+
+    cores = os.cpu_count() or 1
+    workers = args.workers or cores
+    lines = [
+        f"fleet-scale benchmark: backend={args.backend} workers={workers} "
+        f"cores={cores} trace={duration:g}d@{interval:g}min",
+    ]
+
+    catalog = SkuCatalog.default()
+    engine = DopplerEngine(catalog=catalog)
+    print(f"Training on {train_size} simulated migrated customers ...")
+    train_config = FleetConfig.paper_db(
+        train_size, duration_days=duration, interval_minutes=interval
+    )
+    train_fleet = simulate_fleet(train_config, catalog, rng=args.seed)
+    FleetEngine(engine=engine, backend="serial").fit_fleet(
+        [customer.record for customer in train_fleet]
+    )
+
+    failed_identity = False
+    failed_speedup = False
+    for size in sizes:
+        print(f"Generating {size} synthetic customers ...")
+        customers = make_customers(size, duration, interval, seed=args.seed + size)
+
+        serial_engine = FleetEngine(engine=engine, backend="serial")
+        start = time.perf_counter()
+        serial_results = list(serial_engine.recommend_fleet(customers))
+        serial_seconds = time.perf_counter() - start
+
+        parallel_engine = FleetEngine(
+            engine=engine, backend=args.backend, max_workers=workers
+        )
+        start = time.perf_counter()
+        parallel_results = list(parallel_engine.recommend_fleet(customers))
+        parallel_seconds = time.perf_counter() - start
+
+        serial_blob = canonical_bytes(serial_results)
+        parallel_blob = canonical_bytes(parallel_results)
+        identical = serial_blob == parallel_blob
+        digest = hashlib.sha256(serial_blob).hexdigest()[:16]
+        speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        summary = summarize_fleet(serial_results)
+        line = (
+            f"n={size:>6}  serial {size / serial_seconds:>8.1f} cust/s "
+            f"({serial_seconds:.2f}s)  parallel {size / parallel_seconds:>8.1f} cust/s "
+            f"({parallel_seconds:.2f}s)  speedup {speedup:.2f}x  "
+            f"identical={identical}  sha256[:16]={digest}  "
+            f"recommended={summary.n_recommended} failed={summary.n_failed}"
+        )
+        print(line)
+        lines.append(line)
+        if not identical:
+            failed_identity = True
+
+        if cores >= 2 and not args.smoke and speedup < args.min_speedup:
+            failed_speedup = True
+
+    if cores < 2:
+        note = f"single-core machine: {args.min_speedup:.1f}x speedup gate not applicable"
+        print(note)
+        lines.append(note)
+    elif args.smoke:
+        lines.append("smoke mode: speedup gate skipped (timing noise on shared CI runners)")
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"Report written to {RESULTS_PATH}")
+
+    if failed_identity:
+        print("FAIL: parallel results are not byte-identical to serial", file=sys.stderr)
+        return 1
+    if failed_speedup:
+        print(
+            f"FAIL: parallel speedup below {args.min_speedup:.1f}x on a "
+            f"{cores}-core machine",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

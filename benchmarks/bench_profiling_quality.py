@@ -7,7 +7,6 @@ recovery directly -- the stage-level diagnostic behind the Table-4
 accuracy differences.
 """
 
-from repro.catalog import DeploymentType
 from repro.core import ALL_SUMMARIZERS, CustomerProfiler
 from repro.simulation import profiling_quality
 from repro.telemetry import PROFILING_DB_DIMENSIONS

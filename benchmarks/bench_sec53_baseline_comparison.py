@@ -12,7 +12,7 @@ The paper's findings on new-migration (on-prem) workloads:
 """
 
 from repro.catalog import DeploymentType
-from repro.core import BaselineStrategy, DopplerEngine
+from repro.core import BaselineStrategy
 from repro.simulation import simulate_onprem_estate
 from repro.telemetry import PerfDimension
 

@@ -7,7 +7,6 @@ of the paper's second column.
 """
 
 from repro.catalog import DeploymentType
-from repro.core import DopplerEngine
 
 from .conftest import backtest_accuracy, report, run_once
 

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.catalog import DeploymentType, SkuCatalog
+from repro.catalog import SkuCatalog
 from repro.core import DopplerEngine
 from repro.simulation import FleetConfig, simulate_fleet
 

@@ -46,7 +46,15 @@ from .core import (
     ThresholdingSummarizer,
     confidence_score,
 )
-from .dma import AssessmentPipeline, AssessmentResult
+from .dma import AssessmentPipeline, AssessmentResult, FleetAssessmentResult
+from .fleet import (
+    FleetCustomer,
+    FleetEngine,
+    FleetFitReport,
+    FleetRecommendation,
+    FleetSummary,
+    summarize_fleet,
+)
 from .telemetry import PerfDimension, PerformanceTrace, TimeSeries
 from .workloads import WorkloadSpec, WorkloadSynthesizer, generate_trace, replay_on_sku
 
@@ -76,6 +84,13 @@ __all__ = [
     "confidence_score",
     "AssessmentPipeline",
     "AssessmentResult",
+    "FleetAssessmentResult",
+    "FleetCustomer",
+    "FleetEngine",
+    "FleetFitReport",
+    "FleetRecommendation",
+    "FleetSummary",
+    "summarize_fleet",
     "PerfDimension",
     "PerformanceTrace",
     "TimeSeries",

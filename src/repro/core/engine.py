@@ -16,7 +16,7 @@ from typing import Iterable
 import numpy as np
 
 from ..catalog.catalog import SkuCatalog
-from ..catalog.models import DeploymentType, SkuSpec
+from ..catalog.models import DeploymentType
 from ..telemetry.counters import (
     PROFILING_DB_DIMENSIONS,
     PROFILING_MI_DIMENSIONS,
@@ -29,7 +29,7 @@ from .heuristics import performance_threshold
 from .matching import GroupObservation, GroupScoreModel
 from .negotiability import NegotiabilitySummarizer, ThresholdingSummarizer
 from .ppm import PricePerformanceModeler
-from .profiler import CustomerProfile, CustomerProfiler
+from .profiler import CustomerProfiler
 from .throttling import EmpiricalThrottlingEstimator, ThrottlingEstimator
 from .types import CloudCustomerRecord, DopplerRecommendation, OverProvisionReport
 
@@ -109,30 +109,65 @@ class DopplerEngine:
             deployment: [] for deployment in DeploymentType
         }
         for record in records:
-            if not record.is_settled:
-                continue
-            curve = self.ppm.build_curve(record.trace, record.deployment)
-            try:
-                point = curve.point_for(record.chosen_sku_name)
-            except KeyError:
-                continue  # chosen SKU not a candidate (e.g. storage misfit)
-            if exclude_over_provisioned and self._is_over_provisioned(curve, point.sku.name):
-                continue
-            profile = self.profiler_for(record.deployment).profile(record.trace)
-            observations[record.deployment].append(
-                GroupObservation(
-                    group_key=profile.group_key,
-                    throttling_probability=1.0 - point.score,
-                )
+            observation = self.training_observation(
+                record, exclude_over_provisioned=exclude_over_provisioned
             )
+            if observation is not None:
+                observations[record.deployment].append(observation)
         for deployment, group_observations in observations.items():
             if group_observations:
                 self._group_models[deployment] = GroupScoreModel.fit(group_observations)
         return self
 
+    def training_observation(
+        self,
+        record: CloudCustomerRecord,
+        exclude_over_provisioned: bool = True,
+        curve: PricePerformanceCurve | None = None,
+    ) -> GroupObservation | None:
+        """One record's contribution to the group statistics, or None.
+
+        The per-record body of :meth:`fit`, shared with distributed
+        trainers (the fleet engine calls it per record with memoized
+        curves).  Returns None when the record is filtered out: not
+        settled >= 40 days, chosen SKU not on the curve, or (when
+        excluding) over-provisioned.
+
+        Args:
+            record: A migrated-customer history.
+            exclude_over_provisioned: The Section 5.2 exclusion.
+            curve: Optional pre-built curve for the record's trace.
+        """
+        if not record.is_settled:
+            return None
+        if curve is None:
+            curve = self.ppm.build_curve(record.trace, record.deployment)
+        try:
+            point = curve.point_for(record.chosen_sku_name)
+        except KeyError:
+            return None  # chosen SKU not a candidate (e.g. storage misfit)
+        if exclude_over_provisioned and self.is_over_provisioned_on(curve, point.sku.name):
+            return None
+        profile = self.profiler_for(record.deployment).profile(record.trace)
+        return GroupObservation(
+            group_key=profile.group_key,
+            throttling_probability=1.0 - point.score,
+        )
+
     def group_model(self, deployment: DeploymentType) -> GroupScoreModel | None:
         """The fitted group-score model for a deployment, if any."""
         return self._group_models.get(deployment)
+
+    def install_group_model(
+        self, deployment: DeploymentType, model: GroupScoreModel
+    ) -> None:
+        """Install an externally fitted group-score model.
+
+        Used by distributed trainers (e.g. the fleet engine, which
+        builds observations in worker pools and aggregates them in the
+        parent) and by offline-profile loaders.
+        """
+        self._group_models[deployment] = model
 
     def save_profiles(self, path, deployment: DeploymentType) -> None:
         """Persist the fitted group profiles as DMA static input.
@@ -168,6 +203,7 @@ class DopplerEngine:
         with_confidence: bool = False,
         confidence_rounds: int = 12,
         rng: int | np.random.Generator | None = None,
+        curve: PricePerformanceCurve | None = None,
     ) -> DopplerRecommendation:
         """Produce the full Doppler recommendation for one workload.
 
@@ -179,11 +215,15 @@ class DopplerEngine:
                 score (adds ``confidence_rounds`` full re-evaluations).
             confidence_rounds: Bootstrap rounds when enabled.
             rng: Seed or generator for the bootstrap.
+            curve: Optional pre-built price-performance curve for this
+                trace/deployment (the fleet engine passes memoized
+                curves here); built fresh when omitted.
 
         Returns:
             A :class:`DopplerRecommendation`.
         """
-        curve = self.ppm.build_curve(trace, deployment, file_sizes_gib=file_sizes_gib)
+        if curve is None:
+            curve = self.ppm.build_curve(trace, deployment, file_sizes_gib=file_sizes_gib)
         profile = self.profiler_for(deployment).profile(trace)
         model = self._group_models.get(deployment)
         notes: list[str] = []
@@ -271,7 +311,7 @@ class DopplerEngine:
         curve = self.ppm.build_curve(trace, deployment)
         full = curve.cheapest_full_performance()
         recommended = full.sku if full is not None else None
-        over = self._is_over_provisioned(curve, current_sku_name)
+        over = self.is_over_provisioned_on(curve, current_sku_name)
         cpu_peak = (
             trace[PerfDimension.CPU].max() if PerfDimension.CPU in trace else 0.0
         )
@@ -286,8 +326,12 @@ class DopplerEngine:
         )
 
     @staticmethod
-    def _is_over_provisioned(curve: PricePerformanceCurve, sku_name: str) -> bool:
-        """Chosen SKU sits >= 2 price ranks past the cheapest 100 % point."""
+    def is_over_provisioned_on(curve: PricePerformanceCurve, sku_name: str) -> bool:
+        """Chosen SKU sits >= 2 price ranks past the cheapest 100 % point.
+
+        Public so fleet-scale right-sizing can reuse the verdict on a
+        memoized curve without rebuilding it.
+        """
         full = curve.cheapest_full_performance()
         if full is None:
             return False

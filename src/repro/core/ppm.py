@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..catalog.catalog import SkuCatalog
 from ..catalog.models import DeploymentType, ServiceTier

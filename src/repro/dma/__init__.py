@@ -6,7 +6,7 @@ dashboard, plus a small CLI front end.
 """
 
 from .dashboard import ecdf_bar, render_dashboard, sparkline
-from .pipeline import AssessmentPipeline, AssessmentResult
+from .pipeline import AssessmentPipeline, AssessmentResult, FleetAssessmentResult
 from .preprocess import MIN_RELIABLE_DAYS, DataPreprocessor, PreprocessReport
 from .tracking import RecommendationStore, RetentionSummary, TrackedRecommendation
 
@@ -16,6 +16,7 @@ __all__ = [
     "sparkline",
     "AssessmentPipeline",
     "AssessmentResult",
+    "FleetAssessmentResult",
     "MIN_RELIABLE_DAYS",
     "DataPreprocessor",
     "PreprocessReport",

@@ -14,20 +14,36 @@ dashboard together and also exposes the baseline strategy side-by-side
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
+
+from typing import Iterable
 
 from ..catalog.catalog import SkuCatalog
 from ..catalog.models import DeploymentType, SkuSpec
 from ..core.baseline import BaselineStrategy
 from ..core.engine import DopplerEngine
 from ..core.types import DopplerRecommendation
+from ..fleet.engine import FleetBackend, FleetCustomer, FleetEngine, FleetRecommendation
+from ..fleet.report import FleetSummary, summarize_fleet
 from ..telemetry.trace import PerformanceTrace
 from .dashboard import render_dashboard
 from .preprocess import DataPreprocessor, PreprocessReport
 
-__all__ = ["AssessmentResult", "AssessmentPipeline"]
+__all__ = [
+    "AssessmentResult",
+    "AssessmentPipeline",
+    "FleetAssessmentResult",
+]
+
+
+def _short_window_warning(window_days: float) -> str:
+    """The reliability warning both assessment paths attach."""
+    return (
+        f"WARNING: only {window_days:.1f} days of data; "
+        "collect at least 7 days for a reliable recommendation"
+    )
 
 
 @dataclass(frozen=True)
@@ -53,6 +69,37 @@ class AssessmentResult:
             self.baseline_sku is not None
             and self.baseline_sku.name == self.doppler.sku.name
         )
+
+
+@dataclass(frozen=True)
+class FleetAssessmentResult:
+    """Outcome of one fleet-stage run of the DMA pipeline.
+
+    Attributes:
+        summary: Campaign-level aggregate (per-tier counts,
+            over-provisioning rate, projected cost).
+        results: Per-customer outcomes, in submission order.
+            Recommendations for short-window customers carry the same
+            reliability WARNING note the single-customer path adds.
+        short_window_ids: Customers whose preprocessed window fell
+            short of the 7-day reliability guideline.
+    """
+
+    summary: FleetSummary
+    results: tuple[FleetRecommendation, ...]
+    short_window_ids: tuple[str, ...] = ()
+
+    @property
+    def n_window_insufficient(self) -> int:
+        return len(self.short_window_ids)
+
+    def render(self) -> str:
+        lines = [self.summary.render()]
+        if self.n_window_insufficient:
+            lines.append(
+                f"Short assessment windows (< 7 days): {self.n_window_insufficient}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -108,19 +155,10 @@ class AssessmentPipeline:
             rng=rng,
         )
         if not report.window_sufficient:
-            recommendation = DopplerRecommendation(
-                sku=recommendation.sku,
-                curve=recommendation.curve,
-                profile=recommendation.profile,
-                target_probability=recommendation.target_probability,
-                expected_throttling=recommendation.expected_throttling,
-                confidence=recommendation.confidence,
-                strategy=recommendation.strategy,
+            recommendation = replace(
+                recommendation,
                 notes=recommendation.notes
-                + (
-                    f"WARNING: only {report.window_days:.1f} days of data; "
-                    "collect at least 7 days for a reliable recommendation",
-                ),
+                + (_short_window_warning(report.window_days),),
             )
         baseline_sku = self.baseline.recommend(report.trace, deployment, self.catalog)
         dashboard = render_dashboard(report.trace, recommendation)
@@ -130,3 +168,77 @@ class AssessmentPipeline:
             baseline_sku=baseline_sku,
             dashboard=dashboard,
         )
+
+    def assess_fleet(
+        self,
+        customers: Iterable[FleetCustomer],
+        backend: FleetBackend = "serial",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> FleetAssessmentResult:
+        """Run the fleet stage: preprocess and assess a population.
+
+        Each customer's raw trace goes through the standard
+        preprocessing module, then the whole cleaned population runs
+        through one batched :class:`~repro.fleet.engine.FleetEngine`
+        pass over this pipeline's engine.
+
+        Args:
+            customers: The fleet to assess (any iterable; consumed
+                lazily through the preprocessing step).
+            backend: Fleet execution backend; ``serial`` by default so
+                DMA-embedded runs stay single-process unless asked.
+            max_workers: Pool size for parallel backends.
+            chunk_size: Customers per shard (automatic when omitted).
+        """
+        short_windows: dict[str, float] = {}
+
+        def preprocessed() -> Iterable[FleetCustomer]:
+            for customer in customers:
+                report = self.preprocessor.preprocess(
+                    [customer.trace], entity_id=customer.customer_id
+                )
+                if not report.window_sufficient:
+                    short_windows[customer.customer_id] = report.window_days
+                yield FleetCustomer(
+                    customer_id=customer.customer_id,
+                    trace=report.trace,
+                    deployment=customer.deployment,
+                    file_sizes_gib=customer.file_sizes_gib,
+                    current_sku_name=customer.current_sku_name,
+                )
+
+        fleet_engine = FleetEngine(
+            engine=self.engine,
+            backend=backend,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        )
+        raw_results = tuple(fleet_engine.recommend_fleet(preprocessed()))
+        results = tuple(
+            self._flag_short_window(result, short_windows) for result in raw_results
+        )
+        return FleetAssessmentResult(
+            summary=summarize_fleet(results),
+            results=results,
+            short_window_ids=tuple(short_windows),
+        )
+
+    @staticmethod
+    def _flag_short_window(
+        result: FleetRecommendation, short_windows: dict[str, float]
+    ) -> FleetRecommendation:
+        """Annotate a short-window customer's recommendation.
+
+        Attaches the same reliability WARNING (including the measured
+        window length) the single-customer :meth:`assess` path uses,
+        so per-customer fleet results remain individually trustworthy.
+        """
+        if result.customer_id not in short_windows or result.recommendation is None:
+            return result
+        recommendation = replace(
+            result.recommendation,
+            notes=result.recommendation.notes
+            + (_short_window_warning(short_windows[result.customer_id]),),
+        )
+        return replace(result, recommendation=recommendation)

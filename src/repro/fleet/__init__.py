@@ -1,0 +1,33 @@
+"""Fleet-scale batch recommendation.
+
+Scales Doppler from one workload to whole customer populations:
+sharded, parallel, curve-memoizing batch passes with streaming results
+and campaign-level summary reports.
+"""
+
+from .cache import CurveCache, CurveCacheStats, catalog_signature, trace_fingerprint
+from .engine import (
+    FleetBackend,
+    FleetCustomer,
+    FleetEngine,
+    FleetFitReport,
+    FleetRecommendation,
+)
+from .report import FleetSummary, summarize_fleet
+from .sharding import auto_chunk_size, shard
+
+__all__ = [
+    "CurveCache",
+    "CurveCacheStats",
+    "catalog_signature",
+    "trace_fingerprint",
+    "FleetBackend",
+    "FleetCustomer",
+    "FleetEngine",
+    "FleetFitReport",
+    "FleetRecommendation",
+    "FleetSummary",
+    "summarize_fleet",
+    "auto_chunk_size",
+    "shard",
+]

@@ -1,0 +1,163 @@
+"""Memoized price-performance-curve construction for fleet runs.
+
+Curve building dominates the per-customer cost of both training and
+recommendation (the joint throttling estimate touches every sample of
+every dimension for every candidate SKU).  A fleet pass evaluates the
+same trace more than once -- ``fit_fleet`` locates the chosen SKU on
+the curve, a later ``recommend_fleet`` over the same population builds
+it again, and right-sizing assessments build it a third time -- so the
+fleet engine memoizes construction behind a bounded LRU cache keyed by
+(trace fingerprint, deployment, SKU set, file layout).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..catalog.catalog import SkuCatalog
+from ..core.curve import PricePerformanceCurve
+from ..telemetry.trace import PerformanceTrace
+
+__all__ = ["CurveCache", "CurveCacheStats", "catalog_signature", "trace_fingerprint"]
+
+#: Default number of curves kept in memory.  Curves are small (tens of
+#: points), so this is generous while still bounding fleet-scale runs.
+DEFAULT_CACHE_SIZE = 4096
+
+
+def trace_fingerprint(trace: PerformanceTrace) -> str:
+    """Stable content hash of a trace.
+
+    Two traces with identical entity ids, dimensions, cadence and
+    counter values fingerprint identically; any change to the samples
+    changes the digest.  Used as the cache key component standing in
+    for the trace object itself (traces are large; keys must be small
+    and hashable).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+
+    def feed(part: bytes) -> None:
+        # Length-prefix every field so adjacent fields cannot blur into
+        # each other (('a1', 0.5) must not collide with ('a', 10.5)).
+        digest.update(len(part).to_bytes(8, "little"))
+        digest.update(part)
+
+    feed(trace.entity_id.encode("utf-8"))
+    feed(repr(float(trace.interval_minutes)).encode("ascii"))
+    for dimension in trace.dimensions:
+        series = trace[dimension]
+        feed(dimension.name.encode("ascii"))
+        feed(repr(float(series.start_minute)).encode("ascii"))
+        feed(series.values.tobytes())
+    return digest.hexdigest()
+
+
+def catalog_signature(catalog: SkuCatalog) -> str:
+    """Stable hash of a SKU set (names, prices and resource limits).
+
+    A cache entry is only valid for the catalog its curve was built
+    against, so the signature is part of every cache key.  It is
+    computed once per fleet runner: the wrapped engine's catalog is
+    treated as immutable for the runner's lifetime (swapping catalogs
+    mid-campaign requires a fresh :class:`FleetEngine`); the signature
+    exists to keep keys distinct should several engines ever share a
+    cache.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for sku in sorted(catalog, key=lambda s: s.name):
+        for part in (
+            sku.name.encode("utf-8"),
+            repr(float(sku.price_per_hour)).encode("ascii"),
+            repr(sku.limits).encode("utf-8"),
+        ):
+            digest.update(len(part).to_bytes(8, "little"))
+            digest.update(part)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CurveCacheStats:
+    """Counters describing cache effectiveness over a fleet pass.
+
+    Attributes:
+        hits: Lookups served from memory.
+        misses: Lookups that had to build the curve.
+        evictions: Entries dropped to respect ``maxsize``.
+        size: Entries currently held.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CurveCache:
+    """Bounded, thread-safe LRU cache of price-performance curves.
+
+    One instance is shared across a fleet pass (serial and thread
+    backends share the parent's cache; each process-pool worker builds
+    its own, since curves do not cross process boundaries cheaply).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, PricePerformanceCurve] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], PricePerformanceCurve]
+    ) -> PricePerformanceCurve:
+        """Return the cached curve for ``key``, building it on a miss.
+
+        The builder runs outside the lock so concurrent misses on
+        different keys do not serialize; a rare duplicate build of the
+        same key is accepted in exchange (curves are immutable, so
+        last-write-wins is safe).
+        """
+        with self._lock:
+            curve = self._entries.get(key)
+            if curve is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return curve
+            self._misses += 1
+        curve = builder()
+        with self._lock:
+            self._entries[key] = curve
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return curve
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CurveCacheStats:
+        with self._lock:
+            return CurveCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,437 @@
+"""Fleet-scale batch recommendation engine.
+
+Scales the single-workload :class:`~repro.core.engine.DopplerEngine`
+to whole customer populations: thousands of traces go in, one batched
+pass shards them into chunks, fans the chunks over an executor
+(serial, thread pool or process pool), memoizes price-performance
+curve construction behind an LRU cache, and streams per-customer
+results back as an iterator so peak memory stays flat in the fleet
+size.
+
+Determinism contract: a fleet pass is a pure function of the fitted
+engine and the input traces.  The parallel backends preserve
+submission order and use no randomness, so their results are
+bit-identical to the serial backend's -- the property the scale
+benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Literal
+
+from ..catalog.models import DeploymentType
+from ..core.engine import DopplerEngine
+from ..core.matching import GroupObservation, GroupScoreModel
+from ..core.profiler import GroupKey
+from ..core.types import CloudCustomerRecord, DopplerRecommendation
+from ..telemetry.trace import PerformanceTrace
+from .cache import DEFAULT_CACHE_SIZE, CurveCache, CurveCacheStats, catalog_signature, trace_fingerprint
+from .report import FleetSummary, summarize_fleet
+from .sharding import auto_chunk_size, shard
+
+__all__ = [
+    "FleetBackend",
+    "FleetCustomer",
+    "FleetEngine",
+    "FleetFitReport",
+    "FleetRecommendation",
+]
+
+FleetBackend = Literal["serial", "thread", "process"]
+
+#: In-flight chunks per worker: enough to keep the pool busy without
+#: buffering the whole fleet's results in memory.
+_INFLIGHT_PER_WORKER = 2
+
+#: Shard size when the fleet's length is unknown (pure streaming).
+_STREAMING_CHUNK_SIZE = 32
+
+
+@dataclass(frozen=True)
+class FleetCustomer:
+    """One customer in a fleet recommendation pass.
+
+    Attributes:
+        customer_id: Stable identifier used in results and reports.
+        trace: The customer's performance history.
+        deployment: Target deployment type.
+        file_sizes_gib: Optional explicit MI data-file layout.
+        current_sku_name: The SKU the customer runs on today, if any;
+            when present the pass also produces a right-sizing
+            (over-provisioning) verdict.
+    """
+
+    customer_id: str
+    trace: PerformanceTrace
+    deployment: DeploymentType
+    file_sizes_gib: tuple[float, ...] | None = None
+    current_sku_name: str | None = None
+
+    def __post_init__(self) -> None:
+        # Accept any sequence (the engine-level APIs take list[float])
+        # but store a tuple: cache keys built from this field must be
+        # hashable.
+        if self.file_sizes_gib is not None and not isinstance(self.file_sizes_gib, tuple):
+            object.__setattr__(self, "file_sizes_gib", tuple(self.file_sizes_gib))
+
+    @classmethod
+    def from_record(
+        cls, record: CloudCustomerRecord, customer_id: str | None = None
+    ) -> "FleetCustomer":
+        """Adapt a migrated-customer training record for assessment."""
+        return cls(
+            customer_id=customer_id or record.trace.entity_id,
+            trace=record.trace,
+            deployment=record.deployment,
+            current_sku_name=record.chosen_sku_name,
+        )
+
+
+@dataclass(frozen=True)
+class FleetRecommendation:
+    """Per-customer outcome of a fleet pass.
+
+    Attributes:
+        customer_id: The assessed customer.
+        recommendation: The Doppler recommendation, or None when the
+            assessment failed.
+        over_provisioned: Right-sizing verdict against
+            ``current_sku_name`` (None when no current SKU was given
+            or the assessment failed).
+        error: Failure message when ``recommendation`` is None.
+    """
+
+    customer_id: str
+    recommendation: DopplerRecommendation | None
+    over_provisioned: bool | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.recommendation is not None
+
+
+@dataclass(frozen=True)
+class FleetFitReport:
+    """Outcome of fitting group models over a fleet of records.
+
+    Attributes:
+        n_records: Records submitted.
+        n_observations: Usable training observations per deployment
+            short name (settled, SKU on curve, not excluded).
+        fitted_deployments: Deployments that received a group model.
+        n_unbuildable: Records skipped because no catalog SKU could
+            accommodate their workload (curve construction failed).
+    """
+
+    n_records: int
+    n_observations: dict[str, int] = field(default_factory=dict)
+    fitted_deployments: tuple[str, ...] = ()
+    n_unbuildable: int = 0
+
+
+class _FleetRunner:
+    """Per-process execution state: the engine plus its curve cache.
+
+    The serial and thread backends share one runner (and therefore one
+    cache) in the parent; the process backend constructs one runner
+    per worker in the pool initializer, since curves are cheaper to
+    rebuild than to ship across process boundaries.
+    """
+
+    def __init__(self, engine: DopplerEngine, cache: CurveCache) -> None:
+        self.engine = engine
+        self.cache = cache
+        self._catalog_signature = catalog_signature(engine.catalog)
+
+    def build_curve(
+        self,
+        trace: PerformanceTrace,
+        deployment: DeploymentType,
+        file_sizes_gib: tuple[float, ...] | None = None,
+    ):
+        sizes_key = tuple(file_sizes_gib) if file_sizes_gib else None
+        key = (
+            trace_fingerprint(trace),
+            deployment.value,
+            sizes_key,
+            self._catalog_signature,
+        )
+        sizes = list(file_sizes_gib) if file_sizes_gib else None
+        return self.cache.get_or_build(
+            key,
+            lambda: self.engine.ppm.build_curve(trace, deployment, file_sizes_gib=sizes),
+        )
+
+    def fit_chunk(
+        self, chunk: list[CloudCustomerRecord], exclude_over_provisioned: bool
+    ) -> tuple[list[tuple[str, GroupKey, float]], int]:
+        """Training observations for one shard of records.
+
+        Delegates the per-record protocol to
+        :meth:`DopplerEngine.training_observation` (with a memoized
+        curve), with one deviation: a record whose curve cannot be
+        built (storage misfit) is skipped and counted instead of
+        raising -- at fleet scale one pathological record must not
+        abort the whole training pass.  Returns
+        ``(deployment value, group key, throttling)`` triples small
+        enough to pickle back cheaply from worker processes, plus the
+        skipped-record count.
+        """
+        observations: list[tuple[str, GroupKey, float]] = []
+        n_unbuildable = 0
+        for record in chunk:
+            if not record.is_settled:
+                continue  # skip before building a curve we would discard
+            try:
+                curve = self.build_curve(record.trace, record.deployment)
+            except ValueError:
+                n_unbuildable += 1
+                continue  # no SKU fits the workload; nothing to learn
+            observation = self.engine.training_observation(
+                record, exclude_over_provisioned=exclude_over_provisioned, curve=curve
+            )
+            if observation is not None:
+                observations.append(
+                    (
+                        record.deployment.value,
+                        observation.group_key,
+                        observation.throttling_probability,
+                    )
+                )
+        return observations, n_unbuildable
+
+    def recommend_chunk(self, chunk: list[FleetCustomer]) -> list[FleetRecommendation]:
+        return [self.recommend_one(customer) for customer in chunk]
+
+    def recommend_one(self, customer: FleetCustomer) -> FleetRecommendation:
+        try:
+            curve = self.build_curve(
+                customer.trace, customer.deployment, customer.file_sizes_gib
+            )
+            sizes = list(customer.file_sizes_gib) if customer.file_sizes_gib else None
+            recommendation = self.engine.recommend(
+                customer.trace, customer.deployment, file_sizes_gib=sizes, curve=curve
+            )
+            over: bool | None = None
+            if customer.current_sku_name is not None:
+                over = DopplerEngine.is_over_provisioned_on(curve, customer.current_sku_name)
+            return FleetRecommendation(
+                customer_id=customer.customer_id,
+                recommendation=recommendation,
+                over_provisioned=over,
+            )
+        except Exception as exc:  # noqa: BLE001 - one bad trace must not kill the fleet
+            return FleetRecommendation(
+                customer_id=customer.customer_id,
+                recommendation=None,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module level so it pickles by reference).
+# ----------------------------------------------------------------------
+_WORKER_RUNNER: _FleetRunner | None = None
+
+
+def _init_worker(engine: DopplerEngine, cache_size: int) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size))
+
+
+def _fit_chunk_in_worker(
+    chunk: list[CloudCustomerRecord], exclude_over_provisioned: bool
+) -> tuple[list[tuple[str, GroupKey, float]], int]:
+    assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    return _WORKER_RUNNER.fit_chunk(chunk, exclude_over_provisioned)
+
+
+def _recommend_chunk_in_worker(chunk: list[FleetCustomer]) -> list[FleetRecommendation]:
+    assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    return _WORKER_RUNNER.recommend_chunk(chunk)
+
+
+@dataclass
+class FleetEngine:
+    """Batched, parallel, memoized front end over a Doppler engine.
+
+    Typical use::
+
+        fleet = FleetEngine(engine=DopplerEngine(catalog=SkuCatalog.default()))
+        fleet.fit_fleet(records)                 # parallel training pass
+        for result in fleet.recommend_fleet(customers):   # streaming
+            ...
+        summary = fleet.summary_report(customers)
+
+    Attributes:
+        engine: The wrapped single-workload engine; fleet fitting
+            installs group models into it, so it stays usable for
+            one-off assessments afterwards.
+        backend: ``serial`` (in-process), ``thread`` (shared-cache
+            thread pool) or ``process`` (fork-per-worker pool; each
+            worker keeps a private curve cache).
+        max_workers: Pool size; defaults to the machine's CPU count.
+        chunk_size: Customers per shard; defaults to an automatic size
+            giving each worker several shards.
+        cache_size: LRU capacity of each curve cache.
+    """
+
+    engine: DopplerEngine
+    backend: FleetBackend = "process"
+    max_workers: int | None = None
+    chunk_size: int | None = None
+    cache_size: int = DEFAULT_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown fleet backend {self.backend!r}")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers!r}")
+        self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit_fleet(
+        self,
+        records: Iterable[CloudCustomerRecord],
+        exclude_over_provisioned: bool = True,
+    ) -> FleetFitReport:
+        """Learn group throttling targets from a fleet of records.
+
+        The per-record work (curve + profile) fans out over the
+        backend; the cheap aggregation (averaging observations per
+        negotiability group) runs in the parent.  Produces the same
+        group models as :meth:`DopplerEngine.fit` over the same
+        records -- group averages are order-insensitive, so sharding
+        does not change the fit -- with one deviation: a record whose
+        curve cannot be built (storage misfit) is skipped and counted
+        in ``n_unbuildable`` where the single-workload ``fit`` would
+        raise.
+
+        Returns:
+            A :class:`FleetFitReport`; the fitted models are installed
+            into :attr:`engine` as a side effect.
+        """
+        records = list(records)
+        by_deployment: dict[DeploymentType, list[GroupObservation]] = {
+            deployment: [] for deployment in DeploymentType
+        }
+        n_unbuildable = 0
+        chunks = shard(records, self._resolve_chunk_size(len(records)))
+        for triples, n_skipped in self._map_chunks("fit", chunks, exclude_over_provisioned):
+            n_unbuildable += n_skipped
+            for deployment_value, group_key, throttling in triples:
+                by_deployment[DeploymentType(deployment_value)].append(
+                    GroupObservation(
+                        group_key=group_key, throttling_probability=throttling
+                    )
+                )
+        fitted: list[str] = []
+        counts: dict[str, int] = {}
+        for deployment, observations in by_deployment.items():
+            counts[deployment.short_name] = len(observations)
+            if observations:
+                self.engine.install_group_model(
+                    deployment, GroupScoreModel.fit(observations)
+                )
+                fitted.append(deployment.short_name)
+        return FleetFitReport(
+            n_records=len(records),
+            n_observations=counts,
+            fitted_deployments=tuple(sorted(fitted)),
+            n_unbuildable=n_unbuildable,
+        )
+
+    def recommend_fleet(
+        self, customers: Iterable[FleetCustomer]
+    ) -> Iterator[FleetRecommendation]:
+        """Recommend over a fleet, streaming results in input order.
+
+        Lazy end to end: customers are pulled from the iterable as
+        shards are submitted, and at most a bounded window of shards
+        is in flight, so memory stays flat for arbitrarily large
+        fleets.  Per-customer failures surface as error results, never
+        as exceptions.
+        """
+        if self.chunk_size is not None:
+            chunk_size = self._resolve_chunk_size(0)
+        elif isinstance(customers, (list, tuple)):
+            chunk_size = auto_chunk_size(len(customers), self._effective_workers())
+        else:
+            chunk_size = _STREAMING_CHUNK_SIZE  # length unknown: fixed shards
+        chunks = shard(customers, chunk_size)
+        for chunk_results in self._map_chunks("recommend", chunks):
+            yield from chunk_results
+
+    def summary_report(self, customers: Iterable[FleetCustomer]) -> FleetSummary:
+        """Run a fleet pass and fold it straight into a summary.
+
+        Constant memory in the fleet size: results are consumed as
+        they stream out and never accumulated.
+        """
+        return summarize_fleet(self.recommend_fleet(customers))
+
+    def cache_stats(self) -> CurveCacheStats:
+        """Parent-side curve-cache counters (serial/thread backends).
+
+        Process-pool workers keep private caches whose counters die
+        with the pool, so under ``backend="process"`` this reflects
+        only curves built in the parent.
+        """
+        return self._runner.cache.stats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _effective_workers(self) -> int:
+        if self.backend == "serial":
+            return 1
+        return self.max_workers or os.cpu_count() or 1
+
+    def _resolve_chunk_size(self, n_items: int) -> int:
+        if self.chunk_size is not None:
+            if self.chunk_size <= 0:
+                raise ValueError(f"chunk_size must be positive, got {self.chunk_size!r}")
+            return self.chunk_size
+        return auto_chunk_size(n_items, self._effective_workers())
+
+    def _map_chunks(self, task: str, chunks: Iterator[list], *extra) -> Iterator[list]:
+        """Run ``task`` over every shard, yielding results in order."""
+        workers = self._effective_workers()
+        if self.backend == "serial" or workers == 1:
+            local = getattr(self._runner, f"{task}_chunk")
+            for chunk in chunks:
+                yield local(chunk, *extra)
+            return
+        if self.backend == "thread":
+            executor: Executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="fleet"
+            )
+            fn = getattr(self._runner, f"{task}_chunk")
+        else:
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.engine, self.cache_size),
+            )
+            fn = _fit_chunk_in_worker if task == "fit" else _recommend_chunk_in_worker
+        max_inflight = workers * _INFLIGHT_PER_WORKER
+        pending: deque[Future] = deque()
+        try:
+            for chunk in chunks:
+                pending.append(executor.submit(fn, chunk, *extra))
+                if len(pending) >= max_inflight:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            # Abandoned stream (consumer broke out early) or failure:
+            # drop queued chunks instead of draining the whole in-flight
+            # window; running chunks finish, their results are discarded.
+            executor.shutdown(wait=False, cancel_futures=True)

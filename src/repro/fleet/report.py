@@ -1,0 +1,153 @@
+"""Fleet-level summary reporting.
+
+Aggregates a stream of per-customer fleet recommendations into the
+campaign-level numbers a migration program manages by: how the fleet
+distributes over service tiers and deployments, how many customers are
+over-provisioned today, and what the recommended estate would cost.
+This is the view paper Section 5.1 sketches for existing cloud
+customers, lifted from one workload to a whole population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import FleetRecommendation
+
+__all__ = ["FleetSummary", "summarize_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate outcome of one fleet recommendation pass.
+
+    Attributes:
+        n_customers: Customers submitted.
+        n_recommended: Customers that received a recommendation.
+        n_failed: Customers whose assessment raised (storage misfits,
+            malformed traces); their errors are in :attr:`errors`.
+        tier_counts: Recommended customers per service tier short name.
+        deployment_counts: Recommended customers per deployment.
+        strategy_counts: Recommended customers per selection strategy.
+        n_assessed_provisioning: Customers that came with a current SKU
+            and therefore got a right-sizing verdict.
+        n_over_provisioned: Of those, how many sit materially past the
+            cheapest full-performance point.
+        total_monthly_cost: Aggregate projected monthly bill of the
+            recommended estate (USD).
+        mean_expected_throttling: Mean per-customer expected
+            throttling probability on the recommended SKUs.
+        errors: ``(customer_id, message)`` pairs for failed customers.
+    """
+
+    n_customers: int
+    n_recommended: int
+    n_failed: int
+    tier_counts: dict[str, int] = field(default_factory=dict)
+    deployment_counts: dict[str, int] = field(default_factory=dict)
+    strategy_counts: dict[str, int] = field(default_factory=dict)
+    n_assessed_provisioning: int = 0
+    n_over_provisioned: int = 0
+    total_monthly_cost: float = 0.0
+    mean_expected_throttling: float = 0.0
+    errors: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def over_provisioning_rate(self) -> float:
+        """Share of right-sizing-assessed customers that are over-provisioned."""
+        if not self.n_assessed_provisioning:
+            return 0.0
+        return self.n_over_provisioned / self.n_assessed_provisioning
+
+    @property
+    def annual_cost(self) -> float:
+        return self.total_monthly_cost * 12.0
+
+    def render(self) -> str:
+        """Plain-text fleet report for dashboards and logs."""
+        lines = [
+            "Fleet recommendation summary",
+            "=" * 40,
+            f"Customers assessed:       {self.n_customers}",
+            f"  recommended:            {self.n_recommended}",
+            f"  failed:                 {self.n_failed}",
+            f"Projected monthly cost:   ${self.total_monthly_cost:,.0f}",
+            f"Projected annual cost:    ${self.annual_cost:,.0f}",
+            f"Mean expected throttling: {self.mean_expected_throttling:.2%}",
+        ]
+        if self.n_assessed_provisioning:
+            lines.append(
+                f"Over-provisioned:         {self.n_over_provisioned}"
+                f"/{self.n_assessed_provisioning}"
+                f" ({self.over_provisioning_rate:.1%})"
+            )
+        for title, counts in (
+            ("By service tier", self.tier_counts),
+            ("By deployment", self.deployment_counts),
+            ("By strategy", self.strategy_counts),
+        ):
+            if not counts:
+                continue
+            lines.append(f"{title}:")
+            for key, count in sorted(counts.items()):
+                lines.append(f"  {key:<24} {count}")
+        if self.errors:
+            lines.append("Failures:")
+            for customer_id, message in self.errors[:10]:
+                lines.append(f"  {customer_id}: {message}")
+            if len(self.errors) > 10:
+                lines.append(f"  ... and {len(self.errors) - 10} more")
+        return "\n".join(lines)
+
+
+def summarize_fleet(results: Iterable["FleetRecommendation"]) -> FleetSummary:
+    """Fold a stream of fleet recommendations into a :class:`FleetSummary`.
+
+    Single pass and O(1) memory in the fleet size: works directly on
+    the streaming iterator of
+    :meth:`~repro.fleet.engine.FleetEngine.recommend_fleet` without
+    materializing the result list.
+    """
+    n_customers = n_recommended = n_failed = 0
+    tier_counts: dict[str, int] = {}
+    deployment_counts: dict[str, int] = {}
+    strategy_counts: dict[str, int] = {}
+    n_assessed = n_over = 0
+    total_cost = 0.0
+    throttling_sum = 0.0
+    errors: list[tuple[str, str]] = []
+    for result in results:
+        n_customers += 1
+        if result.recommendation is None:
+            n_failed += 1
+            errors.append((result.customer_id, result.error or "unknown error"))
+            continue
+        recommendation = result.recommendation
+        n_recommended += 1
+        tier = recommendation.sku.tier.short_name
+        tier_counts[tier] = tier_counts.get(tier, 0) + 1
+        deployment = recommendation.sku.deployment.short_name
+        deployment_counts[deployment] = deployment_counts.get(deployment, 0) + 1
+        strategy_counts[recommendation.strategy] = (
+            strategy_counts.get(recommendation.strategy, 0) + 1
+        )
+        total_cost += recommendation.monthly_price
+        throttling_sum += recommendation.expected_throttling
+        if result.over_provisioned is not None:
+            n_assessed += 1
+            n_over += int(result.over_provisioned)
+    return FleetSummary(
+        n_customers=n_customers,
+        n_recommended=n_recommended,
+        n_failed=n_failed,
+        tier_counts=tier_counts,
+        deployment_counts=deployment_counts,
+        strategy_counts=strategy_counts,
+        n_assessed_provisioning=n_assessed,
+        n_over_provisioned=n_over,
+        total_monthly_cost=total_cost,
+        mean_expected_throttling=(throttling_sum / n_recommended if n_recommended else 0.0),
+        errors=tuple(errors),
+    )

@@ -7,6 +7,7 @@ local persistence format.
 """
 
 from .aggregate import aggregate_database, aggregate_instance, aggregate_traces
+from .batch import dump_trace_batch, iter_trace_paths, load_trace_batch
 from .collector import DemandSampler, PerfCollector
 from .gaps import GapRepair, longest_gap, repair_gaps
 from .counters import (
@@ -30,6 +31,9 @@ __all__ = [
     "aggregate_database",
     "aggregate_instance",
     "aggregate_traces",
+    "dump_trace_batch",
+    "iter_trace_paths",
+    "load_trace_batch",
     "DemandSampler",
     "PerfCollector",
     "GapRepair",

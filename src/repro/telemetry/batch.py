@@ -1,0 +1,92 @@
+"""Batch trace ingestion for fleet-scale runs.
+
+The single-trace JSON persistence in :mod:`repro.telemetry.serialize`
+covers one appliance upload; a fleet pass ingests thousands.  These
+helpers stream a directory (or explicit file list) of trace documents
+into :class:`~repro.telemetry.trace.PerformanceTrace` objects lazily,
+with a per-file error policy so one corrupt upload cannot sink a
+whole campaign, and the matching bulk writer for producing such
+directories.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Literal
+
+from .serialize import dump_trace_json, load_trace_json
+from .trace import PerformanceTrace
+
+__all__ = ["dump_trace_batch", "iter_trace_paths", "load_trace_batch"]
+
+ErrorPolicy = Literal["raise", "skip"]
+
+
+def iter_trace_paths(root: str | Path) -> list[Path]:
+    """JSON trace files under ``root``, sorted for deterministic order.
+
+    Raises:
+        NotADirectoryError: If ``root`` is not a directory.
+    """
+    directory = Path(root)
+    if not directory.is_dir():
+        raise NotADirectoryError(f"not a trace directory: {directory}")
+    return sorted(path for path in directory.glob("*.json") if path.is_file())
+
+
+def load_trace_batch(
+    paths: Iterable[str | Path],
+    on_error: ErrorPolicy = "raise",
+) -> Iterator[tuple[Path, PerformanceTrace | None]]:
+    """Lazily load many trace files.
+
+    Yields ``(path, trace)`` pairs in input order.  Under
+    ``on_error="skip"`` a malformed file yields ``(path, None)``
+    instead of raising, letting fleet callers count and report bad
+    uploads; under ``"raise"`` the first failure propagates.
+
+    A bad ``on_error`` value raises immediately at the call site, not
+    on first iteration (plain function returning an inner generator).
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"unknown error policy {on_error!r}")
+
+    def generate() -> Iterator[tuple[Path, PerformanceTrace | None]]:
+        for raw_path in paths:
+            path = Path(raw_path)
+            try:
+                yield path, load_trace_json(path)
+            except (OSError, ValueError, KeyError) as exc:
+                if on_error == "raise":
+                    raise ValueError(f"failed to load trace {path}: {exc}") from exc
+                yield path, None
+
+    return generate()
+
+
+def dump_trace_batch(
+    traces: Iterable[PerformanceTrace], root: str | Path
+) -> list[Path]:
+    """Write one JSON document per trace under ``root``.
+
+    Files are named after each trace's entity id (sanitized); the
+    directory is created if missing.  Returns the written paths.
+
+    Raises:
+        ValueError: If two traces sanitize to the same file name.
+    """
+    directory = Path(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    seen: set[str] = set()
+    for index, trace in enumerate(traces):
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in trace.entity_id
+        ) or f"trace-{index:06d}"
+        if safe in seen:
+            raise ValueError(f"duplicate trace file name {safe!r} in batch")
+        seen.add(safe)
+        path = directory / f"{safe}.json"
+        dump_trace_json(trace, path)
+        written.append(path)
+    return written

@@ -9,7 +9,7 @@ the only workload information the engine ever sees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 
@@ -49,6 +49,12 @@ class PerformanceTrace:
         if len(intervals) != 1:
             raise ValueError(f"all dimensions must share an interval, got {sorted(intervals)}")
         object.__setattr__(self, "series", frozen)
+
+    def __reduce__(self):
+        # The mapping proxy guarding immutability cannot pickle; rebuild
+        # through the constructor so traces cross process boundaries
+        # (fleet-scale worker pools ship them in shards).
+        return (type(self), (dict(self.series), self.entity_id))
 
     # ------------------------------------------------------------------
     # Introspection

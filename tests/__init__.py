@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Makes ``tests`` an importable package so test modules can use
+``from .conftest import ...`` for the shared plain-function helpers
+(``make_sku``, ``make_trace``, ``full_trace``) alongside the pytest
+fixtures the same conftest provides.
+"""

@@ -109,7 +109,10 @@ def full_trace(
 ) -> PerformanceTrace:
     """A six-dimension steady trace sized for the small catalog."""
     generator = np.random.default_rng(rng)
-    noise = lambda scale: np.abs(generator.normal(1.0, 0.03, size=n)) * scale
+
+    def noise(scale: float) -> np.ndarray:
+        return np.abs(generator.normal(1.0, 0.03, size=n)) * scale
+
     return PerformanceTrace(
         series={
             PerfDimension.CPU: TimeSeries(noise(cpu_level), interval_minutes),

@@ -1,6 +1,5 @@
 """Unit tests for repro.catalog.models."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.catalog import DeploymentType
 from repro.core import BaselineStrategy, confidence_score
-from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
+from repro.telemetry import PerfDimension, PerformanceTrace
 
 from .conftest import full_trace, make_trace
 

@@ -28,7 +28,10 @@ def mi_catalog():
 
 def mi_trace(cpu_level=2.0, iops_level=300.0, latency=6.0, storage=100.0, n=288):
     rng = np.random.default_rng(0)
-    jitter = lambda level: np.abs(rng.normal(1.0, 0.02, n)) * level
+
+    def jitter(level):
+        return np.abs(rng.normal(1.0, 0.02, n)) * level
+
     return PerformanceTrace(
         series={
             PerfDimension.CPU: TimeSeries(jitter(cpu_level)),

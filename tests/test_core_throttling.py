@@ -1,7 +1,6 @@
 """Unit tests for throttling-probability estimation (equation (1))."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     EmpiricalThrottlingEstimator,

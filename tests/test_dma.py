@@ -13,7 +13,7 @@ from repro.dma import (
 )
 from repro.dma.cli import main as cli_main
 from repro.core import DopplerEngine
-from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries, dump_trace_json
+from repro.telemetry import PerfDimension, PerformanceTrace, dump_trace_json
 
 from .conftest import full_trace, make_trace
 

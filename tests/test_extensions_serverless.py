@@ -12,7 +12,7 @@ from repro.extensions import (
 )
 from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
 
-from .conftest import full_trace, make_trace
+from .conftest import full_trace
 
 
 def trace_with(cpu, storage=100.0, interval=10.0):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.catalog import DeploymentType, SkuCatalog
+from repro.catalog import DeploymentType
 from repro.core import GroupObservation, GroupScoreModel, PricePerformanceModeler
 from repro.extensions import (
     FeedbackEvent,
@@ -16,7 +16,7 @@ from repro.extensions import (
 )
 from repro.telemetry import PerfDimension, PerformanceTrace, TimeSeries
 
-from .conftest import full_trace, make_sku
+from .conftest import full_trace
 
 
 class TestOnPremCostModel:

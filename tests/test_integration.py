@@ -12,7 +12,6 @@ from repro.simulation import (
     simulate_onprem_estate,
     simulate_sku_change_customers,
 )
-from repro.telemetry import PerfDimension
 from repro.workloads import WorkloadSynthesizer, replay_on_sku
 
 

@@ -1,6 +1,5 @@
 """Unit tests for recommendation tracking and ground-truth validation."""
 
-import numpy as np
 import pytest
 
 from repro.catalog import DeploymentType
