@@ -1,0 +1,246 @@
+"""Streaming assessment benchmark: per-sample updates vs full rebuilds.
+
+Measures the core claim of the streaming subsystem: maintaining
+per-SKU throttling probabilities with
+:class:`~repro.core.incremental.IncrementalThrottlingEstimator` costs
+O(n_skus * n_dims) per sample, while keeping the batch
+:class:`~repro.core.throttling.EmpiricalThrottlingEstimator` fresh
+requires a full window re-scan per sample.  The benchmark feeds the
+same telemetry stream through both paths, verifies they agree to
+1e-12 at the end, and reports updates/sec and the speedup, plus the
+end-to-end :class:`~repro.streaming.live.LiveRecommender` observe()
+throughput.
+
+Standalone script (not a pytest benchmark)::
+
+    python benchmarks/bench_streaming.py           # 1000 samples x 50 SKUs
+    python benchmarks/bench_streaming.py --smoke   # tiny CI-sized run
+
+Emits a machine-readable perf record to
+``benchmarks/results/BENCH_streaming.json`` (uploaded as a CI
+artifact) so the perf trajectory accumulates across commits.
+
+Exit status: 1 when incremental and batch probabilities disagree,
+2 when the speedup misses the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # running as a script without installation
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro import (
+    DeploymentType,
+    DopplerEngine,
+    IncrementalThrottlingEstimator,
+    LiveRecommender,
+    PerfDimension,
+    SkuCatalog,
+    StreamingTraceBuilder,
+)
+from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
+from repro.core import EmpiricalThrottlingEstimator
+from repro.telemetry.counters import DB_DIMENSIONS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = RESULTS_DIR / "BENCH_streaming.json"
+TEXT_PATH = RESULTS_DIR / "streaming.txt"
+
+
+def make_sku_ladder(n_skus: int) -> list[SkuSpec]:
+    """A dense ladder of ``n_skus`` distinct DB SKUs for the sweep."""
+    skus = []
+    for index in range(n_skus):
+        vcores = 1.0 + index * 0.75
+        skus.append(
+            SkuSpec(
+                deployment=DeploymentType.SQL_DB,
+                tier=ServiceTier.GENERAL_PURPOSE,
+                hardware=HardwareGeneration.GEN5,
+                limits=ResourceLimits(
+                    vcores=vcores,
+                    max_memory_gb=vcores * 5.2,
+                    max_data_iops=vcores * 320.0,
+                    max_log_rate_mbps=vcores * 3.75,
+                    max_data_size_gb=1024.0,
+                    min_io_latency_ms=5.0,
+                ),
+                price_per_hour=vcores * 0.2525,
+                name=f"bench-sku-{index:03d}",
+            )
+        )
+    return skus
+
+
+def make_samples(n: int, seed: int) -> list[dict[PerfDimension, float]]:
+    """A shifting six-dimension telemetry feed."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for index in range(n):
+        scale = 1.0 + 6.0 * (index / max(n - 1, 1))  # steady demand growth
+        samples.append(
+            {
+                PerfDimension.CPU: float(scale * abs(rng.normal(2.5, 1.0))),
+                PerfDimension.MEMORY: float(scale * abs(rng.normal(10.0, 3.0))),
+                PerfDimension.IOPS: float(scale * abs(rng.normal(400.0, 150.0))),
+                PerfDimension.IO_LATENCY: float(abs(rng.normal(6.0, 1.0)) + 0.3),
+                PerfDimension.LOG_RATE: float(scale * abs(rng.normal(3.0, 1.0))),
+                PerfDimension.STORAGE: 200.0 + index * 0.05,
+            }
+        )
+    return samples
+
+
+def bench_estimators(
+    skus: list[SkuSpec], samples: list[dict[PerfDimension, float]]
+) -> dict:
+    """Incremental per-sample updates vs rebuild-per-sample."""
+    n = len(samples)
+    dims = DB_DIMENSIONS
+
+    incremental = IncrementalThrottlingEstimator(skus, dims, window=n)
+    start = time.perf_counter()
+    for sample in samples:
+        incremental.update(sample)
+        incremental.probabilities()  # the fresh estimate each sample buys
+    incremental_seconds = time.perf_counter() - start
+
+    builder = StreamingTraceBuilder(dims, window=n)
+    batch = EmpiricalThrottlingEstimator()
+    start = time.perf_counter()
+    for sample in samples:
+        builder.append(sample)
+        rebuilt = batch.probabilities(builder.snapshot(), skus, dims)
+    rebuild_seconds = time.perf_counter() - start
+
+    max_diff = float(np.max(np.abs(incremental.probabilities() - rebuilt)))
+    return {
+        "n_samples": n,
+        "n_skus": len(skus),
+        "n_dims": len(dims),
+        "incremental_seconds": incremental_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "incremental_updates_per_sec": n / incremental_seconds,
+        "rebuild_updates_per_sec": n / rebuild_seconds,
+        "speedup": rebuild_seconds / incremental_seconds,
+        "max_abs_diff": max_diff,
+    }
+
+
+def bench_live_loop(samples: list[dict[PerfDimension, float]], window: int) -> dict:
+    """End-to-end LiveRecommender observe() throughput."""
+    engine = DopplerEngine(catalog=SkuCatalog.default())
+    live = LiveRecommender(
+        engine, DeploymentType.SQL_DB, window=window, min_refresh_samples=12
+    )
+    start = time.perf_counter()
+    for sample in samples:
+        live.observe(sample)
+    seconds = time.perf_counter() - start
+    return {
+        "window": window,
+        "n_samples": len(samples),
+        "observe_per_sec": len(samples) / seconds,
+        "n_refreshes": live.n_refreshes,
+        "cache_hit_rate": live.cache.stats().hit_rate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=1000, help="stream length")
+    parser.add_argument("--skus", type=int, default=50, help="candidate SKU count")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required incremental-over-rebuild speedup (default: 10)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny fast run for CI: 200 samples, 12 SKUs"
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    args = parser.parse_args(argv)
+
+    n_samples, n_skus = args.samples, args.skus
+    if args.smoke:
+        n_samples, n_skus = 200, 12
+    if n_samples < 2 or n_skus < 1:
+        parser.error("need at least 2 samples and 1 SKU")
+
+    skus = make_sku_ladder(n_skus)
+    samples = make_samples(n_samples, seed=args.seed)
+
+    print(f"Streaming estimator benchmark: {n_samples} samples x {n_skus} SKUs ...")
+    estimator_record = bench_estimators(skus, samples)
+    print(
+        f"  incremental {estimator_record['incremental_updates_per_sec']:>10.0f} updates/s"
+        f"   rebuild {estimator_record['rebuild_updates_per_sec']:>8.1f} updates/s"
+        f"   speedup {estimator_record['speedup']:.1f}x"
+        f"   max|diff| {estimator_record['max_abs_diff']:.2e}"
+    )
+
+    live_window = min(n_samples, 288)
+    print(f"Live recommendation loop: window {live_window} over the default catalog ...")
+    live_record = bench_live_loop(samples, window=live_window)
+    print(
+        f"  observe {live_record['observe_per_sec']:>8.1f} samples/s"
+        f"   refreshes {live_record['n_refreshes']}"
+        f"   curve-cache hit rate {live_record['cache_hit_rate']:.0%}"
+    )
+
+    record = {
+        "benchmark": "streaming",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "min_speedup": args.min_speedup,
+        "estimator": estimator_record,
+        "live_loop": live_record,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    TEXT_PATH.write_text(
+        f"streaming benchmark: {n_samples} samples x {n_skus} SKUs  "
+        f"speedup {estimator_record['speedup']:.1f}x  "
+        f"observe {live_record['observe_per_sec']:.1f}/s  "
+        f"refreshes {live_record['n_refreshes']}\n",
+        encoding="utf-8",
+    )
+    print(f"Perf record written to {JSON_PATH}")
+
+    if estimator_record["max_abs_diff"] > 1e-12:
+        print(
+            f"FAIL: incremental and batch probabilities diverge "
+            f"({estimator_record['max_abs_diff']:.3e} > 1e-12)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.smoke:
+        # Same policy as bench_fleet_scale: correctness (the 1e-12
+        # agreement above) gates CI, timing does not -- shared runners
+        # are too noisy for a hard speedup threshold on a tiny run.
+        print("smoke mode: speedup gate skipped (timing noise on shared CI runners)")
+    elif estimator_record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: incremental speedup {estimator_record['speedup']:.1f}x "
+            f"below the {args.min_speedup:.1f}x threshold",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

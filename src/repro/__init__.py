@@ -40,6 +40,7 @@ from .core import (
     DopplerEngine,
     DopplerRecommendation,
     GroupScoreModel,
+    IncrementalThrottlingEstimator,
     OverProvisionReport,
     PricePerformanceCurve,
     PricePerformanceModeler,
@@ -51,11 +52,19 @@ from .fleet import (
     FleetCustomer,
     FleetEngine,
     FleetFitReport,
+    FleetLiveUpdate,
     FleetRecommendation,
+    FleetSample,
     FleetSummary,
     summarize_fleet,
 )
-from .telemetry import PerfDimension, PerformanceTrace, TimeSeries
+from .streaming import DriftDetector, DriftReport, LiveRecommender, LiveUpdate
+from .telemetry import (
+    PerfDimension,
+    PerformanceTrace,
+    StreamingTraceBuilder,
+    TimeSeries,
+)
 from .workloads import WorkloadSpec, WorkloadSynthesizer, generate_trace, replay_on_sku
 
 __version__ = "1.0.0"
@@ -77,6 +86,7 @@ __all__ = [
     "DopplerEngine",
     "DopplerRecommendation",
     "GroupScoreModel",
+    "IncrementalThrottlingEstimator",
     "OverProvisionReport",
     "PricePerformanceCurve",
     "PricePerformanceModeler",
@@ -88,11 +98,18 @@ __all__ = [
     "FleetCustomer",
     "FleetEngine",
     "FleetFitReport",
+    "FleetLiveUpdate",
     "FleetRecommendation",
+    "FleetSample",
     "FleetSummary",
     "summarize_fleet",
+    "DriftDetector",
+    "DriftReport",
+    "LiveRecommender",
+    "LiveUpdate",
     "PerfDimension",
     "PerformanceTrace",
+    "StreamingTraceBuilder",
     "TimeSeries",
     "WorkloadSpec",
     "WorkloadSynthesizer",

@@ -19,6 +19,7 @@ from .heuristics import (
     largest_slope,
     performance_threshold,
 )
+from .incremental import IncrementalThrottlingEstimator
 from .matching import GroupObservation, GroupScoreModel, GroupStatistics
 from .negotiability import (
     ALL_SUMMARIZERS,
@@ -85,6 +86,7 @@ __all__ = [
     "group_key_to_label",
     "CopulaThrottlingEstimator",
     "EmpiricalThrottlingEstimator",
+    "IncrementalThrottlingEstimator",
     "KdeThrottlingEstimator",
     "ThrottlingEstimator",
     "capacity_vector",

@@ -149,9 +149,12 @@ class DopplerEngine:
         if exclude_over_provisioned and self.is_over_provisioned_on(curve, point.sku.name):
             return None
         profile = self.profiler_for(record.deployment).profile(record.trace)
+        # Customer-chosen SKUs can sit on monotonicity-lifted points
+        # (unlike engine selections, which always land on raw ones),
+        # so record the point's real risk, not the lifted score.
         return GroupObservation(
             group_key=profile.group_key,
-            throttling_probability=1.0 - point.score,
+            throttling_probability=point.throttling_probability,
         )
 
     def group_model(self, deployment: DeploymentType) -> GroupScoreModel | None:
@@ -248,7 +251,10 @@ class DopplerEngine:
                 choice = performance_threshold(curve)
                 point = choice.point
                 strategy = choice.heuristic
-            target = 1.0 - point.score
+            # Report the point's raw probability: the monotonicity
+            # adjustment can lift `score` above `1 - P`, and `score`
+            # is only meaningful for ranking.
+            target = point.throttling_probability
             notes.append("No migrated-customer profiles available; heuristic fallback")
 
         confidence: ConfidenceResult | None = None
@@ -265,7 +271,7 @@ class DopplerEngine:
             curve=curve,
             profile=profile,
             target_probability=target,
-            expected_throttling=1.0 - point.score,
+            expected_throttling=point.throttling_probability,
             confidence=confidence,
             strategy=strategy,
             notes=tuple(notes),

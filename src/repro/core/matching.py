@@ -145,6 +145,14 @@ class GroupScoreModel:
         overall_best = curve.points[0]
         overall_gap = float("inf")
         for point in curve.points:
+            # Selection deliberately runs in monotone score space, NOT
+            # raw throttling_probability (which training and reporting
+            # use): a lifted point's 1 - score is an exact float copy
+            # of its cheaper dominator's, so it ties and loses to the
+            # cheaper SKU -- the paper's guarantee that customers
+            # cannot be steered to a more expensive, less performant
+            # target.  Raw-probability selection would let a dominated
+            # point win on gap alone.
             probability = 1.0 - point.score
             gap = abs(probability - target)
             if gap < overall_gap - 1e-12:

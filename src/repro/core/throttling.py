@@ -27,7 +27,7 @@ import numpy as np
 
 from ..catalog.models import ResourceLimits, SkuSpec
 from ..ml.kde import GaussianKde
-from ..telemetry.counters import PerfDimension
+from ..telemetry.counters import LATENCY_FLOOR, PerfDimension, invert_latency
 from ..telemetry.trace import PerformanceTrace
 
 __all__ = [
@@ -35,10 +35,11 @@ __all__ = [
     "EmpiricalThrottlingEstimator",
     "CopulaThrottlingEstimator",
     "KdeThrottlingEstimator",
+    "LATENCY_FLOOR",
     "demand_matrix",
     "capacity_vector",
+    "invert_latency",
 ]
-
 
 def demand_matrix(
     trace: PerformanceTrace, dimensions: tuple[PerfDimension, ...]
@@ -53,7 +54,7 @@ def demand_matrix(
     for dim in dimensions:
         values = trace[dim].values
         if dim.lower_is_better:
-            columns.append(1.0 / np.maximum(values, 1e-9))
+            columns.append(invert_latency(values))
         else:
             columns.append(values)
     return np.column_stack(columns)
@@ -64,13 +65,15 @@ def capacity_vector(
 ) -> np.ndarray:
     """SKU capacities aligned with :func:`demand_matrix` columns.
 
-    Latency capacities are inverted to match the inverted demand.
+    Latency capacities go through the same :func:`invert_latency` as
+    the inverted demand, so degenerate latency limits floor instead of
+    blowing up.
     """
     caps = []
     for dim in dimensions:
         capacity = dim.capacity_of(limits)
         if dim.lower_is_better:
-            caps.append(1.0 / capacity)
+            caps.append(float(invert_latency(capacity)))
         else:
             caps.append(capacity)
     return np.asarray(caps, dtype=float)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from typing import Iterable
+from typing import Iterable, Iterator, Mapping
 
 from ..catalog.catalog import SkuCatalog
 from ..catalog.models import DeploymentType, SkuSpec
@@ -27,6 +27,10 @@ from ..core.engine import DopplerEngine
 from ..core.types import DopplerRecommendation
 from ..fleet.engine import FleetBackend, FleetCustomer, FleetEngine, FleetRecommendation
 from ..fleet.report import FleetSummary, summarize_fleet
+from ..streaming.live import LiveRecommender, LiveUpdate
+from ..telemetry.counters import PerfDimension
+from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
+from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from ..telemetry.trace import PerformanceTrace
 from .dashboard import render_dashboard
 from .preprocess import DataPreprocessor, PreprocessReport
@@ -223,6 +227,53 @@ class AssessmentPipeline:
             results=results,
             short_window_ids=tuple(short_windows),
         )
+
+    def live_recommender(
+        self,
+        deployment: DeploymentType,
+        entity_id: str = "stream",
+        window: int = DEFAULT_STREAM_WINDOW,
+        interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES,
+        **kwargs,
+    ) -> LiveRecommender:
+        """A live assessment loop bound to this pipeline's engine.
+
+        The streaming stage of the DMA pipeline: where :meth:`assess`
+        takes a complete collector output, the returned recommender
+        ingests one counter sample at a time and re-assesses only on
+        drift.  Extra keyword arguments pass through to
+        :class:`~repro.streaming.live.LiveRecommender` (drift
+        threshold, warm-up length, shared curve cache, dimensions).
+        """
+        return LiveRecommender(
+            self.engine,
+            deployment,
+            window=window,
+            interval_minutes=interval_minutes,
+            entity_id=entity_id,
+            **kwargs,
+        )
+
+    def watch(
+        self,
+        samples: Iterable[Mapping[PerfDimension, float]],
+        deployment: DeploymentType,
+        entity_id: str = "stream",
+        **kwargs,
+    ) -> Iterator[LiveUpdate]:
+        """Stream one entity's telemetry; yield each refreshed verdict.
+
+        Convenience generator over :meth:`live_recommender`: feeds the
+        sample stream through a live assessment and yields an update
+        whenever the recommendation refreshes.  Note the raw-counter
+        preprocessing module does not apply sample-wise -- gap repair
+        presumes a complete window -- so the feed is ingested as-is.
+        """
+        recommender = self.live_recommender(deployment, entity_id=entity_id, **kwargs)
+        for sample in samples:
+            update = recommender.observe(sample)
+            if update.refreshed:
+                yield update
 
     @staticmethod
     def _flag_short_window(

@@ -197,5 +197,7 @@ def recommend_adf_runtime(
     return AdfRecommendation(
         runtime=runtime,
         curve=curve,
-        expected_throttling=1.0 - choice.point.score,
+        # Raw probability, not 1 - score: the monotonicity adjustment
+        # can lift `score`, and lifted points would understate risk.
+        expected_throttling=choice.point.throttling_probability,
     )

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..catalog.models import HOURS_PER_MONTH
-from ..telemetry.counters import PerfDimension
+from ..telemetry.counters import PerfDimension, invert_latency
 from ..telemetry.trace import PerformanceTrace
 
 __all__ = [
@@ -191,7 +191,7 @@ def evaluate_serverless(
         violated |= trace[PerfDimension.LOG_RATE].values > offer.max_log_rate_mbps
     if PerfDimension.IO_LATENCY in trace:
         latency = trace[PerfDimension.IO_LATENCY].values
-        violated |= (1.0 / np.maximum(latency, 1e-9)) > (1.0 / offer.min_io_latency_ms)
+        violated |= invert_latency(latency) > invert_latency(offer.min_io_latency_ms)
     # A resume from pause adds a cold-start stall, observed as
     # throttling on the first busy sample after a paused one.
     resume = ~paused & np.roll(paused, 1)

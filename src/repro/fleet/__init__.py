@@ -11,7 +11,9 @@ from .engine import (
     FleetCustomer,
     FleetEngine,
     FleetFitReport,
+    FleetLiveUpdate,
     FleetRecommendation,
+    FleetSample,
 )
 from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
@@ -25,7 +27,9 @@ __all__ = [
     "FleetCustomer",
     "FleetEngine",
     "FleetFitReport",
+    "FleetLiveUpdate",
     "FleetRecommendation",
+    "FleetSample",
     "FleetSummary",
     "summarize_fleet",
     "auto_chunk_size",

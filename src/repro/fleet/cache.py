@@ -22,7 +22,13 @@ from ..catalog.catalog import SkuCatalog
 from ..core.curve import PricePerformanceCurve
 from ..telemetry.trace import PerformanceTrace
 
-__all__ = ["CurveCache", "CurveCacheStats", "catalog_signature", "trace_fingerprint"]
+__all__ = [
+    "CurveCache",
+    "CurveCacheStats",
+    "catalog_signature",
+    "curve_cache_key",
+    "trace_fingerprint",
+]
 
 #: Default number of curves kept in memory.  Curves are small (tens of
 #: points), so this is generous while still bounding fleet-scale runs.
@@ -79,6 +85,27 @@ def catalog_signature(catalog: SkuCatalog) -> str:
     return digest.hexdigest()
 
 
+def curve_cache_key(
+    trace: PerformanceTrace,
+    deployment_value: str,
+    file_sizes_gib: tuple[float, ...] | None,
+    catalog_sig: str,
+) -> tuple:
+    """The canonical cache key for one curve construction.
+
+    Every consumer of a shared :class:`CurveCache` (the fleet runner's
+    batch passes, live recommenders watching the same fleet) must
+    build keys through this single function, or identical curves
+    silently stop pooling between them.
+    """
+    return (
+        trace_fingerprint(trace),
+        deployment_value,
+        tuple(file_sizes_gib) if file_sizes_gib else None,
+        catalog_sig,
+    )
+
+
 @dataclass(frozen=True)
 class CurveCacheStats:
     """Counters describing cache effectiveness over a fleet pass.
@@ -88,17 +115,28 @@ class CurveCacheStats:
         misses: Lookups that had to build the curve.
         evictions: Entries dropped to respect ``maxsize``.
         size: Entries currently held.
+        duplicate_builds: Misses that rebuilt a key another thread was
+            already building (the thread backend's accepted race).
+            ``misses - duplicate_builds`` is the number of genuinely
+            distinct curve constructions, so fleet hit-rate reports
+            stay truthful under concurrency.
     """
 
     hits: int
     misses: int
     evictions: int
     size: int
+    duplicate_builds: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def unique_misses(self) -> int:
+        """Misses that built a key no other thread was building."""
+        return self.misses - self.duplicate_builds
 
 
 class CurveCache:
@@ -118,6 +156,8 @@ class CurveCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._duplicate_builds = 0
+        self._building: dict[Hashable, int] = {}
 
     def get_or_build(
         self, key: Hashable, builder: Callable[[], PricePerformanceCurve]
@@ -127,7 +167,7 @@ class CurveCache:
         The builder runs outside the lock so concurrent misses on
         different keys do not serialize; a rare duplicate build of the
         same key is accepted in exchange (curves are immutable, so
-        last-write-wins is safe).
+        last-write-wins is safe) and counted in ``duplicate_builds``.
         """
         with self._lock:
             curve = self._entries.get(key)
@@ -136,14 +176,35 @@ class CurveCache:
                 self._hits += 1
                 return curve
             self._misses += 1
-        curve = builder()
+            in_flight = self._building.get(key, 0)
+            if in_flight:
+                self._duplicate_builds += 1
+            self._building[key] = in_flight + 1
+        try:
+            curve = builder()
+        except BaseException:
+            with self._lock:
+                self._release_building(key)
+            raise
         with self._lock:
+            # Insert before dropping the in-flight marker (same locked
+            # section): a lookup can never observe "no entry and no
+            # build in flight" for a key that was being built.
             self._entries[key] = curve
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            self._release_building(key)
         return curve
+
+    def _release_building(self, key: Hashable) -> None:
+        """Drop one in-flight marker for ``key``; caller holds the lock."""
+        remaining = self._building.get(key, 1) - 1
+        if remaining:
+            self._building[key] = remaining
+        else:
+            self._building.pop(key, None)
 
     def clear(self) -> None:
         with self._lock:
@@ -156,6 +217,7 @@ class CurveCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 size=len(self._entries),
+                duplicate_builds=self._duplicate_builds,
             )
 
     def __len__(self) -> int:

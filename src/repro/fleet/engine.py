@@ -21,24 +21,32 @@ import os
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Literal
+from typing import TYPE_CHECKING, Iterable, Iterator, Literal, Mapping
 
 from ..catalog.models import DeploymentType
 from ..core.engine import DopplerEngine
 from ..core.matching import GroupObservation, GroupScoreModel
 from ..core.profiler import GroupKey
 from ..core.types import CloudCustomerRecord, DopplerRecommendation
+from ..telemetry.counters import PerfDimension
+from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
+from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from ..telemetry.trace import PerformanceTrace
-from .cache import DEFAULT_CACHE_SIZE, CurveCache, CurveCacheStats, catalog_signature, trace_fingerprint
+from .cache import DEFAULT_CACHE_SIZE, CurveCache, CurveCacheStats, catalog_signature, curve_cache_key
 from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a cycle
+    from ..streaming.live import LiveUpdate
 
 __all__ = [
     "FleetBackend",
     "FleetCustomer",
     "FleetEngine",
     "FleetFitReport",
+    "FleetLiveUpdate",
     "FleetRecommendation",
+    "FleetSample",
 ]
 
 FleetBackend = Literal["serial", "thread", "process"]
@@ -116,6 +124,51 @@ class FleetRecommendation:
 
 
 @dataclass(frozen=True)
+class FleetSample:
+    """One telemetry sample of one customer in a fleet-wide stream.
+
+    The streaming counterpart of :class:`FleetCustomer`: instead of a
+    complete trace, each event carries one aligned counter reading.
+
+    Attributes:
+        customer_id: Stable identifier; samples with the same id feed
+            the same live assessment.
+        values: Counter values by dimension for this sample.
+        deployment: Target deployment type (fixed per customer; the
+            first sample's value wins).
+    """
+
+    customer_id: str
+    values: Mapping[PerfDimension, float]
+    deployment: DeploymentType = DeploymentType.SQL_DB
+
+
+@dataclass(frozen=True)
+class FleetLiveUpdate:
+    """One customer's live-assessment outcome within a fleet watch.
+
+    Attributes:
+        customer_id: The customer whose assessment moved.
+        update: The underlying per-sample outcome, or None when the
+            customer's live assessment failed.
+        error: Failure message when ``update`` is None; the customer
+            is quarantined from the rest of the watch.
+    """
+
+    customer_id: str
+    update: "LiveUpdate | None"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.update is not None
+
+    @property
+    def recommendation(self) -> DopplerRecommendation | None:
+        return self.update.recommendation if self.update is not None else None
+
+
+@dataclass(frozen=True)
 class FleetFitReport:
     """Outcome of fitting group models over a fleet of records.
 
@@ -154,12 +207,8 @@ class _FleetRunner:
         deployment: DeploymentType,
         file_sizes_gib: tuple[float, ...] | None = None,
     ):
-        sizes_key = tuple(file_sizes_gib) if file_sizes_gib else None
-        key = (
-            trace_fingerprint(trace),
-            deployment.value,
-            sizes_key,
-            self._catalog_signature,
+        key = curve_cache_key(
+            trace, deployment.value, file_sizes_gib, self._catalog_signature
         )
         sizes = list(file_sizes_gib) if file_sizes_gib else None
         return self.cache.get_or_build(
@@ -376,6 +425,88 @@ class FleetEngine:
         they stream out and never accumulated.
         """
         return summarize_fleet(self.recommend_fleet(customers))
+
+    def watch_fleet(
+        self,
+        samples: Iterable[FleetSample],
+        window: int = DEFAULT_STREAM_WINDOW,
+        interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES,
+        drift_threshold: float | None = None,
+        min_refresh_samples: int | None = None,
+        refreshes_only: bool = True,
+    ) -> Iterator[FleetLiveUpdate]:
+        """Streaming pass: live assessments over a fleet-wide feed.
+
+        The online counterpart of :meth:`recommend_fleet`: samples
+        arrive interleaved across customers, each customer gets a
+        :class:`~repro.streaming.live.LiveRecommender` on first sight,
+        and a :class:`FleetLiveUpdate` is yielded whenever a
+        customer's recommendation refreshes (every sample when
+        ``refreshes_only`` is False).  All live assessments share one
+        watch-scoped memoized curve cache -- drifted windows
+        fingerprint freshly, so live entries rarely re-hit, and
+        keeping them out of the batch pass's cache stops a fleet-wide
+        feed from evicting genuinely reusable batch curves.  The loop
+        runs in the parent (arrival order is the contract; there is
+        nothing to shard).
+
+        Per-customer failures follow the fleet containment contract:
+        a customer whose assessment raises (e.g. no SKU holds their
+        storage footprint) surfaces once as an error update and is
+        quarantined; the stream keeps serving everyone else.
+
+        Args:
+            samples: The fleet-wide telemetry feed, in arrival order.
+            window: Sliding assessment window per customer, in samples.
+            interval_minutes: Sampling cadence of the feed.
+            drift_threshold: Probability divergence that triggers a
+                re-assessment (library default when omitted).
+            min_refresh_samples: Warm-up samples before a customer's
+                first recommendation (library default when omitted).
+            refreshes_only: Yield only refresh events (the default) or
+                every observed sample.
+        """
+        # Imported here, not at module top: streaming builds on the
+        # fleet curve cache, so a top-level import would be circular.
+        from ..streaming.drift import DEFAULT_DRIFT_THRESHOLD
+        from ..streaming.live import DEFAULT_MIN_REFRESH_SAMPLES, LiveRecommender
+
+        if drift_threshold is None:
+            drift_threshold = DEFAULT_DRIFT_THRESHOLD
+        if min_refresh_samples is None:
+            min_refresh_samples = DEFAULT_MIN_REFRESH_SAMPLES
+        watch_cache = CurveCache(self.cache_size)
+        recommenders: dict[str, LiveRecommender] = {}
+        quarantined: set[str] = set()
+        for sample in samples:
+            if sample.customer_id in quarantined:
+                continue
+            live = recommenders.get(sample.customer_id)
+            if live is None:
+                live = LiveRecommender(
+                    self.engine,
+                    sample.deployment,
+                    window=window,
+                    interval_minutes=interval_minutes,
+                    drift_threshold=drift_threshold,
+                    min_refresh_samples=min_refresh_samples,
+                    cache=watch_cache,
+                    entity_id=sample.customer_id,
+                )
+                recommenders[sample.customer_id] = live
+            try:
+                update = live.observe(sample.values)
+            except Exception as exc:  # noqa: BLE001 - one bad feed must not kill the fleet
+                quarantined.add(sample.customer_id)
+                recommenders.pop(sample.customer_id, None)
+                yield FleetLiveUpdate(
+                    customer_id=sample.customer_id,
+                    update=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            if update.refreshed or not refreshes_only:
+                yield FleetLiveUpdate(customer_id=sample.customer_id, update=update)
 
     def cache_stats(self) -> CurveCacheStats:
         """Parent-side curve-cache counters (serial/thread backends).

@@ -63,7 +63,9 @@ class SkuChangeCustomer:
         the new workload -- the ">40 % throttling" observation under
         Figure 11."""
         point = self.after_curve.point_for(self.before_sku_name)
-        return 1.0 - point.score
+        # Raw probability: the held SKU can sit on a monotonicity-lifted
+        # point of the new curve, and the lifted score hides its real risk.
+        return point.throttling_probability
 
 
 def _level_spec(cpu_level: float, storage_gb: float, entity_id: str) -> WorkloadSpec:

@@ -1,0 +1,23 @@
+"""Online assessment: live recommendations over streaming telemetry.
+
+Turns the one-shot recommender into a continuously-adaptive service:
+bounded-window trace ingestion
+(:class:`~repro.telemetry.streaming.StreamingTraceBuilder`), O(n_skus
+* n_dims) per-sample probability maintenance
+(:class:`~repro.core.incremental.IncrementalThrottlingEstimator`),
+and drift-gated re-assessment (:class:`LiveRecommender`), so
+recommendations stay fresh without re-running the batch pipeline per
+sample.
+"""
+
+from .drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector, DriftReport
+from .live import DEFAULT_MIN_REFRESH_SAMPLES, LiveRecommender, LiveUpdate
+
+__all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DEFAULT_MIN_REFRESH_SAMPLES",
+    "DriftDetector",
+    "DriftReport",
+    "LiveRecommender",
+    "LiveUpdate",
+]

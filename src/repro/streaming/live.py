@@ -1,0 +1,227 @@
+"""Live SKU recommendation over continuously arriving telemetry.
+
+:class:`LiveRecommender` turns the one-shot Doppler assessment into a
+service loop.  Per sample it does only cheap work -- ring-buffer
+ingestion plus an O(n_skus * n_dims) incremental estimate update --
+and it re-runs the full pipeline (curve construction, profiling,
+group-matched selection) only when the incremental estimates have
+drifted from the ones the current recommendation was built on.  Curve
+construction goes through a memoized
+:class:`~repro.fleet.cache.CurveCache`, so re-assessing an unchanged
+window (an explicit refresh between samples, a replayed feed) costs a
+lookup; a drift refresh on a moved window is a genuine rebuild.
+
+The result is a recommendation stream whose freshness is bounded by
+the drift threshold while per-sample cost stays flat in the window
+length -- the property `benchmarks/bench_streaming.py` quantifies
+against rebuild-per-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..catalog.models import DeploymentType
+from ..core.engine import DopplerEngine
+from ..core.incremental import IncrementalThrottlingEstimator
+from ..core.types import DopplerRecommendation
+from ..fleet.cache import CurveCache, catalog_signature, curve_cache_key
+from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
+from ..telemetry.streaming import DEFAULT_STREAM_WINDOW, StreamingTraceBuilder
+from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
+from .drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector, DriftReport
+
+__all__ = [
+    "DEFAULT_LIVE_CACHE_SIZE",
+    "DEFAULT_MIN_REFRESH_SAMPLES",
+    "LiveRecommender",
+    "LiveUpdate",
+]
+
+#: Samples required before the first recommendation is issued -- two
+#: hours at the DMA cadence, enough for the profiler's summary
+#: statistics to mean anything.
+DEFAULT_MIN_REFRESH_SAMPLES = 12
+
+#: Default curve-cache capacity of one live assessment.  Live windows
+#: fingerprint freshly after every drift, so only repeated windows
+#: ever hit; a small cache captures those without hoarding memory.
+DEFAULT_LIVE_CACHE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class LiveUpdate:
+    """Outcome of observing one telemetry sample.
+
+    Attributes:
+        n_seen: Samples the stream has delivered so far.
+        n_window: Samples currently inside the assessment window.
+        refreshed: Whether this sample triggered a full re-assessment.
+        drift: The drift check that made the call (None while warming
+            up or on the very first assessment).
+        recommendation: The current recommendation -- fresh when
+            ``refreshed``, otherwise the still-valid previous one;
+            None during warm-up.
+    """
+
+    n_seen: int
+    n_window: int
+    refreshed: bool
+    drift: DriftReport | None
+    recommendation: DopplerRecommendation | None
+
+    @property
+    def has_recommendation(self) -> bool:
+        return self.recommendation is not None
+
+
+class LiveRecommender:
+    """Online assessment loop around a fitted :class:`DopplerEngine`.
+
+    Typical use::
+
+        live = LiveRecommender(engine, DeploymentType.SQL_DB, window=1008)
+        for sample in telemetry_feed:          # {dimension: value}
+            update = live.observe(sample)
+            if update.refreshed:
+                publish(update.recommendation)
+
+    Attributes:
+        engine: The wrapped engine (fit it first for profile-matched
+            selections; cold-start heuristics apply otherwise).
+        deployment: Target deployment type.
+        builder: The sliding-window trace ingester.
+        estimator: The incremental throttling estimator driving drift
+            detection.  For MI targets its estimates ignore the
+            per-refresh GP IOPS override (the file layout is only
+            planned during curve construction), so drift detection is
+            slightly conservative there; refreshes themselves always
+            run the exact two-step MI procedure.
+        detector: The drift detector gating refreshes.
+        cache: Memoized curve store.  Drifted windows have fresh
+            fingerprints, so entries only pay off for repeated windows
+            (explicit refreshes, replayed feeds); a small private
+            cache is the default, and sharing one across live
+            assessments mainly bounds their collective footprint.
+        min_refresh_samples: Warm-up length before the first
+            recommendation.
+    """
+
+    def __init__(
+        self,
+        engine: DopplerEngine,
+        deployment: DeploymentType,
+        window: int = DEFAULT_STREAM_WINDOW,
+        interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES,
+        dimensions: tuple[PerfDimension, ...] | None = None,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        min_refresh_samples: int = DEFAULT_MIN_REFRESH_SAMPLES,
+        cache: CurveCache | None = None,
+        entity_id: str = "live",
+    ) -> None:
+        if min_refresh_samples < 1:
+            raise ValueError(
+                f"min_refresh_samples must be >= 1, got {min_refresh_samples!r}"
+            )
+        if window < min_refresh_samples:
+            # The warm-up gate compares against n_window, which never
+            # exceeds the window: a smaller window would wait forever.
+            raise ValueError(
+                f"window ({window}) must be >= min_refresh_samples "
+                f"({min_refresh_samples}), or no recommendation is ever issued"
+            )
+        if dimensions is None:
+            dimensions = (
+                DB_DIMENSIONS if deployment is DeploymentType.SQL_DB else MI_DIMENSIONS
+            )
+        self.engine = engine
+        self.deployment = deployment
+        self.min_refresh_samples = min_refresh_samples
+        self.builder = StreamingTraceBuilder(
+            dimensions=dimensions,
+            window=window,
+            interval_minutes=interval_minutes,
+            entity_id=entity_id,
+        )
+        # Curve construction filters candidates per snapshot (storage
+        # fit, MI tiers); the estimator tracks the full deployment
+        # candidate set so drift covers every SKU a refresh could rank.
+        candidates = list(engine.catalog.for_deployment(deployment))
+        self.estimator = IncrementalThrottlingEstimator(
+            candidates, dimensions, window=window
+        )
+        self._sku_names = tuple(sku.name for sku in candidates)
+        self.detector = DriftDetector(threshold=drift_threshold)
+        self.cache = cache if cache is not None else CurveCache(DEFAULT_LIVE_CACHE_SIZE)
+        self._catalog_signature = catalog_signature(engine.catalog)
+        self._recommendation: DopplerRecommendation | None = None
+        self._n_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # The service loop
+    # ------------------------------------------------------------------
+    def observe(self, sample: Mapping[PerfDimension, float]) -> LiveUpdate:
+        """Ingest one sample; refresh the recommendation if it drifted.
+
+        Per-sample cost is O(n_skus * n_dims) unless a refresh fires.
+        """
+        # The builder validates the sample once; the estimator takes
+        # the parsed row directly (same dimension tuple by construction).
+        row = self.builder.append(sample)
+        self.estimator.update_vector(row)
+        if self.builder.n_window < self.min_refresh_samples:
+            return self._update(refreshed=False, drift=None)
+        if self._recommendation is None:
+            self.refresh()
+            return self._update(refreshed=True, drift=None)
+        drift = self.detector.check_vector(self.estimator.probabilities())
+        if drift.drifted:
+            self.refresh()
+            return self._update(refreshed=True, drift=drift)
+        return self._update(refreshed=False, drift=drift)
+
+    def refresh(self) -> DopplerRecommendation:
+        """Run the full assessment on the current window, now.
+
+        Rebases drift detection on the estimates the new curve was
+        built from, so subsequent drift means "the world moved since
+        this recommendation".
+        """
+        trace = self.builder.snapshot()
+        key = curve_cache_key(
+            trace, self.deployment.value, None, self._catalog_signature
+        )
+        curve = self.cache.get_or_build(
+            key, lambda: self.engine.ppm.build_curve(trace, self.deployment)
+        )
+        self._recommendation = self.engine.recommend(
+            trace, self.deployment, curve=curve
+        )
+        self.detector.rebase_vector(
+            self._sku_names, self.estimator.probabilities()
+        )
+        self._n_refreshes += 1
+        return self._recommendation
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def recommendation(self) -> DopplerRecommendation | None:
+        """The recommendation currently in force, if any."""
+        return self._recommendation
+
+    @property
+    def n_refreshes(self) -> int:
+        """Full re-assessments performed so far."""
+        return self._n_refreshes
+
+    def _update(self, refreshed: bool, drift: DriftReport | None) -> LiveUpdate:
+        return LiveUpdate(
+            n_seen=self.builder.n_seen,
+            n_window=self.builder.n_window,
+            refreshed=refreshed,
+            drift=drift,
+            recommendation=self._recommendation,
+        )

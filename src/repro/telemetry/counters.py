@@ -18,15 +18,37 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from ..catalog.models import ResourceLimits
 
 __all__ = [
+    "LATENCY_FLOOR",
     "PerfDimension",
+    "invert_latency",
     "DB_DIMENSIONS",
     "MI_DIMENSIONS",
     "PROFILING_DB_DIMENSIONS",
     "PROFILING_MI_DIMENSIONS",
 ]
+
+#: Floor applied to latency values before inversion, on both the
+#: demand and capacity side: zero-latency samples from idle periods
+#: and zero/degenerate latency limits become a large-but-finite
+#: inverted value instead of a division error or ``inf``.
+LATENCY_FLOOR = 1e-9
+
+
+def invert_latency(values):
+    """The paper's latency inversion, floored at :data:`LATENCY_FLOOR`.
+
+    The single definition of the inversion used by every estimator
+    (batch, incremental, serverless) on both sides of the predicate --
+    demand and capacity must transform identically or the
+    ``demand > capacity`` comparison silently skews.  Accepts scalars
+    or arrays.
+    """
+    return 1.0 / np.maximum(values, LATENCY_FLOOR)
 
 
 class PerfDimension(enum.Enum):
@@ -86,10 +108,7 @@ class PerfDimension(enum.Enum):
         capacity = self.capacity_of(limits)
         if not self.lower_is_better:
             return observed, capacity
-        # Guard against zero-latency samples from idle periods: treat
-        # them as an (arbitrarily) very fast requirement floor.
-        demand = 1.0 / max(observed, 1e-9)
-        return demand, 1.0 / capacity
+        return float(invert_latency(observed)), float(invert_latency(capacity))
 
 
 #: Dimensions used to build price-performance curves for SQL DB

@@ -164,3 +164,66 @@ class TestOverProvisioning:
         engine = DopplerEngine(catalog=small_catalog)
         with pytest.raises(KeyError):
             engine.assess_over_provisioning(full_trace(), DeploymentType.SQL_DB, "nope")
+
+
+class TestRecommendationReporting:
+    """Regression: reported throttling must be the raw curve probability.
+
+    The monotonicity adjustment can lift `score` above
+    ``1 - throttling_probability``, and even for unlifted points
+    ``1.0 - (1.0 - p)`` drifts from ``p`` in floats; the report fields
+    must come from ``point.throttling_probability`` directly.
+    """
+
+    def test_cold_start_reports_raw_curve_probability(self, small_catalog):
+        from repro.core import PricePerformanceCurve
+
+        engine = DopplerEngine(catalog=small_catalog)
+        skus = sorted(
+            small_catalog.for_deployment(DeploymentType.SQL_DB),
+            key=lambda sku: (sku.monthly_price, sku.vcores),
+        )
+        probabilities = np.full(len(skus), 0.5)
+        probabilities[0] = 1.0 / 300.0  # full performance; 1-(1-p) != p
+        assert 1.0 - (1.0 - probabilities[0]) != probabilities[0]
+        curve = PricePerformanceCurve.from_probabilities(
+            skus, probabilities, entity_id="reporting"
+        )
+        result = engine.recommend(full_trace(), DeploymentType.SQL_DB, curve=curve)
+        assert result.strategy == "cheapest_full_performance"
+        point = result.curve.point_for(result.sku.name)
+        assert result.expected_throttling == point.throttling_probability
+        assert result.target_probability == point.throttling_probability
+        assert result.expected_throttling == probabilities[0]
+
+    def test_lifted_point_keeps_raw_probability_distinct_from_score(self, small_catalog):
+        from repro.core import PricePerformanceCurve
+
+        skus = sorted(
+            small_catalog.for_deployment(DeploymentType.SQL_DB),
+            key=lambda sku: (sku.monthly_price, sku.vcores),
+        )[:2]
+        curve = PricePerformanceCurve.from_probabilities(skus, np.array([0.2, 0.6]))
+        lifted = curve.points[1]
+        assert lifted.score == 0.8  # lifted by the cheaper, better SKU
+        assert lifted.throttling_probability == 0.6  # the real risk
+
+    def test_training_observation_records_raw_risk_of_lifted_choice(self, small_catalog):
+        from repro.core import PricePerformanceCurve
+
+        engine = DopplerEngine(catalog=small_catalog)
+        skus = sorted(
+            small_catalog.for_deployment(DeploymentType.SQL_DB),
+            key=lambda sku: (sku.monthly_price, sku.vcores),
+        )[:2]
+        curve = PricePerformanceCurve.from_probabilities(skus, np.array([0.2, 0.6]))
+        record = CloudCustomerRecord(
+            trace=full_trace(),
+            deployment=DeploymentType.SQL_DB,
+            chosen_sku_name=skus[1].name,  # the lifted point
+            days_on_sku=60.0,
+        )
+        observation = engine.training_observation(
+            record, exclude_over_provisioned=False, curve=curve
+        )
+        assert observation.throttling_probability == 0.6  # raw, not 1 - 0.8

@@ -128,3 +128,44 @@ class TestKdeEstimator:
             trace, [make_sku(v) for v in (2, 8, 32)], DIMS2
         )
         assert probs[0] >= probs[1] >= probs[2]
+
+
+class TestDegenerateLatencyCapacity:
+    """Regression: zero/degenerate latency limits must floor, not blow up."""
+
+    class ZeroLatencyLimits:
+        """Duck-typed limits with a degenerate zero latency floor."""
+
+        vcores = 4.0
+        max_memory_gb = 20.0
+        max_data_iops = 1280.0
+        max_log_rate_mbps = 15.0
+        max_data_size_gb = 1024.0
+        min_io_latency_ms = 0.0
+
+    def test_subnormal_latency_limit_inverts_to_the_floor(self):
+        sku = make_sku(4, latency_ms=1e-320)  # positive, finite, absurd
+        caps = capacity_vector(sku.limits, (PerfDimension.IO_LATENCY,))
+        assert np.all(np.isfinite(caps))
+        assert caps[0] == 1.0 / 1e-9  # same floor the demand side applies
+
+    def test_zero_latency_capacity_does_not_divide_by_zero(self):
+        caps = capacity_vector(self.ZeroLatencyLimits(), (PerfDimension.IO_LATENCY,))
+        assert caps[0] == 1.0 / 1e-9
+
+    def test_demand_and_capacity_floors_zero_latency(self):
+        demand, capacity = PerfDimension.IO_LATENCY.demand_and_capacity(
+            2.0, self.ZeroLatencyLimits()
+        )
+        assert demand == 0.5
+        assert capacity == 1.0 / 1e-9
+
+    def test_probabilities_stay_finite_and_bounded(self):
+        trace = make_trace(np.ones(8), io_latency_ms=np.full(8, 3.0))
+        p = EmpiricalThrottlingEstimator().probability(
+            trace,
+            make_sku(4, latency_ms=1e-320),
+            (PerfDimension.CPU, PerfDimension.IO_LATENCY),
+        )
+        assert np.isfinite(p)
+        assert 0.0 <= p <= 1.0
