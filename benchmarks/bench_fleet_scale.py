@@ -1,26 +1,42 @@
-"""Fleet-scale throughput benchmark: customers/sec, serial vs parallel.
+"""Fleet-scale throughput benchmark: columnar vs per-customer vs parallel.
 
 Generates synthetic customer populations with :mod:`repro.workloads`,
-fits a Doppler engine on a simulated migrated fleet, then measures the
-:class:`~repro.fleet.engine.FleetEngine` recommendation throughput at
-several fleet sizes -- once on the serial backend, once on the
-parallel backend -- and verifies the two passes produce byte-identical
-results (the fleet determinism contract).
+then measures the :class:`~repro.fleet.engine.FleetEngine` fit +
+recommendation throughput at several fleet sizes along three paths:
+
+* **columnar** (serial backend, the default batch kernel: one
+  capacity matrix and one curve-cache key-batch per chunk),
+* **per-customer** (serial backend with ``columnar=False`` -- the
+  pre-columnar reference path), and
+* **parallel** (columnar over the thread/process pool).
+
+Every pass must produce byte-identical recommendations (the fleet
+determinism contract, asserted here), and on a full run the columnar
+path must deliver at least ``--min-columnar-speedup`` (default 3x)
+the per-customer fit+recommend throughput.
 
 Standalone script (not a pytest benchmark)::
 
     python benchmarks/bench_fleet_scale.py            # 100 / 1000 / 5000
     python benchmarks/bench_fleet_scale.py --smoke    # tiny CI-sized run
 
-Exit status: 1 when parallel results differ from serial, 2 when the
-parallel speedup misses the threshold on a multi-core machine.
+Emits a machine-readable perf record to
+``benchmarks/results/BENCH_fleet.json`` (same record shape as
+``BENCH_streaming.json``; uploaded as a CI artifact and diffed across
+commits by ``benchmarks/perf_trend.py``).
+
+Exit status: 1 when any pass is not byte-identical, 2 when the
+parallel speedup misses the threshold on a multi-core machine, 3 when
+the columnar speedup misses the threshold.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -46,7 +62,9 @@ from repro.workloads import (
     generate_trace,
 )
 
-RESULTS_PATH = Path(__file__).parent / "results" / "fleet_scale.txt"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "fleet_scale.txt"
+JSON_PATH = RESULTS_DIR / "BENCH_fleet.json"
 
 
 def make_customers(
@@ -119,6 +137,18 @@ def canonical_bytes(results: list[FleetRecommendation]) -> bytes:
     return "\n".join(lines).encode("utf-8")
 
 
+def fit_fitted_engine(
+    records, catalog: SkuCatalog, columnar: bool
+) -> tuple[FleetEngine, float]:
+    """A freshly fitted serial fleet engine plus its fit wall time."""
+    fleet = FleetEngine(
+        engine=DopplerEngine(catalog=catalog), backend="serial", columnar=columnar
+    )
+    start = time.perf_counter()
+    fleet.fit_fleet(records)
+    return fleet, time.perf_counter() - start
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -129,7 +159,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny fast run for CI: small fleet, short traces, no speedup gate",
+        help="tiny fast run for CI: small fleet, short traces, no speedup gates",
     )
     parser.add_argument(
         "--backend",
@@ -148,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="required parallel/serial speedup on >= 2 cores (default: 2.0)",
+    )
+    parser.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=3.0,
+        help="required columnar/per-customer serial fit+recommend speedup (default: 3.0)",
     )
     parser.add_argument("--seed", type=int, default=2022)
     args = parser.parse_args(argv)
@@ -172,68 +208,132 @@ def main(argv: list[str] | None = None) -> int:
     ]
 
     catalog = SkuCatalog.default()
-    engine = DopplerEngine(catalog=catalog)
-    print(f"Training on {train_size} simulated migrated customers ...")
+    print(f"Training on {train_size} simulated migrated customers (both paths) ...")
     train_config = FleetConfig.paper_db(
         train_size, duration_days=duration, interval_minutes=interval
     )
     train_fleet = simulate_fleet(train_config, catalog, rng=args.seed)
-    FleetEngine(engine=engine, backend="serial").fit_fleet(
-        [customer.record for customer in train_fleet]
+    records = [customer.record for customer in train_fleet]
+    # Columnar first: the per-customer pass then reuses the traces'
+    # memoized demand matrices, keeping the comparison conservative.
+    columnar_fleet, columnar_fit_seconds = fit_fitted_engine(records, catalog, True)
+    per_customer_fleet, per_customer_fit_seconds = fit_fitted_engine(
+        records, catalog, False
     )
+    fit_line = (
+        f"fit n={len(records):>5}  per-customer {len(records) / per_customer_fit_seconds:>8.1f} rec/s "
+        f"({per_customer_fit_seconds:.2f}s)  columnar {len(records) / columnar_fit_seconds:>8.1f} rec/s "
+        f"({columnar_fit_seconds:.2f}s)  speedup "
+        f"{per_customer_fit_seconds / columnar_fit_seconds:.2f}x"
+    )
+    print(fit_line)
+    lines.append(fit_line)
 
     failed_identity = False
     failed_speedup = False
+    failed_columnar = False
+    size_records = []
     for size in sizes:
         print(f"Generating {size} synthetic customers ...")
         customers = make_customers(size, duration, interval, seed=args.seed + size)
 
-        serial_engine = FleetEngine(engine=engine, backend="serial")
         start = time.perf_counter()
-        serial_results = list(serial_engine.recommend_fleet(customers))
-        serial_seconds = time.perf_counter() - start
+        columnar_results = list(columnar_fleet.recommend_fleet(customers))
+        columnar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        per_customer_results = list(per_customer_fleet.recommend_fleet(customers))
+        per_customer_seconds = time.perf_counter() - start
 
         parallel_engine = FleetEngine(
-            engine=engine, backend=args.backend, max_workers=workers
+            engine=columnar_fleet.engine, backend=args.backend, max_workers=workers
         )
         start = time.perf_counter()
         parallel_results = list(parallel_engine.recommend_fleet(customers))
         parallel_seconds = time.perf_counter() - start
 
-        serial_blob = canonical_bytes(serial_results)
+        columnar_blob = canonical_bytes(columnar_results)
+        per_customer_blob = canonical_bytes(per_customer_results)
         parallel_blob = canonical_bytes(parallel_results)
-        identical = serial_blob == parallel_blob
-        digest = hashlib.sha256(serial_blob).hexdigest()[:16]
-        speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
-        summary = summarize_fleet(serial_results)
+        identical_columnar = columnar_blob == per_customer_blob
+        identical_parallel = columnar_blob == parallel_blob
+        digest = hashlib.sha256(columnar_blob).hexdigest()[:16]
+        parallel_speedup = (
+            columnar_seconds / parallel_seconds if parallel_seconds else 0.0
+        )
+        # The acceptance metric: whole-pass (fit + recommend) speedup
+        # of the columnar path over the per-customer path.
+        columnar_speedup = (per_customer_fit_seconds + per_customer_seconds) / (
+            columnar_fit_seconds + columnar_seconds
+        )
+        summary = summarize_fleet(columnar_results)
         line = (
-            f"n={size:>6}  serial {size / serial_seconds:>8.1f} cust/s "
-            f"({serial_seconds:.2f}s)  parallel {size / parallel_seconds:>8.1f} cust/s "
-            f"({parallel_seconds:.2f}s)  speedup {speedup:.2f}x  "
-            f"identical={identical}  sha256[:16]={digest}  "
+            f"n={size:>6}  per-customer {size / per_customer_seconds:>8.1f} cust/s "
+            f"({per_customer_seconds:.2f}s)  columnar {size / columnar_seconds:>8.1f} cust/s "
+            f"({columnar_seconds:.2f}s)  columnar-speedup(fit+rec) {columnar_speedup:.2f}x  "
+            f"parallel {size / parallel_seconds:>8.1f} cust/s speedup {parallel_speedup:.2f}x  "
+            f"identical={identical_columnar and identical_parallel}  sha256[:16]={digest}  "
             f"recommended={summary.n_recommended} failed={summary.n_failed}"
         )
         print(line)
         lines.append(line)
-        if not identical:
+        size_records.append(
+            {
+                "n_customers": size,
+                "per_customer_cust_per_sec": size / per_customer_seconds,
+                "columnar_cust_per_sec": size / columnar_seconds,
+                "parallel_cust_per_sec": size / parallel_seconds,
+                "columnar_fit_plus_recommend_speedup": columnar_speedup,
+                "parallel_speedup": parallel_speedup,
+                "identical_columnar": identical_columnar,
+                "identical_parallel": identical_parallel,
+                "n_recommended": summary.n_recommended,
+                "n_failed": summary.n_failed,
+            }
+        )
+        if not (identical_columnar and identical_parallel):
             failed_identity = True
-
-        if cores >= 2 and not args.smoke and speedup < args.min_speedup:
-            failed_speedup = True
+        if not args.smoke:
+            if cores >= 2 and parallel_speedup < args.min_speedup:
+                failed_speedup = True
+            if columnar_speedup < args.min_columnar_speedup:
+                failed_columnar = True
 
     if cores < 2:
-        note = f"single-core machine: {args.min_speedup:.1f}x speedup gate not applicable"
+        note = f"single-core machine: {args.min_speedup:.1f}x parallel gate not applicable"
         print(note)
         lines.append(note)
-    elif args.smoke:
-        lines.append("smoke mode: speedup gate skipped (timing noise on shared CI runners)")
+    if args.smoke:
+        lines.append("smoke mode: speedup gates skipped (timing noise on shared CI runners)")
 
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    record = {
+        "benchmark": "fleet",
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "backend": args.backend,
+        "workers": workers,
+        "cores": cores,
+        "min_speedup": args.min_speedup,
+        "min_columnar_speedup": args.min_columnar_speedup,
+        "fit": {
+            "n_records": len(records),
+            "per_customer_records_per_sec": len(records) / per_customer_fit_seconds,
+            "columnar_records_per_sec": len(records) / columnar_fit_seconds,
+        },
+        "sizes": size_records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     RESULTS_PATH.write_text("\n".join(lines) + "\n", encoding="utf-8")
     print(f"Report written to {RESULTS_PATH}")
+    print(f"Perf record written to {JSON_PATH}")
 
     if failed_identity:
-        print("FAIL: parallel results are not byte-identical to serial", file=sys.stderr)
+        print(
+            "FAIL: columnar/per-customer/parallel passes are not byte-identical",
+            file=sys.stderr,
+        )
         return 1
     if failed_speedup:
         print(
@@ -242,6 +342,13 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if failed_columnar:
+        print(
+            f"FAIL: columnar fit+recommend speedup below "
+            f"{args.min_columnar_speedup:.1f}x over the per-customer path",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

@@ -16,12 +16,23 @@ Standalone script (not a pytest benchmark)::
     python benchmarks/bench_streaming.py           # 1000 samples x 50 SKUs
     python benchmarks/bench_streaming.py --smoke   # tiny CI-sized run
 
+Also benchmarks the streaming profiling path: per-dimension
+:class:`~repro.telemetry.streaming.StreamingSeriesStats` (windowed
+moments, extremes and quantile sketches maintained in O(1) per
+sample) against re-running the thresholding summarizer over the full
+window each sample, with an accuracy gate on the sketch's documented
+rank error and an O(1) gate on the per-sample cost across window
+lengths.
+
 Emits a machine-readable perf record to
 ``benchmarks/results/BENCH_streaming.json`` (uploaded as a CI
-artifact) so the perf trajectory accumulates across commits.
+artifact) so the perf trajectory accumulates across commits;
+``benchmarks/perf_trend.py`` diffs these records between runs.
 
 Exit status: 1 when incremental and batch probabilities disagree,
-2 when the speedup misses the threshold.
+2 when the estimator speedup misses the threshold, 3 when streaming
+profiling diverges from the window re-scan, 4 when streaming
+profiling misses its O(1)/speedup contract.
 """
 
 from __future__ import annotations
@@ -50,8 +61,9 @@ from repro import (
     StreamingTraceBuilder,
 )
 from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
-from repro.core import EmpiricalThrottlingEstimator
-from repro.telemetry.counters import DB_DIMENSIONS
+from repro.core import CustomerProfiler, EmpiricalThrottlingEstimator, ThresholdingSummarizer
+from repro.telemetry import StreamingSeriesStats
+from repro.telemetry.counters import DB_DIMENSIONS, PROFILING_DB_DIMENSIONS
 
 RESULTS_DIR = Path(__file__).parent / "results"
 JSON_PATH = RESULTS_DIR / "BENCH_streaming.json"
@@ -138,6 +150,87 @@ def bench_estimators(
     }
 
 
+def bench_profiling(
+    samples: list[dict[PerfDimension, float]], window: int
+) -> dict:
+    """Streaming profiling refresh vs per-sample window re-scan.
+
+    Maintains one :class:`StreamingSeriesStats` per profiled dimension
+    (O(1) ingestion + O(1)-in-window summarizer evaluation) against
+    the batch path that re-runs the thresholding summarizer over the
+    full window on every sample.  Verifies the two paths agree on the
+    near-peak fraction within the sketch's documented rank error.
+    """
+    summarizer = ThresholdingSummarizer()
+    profiler = CustomerProfiler(
+        dimensions=PROFILING_DB_DIMENSIONS, summarizer=summarizer
+    )
+    dims = PROFILING_DB_DIMENSIONS
+    # Replay the feed twice so the sliding window saturates and the
+    # re-scan path pays its real full-window cost for half the run.
+    feed = samples + samples
+
+    stats = {dim: StreamingSeriesStats(window=window) for dim in dims}
+    start = time.perf_counter()
+    for sample in feed:
+        for dim in dims:
+            stats[dim].update(sample[dim])
+        streaming_profile = profiler.profile_streaming(stats)
+    streaming_seconds = time.perf_counter() - start
+
+    builder = StreamingTraceBuilder(dims, window=window)
+    start = time.perf_counter()
+    for sample in feed:
+        builder.append(sample)
+        rescan_profile = profiler.profile(builder.snapshot())
+    rescan_seconds = time.perf_counter() - start
+
+    # Accuracy: thresholding features carry only sketch rank error
+    # (plus the one-block coverage overhang); the bound below is the
+    # documented sketch tolerance with slack for the overhang.
+    max_feature_diff = float(
+        np.max(np.abs(streaming_profile.features - rescan_profile.features))
+    )
+    n = len(feed)
+    return {
+        "n_samples": n,
+        "window": window,
+        "n_dims": len(dims),
+        "streaming_updates_per_sec": n / streaming_seconds,
+        "rescan_updates_per_sec": n / rescan_seconds,
+        "speedup": rescan_seconds / streaming_seconds,
+        "max_feature_diff": max_feature_diff,
+        "group_keys_agree": streaming_profile.group_key == rescan_profile.group_key,
+    }
+
+
+def bench_profiling_scaling(seed: int, n_samples: int = 1200) -> dict:
+    """Per-sample profiling cost at two window lengths.
+
+    The O(1) evidence: quadrupling the window must not materially move
+    the streaming path's per-sample cost (the re-scan path's cost
+    grows linearly with the window by construction).
+    """
+    rng = np.random.default_rng(seed)
+    values = np.abs(rng.normal(10.0, 4.0, n_samples))
+    summarizer = ThresholdingSummarizer()
+    per_sample_seconds = {}
+    for window in (288, 1152):
+        stats = StreamingSeriesStats(window=window)
+        start = time.perf_counter()
+        for value in values:
+            stats.update(value)
+            summarizer.summarize_streaming(stats)
+        per_sample_seconds[window] = (time.perf_counter() - start) / n_samples
+    small, large = per_sample_seconds[288], per_sample_seconds[1152]
+    return {
+        "n_samples": n_samples,
+        "windows": [288, 1152],
+        "per_sample_us": {str(w): s * 1e6 for w, s in per_sample_seconds.items()},
+        "cost_ratio_4x_window": large / small if small else float("inf"),
+    }
+
+
 def bench_live_loop(samples: list[dict[PerfDimension, float]], window: int) -> dict:
     """End-to-end LiveRecommender observe() throughput."""
     engine = DopplerEngine(catalog=SkuCatalog.default())
@@ -191,6 +284,21 @@ def main(argv: list[str] | None = None) -> int:
         f"   max|diff| {estimator_record['max_abs_diff']:.2e}"
     )
 
+    profile_window = min(n_samples, 1008)  # one week at the DMA cadence
+    print(f"Streaming profiling benchmark: window {profile_window} ...")
+    profiling_record = bench_profiling(samples, window=profile_window)
+    print(
+        f"  streaming {profiling_record['streaming_updates_per_sec']:>10.0f} profiles/s"
+        f"   re-scan {profiling_record['rescan_updates_per_sec']:>8.1f} profiles/s"
+        f"   speedup {profiling_record['speedup']:.1f}x"
+        f"   max|feature diff| {profiling_record['max_feature_diff']:.2e}"
+    )
+    scaling_record = bench_profiling_scaling(seed=args.seed)
+    print(
+        f"  per-sample cost at 4x window: {scaling_record['cost_ratio_4x_window']:.2f}x"
+        " (O(1) contract: should stay near 1x)"
+    )
+
     live_window = min(n_samples, 288)
     print(f"Live recommendation loop: window {live_window} over the default catalog ...")
     live_record = bench_live_loop(samples, window=live_window)
@@ -207,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "min_speedup": args.min_speedup,
         "estimator": estimator_record,
+        "profiling": profiling_record,
+        "profiling_scaling": scaling_record,
         "live_loop": live_record,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -227,18 +337,44 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    # Accuracy gates run in every mode; only timing gates are
+    # smoke-exempt.  Tolerance: the sketch's documented rank error
+    # (1/63) plus the one-block coverage overhang on a drifting feed.
+    if (
+        profiling_record["max_feature_diff"] > 0.05
+        or not profiling_record["group_keys_agree"]
+    ):
+        print(
+            f"FAIL: streaming profiling diverges from the window re-scan "
+            f"(max feature diff {profiling_record['max_feature_diff']:.3f}, "
+            f"group keys agree: {profiling_record['group_keys_agree']})",
+            file=sys.stderr,
+        )
+        return 3
     if args.smoke:
-        # Same policy as bench_fleet_scale: correctness (the 1e-12
-        # agreement above) gates CI, timing does not -- shared runners
+        # Same policy as bench_fleet_scale: correctness (the agreement
+        # gates above) blocks CI, timing does not -- shared runners
         # are too noisy for a hard speedup threshold on a tiny run.
-        print("smoke mode: speedup gate skipped (timing noise on shared CI runners)")
-    elif estimator_record["speedup"] < args.min_speedup:
+        print("smoke mode: speedup gates skipped (timing noise on shared CI runners)")
+        return 0
+    if estimator_record["speedup"] < args.min_speedup:
         print(
             f"FAIL: incremental speedup {estimator_record['speedup']:.1f}x "
             f"below the {args.min_speedup:.1f}x threshold",
             file=sys.stderr,
         )
         return 2
+    if (
+        profiling_record["speedup"] < 3.0
+        or scaling_record["cost_ratio_4x_window"] > 2.0
+    ):
+        print(
+            f"FAIL: streaming profiling is not O(1) per sample "
+            f"(speedup {profiling_record['speedup']:.1f}x vs re-scan, "
+            f"4x-window cost ratio {scaling_record['cost_ratio_4x_window']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 

@@ -1,0 +1,167 @@
+"""Perf-trend diff over the machine-readable benchmark records.
+
+``bench_streaming.py`` and ``bench_fleet_scale.py`` emit
+``BENCH_<name>.json`` records in a shared shape (a ``benchmark``
+discriminator plus nested sections whose throughput metrics end in
+``_per_sec``).  This tool diffs two directories of such records --
+typically the previous CI run's artifact against the current one --
+and flags every throughput metric that regressed by more than the
+threshold (default 20 %).
+
+Usage::
+
+    python benchmarks/perf_trend.py --baseline prev/ --current benchmarks/results/
+    python benchmarks/perf_trend.py --baseline prev/ --current ... --warn-only
+
+Exit status: 1 when any metric regressed beyond the threshold (0
+under ``--warn-only``, which still prints the flags -- CI uses it
+because shared-runner smoke timings are noisy); 0 when clean or when
+either side has no records to compare (first run, new benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metric-name suffix marking a higher-is-better throughput leaf.
+METRIC_SUFFIX = "_per_sec"
+
+
+def load_records(directory: Path) -> dict[str, dict]:
+    """``{benchmark name: record}`` from every BENCH_*.json in a dir."""
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"note: skipping unreadable record {path}: {exc}", file=sys.stderr)
+            continue
+        name = record.get("benchmark")
+        if isinstance(name, str):
+            records[name] = record
+    return records
+
+
+def collect_metrics(record, prefix: str = "") -> dict[str, float]:
+    """Flatten a record to ``{dotted.path: value}`` throughput leaves.
+
+    Only numeric leaves whose key ends in ``_per_sec`` participate in
+    the trend: counters, flags and derived ratios carry no
+    higher-is-better contract.  Lists recurse with their index in the
+    path, so per-size fleet sections stay distinguishable.
+    """
+    metrics: dict[str, float] = {}
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                metrics.update(collect_metrics(value, path))
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and str(key).endswith(METRIC_SUFFIX)
+            ):
+                metrics[path] = float(value)
+    elif isinstance(record, list):
+        for index, item in enumerate(record):
+            metrics.update(collect_metrics(item, f"{prefix}[{index}]"))
+    return metrics
+
+
+def compare_records(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    threshold: float = 0.2,
+) -> tuple[list[tuple[str, float, float, float]], list[str]]:
+    """Regressions beyond ``threshold`` plus human-readable notes.
+
+    Returns:
+        ``(regressions, notes)`` where each regression is
+        ``(metric path, baseline value, current value, fractional
+        change)`` with change negative for slowdowns, and notes
+        describe comparability gaps (missing records or metrics).
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be a fraction in (0, 1), got {threshold!r}")
+    regressions: list[tuple[str, float, float, float]] = []
+    notes: list[str] = []
+    for name, base_record in sorted(baseline.items()):
+        current_record = current.get(name)
+        if current_record is None:
+            notes.append(f"benchmark {name!r} missing from the current run")
+            continue
+        if bool(base_record.get("smoke")) != bool(current_record.get("smoke")):
+            notes.append(
+                f"benchmark {name!r}: smoke flags differ between runs; "
+                "throughputs are not comparable, skipping"
+            )
+            continue
+        base_metrics = collect_metrics(base_record)
+        current_metrics = collect_metrics(current_record)
+        for metric, base_value in sorted(base_metrics.items()):
+            current_value = current_metrics.get(metric)
+            if current_value is None:
+                notes.append(f"{name}: metric {metric} missing from the current run")
+                continue
+            if base_value <= 0:
+                continue
+            change = (current_value - base_value) / base_value
+            if change < -threshold:
+                regressions.append((f"{name}:{metric}", base_value, current_value, change))
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True, help="directory of baseline BENCH_*.json"
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True, help="directory of current BENCH_*.json"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="fractional throughput drop that counts as a regression (default: 0.2)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print flags but exit 0 (for noisy shared CI runners)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline) if args.baseline.is_dir() else {}
+    current = load_records(args.current) if args.current.is_dir() else {}
+    if not baseline:
+        print(f"no baseline records under {args.baseline}; nothing to compare")
+        return 0
+    if not current:
+        print(f"no current records under {args.current}; nothing to compare")
+        return 0
+
+    regressions, notes = compare_records(baseline, current, threshold=args.threshold)
+    for note in notes:
+        print(f"note: {note}")
+    compared = sorted(set(baseline) & set(current))
+    print(f"compared benchmarks: {', '.join(compared) if compared else 'none'}")
+    if not regressions:
+        print(f"no throughput regressions beyond {args.threshold:.0%}")
+        return 0
+    for metric, base_value, current_value, change in regressions:
+        print(
+            f"REGRESSION {metric}: {base_value:,.1f} -> {current_value:,.1f} "
+            f"({change:+.1%})"
+        )
+    if args.warn_only:
+        print("warn-only mode: exiting 0 despite regressions")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,12 +40,16 @@ from .persistence import (
 from .ppm import MiStoragePlan, PricePerformanceModeler
 from .profiler import CustomerProfile, CustomerProfiler, group_key_to_label
 from .throttling import (
+    DEFAULT_KERNEL_MEMORY_CAP_MB,
     CopulaThrottlingEstimator,
     EmpiricalThrottlingEstimator,
     KdeThrottlingEstimator,
     ThrottlingEstimator,
+    batch_violation_counts,
+    capacity_matrix,
     capacity_vector,
     demand_matrix,
+    violation_counts,
 )
 from .types import CloudCustomerRecord, DopplerRecommendation, OverProvisionReport
 
@@ -89,8 +93,12 @@ __all__ = [
     "IncrementalThrottlingEstimator",
     "KdeThrottlingEstimator",
     "ThrottlingEstimator",
+    "DEFAULT_KERNEL_MEMORY_CAP_MB",
+    "batch_violation_counts",
+    "capacity_matrix",
     "capacity_vector",
     "demand_matrix",
+    "violation_counts",
     "CloudCustomerRecord",
     "DopplerRecommendation",
     "OverProvisionReport",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -34,9 +35,12 @@ class CurveShape(enum.Enum):
     COMPLEX = "complex"
 
 
-@dataclass(frozen=True, slots=True)
-class CurvePoint:
+class CurvePoint(NamedTuple):
     """One SKU's position on a price-performance curve.
+
+    A named tuple rather than a dataclass: fleet-scale passes create
+    hundreds of points per customer, and tuple construction is the
+    cheapest immutable record Python offers.
 
     Attributes:
         sku: The cloud target.
@@ -105,23 +109,64 @@ class PricePerformanceCurve:
             probabilities.min() < -1e-9 or probabilities.max() > 1.0 + 1e-9
         ):
             raise ValueError("throttling probabilities must lie in [0, 1]")
-        order = sorted(
-            range(len(skus)), key=lambda i: (skus[i].monthly_price, skus[i].vcores)
-        )
-        points = []
-        running_best = 0.0
-        for index in order:
-            raw_probability = float(np.clip(probabilities[index], 0.0, 1.0))
-            running_best = max(running_best, 1.0 - raw_probability)
-            points.append(
-                CurvePoint(
-                    sku=skus[index],
-                    monthly_price=skus[index].monthly_price,
-                    throttling_probability=raw_probability,
-                    score=running_best,
-                )
+        prices = np.array([sku.monthly_price for sku in skus])
+        vcores = np.array([sku.vcores for sku in skus])
+        # Stable (price, vcores) ordering; lexsort keys are applied
+        # last-key-primary and each pass is stable, so ties preserve
+        # input order exactly like sorted() with a key tuple.
+        order = np.lexsort((vcores, prices))
+        raw = np.clip(probabilities[order], 0.0, 1.0)
+        scores = np.maximum.accumulate(1.0 - raw)
+        points = tuple(
+            CurvePoint(
+                sku=skus[index],
+                monthly_price=float(prices[index]),
+                throttling_probability=float(raw[rank]),
+                score=float(scores[rank]),
             )
-        return cls(points=tuple(points), entity_id=entity_id)
+            for rank, index in enumerate(order)
+        )
+        return cls(points=points, entity_id=entity_id)
+
+    @classmethod
+    def from_price_ordered(
+        cls,
+        skus: Sequence[SkuSpec],
+        monthly_prices: Sequence[float],
+        probabilities: np.ndarray,
+        entity_id: str = "unnamed",
+    ) -> "PricePerformanceCurve":
+        """Trusted fast constructor for already-price-ordered SKUs.
+
+        The columnar fleet kernel's assembly path: the caller
+        guarantees ``skus`` are sorted by (monthly price, vCores) --
+        catalog order is -- and supplies the precomputed monthly
+        prices, so the per-curve sort and per-point price property
+        lookups of :meth:`from_probabilities` disappear.  Produces
+        bit-identical curves to :meth:`from_probabilities` for such
+        input (same clip, same running-max), and skips re-validating
+        the ordering the caller established (``__post_init__``-less
+        construction); misuse with unsorted SKUs is on the caller.
+        """
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.size and (
+            probabilities.min() < -1e-9 or probabilities.max() > 1.0 + 1e-9
+        ):
+            raise ValueError("throttling probabilities must lie in [0, 1]")
+        raw = np.clip(probabilities, 0.0, 1.0)
+        scores = np.maximum.accumulate(1.0 - raw)
+        points = tuple(
+            CurvePoint(sku, price, probability, score)
+            for sku, price, probability, score in zip(
+                skus, monthly_prices, raw.tolist(), scores.tolist()
+            )
+        )
+        if not points:
+            raise ValueError("a price-performance curve needs at least one point")
+        curve = object.__new__(cls)
+        object.__setattr__(curve, "points", points)
+        object.__setattr__(curve, "entity_id", entity_id)
+        return curve
 
     # ------------------------------------------------------------------
     # Introspection

@@ -29,7 +29,7 @@ from .heuristics import performance_threshold
 from .matching import GroupObservation, GroupScoreModel
 from .negotiability import NegotiabilitySummarizer, ThresholdingSummarizer
 from .ppm import PricePerformanceModeler
-from .profiler import CustomerProfiler
+from .profiler import CustomerProfile, CustomerProfiler
 from .throttling import EmpiricalThrottlingEstimator, ThrottlingEstimator
 from .types import CloudCustomerRecord, DopplerRecommendation, OverProvisionReport
 
@@ -207,6 +207,7 @@ class DopplerEngine:
         confidence_rounds: int = 12,
         rng: int | np.random.Generator | None = None,
         curve: PricePerformanceCurve | None = None,
+        profile: "CustomerProfile | None" = None,
     ) -> DopplerRecommendation:
         """Produce the full Doppler recommendation for one workload.
 
@@ -221,13 +222,17 @@ class DopplerEngine:
             curve: Optional pre-built price-performance curve for this
                 trace/deployment (the fleet engine passes memoized
                 curves here); built fresh when omitted.
+            profile: Optional pre-computed customer profile (the live
+                recommender passes streaming-maintained profiles
+                here); profiled from the trace when omitted.
 
         Returns:
             A :class:`DopplerRecommendation`.
         """
         if curve is None:
             curve = self.ppm.build_curve(trace, deployment, file_sizes_gib=file_sizes_gib)
-        profile = self.profiler_for(deployment).profile(trace)
+        if profile is None:
+            profile = self.profiler_for(deployment).profile(trace)
         model = self._group_models.get(deployment)
         notes: list[str] = []
         if model is not None:

@@ -29,7 +29,12 @@ from ..catalog.models import SkuSpec
 from ..telemetry.counters import PerfDimension
 from ..telemetry.streaming import parse_sample
 from ..telemetry.trace import PerformanceTrace
-from .throttling import ThrottlingEstimator, demand_matrix, invert_latency
+from .throttling import (
+    ThrottlingEstimator,
+    _violation_mask,
+    demand_matrix,
+    invert_latency,
+)
 
 __all__ = ["IncrementalThrottlingEstimator"]
 
@@ -75,6 +80,7 @@ class IncrementalThrottlingEstimator:
         self._caps = ThrottlingEstimator._capacity_matrix(
             list(skus), self.dimensions, iops_overrides
         )
+        self._iops_overrides = dict(iops_overrides) if iops_overrides else None
         self._invert = np.array([dim.lower_is_better for dim in self.dimensions])
         self._counts = np.zeros(len(self.skus), dtype=np.int64)
         self._ring = (
@@ -144,7 +150,10 @@ class IncrementalThrottlingEstimator:
         older ages out anyway).
         """
         demands = demand_matrix(trace, self.dimensions)
-        violated = (demands[:, None, :] > self._caps[None, :, :]).any(axis=2)
+        # Dimension-major kernel shared with the batch estimators: two
+        # 2-D temps instead of the (n_samples, n_skus, n_dims) 3-D
+        # broadcast, bit-identical comparisons.
+        violated = _violation_mask(demands, self._caps).T
         n_rows = len(violated)
         if self._ring is None:
             self._counts += violated.sum(axis=0, dtype=np.int64)
@@ -160,6 +169,61 @@ class IncrementalThrottlingEstimator:
             return
         for row in violated:  # partial batch: merge with surviving state
             self._apply_row(row)
+
+    @property
+    def iops_overrides(self) -> dict[str, float] | None:
+        """The per-SKU IOPS overrides folded into the capacity matrix."""
+        return dict(self._iops_overrides) if self._iops_overrides else None
+
+    def rebase_capacity(
+        self,
+        iops_overrides: dict[str, float] | None,
+        trace: PerformanceTrace | None = None,
+    ) -> None:
+        """Replace the IOPS overrides and rebuild window state.
+
+        The MI streaming-parity hook (paper Section 3.2 Step 2): the
+        GP IOPS capacity is the planned file layout's summed disk
+        limit, and the layout moves when the data footprint crosses a
+        disk-size boundary.  Counted violations in the window were
+        evaluated against the *old* capacities, so they cannot be
+        patched in place; the caller supplies the current window
+        (normally the live ring buffer's snapshot) and the estimator
+        re-derives counts against the new capacity matrix in one
+        vectorized pass -- an O(window) cost paid only when the layout
+        actually changes.
+
+        After the call the estimator matches a fresh
+        ``from_trace(trace, ..., iops_overrides=...)`` construction
+        exactly; ``n_seen`` restarts at the window length.
+
+        Args:
+            iops_overrides: The new per-SKU-name IOPS capacities
+                (None clears every override).
+            trace: The current assessment window to replay; omit only
+                when no samples have been ingested yet.
+
+        Raises:
+            ValueError: If samples were ingested but no trace is
+                given -- silently dropping the window would skew every
+                subsequent estimate.
+        """
+        if trace is None and self._n_seen > 0:
+            raise ValueError(
+                "rebase_capacity needs the current window trace once samples "
+                "have been ingested; the counted violations are stale under "
+                "the new capacity matrix"
+            )
+        self._caps = ThrottlingEstimator._capacity_matrix(
+            list(self.skus), self.dimensions, iops_overrides
+        )
+        self._iops_overrides = dict(iops_overrides) if iops_overrides else None
+        self._counts[:] = 0
+        if self._ring is not None:
+            self._ring[:] = False
+        self._n_seen = 0
+        if trace is not None:
+            self.ingest_trace(trace)
 
     def _apply_row(self, violated: np.ndarray) -> None:
         if self._ring is not None:

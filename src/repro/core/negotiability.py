@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -39,6 +40,7 @@ from ..ml.auc import ecdf_auc
 from ..ml.outliers import outlier_fraction
 from ..ml.scaling import max_scale, minmax_scale
 from ..ml.stl import stl_variance_score
+from ..telemetry.streaming import StreamingSeriesStats
 from ..telemetry.timeseries import TimeSeries
 
 __all__ = [
@@ -66,6 +68,40 @@ class NegotiabilitySummarizer(abc.ABC):
     @abc.abstractmethod
     def is_negotiable(self, series: TimeSeries) -> bool:
         """Binary negotiability decision for enumeration grouping."""
+
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        """``(features, is_negotiable)`` in one pass.
+
+        The profiling hot path needs both outputs per dimension;
+        summarizers whose decision derives from their feature scalar
+        override this to compute the statistic once.  The default
+        simply calls both methods.
+        """
+        return self.features(series), self.is_negotiable(series)
+
+    #: Whether :meth:`summarize_streaming` is implemented.  Streaming
+    #: profiling (the O(1)-per-sample refresh path) is only available
+    #: for summarizers whose statistics reduce to windowed moments,
+    #: extremes and rank queries.
+    supports_streaming: ClassVar[bool] = False
+
+    def summarize_streaming(
+        self, stats: StreamingSeriesStats
+    ) -> tuple[np.ndarray, bool]:
+        """``(features, is_negotiable)`` from incremental window state.
+
+        The streaming counterpart of :meth:`summarize`: instead of
+        re-scanning a series, evaluate the same statistic from a
+        :class:`~repro.telemetry.streaming.StreamingSeriesStats`
+        maintained in O(1) per sample.  Exact for the AUC summarizers
+        (their statistics are closed forms over windowed moments and
+        extremes); within the quantile sketch's documented rank error
+        for the thresholding algorithm.
+        """
+        raise NotImplementedError(
+            f"summarizer {self.name!r} has no streaming evaluation; "
+            "use one of the thresholding/AUC summarizers for live profiling"
+        )
 
 
 @dataclass(frozen=True)
@@ -103,6 +139,36 @@ class ThresholdingSummarizer(NegotiabilitySummarizer):
     def is_negotiable(self, series: TimeSeries) -> bool:
         return self.near_peak_fraction(series) < self.rho
 
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        fraction = self.near_peak_fraction(series)
+        return np.array([fraction]), fraction < self.rho
+
+    supports_streaming: ClassVar[bool] = True
+
+    def near_peak_fraction_streaming(self, stats: StreamingSeriesStats) -> float:
+        """Near-peak fraction from incremental window state.
+
+        Peak and spread are exact (monotonic deque / running moments);
+        the rank query runs on the window's quantile sketch and
+        inherits its two error terms: compression error (only
+        *upward* -- conservative, never negotiates away sustained
+        demand) and, transiently after a level shift, the
+        block-eviction coverage overhang, which can pull the fraction
+        toward the pre-shift level by up to ``block_size / window``
+        (~12.5 % at the adaptive default for windows >= 64 samples;
+        see :class:`StreamingSeriesStats`) until the stale block
+        expires.  Steady-state feeds see compression error only.
+        """
+        peak = stats.max
+        spread = stats.std
+        if spread == 0:
+            return 1.0
+        return stats.fraction_at_least(peak - self.window_sigmas * spread)
+
+    def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
+        fraction = self.near_peak_fraction_streaming(stats)
+        return np.array([fraction]), fraction < self.rho
+
 
 @dataclass(frozen=True)
 class MinMaxAucSummarizer(NegotiabilitySummarizer):
@@ -119,6 +185,28 @@ class MinMaxAucSummarizer(NegotiabilitySummarizer):
 
     def is_negotiable(self, series: TimeSeries) -> bool:
         return self.auc(series) > self.cutoff
+
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        auc = self.auc(series)
+        return np.array([auc]), auc > self.cutoff
+
+    supports_streaming: ClassVar[bool] = True
+
+    def auc_streaming(self, stats: StreamingSeriesStats) -> float:
+        """Closed-form windowed AUC: ``1 - (mean - min) / (max - min)``.
+
+        ``ecdf_auc(minmax_scale(x)) == 1 - mean((x - min)/(max - min))``,
+        which distributes over the running moments, so the streaming
+        value is exact up to running-sum float drift.
+        """
+        spread = stats.max - stats.min
+        if spread <= 0:
+            return 1.0  # constant window: minmax_scale maps to zeros
+        return 1.0 - (stats.mean - stats.min) / spread
+
+    def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
+        auc = self.auc_streaming(stats)
+        return np.array([auc]), auc > self.cutoff
 
 
 @dataclass(frozen=True)
@@ -137,6 +225,35 @@ class MaxAucSummarizer(NegotiabilitySummarizer):
     def is_negotiable(self, series: TimeSeries) -> bool:
         return self.auc(series) > self.cutoff
 
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        auc = self.auc(series)
+        return np.array([auc]), auc > self.cutoff
+
+    supports_streaming: ClassVar[bool] = True
+
+    def auc_streaming(self, stats: StreamingSeriesStats) -> float:
+        """Closed-form windowed AUC: ``1 - mean / max``.
+
+        Matches ``ecdf_auc(max_scale(x))`` exactly for the
+        non-negative counter streams the collector emits; a window
+        containing negative samples raises, mirroring the batch
+        path's normalization check, so exact and streaming profile
+        modes never silently diverge.
+        """
+        peak = stats.max
+        if peak <= 0:
+            return 1.0  # all-idle window: max_scale maps to zeros
+        if stats.min < 0:
+            raise ValueError(
+                f"max-scale AUC needs non-negative samples; window min is "
+                f"{stats.min:.4g}"
+            )
+        return 1.0 - stats.mean / peak
+
+    def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
+        auc = self.auc_streaming(stats)
+        return np.array([auc]), auc > self.cutoff
+
 
 @dataclass(frozen=True)
 class OutlierSummarizer(NegotiabilitySummarizer):
@@ -151,6 +268,10 @@ class OutlierSummarizer(NegotiabilitySummarizer):
 
     def is_negotiable(self, series: TimeSeries) -> bool:
         return outlier_fraction(series.values, n_sigma=self.n_sigma) > self.cutoff
+
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        fraction = outlier_fraction(series.values, n_sigma=self.n_sigma)
+        return np.array([fraction]), fraction > self.cutoff
 
 
 @dataclass(frozen=True)
@@ -202,6 +323,14 @@ class StlSummarizer(NegotiabilitySummarizer):
             and self._coefficient_of_variation(series) > self.min_variation
         )
 
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        score = self.score(series)  # one STL decomposition, not two
+        negotiable = (
+            score < self.cutoff
+            and self._coefficient_of_variation(series) > self.min_variation
+        )
+        return np.array([score]), negotiable
+
 
 @dataclass(frozen=True)
 class CombinedSummarizer(NegotiabilitySummarizer):
@@ -223,6 +352,24 @@ class CombinedSummarizer(NegotiabilitySummarizer):
 
     def is_negotiable(self, series: TimeSeries) -> bool:
         return self.auc.is_negotiable(series) and self.thresholding.is_negotiable(series)
+
+    def summarize(self, series: TimeSeries) -> tuple[np.ndarray, bool]:
+        auc_features, auc_negotiable = self.auc.summarize(series)
+        threshold_features, threshold_negotiable = self.thresholding.summarize(series)
+        return (
+            np.concatenate([auc_features, threshold_features]),
+            auc_negotiable and threshold_negotiable,
+        )
+
+    supports_streaming: ClassVar[bool] = True
+
+    def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
+        auc_features, auc_negotiable = self.auc.summarize_streaming(stats)
+        threshold_features, threshold_negotiable = self.thresholding.summarize_streaming(stats)
+        return (
+            np.concatenate([auc_features, threshold_features]),
+            auc_negotiable and threshold_negotiable,
+        )
 
 
 #: The six strategies compared in paper Table 4, in row order.

@@ -17,17 +17,86 @@ layout's summed IOPS as the GP IOPS limit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
+import numpy as np
 
 from ..catalog.catalog import SkuCatalog
-from ..catalog.models import DeploymentType, ServiceTier
+from ..catalog.models import DeploymentType, ServiceTier, SkuSpec
 from ..catalog.storage import IOPS_THROUGHPUT_COVERAGE, FileLayout, plan_file_layout
 from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
 from ..telemetry.trace import PerformanceTrace
 from .curve import PricePerformanceCurve
-from .throttling import EmpiricalThrottlingEstimator, ThrottlingEstimator
+from .throttling import (
+    EmpiricalThrottlingEstimator,
+    ThrottlingEstimator,
+    capacity_matrix,
+)
 
-__all__ = ["PricePerformanceModeler", "MiStoragePlan"]
+__all__ = ["PricePerformanceModeler", "MiStoragePlan", "gp_iops_overrides"]
+
+
+def gp_iops_overrides(
+    skus: Sequence[SkuSpec], plan: "MiStoragePlan"
+) -> dict[str, float]:
+    """Step-2 IOPS overrides: GP SKUs inherit the layout's summed limit.
+
+    The single definition of the MI override policy (paper Section 3.2
+    Step 2), shared by curve construction and the live recommender's
+    drift-estimator sync -- the parity contract requires both to see
+    identical capacities, so neither may encode the rule privately.
+    """
+    return {
+        sku.name: plan.layout.total_iops
+        for sku in skus
+        if sku.tier is ServiceTier.GENERAL_PURPOSE
+    }
+
+
+def _no_storage_fit_message(footprint: float) -> str:
+    """Shared error text for the storage-fit failure.
+
+    One definition for the serial and columnar paths: fleet error
+    results embed this string, and the determinism contract requires
+    both paths to produce identical bytes.
+    """
+    return f"no candidate SKU can hold {footprint:.0f} GB of data"
+
+
+class _DeploymentCurveState:
+    """Precomputed per-deployment inputs of the columnar curve kernel.
+
+    Built once per modeler and deployment: the candidate SKUs in
+    catalog (price) order plus the vectorized per-SKU attributes that
+    the batch path needs -- storage limits for the per-customer fit
+    mask, the GP-tier mask for MI IOPS overrides, and a memo of
+    capacity matrices per dimension tuple.
+    """
+
+    def __init__(self, skus: Sequence[SkuSpec]) -> None:
+        self.skus: tuple[SkuSpec, ...] = tuple(skus)
+        self.monthly_prices: tuple[float, ...] = tuple(
+            sku.monthly_price for sku in self.skus
+        )
+        self.max_data_size_gb = np.array(
+            [sku.limits.max_data_size_gb for sku in self.skus]
+        )
+        self.gp_mask = np.array(
+            [sku.tier is ServiceTier.GENERAL_PURPOSE for sku in self.skus]
+        )
+        self.bc_mask = np.array(
+            [sku.tier is ServiceTier.BUSINESS_CRITICAL for sku in self.skus]
+        )
+        self._caps_by_dims: dict[tuple[PerfDimension, ...], np.ndarray] = {}
+
+    def caps_for(self, dimensions: tuple[PerfDimension, ...]) -> np.ndarray:
+        """Capacity matrix over all candidates, memoized per dim tuple."""
+        caps = self._caps_by_dims.get(dimensions)
+        if caps is None:
+            caps = capacity_matrix(list(self.skus), dimensions)
+            caps.flags.writeable = False
+            self._caps_by_dims[dimensions] = caps
+        return caps
 
 #: Quantile summarizing the IOPS/throughput demand checked in Step 1.
 _STEP1_DEMAND_QUANTILE = 0.99
@@ -77,6 +146,7 @@ class PricePerformanceModeler:
         trace: PerformanceTrace,
         deployment: DeploymentType,
         file_sizes_gib: list[float] | None = None,
+        mi_plan: "MiStoragePlan | None" = None,
     ) -> PricePerformanceCurve:
         """Produce the price-performance curve for one workload.
 
@@ -87,6 +157,10 @@ class PricePerformanceModeler:
             deployment: Target deployment type.
             file_sizes_gib: Explicit MI data-file sizes; default is a
                 single file holding the observed data size.
+            mi_plan: Optional precomputed Step-1 storage plan for this
+                exact trace/file layout (callers that already planned
+                -- e.g. the live recommender's MI override sync --
+                pass it to avoid planning twice).  Ignored for DB.
 
         Returns:
             The monotone price-performance curve over every catalog
@@ -98,7 +172,155 @@ class PricePerformanceModeler:
         """
         if deployment is DeploymentType.SQL_DB:
             return self._build_db_curve(trace)
-        return self._build_mi_curve(trace, file_sizes_gib)
+        return self._build_mi_curve(trace, file_sizes_gib, plan=mi_plan)
+
+    def build_curves_batch(
+        self,
+        traces: Sequence[PerformanceTrace],
+        deployment: DeploymentType,
+        file_sizes_gib: Sequence[Sequence[float] | None] | None = None,
+    ) -> list[PricePerformanceCurve | Exception]:
+        """Columnar batch counterpart of :meth:`build_curve`.
+
+        Evaluates a whole fleet shard as stacked NumPy operations: the
+        per-deployment capacity matrix is built once (memoized on the
+        modeler), customers are grouped by their evaluated dimension
+        tuple (and, for MI, by the planned file layout's IOPS
+        override), each group's demand rows flow through one chunked
+        broadcast, and the per-customer storage fit reduces to a
+        vectorized mask over precomputed SKU storage limits.
+
+        The results are byte-identical to calling :meth:`build_curve`
+        per trace -- same probabilities (per-SKU estimates are
+        independent of the candidate subset), same candidate order
+        (catalog price order), same error types and messages in the
+        same precedence.  Estimators without a columnar kernel (KDE,
+        copula) transparently fall back to the serial path per trace.
+
+        Args:
+            traces: One trace per customer.
+            deployment: Target deployment type, shared by the batch.
+            file_sizes_gib: Optional per-customer MI file layouts,
+                aligned with ``traces``.
+
+        Returns:
+            One entry per trace, aligned with the input: the built
+            curve, or the exception :meth:`build_curve` would have
+            raised for that trace (exceptions are returned, not
+            raised, so one pathological customer cannot abort a fleet
+            shard).
+        """
+        n_traces = len(traces)
+        sizes_per_trace: Sequence[Sequence[float] | None]
+        if file_sizes_gib is None:
+            sizes_per_trace = [None] * n_traces
+        elif len(file_sizes_gib) != n_traces:
+            raise ValueError(
+                f"expected {n_traces} file-size entries, got {len(file_sizes_gib)}"
+            )
+        else:
+            sizes_per_trace = file_sizes_gib
+
+        if not isinstance(self.estimator, EmpiricalThrottlingEstimator):
+            return [
+                self._build_one_guarded(trace, deployment, sizes)
+                for trace, sizes in zip(traces, sizes_per_trace)
+            ]
+
+        results: list[PricePerformanceCurve | Exception | None] = [None] * n_traces
+        state = self._deployment_state(deployment)
+        base_dims = (
+            DB_DIMENSIONS if deployment is DeploymentType.SQL_DB else MI_DIMENSIONS
+        )
+        fit_masks: list[np.ndarray | None] = [None] * n_traces
+        groups: dict[tuple, list[int]] = {}
+        for index, trace in enumerate(traces):
+            try:
+                dims = tuple(dim for dim in base_dims if dim in trace)
+                if not dims:
+                    raise ValueError(
+                        f"trace has none of the {deployment.short_name} "
+                        "performance dimensions"
+                    )
+                iops_override: float | None = None
+                if deployment is DeploymentType.SQL_MI:
+                    sizes = sizes_per_trace[index]
+                    plan = self.plan_mi_storage(
+                        trace, list(sizes) if sizes else None
+                    )
+                    iops_override = plan.layout.total_iops
+                footprint = self._storage_footprint(trace)
+                mask = state.max_data_size_gb >= footprint
+                if not mask.any():
+                    raise ValueError(_no_storage_fit_message(footprint))
+                if deployment is DeploymentType.SQL_MI and not plan.gp_allowed:
+                    mask = mask & state.bc_mask
+                    if not mask.any():
+                        raise ValueError("no MI SKU satisfies the storage requirement")
+                fit_masks[index] = mask
+                groups.setdefault((dims, iops_override), []).append(index)
+            except Exception as exc:  # noqa: BLE001 - per-customer containment
+                results[index] = exc
+
+        for (dims, iops_override), indices in groups.items():
+            caps = state.caps_for(dims)
+            if iops_override is not None and PerfDimension.IOPS in dims:
+                caps = caps.copy()
+                caps[state.gp_mask, dims.index(PerfDimension.IOPS)] = float(
+                    iops_override
+                )
+            probabilities = self.estimator.probabilities_batch_from_caps(
+                [traces[i].demand_matrix(dims) for i in indices], caps
+            )
+            for row, index in zip(probabilities, indices):
+                fitted = np.flatnonzero(fit_masks[index]).tolist()
+                try:
+                    # Candidate subsets inherit catalog (price) order,
+                    # so the trusted sorted-input constructor applies.
+                    results[index] = PricePerformanceCurve.from_price_ordered(
+                        [state.skus[j] for j in fitted],
+                        [state.monthly_prices[j] for j in fitted],
+                        row[fitted],
+                        entity_id=traces[index].entity_id,
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-customer containment
+                    results[index] = exc
+        return results  # type: ignore[return-value]
+
+    def _build_one_guarded(
+        self,
+        trace: PerformanceTrace,
+        deployment: DeploymentType,
+        sizes: Sequence[float] | None,
+    ) -> PricePerformanceCurve | Exception:
+        try:
+            return self.build_curve(
+                trace, deployment, file_sizes_gib=list(sizes) if sizes else None
+            )
+        except Exception as exc:  # noqa: BLE001 - per-customer containment
+            return exc
+
+    def _deployment_state(self, deployment: DeploymentType) -> _DeploymentCurveState:
+        """Columnar candidate state, memoized per deployment.
+
+        Lazily attached to the (frozen) modeler; dropped on pickling
+        so worker processes rebuild it locally instead of shipping
+        redundant capacity matrices.
+        """
+        cache = self.__dict__.get("_columnar_state")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_columnar_state", cache)
+        state = cache.get(deployment)
+        if state is None:
+            state = _DeploymentCurveState(self.catalog.for_deployment(deployment))
+            cache[deployment] = state
+        return state
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_columnar_state", None)
+        return state
 
     def plan_mi_storage(
         self,
@@ -142,11 +364,13 @@ class PricePerformanceModeler:
         self,
         trace: PerformanceTrace,
         file_sizes_gib: list[float] | None,
+        plan: MiStoragePlan | None = None,
     ) -> PricePerformanceCurve:
         dimensions = tuple(dim for dim in MI_DIMENSIONS if dim in trace)
         if not dimensions:
             raise ValueError("trace has none of the MI performance dimensions")
-        plan = self.plan_mi_storage(trace, file_sizes_gib)
+        if plan is None:
+            plan = self.plan_mi_storage(trace, file_sizes_gib)
 
         candidates = self.catalog.for_deployment(DeploymentType.SQL_MI)
         candidates = self._fit_storage(candidates, trace)
@@ -157,11 +381,7 @@ class PricePerformanceModeler:
             raise ValueError("no MI SKU satisfies the storage requirement")
 
         # Step 2: GP SKUs inherit the file layout's summed IOPS limit.
-        overrides = {
-            sku.name: plan.layout.total_iops
-            for sku in skus
-            if sku.tier is ServiceTier.GENERAL_PURPOSE
-        }
+        overrides = gp_iops_overrides(skus, plan)
         probabilities = self.estimator.probabilities(
             trace, skus, dimensions, iops_overrides=overrides
         )
@@ -183,9 +403,7 @@ class PricePerformanceModeler:
         footprint = self._storage_footprint(trace)
         fitted = candidates.fitting_storage(footprint)
         if not len(fitted):
-            raise ValueError(
-                f"no candidate SKU can hold {footprint:.0f} GB of data"
-            )
+            raise ValueError(_no_storage_fit_message(footprint))
         return fitted
 
     @staticmethod

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -35,11 +36,22 @@ __all__ = [
     "EmpiricalThrottlingEstimator",
     "CopulaThrottlingEstimator",
     "KdeThrottlingEstimator",
+    "DEFAULT_KERNEL_MEMORY_CAP_MB",
     "LATENCY_FLOOR",
-    "demand_matrix",
+    "batch_violation_counts",
+    "capacity_matrix",
     "capacity_vector",
+    "demand_matrix",
     "invert_latency",
+    "violation_counts",
 ]
+
+#: Upper bound on the transient ``(n_skus, chunk, n_dims)`` boolean
+#: broadcast the empirical kernel materializes.  64 MB keeps the temp
+#: inside typical L3/working-set budgets while leaving chunks large
+#: enough that the per-chunk Python overhead stays negligible.
+DEFAULT_KERNEL_MEMORY_CAP_MB = 64.0
+
 
 def demand_matrix(
     trace: PerformanceTrace, dimensions: tuple[PerfDimension, ...]
@@ -49,15 +61,120 @@ def demand_matrix(
     Latency columns are inverted so the throttling predicate is a
     uniform ``demand > capacity`` in every column (paper Section 3.2:
     "IO latency is taken as the inverse of the actual IO latency").
+
+    The result is memoized on the trace (see
+    :meth:`~repro.telemetry.trace.PerformanceTrace.demand_matrix`), so
+    every estimator evaluating the same trace shares one inversion
+    pass; treat it as read-only.
     """
-    columns = []
-    for dim in dimensions:
-        values = trace[dim].values
-        if dim.lower_is_better:
-            columns.append(invert_latency(values))
-        else:
-            columns.append(values)
-    return np.column_stack(columns)
+    return trace.demand_matrix(tuple(dimensions))
+
+
+def _chunk_samples(n_skus: int, n_dims: int, memory_cap_mb: float) -> int:
+    """Samples per broadcast so the bool temp stays under the cap."""
+    if memory_cap_mb <= 0:
+        raise ValueError(f"memory cap must be positive, got {memory_cap_mb!r}")
+    per_sample = max(1, n_skus * n_dims)  # one byte per bool element
+    return max(1, int(memory_cap_mb * 1024 * 1024) // per_sample)
+
+
+def _violation_mask(demands: np.ndarray, caps: np.ndarray) -> np.ndarray:
+    """``(n_skus, n_samples)`` any-dimension violation mask.
+
+    Evaluated dimension-major: one 2-D comparison per dimension OR-ed
+    into the output, which is ~3x faster than materializing the 3-D
+    ``(n_skus, n_samples, n_dims)`` broadcast and reducing over the
+    strided last axis, and keeps the transient footprint at two 2-D
+    boolean arrays.  Exactly the same comparisons, so the mask is
+    bit-identical to ``(demands[None] > caps[:, None]).any(axis=2)``.
+    """
+    out = demands[:, 0][None, :] > caps[:, 0][:, None]
+    for column in range(1, caps.shape[1]):
+        out |= demands[:, column][None, :] > caps[:, column][:, None]
+    return out
+
+
+def violation_counts(
+    demands: np.ndarray,
+    caps: np.ndarray,
+    memory_cap_mb: float = DEFAULT_KERNEL_MEMORY_CAP_MB,
+) -> np.ndarray:
+    """Per-SKU count of samples violating any dimension, chunked.
+
+    The hot inner kernel of the empirical estimator: evaluates
+    ``any_dim(demand > capacity)`` over an ``(n_samples, n_dims)``
+    demand matrix and an ``(n_skus, n_dims)`` capacity matrix without
+    ever materializing more than ``memory_cap_mb`` of boolean temp.
+    Counting integers and dividing once is bit-identical to
+    ``violated.any(axis=2).mean(axis=1)`` (bool sums are exact in
+    int64/float64 far beyond any realistic trace length), so chunking
+    never changes a probability.
+    """
+    n_skus = caps.shape[0]
+    counts = np.zeros(n_skus, dtype=np.int64)
+    chunk = _chunk_samples(n_skus, caps.shape[1], memory_cap_mb)
+    for start in range(0, demands.shape[0], chunk):
+        block = demands[start : start + chunk]
+        counts += _violation_mask(block, caps).sum(axis=1, dtype=np.int64)
+    return counts
+
+
+def batch_violation_counts(
+    demand_blocks: Sequence[np.ndarray],
+    caps: np.ndarray,
+    memory_cap_mb: float = DEFAULT_KERNEL_MEMORY_CAP_MB,
+) -> np.ndarray:
+    """Violation counts for many traces against one capacity matrix.
+
+    The columnar fleet kernel: stacks several traces' demand matrices
+    into shared broadcasts (so the per-trace Python/numpy dispatch
+    overhead amortizes across the fleet) while still respecting the
+    boolean-temp memory cap.  Traces are packed greedily into
+    broadcast groups; a single trace longer than the cap falls back to
+    the chunked single-trace kernel.
+
+    Args:
+        demand_blocks: Per-trace ``(n_i, n_dims)`` demand matrices,
+            all sharing one dimension order aligned with ``caps``.
+        caps: ``(n_skus, n_dims)`` capacity matrix.
+        memory_cap_mb: Bound on the transient boolean broadcast.
+
+    Returns:
+        ``(n_traces, n_skus)`` int64 violation counts.
+    """
+    n_skus = caps.shape[0]
+    counts = np.empty((len(demand_blocks), n_skus), dtype=np.int64)
+    budget = _chunk_samples(n_skus, caps.shape[1], memory_cap_mb)
+    group: list[int] = []
+    group_samples = 0
+
+    def flush() -> None:
+        nonlocal group, group_samples
+        if not group:
+            return
+        stacked = np.concatenate([demand_blocks[i] for i in group], axis=0)
+        violated = _violation_mask(stacked, caps)
+        # Segment sums on the shared mask (np.add.reduceat on bool
+        # computes logical OR, not counts, so slice-sum instead).
+        start = 0
+        for index in group:
+            end = start + demand_blocks[index].shape[0]
+            counts[index] = violated[:, start:end].sum(axis=1, dtype=np.int64)
+            start = end
+        group, group_samples = [], 0
+
+    for index, block in enumerate(demand_blocks):
+        n = block.shape[0]
+        if n > budget:  # one oversized trace: chunk it on its own
+            flush()
+            counts[index] = violation_counts(block, caps, memory_cap_mb)
+            continue
+        if group_samples + n > budget:
+            flush()
+        group.append(index)
+        group_samples += n
+    flush()
+    return counts
 
 
 def capacity_vector(
@@ -77,6 +194,28 @@ def capacity_vector(
         else:
             caps.append(capacity)
     return np.asarray(caps, dtype=float)
+
+
+def capacity_matrix(
+    skus: list[SkuSpec],
+    dimensions: tuple[PerfDimension, ...],
+    iops_overrides: dict[str, float] | None = None,
+) -> np.ndarray:
+    """``(n_skus, n_dims)`` capacity matrix aligned with ``dimensions``.
+
+    The single definition of capacity-matrix construction shared by
+    every estimator (batch, incremental, columnar), so the violation
+    predicate agrees bit-for-bit across paths.  ``iops_overrides``
+    replaces the IOPS capacity per SKU name -- the MI file-layout
+    limit of paper Section 3.2 Step 2.
+    """
+    rows = []
+    for sku in skus:
+        limits = sku.limits
+        if iops_overrides and sku.name in iops_overrides:
+            limits = limits.with_iops(iops_overrides[sku.name])
+        rows.append(capacity_vector(limits, dimensions))
+    return np.asarray(rows, dtype=float)
 
 
 class ThrottlingEstimator(abc.ABC):
@@ -110,19 +249,45 @@ class ThrottlingEstimator(abc.ABC):
         """Convenience scalar wrapper around :meth:`probabilities`."""
         return float(self.probabilities(trace, [sku], dimensions)[0])
 
+    def probabilities_batch(
+        self,
+        traces: Sequence[PerformanceTrace],
+        skus: list[SkuSpec],
+        dimensions: tuple[PerfDimension, ...],
+        iops_overrides: dict[str, float] | None = None,
+    ) -> np.ndarray:
+        """Throttling probabilities for many traces at once.
+
+        Columnar fleet entry point: all traces share one SKU set, one
+        dimension order and one override mapping (the caller groups
+        customers accordingly), so the capacity matrix is built once
+        for the whole batch.  Per-SKU probabilities are independent of
+        the other traces in the batch, so the result rows equal the
+        per-trace :meth:`probabilities` outputs exactly.
+
+        The base implementation is a plain per-trace loop -- correct
+        for every estimator; :class:`EmpiricalThrottlingEstimator`
+        overrides it with stacked chunked broadcasts.
+
+        Returns:
+            ``(n_traces, n_skus)`` probabilities.
+        """
+        if not traces:
+            return np.zeros((0, len(skus)))
+        return np.stack(
+            [
+                self.probabilities(trace, skus, dimensions, iops_overrides)
+                for trace in traces
+            ]
+        )
+
     @staticmethod
     def _capacity_matrix(
         skus: list[SkuSpec],
         dimensions: tuple[PerfDimension, ...],
         iops_overrides: dict[str, float] | None,
     ) -> np.ndarray:
-        rows = []
-        for sku in skus:
-            limits = sku.limits
-            if iops_overrides and sku.name in iops_overrides:
-                limits = limits.with_iops(iops_overrides[sku.name])
-            rows.append(capacity_vector(limits, dimensions))
-        return np.asarray(rows, dtype=float)
+        return capacity_matrix(skus, dimensions, iops_overrides)
 
 
 @dataclass(frozen=True)
@@ -133,16 +298,55 @@ class EmpiricalThrottlingEstimator(ThrottlingEstimator):
     the SKU capacity; the throttling probability is the fraction of
     violating time points.  Exact with respect to the empirical joint
     distribution, O(n_samples * n_dims) per SKU, no tuning knobs.
+
+    Both the single-trace and the batch path run the chunked columnar
+    kernel, so the ``(n_skus, n_samples, n_dims)`` boolean temp never
+    exceeds ``memory_cap_mb`` -- long traces against large catalogs
+    stay memory-bounded without changing a single probability bit.
+
+    Attributes:
+        memory_cap_mb: Bound on the kernel's transient boolean
+            broadcast.
     """
+
+    memory_cap_mb: float = DEFAULT_KERNEL_MEMORY_CAP_MB
 
     def probabilities(self, trace, skus, dimensions, iops_overrides=None):
         if not skus:
             return np.zeros(0)
         demands = demand_matrix(trace, dimensions)
         caps = self._capacity_matrix(skus, dimensions, iops_overrides)
-        # (n_skus, n_samples, n_dims) broadcast; any over dims, mean over time.
-        violated = demands[None, :, :] > caps[:, None, :]
-        return violated.any(axis=2).mean(axis=1)
+        return self.probabilities_from_caps(demands, caps)
+
+    def probabilities_from_caps(
+        self, demands: np.ndarray, caps: np.ndarray
+    ) -> np.ndarray:
+        """One trace against a precomputed capacity matrix."""
+        counts = violation_counts(demands, caps, self.memory_cap_mb)
+        return counts / demands.shape[0]
+
+    def probabilities_batch(self, traces, skus, dimensions, iops_overrides=None):
+        if not traces:
+            return np.zeros((0, len(skus)))
+        caps = self._capacity_matrix(list(skus), tuple(dimensions), iops_overrides)
+        return self.probabilities_batch_from_caps(
+            [demand_matrix(trace, dimensions) for trace in traces], caps
+        )
+
+    def probabilities_batch_from_caps(
+        self, demand_blocks: Sequence[np.ndarray], caps: np.ndarray
+    ) -> np.ndarray:
+        """Many traces against one precomputed capacity matrix.
+
+        The columnar fast path used by
+        :meth:`~repro.core.ppm.PricePerformanceModeler.build_curves_batch`:
+        the capacity matrix is built once per fleet pass and the
+        demand rows of every customer flow through stacked chunked
+        broadcasts.
+        """
+        counts = batch_violation_counts(demand_blocks, caps, self.memory_cap_mb)
+        lengths = np.array([block.shape[0] for block in demand_blocks], dtype=np.int64)
+        return counts / lengths[:, None]
 
 
 @dataclass(frozen=True)

@@ -206,6 +206,85 @@ class CurveCache:
         else:
             self._building.pop(key, None)
 
+    # ------------------------------------------------------------------
+    # Batch protocol (columnar fleet path)
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Iterable[Hashable]) -> dict[Hashable, PricePerformanceCurve]:
+        """Probe a batch of keys in one locked pass.
+
+        Each *distinct* key counts one hit or one miss; a duplicate
+        occurrence of a *found* key counts a hit immediately, while
+        duplicates of missed keys are left to the caller to settle
+        via :meth:`adjust_counters` once the build outcome is known
+        (a sequential :meth:`get_or_build` loop counts them hits
+        after a successful install but fresh misses after a failed
+        build, and hit-rate parity between the columnar and
+        per-customer paths requires the same distinction).  Each
+        distinct missed key is marked in-flight and MUST be settled
+        by exactly one subsequent :meth:`install_many` (curve built)
+        or :meth:`release_many` (build failed/abandoned) call, or the
+        in-flight accounting leaks.  Two threads batch-missing the
+        same key both build it -- the same accepted race as
+        :meth:`get_or_build`, counted in ``duplicate_builds``.
+
+        Returns:
+            The distinct ``keys`` found, mapped to their curves.
+        """
+        found: dict[Hashable, PricePerformanceCurve] = {}
+        missed: set[Hashable] = set()
+        with self._lock:
+            for key in keys:
+                if key in missed:
+                    continue  # settled by the caller once built/failed
+                curve = found.get(key)
+                if curve is None:
+                    curve = self._entries.get(key)
+                if curve is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    found[key] = curve
+                    continue
+                self._misses += 1
+                in_flight = self._building.get(key, 0)
+                if in_flight:
+                    self._duplicate_builds += 1
+                self._building[key] = in_flight + 1
+                missed.add(key)
+        return found
+
+    def adjust_counters(self, hits: int = 0, misses: int = 0) -> None:
+        """Fold the caller-settled duplicate outcomes into the stats.
+
+        The batch protocol's companion to :meth:`get_many`: duplicate
+        occurrences of batch-missed keys become hits when their one
+        build succeeded (the batch served them from it) and misses
+        when it failed (a sequential loop would have re-missed and
+        re-failed), keeping :class:`CurveCacheStats` identical across
+        the columnar and per-customer paths.
+        """
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+
+    def install_many(
+        self, curves: dict[Hashable, PricePerformanceCurve]
+    ) -> None:
+        """Insert batch-built curves and settle their in-flight markers."""
+        with self._lock:
+            for key, curve in curves.items():
+                self._entries[key] = curve
+                self._entries.move_to_end(key)
+                self._release_building(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def release_many(self, keys: Iterable[Hashable]) -> None:
+        """Settle in-flight markers for keys whose builds failed."""
+        with self._lock:
+            for key in keys:
+                self._release_building(key)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

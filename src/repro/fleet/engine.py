@@ -18,7 +18,7 @@ benchmark asserts.
 from __future__ import annotations
 
 import os
-from collections import deque
+from collections import Counter, deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Literal, Mapping
@@ -194,11 +194,22 @@ class _FleetRunner:
     cache) in the parent; the process backend constructs one runner
     per worker in the pool initializer, since curves are cheaper to
     rebuild than to ship across process boundaries.
+
+    With ``columnar`` enabled (the default) each shard runs through
+    the batch curve kernel: one cache key-batch probe, one
+    per-deployment capacity matrix, stacked chunked broadcasts for
+    every cache-missing customer
+    (:meth:`~repro.core.ppm.PricePerformanceModeler.build_curves_batch`).
+    Results are byte-identical to the per-customer path -- the
+    property the fleet-scale benchmark asserts.
     """
 
-    def __init__(self, engine: DopplerEngine, cache: CurveCache) -> None:
+    def __init__(
+        self, engine: DopplerEngine, cache: CurveCache, columnar: bool = True
+    ) -> None:
         self.engine = engine
         self.cache = cache
+        self.columnar = columnar
         self._catalog_signature = catalog_signature(engine.catalog)
 
     def build_curve(
@@ -215,6 +226,72 @@ class _FleetRunner:
             key,
             lambda: self.engine.ppm.build_curve(trace, deployment, file_sizes_gib=sizes),
         )
+
+    def build_curves(
+        self,
+        specs: list[tuple[PerformanceTrace, DeploymentType, tuple[float, ...] | None]],
+    ) -> list:
+        """Memoized columnar curve construction for one shard.
+
+        One batched cache probe for the whole shard, one columnar
+        build per deployment for the distinct missing keys, one
+        batched install.  Returns, aligned with ``specs``, either the
+        curve or the exception the serial path would have raised for
+        that customer.
+        """
+        keys = [
+            curve_cache_key(trace, deployment.value, sizes, self._catalog_signature)
+            for trace, deployment, sizes in specs
+        ]
+        outcomes: dict = self.cache.get_many(keys)
+        occurrences = Counter(keys)
+        missing_by_deployment: dict[DeploymentType, dict] = {}
+        for key, (trace, deployment, sizes) in zip(keys, specs):
+            if key not in outcomes:
+                missing_by_deployment.setdefault(deployment, {}).setdefault(
+                    key, (trace, sizes)
+                )
+        try:
+            for deployment, missing in missing_by_deployment.items():
+                built = self.engine.ppm.build_curves_batch(
+                    [trace for trace, _ in missing.values()],
+                    deployment,
+                    [sizes for _, sizes in missing.values()],
+                )
+                curves = {
+                    key: outcome
+                    for key, outcome in zip(missing, built)
+                    if not isinstance(outcome, Exception)
+                }
+                self.cache.install_many(curves)
+                self.cache.release_many(set(missing) - set(curves))
+                outcomes.update(zip(missing, built))
+                # Settle duplicate occurrences of batch-missed keys
+                # now the outcome is known: served-from-build = hit,
+                # shared failure = the re-miss a serial loop pays.
+                extra_hits = extra_misses = 0
+                for key in missing:
+                    duplicates = occurrences[key] - 1
+                    if not duplicates:
+                        continue
+                    if key in curves:
+                        extra_hits += duplicates
+                    else:
+                        extra_misses += duplicates
+                if extra_hits or extra_misses:
+                    self.cache.adjust_counters(hits=extra_hits, misses=extra_misses)
+        except BaseException:
+            # An unexpected batch-level failure: settle every marker
+            # this probe left in flight before propagating.
+            unsettled = [
+                key
+                for missing in missing_by_deployment.values()
+                for key in missing
+                if key not in outcomes
+            ]
+            self.cache.release_many(unsettled)
+            raise
+        return [outcomes[key] for key in keys]
 
     def fit_chunk(
         self, chunk: list[CloudCustomerRecord], exclude_over_provisioned: bool
@@ -233,14 +310,24 @@ class _FleetRunner:
         """
         observations: list[tuple[str, GroupKey, float]] = []
         n_unbuildable = 0
-        for record in chunk:
-            if not record.is_settled:
-                continue  # skip before building a curve we would discard
-            try:
-                curve = self.build_curve(record.trace, record.deployment)
-            except ValueError:
+        settled = [record for record in chunk if record.is_settled]
+        if self.columnar:
+            curves = self.build_curves(
+                [(record.trace, record.deployment, None) for record in settled]
+            )
+        else:
+            curves = []
+            for record in settled:
+                try:
+                    curves.append(self.build_curve(record.trace, record.deployment))
+                except ValueError as exc:
+                    curves.append(exc)
+        for record, curve in zip(settled, curves):
+            if isinstance(curve, ValueError):
                 n_unbuildable += 1
                 continue  # no SKU fits the workload; nothing to learn
+            if isinstance(curve, Exception):
+                raise curve  # same propagation as the per-record path
             observation = self.engine.training_observation(
                 record, exclude_over_provisioned=exclude_over_provisioned, curve=curve
             )
@@ -255,13 +342,41 @@ class _FleetRunner:
         return observations, n_unbuildable
 
     def recommend_chunk(self, chunk: list[FleetCustomer]) -> list[FleetRecommendation]:
-        return [self.recommend_one(customer) for customer in chunk]
+        if not self.columnar:
+            return [self.recommend_one(customer) for customer in chunk]
+        curves = self.build_curves(
+            [
+                (customer.trace, customer.deployment, customer.file_sizes_gib)
+                for customer in chunk
+            ]
+        )
+        return [
+            self._finish_recommendation(customer, curve)
+            for customer, curve in zip(chunk, curves)
+        ]
 
     def recommend_one(self, customer: FleetCustomer) -> FleetRecommendation:
         try:
             curve = self.build_curve(
                 customer.trace, customer.deployment, customer.file_sizes_gib
             )
+        except Exception as exc:  # noqa: BLE001 - one bad trace must not kill the fleet
+            curve = exc
+        return self._finish_recommendation(customer, curve)
+
+    def _finish_recommendation(
+        self, customer: FleetCustomer, curve
+    ) -> FleetRecommendation:
+        """Selection + right-sizing on a built curve (or stored failure).
+
+        Shared tail of the columnar and per-customer paths, so both
+        produce identical result bytes -- including the
+        ``TypeName: message`` error formatting of the containment
+        contract.
+        """
+        try:
+            if isinstance(curve, Exception):
+                raise curve
             sizes = list(customer.file_sizes_gib) if customer.file_sizes_gib else None
             recommendation = self.engine.recommend(
                 customer.trace, customer.deployment, file_sizes_gib=sizes, curve=curve
@@ -288,9 +403,9 @@ class _FleetRunner:
 _WORKER_RUNNER: _FleetRunner | None = None
 
 
-def _init_worker(engine: DopplerEngine, cache_size: int) -> None:
+def _init_worker(engine: DopplerEngine, cache_size: int, columnar: bool) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size))
+    _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size), columnar)
 
 
 def _fit_chunk_in_worker(
@@ -328,6 +443,11 @@ class FleetEngine:
         chunk_size: Customers per shard; defaults to an automatic size
             giving each worker several shards.
         cache_size: LRU capacity of each curve cache.
+        columnar: Drive every shard through the columnar batch kernel
+            (one capacity-matrix build and one cache key-batch per
+            chunk) instead of the per-customer loop.  Results are
+            byte-identical either way; the flag exists so benchmarks
+            and regression tests can compare the two paths.
     """
 
     engine: DopplerEngine
@@ -335,13 +455,14 @@ class FleetEngine:
     max_workers: int | None = None
     chunk_size: int | None = None
     cache_size: int = DEFAULT_CACHE_SIZE
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "thread", "process"):
             raise ValueError(f"unknown fleet backend {self.backend!r}")
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {self.max_workers!r}")
-        self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size))
+        self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size), self.columnar)
 
     # ------------------------------------------------------------------
     # Public API
@@ -434,6 +555,7 @@ class FleetEngine:
         drift_threshold: float | None = None,
         min_refresh_samples: int | None = None,
         refreshes_only: bool = True,
+        profile_mode: Literal["exact", "streaming"] = "exact",
     ) -> Iterator[FleetLiveUpdate]:
         """Streaming pass: live assessments over a fleet-wide feed.
 
@@ -465,6 +587,8 @@ class FleetEngine:
                 first recommendation (library default when omitted).
             refreshes_only: Yield only refresh events (the default) or
                 every observed sample.
+            profile_mode: Per-customer profiling strategy on refresh;
+                see :class:`~repro.streaming.live.LiveRecommender`.
         """
         # Imported here, not at module top: streaming builds on the
         # fleet curve cache, so a top-level import would be circular.
@@ -492,6 +616,7 @@ class FleetEngine:
                     min_refresh_samples=min_refresh_samples,
                     cache=watch_cache,
                     entity_id=sample.customer_id,
+                    profile_mode=profile_mode,
                 )
                 recommenders[sample.customer_id] = live
             try:
@@ -549,7 +674,7 @@ class FleetEngine:
             executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.engine, self.cache_size),
+                initargs=(self.engine, self.cache_size, self.columnar),
             )
             fn = _fit_chunk_in_worker if task == "fit" else _recommend_chunk_in_worker
         max_inflight = workers * _INFLIGHT_PER_WORKER

@@ -16,6 +16,7 @@ from .kde import GaussianKde
 from .kmeans import KMeansResult, kmeans
 from .outliers import outlier_fraction
 from .scaling import max_scale, minmax_scale
+from .sketch import MergingQuantileSketch
 from .stl import StlDecomposition, loess_smooth, stl_decompose, stl_variance_score
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "outlier_fraction",
     "max_scale",
     "minmax_scale",
+    "MergingQuantileSketch",
     "StlDecomposition",
     "loess_smooth",
     "stl_decompose",

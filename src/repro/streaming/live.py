@@ -20,15 +20,20 @@ against rebuild-per-sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Literal, Mapping
 
 from ..catalog.models import DeploymentType
 from ..core.engine import DopplerEngine
 from ..core.incremental import IncrementalThrottlingEstimator
+from ..core.ppm import gp_iops_overrides
 from ..core.types import DopplerRecommendation
 from ..fleet.cache import CurveCache, catalog_signature, curve_cache_key
 from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
-from ..telemetry.streaming import DEFAULT_STREAM_WINDOW, StreamingTraceBuilder
+from ..telemetry.streaming import (
+    DEFAULT_STREAM_WINDOW,
+    StreamingSeriesStats,
+    StreamingTraceBuilder,
+)
 from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from .drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector, DriftReport
 
@@ -93,11 +98,11 @@ class LiveRecommender:
         deployment: Target deployment type.
         builder: The sliding-window trace ingester.
         estimator: The incremental throttling estimator driving drift
-            detection.  For MI targets its estimates ignore the
-            per-refresh GP IOPS override (the file layout is only
-            planned during curve construction), so drift detection is
-            slightly conservative there; refreshes themselves always
-            run the exact two-step MI procedure.
+            detection.  For MI targets each refresh folds the planned
+            file layout's GP IOPS limit into the estimator's capacity
+            matrix when the layout changed (one window replay per
+            change), so drift detection and the two-step MI procedure
+            agree on capacities between refreshes.
         detector: The drift detector gating refreshes.
         cache: Memoized curve store.  Drifted windows have fresh
             fingerprints, so entries only pay off for repeated windows
@@ -106,6 +111,14 @@ class LiveRecommender:
             assessments mainly bounds their collective footprint.
         min_refresh_samples: Warm-up length before the first
             recommendation.
+        profile_mode: ``exact`` re-profiles the window snapshot on
+            every refresh (the batch path's summarizers, O(window));
+            ``streaming`` profiles from per-dimension
+            :class:`~repro.telemetry.streaming.StreamingSeriesStats`
+            maintained in O(1) per sample -- exact for the AUC
+            summarizers, within the quantile sketch's documented rank
+            error for thresholding.  Requires a summarizer with
+            ``supports_streaming``.
     """
 
     def __init__(
@@ -119,11 +132,14 @@ class LiveRecommender:
         min_refresh_samples: int = DEFAULT_MIN_REFRESH_SAMPLES,
         cache: CurveCache | None = None,
         entity_id: str = "live",
+        profile_mode: Literal["exact", "streaming"] = "exact",
     ) -> None:
         if min_refresh_samples < 1:
             raise ValueError(
                 f"min_refresh_samples must be >= 1, got {min_refresh_samples!r}"
             )
+        if profile_mode not in ("exact", "streaming"):
+            raise ValueError(f"unknown profile mode {profile_mode!r}")
         if window < min_refresh_samples:
             # The warm-up gate compares against n_window, which never
             # exceeds the window: a smaller window would wait forever.
@@ -151,12 +167,33 @@ class LiveRecommender:
         self.estimator = IncrementalThrottlingEstimator(
             candidates, dimensions, window=window
         )
+        self._candidates = tuple(candidates)
         self._sku_names = tuple(sku.name for sku in candidates)
         self.detector = DriftDetector(threshold=drift_threshold)
         self.cache = cache if cache is not None else CurveCache(DEFAULT_LIVE_CACHE_SIZE)
         self._catalog_signature = catalog_signature(engine.catalog)
         self._recommendation: DopplerRecommendation | None = None
         self._n_refreshes = 0
+        self.profile_mode = profile_mode
+        self._profile_columns: tuple[tuple[int, StreamingSeriesStats], ...] = ()
+        self._profile_stats: dict[PerfDimension, StreamingSeriesStats] = {}
+        if profile_mode == "streaming":
+            summarizer = engine.summarizer
+            if not getattr(summarizer, "supports_streaming", False):
+                raise ValueError(
+                    f"summarizer {summarizer.name!r} has no streaming "
+                    "evaluation; use profile_mode='exact'"
+                )
+            profiled = engine.profiler_for(deployment).dimensions
+            self._profile_stats = {
+                dim: StreamingSeriesStats(window=window)
+                for dim in profiled
+                if dim in dimensions
+            }
+            self._profile_columns = tuple(
+                (dimensions.index(dim), stats)
+                for dim, stats in self._profile_stats.items()
+            )
 
     # ------------------------------------------------------------------
     # The service loop
@@ -170,6 +207,8 @@ class LiveRecommender:
         # the parsed row directly (same dimension tuple by construction).
         row = self.builder.append(sample)
         self.estimator.update_vector(row)
+        for column, stats in self._profile_columns:
+            stats.update(row[column])
         if self.builder.n_window < self.min_refresh_samples:
             return self._update(refreshed=False, drift=None)
         if self._recommendation is None:
@@ -186,23 +225,48 @@ class LiveRecommender:
 
         Rebases drift detection on the estimates the new curve was
         built from, so subsequent drift means "the world moved since
-        this recommendation".
+        this recommendation".  For MI targets the refresh also folds
+        the planned file layout's GP IOPS limit into the incremental
+        estimator whenever the layout changed (MI streaming parity:
+        drift detection sees the same capacity matrix the curve was
+        built with, at the cost of one window replay per layout
+        change).
         """
         trace = self.builder.snapshot()
+        mi_plan = None
+        if self.deployment is DeploymentType.SQL_MI:
+            # Plan Step-1 storage once per refresh: the override sync
+            # and the curve build below share the same plan.
+            mi_plan = self.engine.ppm.plan_mi_storage(trace)
+            self._sync_mi_overrides(trace, mi_plan)
         key = curve_cache_key(
             trace, self.deployment.value, None, self._catalog_signature
         )
         curve = self.cache.get_or_build(
-            key, lambda: self.engine.ppm.build_curve(trace, self.deployment)
+            key,
+            lambda: self.engine.ppm.build_curve(
+                trace, self.deployment, mi_plan=mi_plan
+            ),
         )
+        profile = None
+        if self.profile_mode == "streaming":
+            profile = self.engine.profiler_for(self.deployment).profile_streaming(
+                self._profile_stats, entity_id=self.builder.entity_id
+            )
         self._recommendation = self.engine.recommend(
-            trace, self.deployment, curve=curve
+            trace, self.deployment, curve=curve, profile=profile
         )
         self.detector.rebase_vector(
             self._sku_names, self.estimator.probabilities()
         )
         self._n_refreshes += 1
         return self._recommendation
+
+    def _sync_mi_overrides(self, trace, plan) -> None:
+        """Fold the current MI file layout's IOPS cap into the estimator."""
+        overrides = gp_iops_overrides(self._candidates, plan)
+        if overrides != (self.estimator.iops_overrides or {}):
+            self.estimator.rebase_capacity(overrides or None, trace)
 
     # ------------------------------------------------------------------
     # Introspection

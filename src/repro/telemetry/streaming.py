@@ -19,15 +19,23 @@ collector over a sliding assessment period.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from typing import Iterable, Mapping
 
 import numpy as np
 
+from ..ml.sketch import MergingQuantileSketch
 from .counters import PerfDimension
 from .timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES, TimeSeries
 from .trace import PerformanceTrace
 
-__all__ = ["StreamingTraceBuilder", "DEFAULT_STREAM_WINDOW", "parse_sample"]
+__all__ = [
+    "StreamingSeriesStats",
+    "StreamingTraceBuilder",
+    "DEFAULT_STREAM_WINDOW",
+    "parse_sample",
+]
 
 #: One week of 10-minute samples -- the paper's minimum advised
 #: assessment period at the DMA collector cadence.
@@ -61,6 +69,153 @@ def parse_sample(
             raise ValueError(f"non-finite {dim.name} sample: {value!r}")
         row[column] = value
     return row
+
+
+class StreamingSeriesStats:
+    """O(1)-per-sample summary state of one sliding counter series.
+
+    The streaming counterpart of re-scanning a
+    :class:`~repro.telemetry.timeseries.TimeSeries` window: maintains
+    exactly the statistics the negotiability summarizers consume --
+    windowed mean and population standard deviation (running sums with
+    ring-buffer eviction), exact windowed max/min (monotonic deques),
+    and a :class:`~repro.ml.sketch.MergingQuantileSketch` for rank
+    queries like the thresholding algorithm's near-peak fraction.
+
+    Accuracy contract: count/mean/max/min are exact over the newest
+    ``window`` samples; the standard deviation is exact up to running
+    floating-point drift (a relative ~1e-9 over realistic streams).
+    Rank queries carry two error terms: the sketch's documented
+    compression error (``1/(compression-1)`` of the window, which
+    only *under*-counts ranks), and a coverage overhang -- the sketch
+    evicts whole blocks, so up to one block of just-expired samples
+    still participates in rank queries.  On a stationary stream the
+    overhang is statistically invisible; right after a level shift it
+    biases rank fractions toward the *old* level by at most
+    ``block_size / window`` until the stale block expires.  The block
+    size therefore adapts to the window (``window // 8``, clamped to
+    [8, 256]): ~12.5 % for windows of 64 samples and up, degrading to
+    as much as a full window below that (toy windows shorter than one
+    block cannot bound eviction granularity -- use ``profile_mode=
+    "exact"`` or pass ``sketch_block_size`` explicitly there).
+
+    Typical use::
+
+        stats = StreamingSeriesStats(window=1008)
+        for value in counter_feed:
+            stats.update(value)
+        fraction = stats.fraction_at_least(stats.max - stats.std)
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_STREAM_WINDOW,
+        sketch_block_size: int | None = None,
+        sketch_compression: int | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1 sample, got {window!r}")
+        self.window = int(window)
+        if sketch_block_size is None:
+            # Bound the eviction-granularity overhang to ~window/8
+            # while keeping blocks large enough to amortize well.
+            sketch_block_size = max(8, min(256, self.window // 8))
+        sketch_kwargs = {"block_size": sketch_block_size}
+        if sketch_compression is not None:
+            sketch_kwargs["compression"] = sketch_compression
+        self._sketch = MergingQuantileSketch(window=self.window, **sketch_kwargs)
+        self._ring = np.empty(self.window, dtype=float)
+        self._n_seen = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        # Monotonic (index, value) deques: non-increasing for max,
+        # non-decreasing for min; heads are the exact window extremes.
+        self._max_deque: deque[tuple[int, float]] = deque()
+        self._min_deque: deque[tuple[int, float]] = deque()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Absorb one sample; O(1) amortized."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite sample: {value!r}")
+        index = self._n_seen
+        slot = index % self.window
+        if index >= self.window:
+            evicted = self._ring[slot]
+            self._sum -= evicted
+            self._sum_sq -= evicted * evicted
+        self._ring[slot] = value
+        self._n_seen += 1
+        self._sum += value
+        self._sum_sq += value * value
+        horizon = self._n_seen - self.window  # oldest live index
+        while self._max_deque and self._max_deque[0][0] < horizon:
+            self._max_deque.popleft()
+        while self._max_deque and self._max_deque[-1][1] <= value:
+            self._max_deque.pop()
+        self._max_deque.append((index, value))
+        while self._min_deque and self._min_deque[0][0] < horizon:
+            self._min_deque.popleft()
+        while self._min_deque and self._min_deque[-1][1] >= value:
+            self._min_deque.pop()
+        self._min_deque.append((index, value))
+        self._sketch.update(value)
+
+    def extend(self, values) -> None:
+        """Absorb a batch of samples in stream order."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.update(float(value))
+
+    # ------------------------------------------------------------------
+    # Exact windowed statistics
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Samples currently inside the window."""
+        return min(self._n_seen, self.window)
+
+    @property
+    def n_seen(self) -> int:
+        """Samples ever ingested (including aged-out ones)."""
+        return self._n_seen
+
+    @property
+    def mean(self) -> float:
+        if self._n_seen == 0:
+            raise ValueError("no samples ingested yet")
+        return self._sum / self.n
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation over the window."""
+        mean = self.mean  # raises on the empty stream
+        return math.sqrt(max(0.0, self._sum_sq / self.n - mean * mean))
+
+    @property
+    def max(self) -> float:
+        if not self._max_deque:
+            raise ValueError("no samples ingested yet")
+        return self._max_deque[0][1]
+
+    @property
+    def min(self) -> float:
+        if not self._min_deque:
+            raise ValueError("no samples ingested yet")
+        return self._min_deque[0][1]
+
+    # ------------------------------------------------------------------
+    # Sketch-backed rank queries
+    # ------------------------------------------------------------------
+    def fraction_at_least(self, threshold: float) -> float:
+        """Approximate fraction of window samples ``>= threshold``."""
+        return self._sketch.fraction_at_least(threshold)
+
+    def quantile(self, q: float) -> float:
+        """Approximate window quantile."""
+        return self._sketch.quantile(q)
 
 
 class StreamingTraceBuilder:

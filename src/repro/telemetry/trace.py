@@ -15,7 +15,7 @@ from typing import Mapping
 
 import numpy as np
 
-from .counters import PerfDimension
+from .counters import PerfDimension, invert_latency
 from .timeseries import TimeSeries
 
 __all__ = ["PerformanceTrace"]
@@ -97,6 +97,35 @@ class PerformanceTrace:
         """
         dims = dimensions if dimensions is not None else self.dimensions
         return np.column_stack([self[dim].values for dim in dims])
+
+    def demand_matrix(self, dimensions: tuple[PerfDimension, ...]) -> np.ndarray:
+        """``(n_samples, n_dims)`` demand matrix, memoized per trace.
+
+        Like :meth:`matrix` but with latency columns inverted (the
+        paper's equation (1) transformation), which is the form every
+        throttling estimator consumes.  The matrix is computed once
+        per dimension tuple and cached on the trace -- a fleet pass
+        that profiles, fits and recommends over the same trace shares
+        a single inversion pass.  The returned array is marked
+        read-only; copy before mutating.
+
+        Raises:
+            KeyError: If a requested dimension is missing.
+        """
+        dims = tuple(dimensions)
+        cache = self.__dict__.setdefault("_demand_cache", {})
+        cached = cache.get(dims)
+        if cached is None:
+            columns = [
+                invert_latency(self[dim].values)
+                if dim.lower_is_better
+                else self[dim].values
+                for dim in dims
+            ]
+            cached = np.column_stack(columns)
+            cached.flags.writeable = False
+            cache[dims] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Transformations

@@ -1,0 +1,113 @@
+"""Perf-trend record diffing (benchmarks/perf_trend.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from perf_trend import collect_metrics, compare_records, load_records, main  # noqa: E402
+
+
+def record(name: str, per_sec: float, smoke: bool = False) -> dict:
+    return {
+        "benchmark": name,
+        "smoke": smoke,
+        "nested": {"updates_per_sec": per_sec, "speedup": 3.0, "n_samples": 100},
+        "sizes": [{"cust_per_sec": per_sec * 2, "identical": True}],
+    }
+
+
+class TestCollectMetrics:
+    def test_only_per_sec_leaves_participate(self):
+        metrics = collect_metrics(record("x", 100.0))
+        assert metrics == {
+            "nested.updates_per_sec": 100.0,
+            "sizes[0].cust_per_sec": 200.0,
+        }
+
+    def test_bools_and_counters_excluded(self):
+        metrics = collect_metrics({"flag_per_sec": True, "n": 5})
+        assert metrics == {}
+
+
+class TestCompareRecords:
+    def test_flags_regressions_beyond_threshold(self):
+        baseline = {"s": record("s", 1000.0)}
+        current = {"s": record("s", 700.0)}  # -30%
+        regressions, notes = compare_records(baseline, current, threshold=0.2)
+        assert len(regressions) == 2  # both per_sec leaves dropped 30%
+        metric, base, cur, change = regressions[0]
+        assert metric.startswith("s:")
+        assert change == pytest.approx(-0.3)
+        assert not notes
+
+    def test_small_drops_and_improvements_pass(self):
+        baseline = {"s": record("s", 1000.0)}
+        for factor in (0.85, 1.0, 2.0):
+            current = {"s": record("s", 1000.0 * factor)}
+            regressions, _ = compare_records(baseline, current, threshold=0.2)
+            assert regressions == []
+
+    def test_smoke_mismatch_skips_comparison(self):
+        baseline = {"s": record("s", 1000.0, smoke=False)}
+        current = {"s": record("s", 10.0, smoke=True)}
+        regressions, notes = compare_records(baseline, current)
+        assert regressions == []
+        assert any("smoke" in note for note in notes)
+
+    def test_missing_benchmark_noted_not_fatal(self):
+        baseline = {"s": record("s", 1000.0), "f": record("f", 50.0)}
+        current = {"s": record("s", 1000.0)}
+        regressions, notes = compare_records(baseline, current)
+        assert regressions == []
+        assert any("'f'" in note for note in notes)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_records({}, {}, threshold=0.0)
+
+
+class TestEndToEnd:
+    def write(self, directory: Path, name: str, payload: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+
+    def test_load_records_skips_corrupt_files(self, tmp_path, capsys):
+        self.write(tmp_path, "good", record("good", 10.0))
+        (tmp_path / "BENCH_bad.json").write_text("{not json", encoding="utf-8")
+        records = load_records(tmp_path)
+        assert set(records) == {"good"}
+
+    def test_main_flags_regression(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "streaming", record("streaming", 1000.0))
+        self.write(current, "streaming", record("streaming", 100.0))
+        assert main(["--baseline", str(baseline), "--current", str(current)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert (
+            main(
+                [
+                    "--baseline",
+                    str(baseline),
+                    "--current",
+                    str(current),
+                    "--warn-only",
+                ]
+            )
+            == 0
+        )
+
+    def test_main_without_baseline_is_clean(self, tmp_path, capsys):
+        current = tmp_path / "cur"
+        self.write(current, "streaming", record("streaming", 100.0))
+        assert main(["--baseline", str(tmp_path / "none"), "--current", str(current)]) == 0

@@ -1,0 +1,199 @@
+"""Streaming profiling in the live loop + MI capacity-override parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, ServiceTier, SkuCatalog
+from repro.core import (
+    CustomerProfiler,
+    DopplerEngine,
+    EmpiricalThrottlingEstimator,
+    IncrementalThrottlingEstimator,
+)
+from repro.core.negotiability import StlSummarizer
+from repro.streaming import LiveRecommender
+from repro.telemetry import PerfDimension, StreamingSeriesStats
+from repro.telemetry.counters import MI_DIMENSIONS, PROFILING_DB_DIMENSIONS
+
+from .conftest import make_sku, make_trace
+
+
+def db_sample(rng, index: int, scale: float = 1.0):
+    return {
+        PerfDimension.CPU: float(scale * abs(rng.normal(2.0, 0.8))),
+        PerfDimension.MEMORY: float(scale * abs(rng.normal(8.0, 2.0))),
+        PerfDimension.IOPS: float(scale * abs(rng.normal(300.0, 120.0))),
+        PerfDimension.IO_LATENCY: float(abs(rng.normal(6.0, 1.0)) + 0.3),
+        PerfDimension.LOG_RATE: float(scale * abs(rng.normal(2.5, 0.8))),
+        PerfDimension.STORAGE: 120.0 + index * 0.1,
+    }
+
+
+class TestProfileStreaming:
+    def test_profile_streaming_tracks_exact_profile(self):
+        """Streaming profiles agree with the exact re-scan on a window."""
+        rng = np.random.default_rng(5)
+        window = 256
+        profiler = CustomerProfiler(dimensions=PROFILING_DB_DIMENSIONS)
+        stats = {
+            dim: StreamingSeriesStats(window=window)
+            for dim in PROFILING_DB_DIMENSIONS
+        }
+        columns = {dim: [] for dim in PROFILING_DB_DIMENSIONS}
+        for index in range(window):
+            sample = db_sample(rng, index)
+            for dim in PROFILING_DB_DIMENSIONS:
+                stats[dim].update(sample[dim])
+                columns[dim].append(sample[dim])
+        streaming_profile = profiler.profile_streaming(stats, entity_id="s")
+        trace = make_trace(
+            np.array(columns[PerfDimension.CPU]),
+            memory_gb=np.array(columns[PerfDimension.MEMORY]),
+            data_iops=np.array(columns[PerfDimension.IOPS]),
+            log_rate_mbps=np.array(columns[PerfDimension.LOG_RATE]),
+            entity_id="s",
+        )
+        exact_profile = profiler.profile(trace)
+        assert streaming_profile.group_key == exact_profile.group_key
+        np.testing.assert_allclose(
+            streaming_profile.features, exact_profile.features, atol=1.0 / 63 + 1e-9
+        )
+
+    def test_profile_streaming_missing_dimension_raises(self):
+        profiler = CustomerProfiler(dimensions=PROFILING_DB_DIMENSIONS)
+        stats = {PerfDimension.CPU: StreamingSeriesStats(window=16)}
+        stats[PerfDimension.CPU].update(1.0)
+        with pytest.raises(KeyError, match="MEMORY"):
+            profiler.profile_streaming(stats)
+
+
+class TestLiveRecommenderStreamingProfile:
+    @pytest.fixture()
+    def engine(self, small_catalog):
+        return DopplerEngine(catalog=small_catalog)
+
+    def test_streaming_mode_produces_recommendations(self, engine):
+        rng = np.random.default_rng(9)
+        live = LiveRecommender(
+            engine,
+            DeploymentType.SQL_DB,
+            window=128,
+            min_refresh_samples=12,
+            profile_mode="streaming",
+        )
+        update = None
+        for index in range(64):
+            update = live.observe(db_sample(rng, index))
+        assert update.has_recommendation
+        assert live.n_refreshes >= 1
+
+    def test_streaming_mode_matches_exact_mode_on_stable_feed(self, engine):
+        """On a well-separated workload both modes pick the same SKU."""
+        results = {}
+        for mode in ("exact", "streaming"):
+            rng = np.random.default_rng(21)
+            live = LiveRecommender(
+                engine,
+                DeploymentType.SQL_DB,
+                window=128,
+                min_refresh_samples=12,
+                profile_mode=mode,
+            )
+            for index in range(96):
+                update = live.observe(db_sample(rng, index))
+            results[mode] = (
+                update.recommendation.sku.name,
+                update.recommendation.profile.group_key,
+            )
+        assert results["exact"] == results["streaming"]
+
+    def test_unsupported_summarizer_rejected_up_front(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
+        with pytest.raises(ValueError, match="streaming"):
+            LiveRecommender(
+                engine, DeploymentType.SQL_DB, profile_mode="streaming"
+            )
+
+    def test_unknown_profile_mode_rejected(self, engine):
+        with pytest.raises(ValueError, match="profile mode"):
+            LiveRecommender(engine, DeploymentType.SQL_DB, profile_mode="bogus")
+
+
+class TestMiStreamingParity:
+    def test_refresh_folds_layout_override_into_estimator(self, small_catalog=None):
+        catalog = SkuCatalog.default()
+        engine = DopplerEngine(catalog=catalog)
+        rng = np.random.default_rng(2)
+        live = LiveRecommender(
+            engine, DeploymentType.SQL_MI, window=128, min_refresh_samples=12
+        )
+        for index in range(48):
+            live.observe(db_sample(rng, index))
+        assert live.n_refreshes >= 1
+        overrides = live.estimator.iops_overrides
+        assert overrides, "MI refresh must install the layout's GP IOPS override"
+        candidates = list(catalog.for_deployment(DeploymentType.SQL_MI))
+        gp_names = {
+            sku.name for sku in candidates if sku.tier is ServiceTier.GENERAL_PURPOSE
+        }
+        assert set(overrides) == gp_names
+
+    def test_incremental_matches_batch_estimator_with_overrides(self):
+        """The ROADMAP regression test: parity against the batch path."""
+        catalog = SkuCatalog.default()
+        engine = DopplerEngine(catalog=catalog)
+        rng = np.random.default_rng(4)
+        live = LiveRecommender(
+            engine, DeploymentType.SQL_MI, window=96, min_refresh_samples=12
+        )
+        for index in range(72):
+            live.observe(db_sample(rng, index, scale=1.0 + index / 24.0))
+        trace = live.builder.snapshot()
+        candidates = list(catalog.for_deployment(DeploymentType.SQL_MI))
+        batch = EmpiricalThrottlingEstimator().probabilities(
+            trace,
+            candidates,
+            MI_DIMENSIONS,
+            iops_overrides=live.estimator.iops_overrides,
+        )
+        np.testing.assert_allclose(
+            live.estimator.probabilities(), batch, rtol=0, atol=1e-12
+        )
+
+    def test_rebase_capacity_equals_fresh_construction(self):
+        skus = [make_sku(2, name="a"), make_sku(8, name="b")]
+        dims = (PerfDimension.CPU, PerfDimension.MEMORY, PerfDimension.IOPS)
+        rng = np.random.default_rng(6)
+        n = 40
+        trace = make_trace(
+            np.abs(rng.normal(2.0, 1.0, n)),
+            memory_gb=np.abs(rng.normal(8.0, 3.0, n)),
+            data_iops=np.abs(rng.normal(500.0, 200.0, n)),
+            entity_id="rebase",
+        )
+        estimator = IncrementalThrottlingEstimator.from_trace(
+            trace, skus, dims, window=32
+        )
+        overrides = {"a": 120.0, "b": 5000.0}
+        estimator.rebase_capacity(overrides, trace)
+        fresh = IncrementalThrottlingEstimator.from_trace(
+            trace, skus, dims, window=32, iops_overrides=overrides
+        )
+        np.testing.assert_array_equal(
+            estimator.probabilities(), fresh.probabilities()
+        )
+        assert estimator.iops_overrides == overrides
+
+    def test_rebase_without_trace_rejected_once_ingested(self):
+        skus = [make_sku(2, name="a")]
+        dims = (PerfDimension.CPU,)
+        estimator = IncrementalThrottlingEstimator(skus, dims, window=8)
+        estimator.update({PerfDimension.CPU: 1.0})
+        with pytest.raises(ValueError, match="rebase_capacity"):
+            estimator.rebase_capacity({"a": 10.0})
+        # Before any ingestion a trace-less rebase is fine.
+        fresh = IncrementalThrottlingEstimator(skus, dims, window=8)
+        fresh.rebase_capacity({"a": 10.0})
+        assert fresh.iops_overrides == {"a": 10.0}
