@@ -24,6 +24,13 @@ window each sample, with an accuracy gate on the sketch's documented
 rank error and an O(1) gate on the per-sample cost across window
 lengths.
 
+Also benchmarks the process-sharded fleet watch
+(:meth:`~repro.fleet.engine.FleetEngine.watch_fleet` with
+``backend="process"``): one interleaved feed over many customers,
+1 worker vs N workers, verifying the update stream stays
+byte-identical to the serial backend and (on machines with enough
+cores) that N workers deliver a real customers/s scaling.
+
 Emits a machine-readable perf record to
 ``benchmarks/results/BENCH_streaming.json`` (uploaded as a CI
 artifact) so the perf trajectory accumulates across commits;
@@ -32,13 +39,15 @@ artifact) so the perf trajectory accumulates across commits;
 Exit status: 1 when incremental and batch probabilities disagree,
 2 when the estimator speedup misses the threshold, 3 when streaming
 profiling diverges from the window re-scan, 4 when streaming
-profiling misses its O(1)/speedup contract.
+profiling misses its O(1)/speedup contract, 5 when the sharded watch
+diverges from the serial one or misses the scaling gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -62,6 +71,7 @@ from repro import (
 )
 from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
 from repro.core import CustomerProfiler, EmpiricalThrottlingEstimator, ThresholdingSummarizer
+from repro.fleet import FleetEngine, FleetSample
 from repro.telemetry import StreamingSeriesStats
 from repro.telemetry.counters import DB_DIMENSIONS, PROFILING_DB_DIMENSIONS
 
@@ -231,6 +241,96 @@ def bench_profiling_scaling(seed: int, n_samples: int = 1200) -> dict:
     }
 
 
+def make_fleet_feed(
+    n_customers: int, samples_each: int, seed: int
+) -> list[FleetSample]:
+    """An interleaved fleet feed: ``n_customers`` parallel telemetry streams."""
+    rng = np.random.default_rng(seed)
+    scales = 0.5 + 3.0 * rng.random(n_customers)
+    streams = []
+    for customer, scale in enumerate(scales):
+        streams.append(
+            [
+                {
+                    PerfDimension.CPU: float(scale * abs(rng.normal(2.0, 0.8))),
+                    PerfDimension.MEMORY: float(scale * abs(rng.normal(8.0, 2.0))),
+                    PerfDimension.IOPS: float(scale * abs(rng.normal(350.0, 120.0))),
+                    PerfDimension.IO_LATENCY: float(abs(rng.normal(6.0, 1.0)) + 0.3),
+                    PerfDimension.LOG_RATE: float(scale * abs(rng.normal(2.5, 0.8))),
+                    PerfDimension.STORAGE: 150.0 + customer * 0.1,
+                }
+                for _ in range(samples_each)
+            ]
+        )
+    feed = []
+    for index in range(samples_each):
+        for customer in range(n_customers):
+            feed.append(
+                FleetSample(
+                    customer_id=f"cust-{customer:05d}", values=streams[customer][index]
+                )
+            )
+    return feed
+
+
+def canonical_watch_bytes(updates) -> bytes:
+    """Deterministic byte encoding of a fleet watch for equality checks."""
+    lines = []
+    for update in updates:
+        if update.update is None:
+            lines.append(f"{update.customer_id}|ERROR|{update.error}")
+        else:
+            live = update.update
+            rec = live.recommendation
+            lines.append(
+                f"{update.customer_id}|{live.n_seen}|{live.n_window}"
+                f"|{live.refreshed}|{rec.sku.name if rec else None}"
+                f"|{rec.expected_throttling!r}"
+            )
+    return "\n".join(lines).encode("utf-8")
+
+
+def bench_watch_scaling(
+    n_customers: int, samples_each: int, window: int, seed: int, max_workers: int
+) -> dict:
+    """Process-sharded fleet watch: 1 worker vs N, against serial.
+
+    One feed drives ``n_customers`` concurrent live assessments three
+    times -- serial backend, process backend with one worker, process
+    backend with ``max_workers`` -- asserting all three emit
+    byte-identical update streams (the sticky-routing identity
+    contract) and recording customers/s for the scaling trajectory.
+    """
+    engine = DopplerEngine(catalog=SkuCatalog.default())
+    fleet = FleetEngine(engine=engine, backend="serial")
+    feed = make_fleet_feed(n_customers, samples_each, seed)
+    watch_kwargs = dict(window=window, min_refresh_samples=min(12, window))
+
+    def run(backend: str, workers: int | None) -> tuple[bytes, float]:
+        start = time.perf_counter()
+        updates = list(
+            fleet.watch_fleet(feed, backend=backend, max_workers=workers, **watch_kwargs)
+        )
+        seconds = time.perf_counter() - start
+        return canonical_watch_bytes(updates), seconds
+
+    serial_blob, serial_seconds = run("serial", None)
+    one_blob, one_seconds = run("process", 1)
+    many_blob, many_seconds = run("process", max_workers)
+    return {
+        "n_customers": n_customers,
+        "samples_each": samples_each,
+        "window": window,
+        "max_workers": max_workers,
+        "serial_customers_per_sec": n_customers / serial_seconds,
+        "process_1w_customers_per_sec": n_customers / one_seconds,
+        "process_nw_customers_per_sec": n_customers / many_seconds,
+        "scaling_vs_1w": one_seconds / many_seconds,
+        "identical_1w": one_blob == serial_blob,
+        "identical_nw": many_blob == serial_blob,
+    }
+
+
 def bench_live_loop(samples: list[dict[PerfDimension, float]], window: int) -> dict:
     """End-to-end LiveRecommender observe() throughput."""
     engine = DopplerEngine(catalog=SkuCatalog.default())
@@ -308,6 +408,31 @@ def main(argv: list[str] | None = None) -> int:
         f"   curve-cache hit rate {live_record['cache_hit_rate']:.0%}"
     )
 
+    cores = os.cpu_count() or 1
+    if args.smoke:
+        watch_customers, watch_samples_each = 40, 12
+    else:
+        watch_customers, watch_samples_each = 1000, 16
+    watch_workers = max(2, min(4, cores))
+    print(
+        f"Process-sharded fleet watch: {watch_customers} customers x "
+        f"{watch_samples_each} samples, 1 vs {watch_workers} workers ..."
+    )
+    watch_record = bench_watch_scaling(
+        watch_customers,
+        watch_samples_each,
+        window=12,
+        seed=args.seed,
+        max_workers=watch_workers,
+    )
+    print(
+        f"  serial {watch_record['serial_customers_per_sec']:>8.1f} cust/s"
+        f"   process@1 {watch_record['process_1w_customers_per_sec']:>8.1f} cust/s"
+        f"   process@{watch_workers} {watch_record['process_nw_customers_per_sec']:>8.1f} cust/s"
+        f"   scaling {watch_record['scaling_vs_1w']:.2f}x"
+        f"   identical={watch_record['identical_1w'] and watch_record['identical_nw']}"
+    )
+
     record = {
         "benchmark": "streaming",
         "timestamp": time.time(),
@@ -318,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         "profiling": profiling_record,
         "profiling_scaling": scaling_record,
         "live_loop": live_record,
+        "watch_scaling": watch_record,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
@@ -351,6 +477,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 3
+    if not (watch_record["identical_1w"] and watch_record["identical_nw"]):
+        print(
+            "FAIL: process-sharded watch_fleet diverges from the serial backend "
+            f"(identical@1w={watch_record['identical_1w']}, "
+            f"identical@{watch_workers}w={watch_record['identical_nw']})",
+            file=sys.stderr,
+        )
+        return 5
     if args.smoke:
         # Same policy as bench_fleet_scale: correctness (the agreement
         # gates above) blocks CI, timing does not -- shared runners
@@ -375,6 +509,21 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 4
+    # Sharded-watch scaling gate: like the fleet bench's parallel gate,
+    # only meaningful with real cores behind the workers.
+    if cores >= 4 and watch_record["scaling_vs_1w"] < 1.5:
+        print(
+            f"FAIL: process-sharded watch scaling "
+            f"{watch_record['scaling_vs_1w']:.2f}x at {watch_workers} workers "
+            f"is below the 1.5x threshold on a {cores}-core machine",
+            file=sys.stderr,
+        )
+        return 5
+    if cores < 4:
+        print(
+            f"note: watch scaling gate skipped on a {cores}-core machine "
+            "(needs >= 4 cores)"
+        )
     return 0
 
 

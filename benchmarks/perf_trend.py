@@ -8,15 +8,31 @@ typically the previous CI run's artifact against the current one --
 and flags every throughput metric that regressed by more than the
 threshold (default 20 %).
 
+Two levels of enforcement:
+
+* **Relative trend** (baseline vs current): warn-only by default under
+  ``--warn-only``, but benchmarks named via ``--blocking`` fail the
+  run even then -- their throughput history has accumulated enough
+  variance data to gate on.
+* **Absolute floors** (``--floors floors.json``): a JSON mapping of
+  ``{benchmark: {dotted.metric.path: minimum}}``.  A current metric
+  below its floor always fails, warn-only or not, and a floored
+  metric missing from the current run fails too (a silently vanished
+  benchmark must not pass the gate).  Floors are pinned well below
+  observed values so they catch order-of-magnitude regressions, not
+  runner noise.
+
 Usage::
 
     python benchmarks/perf_trend.py --baseline prev/ --current benchmarks/results/
-    python benchmarks/perf_trend.py --baseline prev/ --current ... --warn-only
+    python benchmarks/perf_trend.py --baseline prev/ --current ... \\
+        --warn-only --blocking fleet --floors benchmarks/perf_floors.json
 
 Exit status: 1 when any metric regressed beyond the threshold (0
-under ``--warn-only``, which still prints the flags -- CI uses it
-because shared-runner smoke timings are noisy); 0 when clean or when
-either side has no records to compare (first run, new benchmark).
+under ``--warn-only``, except for ``--blocking`` benchmarks), when
+any floor is violated, or when a floored metric is missing; 0 when
+clean or when either side has no records to compare (first run, new
+benchmark) and no floors are violated.
 """
 
 from __future__ import annotations
@@ -114,6 +130,54 @@ def compare_records(
     return regressions, notes
 
 
+def check_floors(
+    current: dict[str, dict], floors: dict[str, dict[str, float]]
+) -> list[str]:
+    """Violations of the absolute throughput floors, as messages.
+
+    A floored metric missing from the current run (absent record or
+    absent leaf) is a violation: floors exist so a regression cannot
+    slip through, and a benchmark that silently stopped reporting is
+    the most complete regression there is.  Smoke and full runs share
+    the floors file, so pin floors from the *smoke* configuration CI
+    actually executes.
+    """
+    violations: list[str] = []
+    for name, metric_floors in sorted(floors.items()):
+        record = current.get(name)
+        metrics = collect_metrics(record) if record is not None else {}
+        for metric, floor in sorted(metric_floors.items()):
+            value = metrics.get(metric)
+            if value is None:
+                violations.append(
+                    f"{name}:{metric} has a floor of {floor:,.1f} but is missing "
+                    "from the current run"
+                )
+            elif value < floor:
+                violations.append(
+                    f"{name}:{metric} = {value:,.1f} below the absolute floor "
+                    f"{floor:,.1f}"
+                )
+    return violations
+
+
+def load_floors(path: Path) -> dict[str, dict[str, float]]:
+    """Parse and validate a floors file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"floors file {path} must map benchmark names to metrics")
+    floors: dict[str, dict[str, float]] = {}
+    for name, metric_floors in data.items():
+        if name.startswith("_"):
+            continue  # comment keys
+        if not isinstance(metric_floors, dict):
+            raise ValueError(f"floors for benchmark {name!r} must be a mapping")
+        floors[name] = {
+            metric: float(floor) for metric, floor in metric_floors.items()
+        }
+    return floors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -133,34 +197,61 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print flags but exit 0 (for noisy shared CI runners)",
     )
+    parser.add_argument(
+        "--blocking",
+        action="append",
+        default=[],
+        metavar="BENCHMARK",
+        help="benchmark whose regressions fail the run even under --warn-only "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--floors",
+        type=Path,
+        default=None,
+        help="JSON file of absolute throughput floors "
+        "({benchmark: {metric.path: minimum}}); violations always fail",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_records(args.baseline) if args.baseline.is_dir() else {}
     current = load_records(args.current) if args.current.is_dir() else {}
+    floors = load_floors(args.floors) if args.floors is not None else {}
+
+    floor_failures = check_floors(current, floors) if floors else []
+    for failure in floor_failures:
+        print(f"FLOOR {failure}")
+
     if not baseline:
         print(f"no baseline records under {args.baseline}; nothing to compare")
-        return 0
+        return 1 if floor_failures else 0
     if not current:
         print(f"no current records under {args.current}; nothing to compare")
-        return 0
+        return 1 if floor_failures else 0
 
     regressions, notes = compare_records(baseline, current, threshold=args.threshold)
     for note in notes:
         print(f"note: {note}")
     compared = sorted(set(baseline) & set(current))
     print(f"compared benchmarks: {', '.join(compared) if compared else 'none'}")
+    blocking_failures = []
     if not regressions:
         print(f"no throughput regressions beyond {args.threshold:.0%}")
-        return 0
     for metric, base_value, current_value, change in regressions:
+        benchmark = metric.split(":", 1)[0]
+        blocked = benchmark in args.blocking
         print(
-            f"REGRESSION {metric}: {base_value:,.1f} -> {current_value:,.1f} "
-            f"({change:+.1%})"
+            f"REGRESSION{' (blocking)' if blocked else ''} {metric}: "
+            f"{base_value:,.1f} -> {current_value:,.1f} ({change:+.1%})"
         )
-    if args.warn_only:
+        if blocked:
+            blocking_failures.append(metric)
+    if floor_failures or blocking_failures:
+        return 1
+    if regressions and args.warn_only:
         print("warn-only mode: exiting 0 despite regressions")
         return 0
-    return 1
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

@@ -7,6 +7,12 @@ mid-stream; the live loop notices the drift in its incremental
 throttling estimates and re-issues the recommendation -- without ever
 re-running the batch pipeline on the unchanged stretches.
 
+The second act scales the same loop to a whole fleet:
+``FleetEngine.watch_fleet(backend="process")`` shards an interleaved
+multi-customer feed across persistent worker processes with sticky
+per-customer routing, emitting the exact update stream the serial
+loop would -- one feed, many concurrent live assessments.
+
 Run with::
 
     python examples/live_recommendation.py
@@ -23,7 +29,7 @@ if __package__ in (None, ""):  # running as a script without installation
         sys.path.insert(0, str(_src))
 
 from repro import DeploymentType, DopplerEngine, LiveRecommender, PerfDimension, SkuCatalog
-from repro.fleet import FleetEngine
+from repro.fleet import FleetEngine, FleetSample
 from repro.simulation import FleetConfig, simulate_fleet
 
 
@@ -89,6 +95,42 @@ def main() -> None:
         f"curve cache: {stats.misses} builds, {stats.hits} hits."
     )
     print("\nFinal verdict:\n" + live.recommendation.explain())
+
+    # 4. Fleet scale: the same live loop over an interleaved
+    #    multi-customer feed, sharded across worker processes.  Each
+    #    customer's state lives on exactly one worker (sticky routing
+    #    by customer id), so the update stream is byte-identical to
+    #    running the whole feed serially in the parent.
+    print("\n--- Fleet watch: 12 customers through 2 worker processes ---\n")
+    rng = np.random.default_rng(7)
+    feeds = {
+        f"tenant-{index:02d}": telemetry_feed(60, rng)
+        for index in range(12)
+    }
+    fleet_feed = [
+        FleetSample(customer_id=customer_id, values=sample)
+        for batch in zip(*(list(feed) for feed in feeds.values()))
+        for customer_id, sample in zip(feeds, batch)
+    ]
+    fleet = FleetEngine(engine=engine, backend="process", max_workers=2)
+    n_updates = 0
+    final = {}
+    for update in fleet.watch_fleet(fleet_feed, window=48, min_refresh_samples=12):
+        n_updates += 1
+        final[update.customer_id] = update.recommendation
+    for customer_id in sorted(final):
+        rec = final[customer_id]
+        print(
+            f"{customer_id}: {rec.sku.name:<28} "
+            f"${rec.monthly_price:>8,.0f}/mo  "
+            f"throttling {rec.expected_throttling:.1%}"
+        )
+    watch_stats = fleet.watch_cache_stats()
+    print(
+        f"\n{len(fleet_feed)} samples -> {n_updates} refresh events across "
+        f"{len(feeds)} customers; watch curve cache: {watch_stats.misses} builds, "
+        f"{watch_stats.hits} hits (aggregated over worker shards)."
+    )
 
 
 if __name__ == "__main__":

@@ -262,6 +262,65 @@ class IncrementalThrottlingEstimator:
             raise ValueError("no samples ingested yet")
         return self._counts / self.n_window
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (worker handoff)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the window state and capacity overrides.
+
+        Configuration (SKU set, dimensions, window length) is not
+        included: restore targets must be constructed with matching
+        parameters.  Overrides *are* included, since they move at run
+        time (:meth:`rebase_capacity`).
+        """
+        return {
+            "n_seen": self._n_seen,
+            "counts": self._counts.copy(),
+            "ring": None if self._ring is None else self._ring.copy(),
+            "iops_overrides": dict(self._iops_overrides)
+            if self._iops_overrides
+            else None,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot; the inverse operation.
+
+        Rebuilds the capacity matrix from the snapshot's overrides, so
+        the restored estimator continues exactly where the source left
+        off -- including mid-stream MI layout rebases.
+
+        Raises:
+            ValueError: If the snapshot's count/ring shapes disagree
+                with this estimator's SKU set or window.
+        """
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != self._counts.shape:
+            raise ValueError(
+                f"snapshot tracks {counts.shape[0]} SKUs; this estimator "
+                f"tracks {self._counts.shape[0]}"
+            )
+        ring = state["ring"]
+        if (ring is None) != (self._ring is None):
+            raise ValueError(
+                "snapshot and estimator disagree on windowing "
+                "(bounded vs unbounded)"
+            )
+        if ring is not None:
+            ring = np.asarray(ring, dtype=bool)
+            if ring.shape != self._ring.shape:
+                raise ValueError(
+                    f"snapshot ring shape {ring.shape} does not match "
+                    f"this estimator's {self._ring.shape}"
+                )
+        overrides = state["iops_overrides"]
+        self._caps = ThrottlingEstimator._capacity_matrix(
+            list(self.skus), self.dimensions, overrides
+        )
+        self._iops_overrides = dict(overrides) if overrides else None
+        self._counts = counts.copy()
+        self._ring = None if ring is None else ring.copy()
+        self._n_seen = int(state["n_seen"])
+
     def estimates_by_name(self) -> dict[str, float]:
         """``{sku_name: probability}`` convenience view for drift checks."""
         return {

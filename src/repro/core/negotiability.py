@@ -100,7 +100,28 @@ class NegotiabilitySummarizer(abc.ABC):
         """
         raise NotImplementedError(
             f"summarizer {self.name!r} has no streaming evaluation; "
-            "use one of the thresholding/AUC summarizers for live profiling"
+            "use one of the thresholding/AUC/outlier summarizers for live profiling"
+        )
+
+    #: Whether :meth:`summarize_batch` is implemented.  Batched
+    #: profiling (the fleet fit path's columnar aggregation tail)
+    #: stacks same-length windows into one matrix; it is only
+    #: worthwhile for summarizers whose statistic vectorizes across
+    #: rows with byte-identical results.
+    supports_batch: ClassVar[bool] = False
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise ``(features, is_negotiable)`` over stacked windows.
+
+        ``values`` is an ``(n_series, n_samples)`` matrix of raw
+        counter windows, one series per row.  Returns an
+        ``(n_series, n_features)`` feature matrix and an
+        ``(n_series,)`` boolean decision vector whose rows are
+        byte-identical to per-series :meth:`summarize` calls.
+        """
+        raise NotImplementedError(
+            f"summarizer {self.name!r} has no batched evaluation; "
+            "profile traces one at a time"
         )
 
 
@@ -168,6 +189,33 @@ class ThresholdingSummarizer(NegotiabilitySummarizer):
     def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
         fraction = self.near_peak_fraction_streaming(stats)
         return np.array([fraction]), fraction < self.rho
+
+    supports_batch: ClassVar[bool] = True
+
+    def near_peak_fraction_batch(self, values: np.ndarray) -> np.ndarray:
+        """Row-wise near-peak fractions over stacked counter windows.
+
+        One ``(n_series, n_samples)`` broadcast instead of one Python
+        call per series.  Each row reduces along contiguous memory
+        exactly as the 1-D path does (same pairwise summation), so
+        fractions are byte-identical to :meth:`near_peak_fraction`.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] == 0:
+            raise ValueError(
+                f"expected a (n_series, n_samples) matrix, got shape {values.shape}"
+            )
+        peaks = values.max(axis=1)
+        spreads = values.std(axis=1)
+        floors = peaks - self.window_sigmas * spreads
+        fractions = np.mean(values >= floors[:, None], axis=1)
+        # A perfectly constant series is always at its peak: sustained
+        # demand, nothing to negotiate (same branch as the 1-D path).
+        return np.where(spreads == 0, 1.0, fractions)
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        fractions = self.near_peak_fraction_batch(values)
+        return fractions[:, None], fractions < self.rho
 
 
 @dataclass(frozen=True)
@@ -273,6 +321,31 @@ class OutlierSummarizer(NegotiabilitySummarizer):
         fraction = outlier_fraction(series.values, n_sigma=self.n_sigma)
         return np.array([fraction]), fraction > self.cutoff
 
+    supports_streaming: ClassVar[bool] = True
+
+    def outlier_fraction_streaming(self, stats: StreamingSeriesStats) -> float:
+        """3-sigma upward-outlier share from incremental window state.
+
+        The batch statistic is a pure rank query -- the fraction of
+        samples at least ``mean + n_sigma * std`` (upward excursions
+        only, matching :func:`~repro.ml.outliers.outlier_fraction`'s
+        default) -- so it rides the window's quantile sketch directly:
+        mean and spread are exact running moments, and the rank query
+        inherits the sketch's documented error terms (compression
+        error under-counts ranks only, plus the transient one-block
+        coverage overhang after level shifts; see
+        :class:`~repro.telemetry.streaming.StreamingSeriesStats`).
+        A constant window has zero outliers, exactly as in batch.
+        """
+        spread = stats.std
+        if spread == 0:
+            return 0.0
+        return stats.fraction_at_least(stats.mean + self.n_sigma * spread)
+
+    def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
+        fraction = self.outlier_fraction_streaming(stats)
+        return np.array([fraction]), fraction > self.cutoff
+
 
 @dataclass(frozen=True)
 class StlSummarizer(NegotiabilitySummarizer):
@@ -284,6 +357,15 @@ class StlSummarizer(NegotiabilitySummarizer):
     therefore additionally requires the residual to be *large* relative
     to the demand level (coefficient of variation above
     ``min_variation``) before calling the dimension negotiable.
+
+    This is the one summarizer with no streaming evaluation
+    (``supports_streaming`` stays False): the statistic is a full
+    seasonal-trend decomposition, whose LOESS-style smoothing couples
+    *every* window sample to every other -- it does not reduce to the
+    windowed moments, extremes and rank queries that
+    :class:`~repro.telemetry.streaming.StreamingSeriesStats` maintains
+    in O(1).  An incremental seasonal decomposition is a genuine
+    open item (see ROADMAP), not a closed form away.
 
     Attributes:
         period_samples: Seasonal period in samples (one day at the

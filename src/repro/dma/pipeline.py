@@ -25,7 +25,14 @@ from ..catalog.models import DeploymentType, SkuSpec
 from ..core.baseline import BaselineStrategy
 from ..core.engine import DopplerEngine
 from ..core.types import DopplerRecommendation
-from ..fleet.engine import FleetBackend, FleetCustomer, FleetEngine, FleetRecommendation
+from ..fleet.engine import (
+    FleetBackend,
+    FleetCustomer,
+    FleetEngine,
+    FleetLiveUpdate,
+    FleetRecommendation,
+    FleetSample,
+)
 from ..fleet.report import FleetSummary, summarize_fleet
 from ..streaming.live import LiveRecommender, LiveUpdate
 from ..telemetry.counters import PerfDimension
@@ -274,6 +281,36 @@ class AssessmentPipeline:
             update = recommender.observe(sample)
             if update.refreshed:
                 yield update
+
+    def watch_fleet(
+        self,
+        samples: Iterable[FleetSample],
+        backend: FleetBackend = "serial",
+        max_workers: int | None = None,
+        **kwargs,
+    ) -> Iterator[FleetLiveUpdate]:
+        """Fleet-wide streaming stage: one feed, thousands of customers.
+
+        The streaming counterpart of :meth:`assess_fleet`: interleaved
+        :class:`~repro.fleet.engine.FleetSample` events fan out over
+        the selected execution backend with sticky per-customer
+        routing, and refresh events stream back in feed order.  The
+        backend selection passes straight through to
+        :meth:`~repro.fleet.engine.FleetEngine.watch_fleet`, as do all
+        remaining keyword arguments (window, drift threshold, warm-up
+        length, ``refreshes_only``, ``profile_mode``).
+
+        Args:
+            samples: The fleet-wide telemetry feed, in arrival order.
+            backend: Fleet execution backend; ``serial`` by default so
+                DMA-embedded runs stay single-process unless asked
+                (same policy as :meth:`assess_fleet`).
+            max_workers: Worker count for parallel backends.
+        """
+        fleet_engine = FleetEngine(
+            engine=self.engine, backend=backend, max_workers=max_workers
+        )
+        return fleet_engine.watch_fleet(samples, **kwargs)
 
     @staticmethod
     def _flag_short_window(

@@ -1,11 +1,28 @@
-"""Fleet-scale batch recommendation.
+"""Fleet-scale batch and streaming recommendation.
 
 Scales Doppler from one workload to whole customer populations:
 sharded, parallel, curve-memoizing batch passes with streaming results
-and campaign-level summary reports.
+and campaign-level summary reports, plus a live fleet watch that
+shards customers' streaming assessments across the same execution
+backends (:mod:`repro.fleet.backends`) with sticky per-customer
+routing.
 """
 
-from .cache import CurveCache, CurveCacheStats, catalog_signature, trace_fingerprint
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from .cache import (
+    CurveCache,
+    CurveCacheStats,
+    catalog_signature,
+    combine_cache_stats,
+    trace_fingerprint,
+)
 from .engine import (
     FleetBackend,
     FleetCustomer,
@@ -16,9 +33,17 @@ from .engine import (
     FleetSample,
 )
 from .report import FleetSummary, summarize_fleet
-from .sharding import auto_chunk_size, shard
+from .sharding import auto_chunk_size, route_customer, shard
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "combine_cache_stats",
+    "route_customer",
     "CurveCache",
     "CurveCacheStats",
     "catalog_signature",

@@ -1,0 +1,619 @@
+"""Unified execution backends for fleet-scale passes.
+
+One execution substrate for both fleet protocols:
+
+* **Batch** (:meth:`ExecutionBackend.map_chunks`): position-sharded
+  chunks of customers fan out over an executor and results stream back
+  in submission order -- the ``fit_fleet`` / ``recommend_fleet``
+  plumbing that used to live as private globals in
+  :mod:`repro.fleet.engine`.
+* **Streaming** (:meth:`ExecutionBackend.watch`): a fleet-wide
+  telemetry feed is routed *sticky-by-customer-id* (see
+  :func:`~repro.fleet.sharding.route_customer`) to stateful shard
+  workers, each owning its customers'
+  :class:`~repro.streaming.live.LiveRecommender` state for the whole
+  watch, and per-sample outcomes flow back in feed order.
+
+Three backends implement both protocols behind one interface:
+``serial`` (everything in the parent), ``thread`` (one single-thread
+executor per shard, so per-customer state stays confined), and
+``process`` (persistent worker processes with per-worker input queues
+and one shared result queue).  The contract every backend upholds is
+*serial identity*: the emitted result sequence -- including
+per-customer failure containment and quarantine ordering -- is
+byte-identical to the serial backend's, because each customer's state
+lives on exactly one shard, shards process their samples in feed
+order, and the parent reorders emissions by global sequence number
+before yielding.
+
+Streaming shards exchange *microbatches* ("ticks") with the parent
+rather than single samples, so queue/IPC overhead amortizes across
+:data:`WATCH_TICK_PER_WORKER` samples; up to
+:data:`WATCH_INFLIGHT_TICKS` ticks are in flight per watch, which
+pipelines parent-side routing against worker-side assessment without
+unbounded buffering.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
+
+from .cache import CurveCacheStats
+from .sharding import route_customer
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid cycles
+    from ..core.engine import DopplerEngine
+    from .engine import FleetLiveUpdate, FleetSample
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchJob",
+    "ExecutionBackend",
+    "FleetBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "WatchConfig",
+    "make_backend",
+]
+
+FleetBackend = Literal["serial", "thread", "process"]
+
+#: Valid backend selectors, in documentation order.
+BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
+
+#: In-flight chunks per worker (batch protocol): enough to keep the
+#: pool busy without buffering the whole fleet's results in memory.
+INFLIGHT_PER_WORKER = 2
+
+#: Samples routed per worker per streaming tick.  Large enough that
+#: queue round-trips amortize, small enough that emission latency
+#: stays bounded (a tick is the unit of reordering).
+WATCH_TICK_PER_WORKER = 64
+
+#: Streaming ticks in flight before the parent blocks on results:
+#: double-buffering overlaps routing with assessment.
+WATCH_INFLIGHT_TICKS = 2
+
+#: Seconds between liveness checks while waiting on worker results.
+_WORKER_POLL_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One sharded batch pass, described backend-agnostically.
+
+    Attributes:
+        task: ``fit`` or ``recommend`` -- selects the
+            ``<task>_chunk`` method on the runner (parent-side
+            backends) or the matching module-level worker function
+            (process backend).
+        runner: The parent's ``_FleetRunner`` (engine + curve cache).
+        engine: The wrapped engine, shipped to process-pool
+            initializers (workers rebuild private runners from it).
+        cache_size: Curve-cache capacity per runner.
+        columnar: Whether shard bodies run the columnar batch kernel.
+    """
+
+    task: str
+    runner: object
+    engine: "DopplerEngine"
+    cache_size: int
+    columnar: bool
+
+    def local_fn(self) -> Callable:
+        """The parent-side chunk body for serial/thread execution."""
+        return getattr(self.runner, f"{self.task}_chunk")
+
+
+@dataclass(frozen=True)
+class WatchConfig:
+    """Everything a streaming shard needs to assess its customers.
+
+    Picklable on purpose: the process backend ships one copy to every
+    worker at startup; workers construct per-customer
+    :class:`~repro.streaming.live.LiveRecommender` instances from it
+    on first sight of each customer.
+
+    The constructor validates the per-customer assessment parameters
+    up front with the same messages ``LiveRecommender`` would raise,
+    so a misconfigured watch fails at the call site in the parent
+    instead of surfacing as a wrapped worker error mid-stream.
+    """
+
+    engine: "DopplerEngine"
+    window: int
+    interval_minutes: float
+    drift_threshold: float
+    min_refresh_samples: int
+    refreshes_only: bool
+    profile_mode: str
+    cache_size: int
+
+    def __post_init__(self) -> None:
+        # Imported lazily for the same cycle reason as _WatchShard;
+        # LiveRecommender.validate_config is the single source of
+        # truth for these constraints and their messages.
+        from ..streaming.live import LiveRecommender
+
+        LiveRecommender.validate_config(
+            self.window,
+            self.min_refresh_samples,
+            self.profile_mode,
+            self.engine.summarizer,
+        )
+
+
+class _WatchShard:
+    """One worker's share of a fleet watch: live state plus quarantine.
+
+    Owns every :class:`~repro.streaming.live.LiveRecommender` routed to
+    it, the shard's watch-scoped curve cache, and the per-customer
+    quarantine set.  Processes its samples strictly in feed order, so
+    per-customer update sequences -- including the
+    quarantine-after-failure containment contract -- are identical to
+    the serial loop's regardless of how many shards a watch runs.
+    """
+
+    def __init__(self, config: WatchConfig) -> None:
+        # Imported here, not at module top: live assessment builds on
+        # the fleet curve cache, keeping the import one-directional.
+        from ..streaming.live import LiveRecommender
+        from .cache import CurveCache
+
+        self._live_cls = LiveRecommender
+        self.config = config
+        self.cache = CurveCache(config.cache_size)
+        self.recommenders: dict[str, object] = {}
+        self.quarantined: set[str] = set()
+
+    def process(
+        self, batch: "list[tuple[int, FleetSample]]"
+    ) -> "list[tuple[int, FleetLiveUpdate]]":
+        """Assess one tick of (sequence number, sample) pairs.
+
+        Returns only the emissions -- refresh events (or every sample
+        when ``refreshes_only`` is off) and one-shot failure updates --
+        tagged with their global sequence numbers so the parent can
+        interleave shards back into feed order.
+        """
+        from .engine import FleetLiveUpdate
+
+        config = self.config
+        emissions: list[tuple[int, FleetLiveUpdate]] = []
+        for seq, sample in batch:
+            if sample.customer_id in self.quarantined:
+                continue
+            live = self.recommenders.get(sample.customer_id)
+            if live is None:
+                live = self._live_cls(
+                    config.engine,
+                    sample.deployment,
+                    window=config.window,
+                    interval_minutes=config.interval_minutes,
+                    drift_threshold=config.drift_threshold,
+                    min_refresh_samples=config.min_refresh_samples,
+                    cache=self.cache,
+                    entity_id=sample.customer_id,
+                    profile_mode=config.profile_mode,
+                )
+                self.recommenders[sample.customer_id] = live
+            try:
+                update = live.observe(sample.values)
+            except Exception as exc:  # noqa: BLE001 - one bad feed must not kill the fleet
+                self.quarantined.add(sample.customer_id)
+                self.recommenders.pop(sample.customer_id, None)
+                emissions.append(
+                    (
+                        seq,
+                        FleetLiveUpdate(
+                            customer_id=sample.customer_id,
+                            update=None,
+                            error=f"{type(exc).__name__}: {exc}",
+                        ),
+                    )
+                )
+                continue
+            if update.refreshed or not config.refreshes_only:
+                emissions.append(
+                    (seq, FleetLiveUpdate(customer_id=sample.customer_id, update=update))
+                )
+        return emissions
+
+
+def _iter_ticks(
+    samples: "Iterable[FleetSample]", size: int
+) -> "Iterator[list[tuple[int, FleetSample]]]":
+    """Microbatch a feed into globally sequence-numbered ticks."""
+    tick: list = []
+    for seq, sample in enumerate(samples):
+        tick.append((seq, sample))
+        if len(tick) >= size:
+            yield tick
+            tick = []
+    if tick:
+        yield tick
+
+
+class ExecutionBackend(ABC):
+    """One execution substrate behind both fleet protocols.
+
+    Attributes:
+        name: The selector this backend answers to.
+        max_workers: Requested pool size (None = machine CPU count;
+            always 1 for the serial backend).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers!r}")
+        self.max_workers = max_workers
+        self._watch_stats: tuple[CurveCacheStats, ...] = ()
+
+    @property
+    def n_workers(self) -> int:
+        """Effective parallelism of this backend."""
+        return self.max_workers or os.cpu_count() or 1
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        """Run ``job`` over every shard, yielding results in order."""
+
+    def _pump(
+        self, executor: Executor, fn: Callable, chunks: Iterator[list], extra: tuple
+    ) -> Iterator[list]:
+        """Submission-ordered streaming with a bounded in-flight window."""
+        max_inflight = self.n_workers * INFLIGHT_PER_WORKER
+        pending: deque[Future] = deque()
+        try:
+            for chunk in chunks:
+                pending.append(executor.submit(fn, chunk, *extra))
+                if len(pending) >= max_inflight:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            # Abandoned stream (consumer broke out early) or failure:
+            # drop queued chunks instead of draining the whole in-flight
+            # window; running chunks finish, their results are discarded.
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Streaming protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def watch(
+        self, config: WatchConfig, samples: "Iterable[FleetSample]"
+    ) -> "Iterator[FleetLiveUpdate]":
+        """Stream live assessments over a fleet-wide feed, in feed order."""
+
+    def watch_stats(self) -> tuple[CurveCacheStats, ...]:
+        """Per-shard watch-scoped curve-cache counters of the last watch.
+
+        Populated when the watch generator finishes (exhausted, closed,
+        or failed); shards that never reported -- e.g. workers torn
+        down after an abandoned process watch -- are absent.
+        """
+        return self._watch_stats
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything in the parent process; the identity baseline."""
+
+    name = "serial"
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        fn = job.local_fn()
+        for chunk in chunks:
+            yield fn(chunk, *extra)
+
+    def watch(
+        self, config: WatchConfig, samples: "Iterable[FleetSample]"
+    ) -> "Iterator[FleetLiveUpdate]":
+        shard = _WatchShard(config)
+        try:
+            for seq, sample in enumerate(samples):
+                for _, update in shard.process([(seq, sample)]):
+                    yield update
+        finally:
+            self._watch_stats = (shard.cache.stats(),)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread pools sharing the parent's memory.
+
+    Batch chunks run on one shared pool against the parent runner (one
+    shared curve cache).  Streaming shards each get a dedicated
+    single-thread executor: submission order per shard is execution
+    order, so a shard's live state is only ever touched by its own
+    thread -- the same confinement the process backend gets from
+    per-worker queues, without locks.
+    """
+
+    name = "thread"
+
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        executor = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="fleet"
+        )
+        yield from self._pump(executor, job.local_fn(), chunks, extra)
+
+    def watch(
+        self, config: WatchConfig, samples: "Iterable[FleetSample]"
+    ) -> "Iterator[FleetLiveUpdate]":
+        n_shards = self.n_workers
+        shards = [_WatchShard(config) for _ in range(n_shards)]
+        executors = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"fleet-watch-{index}")
+            for index in range(n_shards)
+        ]
+        # (tick futures by shard) in submission order; bounded so
+        # routing pipelines against assessment without unbounded memory.
+        pending: deque[list[Future]] = deque()
+
+        def drain_head() -> "Iterator[FleetLiveUpdate]":
+            emissions: list = []
+            for future in pending.popleft():
+                emissions.extend(future.result())
+            emissions.sort(key=lambda pair: pair[0])
+            for _, update in emissions:
+                yield update
+
+        try:
+            for tick in _iter_ticks(samples, n_shards * WATCH_TICK_PER_WORKER):
+                by_shard: dict[int, list] = {}
+                for seq, sample in tick:
+                    shard_id = route_customer(sample.customer_id, n_shards)
+                    by_shard.setdefault(shard_id, []).append((seq, sample))
+                pending.append(
+                    [
+                        executors[shard_id].submit(shards[shard_id].process, batch)
+                        for shard_id, batch in by_shard.items()
+                    ]
+                )
+                if len(pending) >= WATCH_INFLIGHT_TICKS:
+                    yield from drain_head()
+            while pending:
+                yield from drain_head()
+        finally:
+            for executor in executors:
+                executor.shutdown(wait=False, cancel_futures=True)
+            self._watch_stats = tuple(shard.cache.stats() for shard in shards)
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module level so it pickles by reference).
+# ----------------------------------------------------------------------
+_WORKER_RUNNER = None
+
+
+def _init_batch_worker(engine: "DopplerEngine", cache_size: int, columnar: bool) -> None:
+    """Pool initializer: one private runner (engine + cache) per worker."""
+    global _WORKER_RUNNER
+    from .cache import CurveCache
+    from .engine import _FleetRunner
+
+    _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size), columnar)
+
+
+def _fit_chunk_in_worker(chunk: list, exclude_over_provisioned: bool):
+    assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    return _WORKER_RUNNER.fit_chunk(chunk, exclude_over_provisioned)
+
+
+def _recommend_chunk_in_worker(chunk: list):
+    assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    return _WORKER_RUNNER.recommend_chunk(chunk)
+
+
+_BATCH_WORKER_FNS = {
+    "fit": _fit_chunk_in_worker,
+    "recommend": _recommend_chunk_in_worker,
+}
+
+#: Stop sentinel for streaming workers (triggers the stats handshake).
+_STOP = None
+
+
+def _watch_worker_main(
+    worker_id: int, config: WatchConfig, in_queue, out_queue
+) -> None:
+    """Persistent streaming worker: owns one shard for a whole watch.
+
+    Message protocol (all tuples, kind first):
+      parent -> worker: ``(tick_id, batch)`` or the ``None`` stop
+      sentinel; worker -> parent: ``("tick", worker_id, tick_id,
+      emissions)``, ``("stats", worker_id, cache_stats)`` on graceful
+      stop, or ``("error", worker_id, details)`` on any failure the
+      shard's per-customer containment did not absorb.
+    """
+    try:
+        shard = _WatchShard(config)
+        while True:
+            message = in_queue.get()
+            if message is _STOP:
+                out_queue.put(("stats", worker_id, shard.cache.stats()))
+                return
+            tick_id, batch = message
+            out_queue.put(("tick", worker_id, tick_id, shard.process(batch)))
+    except BaseException as exc:  # noqa: BLE001 - parent must see worker death
+        out_queue.put(
+            (
+                "error",
+                worker_id,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            )
+        )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-per-worker pools; state never crosses process boundaries.
+
+    Batch chunks run on a :class:`ProcessPoolExecutor` whose workers
+    hold private runners (curves are cheaper to rebuild than to ship).
+    Streaming runs on persistent :mod:`multiprocessing` workers --
+    sticky routing needs *dedicated* per-worker queues, which executor
+    pools cannot promise -- each owning its shard's live state for the
+    whole watch; emissions return over one shared result queue and the
+    parent reorders them into feed order.
+    """
+
+    name = "process"
+
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_batch_worker,
+            initargs=(job.engine, job.cache_size, job.columnar),
+        )
+        yield from self._pump(executor, _BATCH_WORKER_FNS[job.task], chunks, extra)
+
+    def watch(
+        self, config: WatchConfig, samples: "Iterable[FleetSample]"
+    ) -> "Iterator[FleetLiveUpdate]":
+        context = multiprocessing.get_context()
+        n_shards = self.n_workers
+        in_queues = [context.Queue() for _ in range(n_shards)]
+        out_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_watch_worker_main,
+                args=(worker_id, config, in_queues[worker_id], out_queue),
+                daemon=True,
+                name=f"fleet-watch-{worker_id}",
+            )
+            for worker_id in range(n_shards)
+        ]
+        for worker in workers:
+            worker.start()
+        # Submission-ordered reorder buffer: (tick id, shard ids still
+        # owing results, emissions gathered so far).
+        pending: deque[tuple[int, set[int], list]] = deque()
+        stats: list[CurveCacheStats] = []
+        completed = False
+
+        def receive(awaiting: set[int]) -> tuple:
+            """One worker message, failing fast if an *owing* worker died.
+
+            Only workers in ``awaiting`` count as casualties: a worker
+            that already delivered everything it owed exits legitimately
+            during the shutdown handshake, and must not be mistaken for
+            a crash while the parent waits on its peers.
+            """
+            while True:
+                try:
+                    return out_queue.get(timeout=_WORKER_POLL_SECONDS)
+                except queue_module.Empty:
+                    dead = [
+                        workers[worker_id].name
+                        for worker_id in sorted(awaiting)
+                        if not workers[worker_id].is_alive()
+                    ]
+                    if dead:
+                        raise RuntimeError(
+                            f"fleet watch worker(s) {', '.join(dead)} died "
+                            "without reporting a result"
+                        ) from None
+
+        def drain_head() -> "Iterator[FleetLiveUpdate]":
+            while pending[0][1]:  # shards still owing the head tick
+                message = receive({shard for entry in pending for shard in entry[1]})
+                kind = message[0]
+                if kind == "error":
+                    raise RuntimeError(
+                        f"fleet watch worker {message[1]} failed:\n{message[2]}"
+                    )
+                _, worker_id, tick_id, emissions = message
+                for entry in pending:
+                    if entry[0] == tick_id:
+                        entry[1].discard(worker_id)
+                        entry[2].extend(emissions)
+                        break
+                else:
+                    raise RuntimeError(
+                        f"fleet watch worker {worker_id} answered unknown tick {tick_id}"
+                    )
+            _, _, emissions = pending.popleft()
+            emissions.sort(key=lambda pair: pair[0])
+            for _, update in emissions:
+                yield update
+
+        try:
+            tick_id = 0
+            for tick in _iter_ticks(samples, n_shards * WATCH_TICK_PER_WORKER):
+                by_shard: dict[int, list] = {}
+                for seq, sample in tick:
+                    shard_id = route_customer(sample.customer_id, n_shards)
+                    by_shard.setdefault(shard_id, []).append((seq, sample))
+                for shard_id, batch in by_shard.items():
+                    in_queues[shard_id].put((tick_id, batch))
+                pending.append((tick_id, set(by_shard), []))
+                tick_id += 1
+                if len(pending) >= WATCH_INFLIGHT_TICKS:
+                    yield from drain_head()
+            while pending:
+                yield from drain_head()
+            for in_queue in in_queues:  # stats handshake, then exit
+                in_queue.put(_STOP)
+            owing_stats = set(range(n_shards))
+            while owing_stats:
+                message = receive(owing_stats)
+                if message[0] == "error":
+                    raise RuntimeError(
+                        f"fleet watch worker {message[1]} failed:\n{message[2]}"
+                    )
+                owing_stats.discard(message[1])
+                stats.append(message[2])
+            completed = True
+        finally:
+            self._watch_stats = tuple(stats)
+            if not completed:
+                # Abandoned or failed stream: tear the pool down hard;
+                # shard state is not recoverable anyway.
+                for worker in workers:
+                    worker.terminate()
+            for worker in workers:
+                worker.join(timeout=5.0)
+            for q in (*in_queues, out_queue):
+                q.close()
+                q.cancel_join_thread()
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str, max_workers: int | None = None) -> ExecutionBackend:
+    """Construct the execution backend answering to ``name``.
+
+    Raises:
+        ValueError: For an unknown selector (message lists the valid
+            ones) or a non-positive ``max_workers``.
+    """
+    backend_cls = _BACKENDS.get(name)
+    if backend_cls is None:
+        raise ValueError(
+            f"unknown fleet backend {name!r}; choose one of "
+            + ", ".join(repr(option) for option in BACKEND_NAMES)
+        )
+    return backend_cls(max_workers=max_workers)

@@ -16,7 +16,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterable
 
 from ..catalog.catalog import SkuCatalog
 from ..core.curve import PricePerformanceCurve
@@ -26,6 +26,7 @@ __all__ = [
     "CurveCache",
     "CurveCacheStats",
     "catalog_signature",
+    "combine_cache_stats",
     "curve_cache_key",
     "trace_fingerprint",
 ]
@@ -137,6 +138,29 @@ class CurveCacheStats:
     def unique_misses(self) -> int:
         """Misses that built a key no other thread was building."""
         return self.misses - self.duplicate_builds
+
+
+def combine_cache_stats(stats: Iterable[CurveCacheStats]) -> CurveCacheStats:
+    """Fold per-shard cache counters into one fleet-wide view.
+
+    Sharded streaming passes keep one watch-scoped cache per worker
+    (curves never cross process boundaries), so watch-level accounting
+    is the component-wise sum.  Curve keys embed the entity id, so
+    distinct customers never share entries and the summed hit/miss
+    counters equal what one shared cache would have counted; only
+    ``evictions`` can differ (per-shard caches have more total
+    capacity than one shared cache of the same size).
+    """
+    totals = CurveCacheStats(hits=0, misses=0, evictions=0, size=0)
+    for entry in stats:
+        totals = CurveCacheStats(
+            hits=totals.hits + entry.hits,
+            misses=totals.misses + entry.misses,
+            evictions=totals.evictions + entry.evictions,
+            size=totals.size + entry.size,
+            duplicate_builds=totals.duplicate_builds + entry.duplicate_builds,
+        )
+    return totals
 
 
 class CurveCache:
@@ -302,3 +326,27 @@ class CurveCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Pickling (worker handoff)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Picklable view: entries and counters, never the lock.
+
+        Lets cache-holding objects (a :class:`LiveRecommender`, a
+        saved assessment) pickle wholesale for explicit handoff; the
+        sharded fleet watch itself never ships caches -- each worker
+        builds its own.  A clone starts with the source's entries and
+        counters but no in-flight build markers: builds running in the
+        source process's threads mean nothing to the clone.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_entries"] = OrderedDict(self._entries)
+            state["_building"] = {}
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -2,24 +2,25 @@
 
 Scales the single-workload :class:`~repro.core.engine.DopplerEngine`
 to whole customer populations: thousands of traces go in, one batched
-pass shards them into chunks, fans the chunks over an executor
-(serial, thread pool or process pool), memoizes price-performance
-curve construction behind an LRU cache, and streams per-customer
-results back as an iterator so peak memory stays flat in the fleet
-size.
+pass shards them into chunks, fans the chunks over a pluggable
+execution backend (:mod:`repro.fleet.backends`: serial, thread pool
+or process pool), memoizes price-performance curve construction
+behind an LRU cache, and streams per-customer results back as an
+iterator so peak memory stays flat in the fleet size.  The streaming
+pass (:meth:`FleetEngine.watch_fleet`) rides the same backends:
+customers' live state shards across stateful workers with sticky
+routing by customer id.
 
 Determinism contract: a fleet pass is a pure function of the fitted
-engine and the input traces.  The parallel backends preserve
-submission order and use no randomness, so their results are
-bit-identical to the serial backend's -- the property the scale
-benchmark asserts.
+engine and the input traces (or the feed, for a watch).  The parallel
+backends preserve submission/feed order and use no randomness, so
+their results are bit-identical to the serial backend's -- the
+property the scale benchmarks assert.
 """
 
 from __future__ import annotations
 
-import os
-from collections import Counter, deque
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Literal, Mapping
 
@@ -32,7 +33,15 @@ from ..telemetry.counters import PerfDimension
 from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
 from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from ..telemetry.trace import PerformanceTrace
-from .cache import DEFAULT_CACHE_SIZE, CurveCache, CurveCacheStats, catalog_signature, curve_cache_key
+from .backends import BatchJob, FleetBackend, WatchConfig, make_backend
+from .cache import (
+    DEFAULT_CACHE_SIZE,
+    CurveCache,
+    CurveCacheStats,
+    catalog_signature,
+    combine_cache_stats,
+    curve_cache_key,
+)
 from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
 
@@ -48,12 +57,6 @@ __all__ = [
     "FleetRecommendation",
     "FleetSample",
 ]
-
-FleetBackend = Literal["serial", "thread", "process"]
-
-#: In-flight chunks per worker: enough to keep the pool busy without
-#: buffering the whole fleet's results in memory.
-_INFLIGHT_PER_WORKER = 2
 
 #: Shard size when the fleet's length is unknown (pure streaming).
 _STREAMING_CHUNK_SIZE = 32
@@ -308,38 +311,86 @@ class _FleetRunner:
         enough to pickle back cheaply from worker processes, plus the
         skipped-record count.
         """
-        observations: list[tuple[str, GroupKey, float]] = []
-        n_unbuildable = 0
         settled = [record for record in chunk if record.is_settled]
-        if self.columnar:
-            curves = self.build_curves(
-                [(record.trace, record.deployment, None) for record in settled]
-            )
-        else:
-            curves = []
+        if not self.columnar:
+            observations: list[tuple[str, GroupKey, float]] = []
+            n_unbuildable = 0
             for record in settled:
                 try:
-                    curves.append(self.build_curve(record.trace, record.deployment))
-                except ValueError as exc:
-                    curves.append(exc)
+                    curve = self.build_curve(record.trace, record.deployment)
+                except ValueError:
+                    n_unbuildable += 1
+                    continue  # no SKU fits the workload; nothing to learn
+                observation = self.engine.training_observation(
+                    record,
+                    exclude_over_provisioned=exclude_over_provisioned,
+                    curve=curve,
+                )
+                if observation is not None:
+                    observations.append(
+                        (
+                            record.deployment.value,
+                            observation.group_key,
+                            observation.throttling_probability,
+                        )
+                    )
+            return observations, n_unbuildable
+        curves = self.build_curves(
+            [(record.trace, record.deployment, None) for record in settled]
+        )
+        # Columnar aggregation tail: replicate training_observation's
+        # per-record gate sequence (settled -> curve -> chosen SKU on
+        # curve -> over-provisioning exclusion -> profile) but defer
+        # the expensive profiling of the survivors to one batched
+        # summarizer pass per deployment.  Observation order equals
+        # the per-record loop's, so the downstream group-score fit is
+        # byte-identical.
+        n_unbuildable = 0
+        survivors: list[tuple[CloudCustomerRecord, object]] = []
         for record, curve in zip(settled, curves):
             if isinstance(curve, ValueError):
                 n_unbuildable += 1
                 continue  # no SKU fits the workload; nothing to learn
             if isinstance(curve, Exception):
                 raise curve  # same propagation as the per-record path
-            observation = self.engine.training_observation(
-                record, exclude_over_provisioned=exclude_over_provisioned, curve=curve
+            try:
+                point = curve.point_for(record.chosen_sku_name)
+            except KeyError:
+                continue  # chosen SKU not a candidate (e.g. storage misfit)
+            if exclude_over_provisioned and DopplerEngine.is_over_provisioned_on(
+                curve, point.sku.name
+            ):
+                continue
+            survivors.append((record, point))
+        profiles = self._profile_survivors(survivors)
+        return [
+            (record.deployment.value, profile.group_key, point.throttling_probability)
+            for (record, point), profile in zip(survivors, profiles)
+        ], n_unbuildable
+
+    def _profile_survivors(
+        self, survivors: list[tuple[CloudCustomerRecord, object]]
+    ) -> list:
+        """Batched negotiability profiles for the gated fit records.
+
+        Groups survivors by deployment (each deployment has its own
+        profiler) and runs each group through
+        :meth:`~repro.core.profiler.CustomerProfiler.profile_batch`,
+        which stacks same-length windows into one summarizer broadcast.
+        Results come back aligned with ``survivors``.
+        """
+        by_deployment: dict[DeploymentType, list[int]] = {}
+        for index, (record, _) in enumerate(survivors):
+            by_deployment.setdefault(record.deployment, []).append(index)
+        profiles: list = [None] * len(survivors)
+        for deployment, indices in by_deployment.items():
+            profiler = self.engine.profiler_for(deployment)
+            batch = profiler.profile_batch(
+                [survivors[index][0].trace for index in indices]
             )
-            if observation is not None:
-                observations.append(
-                    (
-                        record.deployment.value,
-                        observation.group_key,
-                        observation.throttling_probability,
-                    )
-                )
-        return observations, n_unbuildable
+            for index, profile in zip(indices, batch):
+                profiles[index] = profile
+        return profiles
 
     def recommend_chunk(self, chunk: list[FleetCustomer]) -> list[FleetRecommendation]:
         if not self.columnar:
@@ -397,29 +448,6 @@ class _FleetRunner:
             )
 
 
-# ----------------------------------------------------------------------
-# Process-pool plumbing (module level so it pickles by reference).
-# ----------------------------------------------------------------------
-_WORKER_RUNNER: _FleetRunner | None = None
-
-
-def _init_worker(engine: DopplerEngine, cache_size: int, columnar: bool) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size), columnar)
-
-
-def _fit_chunk_in_worker(
-    chunk: list[CloudCustomerRecord], exclude_over_provisioned: bool
-) -> tuple[list[tuple[str, GroupKey, float]], int]:
-    assert _WORKER_RUNNER is not None, "worker pool not initialized"
-    return _WORKER_RUNNER.fit_chunk(chunk, exclude_over_provisioned)
-
-
-def _recommend_chunk_in_worker(chunk: list[FleetCustomer]) -> list[FleetRecommendation]:
-    assert _WORKER_RUNNER is not None, "worker pool not initialized"
-    return _WORKER_RUNNER.recommend_chunk(chunk)
-
-
 @dataclass
 class FleetEngine:
     """Batched, parallel, memoized front end over a Doppler engine.
@@ -458,11 +486,9 @@ class FleetEngine:
     columnar: bool = True
 
     def __post_init__(self) -> None:
-        if self.backend not in ("serial", "thread", "process"):
-            raise ValueError(f"unknown fleet backend {self.backend!r}")
-        if self.max_workers is not None and self.max_workers <= 0:
-            raise ValueError(f"max_workers must be positive, got {self.max_workers!r}")
+        make_backend(self.backend, self.max_workers)  # validate both up front
         self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size), self.columnar)
+        self._last_watch_stats: tuple[CurveCacheStats, ...] | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -556,6 +582,8 @@ class FleetEngine:
         min_refresh_samples: int | None = None,
         refreshes_only: bool = True,
         profile_mode: Literal["exact", "streaming"] = "exact",
+        backend: FleetBackend | None = None,
+        max_workers: int | None = None,
     ) -> Iterator[FleetLiveUpdate]:
         """Streaming pass: live assessments over a fleet-wide feed.
 
@@ -564,18 +592,31 @@ class FleetEngine:
         :class:`~repro.streaming.live.LiveRecommender` on first sight,
         and a :class:`FleetLiveUpdate` is yielded whenever a
         customer's recommendation refreshes (every sample when
-        ``refreshes_only`` is False).  All live assessments share one
-        watch-scoped memoized curve cache -- drifted windows
-        fingerprint freshly, so live entries rarely re-hit, and
-        keeping them out of the batch pass's cache stops a fleet-wide
-        feed from evicting genuinely reusable batch curves.  The loop
-        runs in the parent (arrival order is the contract; there is
-        nothing to shard).
+        ``refreshes_only`` is False).
+
+        The feed runs on the fleet's execution backend (overridable
+        per watch).  Under the parallel backends, customers' live
+        state shards across stateful workers with sticky routing by
+        customer id (:func:`~repro.fleet.sharding.route_customer`):
+        every sample of one customer reaches the one worker owning
+        that customer's assessment, workers process their samples in
+        feed order, and the parent reassembles emissions into feed
+        order -- so the update sequence, including failure ordering,
+        is byte-identical to the serial backend's.
+
+        Live assessments share one watch-scoped memoized curve cache
+        per shard -- drifted windows fingerprint freshly, so live
+        entries rarely re-hit, and keeping them out of the batch
+        pass's cache stops a fleet-wide feed from evicting genuinely
+        reusable batch curves.  After the watch finishes,
+        :meth:`watch_cache_stats` exposes the shard-aggregated
+        counters.
 
         Per-customer failures follow the fleet containment contract:
         a customer whose assessment raises (e.g. no SKU holds their
         storage footprint) surfaces once as an error update and is
-        quarantined; the stream keeps serving everyone else.
+        quarantined on its shard; the stream keeps serving everyone
+        else.
 
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.
@@ -589,49 +630,44 @@ class FleetEngine:
                 every observed sample.
             profile_mode: Per-customer profiling strategy on refresh;
                 see :class:`~repro.streaming.live.LiveRecommender`.
+            backend: Execution backend for this watch; defaults to the
+                fleet's :attr:`backend`.
+            max_workers: Worker count for this watch; defaults to the
+                fleet's :attr:`max_workers`.
         """
         # Imported here, not at module top: streaming builds on the
         # fleet curve cache, so a top-level import would be circular.
         from ..streaming.drift import DEFAULT_DRIFT_THRESHOLD
-        from ..streaming.live import DEFAULT_MIN_REFRESH_SAMPLES, LiveRecommender
+        from ..streaming.live import DEFAULT_MIN_REFRESH_SAMPLES
 
         if drift_threshold is None:
             drift_threshold = DEFAULT_DRIFT_THRESHOLD
         if min_refresh_samples is None:
             min_refresh_samples = DEFAULT_MIN_REFRESH_SAMPLES
-        watch_cache = CurveCache(self.cache_size)
-        recommenders: dict[str, LiveRecommender] = {}
-        quarantined: set[str] = set()
-        for sample in samples:
-            if sample.customer_id in quarantined:
-                continue
-            live = recommenders.get(sample.customer_id)
-            if live is None:
-                live = LiveRecommender(
-                    self.engine,
-                    sample.deployment,
-                    window=window,
-                    interval_minutes=interval_minutes,
-                    drift_threshold=drift_threshold,
-                    min_refresh_samples=min_refresh_samples,
-                    cache=watch_cache,
-                    entity_id=sample.customer_id,
-                    profile_mode=profile_mode,
-                )
-                recommenders[sample.customer_id] = live
-            try:
-                update = live.observe(sample.values)
-            except Exception as exc:  # noqa: BLE001 - one bad feed must not kill the fleet
-                quarantined.add(sample.customer_id)
-                recommenders.pop(sample.customer_id, None)
-                yield FleetLiveUpdate(
-                    customer_id=sample.customer_id,
-                    update=None,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-                continue
-            if update.refreshed or not refreshes_only:
-                yield FleetLiveUpdate(customer_id=sample.customer_id, update=update)
+        # Validate selection and configuration eagerly (this is a
+        # plain function returning a generator, so a bad backend name
+        # or window fails at the call site, not at first iteration).
+        backend_obj = make_backend(
+            backend if backend is not None else self.backend,
+            max_workers if max_workers is not None else self.max_workers,
+        )
+        config = WatchConfig(
+            engine=self.engine,
+            window=window,
+            interval_minutes=interval_minutes,
+            drift_threshold=drift_threshold,
+            min_refresh_samples=min_refresh_samples,
+            refreshes_only=refreshes_only,
+            profile_mode=profile_mode,
+            cache_size=self.cache_size,
+        )
+        return self._run_watch(backend_obj, config, samples)
+
+    def _run_watch(self, backend_obj, config, samples) -> Iterator[FleetLiveUpdate]:
+        try:
+            yield from backend_obj.watch(config, samples)
+        finally:
+            self._last_watch_stats = backend_obj.watch_stats()
 
     def cache_stats(self) -> CurveCacheStats:
         """Parent-side curve-cache counters (serial/thread backends).
@@ -642,13 +678,24 @@ class FleetEngine:
         """
         return self._runner.cache.stats()
 
+    def watch_cache_stats(self) -> CurveCacheStats | None:
+        """Watch-scoped curve-cache counters of the last finished watch.
+
+        Aggregated over the watch's shards (every backend reports one
+        counter set per shard; curve keys embed the customer id, so
+        the sums match what the serial backend's single shared cache
+        counts).  None until a watch has finished; shards torn down
+        mid-stream (an abandoned process watch) are not included.
+        """
+        if self._last_watch_stats is None:
+            return None
+        return combine_cache_stats(self._last_watch_stats)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _effective_workers(self) -> int:
-        if self.backend == "serial":
-            return 1
-        return self.max_workers or os.cpu_count() or 1
+        return make_backend(self.backend, self.max_workers).n_workers
 
     def _resolve_chunk_size(self, n_items: int) -> int:
         if self.chunk_size is not None:
@@ -658,36 +705,19 @@ class FleetEngine:
         return auto_chunk_size(n_items, self._effective_workers())
 
     def _map_chunks(self, task: str, chunks: Iterator[list], *extra) -> Iterator[list]:
-        """Run ``task`` over every shard, yielding results in order."""
-        workers = self._effective_workers()
-        if self.backend == "serial" or workers == 1:
-            local = getattr(self._runner, f"{task}_chunk")
-            for chunk in chunks:
-                yield local(chunk, *extra)
-            return
-        if self.backend == "thread":
-            executor: Executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="fleet"
-            )
-            fn = getattr(self._runner, f"{task}_chunk")
-        else:
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.engine, self.cache_size, self.columnar),
-            )
-            fn = _fit_chunk_in_worker if task == "fit" else _recommend_chunk_in_worker
-        max_inflight = workers * _INFLIGHT_PER_WORKER
-        pending: deque[Future] = deque()
-        try:
-            for chunk in chunks:
-                pending.append(executor.submit(fn, chunk, *extra))
-                if len(pending) >= max_inflight:
-                    yield pending.popleft().result()
-            while pending:
-                yield pending.popleft().result()
-        finally:
-            # Abandoned stream (consumer broke out early) or failure:
-            # drop queued chunks instead of draining the whole in-flight
-            # window; running chunks finish, their results are discarded.
-            executor.shutdown(wait=False, cancel_futures=True)
+        """Run ``task`` over every shard on the fleet's backend."""
+        # A one-worker pool buys no batch parallelism but still pays
+        # pool/pickling overhead, so it degrades to the serial backend
+        # (results are identical either way).  Streaming watches skip
+        # this shortcut: there a single *real* worker is still useful
+        # as the process-scaling baseline.
+        name = self.backend if self._effective_workers() > 1 else "serial"
+        backend_obj = make_backend(name, self.max_workers)
+        job = BatchJob(
+            task=task,
+            runner=self._runner,
+            engine=self.engine,
+            cache_size=self.cache_size,
+            columnar=self.columnar,
+        )
+        return backend_obj.map_chunks(job, chunks, *extra)

@@ -1,17 +1,23 @@
-"""Customer sharding for fleet-scale passes.
+"""Customer sharding and routing for fleet-scale passes.
 
 A fleet run never materializes the whole population at once: customers
 stream through in fixed-size shards, each shard is one unit of work
 for the executor, and results stream back out in submission order.
 Shard size trades scheduling overhead (many small shards) against load
 imbalance and peak memory (few large shards).
+
+Batch passes shard by *position* (consecutive chunks of the input);
+streaming passes shard by *identity*: every sample of one customer
+must reach the worker that owns that customer's live state, so the
+watch path routes sticky-by-customer-id through :func:`route_customer`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence, TypeVar
 
-__all__ = ["auto_chunk_size", "shard"]
+__all__ = ["auto_chunk_size", "route_customer", "shard"]
 
 T = TypeVar("T")
 
@@ -41,6 +47,30 @@ def auto_chunk_size(n_items: int, n_workers: int) -> int:
     target_shards = max(1, n_workers * _CHUNKS_PER_WORKER)
     size = -(-n_items // target_shards)  # ceil division
     return max(1, min(size, _MAX_AUTO_CHUNK))
+
+
+def route_customer(customer_id: str, n_shards: int) -> int:
+    """Sticky shard assignment for one customer's live state.
+
+    Stable across processes and interpreter runs (keyed hashing, not
+    the per-process-salted builtin ``hash``), so a feed replayed
+    against a different worker count still routes each customer to
+    exactly one shard, and the parent and its workers always agree on
+    ownership.
+
+    Args:
+        customer_id: The customer whose samples are being routed.
+        n_shards: Worker count (>= 1).
+
+    Returns:
+        A shard index in ``[0, n_shards)``.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards!r}")
+    if n_shards == 1:
+        return 0
+    digest = hashlib.blake2b(customer_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % n_shards
 
 
 def shard(items: Iterable[T], chunk_size: int) -> Iterator[list[T]]:

@@ -11,13 +11,19 @@ sample.
 """
 
 from .drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector, DriftReport
-from .live import DEFAULT_MIN_REFRESH_SAMPLES, LiveRecommender, LiveUpdate
+from .live import (
+    DEFAULT_MIN_REFRESH_SAMPLES,
+    LiveAssessmentState,
+    LiveRecommender,
+    LiveUpdate,
+)
 
 __all__ = [
     "DEFAULT_DRIFT_THRESHOLD",
     "DEFAULT_MIN_REFRESH_SAMPLES",
     "DriftDetector",
     "DriftReport",
+    "LiveAssessmentState",
     "LiveRecommender",
     "LiveUpdate",
 ]

@@ -119,6 +119,30 @@ class DriftDetector:
         )
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (worker handoff)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the rebase point."""
+        return {
+            "names": self._names,
+            "baseline": None if self._baseline is None else self._baseline.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot; the inverse operation."""
+        baseline = state["baseline"]
+        names = tuple(state["names"])
+        if baseline is not None:
+            baseline = np.asarray(baseline, dtype=float).copy()
+            if baseline.shape != (len(names),):
+                raise ValueError(
+                    f"snapshot baseline shape {baseline.shape} does not match "
+                    f"its {len(names)} SKU names"
+                )
+        self._names = names
+        self._baseline = baseline
+
+    # ------------------------------------------------------------------
     # Mapping interface (varying SKU sets)
     # ------------------------------------------------------------------
     def rebase(self, estimates: Mapping[str, float]) -> None:

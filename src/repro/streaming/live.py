@@ -40,6 +40,7 @@ from .drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector, DriftReport
 __all__ = [
     "DEFAULT_LIVE_CACHE_SIZE",
     "DEFAULT_MIN_REFRESH_SAMPLES",
+    "LiveAssessmentState",
     "LiveRecommender",
     "LiveUpdate",
 ]
@@ -79,6 +80,57 @@ class LiveUpdate:
     @property
     def has_recommendation(self) -> bool:
         return self.recommendation is not None
+
+
+@dataclass(frozen=True)
+class LiveAssessmentState:
+    """Picklable snapshot of one live assessment's mutable state.
+
+    The worker-handoff unit: everything one customer's assessment has
+    accumulated -- window ring buffers, violation counts, the drift
+    rebase point, streaming profile stats, the recommendation in
+    force -- *without* the engine or curve cache it runs against.  A
+    receiving worker constructs an identically configured
+    :class:`LiveRecommender` around its own engine and calls
+    :meth:`LiveRecommender.restore_state`; the restored loop continues
+    the stream exactly where the source left off.
+
+    The sharded fleet watch does not ship state in steady operation
+    (sticky routing keeps each customer on one worker for a watch's
+    lifetime; workers build state in place on first sight) -- this is
+    the migration primitive for moving an assessment between
+    processes: checkpointing, replaying, or the dynamic rebalancing
+    the ROADMAP tracks.
+
+    Attributes:
+        deployment_value: Target deployment (restore-compatibility
+            check).
+        window: Assessment window length (check).
+        dimensions: Ingested counter dimensions, in ring order (check).
+        profile_mode: Profiling strategy (check; streaming profile
+            stats only exist in ``streaming`` mode).
+        entity_id: The assessed customer.
+        builder: :meth:`~repro.telemetry.streaming.StreamingTraceBuilder.state_dict`.
+        estimator: :meth:`~repro.core.incremental.IncrementalThrottlingEstimator.state_dict`.
+        detector: :meth:`~repro.streaming.drift.DriftDetector.state_dict`.
+        profile_stats: Per-dimension
+            :meth:`~repro.telemetry.streaming.StreamingSeriesStats.state_dict`
+            snapshots (empty in ``exact`` mode).
+        recommendation: The recommendation in force, if any.
+        n_refreshes: Full re-assessments performed so far.
+    """
+
+    deployment_value: str
+    window: int
+    dimensions: tuple[PerfDimension, ...]
+    profile_mode: str
+    entity_id: str
+    builder: dict
+    estimator: dict
+    detector: dict
+    profile_stats: tuple[tuple[PerfDimension, dict], ...]
+    recommendation: DopplerRecommendation | None
+    n_refreshes: int
 
 
 class LiveRecommender:
@@ -134,19 +186,7 @@ class LiveRecommender:
         entity_id: str = "live",
         profile_mode: Literal["exact", "streaming"] = "exact",
     ) -> None:
-        if min_refresh_samples < 1:
-            raise ValueError(
-                f"min_refresh_samples must be >= 1, got {min_refresh_samples!r}"
-            )
-        if profile_mode not in ("exact", "streaming"):
-            raise ValueError(f"unknown profile mode {profile_mode!r}")
-        if window < min_refresh_samples:
-            # The warm-up gate compares against n_window, which never
-            # exceeds the window: a smaller window would wait forever.
-            raise ValueError(
-                f"window ({window}) must be >= min_refresh_samples "
-                f"({min_refresh_samples}), or no recommendation is ever issued"
-            )
+        self.validate_config(window, min_refresh_samples, profile_mode, engine.summarizer)
         if dimensions is None:
             dimensions = (
                 DB_DIMENSIONS if deployment is DeploymentType.SQL_DB else MI_DIMENSIONS
@@ -178,12 +218,6 @@ class LiveRecommender:
         self._profile_columns: tuple[tuple[int, StreamingSeriesStats], ...] = ()
         self._profile_stats: dict[PerfDimension, StreamingSeriesStats] = {}
         if profile_mode == "streaming":
-            summarizer = engine.summarizer
-            if not getattr(summarizer, "supports_streaming", False):
-                raise ValueError(
-                    f"summarizer {summarizer.name!r} has no streaming "
-                    "evaluation; use profile_mode='exact'"
-                )
             profiled = engine.profiler_for(deployment).dimensions
             self._profile_stats = {
                 dim: StreamingSeriesStats(window=window)
@@ -193,6 +227,54 @@ class LiveRecommender:
             self._profile_columns = tuple(
                 (dimensions.index(dim), stats)
                 for dim, stats in self._profile_stats.items()
+            )
+
+    @staticmethod
+    def validate_config(
+        window: int,
+        min_refresh_samples: int,
+        profile_mode: str,
+        summarizer=None,
+    ) -> None:
+        """Validate live-assessment parameters; the single source of truth.
+
+        Shared between the constructor and fleet-watch configuration
+        (:class:`~repro.fleet.backends.WatchConfig`), so a
+        misconfigured sharded watch fails at the call site with
+        exactly the message a direct construction would raise.
+
+        Args:
+            window: Sliding assessment window, in samples.
+            min_refresh_samples: Warm-up length before the first
+                recommendation.
+            profile_mode: ``exact`` or ``streaming``.
+            summarizer: When given and ``profile_mode`` is
+                ``streaming``, must advertise ``supports_streaming``.
+
+        Raises:
+            ValueError: On any violated constraint.
+        """
+        if min_refresh_samples < 1:
+            raise ValueError(
+                f"min_refresh_samples must be >= 1, got {min_refresh_samples!r}"
+            )
+        if profile_mode not in ("exact", "streaming"):
+            raise ValueError(f"unknown profile mode {profile_mode!r}")
+        if window < min_refresh_samples:
+            # The warm-up gate compares against n_window, which never
+            # exceeds the window: a smaller window would wait forever.
+            raise ValueError(
+                f"window ({window}) must be >= min_refresh_samples "
+                f"({min_refresh_samples}), or no recommendation is ever issued"
+            )
+        if (
+            profile_mode == "streaming"
+            and summarizer is not None
+            and not getattr(summarizer, "supports_streaming", False)
+        ):
+            raise ValueError(
+                f"summarizer {summarizer.name!r} has no streaming "
+                "evaluation; use profile_mode='exact'"
             )
 
     # ------------------------------------------------------------------
@@ -267,6 +349,80 @@ class LiveRecommender:
         overrides = gp_iops_overrides(self._candidates, plan)
         if overrides != (self.estimator.iops_overrides or {}):
             self.estimator.rebase_capacity(overrides or None, trace)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (worker handoff)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> LiveAssessmentState:
+        """Freeze the assessment's mutable state for handoff.
+
+        Everything the loop has accumulated, deep-copied and
+        picklable, *without* the engine or curve cache (workers bring
+        their own).  The whole recommender object also pickles
+        directly -- the curve cache drops only its lock -- but that
+        ships a private copy of the engine with every customer;
+        snapshot/restore is the cheap per-customer handoff.
+        """
+        return LiveAssessmentState(
+            deployment_value=self.deployment.value,
+            window=self.builder.window,
+            dimensions=self.builder.dimensions,
+            profile_mode=self.profile_mode,
+            entity_id=self.builder.entity_id,
+            builder=self.builder.state_dict(),
+            estimator=self.estimator.state_dict(),
+            detector=self.detector.state_dict(),
+            profile_stats=tuple(
+                (dim, stats.state_dict()) for dim, stats in self._profile_stats.items()
+            ),
+            recommendation=self._recommendation,
+            n_refreshes=self._n_refreshes,
+        )
+
+    def restore_state(self, state: LiveAssessmentState) -> None:
+        """Adopt a :meth:`snapshot_state` snapshot; the inverse operation.
+
+        The receiving recommender must be constructed with the same
+        deployment, window, dimensions and profile mode as the source
+        (the snapshot carries them for verification); engine and curve
+        cache are this instance's own.
+
+        Raises:
+            ValueError: If the snapshot's configuration does not match
+                this recommender's.
+        """
+        mismatches = [
+            f"{label}: snapshot {theirs!r} != recommender {ours!r}"
+            for label, theirs, ours in (
+                ("deployment", state.deployment_value, self.deployment.value),
+                ("window", state.window, self.builder.window),
+                ("dimensions", state.dimensions, self.builder.dimensions),
+                ("profile_mode", state.profile_mode, self.profile_mode),
+            )
+            if theirs != ours
+        ]
+        if mismatches:
+            raise ValueError(
+                "live state snapshot is not restorable here -- "
+                + "; ".join(mismatches)
+            )
+        self.builder.load_state(state.builder)
+        self.builder.entity_id = state.entity_id
+        self.estimator.load_state(state.estimator)
+        self.detector.load_state(state.detector)
+        if self.profile_mode == "streaming":
+            snapshot_stats = dict(state.profile_stats)
+            if set(snapshot_stats) != set(self._profile_stats):
+                raise ValueError(
+                    "live state snapshot profiles "
+                    f"{sorted(dim.name for dim in snapshot_stats)}; this "
+                    "recommender profiles "
+                    f"{sorted(dim.name for dim in self._profile_stats)}"
+                )
+            for dim, stats in self._profile_stats.items():
+                stats.load_state(snapshot_stats[dim])
+        self._recommendation = state.recommendation
+        self._n_refreshes = state.n_refreshes
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,6 +19,7 @@ collector over a sliding assessment period.
 
 from __future__ import annotations
 
+import copy
 import math
 from collections import deque
 from typing import Iterable, Mapping
@@ -217,6 +218,48 @@ class StreamingSeriesStats:
         """Approximate window quantile."""
         return self._sketch.quantile(q)
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (worker handoff)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the mutable window state.
+
+        Deep-copies everything mutable (ring, deques, sketch), so the
+        snapshot stays frozen while the live stats keep ingesting.
+        Configuration (window, sketch sizing) is not included: restore
+        targets must be constructed with matching parameters.
+        """
+        return {
+            "n_seen": self._n_seen,
+            "ring": self._ring.copy(),
+            "sum": self._sum,
+            "sum_sq": self._sum_sq,
+            "max_deque": tuple(self._max_deque),
+            "min_deque": tuple(self._min_deque),
+            "sketch": copy.deepcopy(self._sketch),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot; the inverse operation.
+
+        Raises:
+            ValueError: If the snapshot's ring length disagrees with
+                this instance's window.
+        """
+        ring = np.asarray(state["ring"], dtype=float)
+        if ring.shape != (self.window,):
+            raise ValueError(
+                f"snapshot window {ring.shape[0]} does not match "
+                f"this stats window {self.window}"
+            )
+        self._n_seen = int(state["n_seen"])
+        self._ring = ring.copy()
+        self._sum = float(state["sum"])
+        self._sum_sq = float(state["sum_sq"])
+        self._max_deque = deque(state["max_deque"])
+        self._min_deque = deque(state["min_deque"])
+        self._sketch = copy.deepcopy(state["sketch"])
+
 
 class StreamingTraceBuilder:
     """Bounded per-dimension ring buffers behind a trace interface.
@@ -339,6 +382,46 @@ class StreamingTraceBuilder:
         if pivot == 0:
             return buffer.copy()
         return np.concatenate([buffer[pivot:], buffer[:pivot]])
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (worker handoff)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the ring buffers and stream position.
+
+        Configuration (dimensions, window, cadence, entity id) is not
+        included: restore targets must be constructed with matching
+        parameters, which :meth:`load_state` verifies.
+        """
+        return {
+            "n_seen": self._n_seen,
+            "buffers": {dim: buffer.copy() for dim, buffer in self._buffers.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot; the inverse operation.
+
+        Raises:
+            ValueError: If the snapshot's dimensions or window shape
+                disagree with this builder's configuration.
+        """
+        buffers = state["buffers"]
+        if set(buffers) != set(self.dimensions):
+            raise ValueError(
+                f"snapshot dimensions {sorted(d.name for d in buffers)} do not "
+                f"match this builder's {sorted(d.name for d in self.dimensions)}"
+            )
+        restored = {}
+        for dim, buffer in buffers.items():
+            array = np.asarray(buffer, dtype=float)
+            if array.shape != (self.window,):
+                raise ValueError(
+                    f"snapshot window {array.shape[0]} does not match "
+                    f"this builder's window {self.window}"
+                )
+            restored[dim] = array.copy()
+        self._buffers = restored
+        self._n_seen = int(state["n_seen"])
 
     # ------------------------------------------------------------------
     # Snapshot

@@ -12,7 +12,14 @@ _BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 if str(_BENCH_DIR) not in sys.path:
     sys.path.insert(0, str(_BENCH_DIR))
 
-from perf_trend import collect_metrics, compare_records, load_records, main  # noqa: E402
+from perf_trend import (  # noqa: E402
+    check_floors,
+    collect_metrics,
+    compare_records,
+    load_floors,
+    load_records,
+    main,
+)
 
 
 def record(name: str, per_sec: float, smoke: bool = False) -> dict:
@@ -111,3 +118,91 @@ class TestEndToEnd:
         current = tmp_path / "cur"
         self.write(current, "streaming", record("streaming", 100.0))
         assert main(["--baseline", str(tmp_path / "none"), "--current", str(current)]) == 0
+
+
+class TestFloors:
+    def test_floor_violation_detected(self):
+        floors = {"fleet": {"sizes[0].cust_per_sec": 500.0}}
+        healthy = {"fleet": record("fleet", 1000.0)}  # leaf = 2000
+        assert check_floors(healthy, floors) == []
+        slow = {"fleet": record("fleet", 100.0)}  # leaf = 200 < 500
+        violations = check_floors(slow, floors)
+        assert len(violations) == 1
+        assert "below the absolute floor" in violations[0]
+
+    def test_missing_floored_metric_is_a_violation(self):
+        floors = {"fleet": {"sizes[9].cust_per_sec": 500.0}}
+        violations = check_floors({"fleet": record("fleet", 1000.0)}, floors)
+        assert violations and "missing" in violations[0]
+        # A missing record entirely is the most complete regression.
+        violations = check_floors({}, floors)
+        assert violations and "missing" in violations[0]
+
+    def test_load_floors_validates_and_skips_comments(self, tmp_path):
+        path = tmp_path / "floors.json"
+        path.write_text(
+            json.dumps({"_comment": "why", "fleet": {"a_per_sec": 5}}),
+            encoding="utf-8",
+        )
+        assert load_floors(path) == {"fleet": {"a_per_sec": 5.0}}
+        path.write_text(json.dumps(["not", "a", "mapping"]), encoding="utf-8")
+        with pytest.raises(ValueError, match="floors file"):
+            load_floors(path)
+
+
+class TestBlockingBenchmarks:
+    def write(self, directory: Path, name: str, payload: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+
+    def test_blocking_benchmark_fails_despite_warn_only(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "fleet", record("fleet", 1000.0))
+        self.write(current, "fleet", record("fleet", 100.0))
+        argv = ["--baseline", str(baseline), "--current", str(current), "--warn-only"]
+        assert main(argv) == 0  # plain warn-only tolerates it
+        assert main(argv + ["--blocking", "fleet"]) == 1
+        assert "REGRESSION (blocking)" in capsys.readouterr().out
+
+    def test_nonblocking_regression_still_warns_only(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "streaming", record("streaming", 1000.0))
+        self.write(current, "streaming", record("streaming", 100.0))
+        argv = [
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--warn-only",
+            "--blocking",
+            "fleet",
+        ]
+        assert main(argv) == 0
+
+    def test_floor_violation_fails_even_without_baseline(self, tmp_path):
+        current = tmp_path / "cur"
+        self.write(current, "fleet", record("fleet", 100.0))
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"fleet": {"sizes[0].cust_per_sec": 500.0}}), encoding="utf-8"
+        )
+        argv = [
+            "--baseline",
+            str(tmp_path / "none"),
+            "--current",
+            str(current),
+            "--warn-only",
+            "--floors",
+            str(floors),
+        ]
+        assert main(argv) == 1
+
+    def test_repo_floors_file_parses_and_matches_bench_schema(self):
+        floors = load_floors(_BENCH_DIR / "perf_floors.json")
+        assert "fleet" in floors
+        for metric_floors in floors.values():
+            for metric, floor in metric_floors.items():
+                assert metric.endswith("_per_sec")
+                assert floor > 0
