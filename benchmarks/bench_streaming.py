@@ -36,11 +36,23 @@ Emits a machine-readable perf record to
 artifact) so the perf trajectory accumulates across commits;
 ``benchmarks/perf_trend.py`` diffs these records between runs.
 
+Also benchmarks the **elastic watch** (``watch_fleet(rebalance=...)``)
+on a deliberately skewed feed: customer ids are mined so the static
+consistent-hash routing piles >= 4x the customers of any other shard
+onto shard 0, then the same feed runs statically and under
+:class:`~repro.fleet.rebalance.LoadImbalancePolicy` at 4 process
+workers.  The update streams must stay byte-identical to serial in
+both runs (migration schedules are invisible in the output), and on
+machines with >= 4 real cores rebalancing must beat static sharding
+by 1.3x.
+
 Exit status: 1 when incremental and batch probabilities disagree,
 2 when the estimator speedup misses the threshold, 3 when streaming
 profiling diverges from the window re-scan, 4 when streaming
 profiling misses its O(1)/speedup contract, 5 when the sharded watch
-diverges from the serial one or misses the scaling gate.
+diverges from the serial one or misses the scaling gate, 6 when the
+skewed-feed run diverges from serial or rebalancing misses its
+speedup gate.
 """
 
 from __future__ import annotations
@@ -71,7 +83,7 @@ from repro import (
 )
 from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
 from repro.core import CustomerProfiler, EmpiricalThrottlingEstimator, ThresholdingSummarizer
-from repro.fleet import FleetEngine, FleetSample
+from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy, ShardRing
 from repro.telemetry import StreamingSeriesStats
 from repro.telemetry.counters import DB_DIMENSIONS, PROFILING_DB_DIMENSIONS
 
@@ -331,6 +343,127 @@ def bench_watch_scaling(
     }
 
 
+def make_skewed_feed(
+    n_hot: int, n_cold_per_shard: int, samples_each: int, seed: int, n_shards: int = 4
+) -> tuple[list[FleetSample], dict]:
+    """An interleaved feed whose static routing piles onto one shard.
+
+    Customer ids are mined against the default :class:`ShardRing` for
+    ``n_shards`` workers so that shard 0 owns ``n_hot`` customers while
+    every other shard owns ``n_cold_per_shard`` -- the skew a frozen
+    router can never recover from, and exactly what the rebalance
+    policy exists to fix.
+    """
+    ring = ShardRing(n_shards)
+    hot_ids: list[str] = []
+    cold_ids: dict[int, list[str]] = {shard: [] for shard in range(1, n_shards)}
+    index = 0
+    while len(hot_ids) < n_hot or any(
+        len(ids) < n_cold_per_shard for ids in cold_ids.values()
+    ):
+        customer_id = f"cust-{index:06d}"
+        index += 1
+        shard = ring.route(customer_id)
+        if shard == 0:
+            if len(hot_ids) < n_hot:
+                hot_ids.append(customer_id)
+        elif len(cold_ids[shard]) < n_cold_per_shard:
+            cold_ids[shard].append(customer_id)
+    customers = hot_ids + [cid for ids in cold_ids.values() for cid in ids]
+    rng = np.random.default_rng(seed)
+    scales = {cid: 0.5 + 3.0 * rng.random() for cid in customers}
+    feed = []
+    for sample_index in range(samples_each):
+        for customer_id in customers:
+            scale = scales[customer_id]
+            feed.append(
+                FleetSample(
+                    customer_id=customer_id,
+                    values={
+                        PerfDimension.CPU: float(scale * abs(rng.normal(2.0, 0.8))),
+                        PerfDimension.MEMORY: float(scale * abs(rng.normal(8.0, 2.0))),
+                        PerfDimension.IOPS: float(scale * abs(rng.normal(350.0, 120.0))),
+                        PerfDimension.IO_LATENCY: float(abs(rng.normal(6.0, 1.0)) + 0.3),
+                        PerfDimension.LOG_RATE: float(scale * abs(rng.normal(2.5, 0.8))),
+                        PerfDimension.STORAGE: 150.0 + sample_index * 0.1,
+                    },
+                )
+            )
+    skew = {
+        "n_customers": len(customers),
+        "hot_shard_customers": len(hot_ids),
+        "cold_shard_customers": n_cold_per_shard,
+        "skew_ratio": len(hot_ids) / max(n_cold_per_shard, 1),
+    }
+    return feed, skew
+
+
+def bench_rebalance_skew(
+    n_hot: int,
+    n_cold_per_shard: int,
+    samples_each: int,
+    window: int,
+    seed: int,
+    n_workers: int = 4,
+) -> dict:
+    """Static vs rebalancing watch throughput under a skewed feed.
+
+    Three runs over the same mined-skew feed: serial (the identity
+    reference), static process sharding at ``n_workers`` (the hot
+    shard serializes most of the fleet), and elastic process sharding
+    under :class:`LoadImbalancePolicy` (migrations shed the hot
+    shard's customers onto idle workers mid-watch).  Asserts both
+    parallel streams byte-match serial -- migration schedules must be
+    invisible in the output -- and records the throughput ratio.
+    """
+    engine = DopplerEngine(catalog=SkuCatalog.default())
+    fleet = FleetEngine(engine=engine, backend="serial")
+    feed, skew = make_skewed_feed(n_hot, n_cold_per_shard, samples_each, seed, n_workers)
+    n_customers = skew["n_customers"]
+    watch_kwargs = dict(window=window, min_refresh_samples=min(12, window))
+
+    def run(policy) -> tuple[bytes, float]:
+        start = time.perf_counter()
+        updates = list(
+            fleet.watch_fleet(
+                feed,
+                backend="process",
+                max_workers=n_workers,
+                rebalance=policy,
+                tick_samples=16,
+                **watch_kwargs,
+            )
+        )
+        return canonical_watch_bytes(updates), time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial_blob = canonical_watch_bytes(fleet.watch_fleet(feed, **watch_kwargs))
+    serial_seconds = time.perf_counter() - start
+    static_blob, static_seconds = run(None)
+    policy = LoadImbalancePolicy(
+        imbalance_threshold=1.3,
+        min_samples=max(32, n_customers),
+        max_migrations=16,
+        interval_ticks=1,
+    )
+    rebalancing_blob, rebalancing_seconds = run(policy)
+    rebalance_stats = fleet.watch_rebalance_stats()
+    return {
+        **skew,
+        "samples_each": samples_each,
+        "window": window,
+        "n_workers": n_workers,
+        "serial_customers_per_sec": n_customers / serial_seconds,
+        "static_customers_per_sec": n_customers / static_seconds,
+        "rebalancing_customers_per_sec": n_customers / rebalancing_seconds,
+        "speedup_vs_static": static_seconds / rebalancing_seconds,
+        "identical_static": static_blob == serial_blob,
+        "identical_rebalancing": rebalancing_blob == serial_blob,
+        "n_rebalances": rebalance_stats.n_rebalances,
+        "n_migrations": rebalance_stats.n_migrations,
+    }
+
+
 def bench_live_loop(samples: list[dict[PerfDimension, float]], window: int) -> dict:
     """End-to-end LiveRecommender observe() throughput."""
     engine = DopplerEngine(catalog=SkuCatalog.default())
@@ -433,6 +566,25 @@ def main(argv: list[str] | None = None) -> int:
         f"   identical={watch_record['identical_1w'] and watch_record['identical_nw']}"
     )
 
+    if args.smoke:
+        skew_hot, skew_cold, skew_samples = 12, 3, 12
+    else:
+        skew_hot, skew_cold, skew_samples = 48, 12, 24
+    print(
+        f"Skewed-feed rebalance: {skew_hot} customers on one shard vs "
+        f"{skew_cold} on each other, static vs elastic at 4 process workers ..."
+    )
+    skew_record = bench_rebalance_skew(
+        skew_hot, skew_cold, skew_samples, window=12, seed=args.seed, n_workers=4
+    )
+    print(
+        f"  static {skew_record['static_customers_per_sec']:>8.1f} cust/s"
+        f"   rebalancing {skew_record['rebalancing_customers_per_sec']:>8.1f} cust/s"
+        f"   speedup {skew_record['speedup_vs_static']:.2f}x"
+        f"   migrations {skew_record['n_migrations']}"
+        f"   identical={skew_record['identical_static'] and skew_record['identical_rebalancing']}"
+    )
+
     record = {
         "benchmark": "streaming",
         "timestamp": time.time(),
@@ -444,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         "profiling_scaling": scaling_record,
         "live_loop": live_record,
         "watch_scaling": watch_record,
+        "rebalance_skew": skew_record,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
@@ -485,6 +638,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 5
+    # Migration-schedule identity blocks in every mode: rebalancing
+    # must be invisible in the update stream, skew or not.
+    if not (skew_record["identical_static"] and skew_record["identical_rebalancing"]):
+        print(
+            "FAIL: skewed-feed watch diverges from the serial backend "
+            f"(static={skew_record['identical_static']}, "
+            f"rebalancing={skew_record['identical_rebalancing']})",
+            file=sys.stderr,
+        )
+        return 6
     if args.smoke:
         # Same policy as bench_fleet_scale: correctness (the agreement
         # gates above) blocks CI, timing does not -- shared runners
@@ -519,10 +682,21 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 5
+    # Elastic-watch payoff gate: under a >=4x customer skew, live
+    # rebalancing must beat static sharding by 1.3x at 4 workers.
+    # Like the other scaling gates, only meaningful with real cores.
+    if cores >= 4 and skew_record["speedup_vs_static"] < 1.3:
+        print(
+            f"FAIL: skewed-feed rebalancing speedup "
+            f"{skew_record['speedup_vs_static']:.2f}x at 4 workers is below "
+            f"the 1.3x threshold on a {cores}-core machine",
+            file=sys.stderr,
+        )
+        return 6
     if cores < 4:
         print(
-            f"note: watch scaling gate skipped on a {cores}-core machine "
-            "(needs >= 4 cores)"
+            f"note: watch scaling and rebalance gates skipped on a "
+            f"{cores}-core machine (need >= 4 cores)"
         )
     return 0
 

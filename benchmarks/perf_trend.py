@@ -22,6 +22,13 @@ Two levels of enforcement:
   observed values so they catch order-of-magnitude regressions, not
   runner noise.
 
+Individual metrics can be exempted from enforcement with
+``--warn-metric SUBSTRING`` (repeatable, matched against
+``benchmark:dotted.metric.path``): matching regressions print but
+never fail the run, even inside a ``--blocking`` benchmark.  The
+escape hatch for metrics whose CI variance is not yet established --
+typically a benchmark section added this cycle.
+
 Usage::
 
     python benchmarks/perf_trend.py --baseline prev/ --current benchmarks/results/
@@ -212,6 +219,14 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON file of absolute throughput floors "
         "({benchmark: {metric.path: minimum}}); violations always fail",
     )
+    parser.add_argument(
+        "--warn-metric",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="metric path substring whose regressions only warn, even in a "
+        "--blocking benchmark (repeatable; for metrics without variance history)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_records(args.baseline) if args.baseline.is_dir() else {}
@@ -235,23 +250,28 @@ def main(argv: list[str] | None = None) -> int:
     compared = sorted(set(baseline) & set(current))
     print(f"compared benchmarks: {', '.join(compared) if compared else 'none'}")
     blocking_failures = []
+    hard_regressions = []
     if not regressions:
         print(f"no throughput regressions beyond {args.threshold:.0%}")
     for metric, base_value, current_value, change in regressions:
         benchmark = metric.split(":", 1)[0]
-        blocked = benchmark in args.blocking
+        warn_metric = any(pattern in metric for pattern in args.warn_metric)
+        blocked = benchmark in args.blocking and not warn_metric
+        label = " (blocking)" if blocked else " (warn-only metric)" if warn_metric else ""
         print(
-            f"REGRESSION{' (blocking)' if blocked else ''} {metric}: "
+            f"REGRESSION{label} {metric}: "
             f"{base_value:,.1f} -> {current_value:,.1f} ({change:+.1%})"
         )
         if blocked:
             blocking_failures.append(metric)
+        if not warn_metric:
+            hard_regressions.append(metric)
     if floor_failures or blocking_failures:
         return 1
-    if regressions and args.warn_only:
+    if hard_regressions and args.warn_only:
         print("warn-only mode: exiting 0 despite regressions")
         return 0
-    return 1 if regressions else 0
+    return 1 if hard_regressions else 0
 
 
 if __name__ == "__main__":

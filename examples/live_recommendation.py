@@ -10,8 +10,12 @@ re-running the batch pipeline on the unchanged stretches.
 The second act scales the same loop to a whole fleet:
 ``FleetEngine.watch_fleet(backend="process")`` shards an interleaved
 multi-customer feed across persistent worker processes with sticky
-per-customer routing, emitting the exact update stream the serial
-loop would -- one feed, many concurrent live assessments.
+per-customer routing over a consistent-hash ring, emitting the exact
+update stream the serial loop would -- one feed, many concurrent live
+assessments.  The final act makes the watch *elastic*: a
+``LoadImbalancePolicy`` watches per-shard load and migrates customers
+off the hottest worker mid-stream (drain -> snapshot -> re-route ->
+restore), without changing a byte of the output.
 
 Run with::
 
@@ -29,7 +33,7 @@ if __package__ in (None, ""):  # running as a script without installation
         sys.path.insert(0, str(_src))
 
 from repro import DeploymentType, DopplerEngine, LiveRecommender, PerfDimension, SkuCatalog
-from repro.fleet import FleetEngine, FleetSample
+from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy
 from repro.simulation import FleetConfig, simulate_fleet
 
 
@@ -130,6 +134,41 @@ def main() -> None:
         f"\n{len(fleet_feed)} samples -> {n_updates} refresh events across "
         f"{len(feeds)} customers; watch curve cache: {watch_stats.misses} builds, "
         f"{watch_stats.hits} hits (aggregated over worker shards)."
+    )
+
+    # 5. Elastic watch: the same feed with a rebalance policy attached.
+    #    The parent tracks per-shard load; when one worker runs hot, the
+    #    policy migrates customers off it mid-stream -- drain, snapshot
+    #    the live state on the source shard, re-route on the ring,
+    #    restore on the target -- and the update stream is still
+    #    byte-identical to the static run above.
+    print("\n--- Elastic watch: same feed, load-imbalance rebalancing ---\n")
+    policy = LoadImbalancePolicy(
+        imbalance_threshold=1.1, min_samples=48, interval_ticks=2, max_migrations=4
+    )
+    n_updates = 0
+    for update in fleet.watch_fleet(
+        fleet_feed,
+        window=48,
+        min_refresh_samples=12,
+        rebalance=policy,
+        on_rebalance=lambda event: print(
+            f"  rebalance @tick {event.tick_id}: {event.n_moves} customers moved"
+            + (
+                f", pool {event.resized_from} -> {event.resized_to} workers"
+                if event.resized_to is not None
+                else ""
+            )
+        ),
+        tick_samples=16,
+    ):
+        n_updates += 1
+    stats = fleet.watch_rebalance_stats()
+    print(
+        f"\n{n_updates} refresh events (identical stream); "
+        f"{stats.n_decisions} load checks -> {stats.n_rebalances} rebalances, "
+        f"{stats.n_migrations} customer migrations, {stats.n_resizes} resizes; "
+        f"samples/shard: {dict(stats.samples_by_shard)}"
     )
 
 

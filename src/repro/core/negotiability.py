@@ -256,6 +256,40 @@ class MinMaxAucSummarizer(NegotiabilitySummarizer):
         auc = self.auc_streaming(stats)
         return np.array([auc]), auc > self.cutoff
 
+    supports_batch: ClassVar[bool] = True
+
+    def auc_batch(self, values: np.ndarray) -> np.ndarray:
+        """Row-wise min-max ECDF AUCs over stacked counter windows.
+
+        Replicates the serial ``ecdf_auc(minmax_scale(row))``
+        elementwise -- scale, clip, then a row mean reducing along
+        contiguous memory with the same pairwise summation as the 1-D
+        path -- so values are byte-identical to :meth:`auc`, not just
+        the closed form's algebraic equal.  Constant rows take the
+        all-zeros branch of :func:`~repro.ml.scaling.minmax_scale`
+        (AUC 1.0), exactly as in the serial path.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] == 0:
+            raise ValueError(
+                f"expected a (n_series, n_samples) matrix, got shape {values.shape}"
+            )
+        lows = values.min(axis=1)
+        spreads = values.max(axis=1) - lows
+        # Exactly the serial branch condition: a spread is never
+        # negative, so only == 0 takes the all-zeros branch; a NaN
+        # spread (NaN in the window) divides and propagates NaN,
+        # keeping the not-negotiable decision serial profiling makes.
+        constant = spreads == 0
+        safe = np.where(constant, 1.0, spreads)
+        scaled = (values - lows[:, None]) / safe[:, None]
+        aucs = 1.0 - np.clip(scaled, 0.0, 1.0).mean(axis=1)
+        return np.where(constant, 1.0, aucs)
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        aucs = self.auc_batch(values)
+        return aucs[:, None], aucs > self.cutoff
+
 
 @dataclass(frozen=True)
 class MaxAucSummarizer(NegotiabilitySummarizer):
@@ -301,6 +335,48 @@ class MaxAucSummarizer(NegotiabilitySummarizer):
     def summarize_streaming(self, stats: StreamingSeriesStats) -> tuple[np.ndarray, bool]:
         auc = self.auc_streaming(stats)
         return np.array([auc]), auc > self.cutoff
+
+    supports_batch: ClassVar[bool] = True
+
+    def auc_batch(self, values: np.ndarray) -> np.ndarray:
+        """Row-wise max-scale ECDF AUCs over stacked counter windows.
+
+        Same elementwise replication as
+        :meth:`MinMaxAucSummarizer.auc_batch`, so values are
+        byte-identical to per-series :meth:`auc` calls.  Rows with a
+        non-positive peak take :func:`~repro.ml.scaling.max_scale`'s
+        all-zeros branch (AUC 1.0); a row mixing a positive peak with
+        negative samples raises the same normalization error
+        :func:`~repro.ml.auc.ecdf_auc` would, so batch and per-series
+        profiling never silently diverge.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] == 0:
+            raise ValueError(
+                f"expected a (n_series, n_samples) matrix, got shape {values.shape}"
+            )
+        peaks = values.max(axis=1)
+        # Serial branch parity, NaN included: ``peak <= 0`` is False
+        # for NaN, so a NaN window divides and propagates NaN instead
+        # of silently reading as idle (AUC 1.0 = negotiable).
+        idle = peaks <= 0
+        safe = np.where(idle, 1.0, peaks)
+        scaled = values / safe[:, None]
+        mins = scaled.min(axis=1)
+        maxs = scaled.max(axis=1)
+        bad = ~idle & ((mins < -1e-12) | (maxs > 1.0 + 1e-12))
+        if np.any(bad):
+            row = int(np.argmax(bad))
+            raise ValueError(
+                f"sample must be normalized into [0, 1]; got range "
+                f"[{mins[row]:.4g}, {maxs[row]:.4g}]"
+            )
+        aucs = 1.0 - np.clip(scaled, 0.0, 1.0).mean(axis=1)
+        return np.where(idle, 1.0, aucs)
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        aucs = self.auc_batch(values)
+        return aucs[:, None], aucs > self.cutoff
 
 
 @dataclass(frozen=True)
@@ -451,6 +527,17 @@ class CombinedSummarizer(NegotiabilitySummarizer):
         return (
             np.concatenate([auc_features, threshold_features]),
             auc_negotiable and threshold_negotiable,
+        )
+
+    supports_batch: ClassVar[bool] = True
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Both components batched; decisions AND row-wise as in serial."""
+        auc_features, auc_negotiable = self.auc.summarize_batch(values)
+        threshold_features, threshold_negotiable = self.thresholding.summarize_batch(values)
+        return (
+            np.concatenate([auc_features, threshold_features], axis=1),
+            auc_negotiable & threshold_negotiable,
         )
 
 

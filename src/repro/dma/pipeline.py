@@ -294,11 +294,14 @@ class AssessmentPipeline:
         The streaming counterpart of :meth:`assess_fleet`: interleaved
         :class:`~repro.fleet.engine.FleetSample` events fan out over
         the selected execution backend with sticky per-customer
-        routing, and refresh events stream back in feed order.  The
-        backend selection passes straight through to
+        routing over the consistent-hash shard ring, and refresh
+        events stream back in feed order.  The backend selection
+        passes straight through to
         :meth:`~repro.fleet.engine.FleetEngine.watch_fleet`, as do all
         remaining keyword arguments (window, drift threshold, warm-up
-        length, ``refreshes_only``, ``profile_mode``).
+        length, ``refreshes_only``, ``profile_mode``, and the elastic
+        surface: ``rebalance=`` / ``on_rebalance=`` /
+        ``tick_samples=`` for live migration and pool resizing).
 
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.

@@ -2,10 +2,13 @@
 
 Scales Doppler from one workload to whole customer populations:
 sharded, parallel, curve-memoizing batch passes with streaming results
-and campaign-level summary reports, plus a live fleet watch that
-shards customers' streaming assessments across the same execution
-backends (:mod:`repro.fleet.backends`) with sticky per-customer
-routing.
+and campaign-level summary reports, plus an elastic live fleet watch
+that shards customers' streaming assessments across the same
+execution backends (:mod:`repro.fleet.backends`) with sticky
+per-customer routing over a consistent-hash ring
+(:mod:`repro.fleet.sharding`) and optional live rebalancing --
+customer migration, hot-key pinning and worker-pool resizing
+(:mod:`repro.fleet.rebalance`).
 """
 
 from .backends import (
@@ -32,8 +35,19 @@ from .engine import (
     FleetRecommendation,
     FleetSample,
 )
+from .rebalance import (
+    LoadImbalancePolicy,
+    Migration,
+    RebalanceDecision,
+    RebalanceEvent,
+    RebalancePolicy,
+    ScheduledRebalancePolicy,
+    ShardLoad,
+    WatchLoadSnapshot,
+    WatchRebalanceStats,
+)
 from .report import FleetSummary, summarize_fleet
-from .sharding import auto_chunk_size, route_customer, shard
+from .sharding import ShardRing, auto_chunk_size, route_customer, shard
 
 __all__ = [
     "BACKEND_NAMES",
@@ -44,6 +58,16 @@ __all__ = [
     "make_backend",
     "combine_cache_stats",
     "route_customer",
+    "ShardRing",
+    "RebalancePolicy",
+    "LoadImbalancePolicy",
+    "ScheduledRebalancePolicy",
+    "RebalanceDecision",
+    "RebalanceEvent",
+    "Migration",
+    "ShardLoad",
+    "WatchLoadSnapshot",
+    "WatchRebalanceStats",
     "CurveCache",
     "CurveCacheStats",
     "catalog_signature",

@@ -8,11 +8,11 @@ One execution substrate for both fleet protocols:
   plumbing that used to live as private globals in
   :mod:`repro.fleet.engine`.
 * **Streaming** (:meth:`ExecutionBackend.watch`): a fleet-wide
-  telemetry feed is routed *sticky-by-customer-id* (see
-  :func:`~repro.fleet.sharding.route_customer`) to stateful shard
-  workers, each owning its customers'
-  :class:`~repro.streaming.live.LiveRecommender` state for the whole
-  watch, and per-sample outcomes flow back in feed order.
+  telemetry feed is routed *sticky-by-customer-id* over a
+  consistent-hash :class:`~repro.fleet.sharding.ShardRing` to stateful
+  shard workers, each owning its customers'
+  :class:`~repro.streaming.live.LiveRecommender` state, and per-sample
+  outcomes flow back in feed order.
 
 Three backends implement both protocols behind one interface:
 ``serial`` (everything in the parent), ``thread`` (one single-thread
@@ -22,9 +22,9 @@ and one shared result queue).  The contract every backend upholds is
 *serial identity*: the emitted result sequence -- including
 per-customer failure containment and quarantine ordering -- is
 byte-identical to the serial backend's, because each customer's state
-lives on exactly one shard, shards process their samples in feed
-order, and the parent reorders emissions by global sequence number
-before yielding.
+lives on exactly one shard at a time, shards process their samples in
+feed order, and the parent reorders emissions by global sequence
+number before yielding.
 
 Streaming shards exchange *microbatches* ("ticks") with the parent
 rather than single samples, so queue/IPC overhead amortizes across
@@ -32,6 +32,22 @@ rather than single samples, so queue/IPC overhead amortizes across
 :data:`WATCH_INFLIGHT_TICKS` ticks are in flight per watch, which
 pipelines parent-side routing against worker-side assessment without
 unbounded buffering.
+
+**Elastic watches.**  The watch loop is no longer frozen at its
+starting topology: the parent tracks per-shard load (samples routed,
+worker busy seconds) and per-customer sample counts, and a pluggable
+:class:`~repro.fleet.rebalance.RebalancePolicy` may order customer
+migrations, hot-customer pins or a pool resize at tick boundaries.
+Execution follows one protocol on every backend: drain all in-flight
+ticks, ``snapshot_state`` each moving customer on its source shard
+(releasing its watch-scoped curve-cache entries there), re-route on
+the ring, ``restore_state`` on the target shard.  The serial and
+thread backends move state as in-process bookkeeping; the process
+backend does the real handoff over its worker queues.  Because a
+customer's samples are never in flight while its state moves and the
+reorder buffer works on global sequence numbers, the merged update
+stream stays byte-identical to the serial backend's across any
+migration schedule.
 """
 
 from __future__ import annotations
@@ -39,6 +55,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import time
 import traceback
 from abc import ABC, abstractmethod
 from collections import deque
@@ -46,8 +63,17 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
 
+from ..catalog.models import DeploymentType
 from .cache import CurveCacheStats
-from .sharding import route_customer
+from .rebalance import (
+    Migration,
+    RebalanceEvent,
+    RebalancePolicy,
+    ShardLoad,
+    WatchLoadSnapshot,
+    WatchRebalanceStats,
+)
+from .sharding import ShardRing
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid cycles
     from ..core.engine import DopplerEngine
@@ -82,6 +108,11 @@ WATCH_TICK_PER_WORKER = 64
 #: Streaming ticks in flight before the parent blocks on results:
 #: double-buffering overlaps routing with assessment.
 WATCH_INFLIGHT_TICKS = 2
+
+#: Hottest customers included in a rebalance load snapshot; policies
+#: balance shards, not individual tails, so a bounded leaderboard
+#: keeps decision points cheap at fleet scale.
+SNAPSHOT_TOP_CUSTOMERS = 256
 
 #: Seconds between liveness checks while waiting on worker results.
 _WORKER_POLL_SECONDS = 1.0
@@ -152,6 +183,12 @@ class WatchConfig:
         )
 
 
+#: One customer's migration payload: ``(customer_id, snapshot, quarantined)``.
+#: Snapshot is a picklable ``LiveAssessmentState`` (None for customers
+#: that only exist as a quarantine entry).
+_MigrationRecord = tuple
+
+
 class _WatchShard:
     """One worker's share of a fleet watch: live state plus quarantine.
 
@@ -161,6 +198,12 @@ class _WatchShard:
     per-customer update sequences -- including the
     quarantine-after-failure containment contract -- are identical to
     the serial loop's regardless of how many shards a watch runs.
+
+    Also the migration endpoint: :meth:`extract` freezes and evicts a
+    departing customer's state (recommender snapshot, quarantine flag,
+    watch-scoped curve-cache entries -- tracked per customer in
+    ``customer_keys``), and :meth:`install` adopts it on the target
+    shard, where the next refresh rebuilds and re-counts its curves.
     """
 
     def __init__(self, config: WatchConfig) -> None:
@@ -174,43 +217,53 @@ class _WatchShard:
         self.cache = CurveCache(config.cache_size)
         self.recommenders: dict[str, object] = {}
         self.quarantined: set[str] = set()
+        self.customer_keys: dict[str, set] = {}
+
+    def _new_live(self, customer_id: str, deployment, dimensions=None):
+        config = self.config
+        return self._live_cls(
+            config.engine,
+            deployment,
+            window=config.window,
+            interval_minutes=config.interval_minutes,
+            dimensions=dimensions,
+            drift_threshold=config.drift_threshold,
+            min_refresh_samples=config.min_refresh_samples,
+            cache=self.cache,
+            entity_id=customer_id,
+            profile_mode=config.profile_mode,
+        )
 
     def process(
         self, batch: "list[tuple[int, FleetSample]]"
-    ) -> "list[tuple[int, FleetLiveUpdate]]":
+    ) -> "tuple[list[tuple[int, FleetLiveUpdate]], float]":
         """Assess one tick of (sequence number, sample) pairs.
 
-        Returns only the emissions -- refresh events (or every sample
-        when ``refreshes_only`` is off) and one-shot failure updates --
+        Returns the emissions -- refresh events (or every sample when
+        ``refreshes_only`` is off) and one-shot failure updates --
         tagged with their global sequence numbers so the parent can
-        interleave shards back into feed order.
+        interleave shards back into feed order, plus the wall-clock
+        seconds this tick cost (the per-shard load signal rebalance
+        policies act on).
         """
         from .engine import FleetLiveUpdate
 
         config = self.config
+        started = time.perf_counter()
         emissions: list[tuple[int, FleetLiveUpdate]] = []
         for seq, sample in batch:
             if sample.customer_id in self.quarantined:
                 continue
             live = self.recommenders.get(sample.customer_id)
             if live is None:
-                live = self._live_cls(
-                    config.engine,
-                    sample.deployment,
-                    window=config.window,
-                    interval_minutes=config.interval_minutes,
-                    drift_threshold=config.drift_threshold,
-                    min_refresh_samples=config.min_refresh_samples,
-                    cache=self.cache,
-                    entity_id=sample.customer_id,
-                    profile_mode=config.profile_mode,
-                )
+                live = self._new_live(sample.customer_id, sample.deployment)
                 self.recommenders[sample.customer_id] = live
             try:
                 update = live.observe(sample.values)
             except Exception as exc:  # noqa: BLE001 - one bad feed must not kill the fleet
                 self.quarantined.add(sample.customer_id)
                 self.recommenders.pop(sample.customer_id, None)
+                self.cache.evict_many(self.customer_keys.pop(sample.customer_id, ()))
                 emissions.append(
                     (
                         seq,
@@ -222,180 +275,447 @@ class _WatchShard:
                     )
                 )
                 continue
+            if update.refreshed and live.last_curve_key is not None:
+                self.customer_keys.setdefault(sample.customer_id, set()).add(
+                    live.last_curve_key
+                )
             if update.refreshed or not config.refreshes_only:
                 emissions.append(
                     (seq, FleetLiveUpdate(customer_id=sample.customer_id, update=update))
                 )
-        return emissions
+        return emissions, time.perf_counter() - started
 
+    def extract(self, customer_ids: "Iterable[str]") -> "list[_MigrationRecord]":
+        """Freeze and remove departing customers' state for handoff.
 
-def _iter_ticks(
-    samples: "Iterable[FleetSample]", size: int
-) -> "Iterator[list[tuple[int, FleetSample]]]":
-    """Microbatch a feed into globally sequence-numbered ticks."""
-    tick: list = []
-    for seq, sample in enumerate(samples):
-        tick.append((seq, sample))
-        if len(tick) >= size:
-            yield tick
-            tick = []
-    if tick:
-        yield tick
-
-
-class ExecutionBackend(ABC):
-    """One execution substrate behind both fleet protocols.
-
-    Attributes:
-        name: The selector this backend answers to.
-        max_workers: Requested pool size (None = machine CPU count;
-            always 1 for the serial backend).
-    """
-
-    name: str = "abstract"
-
-    def __init__(self, max_workers: int | None = None) -> None:
-        if max_workers is not None and max_workers <= 0:
-            raise ValueError(f"max_workers must be positive, got {max_workers!r}")
-        self.max_workers = max_workers
-        self._watch_stats: tuple[CurveCacheStats, ...] = ()
-
-    @property
-    def n_workers(self) -> int:
-        """Effective parallelism of this backend."""
-        return self.max_workers or os.cpu_count() or 1
-
-    # ------------------------------------------------------------------
-    # Batch protocol
-    # ------------------------------------------------------------------
-    @abstractmethod
-    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
-        """Run ``job`` over every shard, yielding results in order."""
-
-    def _pump(
-        self, executor: Executor, fn: Callable, chunks: Iterator[list], extra: tuple
-    ) -> Iterator[list]:
-        """Submission-ordered streaming with a bounded in-flight window."""
-        max_inflight = self.n_workers * INFLIGHT_PER_WORKER
-        pending: deque[Future] = deque()
-        try:
-            for chunk in chunks:
-                pending.append(executor.submit(fn, chunk, *extra))
-                if len(pending) >= max_inflight:
-                    yield pending.popleft().result()
-            while pending:
-                yield pending.popleft().result()
-        finally:
-            # Abandoned stream (consumer broke out early) or failure:
-            # drop queued chunks instead of draining the whole in-flight
-            # window; running chunks finish, their results are discarded.
-            executor.shutdown(wait=False, cancel_futures=True)
-
-    # ------------------------------------------------------------------
-    # Streaming protocol
-    # ------------------------------------------------------------------
-    @abstractmethod
-    def watch(
-        self, config: WatchConfig, samples: "Iterable[FleetSample]"
-    ) -> "Iterator[FleetLiveUpdate]":
-        """Stream live assessments over a fleet-wide feed, in feed order."""
-
-    def watch_stats(self) -> tuple[CurveCacheStats, ...]:
-        """Per-shard watch-scoped curve-cache counters of the last watch.
-
-        Populated when the watch generator finishes (exhausted, closed,
-        or failed); shards that never reported -- e.g. workers torn
-        down after an abandoned process watch -- are absent.
+        Curve-cache entries the customers built here are released
+        (:meth:`~repro.fleet.cache.CurveCache.evict_many`), so a
+        migrated customer's footprint leaves with it; the target shard
+        rebuilds and counts its curves on the next refresh.  Customers
+        this shard has never seen produce no record.
         """
-        return self._watch_stats
+        records: list[_MigrationRecord] = []
+        for customer_id in customer_ids:
+            quarantined = customer_id in self.quarantined
+            self.quarantined.discard(customer_id)
+            live = self.recommenders.pop(customer_id, None)
+            self.cache.evict_many(self.customer_keys.pop(customer_id, ()))
+            if live is not None:
+                records.append((customer_id, live.snapshot_state(), False))
+            elif quarantined:
+                records.append((customer_id, None, True))
+        return records
+
+    def install(self, records: "Iterable[_MigrationRecord]") -> None:
+        """Adopt migrated customers; the inverse of :meth:`extract`."""
+        for customer_id, state, quarantined in records:
+            if quarantined:
+                self.quarantined.add(customer_id)
+                continue
+            if state is None:
+                continue
+            live = self._new_live(
+                customer_id,
+                DeploymentType(state.deployment_value),
+                dimensions=state.dimensions,
+            )
+            live.restore_state(state)
+            self.recommenders[customer_id] = live
 
 
-class SerialBackend(ExecutionBackend):
-    """Everything in the parent process; the identity baseline."""
+# ----------------------------------------------------------------------
+# Elastic watch coordination (parent side)
+# ----------------------------------------------------------------------
+class _WatchCoordinator:
+    """Routing, load accounting and rebalance execution for one watch.
 
-    name = "serial"
-
-    @property
-    def n_workers(self) -> int:
-        return 1
-
-    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
-        fn = job.local_fn()
-        for chunk in chunks:
-            yield fn(chunk, *extra)
-
-    def watch(
-        self, config: WatchConfig, samples: "Iterable[FleetSample]"
-    ) -> "Iterator[FleetLiveUpdate]":
-        shard = _WatchShard(config)
-        try:
-            for seq, sample in enumerate(samples):
-                for _, update in shard.process([(seq, sample)]):
-                    yield update
-        finally:
-            self._watch_stats = (shard.cache.stats(),)
-
-
-class ThreadBackend(ExecutionBackend):
-    """Thread pools sharing the parent's memory.
-
-    Batch chunks run on one shared pool against the parent runner (one
-    shared curve cache).  Streaming shards each get a dedicated
-    single-thread executor: submission order per shard is execution
-    order, so a shard's live state is only ever touched by its own
-    thread -- the same confinement the process backend gets from
-    per-worker queues, without locks.
+    Lives in the parent for every backend.  Owns the
+    :class:`~repro.fleet.sharding.ShardRing`, memoizes each customer's
+    current shard (one keyed hash per customer, not per sample),
+    counts per-shard and per-customer load, and -- when a policy is
+    attached -- executes its decisions against the backend's worker
+    pool at fully drained tick boundaries.
     """
 
-    name = "thread"
+    def __init__(
+        self,
+        n_shards: int,
+        policy: RebalancePolicy | None,
+        on_rebalance: Callable[[RebalanceEvent], None] | None,
+    ) -> None:
+        self.ring = ShardRing(n_shards)
+        self.policy = policy
+        self.on_rebalance = on_rebalance
+        self.quarantined: set[str] = set()
+        self._routes: dict[str, int] = {}
+        self._members: dict[int, set[str]] = {sid: set() for sid in range(n_shards)}
+        self._samples_total: dict[int, int] = {}
+        self._samples_recent: dict[int, int] = {}
+        self._busy_total: dict[int, float] = {}
+        self._busy_recent: dict[int, float] = {}
+        self._customer_recent: dict[str, int] = {}
+        self._n_decisions = 0
+        self._n_rebalances = 0
+        self._n_migrations = 0
+        self._n_resizes = 0
+        self._events: list[RebalanceEvent] = []
 
-    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
-        executor = ThreadPoolExecutor(
-            max_workers=self.n_workers, thread_name_prefix="fleet"
+    # -- hot path ------------------------------------------------------
+    def route(self, customer_id: str) -> int:
+        """The shard owning ``customer_id``'s live state, with accounting."""
+        shard_id = self._routes.get(customer_id)
+        if shard_id is None:
+            shard_id = self.ring.route(customer_id)
+            self._routes[customer_id] = shard_id
+            self._members.setdefault(shard_id, set()).add(customer_id)
+        self._samples_total[shard_id] = self._samples_total.get(shard_id, 0) + 1
+        if self.policy is not None:
+            self._samples_recent[shard_id] = self._samples_recent.get(shard_id, 0) + 1
+            self._customer_recent[customer_id] = (
+                self._customer_recent.get(customer_id, 0) + 1
+            )
+        return shard_id
+
+    def record_busy(self, busy_by_shard: dict[int, float]) -> None:
+        for shard_id, seconds in busy_by_shard.items():
+            self._busy_total[shard_id] = self._busy_total.get(shard_id, 0.0) + seconds
+            self._busy_recent[shard_id] = self._busy_recent.get(shard_id, 0.0) + seconds
+
+    def mark_quarantined(self, customer_id: str) -> None:
+        """Note a customer's quarantine (learned from its error update).
+
+        The parent drops the customer's further samples instead of
+        shipping work its shard would silently skip, and stops
+        counting it as load -- a quarantined whale must not keep
+        reading as the hottest customer of an actually idle shard and
+        bait the policy into migrating its innocent neighbours.
+        """
+        self.quarantined.add(customer_id)
+        self._customer_recent.pop(customer_id, None)
+        shard_id = self._routes.get(customer_id)
+        if shard_id is not None:
+            self._members.get(shard_id, set()).discard(customer_id)
+
+    # -- decision points -----------------------------------------------
+    def _snapshot(self, tick_id: int) -> WatchLoadSnapshot:
+        shards = tuple(
+            ShardLoad(
+                shard_id=shard_id,
+                n_customers=len(self._members.get(shard_id, ())),
+                samples_recent=self._samples_recent.get(shard_id, 0),
+                samples_total=self._samples_total.get(shard_id, 0),
+                busy_seconds_recent=self._busy_recent.get(shard_id, 0.0),
+                busy_seconds_total=self._busy_total.get(shard_id, 0.0),
+            )
+            for shard_id in self.ring.shard_ids
         )
-        yield from self._pump(executor, job.local_fn(), chunks, extra)
+        hot = sorted(self._customer_recent.items(), key=lambda kv: (-kv[1], kv[0]))
+        return WatchLoadSnapshot(
+            tick_id=tick_id,
+            n_decisions=self._n_decisions,
+            shards=shards,
+            customer_samples_recent=tuple(
+                (customer_id, count, self._routes[customer_id])
+                for customer_id, count in hot[:SNAPSHOT_TOP_CUSTOMERS]
+            ),
+        )
 
-    def watch(
-        self, config: WatchConfig, samples: "Iterable[FleetSample]"
-    ) -> "Iterator[FleetLiveUpdate]":
-        n_shards = self.n_workers
-        shards = [_WatchShard(config) for _ in range(n_shards)]
-        executors = [
-            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"fleet-watch-{index}")
-            for index in range(n_shards)
-        ]
-        # (tick futures by shard) in submission order; bounded so
-        # routing pipelines against assessment without unbounded memory.
-        pending: deque[list[Future]] = deque()
+    def rebalance(self, pool: "_WatchPool", tick_id: int) -> None:
+        """Consult the policy and execute its decision.
 
-        def drain_head() -> "Iterator[FleetLiveUpdate]":
-            emissions: list = []
-            for future in pending.popleft():
-                emissions.extend(future.result())
-            emissions.sort(key=lambda pair: pair[0])
-            for _, update in emissions:
-                yield update
-
-        try:
-            for tick in _iter_ticks(samples, n_shards * WATCH_TICK_PER_WORKER):
-                by_shard: dict[int, list] = {}
-                for seq, sample in tick:
-                    shard_id = route_customer(sample.customer_id, n_shards)
-                    by_shard.setdefault(shard_id, []).append((seq, sample))
-                pending.append(
-                    [
-                        executors[shard_id].submit(shards[shard_id].process, batch)
-                        for shard_id, batch in by_shard.items()
-                    ]
+        Caller guarantees nothing is in flight: every dispatched tick
+        has drained, so no moving customer has samples pending and
+        extract sees fully settled state.
+        """
+        snapshot = self._snapshot(tick_id)
+        decision = self.policy.decide(snapshot)
+        self._n_decisions += 1
+        if decision is None:
+            return  # keep watching: the recent window keeps accumulating
+        # The policy acted (even a no-op decision is a verdict on this
+        # evidence): start a fresh observation window.
+        self._samples_recent = {}
+        self._busy_recent = {}
+        self._customer_recent = {}
+        if decision.is_noop:
+            return
+        moves: list[Migration] = []
+        resized_from = resized_to = None
+        # Planned state moves: customer -> (source shard, target shard).
+        planned: dict[str, tuple[int, int]] = {}
+        if decision.resize_to is not None and decision.resize_to != self.ring.n_shards:
+            resized_from = self.ring.n_shards
+            resized_to = decision.resize_to
+            for shard_id in range(resized_from, resized_to):
+                pool.add_shard(shard_id)  # grow before any state needs a home
+                self._members.setdefault(shard_id, set())
+            self.ring.resize(resized_to)
+            # Consistent hashing keeps this diff minimal: growth moves
+            # ~1/new of the known customers, shrink moves only the
+            # removed shards' residents.
+            for customer_id, old in self._routes.items():
+                new = self.ring.route(customer_id)
+                if new != old:
+                    planned[customer_id] = (old, new)
+        for migration in decision.migrations:
+            target = migration.target
+            if target not in self.ring.shard_ids:
+                raise ValueError(
+                    f"rebalance decision targets unknown shard {target!r}; "
+                    f"the pool has shards 0..{self.ring.n_shards - 1}"
                 )
-                if len(pending) >= WATCH_INFLIGHT_TICKS:
-                    yield from drain_head()
-            while pending:
-                yield from drain_head()
-        finally:
-            for executor in executors:
-                executor.shutdown(wait=False, cancel_futures=True)
-            self._watch_stats = tuple(shard.cache.stats() for shard in shards)
+            self.ring.set_override(migration.customer_id, target)
+            old = self._routes.get(migration.customer_id)
+            if old is None:
+                # Never-seen customer: the pin takes effect on first
+                # sight; there is no state to move yet.
+                moves.append(Migration(migration.customer_id, target, source=None))
+            elif old != target:
+                planned[migration.customer_id] = (old, target)
+            else:
+                planned.pop(migration.customer_id, None)  # pinned where it lives
+        by_source: dict[int, list[str]] = {}
+        for customer_id, (source, _) in planned.items():
+            by_source.setdefault(source, []).append(customer_id)
+        for source in sorted(by_source):
+            customer_ids = sorted(by_source[source])
+            records = {
+                record[0]: record for record in pool.extract(source, customer_ids)
+            }
+            by_target: dict[int, list[_MigrationRecord]] = {}
+            for customer_id in customer_ids:
+                target = planned[customer_id][1]
+                record = records.get(customer_id)
+                if record is not None:
+                    by_target.setdefault(target, []).append(record)
+                self._routes[customer_id] = target
+                self._members.get(source, set()).discard(customer_id)
+                self._members.setdefault(target, set()).add(customer_id)
+                moves.append(Migration(customer_id, target, source=source))
+            for target in sorted(by_target):
+                pool.install(target, by_target[target])
+        if resized_to is not None and resized_to < (resized_from or 0):
+            for shard_id in range(resized_to, resized_from):
+                pool.retire_shard(shard_id)  # empty by now; state moved above
+                self._members.pop(shard_id, None)
+        if not moves and resized_to is None:
+            return  # decision changed nothing observable (e.g. in-place pins)
+        event = RebalanceEvent(
+            tick_id=tick_id,
+            moves=tuple(moves),
+            resized_from=resized_from,
+            resized_to=resized_to,
+        )
+        self._events.append(event)
+        self._n_rebalances += 1
+        self._n_migrations += sum(1 for move in moves if move.source is not None)
+        if resized_to is not None:
+            self._n_resizes += 1
+        if self.on_rebalance is not None:
+            self.on_rebalance(event)
+
+    def stats(self) -> WatchRebalanceStats:
+        return WatchRebalanceStats(
+            n_decisions=self._n_decisions,
+            n_rebalances=self._n_rebalances,
+            n_migrations=self._n_migrations,
+            n_resizes=self._n_resizes,
+            final_n_shards=self.ring.n_shards,
+            samples_by_shard=tuple(sorted(self._samples_total.items())),
+            events=tuple(self._events),
+        )
+
+
+class _WatchPool(ABC):
+    """One backend's worker pool behind the generic watch loop.
+
+    The loop (:meth:`ExecutionBackend._watch_loop`) owns tick
+    iteration, routing and rebalancing; pools own execution: where
+    shards live, how ticks reach them, how migrated state crosses the
+    boundary.  ``extract``/``install``/``add_shard``/``retire_shard``
+    are only called at fully drained tick boundaries.
+    """
+
+    #: Samples per shard per tick and reorder-buffer depth; the serial
+    #: pool shrinks both to 1 so it keeps its per-sample emission
+    #: cadence (the identity and latency baseline).
+    tick_per_shard: int = WATCH_TICK_PER_WORKER
+    max_inflight: int = WATCH_INFLIGHT_TICKS
+
+    def __init__(self, config: WatchConfig) -> None:
+        self.config = config
+        self._retired_stats: list[CurveCacheStats] = []
+
+    @property
+    @abstractmethod
+    def n_shards(self) -> int:
+        """Current worker-pool size."""
+
+    @abstractmethod
+    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
+        """Dispatch one routed tick to its shards."""
+
+    @abstractmethod
+    def pending(self) -> int:
+        """Ticks dispatched but not yet drained."""
+
+    @abstractmethod
+    def drain_next(self) -> tuple[list, dict[int, float]]:
+        """Complete the oldest tick: (seq-sorted emissions, busy seconds by shard)."""
+
+    @abstractmethod
+    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        """Pull migration records off a shard (nothing in flight)."""
+
+    @abstractmethod
+    def install(self, shard_id: int, records: list) -> None:
+        """Deliver migration records to a shard (nothing in flight)."""
+
+    @abstractmethod
+    def add_shard(self, shard_id: int) -> None:
+        """Bring a new empty shard online."""
+
+    @abstractmethod
+    def retire_shard(self, shard_id: int) -> None:
+        """Take an emptied shard offline, keeping its cache counters."""
+
+    def finish(self) -> None:
+        """Graceful end-of-feed handshake (collect remaining stats)."""
+
+    def abort(self) -> None:
+        """Hard teardown after an abandoned or failed stream."""
+
+    @abstractmethod
+    def stats(self) -> tuple[CurveCacheStats, ...]:
+        """Per-shard watch-scoped cache counters (retired shards first)."""
+
+    def close(self) -> None:
+        """Release pool resources; called exactly once, after stats."""
+
+
+class _InlinePool(_WatchPool):
+    """Serial execution: shards processed synchronously in the parent.
+
+    Rebalance support is pure bookkeeping -- state moves between
+    in-process shard objects -- which keeps the serial backend the
+    identity baseline for any migration schedule.
+    """
+
+    tick_per_shard = 1
+    max_inflight = 1
+
+    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+        super().__init__(config)
+        self._shards: dict[int, _WatchShard] = {
+            shard_id: _WatchShard(config) for shard_id in range(n_shards)
+        }
+        self._done: deque[tuple[list, dict[int, float]]] = deque()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
+        emissions: list = []
+        busy: dict[int, float] = {}
+        for shard_id in sorted(by_shard):
+            shard_emissions, seconds = self._shards[shard_id].process(by_shard[shard_id])
+            emissions.extend(shard_emissions)
+            busy[shard_id] = seconds
+        emissions.sort(key=lambda pair: pair[0])
+        self._done.append((emissions, busy))
+
+    def pending(self) -> int:
+        return len(self._done)
+
+    def drain_next(self) -> tuple[list, dict[int, float]]:
+        return self._done.popleft()
+
+    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        return self._shards[shard_id].extract(customer_ids)
+
+    def install(self, shard_id: int, records: list) -> None:
+        self._shards[shard_id].install(records)
+
+    def add_shard(self, shard_id: int) -> None:
+        self._shards[shard_id] = _WatchShard(self.config)
+
+    def retire_shard(self, shard_id: int) -> None:
+        self._retired_stats.append(self._shards.pop(shard_id).cache.stats())
+
+    def stats(self) -> tuple[CurveCacheStats, ...]:
+        return tuple(self._retired_stats) + tuple(
+            self._shards[shard_id].cache.stats() for shard_id in sorted(self._shards)
+        )
+
+
+class _ThreadShardPool(_WatchPool):
+    """One single-thread executor per shard, sharing the parent's memory.
+
+    Submission order per shard is execution order, so a shard's live
+    state is only ever touched by its own thread -- the same
+    confinement the process backend gets from per-worker queues,
+    without locks.  Migrations run as direct method calls at drained
+    boundaries, when no task can be running.
+    """
+
+    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+        super().__init__(config)
+        self._shards: dict[int, _WatchShard] = {}
+        self._executors: dict[int, ThreadPoolExecutor] = {}
+        for shard_id in range(n_shards):
+            self.add_shard(shard_id)
+        self._pending: deque[list[tuple[int, Future]]] = deque()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
+        self._pending.append(
+            [
+                (shard_id, self._executors[shard_id].submit(self._shards[shard_id].process, batch))
+                for shard_id, batch in by_shard.items()
+            ]
+        )
+
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def drain_next(self) -> tuple[list, dict[int, float]]:
+        emissions: list = []
+        busy: dict[int, float] = {}
+        for shard_id, future in self._pending.popleft():
+            shard_emissions, seconds = future.result()
+            emissions.extend(shard_emissions)
+            busy[shard_id] = busy.get(shard_id, 0.0) + seconds
+        emissions.sort(key=lambda pair: pair[0])
+        return emissions, busy
+
+    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        return self._shards[shard_id].extract(customer_ids)
+
+    def install(self, shard_id: int, records: list) -> None:
+        self._shards[shard_id].install(records)
+
+    def add_shard(self, shard_id: int) -> None:
+        self._shards[shard_id] = _WatchShard(self.config)
+        self._executors[shard_id] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"fleet-watch-{shard_id}"
+        )
+
+    def retire_shard(self, shard_id: int) -> None:
+        self._executors.pop(shard_id).shutdown(wait=True)
+        self._retired_stats.append(self._shards.pop(shard_id).cache.stats())
+
+    def stats(self) -> tuple[CurveCacheStats, ...]:
+        return tuple(self._retired_stats) + tuple(
+            self._shards[shard_id].cache.stats() for shard_id in sorted(self._shards)
+        )
+
+    def close(self) -> None:
+        for executor in self._executors.values():
+            executor.shutdown(wait=False, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------
@@ -435,14 +755,20 @@ _STOP = None
 def _watch_worker_main(
     worker_id: int, config: WatchConfig, in_queue, out_queue
 ) -> None:
-    """Persistent streaming worker: owns one shard for a whole watch.
+    """Persistent streaming worker: owns one shard until retired.
 
     Message protocol (all tuples, kind first):
-      parent -> worker: ``(tick_id, batch)`` or the ``None`` stop
-      sentinel; worker -> parent: ``("tick", worker_id, tick_id,
-      emissions)``, ``("stats", worker_id, cache_stats)`` on graceful
-      stop, or ``("error", worker_id, details)`` on any failure the
-      shard's per-customer containment did not absorb.
+
+    * parent -> worker: ``("tick", tick_id, batch)``,
+      ``("extract", request_id, customer_ids)``,
+      ``("install", request_id, records)``, or the ``None`` stop
+      sentinel.
+    * worker -> parent: ``("tick", worker_id, tick_id, emissions,
+      busy_seconds)``, ``("extracted", worker_id, request_id,
+      records)``, ``("installed", worker_id, request_id)``,
+      ``("stats", worker_id, cache_stats)`` on graceful stop, or
+      ``("error", worker_id, details)`` on any failure the shard's
+      per-customer containment did not absorb.
     """
     try:
         shard = _WatchShard(config)
@@ -451,8 +777,22 @@ def _watch_worker_main(
             if message is _STOP:
                 out_queue.put(("stats", worker_id, shard.cache.stats()))
                 return
-            tick_id, batch = message
-            out_queue.put(("tick", worker_id, tick_id, shard.process(batch)))
+            kind = message[0]
+            if kind == "tick":
+                _, tick_id, batch = message
+                emissions, busy_seconds = shard.process(batch)
+                out_queue.put(("tick", worker_id, tick_id, emissions, busy_seconds))
+            elif kind == "extract":
+                _, request_id, customer_ids = message
+                out_queue.put(
+                    ("extracted", worker_id, request_id, shard.extract(customer_ids))
+                )
+            elif kind == "install":
+                _, request_id, records = message
+                shard.install(records)
+                out_queue.put(("installed", worker_id, request_id))
+            else:
+                raise RuntimeError(f"unknown watch message kind {kind!r}")
     except BaseException as exc:  # noqa: BLE001 - parent must see worker death
         out_queue.put(
             (
@@ -463,16 +803,397 @@ def _watch_worker_main(
         )
 
 
+class _ProcessShardPool(_WatchPool):
+    """Persistent worker processes; state crosses on the queues only.
+
+    Sticky routing needs *dedicated* per-worker queues, which executor
+    pools cannot promise, so each shard is one long-lived
+    :mod:`multiprocessing` process fed through its own input queue;
+    emissions return over one shared result queue and the parent
+    reorders them into feed order.  Migration records (picklable
+    ``LiveAssessmentState`` snapshots) travel the same queues via the
+    extract/install handshakes; pool growth spawns a fresh worker and
+    shrink runs the stop/stats handshake on the retiring one.
+    """
+
+    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+        super().__init__(config)
+        self._context = multiprocessing.get_context()
+        self._out_queue = self._context.Queue()
+        self._workers: dict[int, object] = {}
+        self._in_queues: dict[int, object] = {}
+        self._closed_queues: list = []
+        self._final_stats: list[CurveCacheStats] = []
+        self._request_id = 0
+        for shard_id in range(n_shards):
+            self.add_shard(shard_id)
+        # Reorder buffer: [tick id, shard ids still owing results,
+        # emissions gathered so far, busy seconds by shard].
+        self._pending: deque[list] = deque()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
+        for shard_id, batch in by_shard.items():
+            self._in_queues[shard_id].put(("tick", tick_id, batch))
+        self._pending.append([tick_id, set(by_shard), [], {}])
+
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _receive(self, awaiting: set[int]) -> tuple:
+        """One worker message, failing fast if an *owing* worker died.
+
+        Only workers in ``awaiting`` count as casualties: a worker
+        that already delivered everything it owed exits legitimately
+        during the shutdown handshake, and must not be mistaken for
+        a crash while the parent waits on its peers.
+        """
+        while True:
+            try:
+                return self._out_queue.get(timeout=_WORKER_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [
+                    self._workers[shard_id].name
+                    for shard_id in sorted(awaiting)
+                    if shard_id in self._workers and not self._workers[shard_id].is_alive()
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"fleet watch worker(s) {', '.join(dead)} died "
+                        "without reporting a result"
+                    ) from None
+
+    def drain_next(self) -> tuple[list, dict[int, float]]:
+        head = self._pending[0]
+        while head[1]:  # shards still owing the head tick
+            message = self._receive(
+                {shard_id for entry in self._pending for shard_id in entry[1]}
+            )
+            kind = message[0]
+            if kind == "error":
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
+                )
+            if kind != "tick":
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} sent unexpected "
+                    f"{kind!r} while ticks were in flight"
+                )
+            _, shard_id, tick_id, emissions, busy_seconds = message
+            for entry in self._pending:
+                if entry[0] == tick_id:
+                    entry[1].discard(shard_id)
+                    entry[2].extend(emissions)
+                    entry[3][shard_id] = entry[3].get(shard_id, 0.0) + busy_seconds
+                    break
+            else:
+                raise RuntimeError(
+                    f"fleet watch worker {shard_id} answered unknown tick {tick_id}"
+                )
+        _, _, emissions, busy = self._pending.popleft()
+        emissions.sort(key=lambda pair: pair[0])
+        return emissions, busy
+
+    def _await_reply(self, kind: str, shard_id: int, request_id: int) -> tuple:
+        """Wait for one handshake reply; nothing else can be in flight."""
+        message = self._receive({shard_id})
+        if message[0] == "error":
+            raise RuntimeError(f"fleet watch worker {message[1]} failed:\n{message[2]}")
+        if message[0] != kind or message[1] != shard_id or message[2] != request_id:
+            raise RuntimeError(
+                f"fleet watch worker {message[1]} sent unexpected {message[0]!r} "
+                f"during a drained {kind!r} handshake"
+            )
+        return message
+
+    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        self._request_id += 1
+        self._in_queues[shard_id].put(("extract", self._request_id, customer_ids))
+        return self._await_reply("extracted", shard_id, self._request_id)[3]
+
+    def install(self, shard_id: int, records: list) -> None:
+        self._request_id += 1
+        self._in_queues[shard_id].put(("install", self._request_id, records))
+        self._await_reply("installed", shard_id, self._request_id)
+
+    def add_shard(self, shard_id: int) -> None:
+        in_queue = self._context.Queue()
+        worker = self._context.Process(
+            target=_watch_worker_main,
+            args=(shard_id, self.config, in_queue, self._out_queue),
+            daemon=True,
+            name=f"fleet-watch-{shard_id}",
+        )
+        self._in_queues[shard_id] = in_queue
+        self._workers[shard_id] = worker
+        worker.start()
+
+    def retire_shard(self, shard_id: int) -> None:
+        self._in_queues[shard_id].put(_STOP)
+        while True:
+            message = self._receive({shard_id})
+            if message[0] == "error":
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
+                )
+            if message[0] == "stats" and message[1] == shard_id:
+                break
+            raise RuntimeError(
+                f"fleet watch worker {message[1]} sent unexpected "
+                f"{message[0]!r} during retirement"
+            )
+        self._retired_stats.append(message[2])
+        worker = self._workers.pop(shard_id)
+        worker.join(timeout=5.0)
+        queue = self._in_queues.pop(shard_id)
+        self._closed_queues.append(queue)
+
+    def finish(self) -> None:
+        for shard_id in sorted(self._workers):
+            self._in_queues[shard_id].put(_STOP)
+        owing = set(self._workers)
+        collected: dict[int, CurveCacheStats] = {}
+        while owing:
+            message = self._receive(owing)
+            if message[0] == "error":
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
+                )
+            if message[0] == "stats":
+                owing.discard(message[1])
+                collected[message[1]] = message[2]
+        self._final_stats = [collected[shard_id] for shard_id in sorted(collected)]
+
+    def abort(self) -> None:
+        # Abandoned or failed stream: tear the pool down hard; shard
+        # state is not recoverable anyway.
+        for worker in self._workers.values():
+            worker.terminate()
+
+    def stats(self) -> tuple[CurveCacheStats, ...]:
+        # Shards torn down after an abandoned watch never report and
+        # are absent, matching the documented watch_stats contract.
+        return tuple(self._retired_stats) + tuple(self._final_stats)
+
+    def close(self) -> None:
+        for worker in self._workers.values():
+            worker.join(timeout=5.0)
+        for queue in (*self._in_queues.values(), *self._closed_queues, self._out_queue):
+            queue.close()
+            queue.cancel_join_thread()
+
+
+class ExecutionBackend(ABC):
+    """One execution substrate behind both fleet protocols.
+
+    Attributes:
+        name: The selector this backend answers to.
+        max_workers: Requested pool size (None = machine CPU count;
+            always 1 for the serial backend).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers!r}")
+        self.max_workers = max_workers
+        self._watch_stats: tuple[CurveCacheStats, ...] = ()
+        self._rebalance_stats: WatchRebalanceStats | None = None
+
+    @property
+    def n_workers(self) -> int:
+        """Effective parallelism of this backend."""
+        return self.max_workers or os.cpu_count() or 1
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        """Run ``job`` over every shard, yielding results in order."""
+
+    def _pump(
+        self, executor: Executor, fn: Callable, chunks: Iterator[list], extra: tuple
+    ) -> Iterator[list]:
+        """Submission-ordered streaming with a bounded in-flight window."""
+        max_inflight = self.n_workers * INFLIGHT_PER_WORKER
+        pending: deque[Future] = deque()
+        try:
+            for chunk in chunks:
+                pending.append(executor.submit(fn, chunk, *extra))
+                if len(pending) >= max_inflight:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            # Abandoned stream (consumer broke out early) or failure:
+            # drop queued chunks instead of draining the whole in-flight
+            # window; running chunks finish, their results are discarded.
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Streaming protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+        """This backend's worker pool for one watch."""
+
+    def watch(
+        self,
+        config: WatchConfig,
+        samples: "Iterable[FleetSample]",
+        policy: RebalancePolicy | None = None,
+        on_rebalance: Callable[[RebalanceEvent], None] | None = None,
+        tick_samples: int | None = None,
+    ) -> "Iterator[FleetLiveUpdate]":
+        """Stream live assessments over a fleet-wide feed, in feed order.
+
+        With a ``policy`` attached the watch is elastic: at drained
+        tick boundaries the policy may migrate customers between
+        shards or resize the pool; ``on_rebalance`` observes each
+        executed :class:`~repro.fleet.rebalance.RebalanceEvent`.  The
+        emitted stream is byte-identical to the serial backend's
+        either way.  ``tick_samples`` overrides the per-shard
+        microbatch size (:data:`WATCH_TICK_PER_WORKER`): smaller ticks
+        bound emission latency tighter and give rebalance policies
+        finer decision boundaries, at more queue round-trips.
+        """
+        if tick_samples is not None and tick_samples <= 0:
+            raise ValueError(f"tick_samples must be positive, got {tick_samples!r}")
+        return self._watch_loop(config, samples, policy, on_rebalance, tick_samples)
+
+    def _watch_loop(
+        self,
+        config: WatchConfig,
+        samples: "Iterable[FleetSample]",
+        policy: RebalancePolicy | None,
+        on_rebalance: Callable[[RebalanceEvent], None] | None,
+        tick_samples: int | None = None,
+    ) -> "Iterator[FleetLiveUpdate]":
+        # The pool spawns lazily, on first iteration: a watch generator
+        # that is created but never consumed must not leave worker
+        # processes parked on their queues.
+        pool = self._make_watch_pool(config)
+        if tick_samples is not None:
+            pool.tick_per_shard = tick_samples
+        coordinator = _WatchCoordinator(pool.n_shards, policy, on_rebalance)
+        stream = iter(enumerate(samples))
+        completed = False
+
+        def emit_next() -> "Iterator[FleetLiveUpdate]":
+            emissions, busy = pool.drain_next()
+            coordinator.record_busy(busy)
+            for _, update in emissions:
+                if update.update is None:  # failure update: customer quarantined
+                    coordinator.mark_quarantined(update.customer_id)
+                yield update
+
+        try:
+            tick_id = 0
+            ticks_since_decision = 0
+            while True:
+                tick: list = []
+                size = pool.tick_per_shard * coordinator.ring.n_shards
+                for seq, sample in stream:
+                    tick.append((seq, sample))
+                    if len(tick) >= size:
+                        break
+                if not tick:
+                    break
+                by_shard: dict[int, list] = {}
+                for seq, sample in tick:
+                    if sample.customer_id in coordinator.quarantined:
+                        continue  # the shard would skip it; don't ship the work
+                    by_shard.setdefault(coordinator.route(sample.customer_id), []).append(
+                        (seq, sample)
+                    )
+                pool.submit(tick_id, by_shard)
+                tick_id += 1
+                if pool.pending() >= pool.max_inflight:
+                    yield from emit_next()
+                if policy is not None:
+                    ticks_since_decision += 1
+                    if ticks_since_decision >= policy.interval_ticks:
+                        while pool.pending():  # decision points run fully drained
+                            yield from emit_next()
+                        coordinator.rebalance(pool, tick_id - 1)
+                        ticks_since_decision = 0
+            while pool.pending():
+                yield from emit_next()
+            pool.finish()
+            completed = True
+        finally:
+            if not completed:
+                pool.abort()
+            self._watch_stats = pool.stats()
+            self._rebalance_stats = coordinator.stats()
+            pool.close()
+
+    def watch_stats(self) -> tuple[CurveCacheStats, ...]:
+        """Per-shard watch-scoped curve-cache counters of the last watch.
+
+        Populated when the watch generator finishes (exhausted, closed,
+        or failed); retired shards report at retirement, and shards
+        torn down after an abandoned process watch are absent.
+        """
+        return self._watch_stats
+
+    def watch_rebalance_stats(self) -> WatchRebalanceStats | None:
+        """Rebalancing account of the last watch (None before any watch)."""
+        return self._rebalance_stats
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything in the parent process; the identity baseline."""
+
+    name = "serial"
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        fn = job.local_fn()
+        for chunk in chunks:
+            yield fn(chunk, *extra)
+
+    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+        return _InlinePool(config, self.n_workers)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread pools sharing the parent's memory.
+
+    Batch chunks run on one shared pool against the parent runner (one
+    shared curve cache).  Streaming shards each get a dedicated
+    single-thread executor (see :class:`_ThreadShardPool`).
+    """
+
+    name = "thread"
+
+    def map_chunks(self, job: BatchJob, chunks: Iterator[list], *extra) -> Iterator[list]:
+        executor = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="fleet"
+        )
+        yield from self._pump(executor, job.local_fn(), chunks, extra)
+
+    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+        return _ThreadShardPool(config, self.n_workers)
+
+
 class ProcessBackend(ExecutionBackend):
     """Fork-per-worker pools; state never crosses process boundaries.
 
     Batch chunks run on a :class:`ProcessPoolExecutor` whose workers
     hold private runners (curves are cheaper to rebuild than to ship).
-    Streaming runs on persistent :mod:`multiprocessing` workers --
-    sticky routing needs *dedicated* per-worker queues, which executor
-    pools cannot promise -- each owning its shard's live state for the
-    whole watch; emissions return over one shared result queue and the
-    parent reorders them into feed order.
+    Streaming runs on persistent :mod:`multiprocessing` workers (see
+    :class:`_ProcessShardPool`); migrated live state is the one
+    exception to "state never crosses" -- it ships as picklable
+    snapshots over the same queues the ticks use.
     """
 
     name = "process"
@@ -485,115 +1206,8 @@ class ProcessBackend(ExecutionBackend):
         )
         yield from self._pump(executor, _BATCH_WORKER_FNS[job.task], chunks, extra)
 
-    def watch(
-        self, config: WatchConfig, samples: "Iterable[FleetSample]"
-    ) -> "Iterator[FleetLiveUpdate]":
-        context = multiprocessing.get_context()
-        n_shards = self.n_workers
-        in_queues = [context.Queue() for _ in range(n_shards)]
-        out_queue = context.Queue()
-        workers = [
-            context.Process(
-                target=_watch_worker_main,
-                args=(worker_id, config, in_queues[worker_id], out_queue),
-                daemon=True,
-                name=f"fleet-watch-{worker_id}",
-            )
-            for worker_id in range(n_shards)
-        ]
-        for worker in workers:
-            worker.start()
-        # Submission-ordered reorder buffer: (tick id, shard ids still
-        # owing results, emissions gathered so far).
-        pending: deque[tuple[int, set[int], list]] = deque()
-        stats: list[CurveCacheStats] = []
-        completed = False
-
-        def receive(awaiting: set[int]) -> tuple:
-            """One worker message, failing fast if an *owing* worker died.
-
-            Only workers in ``awaiting`` count as casualties: a worker
-            that already delivered everything it owed exits legitimately
-            during the shutdown handshake, and must not be mistaken for
-            a crash while the parent waits on its peers.
-            """
-            while True:
-                try:
-                    return out_queue.get(timeout=_WORKER_POLL_SECONDS)
-                except queue_module.Empty:
-                    dead = [
-                        workers[worker_id].name
-                        for worker_id in sorted(awaiting)
-                        if not workers[worker_id].is_alive()
-                    ]
-                    if dead:
-                        raise RuntimeError(
-                            f"fleet watch worker(s) {', '.join(dead)} died "
-                            "without reporting a result"
-                        ) from None
-
-        def drain_head() -> "Iterator[FleetLiveUpdate]":
-            while pending[0][1]:  # shards still owing the head tick
-                message = receive({shard for entry in pending for shard in entry[1]})
-                kind = message[0]
-                if kind == "error":
-                    raise RuntimeError(
-                        f"fleet watch worker {message[1]} failed:\n{message[2]}"
-                    )
-                _, worker_id, tick_id, emissions = message
-                for entry in pending:
-                    if entry[0] == tick_id:
-                        entry[1].discard(worker_id)
-                        entry[2].extend(emissions)
-                        break
-                else:
-                    raise RuntimeError(
-                        f"fleet watch worker {worker_id} answered unknown tick {tick_id}"
-                    )
-            _, _, emissions = pending.popleft()
-            emissions.sort(key=lambda pair: pair[0])
-            for _, update in emissions:
-                yield update
-
-        try:
-            tick_id = 0
-            for tick in _iter_ticks(samples, n_shards * WATCH_TICK_PER_WORKER):
-                by_shard: dict[int, list] = {}
-                for seq, sample in tick:
-                    shard_id = route_customer(sample.customer_id, n_shards)
-                    by_shard.setdefault(shard_id, []).append((seq, sample))
-                for shard_id, batch in by_shard.items():
-                    in_queues[shard_id].put((tick_id, batch))
-                pending.append((tick_id, set(by_shard), []))
-                tick_id += 1
-                if len(pending) >= WATCH_INFLIGHT_TICKS:
-                    yield from drain_head()
-            while pending:
-                yield from drain_head()
-            for in_queue in in_queues:  # stats handshake, then exit
-                in_queue.put(_STOP)
-            owing_stats = set(range(n_shards))
-            while owing_stats:
-                message = receive(owing_stats)
-                if message[0] == "error":
-                    raise RuntimeError(
-                        f"fleet watch worker {message[1]} failed:\n{message[2]}"
-                    )
-                owing_stats.discard(message[1])
-                stats.append(message[2])
-            completed = True
-        finally:
-            self._watch_stats = tuple(stats)
-            if not completed:
-                # Abandoned or failed stream: tear the pool down hard;
-                # shard state is not recoverable anyway.
-                for worker in workers:
-                    worker.terminate()
-            for worker in workers:
-                worker.join(timeout=5.0)
-            for q in (*in_queues, out_queue):
-                q.close()
-                q.cancel_join_thread()
+    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+        return _ProcessShardPool(config, self.n_workers)
 
 
 _BACKENDS: dict[str, type[ExecutionBackend]] = {

@@ -121,6 +121,9 @@ class CurveCacheStats:
             ``misses - duplicate_builds`` is the number of genuinely
             distinct curve constructions, so fleet hit-rate reports
             stay truthful under concurrency.
+        released: Entries dropped deliberately via :meth:`~CurveCache.evict_many`
+            -- a migrated or quarantined customer's curves leaving
+            with it -- as opposed to capacity ``evictions``.
     """
 
     hits: int
@@ -128,6 +131,7 @@ class CurveCacheStats:
     evictions: int
     size: int
     duplicate_builds: int = 0
+    released: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -159,6 +163,7 @@ def combine_cache_stats(stats: Iterable[CurveCacheStats]) -> CurveCacheStats:
             evictions=totals.evictions + entry.evictions,
             size=totals.size + entry.size,
             duplicate_builds=totals.duplicate_builds + entry.duplicate_builds,
+            released=totals.released + entry.released,
         )
     return totals
 
@@ -181,6 +186,7 @@ class CurveCache:
         self._misses = 0
         self._evictions = 0
         self._duplicate_builds = 0
+        self._released = 0
         self._building: dict[Hashable, int] = {}
 
     def get_or_build(
@@ -309,6 +315,27 @@ class CurveCache:
             for key in keys:
                 self._release_building(key)
 
+    def evict_many(self, keys: Iterable[Hashable]) -> int:
+        """Deliberately drop entries; the migration-release primitive.
+
+        When a customer's live state leaves a shard (rebalance
+        migration, quarantine), its watch-scoped curves must leave the
+        source cache with it -- the target shard rebuilds and counts
+        them on the customer's next refresh.  Absent keys are ignored
+        (the customer may never have refreshed here).
+
+        Returns:
+            Entries actually dropped; also accumulated in
+            :attr:`CurveCacheStats.released`.
+        """
+        with self._lock:
+            released = 0
+            for key in keys:
+                if self._entries.pop(key, None) is not None:
+                    released += 1
+            self._released += released
+        return released
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -321,6 +348,7 @@ class CurveCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 duplicate_builds=self._duplicate_builds,
+                released=self._released,
             )
 
     def __len__(self) -> int:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Literal, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal, Mapping
 
 from ..catalog.models import DeploymentType
 from ..core.engine import DopplerEngine
@@ -42,6 +42,7 @@ from .cache import (
     combine_cache_stats,
     curve_cache_key,
 )
+from .rebalance import RebalanceEvent, RebalancePolicy, WatchRebalanceStats
 from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
 
@@ -489,6 +490,7 @@ class FleetEngine:
         make_backend(self.backend, self.max_workers)  # validate both up front
         self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size), self.columnar)
         self._last_watch_stats: tuple[CurveCacheStats, ...] | None = None
+        self._last_rebalance_stats: WatchRebalanceStats | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -584,6 +586,9 @@ class FleetEngine:
         profile_mode: Literal["exact", "streaming"] = "exact",
         backend: FleetBackend | None = None,
         max_workers: int | None = None,
+        rebalance: RebalancePolicy | None = None,
+        on_rebalance: Callable[[RebalanceEvent], None] | None = None,
+        tick_samples: int | None = None,
     ) -> Iterator[FleetLiveUpdate]:
         """Streaming pass: live assessments over a fleet-wide feed.
 
@@ -596,13 +601,23 @@ class FleetEngine:
 
         The feed runs on the fleet's execution backend (overridable
         per watch).  Under the parallel backends, customers' live
-        state shards across stateful workers with sticky routing by
-        customer id (:func:`~repro.fleet.sharding.route_customer`):
+        state shards across stateful workers with sticky routing over
+        a consistent-hash :class:`~repro.fleet.sharding.ShardRing`:
         every sample of one customer reaches the one worker owning
         that customer's assessment, workers process their samples in
         feed order, and the parent reassembles emissions into feed
         order -- so the update sequence, including failure ordering,
         is byte-identical to the serial backend's.
+
+        With a ``rebalance`` policy the watch is *elastic*: the parent
+        tracks per-shard load and lets the policy migrate customers
+        between workers (drain, ``snapshot_state`` on the source,
+        re-route on the ring, ``restore_state`` on the target) or
+        resize the pool mid-watch.  The ring's minimal-movement
+        property keeps resize migrations to ~1/n of the population,
+        and the reorder buffer keeps the update stream byte-identical
+        to the serial backend's across any migration schedule.
+        :meth:`watch_rebalance_stats` accounts for what happened.
 
         Live assessments share one watch-scoped memoized curve cache
         per shard -- drifted windows fingerprint freshly, so live
@@ -634,6 +649,17 @@ class FleetEngine:
                 fleet's :attr:`backend`.
             max_workers: Worker count for this watch; defaults to the
                 fleet's :attr:`max_workers`.
+            rebalance: A
+                :class:`~repro.fleet.rebalance.RebalancePolicy`
+                consulted at tick boundaries, or None (the default)
+                for a static watch.
+            on_rebalance: Callback observing each executed
+                :class:`~repro.fleet.rebalance.RebalanceEvent`, e.g.
+                for operational logging.
+            tick_samples: Samples per worker per streaming microbatch
+                (library default when omitted); smaller ticks bound
+                emission latency tighter and give rebalance policies
+                finer decision boundaries, at more queue round-trips.
         """
         # Imported here, not at module top: streaming builds on the
         # fleet curve cache, so a top-level import would be circular.
@@ -651,6 +677,14 @@ class FleetEngine:
             backend if backend is not None else self.backend,
             max_workers if max_workers is not None else self.max_workers,
         )
+        if rebalance is not None and not isinstance(rebalance, RebalancePolicy):
+            raise ValueError(
+                f"rebalance must be a RebalancePolicy or None, got {rebalance!r}"
+            )
+        if on_rebalance is not None and not callable(on_rebalance):
+            raise ValueError(f"on_rebalance must be callable, got {on_rebalance!r}")
+        if tick_samples is not None and tick_samples <= 0:
+            raise ValueError(f"tick_samples must be positive, got {tick_samples!r}")
         config = WatchConfig(
             engine=self.engine,
             window=window,
@@ -661,13 +695,18 @@ class FleetEngine:
             profile_mode=profile_mode,
             cache_size=self.cache_size,
         )
-        return self._run_watch(backend_obj, config, samples)
+        return self._run_watch(
+            backend_obj, config, samples, rebalance, on_rebalance, tick_samples
+        )
 
-    def _run_watch(self, backend_obj, config, samples) -> Iterator[FleetLiveUpdate]:
+    def _run_watch(
+        self, backend_obj, config, samples, policy=None, on_rebalance=None, tick_samples=None
+    ) -> Iterator[FleetLiveUpdate]:
         try:
-            yield from backend_obj.watch(config, samples)
+            yield from backend_obj.watch(config, samples, policy, on_rebalance, tick_samples)
         finally:
             self._last_watch_stats = backend_obj.watch_stats()
+            self._last_rebalance_stats = backend_obj.watch_rebalance_stats()
 
     def cache_stats(self) -> CurveCacheStats:
         """Parent-side curve-cache counters (serial/thread backends).
@@ -690,6 +729,17 @@ class FleetEngine:
         if self._last_watch_stats is None:
             return None
         return combine_cache_stats(self._last_watch_stats)
+
+    def watch_rebalance_stats(self) -> WatchRebalanceStats | None:
+        """Rebalancing account of the last finished watch.
+
+        Covers every watch, elastic or static: decision and migration
+        counters, executed :class:`~repro.fleet.rebalance.RebalanceEvent`
+        entries, and the per-shard sample totals the decisions were
+        based on.  None until a watch has finished; a static watch
+        reports zero decisions with its routing load intact.
+        """
+        return self._last_rebalance_stats
 
     # ------------------------------------------------------------------
     # Execution

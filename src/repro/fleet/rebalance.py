@@ -1,0 +1,369 @@
+"""Live rebalancing of a sharded fleet watch.
+
+A watch assigns every customer's live state to one shard via the
+consistent-hash :class:`~repro.fleet.sharding.ShardRing`.  Routing is
+static per customer, but load is not: feeds skew, customers run hot,
+pools are sized before the workload is known.  This module is the
+decision layer that fixes that at run time.
+
+The watch loop tracks per-shard load (samples routed, worker busy
+seconds, customers owned) and per-customer sample counts, and
+periodically hands a :class:`WatchLoadSnapshot` to a pluggable
+:class:`RebalancePolicy`.  The policy answers with a
+:class:`RebalanceDecision`: explicit customer migrations (ring
+overrides), a pool resize, or nothing.  Execution belongs to the
+backends (:mod:`repro.fleet.backends`): drain in-flight ticks,
+``snapshot_state`` each moving customer on its source shard, re-route
+on the ring, ``restore_state`` on the target -- the emitted update
+stream stays byte-identical to the serial backend's across any
+migration schedule, because a customer's samples are never in flight
+while its state moves.
+
+What happened is recorded as :class:`RebalanceEvent` entries and
+aggregated into :class:`WatchRebalanceStats`
+(:meth:`~repro.fleet.engine.FleetEngine.watch_rebalance_stats`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LoadImbalancePolicy",
+    "Migration",
+    "RebalanceDecision",
+    "RebalanceEvent",
+    "RebalancePolicy",
+    "ScheduledRebalancePolicy",
+    "ShardLoad",
+    "WatchLoadSnapshot",
+    "WatchRebalanceStats",
+]
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's load counters at a decision point.
+
+    ``*_recent`` counters cover the stretch since the policy last
+    *acted* -- returned a decision rather than None -- so evidence
+    keeps accumulating across consultations the policy sat out, and
+    ``min_samples``-style gates eventually open however small the
+    ticks are.  ``*_total`` counters cover the whole watch (the
+    trend).
+
+    Attributes:
+        shard_id: The shard.
+        n_customers: Live (non-quarantined) customers currently owned.
+        samples_recent: Samples routed here since the last decision.
+        samples_total: Samples routed here over the whole watch.
+        busy_seconds_recent: Time the worker spent assessing since the
+            last decision.
+        busy_seconds_total: Assessment time over the whole watch.
+    """
+
+    shard_id: int
+    n_customers: int
+    samples_recent: int
+    samples_total: int
+    busy_seconds_recent: float
+    busy_seconds_total: float
+
+
+@dataclass(frozen=True)
+class WatchLoadSnapshot:
+    """Everything a policy sees at one decision point.
+
+    Attributes:
+        tick_id: The tick just completed (decision points sit on tick
+            boundaries; all in-flight work has drained when a decision
+            executes).
+        n_decisions: Decision points before this one.
+        shards: Per-shard load, ascending by shard id.
+        customer_samples_recent: Per-customer samples over the recent
+            window (see class docstring), for the customers seen in
+            it, with the owning shard:
+            ``(customer_id, n_samples, shard_id)``, hottest first.
+    """
+
+    tick_id: int
+    n_decisions: int
+    shards: tuple[ShardLoad, ...]
+    customer_samples_recent: tuple[tuple[str, int, int], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def samples_recent(self) -> int:
+        return sum(load.samples_recent for load in self.shards)
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One customer's move to a new shard.
+
+    Policies author migrations with only ``customer_id`` and
+    ``target``; the executed event fills in ``source`` (None when the
+    customer had no live state yet -- the move is then just a routing
+    pin taking effect on first sight).
+    """
+
+    customer_id: str
+    target: int
+    source: int | None = None
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """A policy's verdict at one decision point.
+
+    Attributes:
+        migrations: Customers to pin to new shards (executed as ring
+            overrides plus live-state handoff).
+        resize_to: New worker-pool size, or None to keep the pool.
+            Shard ids stay the contiguous range ``0..resize_to-1``;
+            shrinking removes the highest ids and re-routes their
+            customers over the survivors' ring arcs.
+    """
+
+    migrations: tuple[Migration, ...] = ()
+    resize_to: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.migrations, tuple):
+            object.__setattr__(self, "migrations", tuple(self.migrations))
+        if self.resize_to is not None and self.resize_to <= 0:
+            raise ValueError(f"resize_to must be positive, got {self.resize_to!r}")
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.migrations and self.resize_to is None
+
+
+@dataclass(frozen=True)
+class RebalanceEvent:
+    """One executed rebalance, as recorded in the watch stats.
+
+    Attributes:
+        tick_id: Tick boundary the rebalance executed on.
+        moves: Migrations actually executed, source shards resolved.
+            Includes the re-routes a resize induced, not only the
+            policy's explicit pins.
+        resized_from: Pool size before a resize, or None.
+        resized_to: Pool size after a resize, or None.
+    """
+
+    tick_id: int
+    moves: tuple[Migration, ...]
+    resized_from: int | None = None
+    resized_to: int | None = None
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.moves)
+
+
+@dataclass(frozen=True)
+class WatchRebalanceStats:
+    """Aggregate rebalancing account of one finished watch.
+
+    Attributes:
+        n_decisions: Policy consultations.
+        n_rebalances: Decisions that executed (non-no-op).
+        n_migrations: Customer state moves executed, resize-induced
+            re-routes included.
+        n_resizes: Pool size changes executed.
+        final_n_shards: Worker-pool size when the watch ended.
+        samples_by_shard: Total samples routed per shard id over the
+            watch (removed shards keep their counts; a quarantined
+            customer's post-failure samples are dropped in the parent
+            and never routed).
+        events: Every executed rebalance, in order.
+    """
+
+    n_decisions: int
+    n_rebalances: int
+    n_migrations: int
+    n_resizes: int
+    final_n_shards: int
+    samples_by_shard: tuple[tuple[int, int], ...]
+    events: tuple[RebalanceEvent, ...] = ()
+
+
+class RebalancePolicy(abc.ABC):
+    """Decides migrations and pool resizes from watch load snapshots.
+
+    The watch loop consults the policy every :attr:`interval_ticks`
+    ticks, on a tick boundary with nothing in flight.  Policies run in
+    the parent process only -- they are never pickled to workers --
+    and must be deterministic functions of the snapshot if the watch
+    is to be replayable.
+    """
+
+    #: Ticks between policy consultations.  A tick covers
+    #: ``n_shards * WATCH_TICK_PER_WORKER`` samples under the parallel
+    #: backends, so the default checks load a few hundred samples apart.
+    interval_ticks: int = 4
+
+    @abc.abstractmethod
+    def decide(self, snapshot: WatchLoadSnapshot) -> RebalanceDecision | None:
+        """The policy's verdict; None (or a no-op decision) keeps the watch as is."""
+
+
+@dataclass
+class LoadImbalancePolicy(RebalancePolicy):
+    """Migrate load off the hottest shard when imbalance crosses a bar.
+
+    The default elastic policy, in three moves:
+
+    * **Imbalance trigger** -- act only when the hottest shard's
+      recent sample share exceeds ``imbalance_threshold`` times the
+      per-shard mean (and enough samples accumulated to mean
+      anything).
+    * **Hot-customer splitting** -- a single customer producing more
+      than ``hot_customer_share`` of its shard's recent load cannot be
+      split (one customer's state is indivisible), so it gets the
+      shard to itself: everyone *else* migrates off to the coldest
+      shards.  Below that bar, the hottest customers migrate until the
+      shard's expected load reaches the mean.
+    * **Pool resizing** -- with ``samples_per_shard_target`` set, the
+      pool grows or shrinks toward
+      ``ceil(recent samples / target)`` workers, clamped to
+      ``[min_workers, max_workers]``.
+
+    Attributes:
+        imbalance_threshold: Hot-shard recent load over the per-shard
+            mean that triggers migration (> 1).
+        min_samples: Recent samples across the fleet below which no
+            decision is made (start-up noise guard).
+        hot_customer_share: Share of its shard's recent load above
+            which a customer is "hot" and gets isolated.
+        max_migrations: Cap on explicit migrations per decision, so a
+            drain-and-move never stalls the stream for long.
+        samples_per_shard_target: Recent samples one worker should
+            absorb between decisions; None disables resizing.
+        min_workers: Pool floor when resizing.
+        max_workers: Pool ceiling when resizing; None leaves growth
+            uncapped (the backend still caps at its own limits).
+    """
+
+    imbalance_threshold: float = 1.5
+    min_samples: int = 128
+    hot_customer_share: float = 0.5
+    max_migrations: int = 8
+    samples_per_shard_target: int | None = None
+    min_workers: int = 1
+    max_workers: int | None = None
+    interval_ticks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.imbalance_threshold <= 1.0:
+            raise ValueError(
+                f"imbalance_threshold must exceed 1, got {self.imbalance_threshold!r}"
+            )
+        if not 0.0 < self.hot_customer_share <= 1.0:
+            raise ValueError(
+                f"hot_customer_share must be in (0, 1], got {self.hot_customer_share!r}"
+            )
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers!r}")
+        if self.max_workers is not None and self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers!r}) below min_workers "
+                f"({self.min_workers!r})"
+            )
+        if self.interval_ticks < 1:
+            raise ValueError(f"interval_ticks must be >= 1, got {self.interval_ticks!r}")
+
+    def decide(self, snapshot: WatchLoadSnapshot) -> RebalanceDecision | None:
+        if snapshot.samples_recent < self.min_samples:
+            return None
+        resize_to = self._resize_target(snapshot)
+        # Migrations are interpreted against the *post-resize* pool, so
+        # a shrink must not hand out targets it is about to remove.
+        pool_size = resize_to if resize_to is not None else snapshot.n_shards
+        migrations = self._migrations(snapshot, pool_size)
+        if not migrations and resize_to is None:
+            return None
+        return RebalanceDecision(migrations=tuple(migrations), resize_to=resize_to)
+
+    def _resize_target(self, snapshot: WatchLoadSnapshot) -> int | None:
+        if self.samples_per_shard_target is None:
+            return None
+        desired = -(-snapshot.samples_recent // self.samples_per_shard_target)
+        desired = max(self.min_workers, desired)
+        if self.max_workers is not None:
+            desired = min(self.max_workers, desired)
+        return desired if desired != snapshot.n_shards else None
+
+    def _migrations(self, snapshot: WatchLoadSnapshot, pool_size: int) -> list[Migration]:
+        if snapshot.n_shards < 2 or pool_size < 2:
+            return []
+        mean = snapshot.samples_recent / snapshot.n_shards
+        if mean <= 0:
+            return []
+        hottest = max(snapshot.shards, key=lambda load: load.samples_recent)
+        if hottest.samples_recent <= self.imbalance_threshold * mean:
+            return []
+        # Coldest shards absorb migrants round-robin, coldest first;
+        # shards a concurrent shrink removes are not valid targets
+        # (the resize re-routes their residents by itself).
+        targets = sorted(
+            (
+                load
+                for load in snapshot.shards
+                if load.shard_id != hottest.shard_id and load.shard_id < pool_size
+            ),
+            key=lambda load: load.samples_recent,
+        )
+        if not targets or hottest.shard_id >= pool_size:
+            return []
+        residents = [
+            (customer_id, n_samples)
+            for customer_id, n_samples, shard_id in snapshot.customer_samples_recent
+            if shard_id == hottest.shard_id
+        ]
+        if not residents:
+            return []
+        movers: list[tuple[str, int]] = []
+        if residents[0][1] > self.hot_customer_share * hottest.samples_recent:
+            # Hot-customer splitting: the hot key is indivisible, so it
+            # keeps the shard and its neighbours move out from under it.
+            movers = residents[1 : 1 + self.max_migrations]
+        else:
+            excess = hottest.samples_recent - mean
+            shed = 0
+            for customer_id, n_samples in residents:
+                if shed >= excess or len(movers) >= self.max_migrations:
+                    break
+                movers.append((customer_id, n_samples))
+                shed += n_samples
+        return [
+            Migration(customer_id=customer_id, target=targets[index % len(targets)].shard_id)
+            for index, (customer_id, _) in enumerate(movers)
+        ]
+
+
+@dataclass
+class ScheduledRebalancePolicy(RebalancePolicy):
+    """Replay a fixed schedule of decisions, one per decision point.
+
+    The deterministic harness behind migration-parity tests and the
+    skewed-feed benchmark: decision point ``k`` (0-based consultation
+    count) executes ``schedule.get(k)``.  Load is ignored entirely.
+
+    Attributes:
+        schedule: Decision by consultation index; missing indices are
+            no-ops.
+        interval_ticks: Consultation cadence (default every tick, so
+            schedules address the finest boundaries available).
+    """
+
+    schedule: dict[int, RebalanceDecision] = field(default_factory=dict)
+    interval_ticks: int = 1
+
+    def decide(self, snapshot: WatchLoadSnapshot) -> RebalanceDecision | None:
+        return self.schedule.get(snapshot.n_decisions)

@@ -9,15 +9,37 @@ imbalance and peak memory (few large shards).
 Batch passes shard by *position* (consecutive chunks of the input);
 streaming passes shard by *identity*: every sample of one customer
 must reach the worker that owns that customer's live state, so the
-watch path routes sticky-by-customer-id through :func:`route_customer`.
+watch path routes sticky-by-customer-id through a :class:`ShardRing`.
+
+The ring is a consistent-hash ring with virtual nodes: each shard
+owns many pseudo-randomly scattered points on a 64-bit circle, and a
+customer routes to the owner of the first point at or after the
+customer's own hash.  Two properties make it the watch router:
+
+* **Determinism** -- all positions come from keyed :mod:`hashlib`
+  digests, never the per-process-salted builtin ``hash``, so parents,
+  workers and replayed runs agree on ownership regardless of
+  ``PYTHONHASHSEED``.
+* **Minimal movement** -- growing the ring from N to N+1 shards hands
+  the new shard only the arcs its own points claim, an expected
+  1/(N+1) of the keyspace; every other customer keeps its shard.  A
+  modulo router would reshuffle nearly everyone, which at watch time
+  means migrating nearly every customer's live state.
+
+Explicit per-customer overrides sit above the ring: a rebalance
+policy can pin a hot customer to a chosen shard without disturbing
+anyone else's route (see :mod:`repro.fleet.rebalance`).
 """
 
 from __future__ import annotations
 
+import bisect
 import hashlib
-from typing import Iterable, Iterator, Sequence, TypeVar
+import warnings
+from functools import lru_cache
+from typing import Iterable, Iterator, Mapping, Sequence, TypeVar
 
-__all__ = ["auto_chunk_size", "route_customer", "shard"]
+__all__ = ["ShardRing", "auto_chunk_size", "route_customer", "shard"]
 
 T = TypeVar("T")
 
@@ -28,6 +50,136 @@ _CHUNKS_PER_WORKER = 4
 #: Ceiling on automatic shard size; keeps per-shard result payloads
 #: (pickled across process boundaries) bounded at fleet scale.
 _MAX_AUTO_CHUNK = 64
+
+#: Virtual nodes per shard.  More replicas tighten the load spread and
+#: the minimal-movement bound (the largest arc any one shard owns
+#: concentrates near 1/n_shards at a standard deviation shrinking with
+#: sqrt(replicas)); 96 keeps the full ring a few thousand points even
+#: at large pools, so rebuilds stay trivially cheap.
+DEFAULT_RING_REPLICAS = 96
+
+
+def _hash64(data: str) -> int:
+    """Position of ``data`` on the 64-bit ring (keyed, seed-independent)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class ShardRing:
+    """Consistent-hash ring assigning customers to shards.
+
+    Typical use::
+
+        ring = ShardRing(4)                  # shards 0..3
+        ring.route("cust-17")                # -> stable shard id
+        ring.set_override("cust-17", 2)      # pin a hot customer
+        moved = ring.resize(6)               # grow; only ~2/6 of routes move
+
+    Shard ids are always the contiguous range ``0..n_shards-1`` (they
+    index worker slots); :meth:`resize` adds or removes the highest
+    ids.  Routing is a pure function of (shard ids, replica count,
+    overrides), identical across processes and interpreter runs.
+
+    Attributes:
+        replicas: Virtual nodes per shard.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = DEFAULT_RING_REPLICAS) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards!r}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas!r}")
+        self.replicas = replicas
+        self._shard_ids: tuple[int, ...] = tuple(range(n_shards))
+        self._overrides: dict[str, int] = {}
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shard_ids)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return self._shard_ids
+
+    @property
+    def overrides(self) -> Mapping[str, int]:
+        """Read-only view of the explicit per-customer pins."""
+        return dict(self._overrides)
+
+    def _rebuild(self) -> None:
+        # Ties (astronomically unlikely 64-bit collisions) break toward
+        # the lower shard id via the sort, keeping routing total-ordered.
+        pairs = sorted(
+            (_hash64(f"shard:{shard_id}:{replica}"), shard_id)
+            for shard_id in self._shard_ids
+            for replica in range(self.replicas)
+        )
+        self._points = [point for point, _ in pairs]
+        self._owners = [owner for _, owner in pairs]
+
+    def resize(self, n_shards: int) -> tuple[int, ...]:
+        """Grow or shrink to ``n_shards``, moving as few routes as possible.
+
+        Growth adds shard ids above the current range; shrink removes
+        the highest ids (their customers re-route to the survivors'
+        arcs).  Overrides pointing at removed shards are dropped --
+        the pin's target no longer exists, so the customer falls back
+        to its ring arc.
+
+        Returns:
+            The shard ids added or removed, in ascending order.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards!r}")
+        old = set(self._shard_ids)
+        new = set(range(n_shards))
+        changed = tuple(sorted(old ^ new))
+        if not changed:
+            return ()
+        self._shard_ids = tuple(range(n_shards))
+        self._overrides = {
+            customer_id: shard_id
+            for customer_id, shard_id in self._overrides.items()
+            if shard_id < n_shards
+        }
+        self._rebuild()
+        return changed
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, customer_id: str) -> int:
+        """The shard owning ``customer_id`` (override, else ring arc)."""
+        pinned = self._overrides.get(customer_id)
+        if pinned is not None:
+            return pinned
+        index = bisect.bisect_left(self._points, _hash64(f"customer:{customer_id}"))
+        if index == len(self._points):
+            index = 0  # wrap past the highest point to the first
+        return self._owners[index]
+
+    def set_override(self, customer_id: str, shard_id: int) -> None:
+        """Pin ``customer_id`` to ``shard_id``, bypassing the ring arc."""
+        if shard_id not in self._shard_ids:
+            raise ValueError(
+                f"cannot pin {customer_id!r} to unknown shard {shard_id!r}; "
+                f"ring has shards 0..{self.n_shards - 1}"
+            )
+        self._overrides[customer_id] = shard_id
+
+    def clear_override(self, customer_id: str) -> None:
+        """Drop ``customer_id``'s pin; the ring arc takes over again."""
+        self._overrides.pop(customer_id, None)
+
+    def assignments(self, customer_ids: Iterable[str]) -> dict[str, int]:
+        """Route a batch of customers in one call."""
+        return {customer_id: self.route(customer_id) for customer_id in customer_ids}
 
 
 def auto_chunk_size(n_items: int, n_workers: int) -> int:
@@ -49,14 +201,28 @@ def auto_chunk_size(n_items: int, n_workers: int) -> int:
     return max(1, min(size, _MAX_AUTO_CHUNK))
 
 
+@lru_cache(maxsize=64)
+def _shim_ring(n_shards: int) -> ShardRing:
+    """One shared 1-replica ring per shard count for the deprecated shim.
+
+    Callers never mutate it (no overrides, no resize), so sharing is
+    safe and keeps legacy per-sample routing at one digest + bisect
+    instead of a ring construction per call.
+    """
+    return ShardRing(n_shards, replicas=1)
+
+
 def route_customer(customer_id: str, n_shards: int) -> int:
     """Sticky shard assignment for one customer's live state.
 
-    Stable across processes and interpreter runs (keyed hashing, not
-    the per-process-salted builtin ``hash``), so a feed replayed
-    against a different worker count still routes each customer to
-    exactly one shard, and the parent and its workers always agree on
-    ownership.
+    .. deprecated:: PR 5
+        The static modulo router this function used to implement
+        reshuffles nearly every customer whenever the shard count
+        changes, which is exactly what an elastic watch cannot afford.
+        It now delegates to a 1-replica :class:`ShardRing` (still
+        deterministic across processes, still uniform enough for
+        ad-hoc use); construct a :class:`ShardRing` directly for
+        anything that may ever resize.
 
     Args:
         customer_id: The customer whose samples are being routed.
@@ -65,12 +231,15 @@ def route_customer(customer_id: str, n_shards: int) -> int:
     Returns:
         A shard index in ``[0, n_shards)``.
     """
-    if n_shards <= 0:
-        raise ValueError(f"n_shards must be positive, got {n_shards!r}")
+    warnings.warn(
+        "route_customer is deprecated; use repro.fleet.sharding.ShardRing, "
+        "whose consistent hashing keeps live state in place when the pool resizes",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if n_shards == 1:
         return 0
-    digest = hashlib.blake2b(customer_id.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little") % n_shards
+    return _shim_ring(n_shards).route(customer_id)
 
 
 def shard(items: Iterable[T], chunk_size: int) -> Iterator[list[T]]:

@@ -118,6 +118,11 @@ class LiveAssessmentState:
             snapshots (empty in ``exact`` mode).
         recommendation: The recommendation in force, if any.
         n_refreshes: Full re-assessments performed so far.
+        epoch: Migration epoch of the source recommender at snapshot
+            time.  Each restore bumps the receiving recommender past
+            the snapshot's epoch, so a snapshot from an earlier hop of
+            a migration chain can never silently overwrite later
+            state (:meth:`LiveRecommender.restore_state` rejects it).
     """
 
     deployment_value: str
@@ -131,6 +136,7 @@ class LiveAssessmentState:
     profile_stats: tuple[tuple[PerfDimension, dict], ...]
     recommendation: DopplerRecommendation | None
     n_refreshes: int
+    epoch: int = 0
 
 
 class LiveRecommender:
@@ -214,6 +220,8 @@ class LiveRecommender:
         self._catalog_signature = catalog_signature(engine.catalog)
         self._recommendation: DopplerRecommendation | None = None
         self._n_refreshes = 0
+        self._last_curve_key: tuple | None = None
+        self._state_epoch = 0
         self.profile_mode = profile_mode
         self._profile_columns: tuple[tuple[int, StreamingSeriesStats], ...] = ()
         self._profile_stats: dict[PerfDimension, StreamingSeriesStats] = {}
@@ -330,6 +338,7 @@ class LiveRecommender:
                 trace, self.deployment, mi_plan=mi_plan
             ),
         )
+        self._last_curve_key = key
         profile = None
         if self.profile_mode == "streaming":
             profile = self.engine.profiler_for(self.deployment).profile_streaming(
@@ -377,6 +386,7 @@ class LiveRecommender:
             ),
             recommendation=self._recommendation,
             n_refreshes=self._n_refreshes,
+            epoch=self._state_epoch,
         )
 
     def restore_state(self, state: LiveAssessmentState) -> None:
@@ -387,9 +397,16 @@ class LiveRecommender:
         (the snapshot carries them for verification); engine and curve
         cache are this instance's own.
 
+        Restores are additionally *epoch-guarded* for migration
+        safety: each restore leaves this recommender one epoch past
+        the snapshot it adopted, so replaying a snapshot taken before
+        this state's last hop (a stale handoff in a migration chain)
+        is rejected instead of silently rolling the stream back.
+
         Raises:
             ValueError: If the snapshot's configuration does not match
-                this recommender's.
+                this recommender's, or the snapshot's epoch is older
+                than state already restored here.
         """
         mismatches = [
             f"{label}: snapshot {theirs!r} != recommender {ours!r}"
@@ -405,6 +422,12 @@ class LiveRecommender:
             raise ValueError(
                 "live state snapshot is not restorable here -- "
                 + "; ".join(mismatches)
+            )
+        if state.epoch < self._state_epoch:
+            raise ValueError(
+                f"stale live state snapshot: epoch {state.epoch} precedes this "
+                f"recommender's epoch {self._state_epoch}; the assessment has "
+                "already moved on past that handoff"
             )
         self.builder.load_state(state.builder)
         self.builder.entity_id = state.entity_id
@@ -423,6 +446,8 @@ class LiveRecommender:
                 stats.load_state(snapshot_stats[dim])
         self._recommendation = state.recommendation
         self._n_refreshes = state.n_refreshes
+        self._state_epoch = state.epoch + 1
+        self._last_curve_key = None  # curves stayed with the source's cache
 
     # ------------------------------------------------------------------
     # Introspection
@@ -436,6 +461,23 @@ class LiveRecommender:
     def n_refreshes(self) -> int:
         """Full re-assessments performed so far."""
         return self._n_refreshes
+
+    @property
+    def last_curve_key(self) -> tuple | None:
+        """Cache key of the most recent refresh's curve, if any.
+
+        What shard-scoped cache accounting hangs on: the fleet watch
+        records each refreshed key against its customer so a migration
+        can release exactly that customer's entries on the source
+        shard.  Reset on restore -- entries never migrate; the target
+        rebuilds them.
+        """
+        return self._last_curve_key
+
+    @property
+    def state_epoch(self) -> int:
+        """Migration epoch: restores adopted by this recommender so far."""
+        return self._state_epoch
 
     def _update(self, refreshed: bool, drift: DriftReport | None) -> LiveUpdate:
         return LiveUpdate(

@@ -17,6 +17,9 @@ import pytest
 from repro.catalog import DeploymentType
 from repro.core import DopplerEngine
 from repro.core.negotiability import (
+    CombinedSummarizer,
+    MaxAucSummarizer,
+    MinMaxAucSummarizer,
     OutlierSummarizer,
     StlSummarizer,
     ThresholdingSummarizer,
@@ -100,22 +103,27 @@ def canonical_updates(updates):
 
 
 # ----------------------------------------------------------------------
-# Sticky routing
+# Sticky routing (deprecated shim; the ring itself is covered in
+# tests/test_sharding_ring.py)
 # ----------------------------------------------------------------------
 class TestRouteCustomer:
     def test_deterministic_and_in_range(self):
-        for n_shards in (1, 2, 3, 7):
-            for index in range(50):
-                shard = route_customer(f"cust-{index}", n_shards)
-                assert 0 <= shard < n_shards
-                assert shard == route_customer(f"cust-{index}", n_shards)
+        with pytest.warns(DeprecationWarning, match="ShardRing"):
+            for n_shards in (1, 2, 3, 7):
+                for index in range(50):
+                    shard = route_customer(f"cust-{index}", n_shards)
+                    assert 0 <= shard < n_shards
+                    assert shard == route_customer(f"cust-{index}", n_shards)
 
     def test_spreads_customers_over_shards(self):
-        shards = {route_customer(f"cust-{index}", 4) for index in range(64)}
+        # A 1-replica ring has uneven arcs, so covering every shard
+        # takes more customers than the virtual-node router needs.
+        with pytest.warns(DeprecationWarning):
+            shards = {route_customer(f"cust-{index}", 4) for index in range(256)}
         assert shards == {0, 1, 2, 3}
 
     def test_rejects_nonpositive_shard_count(self):
-        with pytest.raises(ValueError, match="n_shards"):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError, match="n_shards"):
             route_customer("cust", 0)
 
 
@@ -446,6 +454,86 @@ class TestProfileBatch:
             ref_features, ref_negotiable = summarizer.summarize(series)
             assert features[row].tobytes() == ref_features.tobytes()
             assert bool(negotiable[row]) == ref_negotiable
+
+    @pytest.mark.parametrize(
+        "summarizer",
+        [MinMaxAucSummarizer(), MaxAucSummarizer(), CombinedSummarizer()],
+        ids=lambda s: s.name,
+    )
+    def test_auc_batch_matches_scalar_path_bytewise(self, summarizer):
+        """AUC batch rows replicate ``ecdf_auc`` bit-for-bit.
+
+        The matrix exercises every scaling branch: noisy rows, a
+        constant row (minmax's zero-spread branch), and an all-zero
+        row (max's non-positive-peak branch).
+        """
+        assert summarizer.supports_batch
+        rng = np.random.default_rng(10)
+        matrix = np.abs(rng.normal(5.0, 2.0, size=(10, 160)))
+        matrix[2] = 4.5  # constant
+        matrix[6] = 0.0  # all idle
+        features, negotiable = summarizer.summarize_batch(matrix)
+        for row in range(matrix.shape[0]):
+            series = TimeSeries(values=matrix[row], interval_minutes=10.0)
+            ref_features, ref_negotiable = summarizer.summarize(series)
+            assert features[row].tobytes() == ref_features.tobytes()
+            assert bool(negotiable[row]) == ref_negotiable
+
+    @pytest.mark.parametrize(
+        "summarizer",
+        [MinMaxAucSummarizer(), MaxAucSummarizer(), CombinedSummarizer()],
+        ids=lambda s: s.name,
+    )
+    def test_auc_summarizers_ride_profile_batch(self, summarizer):
+        profiler = CustomerProfiler(
+            dimensions=PROFILING_DB_DIMENSIONS, summarizer=summarizer
+        )
+        traces = self.traces([64, 96, 64, 128])
+        batch = profiler.profile_batch(traces)
+        for trace, profile in zip(traces, batch):
+            reference = profiler.profile(trace)
+            assert profile.group_key == reference.group_key
+            assert profile.features.tobytes() == reference.features.tobytes()
+
+    def test_max_auc_batch_rejects_negatives_like_serial(self):
+        summarizer = MaxAucSummarizer()
+        matrix = np.abs(np.random.default_rng(11).normal(5.0, 2.0, size=(4, 50)))
+        matrix[1, 7] = -3.0
+        series = TimeSeries(values=matrix[1], interval_minutes=10.0)
+        with pytest.raises(ValueError, match="normalized into"):
+            summarizer.summarize(series)
+        with pytest.raises(ValueError, match="normalized into"):
+            summarizer.summarize_batch(matrix)
+
+    @pytest.mark.parametrize(
+        "summarizer",
+        [MinMaxAucSummarizer(), MaxAucSummarizer()],
+        ids=lambda s: s.name,
+    )
+    def test_auc_batch_propagates_nan_instead_of_reading_idle(self, summarizer):
+        """A NaN row must not silently read as negotiable in batch.
+
+        Traces cannot carry NaN (`TimeSeries` rejects non-finite
+        samples at construction), but ``summarize_batch`` accepts raw
+        matrices; a NaN row must propagate NaN through the scaling
+        branches -- exactly what the elementwise scale/clip/mean
+        pipeline does on a 1-D array -- rather than match the
+        constant/idle branch and come out as AUC 1.0 (negotiable).
+        """
+        from repro.ml.auc import ecdf_auc
+        from repro.ml.scaling import max_scale, minmax_scale
+
+        rng = np.random.default_rng(12)
+        matrix = np.abs(rng.normal(5.0, 2.0, size=(3, 40)))
+        matrix[1, 3] = np.nan
+        features, negotiable = summarizer.summarize_batch(matrix)
+        scale = minmax_scale if isinstance(summarizer, MinMaxAucSummarizer) else max_scale
+        assert np.isnan(ecdf_auc(scale(matrix[1])))  # the 1-D pipeline's call
+        assert np.isnan(features[1, 0])
+        assert not negotiable[1]
+        # Finite rows are untouched by the NaN neighbour.
+        for row in (0, 2):
+            assert features[row, 0] == ecdf_auc(scale(matrix[row]))
 
     def test_fit_fleet_columnar_tail_matches_per_record(self, default_catalog):
         config = FleetConfig.paper_db(12, duration_days=3.0, interval_minutes=60.0)

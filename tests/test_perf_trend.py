@@ -202,7 +202,66 @@ class TestBlockingBenchmarks:
     def test_repo_floors_file_parses_and_matches_bench_schema(self):
         floors = load_floors(_BENCH_DIR / "perf_floors.json")
         assert "fleet" in floors
+        assert "streaming" in floors  # watch cust/s + observe/s floors
+        assert "watch_scaling.serial_customers_per_sec" in floors["streaming"]
+        assert "live_loop.observe_per_sec" in floors["streaming"]
         for metric_floors in floors.values():
             for metric, floor in metric_floors.items():
                 assert metric.endswith("_per_sec")
                 assert floor > 0
+
+
+class TestWarnMetrics:
+    def write(self, directory: Path, name: str, payload: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+
+    def test_warn_metric_never_blocks_even_in_blocking_benchmark(
+        self, tmp_path, capsys
+    ):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "streaming", record("streaming", 1000.0))
+        self.write(current, "streaming", record("streaming", 100.0))
+        argv = [
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--warn-only",
+            "--blocking",
+            "streaming",
+        ]
+        assert main(argv) == 1  # blocking benchmark regressed
+        # Exempting every regressed metric downgrades the run to warnings.
+        assert main(argv + ["--warn-metric", "streaming:"]) == 0
+        assert "REGRESSION (warn-only metric)" in capsys.readouterr().out
+
+    def test_warn_metric_is_substring_scoped(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "streaming", record("streaming", 1000.0))
+        self.write(current, "streaming", record("streaming", 100.0))
+        argv = [
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--warn-only",
+            "--blocking",
+            "streaming",
+            "--warn-metric",
+            "streaming:nested",  # exempts one of the two regressed leaves
+        ]
+        assert main(argv) == 1  # the sizes[0] leaf still blocks
+        out = capsys.readouterr().out
+        assert "REGRESSION (warn-only metric) streaming:nested" in out
+        assert "REGRESSION (blocking) streaming:sizes[0]" in out
+
+    def test_warn_metric_applies_without_warn_only_too(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self.write(baseline, "streaming", record("streaming", 1000.0))
+        self.write(current, "streaming", record("streaming", 100.0))
+        argv = ["--baseline", str(baseline), "--current", str(current)]
+        assert main(argv) == 1
+        assert main(argv + ["--warn-metric", "streaming:"]) == 0
