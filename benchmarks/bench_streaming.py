@@ -83,7 +83,7 @@ from repro import (
 )
 from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
 from repro.core import CustomerProfiler, EmpiricalThrottlingEstimator, ThresholdingSummarizer
-from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy, ShardRing
+from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy, ShardRing, WatchConfig
 from repro.telemetry import StreamingSeriesStats
 from repro.telemetry.counters import DB_DIMENSIONS, PROFILING_DB_DIMENSIONS
 
@@ -316,12 +316,14 @@ def bench_watch_scaling(
     engine = DopplerEngine(catalog=SkuCatalog.default())
     fleet = FleetEngine(engine=engine, backend="serial")
     feed = make_fleet_feed(n_customers, samples_each, seed)
-    watch_kwargs = dict(window=window, min_refresh_samples=min(12, window))
+    watch_config = WatchConfig(window=window, min_refresh_samples=min(12, window))
 
     def run(backend: str, workers: int | None) -> tuple[bytes, float]:
         start = time.perf_counter()
         updates = list(
-            fleet.watch_fleet(feed, backend=backend, max_workers=workers, **watch_kwargs)
+            fleet.watch_fleet(
+                feed, config=watch_config.replace(backend=backend, max_workers=workers)
+            )
         )
         seconds = time.perf_counter() - start
         return canonical_watch_bytes(updates), seconds
@@ -420,24 +422,25 @@ def bench_rebalance_skew(
     fleet = FleetEngine(engine=engine, backend="serial")
     feed, skew = make_skewed_feed(n_hot, n_cold_per_shard, samples_each, seed, n_workers)
     n_customers = skew["n_customers"]
-    watch_kwargs = dict(window=window, min_refresh_samples=min(12, window))
+    watch_config = WatchConfig(window=window, min_refresh_samples=min(12, window))
 
     def run(policy) -> tuple[bytes, float]:
         start = time.perf_counter()
         updates = list(
             fleet.watch_fleet(
                 feed,
-                backend="process",
-                max_workers=n_workers,
-                rebalance=policy,
-                tick_samples=16,
-                **watch_kwargs,
+                config=watch_config.replace(
+                    backend="process",
+                    max_workers=n_workers,
+                    rebalance=policy,
+                    tick_samples=16,
+                ),
             )
         )
         return canonical_watch_bytes(updates), time.perf_counter() - start
 
     start = time.perf_counter()
-    serial_blob = canonical_watch_bytes(fleet.watch_fleet(feed, **watch_kwargs))
+    serial_blob = canonical_watch_bytes(fleet.watch_fleet(feed, config=watch_config))
     serial_seconds = time.perf_counter() - start
     static_blob, static_seconds = run(None)
     policy = LoadImbalancePolicy(

@@ -1,12 +1,15 @@
 """Perf-trend diff over the machine-readable benchmark records.
 
-``bench_streaming.py`` and ``bench_fleet_scale.py`` emit
-``BENCH_<name>.json`` records in a shared shape (a ``benchmark``
-discriminator plus nested sections whose throughput metrics end in
-``_per_sec``).  This tool diffs two directories of such records --
+``bench_streaming.py``, ``bench_fleet_scale.py`` and
+``bench_serving.py`` emit ``BENCH_<name>.json`` records in a shared
+shape (a ``benchmark`` discriminator plus nested sections whose
+throughput metrics end in ``_per_sec`` and latency percentiles in
+``_ms``).  This tool diffs two directories of such records --
 typically the previous CI run's artifact against the current one --
-and flags every throughput metric that regressed by more than the
-threshold (default 20 %).
+and flags every metric that regressed by more than the threshold
+(default 20 %): a throughput drop for ``_per_sec`` leaves, a latency
+*increase* for ``_ms`` leaves.  Floors-file entries for ``_ms``
+metrics are ceilings rather than floors.
 
 Two levels of enforcement:
 
@@ -52,6 +55,16 @@ from pathlib import Path
 #: Metric-name suffix marking a higher-is-better throughput leaf.
 METRIC_SUFFIX = "_per_sec"
 
+#: Metric-name suffix marking a lower-is-better latency leaf (serving
+#: percentiles).  For these the trend flags *increases* beyond the
+#: threshold, and a floors entry acts as a ceiling.
+LATENCY_SUFFIX = "_ms"
+
+
+def lower_is_better(metric: str) -> bool:
+    """Whether a dotted metric path carries a lower-is-better contract."""
+    return metric.endswith(LATENCY_SUFFIX)
+
 
 def load_records(directory: Path) -> dict[str, dict]:
     """``{benchmark name: record}`` from every BENCH_*.json in a dir."""
@@ -69,11 +82,12 @@ def load_records(directory: Path) -> dict[str, dict]:
 
 
 def collect_metrics(record, prefix: str = "") -> dict[str, float]:
-    """Flatten a record to ``{dotted.path: value}`` throughput leaves.
+    """Flatten a record to ``{dotted.path: value}`` enforceable leaves.
 
-    Only numeric leaves whose key ends in ``_per_sec`` participate in
-    the trend: counters, flags and derived ratios carry no
-    higher-is-better contract.  Lists recurse with their index in the
+    Only numeric leaves whose key ends in ``_per_sec``
+    (higher-is-better throughput) or ``_ms`` (lower-is-better latency)
+    participate in the trend: counters, flags and derived ratios carry
+    no directional contract.  Lists recurse with their index in the
     path, so per-size fleet sections stay distinguishable.
     """
     metrics: dict[str, float] = {}
@@ -85,7 +99,7 @@ def collect_metrics(record, prefix: str = "") -> dict[str, float]:
             elif (
                 isinstance(value, (int, float))
                 and not isinstance(value, bool)
-                and str(key).endswith(METRIC_SUFFIX)
+                and (str(key).endswith(METRIC_SUFFIX) or str(key).endswith(LATENCY_SUFFIX))
             ):
                 metrics[path] = float(value)
     elif isinstance(record, list):
@@ -104,8 +118,9 @@ def compare_records(
     Returns:
         ``(regressions, notes)`` where each regression is
         ``(metric path, baseline value, current value, fractional
-        change)`` with change negative for slowdowns, and notes
-        describe comparability gaps (missing records or metrics).
+        change)`` -- change negative for throughput slowdowns,
+        positive for latency blow-ups -- and notes describe
+        comparability gaps (missing records or metrics).
     """
     if not 0 < threshold < 1:
         raise ValueError(f"threshold must be a fraction in (0, 1), got {threshold!r}")
@@ -132,7 +147,8 @@ def compare_records(
             if base_value <= 0:
                 continue
             change = (current_value - base_value) / base_value
-            if change < -threshold:
+            regressed = change > threshold if lower_is_better(metric) else change < -threshold
+            if regressed:
                 regressions.append((f"{name}:{metric}", base_value, current_value, change))
     return regressions, notes
 
@@ -145,8 +161,10 @@ def check_floors(
     A floored metric missing from the current run (absent record or
     absent leaf) is a violation: floors exist so a regression cannot
     slip through, and a benchmark that silently stopped reporting is
-    the most complete regression there is.  Smoke and full runs share
-    the floors file, so pin floors from the *smoke* configuration CI
+    the most complete regression there is.  For ``_ms`` latency
+    metrics the pinned value is a *ceiling*: the violation fires when
+    the current value exceeds it.  Smoke and full runs share the
+    floors file, so pin floors from the *smoke* configuration CI
     actually executes.
     """
     violations: list[str] = []
@@ -155,11 +173,18 @@ def check_floors(
         metrics = collect_metrics(record) if record is not None else {}
         for metric, floor in sorted(metric_floors.items()):
             value = metrics.get(metric)
+            bound = "ceiling" if lower_is_better(metric) else "floor"
             if value is None:
                 violations.append(
-                    f"{name}:{metric} has a floor of {floor:,.1f} but is missing "
+                    f"{name}:{metric} has a {bound} of {floor:,.1f} but is missing "
                     "from the current run"
                 )
+            elif lower_is_better(metric):
+                if value > floor:
+                    violations.append(
+                        f"{name}:{metric} = {value:,.1f} above the absolute ceiling "
+                        f"{floor:,.1f}"
+                    )
             elif value < floor:
                 violations.append(
                     f"{name}:{metric} = {value:,.1f} below the absolute floor "

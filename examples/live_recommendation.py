@@ -33,7 +33,7 @@ if __package__ in (None, ""):  # running as a script without installation
         sys.path.insert(0, str(_src))
 
 from repro import DeploymentType, DopplerEngine, LiveRecommender, PerfDimension, SkuCatalog
-from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy
+from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy, WatchConfig
 from repro.simulation import FleetConfig, simulate_fleet
 
 
@@ -119,7 +119,9 @@ def main() -> None:
     fleet = FleetEngine(engine=engine, backend="process", max_workers=2)
     n_updates = 0
     final = {}
-    for update in fleet.watch_fleet(fleet_feed, window=48, min_refresh_samples=12):
+    for update in fleet.watch_fleet(
+        fleet_feed, config=WatchConfig(window=48, min_refresh_samples=12)
+    ):
         n_updates += 1
         final[update.customer_id] = update.recommendation
     for customer_id in sorted(final):
@@ -149,18 +151,20 @@ def main() -> None:
     n_updates = 0
     for update in fleet.watch_fleet(
         fleet_feed,
-        window=48,
-        min_refresh_samples=12,
-        rebalance=policy,
-        on_rebalance=lambda event: print(
-            f"  rebalance @tick {event.tick_id}: {event.n_moves} customers moved"
-            + (
-                f", pool {event.resized_from} -> {event.resized_to} workers"
-                if event.resized_to is not None
-                else ""
-            )
+        config=WatchConfig(
+            window=48,
+            min_refresh_samples=12,
+            rebalance=policy,
+            on_rebalance=lambda event: print(
+                f"  rebalance @tick {event.tick_id}: {event.n_moves} customers moved"
+                + (
+                    f", pool {event.resized_from} -> {event.resized_to} workers"
+                    if event.resized_to is not None
+                    else ""
+                )
+            ),
+            tick_samples=16,
         ),
-        tick_samples=16,
     ):
         n_updates += 1
     stats = fleet.watch_rebalance_stats()

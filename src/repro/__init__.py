@@ -56,8 +56,13 @@ from .fleet import (
     FleetRecommendation,
     FleetSample,
     FleetSummary,
+    LoadImbalancePolicy,
+    ShardRing,
+    WatchConfig,
     summarize_fleet,
 )
+from . import serve
+from .serve import AdmissionError, RecommendationService, ServeConfig
 from .streaming import DriftDetector, DriftReport, LiveRecommender, LiveUpdate
 from .telemetry import (
     PerfDimension,
@@ -102,7 +107,14 @@ __all__ = [
     "FleetRecommendation",
     "FleetSample",
     "FleetSummary",
+    "LoadImbalancePolicy",
+    "ShardRing",
+    "WatchConfig",
     "summarize_fleet",
+    "AdmissionError",
+    "RecommendationService",
+    "ServeConfig",
+    "serve",
     "DriftDetector",
     "DriftReport",
     "LiveRecommender",

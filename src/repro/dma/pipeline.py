@@ -32,6 +32,7 @@ from ..fleet.engine import (
     FleetLiveUpdate,
     FleetRecommendation,
     FleetSample,
+    WatchConfig,
 )
 from ..fleet.report import FleetSummary, summarize_fleet
 from ..streaming.live import LiveRecommender, LiveUpdate
@@ -285,9 +286,8 @@ class AssessmentPipeline:
     def watch_fleet(
         self,
         samples: Iterable[FleetSample],
-        backend: FleetBackend = "serial",
-        max_workers: int | None = None,
-        **kwargs,
+        config: WatchConfig | None = None,
+        **legacy_kwargs,
     ) -> Iterator[FleetLiveUpdate]:
         """Fleet-wide streaming stage: one feed, thousands of customers.
 
@@ -295,25 +295,29 @@ class AssessmentPipeline:
         :class:`~repro.fleet.engine.FleetSample` events fan out over
         the selected execution backend with sticky per-customer
         routing over the consistent-hash shard ring, and refresh
-        events stream back in feed order.  The backend selection
-        passes straight through to
-        :meth:`~repro.fleet.engine.FleetEngine.watch_fleet`, as do all
-        remaining keyword arguments (window, drift threshold, warm-up
-        length, ``refreshes_only``, ``profile_mode``, and the elastic
-        surface: ``rebalance=`` / ``on_rebalance=`` /
-        ``tick_samples=`` for live migration and pool resizing).
+        events stream back in feed order.  The whole watch surface
+        (window, drift threshold, warm-up length, ``refreshes_only``,
+        ``profile_mode``, backend selection, and the elastic
+        ``rebalance`` / ``on_rebalance`` / ``tick_samples`` knobs)
+        rides in one :class:`~repro.fleet.config.WatchConfig`.
 
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.
-            backend: Fleet execution backend; ``serial`` by default so
-                DMA-embedded runs stay single-process unless asked
-                (same policy as :meth:`assess_fleet`).
-            max_workers: Worker count for parallel backends.
+            config: Watch parameters; with ``config.backend`` unset
+                the watch runs ``serial`` so DMA-embedded runs stay
+                single-process unless asked (same policy as
+                :meth:`assess_fleet`).
+            **legacy_kwargs: The deprecated pre-config keyword form;
+                folded into a config behind a single
+                :class:`DeprecationWarning`.
         """
+        config = FleetEngine._coerce_watch_config(config, legacy_kwargs)
         fleet_engine = FleetEngine(
-            engine=self.engine, backend=backend, max_workers=max_workers
+            engine=self.engine,
+            backend=config.backend if config.backend is not None else "serial",
+            max_workers=config.max_workers,
         )
-        return fleet_engine.watch_fleet(samples, **kwargs)
+        return fleet_engine.watch_fleet(samples, config=config)
 
     @staticmethod
     def _flag_short_window(

@@ -26,6 +26,7 @@ from .cache import (
     combine_cache_stats,
     trace_fingerprint,
 )
+from .config import WatchConfig
 from .engine import (
     FleetBackend,
     FleetCustomer,
@@ -47,7 +48,7 @@ from .rebalance import (
     WatchRebalanceStats,
 )
 from .report import FleetSummary, summarize_fleet
-from .sharding import ShardRing, auto_chunk_size, route_customer, shard
+from .sharding import ShardRing, auto_chunk_size, shard
 
 __all__ = [
     "BACKEND_NAMES",
@@ -57,7 +58,6 @@ __all__ = [
     "ProcessBackend",
     "make_backend",
     "combine_cache_stats",
-    "route_customer",
     "ShardRing",
     "RebalancePolicy",
     "LoadImbalancePolicy",
@@ -80,6 +80,7 @@ __all__ = [
     "FleetRecommendation",
     "FleetSample",
     "FleetSummary",
+    "WatchConfig",
     "summarize_fleet",
     "auto_chunk_size",
     "shard",

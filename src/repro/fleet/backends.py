@@ -86,8 +86,8 @@ __all__ = [
     "FleetBackend",
     "ProcessBackend",
     "SerialBackend",
+    "ShardAssessmentConfig",
     "ThreadBackend",
-    "WatchConfig",
     "make_backend",
 ]
 
@@ -146,7 +146,7 @@ class BatchJob:
 
 
 @dataclass(frozen=True)
-class WatchConfig:
+class ShardAssessmentConfig:
     """Everything a streaming shard needs to assess its customers.
 
     Picklable on purpose: the process backend ships one copy to every
@@ -206,7 +206,7 @@ class _WatchShard:
     shard, where the next refresh rebuilds and re-counts its curves.
     """
 
-    def __init__(self, config: WatchConfig) -> None:
+    def __init__(self, config: ShardAssessmentConfig) -> None:
         # Imported here, not at module top: live assessment builds on
         # the fleet curve cache, keeping the import one-directional.
         from ..streaming.live import LiveRecommender
@@ -542,7 +542,7 @@ class _WatchPool(ABC):
     tick_per_shard: int = WATCH_TICK_PER_WORKER
     max_inflight: int = WATCH_INFLIGHT_TICKS
 
-    def __init__(self, config: WatchConfig) -> None:
+    def __init__(self, config: ShardAssessmentConfig) -> None:
         self.config = config
         self._retired_stats: list[CurveCacheStats] = []
 
@@ -604,7 +604,7 @@ class _InlinePool(_WatchPool):
     tick_per_shard = 1
     max_inflight = 1
 
-    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+    def __init__(self, config: ShardAssessmentConfig, n_shards: int) -> None:
         super().__init__(config)
         self._shards: dict[int, _WatchShard] = {
             shard_id: _WatchShard(config) for shard_id in range(n_shards)
@@ -659,7 +659,7 @@ class _ThreadShardPool(_WatchPool):
     boundaries, when no task can be running.
     """
 
-    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+    def __init__(self, config: ShardAssessmentConfig, n_shards: int) -> None:
         super().__init__(config)
         self._shards: dict[int, _WatchShard] = {}
         self._executors: dict[int, ThreadPoolExecutor] = {}
@@ -753,7 +753,7 @@ _STOP = None
 
 
 def _watch_worker_main(
-    worker_id: int, config: WatchConfig, in_queue, out_queue
+    worker_id: int, config: ShardAssessmentConfig, in_queue, out_queue
 ) -> None:
     """Persistent streaming worker: owns one shard until retired.
 
@@ -816,7 +816,7 @@ class _ProcessShardPool(_WatchPool):
     shrink runs the stop/stats handshake on the retiring one.
     """
 
-    def __init__(self, config: WatchConfig, n_shards: int) -> None:
+    def __init__(self, config: ShardAssessmentConfig, n_shards: int) -> None:
         super().__init__(config)
         self._context = multiprocessing.get_context()
         self._out_queue = self._context.Queue()
@@ -1039,12 +1039,12 @@ class ExecutionBackend(ABC):
     # Streaming protocol
     # ------------------------------------------------------------------
     @abstractmethod
-    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+    def _make_watch_pool(self, config: ShardAssessmentConfig) -> _WatchPool:
         """This backend's worker pool for one watch."""
 
     def watch(
         self,
-        config: WatchConfig,
+        config: ShardAssessmentConfig,
         samples: "Iterable[FleetSample]",
         policy: RebalancePolicy | None = None,
         on_rebalance: Callable[[RebalanceEvent], None] | None = None,
@@ -1068,7 +1068,7 @@ class ExecutionBackend(ABC):
 
     def _watch_loop(
         self,
-        config: WatchConfig,
+        config: ShardAssessmentConfig,
         samples: "Iterable[FleetSample]",
         policy: RebalancePolicy | None,
         on_rebalance: Callable[[RebalanceEvent], None] | None,
@@ -1161,7 +1161,7 @@ class SerialBackend(ExecutionBackend):
         for chunk in chunks:
             yield fn(chunk, *extra)
 
-    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+    def _make_watch_pool(self, config: ShardAssessmentConfig) -> _WatchPool:
         return _InlinePool(config, self.n_workers)
 
 
@@ -1181,7 +1181,7 @@ class ThreadBackend(ExecutionBackend):
         )
         yield from self._pump(executor, job.local_fn(), chunks, extra)
 
-    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+    def _make_watch_pool(self, config: ShardAssessmentConfig) -> _WatchPool:
         return _ThreadShardPool(config, self.n_workers)
 
 
@@ -1206,7 +1206,7 @@ class ProcessBackend(ExecutionBackend):
         )
         yield from self._pump(executor, _BATCH_WORKER_FNS[job.task], chunks, extra)
 
-    def _make_watch_pool(self, config: WatchConfig) -> _WatchPool:
+    def _make_watch_pool(self, config: ShardAssessmentConfig) -> _WatchPool:
         return _ProcessShardPool(config, self.n_workers)
 
 

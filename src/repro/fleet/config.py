@@ -1,0 +1,99 @@
+"""Public configuration objects for fleet streaming passes.
+
+:meth:`~repro.fleet.engine.FleetEngine.watch_fleet` accreted a long
+tail of keyword arguments as the watch grew (window and drift
+parameters in PR 2, execution-backend selection in PR 4, the elastic
+rebalance surface in PR 5).  :class:`WatchConfig` consolidates them
+into one frozen, reusable value object: build a config once, derive
+variants with :meth:`WatchConfig.replace`, and pass it to
+``watch_fleet(samples, config)``.  The legacy keyword form still
+works behind a deprecation shim in the engine.
+
+This is the *public* half of the watch configuration.  The internal
+:class:`~repro.fleet.backends.ShardAssessmentConfig` is what shards
+and worker processes receive: it additionally carries the engine and
+resolved library defaults, and is deliberately not part of the stable
+API surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Literal
+
+from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
+from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
+from .rebalance import RebalanceEvent, RebalancePolicy
+
+if TYPE_CHECKING:  # circular-import-free typing only
+    from .backends import FleetBackend
+
+__all__ = ["WatchConfig"]
+
+
+@dataclass(frozen=True)
+class WatchConfig:
+    """Everything a fleet watch can be asked to do, as one value.
+
+    Every field mirrors a former ``watch_fleet`` keyword argument and
+    keeps its default, so ``WatchConfig()`` reproduces a bare
+    ``watch_fleet(samples)`` call exactly.
+
+    Attributes:
+        window: Sliding assessment window per customer, in samples.
+        interval_minutes: Sampling cadence of the feed.
+        drift_threshold: Probability divergence that triggers a
+            re-assessment (library default when None).
+        min_refresh_samples: Warm-up samples before a customer's first
+            recommendation (library default when None).
+        refreshes_only: Yield only refresh events (the default) or
+            every observed sample.
+        profile_mode: Per-customer profiling strategy on refresh; see
+            :class:`~repro.streaming.live.LiveRecommender`.
+        backend: Execution backend for the watch; None defers to the
+            owning :class:`~repro.fleet.engine.FleetEngine`.
+        max_workers: Worker count for the watch; None defers to the
+            owning engine.
+        rebalance: A :class:`~repro.fleet.rebalance.RebalancePolicy`
+            consulted at tick boundaries, or None for a static watch.
+        on_rebalance: Callback observing each executed
+            :class:`~repro.fleet.rebalance.RebalanceEvent`.
+        tick_samples: Samples per worker per streaming microbatch
+            (library default when None).
+    """
+
+    window: int = DEFAULT_STREAM_WINDOW
+    interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES
+    drift_threshold: float | None = None
+    min_refresh_samples: int | None = None
+    refreshes_only: bool = True
+    profile_mode: Literal["exact", "streaming"] = "exact"
+    backend: "FleetBackend | None" = None
+    max_workers: int | None = None
+    rebalance: RebalancePolicy | None = None
+    on_rebalance: Callable[[RebalanceEvent], None] | None = None
+    tick_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        # Engine-independent validation happens here so a bad config
+        # fails where it is built; engine-dependent checks (backend
+        # name, window vs. warm-up, summarizer streaming support) stay
+        # in ``watch_fleet``, which has the engine in hand.
+        if self.rebalance is not None and not isinstance(self.rebalance, RebalancePolicy):
+            raise ValueError(
+                f"rebalance must be a RebalancePolicy or None, got {self.rebalance!r}"
+            )
+        if self.on_rebalance is not None and not callable(self.on_rebalance):
+            raise ValueError(f"on_rebalance must be callable, got {self.on_rebalance!r}")
+        if self.tick_samples is not None and self.tick_samples <= 0:
+            raise ValueError(f"tick_samples must be positive, got {self.tick_samples!r}")
+
+    def replace(self, **changes) -> "WatchConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        """The accepted configuration keys (the legacy kwarg names)."""
+        return frozenset(field.name for field in dataclasses.fields(cls))

@@ -20,9 +20,10 @@ property the scale benchmarks assert.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from ..catalog.models import DeploymentType
 from ..core.engine import DopplerEngine
@@ -30,10 +31,8 @@ from ..core.matching import GroupObservation, GroupScoreModel
 from ..core.profiler import GroupKey
 from ..core.types import CloudCustomerRecord, DopplerRecommendation
 from ..telemetry.counters import PerfDimension
-from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
-from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from ..telemetry.trace import PerformanceTrace
-from .backends import BatchJob, FleetBackend, WatchConfig, make_backend
+from .backends import BatchJob, FleetBackend, ShardAssessmentConfig, make_backend
 from .cache import (
     DEFAULT_CACHE_SIZE,
     CurveCache,
@@ -42,7 +41,8 @@ from .cache import (
     combine_cache_stats,
     curve_cache_key,
 )
-from .rebalance import RebalanceEvent, RebalancePolicy, WatchRebalanceStats
+from .config import WatchConfig
+from .rebalance import WatchRebalanceStats
 from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
 
@@ -57,6 +57,7 @@ __all__ = [
     "FleetLiveUpdate",
     "FleetRecommendation",
     "FleetSample",
+    "WatchConfig",
 ]
 
 #: Shard size when the fleet's length is unknown (pure streaming).
@@ -567,6 +568,23 @@ class FleetEngine:
         for chunk_results in self._map_chunks("recommend", chunks):
             yield from chunk_results
 
+    def recommend_batch(
+        self, customers: Iterable[FleetCustomer]
+    ) -> list[FleetRecommendation]:
+        """Recommend one bounded batch synchronously in the parent.
+
+        The low-latency sibling of :meth:`recommend_fleet`, built for
+        online microbatching (:mod:`repro.serve`): the whole batch
+        runs as a single columnar chunk through the parent's runner --
+        one batched cache probe, one capacity-matrix broadcast per
+        deployment -- with no sharding, no pool hand-off and no
+        iterator protocol between caller and results.  Shares the
+        fleet's batch curve cache, and produces byte-identical results
+        to :meth:`recommend_fleet` over the same customers (both end
+        in the same ``_finish_recommendation`` tail).
+        """
+        return self._runner.recommend_chunk(list(customers))
+
     def summary_report(self, customers: Iterable[FleetCustomer]) -> FleetSummary:
         """Run a fleet pass and fold it straight into a summary.
 
@@ -578,17 +596,8 @@ class FleetEngine:
     def watch_fleet(
         self,
         samples: Iterable[FleetSample],
-        window: int = DEFAULT_STREAM_WINDOW,
-        interval_minutes: float = DEFAULT_SAMPLE_INTERVAL_MINUTES,
-        drift_threshold: float | None = None,
-        min_refresh_samples: int | None = None,
-        refreshes_only: bool = True,
-        profile_mode: Literal["exact", "streaming"] = "exact",
-        backend: FleetBackend | None = None,
-        max_workers: int | None = None,
-        rebalance: RebalancePolicy | None = None,
-        on_rebalance: Callable[[RebalanceEvent], None] | None = None,
-        tick_samples: int | None = None,
+        config: WatchConfig | None = None,
+        **legacy_kwargs,
     ) -> Iterator[FleetLiveUpdate]:
         """Streaming pass: live assessments over a fleet-wide feed.
 
@@ -635,69 +644,105 @@ class FleetEngine:
 
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.
-            window: Sliding assessment window per customer, in samples.
-            interval_minutes: Sampling cadence of the feed.
-            drift_threshold: Probability divergence that triggers a
-                re-assessment (library default when omitted).
-            min_refresh_samples: Warm-up samples before a customer's
-                first recommendation (library default when omitted).
-            refreshes_only: Yield only refresh events (the default) or
-                every observed sample.
-            profile_mode: Per-customer profiling strategy on refresh;
-                see :class:`~repro.streaming.live.LiveRecommender`.
-            backend: Execution backend for this watch; defaults to the
-                fleet's :attr:`backend`.
-            max_workers: Worker count for this watch; defaults to the
-                fleet's :attr:`max_workers`.
-            rebalance: A
-                :class:`~repro.fleet.rebalance.RebalancePolicy`
-                consulted at tick boundaries, or None (the default)
-                for a static watch.
-            on_rebalance: Callback observing each executed
-                :class:`~repro.fleet.rebalance.RebalanceEvent`, e.g.
-                for operational logging.
-            tick_samples: Samples per worker per streaming microbatch
-                (library default when omitted); smaller ticks bound
-                emission latency tighter and give rebalance policies
-                finer decision boundaries, at more queue round-trips.
+            config: A :class:`~repro.fleet.config.WatchConfig`
+                bundling the watch parameters (window, drift
+                thresholds, backend selection, the elastic rebalance
+                surface).  ``None`` means all defaults.
+            **legacy_kwargs: The pre-config keyword form
+                (``window=``, ``backend=``, ``rebalance=``, ...).
+                Deprecated: accepted for one more cycle behind a
+                single :class:`DeprecationWarning`, and mutually
+                exclusive with ``config``.
+        """
+        config = self._coerce_watch_config(config, legacy_kwargs)
+        # Validate selection and configuration eagerly (this is a
+        # plain function returning a generator, so a bad backend name
+        # or window fails at the call site, not at first iteration).
+        backend_obj = make_backend(
+            config.backend if config.backend is not None else self.backend,
+            config.max_workers if config.max_workers is not None else self.max_workers,
+        )
+        shard_config = self._shard_config(config)
+        return self._run_watch(
+            backend_obj,
+            shard_config,
+            samples,
+            config.rebalance,
+            config.on_rebalance,
+            config.tick_samples,
+        )
+
+    def _shard_config(
+        self, config: WatchConfig, refreshes_only: bool | None = None
+    ) -> ShardAssessmentConfig:
+        """Resolve a public config into the internal per-shard form.
+
+        Library defaults for the drift threshold and warm-up length
+        are filled in here; constructing the
+        :class:`~repro.fleet.backends.ShardAssessmentConfig` also runs
+        the assessment-parameter validation (window vs. warm-up,
+        profile mode vs. summarizer), so both the watch and the
+        serving tier fail fast on a bad config.  ``refreshes_only``
+        overrides the config's flag when given (the serving tier
+        forces it off: every observe call needs an answer).
         """
         # Imported here, not at module top: streaming builds on the
         # fleet curve cache, so a top-level import would be circular.
         from ..streaming.drift import DEFAULT_DRIFT_THRESHOLD
         from ..streaming.live import DEFAULT_MIN_REFRESH_SAMPLES
 
+        drift_threshold = config.drift_threshold
         if drift_threshold is None:
             drift_threshold = DEFAULT_DRIFT_THRESHOLD
+        min_refresh_samples = config.min_refresh_samples
         if min_refresh_samples is None:
             min_refresh_samples = DEFAULT_MIN_REFRESH_SAMPLES
-        # Validate selection and configuration eagerly (this is a
-        # plain function returning a generator, so a bad backend name
-        # or window fails at the call site, not at first iteration).
-        backend_obj = make_backend(
-            backend if backend is not None else self.backend,
-            max_workers if max_workers is not None else self.max_workers,
-        )
-        if rebalance is not None and not isinstance(rebalance, RebalancePolicy):
-            raise ValueError(
-                f"rebalance must be a RebalancePolicy or None, got {rebalance!r}"
-            )
-        if on_rebalance is not None and not callable(on_rebalance):
-            raise ValueError(f"on_rebalance must be callable, got {on_rebalance!r}")
-        if tick_samples is not None and tick_samples <= 0:
-            raise ValueError(f"tick_samples must be positive, got {tick_samples!r}")
-        config = WatchConfig(
+        return ShardAssessmentConfig(
             engine=self.engine,
-            window=window,
-            interval_minutes=interval_minutes,
+            window=config.window,
+            interval_minutes=config.interval_minutes,
             drift_threshold=drift_threshold,
             min_refresh_samples=min_refresh_samples,
-            refreshes_only=refreshes_only,
-            profile_mode=profile_mode,
+            refreshes_only=(
+                config.refreshes_only if refreshes_only is None else refreshes_only
+            ),
+            profile_mode=config.profile_mode,
             cache_size=self.cache_size,
         )
-        return self._run_watch(
-            backend_obj, config, samples, rebalance, on_rebalance, tick_samples
-        )
+
+    @staticmethod
+    def _coerce_watch_config(
+        config: WatchConfig | None, legacy_kwargs: dict
+    ) -> WatchConfig:
+        """Fold the deprecated keyword form into a :class:`WatchConfig`.
+
+        One warning per call (not per kwarg); unknown keys fail with
+        the same :class:`TypeError` shape a real signature would give.
+        """
+        if legacy_kwargs:
+            unknown = sorted(set(legacy_kwargs) - WatchConfig.field_names())
+            if unknown:
+                raise TypeError(
+                    "watch_fleet() got unexpected keyword arguments: "
+                    + ", ".join(repr(name) for name in unknown)
+                )
+            if config is not None:
+                raise ValueError(
+                    "pass either config=WatchConfig(...) or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "watch_fleet(window=..., backend=..., ...) keyword arguments are "
+                "deprecated; pass config=WatchConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return WatchConfig(**legacy_kwargs)
+        if config is None:
+            return WatchConfig()
+        if not isinstance(config, WatchConfig):
+            raise ValueError(f"config must be a WatchConfig, got {config!r}")
+        return config
 
     def _run_watch(
         self, backend_obj, config, samples, policy=None, on_rebalance=None, tick_samples=None

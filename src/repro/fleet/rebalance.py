@@ -27,6 +27,7 @@ aggregated into :class:`WatchRebalanceStats`
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -99,6 +100,20 @@ class WatchLoadSnapshot:
     @property
     def samples_recent(self) -> int:
         return sum(load.samples_recent for load in self.shards)
+
+    @property
+    def busy_seconds_recent(self) -> float:
+        return sum(load.busy_seconds_recent for load in self.shards)
+
+    @property
+    def has_busy_signal(self) -> bool:
+        """Whether the recent window carries worker busy-seconds.
+
+        Synthetic snapshots (tests, replays) may describe load purely
+        as sample counts; policies that prefer busy-seconds fall back
+        to samples when this is False.
+        """
+        return any(load.busy_seconds_recent > 0.0 for load in self.shards)
 
 
 @dataclass(frozen=True)
@@ -220,31 +235,42 @@ class LoadImbalancePolicy(RebalancePolicy):
     The default elastic policy, in three moves:
 
     * **Imbalance trigger** -- act only when the hottest shard's
-      recent sample share exceeds ``imbalance_threshold`` times the
+      recent load share exceeds ``imbalance_threshold`` times the
       per-shard mean (and enough samples accumulated to mean
-      anything).
+      anything).  Load is measured in worker *busy-seconds* when the
+      snapshot carries them (the live watch always does): a few
+      expensive customers register as load even when their sample
+      counts are unremarkable.  Snapshots without a busy signal
+      (synthetic replays) fall back to routed-sample counts.
     * **Hot-customer splitting** -- a single customer producing more
-      than ``hot_customer_share`` of its shard's recent load cannot be
-      split (one customer's state is indivisible), so it gets the
+      than ``hot_customer_share`` of its shard's recent samples cannot
+      be split (one customer's state is indivisible), so it gets the
       shard to itself: everyone *else* migrates off to the coldest
       shards.  Below that bar, the hottest customers migrate until the
       shard's expected load reaches the mean.
-    * **Pool resizing** -- with ``samples_per_shard_target`` set, the
-      pool grows or shrinks toward
-      ``ceil(recent samples / target)`` workers, clamped to
-      ``[min_workers, max_workers]``.
+    * **Pool resizing** -- with ``busy_seconds_per_shard_target`` set
+      (and a busy signal present), the pool grows or shrinks toward
+      ``ceil(recent busy-seconds / target)`` workers; otherwise
+      ``samples_per_shard_target`` sizes it as
+      ``ceil(recent samples / target)``.  Either way the result is
+      clamped to ``[min_workers, max_workers]``.
 
     Attributes:
         imbalance_threshold: Hot-shard recent load over the per-shard
             mean that triggers migration (> 1).
         min_samples: Recent samples across the fleet below which no
             decision is made (start-up noise guard).
-        hot_customer_share: Share of its shard's recent load above
+        hot_customer_share: Share of its shard's recent samples above
             which a customer is "hot" and gets isolated.
         max_migrations: Cap on explicit migrations per decision, so a
             drain-and-move never stalls the stream for long.
         samples_per_shard_target: Recent samples one worker should
-            absorb between decisions; None disables resizing.
+            absorb between decisions; None disables sample-based
+            resizing.
+        busy_seconds_per_shard_target: Recent busy-seconds one worker
+            should absorb between decisions; preferred over the
+            sample target whenever the snapshot has a busy signal.
+            None disables busy-based resizing.
         min_workers: Pool floor when resizing.
         max_workers: Pool ceiling when resizing; None leaves growth
             uncapped (the backend still caps at its own limits).
@@ -255,6 +281,7 @@ class LoadImbalancePolicy(RebalancePolicy):
     hot_customer_share: float = 0.5
     max_migrations: int = 8
     samples_per_shard_target: int | None = None
+    busy_seconds_per_shard_target: float | None = None
     min_workers: int = 1
     max_workers: int | None = None
     interval_ticks: int = 4
@@ -277,6 +304,14 @@ class LoadImbalancePolicy(RebalancePolicy):
             )
         if self.interval_ticks < 1:
             raise ValueError(f"interval_ticks must be >= 1, got {self.interval_ticks!r}")
+        if (
+            self.busy_seconds_per_shard_target is not None
+            and self.busy_seconds_per_shard_target <= 0
+        ):
+            raise ValueError(
+                "busy_seconds_per_shard_target must be positive, got "
+                f"{self.busy_seconds_per_shard_target!r}"
+            )
 
     def decide(self, snapshot: WatchLoadSnapshot) -> RebalanceDecision | None:
         if snapshot.samples_recent < self.min_samples:
@@ -290,10 +325,19 @@ class LoadImbalancePolicy(RebalancePolicy):
             return None
         return RebalanceDecision(migrations=tuple(migrations), resize_to=resize_to)
 
+    @staticmethod
+    def _shard_load(load: ShardLoad, busy: bool) -> float:
+        """One shard's recent load in the decision's unit of account."""
+        return load.busy_seconds_recent if busy else float(load.samples_recent)
+
     def _resize_target(self, snapshot: WatchLoadSnapshot) -> int | None:
-        if self.samples_per_shard_target is None:
+        if self.busy_seconds_per_shard_target is not None and snapshot.has_busy_signal:
+            quotient = snapshot.busy_seconds_recent / self.busy_seconds_per_shard_target
+            desired = max(1, math.ceil(quotient))
+        elif self.samples_per_shard_target is not None:
+            desired = -(-snapshot.samples_recent // self.samples_per_shard_target)
+        else:
             return None
-        desired = -(-snapshot.samples_recent // self.samples_per_shard_target)
         desired = max(self.min_workers, desired)
         if self.max_workers is not None:
             desired = min(self.max_workers, desired)
@@ -302,11 +346,14 @@ class LoadImbalancePolicy(RebalancePolicy):
     def _migrations(self, snapshot: WatchLoadSnapshot, pool_size: int) -> list[Migration]:
         if snapshot.n_shards < 2 or pool_size < 2:
             return []
-        mean = snapshot.samples_recent / snapshot.n_shards
+        busy = snapshot.has_busy_signal
+        total = snapshot.busy_seconds_recent if busy else float(snapshot.samples_recent)
+        mean = total / snapshot.n_shards
         if mean <= 0:
             return []
-        hottest = max(snapshot.shards, key=lambda load: load.samples_recent)
-        if hottest.samples_recent <= self.imbalance_threshold * mean:
+        hottest = max(snapshot.shards, key=lambda load: self._shard_load(load, busy))
+        hottest_load = self._shard_load(hottest, busy)
+        if hottest_load <= self.imbalance_threshold * mean:
             return []
         # Coldest shards absorb migrants round-robin, coldest first;
         # shards a concurrent shrink removes are not valid targets
@@ -317,7 +364,7 @@ class LoadImbalancePolicy(RebalancePolicy):
                 for load in snapshot.shards
                 if load.shard_id != hottest.shard_id and load.shard_id < pool_size
             ),
-            key=lambda load: load.samples_recent,
+            key=lambda load: self._shard_load(load, busy),
         )
         if not targets or hottest.shard_id >= pool_size:
             return []
@@ -334,7 +381,12 @@ class LoadImbalancePolicy(RebalancePolicy):
             # keeps the shard and its neighbours move out from under it.
             movers = residents[1 : 1 + self.max_migrations]
         else:
-            excess = hottest.samples_recent - mean
+            # Shedding works in sample space (per-customer load is only
+            # tracked as sample counts); a busy-seconds excess converts
+            # at the hot shard's own seconds-per-sample rate.
+            excess = hottest_load - mean
+            if busy and hottest_load > 0:
+                excess = excess / hottest_load * hottest.samples_recent
             shed = 0
             for customer_id, n_samples in residents:
                 if shed >= excess or len(movers) >= self.max_migrations:

@@ -35,11 +35,9 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-import warnings
-from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Sequence, TypeVar
 
-__all__ = ["ShardRing", "auto_chunk_size", "route_customer", "shard"]
+__all__ = ["ShardRing", "auto_chunk_size", "shard"]
 
 T = TypeVar("T")
 
@@ -199,47 +197,6 @@ def auto_chunk_size(n_items: int, n_workers: int) -> int:
     target_shards = max(1, n_workers * _CHUNKS_PER_WORKER)
     size = -(-n_items // target_shards)  # ceil division
     return max(1, min(size, _MAX_AUTO_CHUNK))
-
-
-@lru_cache(maxsize=64)
-def _shim_ring(n_shards: int) -> ShardRing:
-    """One shared 1-replica ring per shard count for the deprecated shim.
-
-    Callers never mutate it (no overrides, no resize), so sharing is
-    safe and keeps legacy per-sample routing at one digest + bisect
-    instead of a ring construction per call.
-    """
-    return ShardRing(n_shards, replicas=1)
-
-
-def route_customer(customer_id: str, n_shards: int) -> int:
-    """Sticky shard assignment for one customer's live state.
-
-    .. deprecated:: PR 5
-        The static modulo router this function used to implement
-        reshuffles nearly every customer whenever the shard count
-        changes, which is exactly what an elastic watch cannot afford.
-        It now delegates to a 1-replica :class:`ShardRing` (still
-        deterministic across processes, still uniform enough for
-        ad-hoc use); construct a :class:`ShardRing` directly for
-        anything that may ever resize.
-
-    Args:
-        customer_id: The customer whose samples are being routed.
-        n_shards: Worker count (>= 1).
-
-    Returns:
-        A shard index in ``[0, n_shards)``.
-    """
-    warnings.warn(
-        "route_customer is deprecated; use repro.fleet.sharding.ShardRing, "
-        "whose consistent hashing keeps live state in place when the pool resizes",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if n_shards == 1:
-        return 0
-    return _shim_ring(n_shards).route(customer_id)
 
 
 def shard(items: Iterable[T], chunk_size: int) -> Iterator[list[T]]:

@@ -1,0 +1,44 @@
+"""Online serving tier: asyncio service over the fleet engine.
+
+The deployment shape the paper's engine is meant for -- a cloud
+service over live customer telemetry -- as a subsystem:
+:class:`RecommendationService` front-ends
+:class:`~repro.fleet.engine.FleetEngine` with ``observe`` (telemetry
+ingestion onto sharded live-assessment state) and ``recommend``
+(columnar batch SKU queries) endpoints, SLO-aware microbatching
+(:mod:`repro.serve.microbatch`), per-lane admission control with
+reject-with-retry-after backpressure, request-level percentile
+metrics (:mod:`repro.serve.metrics`), a stdlib HTTP front end
+(:func:`repro.serve.http.serve`), and open/closed-loop load drivers
+(:mod:`repro.serve.loadgen`).
+"""
+
+from .config import ServeConfig
+from .http import serve
+from .loadgen import (
+    LoadReport,
+    arrival_times,
+    closed_loop,
+    diurnal_pattern,
+    flash_crowd_pattern,
+    open_loop,
+)
+from .metrics import BatchStats, LatencyRecorder
+from .microbatch import MicroBatcher
+from .service import AdmissionError, RecommendationService
+
+__all__ = [
+    "AdmissionError",
+    "BatchStats",
+    "LatencyRecorder",
+    "LoadReport",
+    "MicroBatcher",
+    "RecommendationService",
+    "ServeConfig",
+    "arrival_times",
+    "closed_loop",
+    "diurnal_pattern",
+    "flash_crowd_pattern",
+    "open_loop",
+    "serve",
+]

@@ -1,0 +1,73 @@
+"""Configuration for the online serving tier."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..fleet.config import WatchConfig
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`~repro.serve.service.RecommendationService`.
+
+    The sibling of :class:`~repro.fleet.config.WatchConfig` for the
+    online tier; both are frozen value objects meant to be built once
+    and varied with ``replace``.
+
+    Attributes:
+        n_shards: Observe-path shards.  Each shard owns its customers'
+            live assessment state (sticky routing over the same
+            consistent-hash ring the fleet watch uses) and runs on its
+            own single-thread executor, so per-customer state never
+            needs a lock.
+        max_batch: Microbatch flush size for both endpoints.
+        max_delay_ms: Microbatch coalescing deadline: the longest a
+            request waits for companions before its (possibly partial)
+            batch dispatches.
+        queue_limit: Per-lane admission bound on requests queued or in
+            flight; beyond it requests are rejected with a retry-after.
+        slo_ms: Admission latency budget.  A request whose estimated
+            queue delay (queued work times the lane's observed
+            seconds-per-request) exceeds this is rejected instead of
+            queued -- the shed-early half of the SLO story.
+        watch: Per-customer live-assessment parameters for the observe
+            path (window, cadence, drift threshold, warm-up,
+            ``profile_mode``).  Execution fields (``backend``,
+            ``max_workers``, the rebalance surface) and
+            ``refreshes_only`` are ignored: the service is its own
+            execution substrate, and every observe call answers with
+            that sample's outcome.
+        host: Bind address for :func:`repro.serve.http.serve`.
+        port: Bind port; 0 picks a free one.
+    """
+
+    n_shards: int = 2
+    max_batch: int = 32
+    max_delay_ms: float = 5.0
+    queue_limit: int = 256
+    slo_ms: float = 250.0
+    watch: WatchConfig = field(default_factory=WatchConfig)
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards!r}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch!r}")
+        if self.max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms!r}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit!r}")
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms!r}")
+        if not isinstance(self.watch, WatchConfig):
+            raise ValueError(f"watch must be a WatchConfig, got {self.watch!r}")
+
+    def replace(self, **changes) -> "ServeConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,269 @@
+"""Stdlib asyncio HTTP/1.1 front end for the serving tier.
+
+A deliberately small server -- ``asyncio.start_server`` streams, no
+third-party framework -- because the interesting machinery (routing,
+microbatching, admission control) lives in
+:class:`~repro.serve.service.RecommendationService`; this module only
+translates HTTP to service calls:
+
+* ``POST /observe`` -- one telemetry sample in, its live outcome out.
+* ``POST /recommend`` -- one customer (trace document inline) in, its
+  SKU recommendation out.
+* ``GET /stats`` -- the service's request-level metrics snapshot.
+
+Saturation maps to ``429 Too Many Requests`` with a ``Retry-After``
+header carrying the lane's estimated drain time -- the
+reject-with-retry-after half of the backpressure contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..catalog.models import DeploymentType
+from ..fleet.engine import FleetCustomer, FleetLiveUpdate, FleetRecommendation, FleetSample
+from ..telemetry.counters import PerfDimension
+from ..telemetry.serialize import trace_from_dict
+from .service import AdmissionError, RecommendationService
+
+__all__ = ["recommendation_to_json", "serve", "update_to_json"]
+
+#: Largest accepted request body; a trace document for a multi-week
+#: six-dimension window fits comfortably, anything bigger is abuse.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _BadRequest(ValueError):
+    """Client-side malformation; answered with a 400 and the message."""
+
+
+def recommendation_to_json(result: FleetRecommendation) -> dict:
+    """The wire projection of one recommend outcome.
+
+    Carries exactly the decision surface (SKU, price, throttling
+    numbers, strategy, right-sizing verdict) -- not the curve or
+    profile artifacts, which stay library-side.
+    """
+    document: dict = {
+        "customer_id": result.customer_id,
+        "ok": result.ok,
+        "error": result.error,
+        "over_provisioned": result.over_provisioned,
+        "recommendation": None,
+    }
+    if result.recommendation is not None:
+        recommendation = result.recommendation
+        document["recommendation"] = {
+            "sku": recommendation.sku.name,
+            "monthly_price": recommendation.monthly_price,
+            "expected_throttling": recommendation.expected_throttling,
+            "target_probability": recommendation.target_probability,
+            "strategy": recommendation.strategy,
+            "notes": list(recommendation.notes),
+        }
+    return document
+
+
+def update_to_json(update: FleetLiveUpdate) -> dict:
+    """The wire projection of one observe outcome."""
+    document: dict = {
+        "customer_id": update.customer_id,
+        "ok": update.ok,
+        "error": update.error,
+        "refreshed": False,
+        "n_seen": None,
+        "n_window": None,
+        "recommendation": None,
+    }
+    if update.update is not None:
+        live = update.update
+        document["refreshed"] = live.refreshed
+        document["n_seen"] = live.n_seen
+        document["n_window"] = live.n_window
+        if live.recommendation is not None:
+            document["recommendation"] = {
+                "sku": live.recommendation.sku.name,
+                "monthly_price": live.recommendation.monthly_price,
+                "expected_throttling": live.recommendation.expected_throttling,
+            }
+    return document
+
+
+def _parse_deployment(document: dict) -> DeploymentType:
+    raw = document.get("deployment", DeploymentType.SQL_DB.value)
+    try:
+        return DeploymentType(raw)
+    except ValueError:
+        raise _BadRequest(f"unknown deployment {raw!r}") from None
+
+
+def _parse_observe(document: dict) -> FleetSample:
+    try:
+        customer_id = str(document["customer_id"])
+        raw_values = document["values"]
+    except (KeyError, TypeError):
+        raise _BadRequest("observe body needs 'customer_id' and 'values'") from None
+    if not isinstance(raw_values, dict):
+        raise _BadRequest("'values' must map dimension names to numbers")
+    values: dict[PerfDimension, float] = {}
+    for name, value in raw_values.items():
+        try:
+            dimension = PerfDimension[name]
+        except KeyError:
+            raise _BadRequest(f"unknown performance dimension {name!r}") from None
+        values[dimension] = float(value)
+    return FleetSample(
+        customer_id=customer_id, values=values, deployment=_parse_deployment(document)
+    )
+
+
+def _parse_recommend(document: dict) -> FleetCustomer:
+    try:
+        customer_id = str(document["customer_id"])
+        trace_doc = document["trace"]
+    except (KeyError, TypeError):
+        raise _BadRequest("recommend body needs 'customer_id' and 'trace'") from None
+    try:
+        trace = trace_from_dict(trace_doc)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise _BadRequest(f"bad trace document: {exc}") from None
+    sizes = document.get("file_sizes_gib")
+    return FleetCustomer(
+        customer_id=customer_id,
+        trace=trace,
+        deployment=_parse_deployment(document),
+        file_sizes_gib=tuple(float(s) for s in sizes) if sizes else None,
+        current_sku_name=document.get("current_sku_name"),
+    )
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict, bytes] | None:
+    """One request off the wire: ``(method, path, headers, body)``.
+
+    Returns None on a cleanly closed connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise _BadRequest("request head too large") from None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("bad Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _BadRequest(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _response(
+    status: int,
+    payload: dict,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 429: "Too Many Requests"}
+    body = json.dumps(payload).encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _handle_one(
+    service: RecommendationService, method: str, path: str, body: bytes
+) -> bytes:
+    if method == "GET" and path == "/stats":
+        return _response(200, service.stats())
+    if method != "POST" or path not in ("/observe", "/recommend"):
+        return _response(404, {"error": f"no route for {method} {path}"})
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return _response(400, {"error": f"bad JSON body: {exc}"})
+    if not isinstance(document, dict):
+        return _response(400, {"error": "body must be a JSON object"})
+    try:
+        if path == "/observe":
+            update = await service.observe(_parse_observe(document))
+            return _response(200, update_to_json(update))
+        result = await service.recommend(_parse_recommend(document))
+        return _response(200, recommendation_to_json(result))
+    except _BadRequest as exc:
+        return _response(400, {"error": str(exc)})
+    except AdmissionError as exc:
+        retry_after = max(exc.retry_after_s, 0.001)
+        return _response(
+            429,
+            {"error": str(exc), "lane": exc.lane, "retry_after_s": retry_after},
+            extra_headers=(("Retry-After", f"{retry_after:.3f}"),),
+        )
+
+
+async def serve(
+    service: RecommendationService,
+    host: str | None = None,
+    port: int | None = None,
+) -> asyncio.base_events.Server:
+    """Bind the HTTP front end; the caller owns the returned server.
+
+    The service must already be started (it usually wraps both in one
+    ``async with service`` block).  Close with ``server.close()`` /
+    ``await server.wait_closed()``; bound sockets are on
+    ``server.sockets`` (useful with ``port=0``).
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as exc:
+                    writer.write(_response(400, {"error": str(exc)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                writer.write(await _handle_one(service, method, path, body))
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    config = service.config
+    return await asyncio.start_server(
+        handle,
+        host if host is not None else config.host,
+        port if port is not None else config.port,
+        limit=_MAX_HEADER_BYTES,
+    )

@@ -1,0 +1,351 @@
+"""The asyncio recommendation service.
+
+:class:`RecommendationService` is the online front door over the
+library's two request classes, routed onto different execution
+substrates behind one API (the Polynesia framing from PAPERS.md --
+engines per access pattern):
+
+* **observe** -- cheap, stateful telemetry ingestion.  Requests route
+  sticky-by-customer-id over the fleet's consistent-hash
+  :class:`~repro.fleet.sharding.ShardRing` to per-shard
+  :class:`~repro.fleet.backends._WatchShard` state, each shard
+  confined to its own single-thread executor (the thread-backend
+  confinement discipline), with microbatching in front so queued
+  samples run through one ``process`` call per flush.
+* **recommend** -- expensive, stateless curve/SKU queries.  Requests
+  microbatch into :meth:`~repro.fleet.engine.FleetEngine.recommend_batch`
+  calls -- the columnar chunk kernel -- on a dedicated executor, and
+  results are byte-identical to a direct ``recommend_fleet`` pass
+  over the same customers (the serving identity gate).
+
+Admission control is per lane (one lane per observe shard, one for
+recommend): a bounded queue plus an SLO budget checked against the
+lane's observed seconds-per-request -- the same busy-seconds signal
+the elastic watch's rebalance policy reads.  A request that would
+blow the budget is rejected *immediately* with a suggested
+retry-after, which is what keeps p99 bounded under overload instead
+of letting queues grow without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from ..fleet.backends import _WatchShard
+from ..fleet.engine import (
+    FleetCustomer,
+    FleetEngine,
+    FleetLiveUpdate,
+    FleetRecommendation,
+    FleetSample,
+)
+from ..fleet.sharding import ShardRing
+from .config import ServeConfig
+from .metrics import LatencyRecorder
+from .microbatch import MicroBatcher
+
+__all__ = ["AdmissionError", "RecommendationService"]
+
+#: Smoothing factor of the per-lane seconds-per-request EWMA; high
+#: enough to track load shifts within tens of batches, low enough not
+#: to chase single-batch noise.
+_EWMA_ALPHA = 0.2
+
+
+class AdmissionError(RuntimeError):
+    """A request the service refused to queue.
+
+    Attributes:
+        lane: The saturated lane (``observe[<shard>]`` or
+            ``recommend``).
+        retry_after_s: Suggested back-off: the lane's estimated time
+            to drain its current queue.
+    """
+
+    def __init__(self, lane: str, retry_after_s: float, reason: str) -> None:
+        super().__init__(
+            f"{lane} saturated ({reason}); retry in ~{retry_after_s:.3f}s"
+        )
+        self.lane = lane
+        self.retry_after_s = retry_after_s
+
+
+class _Lane:
+    """One admission-controlled microbatch lane.
+
+    Owns the bounded queue accounting and the seconds-per-request
+    estimate its admission decisions are based on.  ``inflight``
+    counts requests admitted but not yet answered (queued in the
+    batcher, or inside a running flush).
+    """
+
+    def __init__(self, name: str, batcher: MicroBatcher, config: ServeConfig) -> None:
+        self.name = name
+        self.batcher = batcher
+        self.queue_limit = config.queue_limit
+        self.slo_s = config.slo_ms / 1000.0
+        self.inflight = 0
+        self.max_inflight = 0
+        self.n_rejected = 0
+        self.ewma_s_per_item = 0.0
+
+    def admit(self) -> None:
+        """Admit one request or raise :class:`AdmissionError`."""
+        estimated_wait = (self.inflight + 1) * self.ewma_s_per_item
+        if self.inflight + 1 > self.queue_limit:
+            self.n_rejected += 1
+            raise AdmissionError(
+                self.name, max(estimated_wait, self.ewma_s_per_item), "queue full"
+            )
+        if estimated_wait > self.slo_s:
+            self.n_rejected += 1
+            raise AdmissionError(self.name, estimated_wait, "SLO budget exceeded")
+        self.inflight += 1
+        if self.inflight > self.max_inflight:
+            self.max_inflight = self.inflight
+
+    def release(self) -> None:
+        self.inflight -= 1
+
+    def observe_flush(self, busy_seconds: float, batch_size: int) -> None:
+        """Fold one flush's busy time into the per-request estimate."""
+        if batch_size <= 0:
+            return
+        per_item = busy_seconds / batch_size
+        if self.ewma_s_per_item == 0.0:
+            self.ewma_s_per_item = per_item
+        else:
+            self.ewma_s_per_item += _EWMA_ALPHA * (per_item - self.ewma_s_per_item)
+
+    def summary(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "n_rejected": self.n_rejected,
+            "ewma_ms_per_request": self.ewma_s_per_item * 1000.0,
+            "batches": self.batcher.stats.summary(),
+        }
+
+
+class RecommendationService:
+    """Async serving tier over one :class:`~repro.fleet.engine.FleetEngine`.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`stop`)::
+
+        service = RecommendationService(fleet, ServeConfig(n_shards=4))
+        async with service:
+            update = await service.observe(sample)
+            result = await service.recommend(customer)
+            service.stats()
+
+    All coroutine methods must be called from the event loop that ran
+    :meth:`start`.  Blocking work (assessment, curve building) happens
+    on executors, never on the loop.
+    """
+
+    def __init__(self, fleet: FleetEngine, config: ServeConfig | None = None) -> None:
+        self.fleet = fleet
+        self.config = config if config is not None else ServeConfig()
+        if not isinstance(self.config, ServeConfig):
+            raise ValueError(f"config must be a ServeConfig, got {self.config!r}")
+        # Fail fast on bad assessment parameters, like watch_fleet does.
+        self._shard_config = fleet._shard_config(self.config.watch, refreshes_only=False)
+        self._ring = ShardRing(self.config.n_shards)
+        self._started = False
+        self._shards: list[_WatchShard] = []
+        self._executors: list[ThreadPoolExecutor] = []
+        self._observe_lanes: list[_Lane] = []
+        self._recommend_lane: _Lane | None = None
+        self._recommend_executor: ThreadPoolExecutor | None = None
+        self.observe_latency = LatencyRecorder()
+        self.recommend_latency = LatencyRecorder()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Build shards, executors and batch loops on the running loop."""
+        if self._started:
+            return
+        config = self.config
+        max_delay_s = config.max_delay_ms / 1000.0
+        for shard_id in range(config.n_shards):
+            shard = _WatchShard(self._shard_config)
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"serve-shard-{shard_id}"
+            )
+            batcher: MicroBatcher = MicroBatcher(
+                self._make_observe_flush(shard_id), config.max_batch, max_delay_s
+            )
+            self._shards.append(shard)
+            self._executors.append(executor)
+            self._observe_lanes.append(_Lane(f"observe[{shard_id}]", batcher, config))
+            batcher.start()
+        self._recommend_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-recommend"
+        )
+        recommend_batcher: MicroBatcher = MicroBatcher(
+            self._recommend_flush, config.max_batch, max_delay_s
+        )
+        self._recommend_lane = _Lane("recommend", recommend_batcher, config)
+        recommend_batcher.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Drain every lane, then tear down executors and shard state."""
+        if not self._started:
+            return
+        for lane in self._observe_lanes:
+            await lane.batcher.stop()
+        if self._recommend_lane is not None:
+            await self._recommend_lane.batcher.stop()
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+        if self._recommend_executor is not None:
+            self._recommend_executor.shutdown(wait=True)
+        self._shards.clear()
+        self._executors.clear()
+        self._observe_lanes.clear()
+        self._recommend_lane = None
+        self._recommend_executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "RecommendationService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def observe(self, sample: FleetSample) -> FleetLiveUpdate:
+        """Ingest one telemetry sample; answer with its live outcome.
+
+        Routes to the owning shard, admits against the shard lane's
+        queue bound and SLO budget, and microbatches into one
+        ``_WatchShard.process`` call per flush.  Quarantined customers
+        (a previous sample's assessment failed) answer with an error
+        update rather than silence -- an online caller always gets a
+        response.
+
+        Raises:
+            AdmissionError: When the shard lane is saturated.
+        """
+        self._require_started()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        lane = self._observe_lanes[self._ring.route(sample.customer_id)]
+        lane.admit()
+        try:
+            update = await lane.batcher.submit(sample)
+        finally:
+            lane.release()
+        self.observe_latency.record(loop.time() - started)
+        return update
+
+    async def recommend(self, customer: FleetCustomer) -> FleetRecommendation:
+        """Assess one customer; answer with its ``FleetRecommendation``.
+
+        Microbatches into the columnar
+        :meth:`~repro.fleet.engine.FleetEngine.recommend_batch` kernel;
+        results are byte-identical to a direct ``recommend_fleet``
+        pass.  Per-customer assessment failures come back as error
+        results (the fleet containment contract), never exceptions.
+
+        Raises:
+            AdmissionError: When the recommend lane is saturated.
+        """
+        self._require_started()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        lane = self._recommend_lane
+        assert lane is not None
+        lane.admit()
+        try:
+            result = await lane.batcher.submit(customer)
+        finally:
+            lane.release()
+        self.recommend_latency.record(loop.time() - started)
+        return result
+
+    def stats(self) -> dict:
+        """Request-level metrics snapshot (the stats endpoint body)."""
+        per_shard = []
+        for shard_id, lane in enumerate(self._observe_lanes):
+            shard = self._shards[shard_id]
+            entry = {"shard_id": shard_id}
+            entry.update(lane.summary())
+            entry["n_customers"] = len(shard.recommenders)
+            entry["n_quarantined"] = len(shard.quarantined)
+            per_shard.append(entry)
+        recommend = (
+            self._recommend_lane.summary() if self._recommend_lane is not None else {}
+        )
+        return {
+            "running": self._started,
+            "n_shards": self.config.n_shards,
+            "observe": {
+                "latency": self.observe_latency.summary(),
+                "n_rejected": sum(lane.n_rejected for lane in self._observe_lanes),
+                "queue_depth": sum(lane.inflight for lane in self._observe_lanes),
+                "shards": per_shard,
+            },
+            "recommend": {
+                "latency": self.recommend_latency.summary(),
+                "n_rejected": recommend.get("n_rejected", 0),
+                "queue_depth": recommend.get("inflight", 0),
+                "lane": recommend,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Flush bodies
+    # ------------------------------------------------------------------
+    def _make_observe_flush(self, shard_id: int):
+        async def flush(samples: list[FleetSample]) -> list[FleetLiveUpdate]:
+            loop = asyncio.get_running_loop()
+            shard = self._shards[shard_id]
+            batch = list(enumerate(samples))
+            emissions, busy_seconds = await loop.run_in_executor(
+                self._executors[shard_id], shard.process, batch
+            )
+            self._observe_lanes[shard_id].observe_flush(busy_seconds, len(batch))
+            # refreshes_only is forced off, so every non-quarantined
+            # sample emits; the missing sequence numbers are exactly
+            # the quarantined customers' samples.
+            by_seq = dict(emissions)
+            return [
+                by_seq.get(
+                    seq,
+                    FleetLiveUpdate(
+                        customer_id=sample.customer_id,
+                        update=None,
+                        error="customer is quarantined",
+                    ),
+                )
+                for seq, sample in batch
+            ]
+
+        return flush
+
+    async def _recommend_flush(self, customers: list[FleetCustomer]) -> list:
+        loop = asyncio.get_running_loop()
+        lane = self._recommend_lane
+        assert lane is not None
+        started = loop.time()
+        results = await loop.run_in_executor(
+            self._recommend_executor, self.fleet.recommend_batch, customers
+        )
+        lane.observe_flush(loop.time() - started, len(customers))
+        return results
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError(
+                "RecommendationService is not running; use 'async with service:' "
+                "or call start() from the event loop first"
+            )

@@ -247,7 +247,7 @@ class LiveRecommender:
         """Validate live-assessment parameters; the single source of truth.
 
         Shared between the constructor and fleet-watch configuration
-        (:class:`~repro.fleet.backends.WatchConfig`), so a
+        (:class:`~repro.fleet.backends.ShardAssessmentConfig`), so a
         misconfigured sharded watch fails at the call site with
         exactly the message a direct construction would raise.
 

@@ -30,8 +30,8 @@ from repro.fleet import (
     BACKEND_NAMES,
     FleetEngine,
     FleetSample,
+    WatchConfig,
     make_backend,
-    route_customer,
 )
 from repro.simulation import FleetConfig, simulate_fleet
 from repro.streaming import LiveRecommender
@@ -41,7 +41,7 @@ from repro.telemetry.streaming import StreamingSeriesStats
 
 from .conftest import full_trace
 
-WATCH_KWARGS = dict(window=16, min_refresh_samples=8)
+WATCH_CONFIG = WatchConfig(window=16, min_refresh_samples=8)
 
 
 def live_samples(n, rng, scale=1.0, storage=120.0):
@@ -103,31 +103,6 @@ def canonical_updates(updates):
 
 
 # ----------------------------------------------------------------------
-# Sticky routing (deprecated shim; the ring itself is covered in
-# tests/test_sharding_ring.py)
-# ----------------------------------------------------------------------
-class TestRouteCustomer:
-    def test_deterministic_and_in_range(self):
-        with pytest.warns(DeprecationWarning, match="ShardRing"):
-            for n_shards in (1, 2, 3, 7):
-                for index in range(50):
-                    shard = route_customer(f"cust-{index}", n_shards)
-                    assert 0 <= shard < n_shards
-                    assert shard == route_customer(f"cust-{index}", n_shards)
-
-    def test_spreads_customers_over_shards(self):
-        # A 1-replica ring has uneven arcs, so covering every shard
-        # takes more customers than the virtual-node router needs.
-        with pytest.warns(DeprecationWarning):
-            shards = {route_customer(f"cust-{index}", 4) for index in range(256)}
-        assert shards == {0, 1, 2, 3}
-
-    def test_rejects_nonpositive_shard_count(self):
-        with pytest.warns(DeprecationWarning), pytest.raises(ValueError, match="n_shards"):
-            route_customer("cust", 0)
-
-
-# ----------------------------------------------------------------------
 # Backend selection
 # ----------------------------------------------------------------------
 class TestBackendSelection:
@@ -162,17 +137,17 @@ class TestBackendSelection:
         # A plain function returning a generator: the error must fire
         # here, not at first iteration.
         with pytest.raises(ValueError, match="unknown fleet backend"):
-            fleet.watch_fleet([], backend="gpu")
+            fleet.watch_fleet([], config=WatchConfig(backend="gpu"))
         with pytest.raises(ValueError, match="min_refresh_samples"):
-            fleet.watch_fleet([], window=4, min_refresh_samples=12)
+            fleet.watch_fleet([], config=WatchConfig(window=4, min_refresh_samples=12))
         with pytest.raises(ValueError, match="profile mode"):
-            fleet.watch_fleet([], profile_mode="psychic")
+            fleet.watch_fleet([], config=WatchConfig(profile_mode="psychic"))
 
     def test_streaming_profile_mode_checked_against_summarizer(self, small_catalog):
         engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
         fleet = FleetEngine(engine=engine, backend="serial")
         with pytest.raises(ValueError, match="no streaming"):
-            fleet.watch_fleet([], profile_mode="streaming")
+            fleet.watch_fleet([], config=WatchConfig(profile_mode="streaming"))
 
 
 # ----------------------------------------------------------------------
@@ -183,9 +158,9 @@ class TestWatchParity:
     def test_sharded_watch_equals_serial(self, backend, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(7, 24, seed=60)
-        serial = canonical_updates(fleet.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
         sharded = canonical_updates(
-            fleet.watch_fleet(feed, backend=backend, max_workers=3, **WATCH_KWARGS)
+            fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(backend=backend, max_workers=3))
         )
         assert sharded == serial
 
@@ -193,9 +168,9 @@ class TestWatchParity:
     def test_quarantine_ordering_survives_sharding(self, backend, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(6, 20, seed=61, poison=("cust-1", "cust-4"))
-        serial = list(fleet.watch_fleet(feed, **WATCH_KWARGS))
+        serial = list(fleet.watch_fleet(feed, config=WATCH_CONFIG))
         sharded = list(
-            fleet.watch_fleet(feed, backend=backend, max_workers=3, **WATCH_KWARGS)
+            fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(backend=backend, max_workers=3))
         )
         assert canonical_updates(sharded) == canonical_updates(serial)
         failures = [update for update in sharded if not update.ok]
@@ -207,15 +182,14 @@ class TestWatchParity:
     def test_every_sample_mode_equals_serial(self, backend, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(5, 12, seed=62)
-        serial = list(fleet.watch_fleet(feed, refreshes_only=False, **WATCH_KWARGS))
+        serial = list(fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(refreshes_only=False)))
         assert len(serial) == len(feed)  # one emission per sample
         sharded = list(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=2,
-                refreshes_only=False,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend=backend, max_workers=2, refreshes_only=False
+                ),
             )
         )
         assert canonical_updates(sharded) == canonical_updates(serial)
@@ -223,9 +197,9 @@ class TestWatchParity:
     def test_process_single_worker_equals_serial(self, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(4, 16, seed=63)
-        serial = canonical_updates(fleet.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
         one = canonical_updates(
-            fleet.watch_fleet(feed, backend="process", max_workers=1, **WATCH_KWARGS)
+            fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(backend="process", max_workers=1))
         )
         assert one == serial
 
@@ -235,7 +209,7 @@ class TestWatchParity:
         feed = interleaved_feed(6, 16, seed=64)
         assert fleet.watch_cache_stats() is None  # no watch yet
         updates = list(
-            fleet.watch_fleet(feed, backend=backend, max_workers=3, **WATCH_KWARGS)
+            fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(backend=backend, max_workers=3))
         )
         stats = fleet.watch_cache_stats()
         # Every refresh built (or looked up) a curve in a watch-scoped
@@ -249,7 +223,7 @@ class TestWatchParity:
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(4, 16, seed=65)
         stream = fleet.watch_fleet(
-            feed, backend="process", max_workers=2, **WATCH_KWARGS
+            feed, config=WATCH_CONFIG.replace(backend="process", max_workers=2)
         )
         next(stream)
         stream.close()  # must not hang or leak worker processes
@@ -257,13 +231,13 @@ class TestWatchParity:
     def test_pipeline_watch_fleet_passes_backend_through(self, small_catalog):
         pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
         feed = interleaved_feed(4, 16, seed=66)
-        serial = canonical_updates(pipeline.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(pipeline.watch_fleet(feed, config=WATCH_CONFIG))
         threaded = canonical_updates(
-            pipeline.watch_fleet(feed, backend="thread", max_workers=2, **WATCH_KWARGS)
+            pipeline.watch_fleet(feed, config=WATCH_CONFIG.replace(backend="thread", max_workers=2))
         )
         assert threaded == serial
         with pytest.raises(ValueError, match="unknown fleet backend"):
-            pipeline.watch_fleet(feed, backend="quantum")
+            pipeline.watch_fleet(feed, config=WatchConfig(backend="quantum"))
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ from perf_trend import (  # noqa: E402
     compare_records,
     load_floors,
     load_records,
+    lower_is_better,
     main,
 )
 
@@ -31,6 +32,14 @@ def record(name: str, per_sec: float, smoke: bool = False) -> dict:
     }
 
 
+def latency_record(name: str, p95_ms: float, smoke: bool = False) -> dict:
+    return {
+        "benchmark": name,
+        "smoke": smoke,
+        "closed": {"p95_ms": p95_ms, "requests_per_sec": 100.0, "n_requests": 50},
+    }
+
+
 class TestCollectMetrics:
     def test_only_per_sec_leaves_participate(self):
         metrics = collect_metrics(record("x", 100.0))
@@ -39,9 +48,17 @@ class TestCollectMetrics:
             "sizes[0].cust_per_sec": 200.0,
         }
 
+    def test_latency_leaves_participate_too(self):
+        metrics = collect_metrics(latency_record("x", 40.0))
+        assert metrics == {"closed.p95_ms": 40.0, "closed.requests_per_sec": 100.0}
+
     def test_bools_and_counters_excluded(self):
         metrics = collect_metrics({"flag_per_sec": True, "n": 5})
         assert metrics == {}
+
+    def test_direction_follows_suffix(self):
+        assert not lower_is_better("closed.requests_per_sec")
+        assert lower_is_better("closed.p95_ms")
 
 
 class TestCompareRecords:
@@ -79,6 +96,15 @@ class TestCompareRecords:
     def test_threshold_validation(self):
         with pytest.raises(ValueError, match="threshold"):
             compare_records({}, {}, threshold=0.0)
+
+    def test_latency_increase_is_the_regression(self):
+        baseline = {"s": latency_record("s", 100.0)}
+        slower = {"s": latency_record("s", 150.0)}  # +50% latency
+        regressions, _ = compare_records(baseline, slower, threshold=0.2)
+        assert [metric for metric, *_ in regressions] == ["s:closed.p95_ms"]
+        faster = {"s": latency_record("s", 40.0)}  # -60% latency: improvement
+        regressions, _ = compare_records(baseline, faster, threshold=0.2)
+        assert regressions == []
 
 
 class TestEndToEnd:
@@ -129,6 +155,20 @@ class TestFloors:
         violations = check_floors(slow, floors)
         assert len(violations) == 1
         assert "below the absolute floor" in violations[0]
+
+    def test_latency_floor_is_a_ceiling(self):
+        floors = {"serving": {"closed.p95_ms": 50.0}}
+        fast = {"serving": latency_record("serving", 30.0)}
+        assert check_floors(fast, floors) == []
+        slow = {"serving": latency_record("serving", 80.0)}
+        violations = check_floors(slow, floors)
+        assert len(violations) == 1
+        assert "above the absolute ceiling" in violations[0]
+
+    def test_missing_latency_metric_is_a_violation(self):
+        floors = {"serving": {"open.p99_ms": 50.0}}
+        violations = check_floors({"serving": latency_record("serving", 30.0)}, floors)
+        assert violations and "missing" in violations[0]
 
     def test_missing_floored_metric_is_a_violation(self):
         floors = {"fleet": {"sizes[9].cust_per_sec": 500.0}}
@@ -205,9 +245,12 @@ class TestBlockingBenchmarks:
         assert "streaming" in floors  # watch cust/s + observe/s floors
         assert "watch_scaling.serial_customers_per_sec" in floors["streaming"]
         assert "live_loop.observe_per_sec" in floors["streaming"]
+        assert "serving" in floors  # serving tier: throughput floor + p95 ceiling
+        assert "closed_loop.requests_per_sec" in floors["serving"]
+        assert "closed_loop.p95_ms" in floors["serving"]
         for metric_floors in floors.values():
             for metric, floor in metric_floors.items():
-                assert metric.endswith("_per_sec")
+                assert metric.endswith("_per_sec") or metric.endswith("_ms")
                 assert floor > 0
 
 

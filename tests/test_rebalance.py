@@ -18,6 +18,7 @@ from repro.core import DopplerEngine
 from repro.fleet import (
     FleetEngine,
     LoadImbalancePolicy,
+    WatchConfig,
     Migration,
     RebalanceDecision,
     ScheduledRebalancePolicy,
@@ -28,7 +29,7 @@ from repro.streaming import LiveRecommender
 
 from .conftest import make_sku
 from .test_fleet_backends import (
-    WATCH_KWARGS,
+    WATCH_CONFIG,
     canonical_updates,
     interleaved_feed,
     live_samples,
@@ -74,6 +75,26 @@ def snapshot(shards, customers=(), tick_id=0, n_decisions=0):
     )
 
 
+def busy_snapshot(shards, customers=(), tick_id=0, n_decisions=0):
+    """Synthetic snapshot with a busy signal: shards = {id: (samples, busy_s)}."""
+    return WatchLoadSnapshot(
+        tick_id=tick_id,
+        n_decisions=n_decisions,
+        shards=tuple(
+            ShardLoad(
+                shard_id=shard_id,
+                n_customers=8,
+                samples_recent=samples,
+                samples_total=samples,
+                busy_seconds_recent=busy,
+                busy_seconds_total=busy,
+            )
+            for shard_id, (samples, busy) in sorted(shards.items())
+        ),
+        customer_samples_recent=tuple(customers),
+    )
+
+
 def random_schedule(rng, customers, n_decisions=14, max_shards=5):
     """A randomized but reproducible migration schedule.
 
@@ -111,7 +132,7 @@ class TestMigrationParity:
     def fleet_and_serial(self):
         fleet = FleetEngine(engine=DopplerEngine(catalog=compact_catalog()), backend="serial")
         feed = interleaved_feed(8, 24, seed=91, poison=("cust-2", "cust-5"))
-        serial = canonical_updates(fleet.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
         return fleet, feed, serial
 
     @pytest.mark.parametrize("backend,workers", BACKENDS)
@@ -127,12 +148,13 @@ class TestMigrationParity:
         sharded = canonical_updates(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=workers,
-                rebalance=policy,
-                on_rebalance=events.append,
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend=backend,
+                    max_workers=workers,
+                    rebalance=policy,
+                    on_rebalance=events.append,
+                    tick_samples=4,
+                ),
             )
         )
         assert sharded == serial
@@ -170,11 +192,12 @@ class TestMigrationParity:
         sharded = list(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=workers,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend=backend,
+                    max_workers=workers,
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    tick_samples=4,
+                ),
             )
         )
         assert canonical_updates(sharded) == serial
@@ -195,11 +218,12 @@ class TestMigrationParity:
         sharded = canonical_updates(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=workers,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend=backend,
+                    max_workers=workers,
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    tick_samples=4,
+                ),
             )
         )
         assert sharded == serial
@@ -214,8 +238,8 @@ class TestMigrationParity:
         """Migrated `StreamingSeriesStats` keep profiling identically."""
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(5, 20, seed=98)
-        kwargs = dict(profile_mode="streaming", **WATCH_KWARGS)
-        serial = canonical_updates(fleet.watch_fleet(feed, **kwargs))
+        config = WATCH_CONFIG.replace(profile_mode="streaming")
+        serial = canonical_updates(fleet.watch_fleet(feed, config=config))
         schedule = {
             3: RebalanceDecision(resize_to=max(2, workers or 2)),
             6: RebalanceDecision(
@@ -225,11 +249,12 @@ class TestMigrationParity:
         sharded = canonical_updates(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=workers,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                tick_samples=4,
-                **kwargs,
+                config=config.replace(
+                    backend=backend,
+                    max_workers=workers,
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    tick_samples=4,
+                ),
             )
         )
         assert sharded == serial
@@ -246,7 +271,9 @@ class TestMigrationParity:
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(3, 8, seed=99)
         before = len(multiprocessing.active_children())
-        stream = fleet.watch_fleet(feed, backend="process", max_workers=2, **WATCH_KWARGS)
+        stream = fleet.watch_fleet(
+            feed, config=WATCH_CONFIG.replace(backend="process", max_workers=2)
+        )
         assert len(multiprocessing.active_children()) == before
         stream.close()  # never iterated: nothing to tear down
 
@@ -264,7 +291,10 @@ class TestMigrationParity:
         feed = interleaved_feed(n_customers, n_each, seed=100, poison=("cust-1",))
         updates = list(
             fleet.watch_fleet(
-                feed, backend="thread", max_workers=2, tick_samples=2, **WATCH_KWARGS
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="thread", max_workers=2, tick_samples=2
+                ),
             )
         )
         assert sum(1 for update in updates if not update.ok) == 1
@@ -276,7 +306,7 @@ class TestMigrationParity:
     def test_empty_feed_with_policy_is_clean(self, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         policy = LoadImbalancePolicy()
-        assert list(fleet.watch_fleet([], rebalance=policy, **WATCH_KWARGS)) == []
+        assert list(fleet.watch_fleet([], config=WATCH_CONFIG.replace(rebalance=policy))) == []
         stats = fleet.watch_rebalance_stats()
         assert stats.n_decisions == 0
         assert stats.samples_by_shard == ()
@@ -288,7 +318,7 @@ class TestMigrationParity:
             schedule={0: RebalanceDecision(migrations=(Migration("cust-0", 9),))}
         )
         with pytest.raises(ValueError, match="unknown shard"):
-            list(fleet.watch_fleet(feed, rebalance=policy, **WATCH_KWARGS))
+            list(fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(rebalance=policy)))
 
 
 # ----------------------------------------------------------------------
@@ -303,7 +333,9 @@ class TestWatchAccounting:
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(5, 12, seed=93)
         updates = list(
-            fleet.watch_fleet(feed, backend="thread", max_workers=3, **WATCH_KWARGS)
+            fleet.watch_fleet(
+                feed, config=WATCH_CONFIG.replace(backend="thread", max_workers=3)
+            )
         )
         assert updates
         stats = fleet.watch_rebalance_stats()
@@ -338,11 +370,12 @@ class TestWatchAccounting:
         updates = list(
             fleet.watch_fleet(
                 feed,
-                backend=backend,
-                max_workers=workers,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend=backend,
+                    max_workers=workers,
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    tick_samples=4,
+                ),
             )
         )
         stats = fleet.watch_cache_stats()
@@ -364,10 +397,11 @@ class TestWatchAccounting:
         list(
             fleet.watch_fleet(
                 feed,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                on_rebalance=events.append,
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    on_rebalance=events.append,
+                    tick_samples=4,
+                ),
             )
         )
         assert [event.resized_to for event in events][0] == 2
@@ -384,16 +418,17 @@ class TestWatchAccounting:
 
         pipeline = AssessmentPipeline(engine=DopplerEngine(catalog=small_catalog))
         feed = interleaved_feed(4, 16, seed=97)
-        serial = canonical_updates(pipeline.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(pipeline.watch_fleet(feed, config=WATCH_CONFIG))
         schedule = {2: RebalanceDecision(resize_to=2)}
         events = []
         elastic = canonical_updates(
             pipeline.watch_fleet(
                 feed,
-                rebalance=ScheduledRebalancePolicy(schedule=schedule),
-                on_rebalance=events.append,
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                    on_rebalance=events.append,
+                    tick_samples=4,
+                ),
             )
         )
         assert elastic == serial
@@ -402,11 +437,11 @@ class TestWatchAccounting:
     def test_watch_fleet_validates_rebalance_arguments_eagerly(self, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         with pytest.raises(ValueError, match="RebalancePolicy"):
-            fleet.watch_fleet([], rebalance="load")
+            fleet.watch_fleet([], config=WatchConfig(rebalance="load"))
         with pytest.raises(ValueError, match="on_rebalance"):
-            fleet.watch_fleet([], on_rebalance="notify")
+            fleet.watch_fleet([], config=WatchConfig(on_rebalance="notify"))
         with pytest.raises(ValueError, match="tick_samples"):
-            fleet.watch_fleet([], tick_samples=0)
+            fleet.watch_fleet([], config=WatchConfig(tick_samples=0))
 
 
 # ----------------------------------------------------------------------
@@ -496,18 +531,16 @@ class TestLoadImbalancePolicy:
     def test_skewed_watch_rebalances_and_stays_identical(self, small_catalog):
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         feed = interleaved_feed(8, 24, seed=96)
-        serial = canonical_updates(fleet.watch_fleet(feed, **WATCH_KWARGS))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
         policy = LoadImbalancePolicy(
             min_samples=16, interval_ticks=2, imbalance_threshold=1.2
         )
         sharded = canonical_updates(
             fleet.watch_fleet(
                 feed,
-                backend="thread",
-                max_workers=3,
-                rebalance=policy,
-                tick_samples=4,
-                **WATCH_KWARGS,
+                config=WATCH_CONFIG.replace(
+                    backend="thread", max_workers=3, rebalance=policy, tick_samples=4
+                ),
             )
         )
         assert sharded == serial
@@ -519,6 +552,72 @@ class TestLoadImbalancePolicy:
         assert isinstance(decision.migrations, tuple)
         assert not decision.is_noop
         assert RebalanceDecision().is_noop
+
+
+class TestBusySecondsPolicy:
+    """The busy-seconds unit of account: expensive customers count as load."""
+
+    def test_expensive_customers_trigger_without_sample_skew(self):
+        """Equal sample counts, skewed busy-seconds: the trigger fires.
+
+        Shard 0's customers cost 9x the seconds per sample, which the
+        sample-count view cannot see -- the whole point of switching
+        the trigger to busy-seconds.
+        """
+        policy = LoadImbalancePolicy(min_samples=10)
+        customers = [("pricey", 20, 0), ("cheap-a", 15, 0), ("cheap-b", 10, 1)]
+        # Sample-count view of the same fleet: perfectly balanced, no move.
+        assert policy.decide(snapshot({0: 50, 1: 50}, customers=customers)) is None
+        decision = policy.decide(
+            busy_snapshot({0: (50, 9.0), 1: (50, 1.0)}, customers=customers)
+        )
+        assert decision is not None
+        targets = {move.customer_id: move.target for move in decision.migrations}
+        assert targets == {"pricey": 1, "cheap-a": 1}
+
+    def test_busy_excess_converts_to_sample_counts_for_shedding(self):
+        """Shedding stops once moved samples cover the busy excess.
+
+        Excess 4 busy-seconds at shard 0's 9s/50-sample rate is ~22
+        samples: the hottest resident (20) is not enough, two are.
+        The third resident stays put.
+        """
+        policy = LoadImbalancePolicy(min_samples=10, max_migrations=8)
+        decision = policy.decide(
+            busy_snapshot(
+                {0: (50, 9.0), 1: (50, 1.0)},
+                customers=[("a", 20, 0), ("b", 15, 0), ("c", 10, 0)],
+            )
+        )
+        assert [move.customer_id for move in decision.migrations] == ["a", "b"]
+
+    def test_resize_targets_busy_seconds_per_shard(self):
+        policy = LoadImbalancePolicy(
+            min_samples=10, busy_seconds_per_shard_target=1.0, max_workers=8
+        )
+        grow = policy.decide(busy_snapshot({0: (100, 2.4), 1: (100, 2.4)}))
+        assert grow.resize_to == 5  # ceil(4.8 busy-seconds / 1.0 target)
+        shrink = policy.decide(
+            busy_snapshot({0: (100, 0.6), 1: (100, 0.5), 2: (100, 0.4)})
+        )
+        assert shrink.resize_to == 2
+
+    def test_busy_target_falls_back_to_samples_without_signal(self):
+        """Synthetic snapshots without busy-seconds keep working."""
+        policy = LoadImbalancePolicy(
+            min_samples=10,
+            busy_seconds_per_shard_target=1.0,
+            samples_per_shard_target=100,
+            max_workers=8,
+        )
+        decision = policy.decide(snapshot({0: 250, 1: 250}))
+        assert decision.resize_to == 5  # ceil(500 samples / 100 target)
+
+    def test_busy_target_validation(self):
+        with pytest.raises(ValueError, match="busy_seconds_per_shard_target"):
+            LoadImbalancePolicy(busy_seconds_per_shard_target=0.0)
+        with pytest.raises(ValueError, match="busy_seconds_per_shard_target"):
+            LoadImbalancePolicy(busy_seconds_per_shard_target=-1.5)
 
 
 # ----------------------------------------------------------------------

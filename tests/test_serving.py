@@ -1,0 +1,684 @@
+"""Online serving tier: microbatching, admission control, identity, HTTP.
+
+The load-bearing contract is the serving identity gate: a
+recommendation served through the asyncio tier -- microbatched into
+``recommend_batch`` on an executor -- must be byte-identical to the
+same customer's result from a direct ``recommend_fleet`` pass, and an
+observe stream answered by the service must match the watch path's
+update stream sample for sample.  Everything else (backpressure,
+flush triggers, the HTTP front end) protects the tail latency of that
+same machinery under load.
+
+No pytest-asyncio in the environment: coroutine scenarios run under
+``asyncio.run`` inside plain sync tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.catalog import DeploymentType
+from repro.core import DopplerEngine
+from repro.fleet import (
+    FleetCustomer,
+    FleetEngine,
+    FleetLiveUpdate,
+    WatchConfig,
+)
+from repro.serve import (
+    AdmissionError,
+    BatchStats,
+    LatencyRecorder,
+    MicroBatcher,
+    RecommendationService,
+    ServeConfig,
+    serve,
+)
+from repro.serve.http import _handle_one
+from repro.serve.service import _Lane
+from repro.telemetry.serialize import trace_to_dict
+
+from .conftest import full_trace
+from .test_fleet_backends import canonical_updates, interleaved_feed
+
+#: Watch parameters small enough that refreshes happen within a short
+#: test feed; shared by every service in this module.
+WATCH = WatchConfig(window=16, min_refresh_samples=8)
+
+#: A service configuration that never rejects and flushes fast: the
+#: correctness tests want identity, not backpressure.
+WIDE_OPEN = ServeConfig(
+    n_shards=1,
+    max_batch=8,
+    max_delay_ms=2.0,
+    queue_limit=4096,
+    slo_ms=60_000.0,
+    watch=WATCH,
+)
+
+
+def make_fleet(small_catalog) -> FleetEngine:
+    return FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+
+
+def make_customers(n: int) -> list[FleetCustomer]:
+    return [
+        FleetCustomer(
+            customer_id=f"serve-{index:02d}",
+            trace=full_trace(
+                cpu_level=0.8 + 0.3 * index, entity_id=f"serve-{index:02d}", rng=index
+            ),
+            deployment=DeploymentType.SQL_DB,
+        )
+        for index in range(n)
+    ]
+
+
+def canonical_recommendations(results) -> str:
+    """Byte-comparable projection of recommendation results."""
+    lines = []
+    for result in results:
+        recommendation = result.recommendation
+        if recommendation is None:
+            lines.append(f"{result.customer_id}|ERROR|{result.error}")
+            continue
+        lines.append(
+            f"{result.customer_id}|{recommendation.sku.name}"
+            f"|{recommendation.monthly_price!r}|{recommendation.expected_throttling!r}"
+            f"|{recommendation.target_probability!r}|{recommendation.strategy}"
+            f"|{result.over_provisioned}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# ServeConfig
+# ----------------------------------------------------------------------
+class TestServeConfig:
+    def test_defaults_are_valid_and_replace_works(self):
+        config = ServeConfig()
+        assert config.n_shards == 2
+        varied = config.replace(n_shards=4, slo_ms=100.0)
+        assert (varied.n_shards, varied.slo_ms) == (4, 100.0)
+        assert config.n_shards == 2  # frozen original untouched
+
+    @pytest.mark.parametrize(
+        ("field", "value", "message"),
+        [
+            ("n_shards", 0, "n_shards must be >= 1"),
+            ("max_batch", 0, "max_batch must be >= 1"),
+            ("max_delay_ms", -1.0, "max_delay_ms must be >= 0"),
+            ("queue_limit", 0, "queue_limit must be >= 1"),
+            ("slo_ms", 0.0, "slo_ms must be positive"),
+            ("watch", "fast", "watch must be a WatchConfig"),
+        ],
+    )
+    def test_validation(self, field, value, message):
+        with pytest.raises(ValueError, match=message):
+            ServeConfig(**{field: value})
+
+    def test_bad_watch_parameters_fail_at_service_construction(self, small_catalog):
+        config = ServeConfig(watch=WatchConfig(window=4, min_refresh_samples=64))
+        with pytest.raises(ValueError, match="window"):
+            RecommendationService(make_fleet(small_catalog), config)
+
+    def test_service_rejects_non_config(self, small_catalog):
+        with pytest.raises(ValueError, match="ServeConfig"):
+            RecommendationService(make_fleet(small_catalog), {"n_shards": 2})
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_size_trigger_flushes_full_batches(self):
+        batches: list[list[int]] = []
+
+        async def flush(items):
+            batches.append(list(items))
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_delay=5.0)
+            batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(8)))
+            await batcher.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [i * 2 for i in range(8)]
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        async def flush(items):
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_delay=0.02)
+            batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(3)))
+            stats = batcher.stats
+            await batcher.stop()
+            return results, stats
+
+        results, stats = asyncio.run(scenario())
+        assert results == [0, 1, 2]
+        assert stats.n_deadline_flushes == 1
+        assert stats.n_size_flushes == 0
+        assert stats.max_batch == 3
+
+    def test_stats_split_size_vs_deadline(self):
+        """One full batch flushes on size, the 2-item remainder on deadline."""
+
+        async def flush(items):
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=4, max_delay=0.02)
+            batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(6)))
+            stats = batcher.stats
+            await batcher.stop()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats.n_size_flushes == 1
+        assert stats.n_deadline_flushes == 1
+        assert stats.n_flushes == 2
+        assert stats.n_items == 6
+        assert stats.mean_batch == pytest.approx(3.0)
+
+    def test_flush_error_fails_batch_not_loop(self):
+        async def flush(items):
+            if "boom" in items:
+                raise ValueError("flush exploded")
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=0.01)
+            batcher.start()
+            failed = await asyncio.gather(
+                batcher.submit("boom"), batcher.submit("rider"), return_exceptions=True
+            )
+            survivor = await batcher.submit("ok")
+            await batcher.stop()
+            return failed, survivor
+
+        failed, survivor = asyncio.run(scenario())
+        assert all(isinstance(outcome, ValueError) for outcome in failed)
+        assert survivor == "ok"
+
+    def test_misaligned_flush_is_an_error(self):
+        async def flush(items):
+            return []
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=1, max_delay=0.0)
+            batcher.start()
+            try:
+                with pytest.raises(RuntimeError, match="flush returned 0 results"):
+                    await batcher.submit("x")
+            finally:
+                await batcher.stop()
+
+        asyncio.run(scenario())
+
+    def test_submit_requires_running_batcher(self):
+        async def flush(items):
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=0.0)
+            with pytest.raises(RuntimeError, match="not running"):
+                await batcher.submit("early")
+            batcher.start()
+            await batcher.stop()
+            with pytest.raises(RuntimeError, match="not running"):
+                await batcher.submit("late")
+
+        asyncio.run(scenario())
+
+    def test_parameter_validation(self):
+        async def flush(items):
+            return list(items)
+
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(flush, max_batch=0, max_delay=1.0)
+        with pytest.raises(ValueError, match="max_delay"):
+            MicroBatcher(flush, max_batch=1, max_delay=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_latency_recorder_reports_ms_percentiles(self):
+        recorder = LatencyRecorder()
+        for index in range(1, 201):
+            recorder.record(index / 1000.0)  # 1ms .. 200ms
+        summary = recorder.summary()
+        assert summary["count"] == 200
+        assert summary["max_ms"] == pytest.approx(200.0)
+        assert summary["mean_ms"] == pytest.approx(100.5)
+        assert summary["p50_ms"] == pytest.approx(100.0, rel=0.05)
+        assert summary["p99_ms"] == pytest.approx(198.0, rel=0.05)
+
+    def test_empty_recorder_is_all_zeros(self):
+        summary = LatencyRecorder().summary()
+        assert summary == {
+            "count": 0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+        }
+
+    def test_batch_stats_accounting(self):
+        stats = BatchStats()
+        stats.record(4, "size")
+        stats.record(2, "deadline")
+        assert stats.summary() == {
+            "n_flushes": 2,
+            "n_items": 6,
+            "n_size_flushes": 1,
+            "n_deadline_flushes": 1,
+            "mean_batch": 3.0,
+            "max_batch": 4,
+        }
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestLaneAdmission:
+    def make_lane(self, **overrides) -> _Lane:
+        async def flush(items):
+            return list(items)
+
+        config = ServeConfig(queue_limit=2, slo_ms=100.0, watch=WATCH, **overrides)
+        return _Lane("observe[0]", MicroBatcher(flush, 4, 0.01), config)
+
+    def test_queue_bound_rejects_with_lane_name(self):
+        lane = self.make_lane()
+        lane.admit()
+        lane.admit()
+        with pytest.raises(AdmissionError, match=r"observe\[0\] saturated \(queue full\)"):
+            lane.admit()
+        assert lane.inflight == 2  # the rejected request never counted
+        assert lane.max_inflight == 2
+        assert lane.n_rejected == 1
+
+    def test_slo_budget_rejects_with_retry_after(self):
+        lane = self.make_lane()
+        lane.ewma_s_per_item = 0.5  # 500ms/request measured, 100ms budget
+        with pytest.raises(AdmissionError, match="SLO budget exceeded") as excinfo:
+            lane.admit()
+        assert excinfo.value.lane == "observe[0]"
+        assert excinfo.value.retry_after_s == pytest.approx(0.5)
+
+    def test_cold_lane_admits_until_queue_bound(self):
+        # With no latency estimate yet the SLO term cannot reject.
+        lane = self.make_lane()
+        lane.admit()
+        lane.release()
+        assert lane.inflight == 0
+
+    def test_ewma_warms_then_smooths(self):
+        lane = self.make_lane()
+        lane.observe_flush(busy_seconds=0.4, batch_size=4)  # first: direct set
+        assert lane.ewma_s_per_item == pytest.approx(0.1)
+        lane.observe_flush(busy_seconds=1.2, batch_size=4)  # then: EWMA fold
+        assert lane.ewma_s_per_item == pytest.approx(0.1 + 0.2 * (0.3 - 0.1))
+        lane.observe_flush(busy_seconds=9.9, batch_size=0)  # degenerate: ignored
+        assert lane.ewma_s_per_item == pytest.approx(0.14)
+
+
+# ----------------------------------------------------------------------
+# The service: identity, quarantine, backpressure
+# ----------------------------------------------------------------------
+class TestServiceIdentity:
+    def test_served_recommendations_match_direct_fleet_pass(self, small_catalog):
+        fleet = make_fleet(small_catalog)
+        customers = make_customers(6)
+
+        async def scenario():
+            async with RecommendationService(fleet, WIDE_OPEN) as service:
+                return await asyncio.gather(
+                    *(service.recommend(customer) for customer in customers)
+                )
+
+        served = asyncio.run(scenario())
+        direct = list(fleet.recommend_fleet(customers))
+        assert canonical_recommendations(served) == canonical_recommendations(direct)
+        assert canonical_recommendations(served)  # non-degenerate
+
+    def test_served_observe_stream_matches_watch(self, small_catalog):
+        feed = interleaved_feed(4, 12, seed=7)
+        served_fleet = make_fleet(small_catalog)
+
+        async def scenario():
+            config = WIDE_OPEN.replace(n_shards=2)
+            async with RecommendationService(served_fleet, config) as service:
+                updates = []
+                for sample in feed:
+                    updates.append(await service.observe(sample))
+                return updates
+
+        served = asyncio.run(scenario())
+        direct = list(
+            make_fleet(small_catalog).watch_fleet(
+                feed, config=WATCH.replace(refreshes_only=False)
+            )
+        )
+        assert canonical_updates(served) == canonical_updates(direct)
+        assert len(served) == len(feed)
+
+    def test_quarantined_customer_answers_with_error(self, small_catalog):
+        # The poisoned customer fails at its first refresh (sample 8,
+        # min_refresh_samples), so feed enough samples to get there
+        # plus a post-quarantine tail.
+        feed = interleaved_feed(3, 12, seed=3, poison=("cust-1",))
+        fleet = make_fleet(small_catalog)
+
+        async def scenario():
+            async with RecommendationService(fleet, WIDE_OPEN) as service:
+                updates = []
+                for sample in feed:
+                    updates.append(await service.observe(sample))
+                stats = service.stats()
+                return updates, stats
+
+        served, stats = asyncio.run(scenario())
+        poisoned = [update for update in served if update.customer_id == "cust-1"]
+        assert len(poisoned) == 12  # every sample answered, none dropped
+        first_error = next(
+            index for index, update in enumerate(poisoned) if update.update is None
+        )
+        assert poisoned[first_error].error  # the real assessment failure
+        assert poisoned[first_error].error != "customer is quarantined"
+        assert first_error < 11  # failed before the feed ran out
+        for update in poisoned[first_error + 1 :]:
+            assert update.update is None
+            assert update.error == "customer is quarantined"
+        assert stats["observe"]["shards"][0]["n_quarantined"] == 1
+        # The direct watch stream is the served stream minus the
+        # quarantine fillers (the watch drops quarantined samples).
+        direct = list(
+            make_fleet(small_catalog).watch_fleet(
+                feed, config=WATCH.replace(refreshes_only=False)
+            )
+        )
+        answered = [
+            update for update in served if update.error != "customer is quarantined"
+        ]
+        assert canonical_updates(answered) == canonical_updates(direct)
+
+    def test_endpoints_require_started_service(self, small_catalog):
+        service = RecommendationService(make_fleet(small_catalog), WIDE_OPEN)
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="not running"):
+                await service.observe(interleaved_feed(1, 1, seed=0)[0])
+            with pytest.raises(RuntimeError, match="not running"):
+                await service.recommend(make_customers(1)[0])
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_saturated_lane_rejects_and_recovers(self, small_catalog):
+        config = ServeConfig(
+            n_shards=1,
+            max_batch=4,
+            max_delay_ms=30.0,
+            queue_limit=2,
+            slo_ms=60_000.0,
+            watch=WATCH,
+        )
+        feed = interleaved_feed(1, 8, seed=11)
+        fleet = make_fleet(small_catalog)
+
+        async def scenario():
+            async with RecommendationService(fleet, config) as service:
+                tasks = [
+                    asyncio.get_running_loop().create_task(service.observe(sample))
+                    for sample in feed
+                ]
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                stats = service.stats()
+                # The lane drains after the burst: admission recovers.
+                recovered = await service.observe(feed[0])
+                return outcomes, stats, recovered
+
+        outcomes, stats, recovered = asyncio.run(scenario())
+        rejected = [o for o in outcomes if isinstance(o, AdmissionError)]
+        answered = [o for o in outcomes if isinstance(o, FleetLiveUpdate)]
+        assert len(rejected) + len(answered) == len(feed)
+        assert len(answered) >= 2  # the admitted window was served
+        assert rejected  # the burst overflowed a 2-deep lane
+        for error in rejected:
+            assert error.lane == "observe[0]"
+            assert error.retry_after_s >= 0.0
+            assert "queue full" in str(error)
+        assert stats["observe"]["n_rejected"] == len(rejected)
+        assert stats["observe"]["latency"]["count"] == len(answered)
+        assert isinstance(recovered, FleetLiveUpdate)
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+async def _http_request(port: int, method: str, path: str, body: dict | None = None):
+    """One HTTP/1.1 exchange against localhost; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head_raw, _, body_raw = raw.partition(b"\r\n\r\n")
+    lines = head_raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(body_raw) if body_raw else {}
+
+
+OBSERVE_BODY = {
+    "customer_id": "http-cust",
+    "values": {
+        "CPU": 1.5,
+        "MEMORY": 6.0,
+        "IOPS": 200.0,
+        "IO_LATENCY": 6.0,
+        "LOG_RATE": 2.0,
+        "STORAGE": 120.0,
+    },
+}
+
+
+class TestHttpFrontEnd:
+    def run_server(self, small_catalog, scenario):
+        fleet = make_fleet(small_catalog)
+
+        async def body():
+            async with RecommendationService(fleet, WIDE_OPEN) as service:
+                server = await serve(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    return await scenario(port)
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        return asyncio.run(body())
+
+    def test_observe_and_stats_round_trip(self, small_catalog):
+        async def scenario(port):
+            observed = await _http_request(port, "POST", "/observe", OBSERVE_BODY)
+            stats = await _http_request(port, "GET", "/stats")
+            return observed, stats
+
+        observed, stats = self.run_server(small_catalog, scenario)
+        status, _, document = observed
+        assert status == 200
+        assert document["customer_id"] == "http-cust"
+        assert document["ok"] is True
+        assert document["n_seen"] == 1
+        status, _, body = stats
+        assert status == 200
+        assert body["running"] is True
+        assert body["observe"]["latency"]["count"] == 1
+
+    def test_recommend_round_trip(self, small_catalog):
+        request = {
+            "customer_id": "http-rec",
+            "trace": trace_to_dict(full_trace(entity_id="http-rec")),
+        }
+
+        async def scenario(port):
+            return await _http_request(port, "POST", "/recommend", request)
+
+        status, _, document = self.run_server(small_catalog, scenario)
+        assert status == 200
+        assert document["ok"] is True
+        assert document["recommendation"]["sku"]
+        assert document["recommendation"]["monthly_price"] > 0
+
+    def test_malformed_requests_answer_4xx(self, small_catalog):
+        async def scenario(port):
+            return (
+                await _http_request(port, "POST", "/observe", {"customer_id": "x"}),
+                await _http_request(
+                    port,
+                    "POST",
+                    "/observe",
+                    {"customer_id": "x", "values": {"WARP": 9.0}},
+                ),
+                await _http_request(port, "GET", "/nowhere"),
+            )
+
+        missing, unknown_dim, lost = self.run_server(small_catalog, scenario)
+        assert missing[0] == 400
+        assert "customer_id" in missing[2]["error"]
+        assert unknown_dim[0] == 400
+        assert "WARP" in unknown_dim[2]["error"]
+        assert lost[0] == 404
+
+    def test_admission_rejection_maps_to_429_with_retry_after(self):
+        class SaturatedService:
+            async def observe(self, sample):
+                raise AdmissionError("observe[0]", 0.25, "queue full")
+
+        async def scenario():
+            return await _handle_one(
+                SaturatedService(),
+                "POST",
+                "/observe",
+                json.dumps(OBSERVE_BODY).encode("utf-8"),
+            )
+
+        raw = asyncio.run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests")
+        assert b"Retry-After: 0.250" in head
+        document = json.loads(body)
+        assert document["lane"] == "observe[0]"
+        assert document["retry_after_s"] == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# WatchConfig shim parity
+# ----------------------------------------------------------------------
+class TestWatchConfigShim:
+    def test_legacy_kwargs_warn_once_and_match_config_path(self, small_catalog):
+        feed = interleaved_feed(3, 10, seed=5)
+        via_config = list(
+            make_fleet(small_catalog).watch_fleet(
+                feed, config=WatchConfig(window=16, min_refresh_samples=8)
+            )
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            via_kwargs = list(
+                make_fleet(small_catalog).watch_fleet(
+                    feed, window=16, min_refresh_samples=8
+                )
+            )
+        deprecations = [
+            warning
+            for warning in caught
+            if issubclass(warning.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1  # one per call, not one per kwarg
+        assert "config=WatchConfig" in str(deprecations[0].message)
+        assert canonical_updates(via_kwargs) == canonical_updates(via_config)
+
+    def test_config_and_kwargs_are_mutually_exclusive(self, small_catalog):
+        fleet = make_fleet(small_catalog)
+        with pytest.raises(ValueError, match="not both"):
+            fleet.watch_fleet([], config=WatchConfig(), window=16)
+
+    def test_unknown_kwarg_is_a_type_error(self, small_catalog):
+        fleet = make_fleet(small_catalog)
+        with pytest.raises(
+            TypeError, match="unexpected keyword arguments: 'cadence'"
+        ):
+            fleet.watch_fleet([], cadence=5)
+
+    def test_non_config_object_rejected(self, small_catalog):
+        fleet = make_fleet(small_catalog)
+        with pytest.raises(ValueError, match="must be a WatchConfig"):
+            fleet.watch_fleet([], config={"window": 16})
+
+    def test_watch_config_field_names_cover_legacy_surface(self):
+        names = WatchConfig.field_names()
+        for legacy in (
+            "window",
+            "backend",
+            "max_workers",
+            "refreshes_only",
+            "rebalance",
+            "on_rebalance",
+            "tick_samples",
+            "profile_mode",
+        ):
+            assert legacy in names
+
+
+# ----------------------------------------------------------------------
+# Public facade
+# ----------------------------------------------------------------------
+class TestPublicFacade:
+    def test_serving_tier_exported_at_top_level(self):
+        assert repro.RecommendationService is RecommendationService
+        assert repro.ServeConfig is ServeConfig
+        assert repro.AdmissionError is AdmissionError
+        assert repro.WatchConfig is WatchConfig
+        for name in (
+            "RecommendationService",
+            "ServeConfig",
+            "AdmissionError",
+            "WatchConfig",
+            "serve",
+        ):
+            assert name in repro.__all__
+
+    def test_serve_package_all_is_importable(self):
+        import repro.serve as serve_pkg
+
+        for name in serve_pkg.__all__:
+            assert hasattr(serve_pkg, name)

@@ -19,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fleet.sharding import DEFAULT_RING_REPLICAS, ShardRing, route_customer
+from repro.fleet.sharding import DEFAULT_RING_REPLICAS, ShardRing
 
 #: A fixed, deterministic population large enough for arc shares to
 #: concentrate; the hypothesis strategies vary topology and id prefix,
@@ -167,17 +167,12 @@ class TestCrossProcessDeterminism:
         ``hash`` salt would desynchronize them silently.
         """
         script = (
-            "import json, sys, warnings\n"
+            "import json, sys\n"
             "sys.path.insert(0, sys.argv[1])\n"
-            "from repro.fleet.sharding import ShardRing, route_customer\n"
+            "from repro.fleet.sharding import ShardRing\n"
             "ring = ShardRing(5)\n"
             "ids = [f'cust-{i}' for i in range(64)]\n"
-            "with warnings.catch_warnings():\n"
-            "    warnings.simplefilter('ignore')\n"
-            "    print(json.dumps({\n"
-            "        'ring': [ring.route(i) for i in ids],\n"
-            "        'shim': [route_customer(i, 4) for i in ids],\n"
-            "    }))\n"
+            "print(json.dumps({'ring': [ring.route(i) for i in ids]}))\n"
         )
         src = str(Path(__file__).resolve().parent.parent / "src")
         outputs = []
@@ -196,16 +191,13 @@ class TestCrossProcessDeterminism:
         assert outputs[0]["ring"] == [ring.route(f"cust-{i}") for i in range(64)]
 
 
-class TestDeprecatedShim:
-    def test_delegates_to_one_replica_ring(self):
-        with pytest.warns(DeprecationWarning, match="ShardRing"):
-            routes = [route_customer(f"cust-{i}", 6) for i in range(100)]
-        ring = ShardRing(6, replicas=1)
-        assert routes == [ring.route(f"cust-{i}") for i in range(100)]
+class TestRemovedShim:
+    def test_route_customer_shim_is_gone(self):
+        """The deprecated free-function router completed its removal cycle."""
+        import repro.fleet.sharding as sharding
 
-    def test_single_shard_short_circuits(self):
-        with pytest.warns(DeprecationWarning):
-            assert route_customer("anyone", 1) == 0
+        assert not hasattr(sharding, "route_customer")
+        assert "route_customer" not in sharding.__all__
 
     def test_default_replica_count_is_documented_constant(self):
         assert ShardRing(2).replicas == DEFAULT_RING_REPLICAS

@@ -9,7 +9,7 @@ from repro.catalog import DeploymentType
 from repro.core import DopplerEngine, EmpiricalThrottlingEstimator
 from repro.core.incremental import IncrementalThrottlingEstimator
 from repro.dma import AssessmentPipeline
-from repro.fleet import FleetEngine, FleetSample
+from repro.fleet import FleetEngine, FleetSample, WatchConfig
 from repro.streaming import DriftDetector, LiveRecommender
 from repro.telemetry import PerfDimension, StreamingTraceBuilder
 
@@ -427,7 +427,8 @@ class TestWatchFleet:
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         updates = list(
             fleet.watch_fleet(
-                self.interleaved_feed(24, seed=30), window=16, min_refresh_samples=8
+                self.interleaved_feed(24, seed=30),
+                config=WatchConfig(window=16, min_refresh_samples=8),
             )
         )
         assert {update.customer_id for update in updates} == {"cust-a", "cust-b"}
@@ -440,9 +441,7 @@ class TestWatchFleet:
         updates = list(
             fleet.watch_fleet(
                 self.interleaved_feed(10, seed=31),
-                window=16,
-                min_refresh_samples=8,
-                refreshes_only=False,
+                config=WatchConfig(window=16, min_refresh_samples=8, refreshes_only=False),
             )
         )
         assert len(updates) == 20  # one per observed sample
@@ -458,7 +457,9 @@ class TestWatchFleet:
                 yield FleetSample(customer_id="bad", values=poisoned)
                 yield FleetSample(customer_id="good", values=healthy[index])
 
-        updates = list(fleet.watch_fleet(feed(), window=16, min_refresh_samples=8))
+        updates = list(
+            fleet.watch_fleet(feed(), config=WatchConfig(window=16, min_refresh_samples=8))
+        )
         failures = [update for update in updates if not update.ok]
         assert len(failures) == 1  # surfaced once, then quarantined
         assert failures[0].customer_id == "bad"
@@ -473,7 +474,8 @@ class TestWatchFleet:
         fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
         list(
             fleet.watch_fleet(
-                self.interleaved_feed(16, seed=32), window=16, min_refresh_samples=8
+                self.interleaved_feed(16, seed=32),
+                config=WatchConfig(window=16, min_refresh_samples=8),
             )
         )
         stats = fleet.cache_stats()
