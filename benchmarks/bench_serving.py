@@ -19,6 +19,11 @@ numbers the paper's deployment story turns on:
 * **Open loop, flash crowd**: a spike burst against a deliberately
   tight config (one shard, short queue, small SLO budget) -- the
   backpressure story.  Rejections must be accounted, not silent.
+* **HTTP closed loop**: the same closed-loop driver through
+  :class:`~repro.serve.loadgen.HttpLoadClient` against the stdlib
+  HTTP front end on a real loopback socket -- parsing, framing and
+  connection reuse included in the measured path.  The server-side
+  admitted count must match the client-side completion count.
 
 Standalone script (not a pytest benchmark)::
 
@@ -32,7 +37,8 @@ commits by ``benchmarks/perf_trend.py``).
 
 Exit status: 1 when served recommendations diverge from the direct
 fleet pass, 2 when any load driver sees unexpected request errors,
-3 when the full-mode closed-loop throughput sanity gate fails.
+3 when the full-mode closed-loop throughput sanity gate fails, 4 when
+the HTTP section's server-side accounting disagrees with the client.
 """
 
 from __future__ import annotations
@@ -64,7 +70,15 @@ from repro import (
 )
 from repro.catalog import DeploymentType
 from repro.fleet import FleetRecommendation, FleetSample
-from repro.serve import arrival_times, closed_loop, diurnal_pattern, flash_crowd_pattern, open_loop
+from repro.serve import (
+    HttpLoadClient,
+    arrival_times,
+    closed_loop,
+    diurnal_pattern,
+    flash_crowd_pattern,
+    open_loop,
+    serve,
+)
 from repro.telemetry import PerfDimension
 from repro.workloads import DiurnalPattern, PlateauPattern, SpikyPattern, WorkloadSpec, generate_trace
 
@@ -253,6 +267,57 @@ async def run_flash_crowd(
     return record
 
 
+async def run_http(
+    fleet: FleetEngine,
+    feed: list[FleetSample],
+    n_workers: int,
+    n_requests: int,
+) -> dict:
+    """Closed-loop observe through the HTTP front end on loopback.
+
+    Same service shape as the in-process capacity run, but every
+    request rides a real socket: the client serializes the wire JSON,
+    the server parses and frames, and connections are reused across
+    requests.  The gap between this number and the in-process
+    closed-loop number is the transport cost.
+    """
+    config = ServeConfig(
+        n_shards=2,
+        max_batch=32,
+        max_delay_ms=2.0,
+        queue_limit=4096,
+        slo_ms=60_000.0,
+        watch=WatchConfig(window=64, min_refresh_samples=12),
+    )
+    async with RecommendationService(fleet, config) as service:
+        server = await serve(service, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        counter = itertools.count()
+        async with HttpLoadClient("127.0.0.1", port, pool_size=n_workers) as client:
+
+            async def submit():
+                await client.observe(feed[next(counter) % len(feed)])
+
+            report = await closed_loop(
+                submit, n_workers=n_workers, n_requests=n_requests, name="http_closed_loop"
+            )
+            stats = await client.stats()
+        server.close()
+        await server.wait_closed()
+    record = report.to_dict()
+    # Rejected requests never reach a shard batcher, so the flushed
+    # item count must equal the client's completed (ok) count exactly.
+    record["server_n_processed"] = sum(
+        shard["batches"]["n_items"] for shard in stats["observe"]["shards"]
+    )
+    record["server_n_rejected"] = stats["observe"]["n_rejected"]
+    record["accounting_consistent"] = (
+        record["server_n_processed"] == record["n_ok"]
+        and record["server_n_rejected"] == record["n_rejected"]
+    )
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -266,11 +331,13 @@ def main(argv: list[str] | None = None) -> int:
         n_workers, n_requests = 8, 400
         open_duration_s, open_mean_rps = 1.5, 150.0
         flash_duration_s, flash_mean_rps = 1.5, 400.0
+        http_requests = 200
     else:
         n_rec_customers = 24
         n_workers, n_requests = 8, 3000
         open_duration_s, open_mean_rps = 5.0, 300.0
         flash_duration_s, flash_mean_rps = 4.0, 600.0
+        http_requests = 1500
 
     engine = DopplerEngine(catalog=SkuCatalog.default())
     fleet = FleetEngine(engine=engine, backend="serial")
@@ -332,6 +399,20 @@ def main(argv: list[str] | None = None) -> int:
         f"   p95 {flash_record['p95_ms']:.2f}ms"
     )
 
+    print(
+        f"HTTP closed loop: {n_workers} workers x {http_requests} requests "
+        "over loopback sockets ..."
+    )
+    http_record = asyncio.run(
+        run_http(fleet, feed, n_workers=n_workers, n_requests=http_requests)
+    )
+    print(
+        f"  http {http_record['requests_per_sec']:>10.1f} req/s"
+        f"   p50 {http_record['p50_ms']:.2f}ms"
+        f"   p95 {http_record['p95_ms']:.2f}ms"
+        f"   consistent={http_record['accounting_consistent']}"
+    )
+
     record = {
         "benchmark": "serving",
         "timestamp": time.time(),
@@ -341,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         "closed_loop": closed_record,
         "open_loop_diurnal": diurnal_record,
         "open_loop_flash": flash_record,
+        "http_closed_loop": http_record,
         "observe_batches": [
             shard["batches"] for shard in capacity_stats["observe"]["shards"]
         ],
@@ -366,7 +448,10 @@ def main(argv: list[str] | None = None) -> int:
     # Drivers classify rejections separately; an *error* outcome means
     # a request died inside the service, which blocks in every mode.
     n_errors = (
-        closed_record["n_errors"] + diurnal_record["n_errors"] + flash_record["n_errors"]
+        closed_record["n_errors"]
+        + diurnal_record["n_errors"]
+        + flash_record["n_errors"]
+        + http_record["n_errors"]
     )
     if n_errors:
         print(
@@ -375,6 +460,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if not http_record["accounting_consistent"]:
+        print(
+            "FAIL: server-side observe accounting "
+            f"(processed {http_record['server_n_processed']}, "
+            f"rejected {http_record['server_n_rejected']}) disagrees with the "
+            f"HTTP client (ok {http_record['n_ok']}, "
+            f"rejected {http_record['n_rejected']})",
+            file=sys.stderr,
+        )
+        return 4
     if args.smoke:
         print("smoke mode: throughput gates skipped (timing noise on shared CI runners)")
         return 0

@@ -46,13 +46,22 @@ both runs (migration schedules are invisible in the output), and on
 machines with >= 4 real cores rebalancing must beat static sharding
 by 1.3x.
 
+Also benchmarks the **durable watch** (``WatchConfig(checkpoint=...)``
+backed by a :class:`~repro.store.FleetStore`): the same serial feed
+runs once memory-only and once checkpointing at the default cadence,
+asserting the update streams are byte-identical, that resuming from
+the store's last checkpoint reproduces the baseline tail exactly, and
+(non-smoke) that the checkpointing tax stays within the 10% budget.
+
 Exit status: 1 when incremental and batch probabilities disagree,
 2 when the estimator speedup misses the threshold, 3 when streaming
 profiling diverges from the window re-scan, 4 when streaming
 profiling misses its O(1)/speedup contract, 5 when the sharded watch
 diverges from the serial one or misses the scaling gate, 6 when the
 skewed-feed run diverges from serial or rebalancing misses its
-speedup gate.
+speedup gate, 7 when the checkpointed watch diverges from the
+memory-only run, resume breaks byte-identity, or the checkpoint
+overhead exceeds the 10% budget.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -83,7 +93,15 @@ from repro import (
 )
 from repro.catalog import HardwareGeneration, ResourceLimits, ServiceTier, SkuSpec
 from repro.core import CustomerProfiler, EmpiricalThrottlingEstimator, ThresholdingSummarizer
-from repro.fleet import FleetEngine, FleetSample, LoadImbalancePolicy, ShardRing, WatchConfig
+from repro.fleet import (
+    CheckpointConfig,
+    FleetEngine,
+    FleetSample,
+    LoadImbalancePolicy,
+    ShardRing,
+    WatchConfig,
+)
+from repro.store import FleetStore
 from repro.telemetry import StreamingSeriesStats
 from repro.telemetry.counters import DB_DIMENSIONS, PROFILING_DB_DIMENSIONS
 
@@ -467,6 +485,97 @@ def bench_rebalance_skew(
     }
 
 
+def bench_checkpoint_overhead(
+    n_customers: int, samples_each: int, seed: int, tick_samples: int, repeats: int = 1
+) -> dict:
+    """Durable-watch tax: a serial watch with and without checkpoints.
+
+    The same interleaved feed runs twice on the serial backend -- once
+    memory-only, once checkpointing to a WAL-mode
+    :class:`~repro.store.FleetStore` at the default cadence
+    (:data:`~repro.fleet.config.DEFAULT_CHECKPOINT_EVERY_TICKS` drained
+    ticks of ``tick_samples`` each; 64 reproduces the parallel pools'
+    default watch tick on the serial backend, whose own tick is a
+    single sample) -- asserting the update streams are byte-identical
+    (durability must be invisible in the output) and measuring the
+    throughput cost.
+    Afterwards a second checkpointed watch on a fresh store is killed
+    mid-stream (the generator closed after 60% of the baseline updates)
+    and resumed from the store's last checkpoint; the resumed stream
+    must byte-match the baseline tail, which is the crash-recovery
+    contract the test suite SIGKILLs real processes to verify.
+    """
+    engine = DopplerEngine(catalog=SkuCatalog.default())
+    fleet = FleetEngine(engine=engine, backend="serial")
+    feed = make_fleet_feed(n_customers, samples_each, seed)
+    watch_config = WatchConfig(
+        window=12, min_refresh_samples=12, tick_samples=tick_samples
+    )
+
+    # Best-of-``repeats`` for both variants: the overhead fraction is a
+    # ratio of two multi-second wall times, so taking each side's
+    # fastest run strips scheduler noise that would otherwise dwarf the
+    # single-digit-percent checkpoint tax being measured.
+    baseline_seconds = float("inf")
+    baseline_updates: list = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        updates = list(fleet.watch_fleet(feed, config=watch_config))
+        seconds = time.perf_counter() - start
+        if seconds < baseline_seconds:
+            baseline_seconds, baseline_updates = seconds, updates
+    baseline_blob = canonical_watch_bytes(baseline_updates)
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        durable_seconds = float("inf")
+        durable_blob = b""
+        n_checkpoints = 0
+        for repeat in range(repeats):
+            store = FleetStore(str(Path(tmp_dir) / f"bench_fleet_{repeat}.db"))
+            durable_config = watch_config.replace(
+                checkpoint=CheckpointConfig(store=store)
+            )
+            start = time.perf_counter()
+            blob = canonical_watch_bytes(fleet.watch_fleet(feed, config=durable_config))
+            seconds = time.perf_counter() - start
+            if seconds < durable_seconds:
+                durable_seconds, durable_blob = seconds, blob
+            n_checkpoints = store.checkpoint_count()
+            store.close()
+
+        # Kill-and-resume identity on a fresh store: consume 60% of the
+        # stream, drop the watch, resume from the last checkpoint.
+        kill_store = FleetStore(str(Path(tmp_dir) / "bench_killed.db"))
+        kill_config = watch_config.replace(checkpoint=CheckpointConfig(store=kill_store))
+        killed = []
+        stream = fleet.watch_fleet(feed, config=kill_config)
+        try:
+            for update in stream:
+                killed.append(update)
+                if len(killed) >= (len(baseline_updates) * 3) // 5:
+                    break
+        finally:
+            stream.close()
+        checkpoint = kill_store.require_checkpoint()
+        resumed_blob = canonical_watch_bytes(
+            fleet.watch_fleet(feed, config=kill_config, resume_from=kill_store)
+        )
+        tail_blob = canonical_watch_bytes(baseline_updates[checkpoint.n_emitted :])
+        kill_store.close()
+
+    return {
+        "n_customers": n_customers,
+        "samples_each": samples_each,
+        "tick_samples": tick_samples,
+        "baseline_customers_per_sec": n_customers / baseline_seconds,
+        "checkpointed_customers_per_sec": n_customers / durable_seconds,
+        "overhead_fraction": durable_seconds / baseline_seconds - 1.0,
+        "n_checkpoints": n_checkpoints,
+        "identical": durable_blob == baseline_blob,
+        "resume_identical": resumed_blob == tail_blob,
+    }
+
+
 def bench_live_loop(samples: list[dict[PerfDimension, float]], window: int) -> dict:
     """End-to-end LiveRecommender observe() throughput."""
     engine = DopplerEngine(catalog=SkuCatalog.default())
@@ -588,6 +697,32 @@ def main(argv: list[str] | None = None) -> int:
         f"   identical={skew_record['identical_static'] and skew_record['identical_rebalancing']}"
     )
 
+    if args.smoke:
+        # Small ticks so the tiny smoke feed still crosses the default
+        # every-64-ticks cadence and writes a mid-stream checkpoint.
+        ckpt_customers, ckpt_samples_each, ckpt_tick = 40, 12, 4
+    else:
+        ckpt_customers, ckpt_samples_each, ckpt_tick = 400, 16, 64
+    print(
+        f"Durable watch: {ckpt_customers} customers x {ckpt_samples_each} samples, "
+        "memory-only vs checkpointing at the default cadence ..."
+    )
+    checkpoint_record = bench_checkpoint_overhead(
+        ckpt_customers,
+        ckpt_samples_each,
+        seed=args.seed,
+        tick_samples=ckpt_tick,
+        repeats=1 if args.smoke else 3,
+    )
+    print(
+        f"  baseline {checkpoint_record['baseline_customers_per_sec']:>8.1f} cust/s"
+        f"   checkpointed {checkpoint_record['checkpointed_customers_per_sec']:>8.1f} cust/s"
+        f"   overhead {checkpoint_record['overhead_fraction']:+.1%}"
+        f"   checkpoints {checkpoint_record['n_checkpoints']}"
+        f"   identical={checkpoint_record['identical']}"
+        f"   resume={checkpoint_record['resume_identical']}"
+    )
+
     record = {
         "benchmark": "streaming",
         "timestamp": time.time(),
@@ -600,6 +735,7 @@ def main(argv: list[str] | None = None) -> int:
         "live_loop": live_record,
         "watch_scaling": watch_record,
         "rebalance_skew": skew_record,
+        "checkpoint": checkpoint_record,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
@@ -651,6 +787,19 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 6
+    # Durability identity blocks in every mode: checkpointing must be
+    # invisible in the output, and a resume must replay the exact tail.
+    if checkpoint_record["n_checkpoints"] < 1 or not (
+        checkpoint_record["identical"] and checkpoint_record["resume_identical"]
+    ):
+        print(
+            "FAIL: durable watch broke the byte-identity contract "
+            f"(checkpoints={checkpoint_record['n_checkpoints']}, "
+            f"identical={checkpoint_record['identical']}, "
+            f"resume_identical={checkpoint_record['resume_identical']})",
+            file=sys.stderr,
+        )
+        return 7
     if args.smoke:
         # Same policy as bench_fleet_scale: correctness (the agreement
         # gates above) blocks CI, timing does not -- shared runners
@@ -696,6 +845,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 6
+    # Durable-watch budget: checkpointing at the default cadence may
+    # cost at most 10% of memory-only throughput.
+    if checkpoint_record["overhead_fraction"] > 0.10:
+        print(
+            f"FAIL: checkpoint overhead {checkpoint_record['overhead_fraction']:.1%} "
+            "exceeds the 10% budget at the default cadence",
+            file=sys.stderr,
+        )
+        return 7
     if cores < 4:
         print(
             f"note: watch scaling and rebalance gates skipped on a "

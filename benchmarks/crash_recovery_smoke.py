@@ -1,0 +1,179 @@
+"""Crash-recovery smoke: checkpoint, SIGKILL, resume, byte-identity.
+
+The in-process test suite (``tests/test_checkpoint_resume.py``) closes
+watch generators to simulate crashes; this script kills a real child
+process mid-watch with SIGKILL -- no cleanup, no atexit, no flushing --
+and then resumes from whatever the WAL-mode
+:class:`~repro.store.FleetStore` managed to make durable.  That is the
+only honest test of the store's crash story: SQLite's WAL journal must
+hand the parent a consistent checkpoint no matter where in a write the
+kill landed.
+
+Protocol:
+
+1. The parent creates the store file and spawns ``--child <path>``,
+   which runs a checkpointed serial watch over a deterministic feed.
+2. The parent polls the store over a concurrent WAL read until a
+   mid-stream checkpoint lands, then SIGKILLs the child.
+3. The parent runs the same feed uninterrupted (memory-only) as the
+   baseline, resumes the killed watch from the store, and asserts the
+   resumed stream byte-matches the baseline tail from the checkpoint's
+   emit position.
+
+Exit status: 0 on PASS, 1 when resume breaks byte-identity, 2 on
+setup/timeout failures.  Runs in CI after the benchmark smokes.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script without installation
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+    _bench = str(Path(__file__).resolve().parent)
+    if _bench not in sys.path:
+        sys.path.insert(0, _bench)
+
+from bench_streaming import canonical_watch_bytes, make_fleet_feed
+
+from repro import DopplerEngine, SkuCatalog
+from repro.fleet import CheckpointConfig, FleetEngine, WatchConfig
+from repro.store import FleetStore
+
+# Deterministic workload shared by parent and child: big enough that
+# the child spends several seconds streaming (so the kill lands
+# mid-watch), checkpointing every 64 samples so the store is never far
+# behind the stream.
+N_CUSTOMERS = 200
+SAMPLES_EACH = 16
+SEED = 7
+TICK_SAMPLES = 16
+EVERY_TICKS = 4
+KILL_TIMEOUT_S = 120.0
+
+
+def make_fleet() -> FleetEngine:
+    return FleetEngine(
+        engine=DopplerEngine(catalog=SkuCatalog.default()), backend="serial"
+    )
+
+
+def watch_config() -> WatchConfig:
+    return WatchConfig(window=12, min_refresh_samples=12, tick_samples=TICK_SAMPLES)
+
+
+def run_child(store_path: str) -> int:
+    """Stream the whole feed with checkpointing; the parent kills us."""
+    store = FleetStore(store_path)
+    config = watch_config().replace(
+        checkpoint=CheckpointConfig(store=store, every_ticks=EVERY_TICKS)
+    )
+    feed = make_fleet_feed(N_CUSTOMERS, SAMPLES_EACH, SEED)
+    for _ in make_fleet().watch_fleet(feed, config=config):
+        pass
+    store.close()
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        return run_child(sys.argv[2])
+    if len(sys.argv) != 1:
+        print(f"usage: {sys.argv[0]} [--child STORE_PATH]", file=sys.stderr)
+        return 2
+
+    total_samples = N_CUSTOMERS * SAMPLES_EACH
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        store_path = str(Path(tmp_dir) / "crash_fleet.db")
+        # Parent creates the store first so the concurrent poll below
+        # never races the child on schema creation.
+        store = FleetStore(store_path)
+
+        print(
+            f"crash-recovery smoke: {N_CUSTOMERS} customers x {SAMPLES_EACH} samples, "
+            f"checkpoint every {EVERY_TICKS * TICK_SAMPLES} samples"
+        )
+        child = subprocess.Popen(
+            [sys.executable, str(Path(__file__).resolve()), "--child", store_path]
+        )
+        try:
+            # Poll over a concurrent WAL read for a mid-stream
+            # checkpoint, then kill without ceremony.
+            deadline = time.monotonic() + KILL_TIMEOUT_S
+            checkpoint = None
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    print(
+                        f"FAIL: child finished (rc={child.returncode}) before a "
+                        "mid-stream checkpoint could be observed",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if store.checkpoint_count() > 0:
+                    candidate = store.require_checkpoint()
+                    # Let the stream get a third of the way in before
+                    # killing, so the resume skips a real prefix rather
+                    # than replaying almost the whole feed.
+                    if total_samples // 3 <= candidate.n_consumed < total_samples:
+                        checkpoint = candidate
+                        break
+                time.sleep(0.02)
+            if checkpoint is None:
+                print(
+                    f"FAIL: no mid-stream checkpoint within {KILL_TIMEOUT_S:.0f}s",
+                    file=sys.stderr,
+                )
+                return 2
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+        print(
+            f"  killed child at checkpoint tick {checkpoint.tick_id} "
+            f"({checkpoint.n_consumed}/{total_samples} samples consumed, "
+            f"{checkpoint.n_emitted} updates emitted)"
+        )
+
+        # The kill may have landed after a newer checkpoint committed;
+        # resume uses whatever the store now holds as latest.
+        checkpoint = store.require_checkpoint()
+
+        feed = make_fleet_feed(N_CUSTOMERS, SAMPLES_EACH, SEED)
+        baseline = list(make_fleet().watch_fleet(feed, config=watch_config()))
+        resume_config = watch_config().replace(
+            checkpoint=CheckpointConfig(store=store, every_ticks=EVERY_TICKS)
+        )
+        resumed = list(
+            make_fleet().watch_fleet(feed, config=resume_config, resume_from=store)
+        )
+        store.close()
+
+        expected = canonical_watch_bytes(baseline[checkpoint.n_emitted :])
+        actual = canonical_watch_bytes(resumed)
+        if actual != expected:
+            print(
+                "FAIL: resumed stream diverges from the uninterrupted baseline "
+                f"(resumed {len(resumed)} updates from emit position "
+                f"{checkpoint.n_emitted}, baseline has {len(baseline)})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"PASS: resumed {len(resumed)} updates byte-identical to the "
+            f"baseline tail (checkpoint at {checkpoint.n_consumed}/{total_samples} "
+            "samples survived SIGKILL)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,9 +5,11 @@ Migrating SQL Workloads to the Cloud* (Cahoon et al., PVLDB 15(12),
 VLDB 2022): price-performance modelling over resource-throttling
 probabilities, customer profiling via negotiability summarizers,
 profile-matched SKU selection, bootstrap confidence scores, the naive
-baseline, the DMA integration pipeline, and the simulation substrates
+baseline, the DMA integration pipeline, the simulation substrates
 (SKU catalog, telemetry, workload synthesis/replay, customer fleets)
-the evaluation requires.
+the evaluation requires, and a durable fleet store
+(:mod:`repro.store`) that checkpoints live watches for byte-identical
+resume after a crash.
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from .core import (
 )
 from .dma import AssessmentPipeline, AssessmentResult, FleetAssessmentResult
 from .fleet import (
+    CheckpointConfig,
     FleetCustomer,
     FleetEngine,
     FleetFitReport,
@@ -63,6 +66,13 @@ from .fleet import (
 )
 from . import serve
 from .serve import AdmissionError, RecommendationService, ServeConfig
+from .store import (
+    FleetStore,
+    FleetStoreError,
+    StaleStateError,
+    StoreCorruptionError,
+    StoreSchemaError,
+)
 from .streaming import DriftDetector, DriftReport, LiveRecommender, LiveUpdate
 from .telemetry import (
     PerfDimension,
@@ -100,6 +110,7 @@ __all__ = [
     "AssessmentPipeline",
     "AssessmentResult",
     "FleetAssessmentResult",
+    "CheckpointConfig",
     "FleetCustomer",
     "FleetEngine",
     "FleetFitReport",
@@ -111,6 +122,11 @@ __all__ = [
     "ShardRing",
     "WatchConfig",
     "summarize_fleet",
+    "FleetStore",
+    "FleetStoreError",
+    "StaleStateError",
+    "StoreCorruptionError",
+    "StoreSchemaError",
     "AdmissionError",
     "RecommendationService",
     "ServeConfig",

@@ -159,6 +159,25 @@ class ResourceLimits:
         """
         return replace(self, max_data_iops=max_data_iops)
 
+    # Explicit pickle fast path: the default slots-dataclass protocol
+    # resolves ``dataclasses.fields()`` per instance, which dominates
+    # fleet checkpoint encoding (hundreds of limit objects per customer
+    # state).  Values were validated at construction, so restore skips
+    # ``__post_init__`` by design.
+    def __getstate__(self) -> tuple:
+        return (
+            self.vcores,
+            self.max_memory_gb,
+            self.max_data_iops,
+            self.max_log_rate_mbps,
+            self.max_data_size_gb,
+            self.min_io_latency_ms,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(ResourceLimits.__slots__, state):
+            object.__setattr__(self, name, value)
+
 
 @dataclass(frozen=True, slots=True)
 class SkuSpec:
@@ -199,6 +218,23 @@ class SkuSpec:
     @property
     def vcores(self) -> float:
         return self.limits.vcores
+
+    # Same pickle fast path as ResourceLimits: skip the per-instance
+    # ``dataclasses.fields()`` resolution on the fleet-checkpoint and
+    # process-backend hot paths.
+    def __getstate__(self) -> tuple:
+        return (
+            self.deployment,
+            self.tier,
+            self.hardware,
+            self.limits,
+            self.price_per_hour,
+            self.name,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(SkuSpec.__slots__, state):
+            object.__setattr__(self, name, value)
 
     def describe(self) -> str:
         """One-line description in the format of Figure 1 of the paper."""

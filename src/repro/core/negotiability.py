@@ -422,6 +422,33 @@ class OutlierSummarizer(NegotiabilitySummarizer):
         fraction = self.outlier_fraction_streaming(stats)
         return np.array([fraction]), fraction > self.cutoff
 
+    supports_batch: ClassVar[bool] = True
+
+    def outlier_fraction_batch(self, values: np.ndarray) -> np.ndarray:
+        """Row-wise 3-sigma upward-outlier shares over stacked windows.
+
+        The statistic is a per-row rank query -- the fraction of
+        samples at least ``mean + n_sigma * std`` -- and both moments
+        reduce along contiguous rows exactly as the 1-D path does
+        (same pairwise summation), so fractions are byte-identical to
+        :func:`~repro.ml.outliers.outlier_fraction` per row.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] == 0:
+            raise ValueError(
+                f"expected a (n_series, n_samples) matrix, got shape {values.shape}"
+            )
+        spreads = values.std(axis=1)
+        deviations = values - values.mean(axis=1)[:, None]
+        fractions = np.mean(deviations >= self.n_sigma * spreads[:, None], axis=1)
+        # A constant series has zero outliers (same branch as the 1-D
+        # path; the comparison above would count every sample).
+        return np.where(spreads == 0, 0.0, fractions)
+
+    def summarize_batch(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        fractions = self.outlier_fraction_batch(values)
+        return fractions[:, None], fractions > self.cutoff
+
 
 @dataclass(frozen=True)
 class StlSummarizer(NegotiabilitySummarizer):

@@ -178,8 +178,8 @@ class CustomerProfiler:
         :meth:`profile` calls, without the per-record series/summary
         dispatch overhead.  Mixed-length populations split into
         same-shape groups; summarizers without a batched evaluation
-        (STL and the outlier share today -- thresholding and all
-        three AUC strategies batch) fall back to the per-trace loop.
+        (STL today -- thresholding, the outlier share and all three
+        AUC strategies batch) fall back to the per-trace loop.
 
         Returns:
             Profiles aligned with ``traces``.

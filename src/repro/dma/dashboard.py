@@ -13,13 +13,18 @@ bars, the ASCII curve and the recommendation explanation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..core.types import DopplerRecommendation
 from ..ml.ecdf import ecdf
 from ..telemetry.trace import PerformanceTrace
 
-__all__ = ["sparkline", "ecdf_bar", "render_dashboard"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import FleetStore
+
+__all__ = ["sparkline", "ecdf_bar", "render_dashboard", "render_store_panel"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -76,4 +81,34 @@ def render_dashboard(
     sections.append(f"curve shape: {recommendation.curve.shape().value}")
     sections.append("\n-- Recommendation --")
     sections.append(recommendation.explain())
+    return "\n".join(sections)
+
+
+def render_store_panel(
+    store: "FleetStore", width: int = 60, window_ticks: int = 16
+) -> str:
+    """Durable-watch panel: what a fleet store says the watch did.
+
+    The operational companion to the per-assessment dashboard: a
+    sparkline of per-tick migration churn plus the rolling
+    quarantine/migration pressure and checkpoint position, all read
+    back from the store's event log (SQL window functions; see
+    :func:`~repro.fleet.report.summarize_watch_activity`), so the
+    panel renders identically after the watch process is gone.
+    """
+    from ..fleet.report import summarize_watch_activity
+
+    activity = summarize_watch_activity(store, window_ticks=window_ticks)
+    sections = [f"=== Durable watch: {store.path} ==="]
+    if activity.rolling_migrations:
+        per_tick = np.array(
+            [count for _, count, _ in activity.rolling_migrations], dtype=float
+        )
+        sections.append(
+            f"migrations/tick {sparkline(per_tick, width)} "
+            f"peak {int(per_tick.max())} over {len(per_tick)} active ticks"
+        )
+    else:
+        sections.append("migrations/tick (no migration events recorded)")
+    sections.append(activity.render())
     return "\n".join(sections)

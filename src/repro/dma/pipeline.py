@@ -287,7 +287,9 @@ class AssessmentPipeline:
         self,
         samples: Iterable[FleetSample],
         config: WatchConfig | None = None,
-        **legacy_kwargs,
+        *,
+        resume_from=None,
+        **retired_kwargs,
     ) -> Iterator[FleetLiveUpdate]:
         """Fleet-wide streaming stage: one feed, thousands of customers.
 
@@ -297,9 +299,10 @@ class AssessmentPipeline:
         routing over the consistent-hash shard ring, and refresh
         events stream back in feed order.  The whole watch surface
         (window, drift threshold, warm-up length, ``refreshes_only``,
-        ``profile_mode``, backend selection, and the elastic
-        ``rebalance`` / ``on_rebalance`` / ``tick_samples`` knobs)
-        rides in one :class:`~repro.fleet.config.WatchConfig`.
+        ``profile_mode``, backend selection, the elastic
+        ``rebalance`` / ``on_rebalance`` / ``tick_samples`` knobs, and
+        durable checkpointing) rides in one
+        :class:`~repro.fleet.config.WatchConfig`.
 
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.
@@ -307,17 +310,23 @@ class AssessmentPipeline:
                 the watch runs ``serial`` so DMA-embedded runs stay
                 single-process unless asked (same policy as
                 :meth:`assess_fleet`).
-            **legacy_kwargs: The deprecated pre-config keyword form;
-                folded into a config behind a single
-                :class:`DeprecationWarning`.
+            resume_from: A :class:`~repro.store.FleetStore` holding a
+                checkpoint to resume from.
         """
-        config = FleetEngine._coerce_watch_config(config, legacy_kwargs)
+        if retired_kwargs:
+            raise TypeError(
+                "watch_fleet() got unexpected keyword arguments: "
+                + ", ".join(repr(name) for name in sorted(retired_kwargs))
+                + "; the legacy per-watch keyword form has been removed -- "
+                "pass config=WatchConfig(...) instead"
+            )
+        config = FleetEngine._validate_watch_config(config)
         fleet_engine = FleetEngine(
             engine=self.engine,
             backend=config.backend if config.backend is not None else "serial",
             max_workers=config.max_workers,
         )
-        return fleet_engine.watch_fleet(samples, config=config)
+        return fleet_engine.watch_fleet(samples, config=config, resume_from=resume_from)
 
     @staticmethod
     def _flag_short_window(

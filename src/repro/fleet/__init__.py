@@ -26,7 +26,7 @@ from .cache import (
     combine_cache_stats,
     trace_fingerprint,
 )
-from .config import WatchConfig
+from .config import CheckpointConfig, WatchConfig
 from .engine import (
     FleetBackend,
     FleetCustomer,
@@ -47,7 +47,12 @@ from .rebalance import (
     WatchLoadSnapshot,
     WatchRebalanceStats,
 )
-from .report import FleetSummary, summarize_fleet
+from .report import (
+    FleetSummary,
+    WatchActivitySummary,
+    summarize_fleet,
+    summarize_watch_activity,
+)
 from .sharding import ShardRing, auto_chunk_size, shard
 
 __all__ = [
@@ -79,9 +84,12 @@ __all__ = [
     "FleetLiveUpdate",
     "FleetRecommendation",
     "FleetSample",
+    "CheckpointConfig",
     "FleetSummary",
+    "WatchActivitySummary",
     "WatchConfig",
     "summarize_fleet",
+    "summarize_watch_activity",
     "auto_chunk_size",
     "shard",
 ]

@@ -48,6 +48,21 @@ customer's samples are never in flight while its state moves and the
 reorder buffer works on global sequence numbers, the merged update
 stream stays byte-identical to the serial backend's across any
 migration schedule.
+
+**Durable watches.**  With a
+:class:`~repro.fleet.config.CheckpointConfig` attached, the
+coordinator periodically persists every shard's state to a
+:class:`~repro.store.FleetStore` at fully drained tick boundaries
+(``snapshot_records`` is non-destructive, so checkpointing is
+invisible in the update stream), appends rebalance/migration/
+quarantine/resize events to the store's audit log instead of only the
+in-memory list, and -- when ``max_resident`` caps the hot set --
+evicts the least-recently-seen customers to the store, restoring them
+transparently if the feed mentions them again.  A killed watch resumes
+via ``watch(resume_from=store)``: ring topology, overrides, quarantine
+and per-customer live state are rebuilt from the latest checkpoint and
+the feed prefix it had consumed is skipped, after which the emitted
+stream is byte-identical to the uninterrupted run's tail.
 """
 
 from __future__ import annotations
@@ -64,6 +79,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
 
 from ..catalog.models import DeploymentType
+from ..store.persistence import CustomerStateRecord
 from .cache import CurveCacheStats
 from .rebalance import (
     Migration,
@@ -77,6 +93,8 @@ from .sharding import ShardRing
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid cycles
     from ..core.engine import DopplerEngine
+    from ..store import CheckpointRecord, FleetStore
+    from .config import CheckpointConfig
     from .engine import FleetLiveUpdate, FleetSample
 
 __all__ = [
@@ -183,12 +201,6 @@ class ShardAssessmentConfig:
         )
 
 
-#: One customer's migration payload: ``(customer_id, snapshot, quarantined)``.
-#: Snapshot is a picklable ``LiveAssessmentState`` (None for customers
-#: that only exist as a quarantine entry).
-_MigrationRecord = tuple
-
-
 class _WatchShard:
     """One worker's share of a fleet watch: live state plus quarantine.
 
@@ -199,11 +211,16 @@ class _WatchShard:
     quarantine-after-failure containment contract -- are identical to
     the serial loop's regardless of how many shards a watch runs.
 
-    Also the migration endpoint: :meth:`extract` freezes and evicts a
-    departing customer's state (recommender snapshot, quarantine flag,
-    watch-scoped curve-cache entries -- tracked per customer in
-    ``customer_keys``), and :meth:`install` adopts it on the target
-    shard, where the next refresh rebuilds and re-counts its curves.
+    Implements the :class:`~repro.store.StatePersistence` protocol
+    (shared with the serving tier's observe shards):
+    :meth:`snapshot_records` freezes customer state non-destructively
+    for checkpoints, :meth:`restore_records` adopts records with epoch
+    validation.  Migration composes the same surface: :meth:`extract`
+    is a destructive snapshot that also releases the departing
+    customers' watch-scoped curve-cache entries (tracked per customer
+    in ``customer_keys``), and :meth:`install` aliases
+    ``restore_records`` on the target shard, where the next refresh
+    rebuilds and re-counts the curves.
     """
 
     def __init__(self, config: ShardAssessmentConfig) -> None:
@@ -285,42 +302,76 @@ class _WatchShard:
                 )
         return emissions, time.perf_counter() - started
 
-    def extract(self, customer_ids: "Iterable[str]") -> "list[_MigrationRecord]":
+    def snapshot_records(
+        self, customer_ids: "Iterable[str] | None" = None
+    ) -> list[CustomerStateRecord]:
+        """Freeze customer state without disturbing it (checkpoint path).
+
+        ``snapshot_state`` copies the live recommenders' internals, so
+        a checkpointed watch emits exactly what an uncheckpointed one
+        would.  Defaults to every customer this shard owns, in sorted
+        order for deterministic checkpoints; customers this shard has
+        never seen produce no record.
+        """
+        if customer_ids is None:
+            customer_ids = sorted(set(self.recommenders) | self.quarantined)
+        records: list[CustomerStateRecord] = []
+        for customer_id in customer_ids:
+            live = self.recommenders.get(customer_id)
+            if live is not None:
+                records.append(
+                    CustomerStateRecord(customer_id, live.snapshot_state())
+                )
+            elif customer_id in self.quarantined:
+                records.append(CustomerStateRecord(customer_id, None, quarantined=True))
+        return records
+
+    def extract(self, customer_ids: "Iterable[str]") -> list[CustomerStateRecord]:
         """Freeze and remove departing customers' state for handoff.
 
         Curve-cache entries the customers built here are released
         (:meth:`~repro.fleet.cache.CurveCache.evict_many`), so a
-        migrated customer's footprint leaves with it; the target shard
-        rebuilds and counts its curves on the next refresh.  Customers
-        this shard has never seen produce no record.
+        migrated or evicted customer's footprint leaves with it; the
+        adopting side rebuilds and counts its curves on the next
+        refresh.  Customers this shard has never seen produce no
+        record.
         """
-        records: list[_MigrationRecord] = []
+        records: list[CustomerStateRecord] = []
         for customer_id in customer_ids:
             quarantined = customer_id in self.quarantined
             self.quarantined.discard(customer_id)
             live = self.recommenders.pop(customer_id, None)
             self.cache.evict_many(self.customer_keys.pop(customer_id, ()))
             if live is not None:
-                records.append((customer_id, live.snapshot_state(), False))
+                records.append(CustomerStateRecord(customer_id, live.snapshot_state()))
             elif quarantined:
-                records.append((customer_id, None, True))
+                records.append(CustomerStateRecord(customer_id, None, quarantined=True))
         return records
 
-    def install(self, records: "Iterable[_MigrationRecord]") -> None:
-        """Adopt migrated customers; the inverse of :meth:`extract`."""
-        for customer_id, state, quarantined in records:
-            if quarantined:
-                self.quarantined.add(customer_id)
+    def restore_records(self, records: "Iterable[CustomerStateRecord]") -> None:
+        """Adopt customer records; the inverse of :meth:`extract`.
+
+        Epoch validation happens inside ``restore_state``: restoring a
+        snapshot older than state this shard already advanced raises
+        rather than silently rewinding a customer.
+        """
+        for record in records:
+            if record.quarantined:
+                self.quarantined.add(record.customer_id)
                 continue
+            state = record.state
             if state is None:
                 continue
             live = self._new_live(
-                customer_id,
+                record.customer_id,
                 DeploymentType(state.deployment_value),
                 dimensions=state.dimensions,
             )
             live.restore_state(state)
-            self.recommenders[customer_id] = live
+            self.recommenders[record.customer_id] = live
+
+    # Migration arrives through the same persistence surface.
+    install = restore_records
 
 
 # ----------------------------------------------------------------------
@@ -342,11 +393,19 @@ class _WatchCoordinator:
         n_shards: int,
         policy: RebalancePolicy | None,
         on_rebalance: Callable[[RebalanceEvent], None] | None,
+        checkpoint: "CheckpointConfig | None" = None,
     ) -> None:
         self.ring = ShardRing(n_shards)
         self.policy = policy
         self.on_rebalance = on_rebalance
+        self.checkpoint_config = checkpoint
+        self.store = checkpoint.store if checkpoint is not None else None
         self.quarantined: set[str] = set()
+        self.evicted: set[str] = set()
+        self.current_tick = 0
+        self.n_emitted = 0
+        self.n_checkpoints = 0
+        self.n_evictions = 0
         self._routes: dict[str, int] = {}
         self._members: dict[int, set[str]] = {sid: set() for sid in range(n_shards)}
         self._samples_total: dict[int, int] = {}
@@ -354,6 +413,11 @@ class _WatchCoordinator:
         self._busy_total: dict[int, float] = {}
         self._busy_recent: dict[int, float] = {}
         self._customer_recent: dict[str, int] = {}
+        # LRU clock for cold-customer eviction; only maintained when a
+        # resident cap is configured.
+        self._track_last_seen = checkpoint is not None and checkpoint.max_resident is not None
+        self._last_seen: dict[str, int] = {}
+        self._seen_counter = 0
         self._n_decisions = 0
         self._n_rebalances = 0
         self._n_migrations = 0
@@ -369,6 +433,9 @@ class _WatchCoordinator:
             self._routes[customer_id] = shard_id
             self._members.setdefault(shard_id, set()).add(customer_id)
         self._samples_total[shard_id] = self._samples_total.get(shard_id, 0) + 1
+        if self._track_last_seen:
+            self._seen_counter += 1
+            self._last_seen[customer_id] = self._seen_counter
         if self.policy is not None:
             self._samples_recent[shard_id] = self._samples_recent.get(shard_id, 0) + 1
             self._customer_recent[customer_id] = (
@@ -392,9 +459,17 @@ class _WatchCoordinator:
         """
         self.quarantined.add(customer_id)
         self._customer_recent.pop(customer_id, None)
+        self._last_seen.pop(customer_id, None)
         shard_id = self._routes.get(customer_id)
         if shard_id is not None:
             self._members.get(shard_id, set()).discard(customer_id)
+        if self.store is not None:
+            self.store.append_event(
+                "quarantine",
+                tick_id=self.current_tick,
+                customer_id=customer_id,
+                source_shard=shard_id,
+            )
 
     # -- decision points -----------------------------------------------
     def _snapshot(self, tick_id: int) -> WatchLoadSnapshot:
@@ -480,9 +555,10 @@ class _WatchCoordinator:
         for source in sorted(by_source):
             customer_ids = sorted(by_source[source])
             records = {
-                record[0]: record for record in pool.extract(source, customer_ids)
+                record.customer_id: record
+                for record in pool.extract(source, customer_ids)
             }
-            by_target: dict[int, list[_MigrationRecord]] = {}
+            by_target: dict[int, list[CustomerStateRecord]] = {}
             for customer_id in customer_ids:
                 target = planned[customer_id][1]
                 record = records.get(customer_id)
@@ -511,8 +587,153 @@ class _WatchCoordinator:
         self._n_migrations += sum(1 for move in moves if move.source is not None)
         if resized_to is not None:
             self._n_resizes += 1
+        if self.store is not None:
+            self.store.append_event(
+                "rebalance",
+                tick_id=tick_id,
+                detail={
+                    "n_moves": len(moves),
+                    "resized_from": resized_from,
+                    "resized_to": resized_to,
+                },
+            )
+            for move in moves:
+                self.store.append_event(
+                    "migration",
+                    tick_id=tick_id,
+                    customer_id=move.customer_id,
+                    source_shard=move.source,
+                    target_shard=move.target,
+                )
+            if resized_to is not None:
+                self.store.append_event(
+                    "resize",
+                    tick_id=tick_id,
+                    detail={"from": resized_from, "to": resized_to},
+                )
         if self.on_rebalance is not None:
             self.on_rebalance(event)
+
+    # -- durability ----------------------------------------------------
+    def checkpoint_now(self, pool: "_WatchPool", tick_id: int, n_consumed: int) -> None:
+        """Persist every shard's state plus the stream position.
+
+        Caller guarantees nothing is in flight, so the snapshots are a
+        consistent cut: every update for a consumed sample has been
+        emitted (``n_emitted`` counts them) and no shard holds partial
+        tick state.  The store write is one transaction -- a crash
+        mid-checkpoint leaves the previous checkpoint intact.
+        """
+        assert self.checkpoint_config is not None and self.store is not None
+        records: list[CustomerStateRecord] = []
+        for shard_id in self.ring.shard_ids:
+            records.extend(pool.snapshot_shard(shard_id))
+        self.store.checkpoint(
+            tick_id=tick_id,
+            n_consumed=n_consumed,
+            n_emitted=self.n_emitted,
+            n_shards=self.ring.n_shards,
+            overrides=self.ring.overrides,
+            records=records,
+        )
+        self.n_checkpoints += 1
+        max_resident = self.checkpoint_config.max_resident
+        if max_resident is not None:
+            self._evict_cold(pool, tick_id, max_resident)
+
+    def _evict_cold(self, pool: "_WatchPool", tick_id: int, max_resident: int) -> None:
+        """Evict the least-recently-seen customers beyond the cap.
+
+        Runs right after a checkpoint, at the same drained boundary, so
+        the extracted state equals what the checkpoint just persisted;
+        the store write is belt-and-braces for eviction between
+        checkpoints via other paths.  Quarantined customers hold no
+        state and stay as cheap set entries.
+        """
+        resident = [cid for cid in self._routes if cid not in self.quarantined]
+        excess = len(resident) - max_resident
+        if excess <= 0:
+            return
+        victims = sorted(
+            resident, key=lambda cid: (self._last_seen.get(cid, 0), cid)
+        )[:excess]
+        by_shard: dict[int, list[str]] = {}
+        for customer_id in victims:
+            by_shard.setdefault(self._routes[customer_id], []).append(customer_id)
+        assert self.store is not None
+        for shard_id in sorted(by_shard):
+            customer_ids = sorted(by_shard[shard_id])
+            records = pool.extract(shard_id, customer_ids)
+            self.store.save_customer_states(records, tick_id=tick_id)
+            for customer_id in customer_ids:
+                self.store.append_event(
+                    "eviction",
+                    tick_id=tick_id,
+                    customer_id=customer_id,
+                    source_shard=shard_id,
+                )
+                self._routes.pop(customer_id, None)
+                self._members.get(shard_id, set()).discard(customer_id)
+                self._last_seen.pop(customer_id, None)
+                self._customer_recent.pop(customer_id, None)
+                self.evicted.add(customer_id)
+        self.n_evictions += len(victims)
+
+    def readmit(self, pool: "_WatchPool", customer_ids: "Iterable[str]") -> None:
+        """Restore evicted customers whose samples are back in the feed.
+
+        Caller guarantees a drained boundary (installs must not race
+        in-flight ticks).  A customer with no stored record -- deleted
+        out-of-band -- is simply treated as brand new.
+        """
+        assert self.store is not None
+        for customer_id in sorted(set(customer_ids)):
+            self.evicted.discard(customer_id)
+            record = self.store.load_customer_state(customer_id)
+            if record is None:
+                continue
+            shard_id = self.ring.route(customer_id)
+            pool.install(shard_id, [record])
+            if record.quarantined:
+                self.quarantined.add(customer_id)
+            else:
+                self._routes[customer_id] = shard_id
+                self._members.setdefault(shard_id, set()).add(customer_id)
+
+    def restore(self, pool: "_WatchPool", store: "FleetStore") -> "CheckpointRecord":
+        """Rebuild topology and state from the store's latest checkpoint.
+
+        Returns the checkpoint so the watch loop can skip the consumed
+        feed prefix and continue emission counting where the killed run
+        stopped.
+        """
+        checkpoint = store.require_checkpoint()
+        current = pool.n_shards
+        if checkpoint.n_shards > current:
+            for shard_id in range(current, checkpoint.n_shards):
+                pool.add_shard(shard_id)
+        elif checkpoint.n_shards < current:
+            for shard_id in range(checkpoint.n_shards, current):
+                pool.retire_shard(shard_id)
+        if checkpoint.n_shards != self.ring.n_shards:
+            self.ring.resize(checkpoint.n_shards)
+        self._members = {sid: set() for sid in range(checkpoint.n_shards)}
+        self._routes = {}
+        for customer_id, shard_id in checkpoint.overrides.items():
+            self.ring.set_override(customer_id, shard_id)
+        by_shard: dict[int, list[CustomerStateRecord]] = {}
+        for record in store.iter_customer_states():
+            shard_id = self.ring.route(record.customer_id)
+            by_shard.setdefault(shard_id, []).append(record)
+            if record.quarantined:
+                self.quarantined.add(record.customer_id)
+            else:
+                self._routes[record.customer_id] = shard_id
+                self._members.setdefault(shard_id, set()).add(record.customer_id)
+        for shard_id in sorted(by_shard):
+            pool.install(shard_id, by_shard[shard_id])
+        self.n_emitted = checkpoint.n_emitted
+        return checkpoint
 
     def stats(self) -> WatchRebalanceStats:
         return WatchRebalanceStats(
@@ -562,6 +783,12 @@ class _WatchPool(ABC):
     @abstractmethod
     def drain_next(self) -> tuple[list, dict[int, float]]:
         """Complete the oldest tick: (seq-sorted emissions, busy seconds by shard)."""
+
+    @abstractmethod
+    def snapshot_shard(
+        self, shard_id: int, customer_ids: list[str] | None = None
+    ) -> list[CustomerStateRecord]:
+        """Non-destructive state snapshot of a shard (nothing in flight)."""
 
     @abstractmethod
     def extract(self, shard_id: int, customer_ids: list[str]) -> list:
@@ -631,6 +858,11 @@ class _InlinePool(_WatchPool):
     def drain_next(self) -> tuple[list, dict[int, float]]:
         return self._done.popleft()
 
+    def snapshot_shard(
+        self, shard_id: int, customer_ids: list[str] | None = None
+    ) -> list[CustomerStateRecord]:
+        return self._shards[shard_id].snapshot_records(customer_ids)
+
     def extract(self, shard_id: int, customer_ids: list[str]) -> list:
         return self._shards[shard_id].extract(customer_ids)
 
@@ -691,6 +923,11 @@ class _ThreadShardPool(_WatchPool):
             busy[shard_id] = busy.get(shard_id, 0.0) + seconds
         emissions.sort(key=lambda pair: pair[0])
         return emissions, busy
+
+    def snapshot_shard(
+        self, shard_id: int, customer_ids: list[str] | None = None
+    ) -> list[CustomerStateRecord]:
+        return self._shards[shard_id].snapshot_records(customer_ids)
 
     def extract(self, shard_id: int, customer_ids: list[str]) -> list:
         return self._shards[shard_id].extract(customer_ids)
@@ -761,11 +998,13 @@ def _watch_worker_main(
 
     * parent -> worker: ``("tick", tick_id, batch)``,
       ``("extract", request_id, customer_ids)``,
-      ``("install", request_id, records)``, or the ``None`` stop
-      sentinel.
+      ``("install", request_id, records)``,
+      ``("snapshot", request_id, customer_ids_or_None)``, or the
+      ``None`` stop sentinel.
     * worker -> parent: ``("tick", worker_id, tick_id, emissions,
       busy_seconds)``, ``("extracted", worker_id, request_id,
       records)``, ``("installed", worker_id, request_id)``,
+      ``("snapshotted", worker_id, request_id, records)``,
       ``("stats", worker_id, cache_stats)`` on graceful stop, or
       ``("error", worker_id, details)`` on any failure the shard's
       per-customer containment did not absorb.
@@ -791,6 +1030,16 @@ def _watch_worker_main(
                 _, request_id, records = message
                 shard.install(records)
                 out_queue.put(("installed", worker_id, request_id))
+            elif kind == "snapshot":
+                _, request_id, customer_ids = message
+                out_queue.put(
+                    (
+                        "snapshotted",
+                        worker_id,
+                        request_id,
+                        shard.snapshot_records(customer_ids),
+                    )
+                )
             else:
                 raise RuntimeError(f"unknown watch message kind {kind!r}")
     except BaseException as exc:  # noqa: BLE001 - parent must see worker death
@@ -908,6 +1157,13 @@ class _ProcessShardPool(_WatchPool):
                 f"during a drained {kind!r} handshake"
             )
         return message
+
+    def snapshot_shard(
+        self, shard_id: int, customer_ids: list[str] | None = None
+    ) -> list[CustomerStateRecord]:
+        self._request_id += 1
+        self._in_queues[shard_id].put(("snapshot", self._request_id, customer_ids))
+        return self._await_reply("snapshotted", shard_id, self._request_id)[3]
 
     def extract(self, shard_id: int, customer_ids: list[str]) -> list:
         self._request_id += 1
@@ -1049,6 +1305,8 @@ class ExecutionBackend(ABC):
         policy: RebalancePolicy | None = None,
         on_rebalance: Callable[[RebalanceEvent], None] | None = None,
         tick_samples: int | None = None,
+        checkpoint: "CheckpointConfig | None" = None,
+        resume_from: "FleetStore | None" = None,
     ) -> "Iterator[FleetLiveUpdate]":
         """Stream live assessments over a fleet-wide feed, in feed order.
 
@@ -1061,10 +1319,20 @@ class ExecutionBackend(ABC):
         microbatch size (:data:`WATCH_TICK_PER_WORKER`): smaller ticks
         bound emission latency tighter and give rebalance policies
         finer decision boundaries, at more queue round-trips.
+
+        With a ``checkpoint`` config the watch persists shard state to
+        the config's store at its tick cadence; with ``resume_from``
+        it rebuilds state from that store's latest checkpoint and
+        skips the consumed feed prefix, emitting exactly what the
+        uninterrupted run would have emitted from that point.  The
+        caller must replay the *same* feed; the checkpoint records how
+        much of it is already accounted for.
         """
         if tick_samples is not None and tick_samples <= 0:
             raise ValueError(f"tick_samples must be positive, got {tick_samples!r}")
-        return self._watch_loop(config, samples, policy, on_rebalance, tick_samples)
+        return self._watch_loop(
+            config, samples, policy, on_rebalance, tick_samples, checkpoint, resume_from
+        )
 
     def _watch_loop(
         self,
@@ -1073,6 +1341,8 @@ class ExecutionBackend(ABC):
         policy: RebalancePolicy | None,
         on_rebalance: Callable[[RebalanceEvent], None] | None,
         tick_samples: int | None = None,
+        checkpoint: "CheckpointConfig | None" = None,
+        resume_from: "FleetStore | None" = None,
     ) -> "Iterator[FleetLiveUpdate]":
         # The pool spawns lazily, on first iteration: a watch generator
         # that is created but never consumed must not leave worker
@@ -1080,7 +1350,7 @@ class ExecutionBackend(ABC):
         pool = self._make_watch_pool(config)
         if tick_samples is not None:
             pool.tick_per_shard = tick_samples
-        coordinator = _WatchCoordinator(pool.n_shards, policy, on_rebalance)
+        coordinator = _WatchCoordinator(pool.n_shards, policy, on_rebalance, checkpoint)
         stream = iter(enumerate(samples))
         completed = False
 
@@ -1090,11 +1360,22 @@ class ExecutionBackend(ABC):
             for _, update in emissions:
                 if update.update is None:  # failure update: customer quarantined
                     coordinator.mark_quarantined(update.customer_id)
+                coordinator.n_emitted += 1
                 yield update
 
         try:
+            n_consumed = 0
+            if resume_from is not None:
+                resume_point = coordinator.restore(pool, resume_from)
+                # The checkpointed run already consumed (and emitted
+                # for) this feed prefix; skip it.
+                while n_consumed < resume_point.n_consumed:
+                    if next(stream, None) is None:
+                        break
+                    n_consumed += 1
             tick_id = 0
             ticks_since_decision = 0
+            ticks_since_checkpoint = 0
             while True:
                 tick: list = []
                 size = pool.tick_per_shard * coordinator.ring.n_shards
@@ -1104,6 +1385,20 @@ class ExecutionBackend(ABC):
                         break
                 if not tick:
                     break
+                n_consumed += len(tick)
+                coordinator.current_tick = tick_id
+                if coordinator.evicted:
+                    returning = sorted(
+                        {
+                            sample.customer_id
+                            for _, sample in tick
+                            if sample.customer_id in coordinator.evicted
+                        }
+                    )
+                    if returning:
+                        while pool.pending():  # installs only run fully drained
+                            yield from emit_next()
+                        coordinator.readmit(pool, returning)
                 by_shard: dict[int, list] = {}
                 for seq, sample in tick:
                     if sample.customer_id in coordinator.quarantined:
@@ -1122,8 +1417,19 @@ class ExecutionBackend(ABC):
                             yield from emit_next()
                         coordinator.rebalance(pool, tick_id - 1)
                         ticks_since_decision = 0
+                if checkpoint is not None:
+                    ticks_since_checkpoint += 1
+                    if ticks_since_checkpoint >= checkpoint.every_ticks:
+                        while pool.pending():  # checkpoints run fully drained
+                            yield from emit_next()
+                        coordinator.checkpoint_now(pool, tick_id - 1, n_consumed)
+                        ticks_since_checkpoint = 0
             while pool.pending():
                 yield from emit_next()
+            if checkpoint is not None and ticks_since_checkpoint > 0:
+                # End-of-feed checkpoint: a completed watch leaves the
+                # store current, so a restart has nothing to replay.
+                coordinator.checkpoint_now(pool, max(tick_id - 1, 0), n_consumed)
             pool.finish()
             completed = True
         finally:

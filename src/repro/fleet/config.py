@@ -6,8 +6,14 @@ parameters in PR 2, execution-backend selection in PR 4, the elastic
 rebalance surface in PR 5).  :class:`WatchConfig` consolidates them
 into one frozen, reusable value object: build a config once, derive
 variants with :meth:`WatchConfig.replace`, and pass it to
-``watch_fleet(samples, config)``.  The legacy keyword form still
-works behind a deprecation shim in the engine.
+``watch_fleet(samples, config)``.  The legacy keyword form has been
+retired; ``watch_fleet`` accepts config objects only.
+
+:class:`CheckpointConfig` is the durability half: attach one to
+``WatchConfig(checkpoint=...)`` and the watch persists every shard's
+live state to a :class:`~repro.store.FleetStore` at drained tick
+boundaries, from which ``watch_fleet(resume_from=store)`` continues a
+killed run byte-identically.
 
 This is the *public* half of the watch configuration.  The internal
 :class:`~repro.fleet.backends.ShardAssessmentConfig` is what shards
@@ -27,9 +33,52 @@ from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from .rebalance import RebalanceEvent, RebalancePolicy
 
 if TYPE_CHECKING:  # circular-import-free typing only
+    from ..store import FleetStore
     from .backends import FleetBackend
 
-__all__ = ["WatchConfig"]
+__all__ = ["CheckpointConfig", "WatchConfig"]
+
+#: Ticks between checkpoints when a :class:`CheckpointConfig` does not
+#: say otherwise.  At the default watch tick (64 samples per shard)
+#: this checkpoints a serial watch roughly every 4k samples -- frequent
+#: enough that a crash loses seconds of stream, rare enough that the
+#: measured throughput cost stays under the 10% budget gated in
+#: ``bench_streaming.py``.
+DEFAULT_CHECKPOINT_EVERY_TICKS = 64
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """How a watch persists its state to a durable store.
+
+    Attributes:
+        store: The :class:`~repro.store.FleetStore` receiving
+            checkpoints, event history, and evicted customer state.
+        every_ticks: Checkpoint cadence in fully drained ticks.
+        max_resident: Cap on resident (in-process) customers.  After
+            each checkpoint the least-recently-seen customers beyond
+            the cap are evicted to the store and transparently
+            restored if they show up in the feed again; None keeps
+            everything resident.
+    """
+
+    store: "FleetStore"
+    every_ticks: int = DEFAULT_CHECKPOINT_EVERY_TICKS
+    max_resident: int | None = None
+
+    def __post_init__(self) -> None:
+        from ..store import FleetStore as _FleetStore
+
+        if not isinstance(self.store, _FleetStore):
+            raise ValueError(f"store must be a FleetStore, got {self.store!r}")
+        if self.every_ticks < 1:
+            raise ValueError(f"every_ticks must be >= 1, got {self.every_ticks!r}")
+        if self.max_resident is not None and self.max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {self.max_resident!r}")
+
+    def replace(self, **changes) -> "CheckpointConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -61,6 +110,9 @@ class WatchConfig:
             :class:`~repro.fleet.rebalance.RebalanceEvent`.
         tick_samples: Samples per worker per streaming microbatch
             (library default when None).
+        checkpoint: A :class:`CheckpointConfig` that persists shard
+            state to a durable store at tick boundaries, or None for a
+            memory-only watch.
     """
 
     window: int = DEFAULT_STREAM_WINDOW
@@ -74,6 +126,7 @@ class WatchConfig:
     rebalance: RebalancePolicy | None = None
     on_rebalance: Callable[[RebalanceEvent], None] | None = None
     tick_samples: int | None = None
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self) -> None:
         # Engine-independent validation happens here so a bad config
@@ -88,6 +141,10 @@ class WatchConfig:
             raise ValueError(f"on_rebalance must be callable, got {self.on_rebalance!r}")
         if self.tick_samples is not None and self.tick_samples <= 0:
             raise ValueError(f"tick_samples must be positive, got {self.tick_samples!r}")
+        if self.checkpoint is not None and not isinstance(self.checkpoint, CheckpointConfig):
+            raise ValueError(
+                f"checkpoint must be a CheckpointConfig or None, got {self.checkpoint!r}"
+            )
 
     def replace(self, **changes) -> "WatchConfig":
         """A copy of this config with the given fields replaced."""

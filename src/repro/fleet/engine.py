@@ -20,7 +20,6 @@ property the scale benchmarks assert.
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
@@ -47,6 +46,7 @@ from .report import FleetSummary, summarize_fleet
 from .sharding import auto_chunk_size, shard
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid a cycle
+    from ..store import FleetStore
     from ..streaming.live import LiveUpdate
 
 __all__ = [
@@ -597,7 +597,9 @@ class FleetEngine:
         self,
         samples: Iterable[FleetSample],
         config: WatchConfig | None = None,
-        **legacy_kwargs,
+        *,
+        resume_from: "FleetStore | None" = None,
+        **retired_kwargs,
     ) -> Iterator[FleetLiveUpdate]:
         """Streaming pass: live assessments over a fleet-wide feed.
 
@@ -642,19 +644,40 @@ class FleetEngine:
         quarantined on its shard; the stream keeps serving everyone
         else.
 
+        With ``config.checkpoint`` set, shard state persists to a
+        :class:`~repro.store.FleetStore` at the configured tick
+        cadence, and ``resume_from=store`` continues a killed watch
+        from its latest checkpoint: ring topology, quarantine and live
+        state are rebuilt, the consumed feed prefix is skipped, and
+        the resumed stream is byte-identical to what the uninterrupted
+        run would have emitted from that point (the caller replays the
+        same feed).
+
         Args:
             samples: The fleet-wide telemetry feed, in arrival order.
             config: A :class:`~repro.fleet.config.WatchConfig`
                 bundling the watch parameters (window, drift
                 thresholds, backend selection, the elastic rebalance
-                surface).  ``None`` means all defaults.
-            **legacy_kwargs: The pre-config keyword form
-                (``window=``, ``backend=``, ``rebalance=``, ...).
-                Deprecated: accepted for one more cycle behind a
-                single :class:`DeprecationWarning`, and mutually
-                exclusive with ``config``.
+                surface, checkpointing).  ``None`` means all defaults.
+            resume_from: A :class:`~repro.store.FleetStore` holding a
+                checkpoint to resume from; raises if the store has
+                none.
         """
-        config = self._coerce_watch_config(config, legacy_kwargs)
+        if retired_kwargs:
+            raise TypeError(
+                "watch_fleet() got unexpected keyword arguments: "
+                + ", ".join(repr(name) for name in sorted(retired_kwargs))
+                + "; the legacy per-watch keyword form has been removed -- "
+                "pass config=WatchConfig(...) instead"
+            )
+        config = self._validate_watch_config(config)
+        if resume_from is not None:
+            from ..store import FleetStore as _FleetStore
+
+            if not isinstance(resume_from, _FleetStore):
+                raise ValueError(
+                    f"resume_from must be a FleetStore, got {resume_from!r}"
+                )
         # Validate selection and configuration eagerly (this is a
         # plain function returning a generator, so a bad backend name
         # or window fails at the call site, not at first iteration).
@@ -670,6 +693,8 @@ class FleetEngine:
             config.rebalance,
             config.on_rebalance,
             config.tick_samples,
+            config.checkpoint,
+            resume_from,
         )
 
     def _shard_config(
@@ -711,33 +736,13 @@ class FleetEngine:
         )
 
     @staticmethod
-    def _coerce_watch_config(
-        config: WatchConfig | None, legacy_kwargs: dict
-    ) -> WatchConfig:
-        """Fold the deprecated keyword form into a :class:`WatchConfig`.
+    def _validate_watch_config(config: WatchConfig | None) -> WatchConfig:
+        """Default and type-check a watch config.
 
-        One warning per call (not per kwarg); unknown keys fail with
-        the same :class:`TypeError` shape a real signature would give.
+        The legacy keyword shim that used to live here (one-cycle
+        ``DeprecationWarning`` grace period) has been retired; the
+        config object is the only spelling.
         """
-        if legacy_kwargs:
-            unknown = sorted(set(legacy_kwargs) - WatchConfig.field_names())
-            if unknown:
-                raise TypeError(
-                    "watch_fleet() got unexpected keyword arguments: "
-                    + ", ".join(repr(name) for name in unknown)
-                )
-            if config is not None:
-                raise ValueError(
-                    "pass either config=WatchConfig(...) or legacy keyword "
-                    "arguments, not both"
-                )
-            warnings.warn(
-                "watch_fleet(window=..., backend=..., ...) keyword arguments are "
-                "deprecated; pass config=WatchConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            return WatchConfig(**legacy_kwargs)
         if config is None:
             return WatchConfig()
         if not isinstance(config, WatchConfig):
@@ -745,10 +750,20 @@ class FleetEngine:
         return config
 
     def _run_watch(
-        self, backend_obj, config, samples, policy=None, on_rebalance=None, tick_samples=None
+        self,
+        backend_obj,
+        config,
+        samples,
+        policy=None,
+        on_rebalance=None,
+        tick_samples=None,
+        checkpoint=None,
+        resume_from=None,
     ) -> Iterator[FleetLiveUpdate]:
         try:
-            yield from backend_obj.watch(config, samples, policy, on_rebalance, tick_samples)
+            yield from backend_obj.watch(
+                config, samples, policy, on_rebalance, tick_samples, checkpoint, resume_from
+            )
         finally:
             self._last_watch_stats = backend_obj.watch_stats()
             self._last_rebalance_stats = backend_obj.watch_rebalance_stats()

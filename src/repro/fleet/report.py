@@ -6,6 +6,12 @@ distributes over service tiers and deployments, how many customers are
 over-provisioned today, and what the recommended estate would cost.
 This is the view paper Section 5.1 sketches for existing cloud
 customers, lifted from one workload to a whole population.
+
+:func:`summarize_watch_activity` is the durable-watch counterpart: it
+reads a :class:`~repro.store.FleetStore`'s event log (written by
+checkpointed watches instead of ad-hoc in-memory lists) and reports
+rolling quarantine/migration pressure straight from SQL window
+functions, so the view survives the watch process that produced it.
 """
 
 from __future__ import annotations
@@ -14,9 +20,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import CheckpointRecord, FleetStore
     from .engine import FleetRecommendation
 
-__all__ = ["FleetSummary", "summarize_fleet"]
+__all__ = [
+    "FleetSummary",
+    "WatchActivitySummary",
+    "summarize_fleet",
+    "summarize_watch_activity",
+]
 
 
 @dataclass(frozen=True)
@@ -150,4 +162,95 @@ def summarize_fleet(results: Iterable["FleetRecommendation"]) -> FleetSummary:
         total_monthly_cost=total_cost,
         mean_expected_throttling=(throttling_sum / n_recommended if n_recommended else 0.0),
         errors=tuple(errors),
+    )
+
+
+@dataclass(frozen=True)
+class WatchActivitySummary:
+    """What a durable watch has been doing, read back from its store.
+
+    Attributes:
+        n_customers: Customers with persisted state in the store.
+        n_quarantined: Of those, how many are quarantined.
+        n_checkpoints: Checkpoints the store holds.
+        latest_checkpoint: The newest checkpoint, or None.
+        event_counts: Total event-log rows per event kind.
+        window_ticks: Width of the rolling windows below, in ticks.
+        rolling_migrations: ``(tick, count, rolling)`` rows for
+            migration events -- per-tick count plus the windowed sum,
+            both computed store-side with a SQL window function.
+        rolling_quarantines: Same rows for quarantine events (the
+            watch's violation signal).
+    """
+
+    n_customers: int
+    n_quarantined: int
+    n_checkpoints: int
+    latest_checkpoint: "CheckpointRecord | None"
+    event_counts: dict[str, int] = field(default_factory=dict)
+    window_ticks: int = 16
+    rolling_migrations: tuple[tuple[int, int, int], ...] = ()
+    rolling_quarantines: tuple[tuple[int, int, int], ...] = ()
+
+    @property
+    def peak_rolling_migrations(self) -> int:
+        """Largest windowed migration count: peak rebalance churn."""
+        return max((rolling for _, _, rolling in self.rolling_migrations), default=0)
+
+    @property
+    def peak_rolling_quarantines(self) -> int:
+        """Largest windowed quarantine count: peak violation pressure."""
+        return max((rolling for _, _, rolling in self.rolling_quarantines), default=0)
+
+    def render(self) -> str:
+        """Plain-text watch activity report for dashboards and logs."""
+        lines = [
+            "Watch activity (from fleet store)",
+            "=" * 40,
+            f"Customers persisted:      {self.n_customers}"
+            f" ({self.n_quarantined} quarantined)",
+            f"Checkpoints:              {self.n_checkpoints}",
+        ]
+        if self.latest_checkpoint is not None:
+            checkpoint = self.latest_checkpoint
+            lines.append(
+                f"  latest: tick {checkpoint.tick_id}, "
+                f"{checkpoint.n_consumed} consumed / {checkpoint.n_emitted} emitted, "
+                f"{checkpoint.n_shards} shards"
+            )
+        if self.event_counts:
+            lines.append("Events:")
+            for kind, count in sorted(self.event_counts.items()):
+                lines.append(f"  {kind:<24} {count}")
+        lines.append(
+            f"Peak rolling ({self.window_ticks} ticks): "
+            f"migrations {self.peak_rolling_migrations}, "
+            f"quarantines {self.peak_rolling_quarantines}"
+        )
+        return "\n".join(lines)
+
+
+def summarize_watch_activity(
+    store: "FleetStore", window_ticks: int = 16
+) -> WatchActivitySummary:
+    """Fold a fleet store's event log into a :class:`WatchActivitySummary`.
+
+    All aggregation happens store-side (COUNT/GROUP BY plus the rolling
+    window function), so the summary costs O(result rows) here no
+    matter how long the watch ran.
+    """
+    n_customers, n_quarantined = store.customer_counts()
+    return WatchActivitySummary(
+        n_customers=n_customers,
+        n_quarantined=n_quarantined,
+        n_checkpoints=store.checkpoint_count(),
+        latest_checkpoint=store.latest_checkpoint(),
+        event_counts=store.event_counts(),
+        window_ticks=window_ticks,
+        rolling_migrations=tuple(
+            store.rolling_event_counts("migration", window_ticks=window_ticks)
+        ),
+        rolling_quarantines=tuple(
+            store.rolling_event_counts("quarantine", window_ticks=window_ticks)
+        ),
     )

@@ -16,6 +16,7 @@ metrics (:mod:`repro.serve.metrics`), a stdlib HTTP front end
 from .config import ServeConfig
 from .http import serve
 from .loadgen import (
+    HttpLoadClient,
     LoadReport,
     arrival_times,
     closed_loop,
@@ -30,6 +31,7 @@ from .service import AdmissionError, RecommendationService
 __all__ = [
     "AdmissionError",
     "BatchStats",
+    "HttpLoadClient",
     "LatencyRecorder",
     "LoadReport",
     "MicroBatcher",

@@ -21,22 +21,34 @@ Both drivers account rejections (:class:`~repro.serve.service.AdmissionError`)
 separately from errors and fold latencies into a
 :class:`~repro.serve.metrics.LatencyRecorder`, reported as a
 :class:`LoadReport`.
+
+Drivers take any ``submit`` coroutine factory, so they run equally
+against in-process service calls and -- through
+:class:`HttpLoadClient`, a small pooled keep-alive HTTP/1.1 client for
+the :mod:`repro.serve.http` front end -- against the real socket path.
+The client translates a 429 response back into
+:class:`~repro.serve.service.AdmissionError` so the drivers' rejection
+accounting is transport-independent.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Sequence
 
 import numpy as np
 
+from ..fleet.engine import FleetCustomer, FleetSample
 from ..ml.bootstrap import resolve_rng
+from ..telemetry.serialize import trace_to_dict
 from ..workloads.patterns import Composite, DemandPattern, DiurnalPattern, SpikyPattern, SteadyPattern
 from .metrics import REPORTED_PERCENTILES, LatencyRecorder
 from .service import AdmissionError
 
 __all__ = [
+    "HttpLoadClient",
     "LoadReport",
     "arrival_times",
     "closed_loop",
@@ -235,3 +247,132 @@ async def closed_loop(
         duration_s=duration,
         latency=latency,
     )
+
+
+class HttpLoadClient:
+    """Pooled keep-alive HTTP client for the serving front end.
+
+    Speaks the exact wire shapes :mod:`repro.serve.http` accepts, over
+    at most ``pool_size`` persistent connections.  Concurrent callers
+    beyond the pool size queue for a free connection, so a closed-loop
+    driver with ``n_workers`` callers wants ``pool_size >= n_workers``.
+
+    A 429 response is raised as
+    :class:`~repro.serve.service.AdmissionError` (lane and suggested
+    back-off taken from the response body), matching what the
+    in-process call would have raised; any other non-200 status raises
+    :class:`RuntimeError`.
+    """
+
+    def __init__(self, host: str, port: int, pool_size: int = 8) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size!r}")
+        self._host = host
+        self._port = port
+        # Unopened slots are ``None``; connections dial lazily on
+        # first acquire and return to the pool after each exchange.
+        self._pool: asyncio.Queue = asyncio.Queue()
+        for _ in range(pool_size):
+            self._pool.put_nowait(None)
+        self._closed = False
+
+    async def observe(self, sample: FleetSample) -> dict:
+        """POST one telemetry sample; the observe outcome document."""
+        return await self._request(
+            "POST",
+            "/observe",
+            {
+                "customer_id": sample.customer_id,
+                "values": {
+                    dimension.name: float(value)
+                    for dimension, value in sample.values.items()
+                },
+                "deployment": sample.deployment.value,
+            },
+        )
+
+    async def recommend(self, customer: FleetCustomer) -> dict:
+        """POST one customer's trace; the recommendation document."""
+        payload: dict = {
+            "customer_id": customer.customer_id,
+            "trace": trace_to_dict(customer.trace),
+            "deployment": customer.deployment.value,
+        }
+        if customer.file_sizes_gib is not None:
+            payload["file_sizes_gib"] = list(customer.file_sizes_gib)
+        if customer.current_sku_name is not None:
+            payload["current_sku_name"] = customer.current_sku_name
+        return await self._request("POST", "/recommend", payload)
+
+    async def stats(self) -> dict:
+        """GET the service's metrics snapshot."""
+        return await self._request("GET", "/stats")
+
+    async def close(self) -> None:
+        """Close every pooled connection; the client is done after."""
+        self._closed = True
+        while not self._pool.empty():
+            connection = self._pool.get_nowait()
+            if connection is not None:
+                _reader, writer = connection
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+    async def __aenter__(self) -> "HttpLoadClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        if self._closed:
+            raise RuntimeError("HttpLoadClient is closed")
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        connection = await self._pool.get()
+        try:
+            if connection is None:
+                connection = await asyncio.open_connection(self._host, self._port)
+            reader, writer = connection
+            writer.write(head + body)
+            await writer.drain()
+            status, document = await self._read_response(reader)
+        except BaseException:
+            # Connection state is unknown; drop it and free the slot.
+            if connection is not None:
+                connection[1].close()
+            self._pool.put_nowait(None)
+            raise
+        self._pool.put_nowait(connection)
+        if status == 200:
+            return document
+        if status == 429:
+            lane = document.get("lane", "unknown")
+            retry_after = float(document.get("retry_after_s", 0.001))
+            raise AdmissionError(lane, retry_after, "server returned 429")
+        raise RuntimeError(f"HTTP {status} from {method} {path}: {document}")
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise RuntimeError(f"malformed status line {lines[0]!r}")
+        status = int(parts[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        document = json.loads(body.decode("utf-8")) if body else {}
+        return status, document

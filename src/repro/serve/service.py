@@ -25,12 +25,24 @@ the elastic watch's rebalance policy reads.  A request that would
 blow the budget is rejected *immediately* with a suggested
 retry-after, which is what keeps p99 bounded under overload instead
 of letting queues grow without bound.
+
+With a :class:`~repro.store.FleetStore` attached the service is
+durable: :meth:`RecommendationService.checkpoint` persists every
+observe shard's state through the same
+:class:`~repro.store.StatePersistence` surface the watch tier uses,
+:meth:`RecommendationService.evict_cold` spills the least-recently
+observed customers to the store (fleets larger than RAM), evicted
+customers are transparently restored when they observe again, and
+:meth:`RecommendationService.recommendation_for` serves cold
+customers' recommendations straight from the store without waking
+their state.
 """
 
 from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 from ..fleet.backends import _WatchShard
 from ..fleet.engine import (
@@ -44,6 +56,10 @@ from ..fleet.sharding import ShardRing
 from .config import ServeConfig
 from .metrics import LatencyRecorder
 from .microbatch import MicroBatcher
+
+if TYPE_CHECKING:  # typing only; the store import is lazy at run time
+    from ..core.types import DopplerRecommendation
+    from ..store import CheckpointRecord, FleetStore
 
 __all__ = ["AdmissionError", "RecommendationService"]
 
@@ -145,15 +161,31 @@ class RecommendationService:
     on executors, never on the loop.
     """
 
-    def __init__(self, fleet: FleetEngine, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        fleet: FleetEngine,
+        config: ServeConfig | None = None,
+        store: "FleetStore | None" = None,
+    ) -> None:
         self.fleet = fleet
         self.config = config if config is not None else ServeConfig()
         if not isinstance(self.config, ServeConfig):
             raise ValueError(f"config must be a ServeConfig, got {self.config!r}")
+        if store is not None:
+            from ..store import FleetStore as _FleetStore
+
+            if not isinstance(store, _FleetStore):
+                raise ValueError(f"store must be a FleetStore, got {store!r}")
+        self.store = store
         # Fail fast on bad assessment parameters, like watch_fleet does.
         self._shard_config = fleet._shard_config(self.config.watch, refreshes_only=False)
         self._ring = ShardRing(self.config.n_shards)
         self._started = False
+        self._evicted: set[str] = set()
+        self._observed_seq = 0
+        self._last_observed: dict[str, int] = {}
+        self._n_checkpoints = 0
+        self._n_evictions = 0
         self._shards: list[_WatchShard] = []
         self._executors: list[ThreadPoolExecutor] = []
         self._observe_lanes: list[_Lane] = []
@@ -238,6 +270,8 @@ class RecommendationService:
         self._require_started()
         loop = asyncio.get_running_loop()
         started = loop.time()
+        self._observed_seq += 1
+        self._last_observed[sample.customer_id] = self._observed_seq
         lane = self._observe_lanes[self._ring.route(sample.customer_id)]
         lane.admit()
         try:
@@ -288,6 +322,12 @@ class RecommendationService:
         return {
             "running": self._started,
             "n_shards": self.config.n_shards,
+            "durability": {
+                "store_attached": self.store is not None,
+                "n_checkpoints": self._n_checkpoints,
+                "n_evictions": self._n_evictions,
+                "n_evicted_resident": len(self._evicted),
+            },
             "observe": {
                 "latency": self.observe_latency.summary(),
                 "n_rejected": sum(lane.n_rejected for lane in self._observe_lanes),
@@ -310,9 +350,34 @@ class RecommendationService:
             loop = asyncio.get_running_loop()
             shard = self._shards[shard_id]
             batch = list(enumerate(samples))
-            emissions, busy_seconds = await loop.run_in_executor(
-                self._executors[shard_id], shard.process, batch
+            returning = (
+                sorted(
+                    {s.customer_id for s in samples if s.customer_id in self._evicted}
+                )
+                if self._evicted and self.store is not None
+                else []
             )
+
+            def run() -> tuple:
+                # Cold customers observing again: restore their stored
+                # state before the batch runs, on the shard's own
+                # executor thread so state stays thread-confined.
+                if returning:
+                    assert self.store is not None
+                    records = [
+                        record
+                        for customer_id in returning
+                        if (record := self.store.load_customer_state(customer_id))
+                        is not None
+                    ]
+                    shard.restore_records(records)
+                return shard.process(batch)
+
+            emissions, busy_seconds = await loop.run_in_executor(
+                self._executors[shard_id], run
+            )
+            if returning:
+                self._evicted.difference_update(returning)
             self._observe_lanes[shard_id].observe_flush(busy_seconds, len(batch))
             # refreshes_only is forced off, so every non-quarantined
             # sample emits; the missing sequence numbers are exactly
@@ -331,6 +396,113 @@ class RecommendationService:
             ]
 
         return flush
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    async def checkpoint(self) -> "CheckpointRecord":
+        """Persist every observe shard's state to the attached store.
+
+        Each shard snapshots on its own executor thread (the only
+        thread that ever touches its state), so a checkpoint never
+        races an in-flight flush; ``snapshot_records`` is
+        non-destructive, so serving continues unchanged.  One store
+        transaction covers all shards.
+        """
+        self._require_started()
+        store = self._require_store()
+        loop = asyncio.get_running_loop()
+        shard_records = await asyncio.gather(
+            *(
+                loop.run_in_executor(executor, shard.snapshot_records)
+                for shard, executor in zip(self._shards, self._executors)
+            )
+        )
+        records = [record for batch in shard_records for record in batch]
+        self._n_checkpoints += 1
+        return store.checkpoint(
+            tick_id=self._n_checkpoints,
+            n_consumed=self._observed_seq,
+            n_emitted=self._observed_seq,
+            n_shards=self.config.n_shards,
+            overrides=self._ring.overrides,
+            records=records,
+        )
+
+    async def evict_cold(self, max_resident: int) -> int:
+        """Evict the least-recently-observed customers beyond the cap.
+
+        State moves to the store (with an ``eviction`` audit event per
+        customer) and the customers' next observe restores it
+        transparently; meanwhile :meth:`recommendation_for` still
+        answers for them from the store.  Returns the number evicted.
+        """
+        if max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident!r}")
+        self._require_started()
+        store = self._require_store()
+        loop = asyncio.get_running_loop()
+        listings = await asyncio.gather(
+            *(
+                loop.run_in_executor(executor, lambda s=shard: sorted(s.recommenders))
+                for shard, executor in zip(self._shards, self._executors)
+            )
+        )
+        resident = [
+            (self._last_observed.get(customer_id, 0), customer_id, shard_id)
+            for shard_id, customer_ids in enumerate(listings)
+            for customer_id in customer_ids
+        ]
+        excess = len(resident) - max_resident
+        if excess <= 0:
+            return 0
+        victims = sorted(resident)[:excess]
+        by_shard: dict[int, list[str]] = {}
+        for _, customer_id, shard_id in victims:
+            by_shard.setdefault(shard_id, []).append(customer_id)
+        for shard_id in sorted(by_shard):
+            customer_ids = sorted(by_shard[shard_id])
+            shard = self._shards[shard_id]
+            records = await loop.run_in_executor(
+                self._executors[shard_id], shard.extract, customer_ids
+            )
+            store.save_customer_states(records, tick_id=self._n_checkpoints)
+            for customer_id in customer_ids:
+                store.append_event(
+                    "eviction",
+                    tick_id=self._n_checkpoints,
+                    customer_id=customer_id,
+                    source_shard=shard_id,
+                )
+            self._evicted.update(customer_ids)
+        self._n_evictions += excess
+        return excess
+
+    def recommendation_for(self, customer_id: str) -> "DopplerRecommendation | None":
+        """The customer's current recommendation, hot or cold.
+
+        Resident customers answer from their live state; evicted (or
+        otherwise store-only) customers answer from their stored
+        snapshot without rehydrating it.  None when the customer is
+        unknown everywhere or has not warmed up yet.
+        """
+        for shard in self._shards:
+            live = shard.recommenders.get(customer_id)
+            if live is not None:
+                return live.recommendation
+        if self.store is not None:
+            record = self.store.load_customer_state(customer_id)
+            if record is not None and record.state is not None:
+                return record.state.recommendation
+        return None
+
+    def _require_store(self) -> "FleetStore":
+        if self.store is None:
+            raise RuntimeError(
+                "RecommendationService has no FleetStore attached; pass "
+                "store=FleetStore(...) at construction"
+            )
+        return self.store
 
     async def _recommend_flush(self, customers: list[FleetCustomer]) -> list:
         loop = asyncio.get_running_loop()

@@ -1,0 +1,39 @@
+"""Durable fleet state: persistence protocol + WAL-mode SQLite store."""
+
+from .fleetstore import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    CheckpointRecord,
+    FleetStore,
+    StoredEvent,
+    StoredRecommendation,
+    register_migration,
+)
+from .persistence import (
+    CustomerStateRecord,
+    FleetStoreError,
+    StaleStateError,
+    StatePersistence,
+    StoreCorruptionError,
+    StoreSchemaError,
+    decode_state,
+    encode_state,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "CheckpointRecord",
+    "CustomerStateRecord",
+    "FleetStore",
+    "FleetStoreError",
+    "StaleStateError",
+    "StatePersistence",
+    "StoreCorruptionError",
+    "StoreSchemaError",
+    "StoredEvent",
+    "StoredRecommendation",
+    "decode_state",
+    "encode_state",
+    "register_migration",
+]

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import warnings
 
 import pytest
 
@@ -604,33 +603,26 @@ class TestHttpFrontEnd:
 # WatchConfig shim parity
 # ----------------------------------------------------------------------
 class TestWatchConfigShim:
-    def test_legacy_kwargs_warn_once_and_match_config_path(self, small_catalog):
-        feed = interleaved_feed(3, 10, seed=5)
-        via_config = list(
-            make_fleet(small_catalog).watch_fleet(
-                feed, config=WatchConfig(window=16, min_refresh_samples=8)
-            )
-        )
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            via_kwargs = list(
-                make_fleet(small_catalog).watch_fleet(
-                    feed, window=16, min_refresh_samples=8
-                )
-            )
-        deprecations = [
-            warning
-            for warning in caught
-            if issubclass(warning.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1  # one per call, not one per kwarg
-        assert "config=WatchConfig" in str(deprecations[0].message)
-        assert canonical_updates(via_kwargs) == canonical_updates(via_config)
-
-    def test_config_and_kwargs_are_mutually_exclusive(self, small_catalog):
+    def test_legacy_kwargs_are_a_type_error_pointing_at_watch_config(
+        self, small_catalog
+    ):
         fleet = make_fleet(small_catalog)
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(TypeError, match=r"pass config=WatchConfig\(\.\.\.\) instead"):
+            fleet.watch_fleet([], window=16, min_refresh_samples=8)
+
+    def test_legacy_kwargs_rejected_even_alongside_config(self, small_catalog):
+        fleet = make_fleet(small_catalog)
+        with pytest.raises(TypeError, match="'window'"):
             fleet.watch_fleet([], config=WatchConfig(), window=16)
+
+    def test_legacy_kwargs_raise_without_consuming_the_feed(self, small_catalog):
+        def poisoned():
+            raise AssertionError("feed must not be consumed on a rejected call")
+            yield  # pragma: no cover
+
+        fleet = make_fleet(small_catalog)
+        with pytest.raises(TypeError, match="legacy per-watch keyword form"):
+            fleet.watch_fleet(poisoned(), window=16)
 
     def test_unknown_kwarg_is_a_type_error(self, small_catalog):
         fleet = make_fleet(small_catalog)
