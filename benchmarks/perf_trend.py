@@ -3,13 +3,14 @@
 ``bench_streaming.py``, ``bench_fleet_scale.py`` and
 ``bench_serving.py`` emit ``BENCH_<name>.json`` records in a shared
 shape (a ``benchmark`` discriminator plus nested sections whose
-throughput metrics end in ``_per_sec`` and latency percentiles in
-``_ms``).  This tool diffs two directories of such records --
-typically the previous CI run's artifact against the current one --
-and flags every metric that regressed by more than the threshold
-(default 20 %): a throughput drop for ``_per_sec`` leaves, a latency
-*increase* for ``_ms`` leaves.  Floors-file entries for ``_ms``
-metrics are ceilings rather than floors.
+throughput metrics end in ``_per_sec``, latency percentiles in
+``_ms``, and recovery depths in ``_ticks``).  This tool diffs two
+directories of such records -- typically the previous CI run's
+artifact against the current one -- and flags every metric that
+regressed by more than the threshold (default 20 %): a throughput
+drop for ``_per_sec`` leaves, an *increase* for the lower-is-better
+``_ms`` and ``_ticks`` leaves.  Floors-file entries for ``_ms`` and
+``_ticks`` metrics are ceilings rather than floors.
 
 Two levels of enforcement:
 
@@ -27,10 +28,12 @@ Two levels of enforcement:
 
 Individual metrics can be exempted from enforcement with
 ``--warn-metric SUBSTRING`` (repeatable, matched against
-``benchmark:dotted.metric.path``): matching regressions print but
-never fail the run, even inside a ``--blocking`` benchmark.  The
-escape hatch for metrics whose CI variance is not yet established --
-typically a benchmark section added this cycle.
+``benchmark:dotted.metric.path``): matching regressions *and floor
+violations* print but never fail the run, even inside a
+``--blocking`` benchmark.  The escape hatch for metrics whose CI
+variance is not yet established -- typically a benchmark section
+added this cycle, whose floor rides warn-only for one cycle before
+it starts blocking.
 
 Usage::
 
@@ -60,10 +63,16 @@ METRIC_SUFFIX = "_per_sec"
 #: threshold, and a floors entry acts as a ceiling.
 LATENCY_SUFFIX = "_ms"
 
+#: Metric-name suffix marking a lower-is-better recovery-depth leaf
+#: (the fault-matrix benchmark's mean-ticks-to-recover).  Same
+#: contract as ``_ms``: increases regress, floors entries are
+#: ceilings.
+TICKS_SUFFIX = "_ticks"
+
 
 def lower_is_better(metric: str) -> bool:
     """Whether a dotted metric path carries a lower-is-better contract."""
-    return metric.endswith(LATENCY_SUFFIX)
+    return metric.endswith(LATENCY_SUFFIX) or metric.endswith(TICKS_SUFFIX)
 
 
 def load_records(directory: Path) -> dict[str, dict]:
@@ -85,10 +94,11 @@ def collect_metrics(record, prefix: str = "") -> dict[str, float]:
     """Flatten a record to ``{dotted.path: value}`` enforceable leaves.
 
     Only numeric leaves whose key ends in ``_per_sec``
-    (higher-is-better throughput) or ``_ms`` (lower-is-better latency)
-    participate in the trend: counters, flags and derived ratios carry
-    no directional contract.  Lists recurse with their index in the
-    path, so per-size fleet sections stay distinguishable.
+    (higher-is-better throughput), ``_ms`` (lower-is-better latency)
+    or ``_ticks`` (lower-is-better recovery depth) participate in the
+    trend: counters, flags and derived ratios carry no directional
+    contract.  Lists recurse with their index in the path, so
+    per-size fleet sections stay distinguishable.
     """
     metrics: dict[str, float] = {}
     if isinstance(record, dict):
@@ -99,7 +109,11 @@ def collect_metrics(record, prefix: str = "") -> dict[str, float]:
             elif (
                 isinstance(value, (int, float))
                 and not isinstance(value, bool)
-                and (str(key).endswith(METRIC_SUFFIX) or str(key).endswith(LATENCY_SUFFIX))
+                and (
+                    str(key).endswith(METRIC_SUFFIX)
+                    or str(key).endswith(LATENCY_SUFFIX)
+                    or str(key).endswith(TICKS_SUFFIX)
+                )
             ):
                 metrics[path] = float(value)
     elif isinstance(record, list):
@@ -161,9 +175,10 @@ def check_floors(
     A floored metric missing from the current run (absent record or
     absent leaf) is a violation: floors exist so a regression cannot
     slip through, and a benchmark that silently stopped reporting is
-    the most complete regression there is.  For ``_ms`` latency
-    metrics the pinned value is a *ceiling*: the violation fires when
-    the current value exceeds it.  Smoke and full runs share the
+    the most complete regression there is.  For lower-is-better
+    ``_ms`` and ``_ticks`` metrics the pinned value is a *ceiling*:
+    the violation fires when the current value exceeds it.  Smoke and
+    full runs share the
     floors file, so pin floors from the *smoke* configuration CI
     actually executes.
     """
@@ -258,9 +273,17 @@ def main(argv: list[str] | None = None) -> int:
     current = load_records(args.current) if args.current.is_dir() else {}
     floors = load_floors(args.floors) if args.floors is not None else {}
 
-    floor_failures = check_floors(current, floors) if floors else []
-    for failure in floor_failures:
-        print(f"FLOOR {failure}")
+    all_floor_failures = check_floors(current, floors) if floors else []
+    floor_failures = []
+    for failure in all_floor_failures:
+        # Messages lead with "benchmark:dotted.metric.path", the same
+        # key --warn-metric patterns match against for regressions.
+        metric_key = failure.split(" ", 1)[0]
+        if any(pattern in metric_key for pattern in args.warn_metric):
+            print(f"FLOOR (warn-only metric) {failure}")
+        else:
+            print(f"FLOOR {failure}")
+            floor_failures.append(failure)
 
     if not baseline:
         print(f"no baseline records under {args.baseline}; nothing to compare")

@@ -50,6 +50,7 @@ from .core import (
     confidence_score,
 )
 from .dma import AssessmentPipeline, AssessmentResult, FleetAssessmentResult
+from .faults import FaultPlan
 from .fleet import (
     CheckpointConfig,
     FleetCustomer,
@@ -61,7 +62,10 @@ from .fleet import (
     FleetSummary,
     LoadImbalancePolicy,
     ShardRing,
+    SupervisionConfig,
     WatchConfig,
+    WatchSupervisionStats,
+    WorkerEvent,
     summarize_fleet,
 )
 from . import serve
@@ -111,6 +115,10 @@ __all__ = [
     "AssessmentResult",
     "FleetAssessmentResult",
     "CheckpointConfig",
+    "FaultPlan",
+    "SupervisionConfig",
+    "WatchSupervisionStats",
+    "WorkerEvent",
     "FleetCustomer",
     "FleetEngine",
     "FleetFitReport",

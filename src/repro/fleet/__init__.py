@@ -17,6 +17,8 @@ from .backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    WatchSupervisionStats,
+    WorkerEvent,
     make_backend,
 )
 from .cache import (
@@ -26,7 +28,7 @@ from .cache import (
     combine_cache_stats,
     trace_fingerprint,
 )
-from .config import CheckpointConfig, WatchConfig
+from .config import CheckpointConfig, SupervisionConfig, WatchConfig
 from .engine import (
     FleetBackend,
     FleetCustomer,
@@ -85,6 +87,9 @@ __all__ = [
     "FleetRecommendation",
     "FleetSample",
     "CheckpointConfig",
+    "SupervisionConfig",
+    "WatchSupervisionStats",
+    "WorkerEvent",
     "FleetSummary",
     "WatchActivitySummary",
     "WatchConfig",

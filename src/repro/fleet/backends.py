@@ -70,17 +70,21 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import traceback
 from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
 
 from ..catalog.models import DeploymentType
 from ..store.persistence import CustomerStateRecord
 from .cache import CurveCacheStats
+from .config import SupervisionConfig
 from .rebalance import (
     Migration,
     RebalanceEvent,
@@ -106,6 +110,8 @@ __all__ = [
     "SerialBackend",
     "ShardAssessmentConfig",
     "ThreadBackend",
+    "WatchSupervisionStats",
+    "WorkerEvent",
     "make_backend",
 ]
 
@@ -134,6 +140,122 @@ SNAPSHOT_TOP_CUSTOMERS = 256
 
 #: Seconds between liveness checks while waiting on worker results.
 _WORKER_POLL_SECONDS = 1.0
+
+#: Seconds granted to each stage of the worker teardown escalation
+#: (graceful join, then ``terminate()``, then ``kill()``).  Module
+#: level so tests can shrink it and exercise the escalation quickly.
+_JOIN_TIMEOUT_S = 5.0
+
+
+class _InjectedKill(Exception):
+    """Raised inside a serial/thread shard task to simulate worker death."""
+
+
+class _WorkerFailure(RuntimeError):
+    """One or more shard workers failed in a *recoverable* way.
+
+    Raised by pool submit/drain/handshake paths instead of aborting the
+    watch; the :class:`_WatchSupervisor` catches it, restarts the named
+    shards and replays their un-checkpointed feed suffix.  Subclasses
+    ``RuntimeError`` so a watch run *without* a supervisor (direct pool
+    use in tests) still fails loudly rather than hanging.
+
+    Attributes:
+        shard_ids: The shards whose workers failed, sorted.
+        reason: ``"death"`` (process found dead), ``"deadline"`` (tick
+            unanswered past the deadline), ``"killed"`` (injected
+            kill), ``"drop"`` (injected result drop), or ``"error"``
+            (worker reported a shard-level exception).
+        detail: Human-readable diagnostics (worker names, tracebacks).
+    """
+
+    def __init__(self, shard_ids: "Iterable[int]", reason: str, detail: str = "") -> None:
+        self.shard_ids = tuple(sorted(set(shard_ids)))
+        self.reason = reason
+        self.detail = detail
+        described = ", ".join(str(shard_id) for shard_id in self.shard_ids)
+        message = f"fleet watch worker(s) {described} failed ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class WorkerEvent:
+    """One supervision action taken during a watch.
+
+    Attributes:
+        kind: ``"worker_restart"`` or ``"shard_quarantine"``.
+        tick_id: The tick the watch was on when the action ran.
+        shard_id: The shard acted on.
+        restarts: The shard's restart count after this action.
+        reason: The triggering failure reason (see
+            :class:`_WorkerFailure`).
+        replayed_ticks: Buffered ticks replayed to restore the shard.
+    """
+
+    kind: str
+    tick_id: int
+    shard_id: int
+    restarts: int
+    reason: str = ""
+    replayed_ticks: int = 0
+
+
+@dataclass(frozen=True)
+class WatchSupervisionStats:
+    """Self-healing account of one watch.
+
+    Attributes:
+        n_restarts: Shard workers restarted (replacement spawned and
+            state restored).
+        n_deadline_kills: Restarts triggered by a tick deadline rather
+            than observed death.
+        n_forced_stops: Workers that had to be ``terminate()``/
+            ``kill()``-ed because they did not stop gracefully --
+            nonzero values are the teardown-hang warning counter.
+        n_replayed_ticks: Total buffered ticks replayed across all
+            recoveries.
+        n_corrupt_quarantined: Customers quarantined because their
+            stored state blob failed to decode.
+        max_recovery_ticks: Largest single-recovery replay (the
+            watch's MTTR in ticks).
+        quarantined_shards: Shards retired from restarting after
+            exhausting ``max_restarts``.
+        events: Ordered :class:`WorkerEvent` log.
+    """
+
+    n_restarts: int = 0
+    n_deadline_kills: int = 0
+    n_forced_stops: int = 0
+    n_replayed_ticks: int = 0
+    n_corrupt_quarantined: int = 0
+    max_recovery_ticks: int = 0
+    quarantined_shards: tuple[int, ...] = ()
+    events: tuple[WorkerEvent, ...] = ()
+
+
+class _PendingTick:
+    """Reorder-buffer entry: one dispatched tick awaiting its shards.
+
+    Shared by all three pools so the supervisor can credit replayed
+    results uniformly (:meth:`_WatchPool.fold`).  ``owing`` is the set
+    of shards whose results are still outstanding; a shard not in it
+    has already been credited, so late duplicates (a replaced worker's
+    stale reply racing its replacement's replay) fold to nothing.
+    """
+
+    __slots__ = ("tick_id", "owing", "emissions", "busy", "futures", "deadline")
+
+    def __init__(
+        self, tick_id: int, owing: "Iterable[int]", deadline: float | None = None
+    ) -> None:
+        self.tick_id = tick_id
+        self.owing = set(owing)
+        self.emissions: list = []
+        self.busy: dict[int, float] = {}
+        self.futures: dict[int, Future] = {}
+        self.deadline = deadline
 
 
 @dataclass(frozen=True)
@@ -402,6 +524,7 @@ class _WatchCoordinator:
         self.store = checkpoint.store if checkpoint is not None else None
         self.quarantined: set[str] = set()
         self.evicted: set[str] = set()
+        self.n_corrupt_quarantined = 0
         self.current_tick = 0
         self.n_emitted = 0
         self.n_checkpoints = 0
@@ -456,7 +579,13 @@ class _WatchCoordinator:
         counting it as load -- a quarantined whale must not keep
         reading as the hottest customer of an actually idle shard and
         bait the policy into migrating its innocent neighbours.
+
+        Idempotent: shard quarantine marks every resident at once and
+        their error updates flow through here again when emitted, so a
+        repeat call must not double-log the event.
         """
+        if customer_id in self.quarantined:
+            return
         self.quarantined.add(customer_id)
         self._customer_recent.pop(customer_id, None)
         self._last_seen.pop(customer_id, None)
@@ -469,6 +598,35 @@ class _WatchCoordinator:
                 tick_id=self.current_tick,
                 customer_id=customer_id,
                 source_shard=shard_id,
+            )
+
+    def quarantine_corrupt(self, customer_id: str, detail: str) -> None:
+        """Quarantine one customer whose stored state failed to decode.
+
+        A single damaged blob must cost one customer, not the fleet:
+        resume, readmission and recovery-baseline loads all route
+        decode failures here instead of aborting.  The event log gets
+        a ``quarantine`` entry with the corruption detail so operators
+        can distinguish data damage from feed-triggered quarantine.
+        """
+        already = customer_id in self.quarantined
+        self.quarantined.add(customer_id)
+        self._customer_recent.pop(customer_id, None)
+        self._last_seen.pop(customer_id, None)
+        self.evicted.discard(customer_id)
+        shard_id = self._routes.pop(customer_id, None)
+        if shard_id is not None:
+            self._members.get(shard_id, set()).discard(customer_id)
+        if already:
+            return
+        self.n_corrupt_quarantined += 1
+        if self.store is not None:
+            self.store.append_event(
+                "quarantine",
+                tick_id=self.current_tick,
+                customer_id=customer_id,
+                source_shard=shard_id,
+                detail={"reason": "corrupt_state", "error": detail},
             )
 
     # -- decision points -----------------------------------------------
@@ -637,6 +795,14 @@ class _WatchCoordinator:
             records=records,
         )
         self.n_checkpoints += 1
+        # The store is now the recovery baseline: truncate the
+        # supervisor's replay buffers *before* eviction, so any
+        # post-checkpoint extract events land in a fresh buffer and a
+        # recovery never double-applies pre-checkpoint ticks on top of
+        # state the checkpoint already contains.
+        supervisor = getattr(pool, "supervisor", None)
+        if supervisor is not None:
+            supervisor.on_checkpoint()
         max_resident = self.checkpoint_config.max_resident
         if max_resident is not None:
             self._evict_cold(pool, tick_id, max_resident)
@@ -686,10 +852,16 @@ class _WatchCoordinator:
         in-flight ticks).  A customer with no stored record -- deleted
         out-of-band -- is simply treated as brand new.
         """
+        from ..store import StoreCorruptionError
+
         assert self.store is not None
         for customer_id in sorted(set(customer_ids)):
             self.evicted.discard(customer_id)
-            record = self.store.load_customer_state(customer_id)
+            try:
+                record = self.store.load_customer_state(customer_id)
+            except StoreCorruptionError as exc:
+                self.quarantine_corrupt(customer_id, str(exc))
+                continue
             if record is None:
                 continue
             shard_id = self.ring.route(customer_id)
@@ -705,7 +877,8 @@ class _WatchCoordinator:
 
         Returns the checkpoint so the watch loop can skip the consumed
         feed prefix and continue emission counting where the killed run
-        stopped.
+        stopped.  A customer whose stored blob fails to decode is
+        quarantined (event-logged) instead of aborting the resume.
         """
         checkpoint = store.require_checkpoint()
         current = pool.n_shards
@@ -722,7 +895,20 @@ class _WatchCoordinator:
         for customer_id, shard_id in checkpoint.overrides.items():
             self.ring.set_override(customer_id, shard_id)
         by_shard: dict[int, list[CustomerStateRecord]] = {}
-        for record in store.iter_customer_states():
+
+        def quarantine_corrupt(customer_id: str, exc: Exception) -> None:
+            self.quarantine_corrupt(customer_id, str(exc))
+            if self.store is None:
+                # Resume without continued checkpointing: the event
+                # still belongs in the resume store's audit log.
+                store.append_event(
+                    "quarantine",
+                    tick_id=checkpoint.tick_id,
+                    customer_id=customer_id,
+                    detail={"reason": "corrupt_state", "error": str(exc)},
+                )
+
+        for record in store.iter_customer_states(on_corrupt=quarantine_corrupt):
             shard_id = self.ring.route(record.customer_id)
             by_shard.setdefault(shard_id, []).append(record)
             if record.quarantined:
@@ -755,6 +941,14 @@ class _WatchPool(ABC):
     shards live, how ticks reach them, how migrated state crosses the
     boundary.  ``extract``/``install``/``add_shard``/``retire_shard``
     are only called at fully drained tick boundaries.
+
+    Supervision hooks: :meth:`submit`/:meth:`extract`/:meth:`install`
+    are concrete templates that record what they dispatched with the
+    attached :class:`_WatchSupervisor` (when active) before deferring
+    to the per-backend ``_do_*`` implementations.  Recoverable
+    failures surface as :class:`_WorkerFailure`; the supervisor heals
+    them with :meth:`replace_shard`, :meth:`replay_tick` and
+    :meth:`fold`.
     """
 
     #: Samples per shard per tick and reorder-buffer depth; the serial
@@ -763,40 +957,128 @@ class _WatchPool(ABC):
     tick_per_shard: int = WATCH_TICK_PER_WORKER
     max_inflight: int = WATCH_INFLIGHT_TICKS
 
+    #: Whether this pool's workers can die out from under the parent
+    #: (process pools).  Volatile pools keep the supervisor recording
+    #: even without injected faults, so a real crash is recoverable.
+    volatile: bool = False
+
     def __init__(self, config: ShardAssessmentConfig) -> None:
         self.config = config
+        self.supervisor: "_WatchSupervisor | None" = None
+        self.n_forced_stops = 0
         self._retired_stats: list[CurveCacheStats] = []
+        self._pending: deque[_PendingTick] = deque()
 
     @property
     @abstractmethod
     def n_shards(self) -> int:
         """Current worker-pool size."""
 
-    @abstractmethod
+    # -- dispatch templates (supervision-aware) ------------------------
     def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
-        """Dispatch one routed tick to its shards."""
+        """Dispatch one routed tick to its shards.
+
+        Consults the fault plan exactly once per ``(shard, tick)``
+        here -- replays go through :meth:`replay_tick`, which never
+        injects, so a respawned worker cannot re-trip the fault that
+        killed its predecessor.
+        """
+        directives: dict[int, tuple] = {}
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.active:
+            directives = supervisor.directives_for(tick_id, by_shard)
+            supervisor.note_tick(tick_id, by_shard)
+        self._do_submit(tick_id, by_shard, directives)
+
+    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        """Pull migration records off a shard (nothing in flight)."""
+        records = self._do_extract(shard_id, customer_ids)
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.active:
+            # Recorded only after success: a failed extract left the
+            # worker dead with its state intact in the baseline.
+            supervisor.note_extract(shard_id, customer_ids)
+        return records
+
+    def install(self, shard_id: int, records: list) -> None:
+        """Deliver migration records to a shard (nothing in flight)."""
+        self._do_install(shard_id, records)
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.active:
+            supervisor.note_install(shard_id, records)
 
     @abstractmethod
+    def _do_submit(
+        self, tick_id: int, by_shard: dict[int, list], directives: dict[int, tuple]
+    ) -> None:
+        """Backend-specific tick dispatch (with injected-fault directives)."""
+
+    @abstractmethod
+    def _do_extract(self, shard_id: int, customer_ids: list[str]) -> list:
+        """Backend-specific migration-record extraction."""
+
+    @abstractmethod
+    def _do_install(self, shard_id: int, records: list) -> None:
+        """Backend-specific migration-record delivery."""
+
+    # -- reorder buffer ------------------------------------------------
     def pending(self) -> int:
         """Ticks dispatched but not yet drained."""
+        return len(self._pending)
+
+    def fold(
+        self, tick_id: int, shard_id: int, emissions: list, busy_seconds: float
+    ) -> bool:
+        """Credit one shard's tick result against the reorder buffer.
+
+        Returns False -- and discards the result -- when the tick is
+        unknown or the shard already credited it: late duplicates from
+        a replaced worker's stale reply, or re-replays after a nested
+        recovery, fold to nothing instead of corrupting the stream.
+        """
+        for entry in self._pending:
+            if entry.tick_id == tick_id:
+                if shard_id not in entry.owing:
+                    return False
+                entry.owing.discard(shard_id)
+                entry.emissions.extend(emissions)
+                entry.busy[shard_id] = entry.busy.get(shard_id, 0.0) + busy_seconds
+                return True
+        return False
+
+    def _tick_deadline(self) -> float | None:
+        """Absolute deadline for a tick dispatched now (None = unbounded)."""
+        supervisor = self.supervisor
+        if supervisor is None or not supervisor.active:
+            return None
+        seconds = supervisor.config.tick_deadline_s
+        if seconds is None:
+            return None
+        return time.monotonic() + seconds
+
+    def refresh_deadlines(self) -> None:
+        """Restart every pending tick's deadline clock (post-recovery).
+
+        Recovery (backoff sleep + replay) eats wall-clock the healthy
+        shards' in-flight ticks should not be billed for; without a
+        refresh one shard's restart could cascade into spurious
+        deadline kills on its peers.
+        """
+        deadline = self._tick_deadline()
+        for entry in self._pending:
+            if entry.deadline is not None:
+                entry.deadline = deadline
 
     @abstractmethod
     def drain_next(self) -> tuple[list, dict[int, float]]:
         """Complete the oldest tick: (seq-sorted emissions, busy seconds by shard)."""
 
+    # -- shard lifecycle -----------------------------------------------
     @abstractmethod
     def snapshot_shard(
         self, shard_id: int, customer_ids: list[str] | None = None
     ) -> list[CustomerStateRecord]:
         """Non-destructive state snapshot of a shard (nothing in flight)."""
-
-    @abstractmethod
-    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
-        """Pull migration records off a shard (nothing in flight)."""
-
-    @abstractmethod
-    def install(self, shard_id: int, records: list) -> None:
-        """Deliver migration records to a shard (nothing in flight)."""
 
     @abstractmethod
     def add_shard(self, shard_id: int) -> None:
@@ -805,6 +1087,24 @@ class _WatchPool(ABC):
     @abstractmethod
     def retire_shard(self, shard_id: int) -> None:
         """Take an emptied shard offline, keeping its cache counters."""
+
+    @abstractmethod
+    def replace_shard(self, shard_id: int) -> None:
+        """Discard a failed shard's worker and bring up an empty one.
+
+        The replacement owns no state; the supervisor restores the
+        baseline and replays the buffered suffix afterwards.
+        """
+
+    @abstractmethod
+    def replay_tick(
+        self, shard_id: int, tick_id: int, batch: list
+    ) -> tuple[list, float]:
+        """Synchronously re-run one buffered tick on a restored shard.
+
+        Never consults the fault plan.  Returns the shard's
+        ``(emissions, busy_seconds)`` for :meth:`fold`.
+        """
 
     def finish(self) -> None:
         """Graceful end-of-feed handshake (collect remaining stats)."""
@@ -836,37 +1136,58 @@ class _InlinePool(_WatchPool):
         self._shards: dict[int, _WatchShard] = {
             shard_id: _WatchShard(config) for shard_id in range(n_shards)
         }
-        self._done: deque[tuple[list, dict[int, float]]] = deque()
 
     @property
     def n_shards(self) -> int:
         return len(self._shards)
 
-    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
-        emissions: list = []
-        busy: dict[int, float] = {}
+    def _do_submit(
+        self, tick_id: int, by_shard: dict[int, list], directives: dict[int, tuple]
+    ) -> None:
+        # The entry goes in *before* any injected failure fires so the
+        # supervisor's replay can fold the recovered results into it;
+        # submit failures are therefore recovered without a resubmit.
+        entry = _PendingTick(tick_id, by_shard)
+        self._pending.append(entry)
+        failed: list[int] = []
+        reason = ""
         for shard_id in sorted(by_shard):
-            shard_emissions, seconds = self._shards[shard_id].process(by_shard[shard_id])
-            emissions.extend(shard_emissions)
-            busy[shard_id] = seconds
-        emissions.sort(key=lambda pair: pair[0])
-        self._done.append((emissions, busy))
-
-    def pending(self) -> int:
-        return len(self._done)
+            directive = directives.get(shard_id)
+            if directive is not None and directive[0] == "kill":
+                # Simulated death: the shard object (and the tick's
+                # work) is lost with its "worker".
+                self._shards[shard_id] = _WatchShard(self.config)
+                failed.append(shard_id)
+                reason = "killed"
+                continue
+            if directive is not None and directive[0] == "delay":
+                time.sleep(directive[1])
+            emissions, seconds = self._shards[shard_id].process(by_shard[shard_id])
+            if directive is not None and directive[0] == "drop":
+                # The work happened (state advanced) but the reply is
+                # lost; recovery discards this incarnation and replays
+                # from the baseline.
+                failed.append(shard_id)
+                reason = "drop"
+                continue
+            self.fold(tick_id, shard_id, emissions, seconds)
+        if failed:
+            raise _WorkerFailure(failed, reason, "injected fault")
 
     def drain_next(self) -> tuple[list, dict[int, float]]:
-        return self._done.popleft()
+        entry = self._pending.popleft()
+        entry.emissions.sort(key=lambda pair: pair[0])
+        return entry.emissions, entry.busy
 
     def snapshot_shard(
         self, shard_id: int, customer_ids: list[str] | None = None
     ) -> list[CustomerStateRecord]:
         return self._shards[shard_id].snapshot_records(customer_ids)
 
-    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+    def _do_extract(self, shard_id: int, customer_ids: list[str]) -> list:
         return self._shards[shard_id].extract(customer_ids)
 
-    def install(self, shard_id: int, records: list) -> None:
+    def _do_install(self, shard_id: int, records: list) -> None:
         self._shards[shard_id].install(records)
 
     def add_shard(self, shard_id: int) -> None:
@@ -874,6 +1195,16 @@ class _InlinePool(_WatchPool):
 
     def retire_shard(self, shard_id: int) -> None:
         self._retired_stats.append(self._shards.pop(shard_id).cache.stats())
+
+    def replace_shard(self, shard_id: int) -> None:
+        # The failed incarnation's cache counters die with it, exactly
+        # as a dead process worker's would.
+        self._shards[shard_id] = _WatchShard(self.config)
+
+    def replay_tick(
+        self, shard_id: int, tick_id: int, batch: list
+    ) -> tuple[list, float]:
+        return self._shards[shard_id].process(batch)
 
     def stats(self) -> tuple[CurveCacheStats, ...]:
         return tuple(self._retired_stats) + tuple(
@@ -889,50 +1220,100 @@ class _ThreadShardPool(_WatchPool):
     confinement the process backend gets from per-worker queues,
     without locks.  Migrations run as direct method calls at drained
     boundaries, when no task can be running.
+
+    Injected faults simulate worker failure without real threads
+    dying: a ``kill`` raises :class:`_InjectedKill` before touching
+    the shard, a ``drop`` processes the batch and then parks on the
+    shard incarnation's release event (so the result is withheld until
+    a deadline notices, yet the thread exits promptly once the shard
+    is replaced or the pool closes -- a genuinely sleeping thread
+    would stall interpreter shutdown).  A thread cannot be torn down
+    mid-task, so replacing a shard abandons its executor and counts a
+    forced stop.
     """
 
     def __init__(self, config: ShardAssessmentConfig, n_shards: int) -> None:
         super().__init__(config)
         self._shards: dict[int, _WatchShard] = {}
         self._executors: dict[int, ThreadPoolExecutor] = {}
+        self._release_events: dict[int, threading.Event] = {}
         for shard_id in range(n_shards):
             self.add_shard(shard_id)
-        self._pending: deque[list[tuple[int, Future]]] = deque()
 
     @property
     def n_shards(self) -> int:
         return len(self._shards)
 
-    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
-        self._pending.append(
-            [
-                (shard_id, self._executors[shard_id].submit(self._shards[shard_id].process, batch))
-                for shard_id, batch in by_shard.items()
-            ]
-        )
+    @staticmethod
+    def _run_shard(
+        shard: _WatchShard,
+        shard_id: int,
+        released: threading.Event,
+        batch: list,
+        directive: tuple | None,
+    ) -> tuple[list, float]:
+        # The shard object and release event are captured at submit
+        # time: a task outliving its replacement must keep mutating
+        # the abandoned incarnation, never the fresh one.
+        if directive is not None:
+            action = directive[0]
+            if action == "kill":
+                raise _InjectedKill(shard_id)
+            if action == "delay" and released.wait(timeout=directive[1]):
+                raise _InjectedKill(shard_id)  # replaced while delayed
+        emissions, seconds = shard.process(batch)
+        if directive is not None and directive[0] == "drop":
+            released.wait()
+            raise _InjectedKill(shard_id)
+        return emissions, seconds
 
-    def pending(self) -> int:
-        return len(self._pending)
+    def _do_submit(
+        self, tick_id: int, by_shard: dict[int, list], directives: dict[int, tuple]
+    ) -> None:
+        entry = _PendingTick(tick_id, by_shard, deadline=self._tick_deadline())
+        for shard_id, batch in by_shard.items():
+            entry.futures[shard_id] = self._executors[shard_id].submit(
+                self._run_shard,
+                self._shards[shard_id],
+                shard_id,
+                self._release_events[shard_id],
+                batch,
+                directives.get(shard_id),
+            )
+        self._pending.append(entry)
 
     def drain_next(self) -> tuple[list, dict[int, float]]:
-        emissions: list = []
-        busy: dict[int, float] = {}
-        for shard_id, future in self._pending.popleft():
-            shard_emissions, seconds = future.result()
-            emissions.extend(shard_emissions)
-            busy[shard_id] = busy.get(shard_id, 0.0) + seconds
-        emissions.sort(key=lambda pair: pair[0])
-        return emissions, busy
+        head = self._pending[0]
+        while head.owing:
+            shard_id = min(head.owing)
+            timeout = None
+            if head.deadline is not None:
+                timeout = max(0.0, head.deadline - time.monotonic())
+            try:
+                emissions, seconds = head.futures[shard_id].result(timeout=timeout)
+            except FuturesTimeoutError:
+                hung = sorted(
+                    owing for owing in head.owing if not head.futures[owing].done()
+                )
+                raise _WorkerFailure(
+                    hung or [shard_id], "deadline", "tick deadline expired"
+                ) from None
+            except _InjectedKill:
+                raise _WorkerFailure([shard_id], "killed", "injected fault") from None
+            self.fold(head.tick_id, shard_id, emissions, seconds)
+        entry = self._pending.popleft()
+        entry.emissions.sort(key=lambda pair: pair[0])
+        return entry.emissions, entry.busy
 
     def snapshot_shard(
         self, shard_id: int, customer_ids: list[str] | None = None
     ) -> list[CustomerStateRecord]:
         return self._shards[shard_id].snapshot_records(customer_ids)
 
-    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+    def _do_extract(self, shard_id: int, customer_ids: list[str]) -> list:
         return self._shards[shard_id].extract(customer_ids)
 
-    def install(self, shard_id: int, records: list) -> None:
+    def _do_install(self, shard_id: int, records: list) -> None:
         self._shards[shard_id].install(records)
 
     def add_shard(self, shard_id: int) -> None:
@@ -940,10 +1321,29 @@ class _ThreadShardPool(_WatchPool):
         self._executors[shard_id] = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"fleet-watch-{shard_id}"
         )
+        self._release_events[shard_id] = threading.Event()
 
     def retire_shard(self, shard_id: int) -> None:
         self._executors.pop(shard_id).shutdown(wait=True)
+        self._release_events.pop(shard_id).set()
         self._retired_stats.append(self._shards.pop(shard_id).cache.stats())
+
+    def replace_shard(self, shard_id: int) -> None:
+        # Wake any parked injected-fault task so the abandoned thread
+        # exits, then walk away from the executor: its possibly still
+        # running task counts as a forced stop.
+        self._release_events[shard_id].set()
+        self.n_forced_stops += 1
+        self._executors[shard_id].shutdown(wait=False, cancel_futures=True)
+        self.add_shard(shard_id)
+
+    def replay_tick(
+        self, shard_id: int, tick_id: int, batch: list
+    ) -> tuple[list, float]:
+        future = self._executors[shard_id].submit(
+            self._shards[shard_id].process, batch
+        )
+        return future.result()
 
     def stats(self) -> tuple[CurveCacheStats, ...]:
         return tuple(self._retired_stats) + tuple(
@@ -951,6 +1351,8 @@ class _ThreadShardPool(_WatchPool):
         )
 
     def close(self) -> None:
+        for released in self._release_events.values():
+            released.set()
         for executor in self._executors.values():
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -996,7 +1398,9 @@ def _watch_worker_main(
 
     Message protocol (all tuples, kind first):
 
-    * parent -> worker: ``("tick", tick_id, batch)``,
+    * parent -> worker: ``("tick", tick_id, batch, directive)`` where
+      ``directive`` is ``None`` or an injected-fault order
+      (``("kill",)``, ``("delay", seconds)``, ``("drop",)``),
       ``("extract", request_id, customer_ids)``,
       ``("install", request_id, records)``,
       ``("snapshot", request_id, customer_ids_or_None)``, or the
@@ -1008,6 +1412,12 @@ def _watch_worker_main(
       ``("stats", worker_id, cache_stats)`` on graceful stop, or
       ``("error", worker_id, details)`` on any failure the shard's
       per-customer containment did not absorb.
+
+    Fault directives execute *here*, in the real worker, so the parent
+    sees exactly what a production failure looks like: ``kill`` is a
+    hard ``os._exit`` (no cleanup, no reply), ``delay`` really sleeps
+    (a deadline overrun if it outlasts the tick deadline), ``drop``
+    does the work but never replies (detectable only by deadline).
     """
     try:
         shard = _WatchShard(config)
@@ -1018,8 +1428,15 @@ def _watch_worker_main(
                 return
             kind = message[0]
             if kind == "tick":
-                _, tick_id, batch = message
+                _, tick_id, batch, directive = message
+                if directive is not None:
+                    if directive[0] == "kill":
+                        os._exit(13)
+                    if directive[0] == "delay":
+                        time.sleep(directive[1])
                 emissions, busy_seconds = shard.process(batch)
+                if directive is not None and directive[0] == "drop":
+                    continue
                 out_queue.put(("tick", worker_id, tick_id, emissions, busy_seconds))
             elif kind == "extract":
                 _, request_id, customer_ids = message
@@ -1065,6 +1482,8 @@ class _ProcessShardPool(_WatchPool):
     shrink runs the stop/stats handshake on the retiring one.
     """
 
+    volatile = True
+
     def __init__(self, config: ShardAssessmentConfig, n_shards: int) -> None:
         super().__init__(config)
         self._context = multiprocessing.get_context()
@@ -1076,87 +1495,109 @@ class _ProcessShardPool(_WatchPool):
         self._request_id = 0
         for shard_id in range(n_shards):
             self.add_shard(shard_id)
-        # Reorder buffer: [tick id, shard ids still owing results,
-        # emissions gathered so far, busy seconds by shard].
-        self._pending: deque[list] = deque()
 
     @property
     def n_shards(self) -> int:
         return len(self._workers)
 
-    def submit(self, tick_id: int, by_shard: dict[int, list]) -> None:
+    def _do_submit(
+        self, tick_id: int, by_shard: dict[int, list], directives: dict[int, tuple]
+    ) -> None:
         for shard_id, batch in by_shard.items():
-            self._in_queues[shard_id].put(("tick", tick_id, batch))
-        self._pending.append([tick_id, set(by_shard), [], {}])
+            self._in_queues[shard_id].put(
+                ("tick", tick_id, batch, directives.get(shard_id))
+            )
+        self._pending.append(
+            _PendingTick(tick_id, by_shard, deadline=self._tick_deadline())
+        )
 
-    def pending(self) -> int:
-        return len(self._pending)
-
-    def _receive(self, awaiting: set[int]) -> tuple:
-        """One worker message, failing fast if an *owing* worker died.
+    def _receive(
+        self,
+        awaiting: set[int],
+        deadline: float | None = None,
+        deadline_shards: "Iterable[int] | None" = None,
+    ) -> tuple:
+        """One worker message, failing recoverably on death or deadline.
 
         Only workers in ``awaiting`` count as casualties: a worker
         that already delivered everything it owed exits legitimately
         during the shutdown handshake, and must not be mistaken for
-        a crash while the parent waits on its peers.
+        a crash while the parent waits on its peers.  With a
+        ``deadline``, expiry raises a :class:`_WorkerFailure` naming
+        ``deadline_shards`` (default: everything awaited) instead of
+        blocking forever on a hung worker.
         """
         while True:
+            timeout = _WORKER_POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _WorkerFailure(
+                        deadline_shards if deadline_shards is not None else awaiting,
+                        "deadline",
+                        "tick deadline expired",
+                    )
+                timeout = min(timeout, remaining)
             try:
-                return self._out_queue.get(timeout=_WORKER_POLL_SECONDS)
+                return self._out_queue.get(timeout=timeout)
             except queue_module.Empty:
                 dead = [
-                    self._workers[shard_id].name
+                    shard_id
                     for shard_id in sorted(awaiting)
                     if shard_id in self._workers and not self._workers[shard_id].is_alive()
                 ]
                 if dead:
-                    raise RuntimeError(
-                        f"fleet watch worker(s) {', '.join(dead)} died "
-                        "without reporting a result"
+                    names = ", ".join(self._workers[shard_id].name for shard_id in dead)
+                    raise _WorkerFailure(
+                        dead, "death", f"{names} died without reporting a result"
                     ) from None
 
     def drain_next(self) -> tuple[list, dict[int, float]]:
         head = self._pending[0]
-        while head[1]:  # shards still owing the head tick
+        while head.owing:
             message = self._receive(
-                {shard_id for entry in self._pending for shard_id in entry[1]}
+                {shard_id for entry in self._pending for shard_id in entry.owing},
+                deadline=head.deadline,
+                deadline_shards=head.owing,
             )
             kind = message[0]
             if kind == "error":
-                raise RuntimeError(
-                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
-                )
+                raise _WorkerFailure([message[1]], "error", message[2])
             if kind != "tick":
                 raise RuntimeError(
                     f"fleet watch worker {message[1]} sent unexpected "
                     f"{kind!r} while ticks were in flight"
                 )
             _, shard_id, tick_id, emissions, busy_seconds = message
-            for entry in self._pending:
-                if entry[0] == tick_id:
-                    entry[1].discard(shard_id)
-                    entry[2].extend(emissions)
-                    entry[3][shard_id] = entry[3].get(shard_id, 0.0) + busy_seconds
-                    break
-            else:
-                raise RuntimeError(
-                    f"fleet watch worker {shard_id} answered unknown tick {tick_id}"
-                )
-        _, _, emissions, busy = self._pending.popleft()
-        emissions.sort(key=lambda pair: pair[0])
-        return emissions, busy
+            # A miss is a replaced worker's stale reply (its
+            # replacement already replayed the tick); drop it.
+            self.fold(tick_id, shard_id, emissions, busy_seconds)
+        entry = self._pending.popleft()
+        entry.emissions.sort(key=lambda pair: pair[0])
+        return entry.emissions, entry.busy
 
     def _await_reply(self, kind: str, shard_id: int, request_id: int) -> tuple:
-        """Wait for one handshake reply; nothing else can be in flight."""
-        message = self._receive({shard_id})
-        if message[0] == "error":
-            raise RuntimeError(f"fleet watch worker {message[1]} failed:\n{message[2]}")
-        if message[0] != kind or message[1] != shard_id or message[2] != request_id:
-            raise RuntimeError(
-                f"fleet watch worker {message[1]} sent unexpected {message[0]!r} "
-                f"during a drained {kind!r} handshake"
-            )
-        return message
+        """Wait for one handshake reply at a drained boundary.
+
+        Stale tick replies from a worker incarnation replaced during
+        recovery may still surface here; they fold to nothing (the
+        reorder buffer is empty at a drained boundary) and the wait
+        continues.
+        """
+        while True:
+            message = self._receive({shard_id})
+            if message[0] == "error":
+                raise _WorkerFailure([message[1]], "error", message[2])
+            if message[0] == "tick":
+                _, stale_shard, stale_tick, emissions, busy_seconds = message
+                self.fold(stale_tick, stale_shard, emissions, busy_seconds)
+                continue
+            if message[0] != kind or message[1] != shard_id or message[2] != request_id:
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} sent unexpected {message[0]!r} "
+                    f"during a drained {kind!r} handshake"
+                )
+            return message
 
     def snapshot_shard(
         self, shard_id: int, customer_ids: list[str] | None = None
@@ -1165,12 +1606,12 @@ class _ProcessShardPool(_WatchPool):
         self._in_queues[shard_id].put(("snapshot", self._request_id, customer_ids))
         return self._await_reply("snapshotted", shard_id, self._request_id)[3]
 
-    def extract(self, shard_id: int, customer_ids: list[str]) -> list:
+    def _do_extract(self, shard_id: int, customer_ids: list[str]) -> list:
         self._request_id += 1
         self._in_queues[shard_id].put(("extract", self._request_id, customer_ids))
         return self._await_reply("extracted", shard_id, self._request_id)[3]
 
-    def install(self, shard_id: int, records: list) -> None:
+    def _do_install(self, shard_id: int, records: list) -> None:
         self._request_id += 1
         self._in_queues[shard_id].put(("install", self._request_id, records))
         self._await_reply("installed", shard_id, self._request_id)
@@ -1187,14 +1628,30 @@ class _ProcessShardPool(_WatchPool):
         self._workers[shard_id] = worker
         worker.start()
 
+    def _reap(self, worker) -> None:
+        """Join with escalation: a worker may never block teardown.
+
+        ``join(timeout)`` -> ``terminate()`` (SIGTERM) -> ``kill()``
+        (SIGKILL), each stage bounded by :data:`_JOIN_TIMEOUT_S`.
+        Escalations count as forced stops -- the warning counter a
+        healthy watch keeps at zero.
+        """
+        worker.join(timeout=_JOIN_TIMEOUT_S)
+        if not worker.is_alive():
+            return
+        self.n_forced_stops += 1
+        worker.terminate()
+        worker.join(timeout=_JOIN_TIMEOUT_S)
+        if worker.is_alive():
+            worker.kill()
+            worker.join(timeout=_JOIN_TIMEOUT_S)
+
     def retire_shard(self, shard_id: int) -> None:
         self._in_queues[shard_id].put(_STOP)
         while True:
             message = self._receive({shard_id})
             if message[0] == "error":
-                raise RuntimeError(
-                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
-                )
+                raise _WorkerFailure([message[1]], "error", message[2])
             if message[0] == "stats" and message[1] == shard_id:
                 break
             raise RuntimeError(
@@ -1202,10 +1659,50 @@ class _ProcessShardPool(_WatchPool):
                 f"{message[0]!r} during retirement"
             )
         self._retired_stats.append(message[2])
-        worker = self._workers.pop(shard_id)
-        worker.join(timeout=5.0)
+        self._reap(self._workers.pop(shard_id))
         queue = self._in_queues.pop(shard_id)
         self._closed_queues.append(queue)
+
+    def replace_shard(self, shard_id: int) -> None:
+        worker = self._workers.pop(shard_id, None)
+        if worker is not None and worker.is_alive():
+            # Hung or fault-delayed, not dead: force it down.
+            self.n_forced_stops += 1
+            worker.terminate()
+            worker.join(timeout=_JOIN_TIMEOUT_S)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=_JOIN_TIMEOUT_S)
+        old_queue = self._in_queues.pop(shard_id, None)
+        if old_queue is not None:
+            # May still hold undelivered messages; park it for close()
+            # rather than risking a feeder-thread deadlock here.
+            self._closed_queues.append(old_queue)
+        self.add_shard(shard_id)
+
+    def replay_tick(
+        self, shard_id: int, tick_id: int, batch: list
+    ) -> tuple[list, float]:
+        self._in_queues[shard_id].put(("tick", tick_id, batch, None))
+        deadline = self._tick_deadline()
+        while True:
+            message = self._receive(
+                {shard_id}, deadline=deadline, deadline_shards=[shard_id]
+            )
+            kind = message[0]
+            if kind == "error":
+                raise _WorkerFailure([message[1]], "error", message[2])
+            if kind != "tick":
+                raise RuntimeError(
+                    f"fleet watch worker {message[1]} sent unexpected "
+                    f"{kind!r} during replay"
+                )
+            _, msg_shard, msg_tick, emissions, busy_seconds = message
+            if msg_shard == shard_id and msg_tick == tick_id:
+                return emissions, busy_seconds
+            # In-flight result from a healthy peer (or a stale reply
+            # from the dead incarnation): credit it and keep waiting.
+            self.fold(msg_tick, msg_shard, emissions, busy_seconds)
 
     def finish(self) -> None:
         for shard_id in sorted(self._workers):
@@ -1215,9 +1712,7 @@ class _ProcessShardPool(_WatchPool):
         while owing:
             message = self._receive(owing)
             if message[0] == "error":
-                raise RuntimeError(
-                    f"fleet watch worker {message[1]} failed:\n{message[2]}"
-                )
+                raise _WorkerFailure([message[1]], "error", message[2])
             if message[0] == "stats":
                 owing.discard(message[1])
                 collected[message[1]] = message[2]
@@ -1236,10 +1731,335 @@ class _ProcessShardPool(_WatchPool):
 
     def close(self) -> None:
         for worker in self._workers.values():
-            worker.join(timeout=5.0)
+            self._reap(worker)
         for queue in (*self._in_queues.values(), *self._closed_queues, self._out_queue):
             queue.close()
             queue.cancel_join_thread()
+
+
+class _WatchSupervisor:
+    """Self-healing controller for one watch's worker pool.
+
+    Keeps, per shard, everything needed to rebuild a failed worker
+    from scratch: a *baseline* (the durable store when a checkpoint
+    config is attached, otherwise periodic in-parent state snapshots)
+    plus an ordered *replay buffer* of every tick batch, install and
+    extract dispatched since that baseline.  Recovery is then
+    mechanical -- spawn a replacement, restore the baseline, replay
+    the buffer -- and byte-identical to the uninterrupted run because
+    snapshots and checkpoints only happen at fully drained tick
+    boundaries, assessment is deterministic, and results are credited
+    through :meth:`_WatchPool.fold`, which drops duplicates.
+
+    Repeated failures of one shard back off exponentially
+    (:meth:`~repro.fleet.config.SupervisionConfig.backoff_delay`);
+    past ``max_restarts`` the shard is quarantined: its residents emit
+    one error update each and further samples are dropped, while a
+    fresh worker keeps serving customers first seen later.
+
+    Known limitation: worker failure *during* a rebalance, readmission
+    or resume handshake is not recoverable (a partial extract/install
+    could lose or fork state) and aborts the watch; failures during
+    ticks, checkpoints and recovery snapshots -- the overwhelming
+    majority of a watch's wall-clock -- are healed.
+    """
+
+    def __init__(
+        self,
+        supervision: SupervisionConfig,
+        coordinator: _WatchCoordinator,
+        store: "FleetStore | None" = None,
+    ) -> None:
+        self.config = supervision
+        self.coordinator = coordinator
+        self.store = store
+        self.faults = supervision.faults
+        self.active = False
+        self.quarantined_shards: set[int] = set()
+        self.events: list[WorkerEvent] = []
+        self.n_restarts = 0
+        self.n_deadline_kills = 0
+        self.n_replayed_ticks = 0
+        self.max_recovery_ticks = 0
+        self.ticks_since_snapshot = 0
+        self._recording = True
+        self._buffers: dict[int, list[tuple]] = {}
+        self._snapshots: dict[int, list[CustomerStateRecord]] = {}
+        self._restarts: dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def directives_for(
+        self, tick_id: int, by_shard: dict[int, list]
+    ) -> dict[int, tuple]:
+        """Injected-fault orders for this tick (empty without a plan)."""
+        plan = self.faults
+        if plan is None or plan.is_noop():
+            return {}
+        directives: dict[int, tuple] = {}
+        for shard_id in by_shard:
+            if plan.kill_at(shard_id, tick_id):
+                directives[shard_id] = ("kill",)
+                continue
+            delay = plan.delay_at(shard_id, tick_id)
+            if delay > 0:
+                directives[shard_id] = ("delay", delay)
+                continue
+            if plan.drop_at(shard_id, tick_id):
+                directives[shard_id] = ("drop",)
+        return directives
+
+    def note_tick(self, tick_id: int, by_shard: dict[int, list]) -> None:
+        if not self._recording:
+            return
+        for shard_id, batch in by_shard.items():
+            self._buffers.setdefault(shard_id, []).append(("tick", tick_id, batch))
+
+    def note_extract(self, shard_id: int, customer_ids: list[str]) -> None:
+        if not self._recording:
+            return
+        self._buffers.setdefault(shard_id, []).append(("extract", list(customer_ids)))
+
+    def note_install(self, shard_id: int, records: list) -> None:
+        if not self._recording:
+            return
+        self._buffers.setdefault(shard_id, []).append(("install", list(records)))
+
+    @contextmanager
+    def suppress(self):
+        """Stop recording while restoring/replaying (not new work)."""
+        previous = self._recording
+        self._recording = False
+        try:
+            yield
+        finally:
+            self._recording = previous
+
+    def on_checkpoint(self) -> None:
+        """A durable checkpoint landed: it is the new recovery baseline."""
+        self._buffers.clear()
+        self._snapshots.clear()
+        self.ticks_since_snapshot = 0
+
+    def snapshot_now(self, pool: _WatchPool) -> None:
+        """Refresh the in-parent baseline (no-store mode, fully drained).
+
+        Snapshot and buffer truncation advance *per shard* so a worker
+        failure mid-pass leaves every shard self-consistent: either
+        new snapshot + empty buffer, or old snapshot + full buffer --
+        never a new snapshot with pre-snapshot ticks still buffered
+        (which a recovery would double-apply).
+        """
+        for shard_id in sorted(self.coordinator.ring.shard_ids):
+            self._snapshots[shard_id] = pool.snapshot_shard(shard_id)
+            self._buffers.pop(shard_id, None)
+        self.ticks_since_snapshot = 0
+
+    # -- recovery ------------------------------------------------------
+    def recover(
+        self, pool: _WatchPool, coordinator: _WatchCoordinator, failure: _WorkerFailure
+    ) -> None:
+        """Heal every shard named by ``failure`` and any nested casualty."""
+        queue: deque[int] = deque(failure.shard_ids)
+        reason = failure.reason
+        while queue:
+            shard_id = queue.popleft()
+            try:
+                self._recover_one(pool, coordinator, shard_id, reason)
+            except _WorkerFailure as nested:
+                # The replacement (or a peer mid-replay) failed too:
+                # re-queue everything implicated plus the interrupted
+                # shard.  Terminates because each attempt consumes a
+                # restart and max_restarts ends in quarantine.
+                for casualty in nested.shard_ids:
+                    if casualty not in queue:
+                        queue.append(casualty)
+                if shard_id not in queue:
+                    queue.appendleft(shard_id)
+                reason = nested.reason
+        # Healthy shards' in-flight ticks must not be billed for the
+        # recovery wall-clock (backoff + replay).
+        pool.refresh_deadlines()
+
+    def _recover_one(
+        self,
+        pool: _WatchPool,
+        coordinator: _WatchCoordinator,
+        shard_id: int,
+        reason: str,
+    ) -> None:
+        n_restart = self._restarts.get(shard_id, 0) + 1
+        self._restarts[shard_id] = n_restart
+        if n_restart > self.config.max_restarts:
+            self._quarantine_shard(pool, coordinator, shard_id, reason)
+            return
+        delay = self.config.backoff_delay(n_restart)
+        if delay > 0:
+            time.sleep(delay)
+        replayed = 0
+        with self.suppress():
+            pool.replace_shard(shard_id)
+            baseline = self._baseline_records(coordinator, shard_id)
+            if baseline:
+                pool.install(shard_id, baseline)
+            for event in list(self._buffers.get(shard_id, ())):
+                if event[0] == "install":
+                    pool.install(shard_id, event[1])
+                elif event[0] == "extract":
+                    pool.extract(shard_id, event[1])
+                else:  # ("tick", tick_id, batch)
+                    _, tick_id, batch = event
+                    emissions, busy_seconds = pool.replay_tick(shard_id, tick_id, batch)
+                    pool.fold(tick_id, shard_id, emissions, busy_seconds)
+                    replayed += 1
+        self.n_restarts += 1
+        if reason == "deadline":
+            self.n_deadline_kills += 1
+        self.n_replayed_ticks += replayed
+        self.max_recovery_ticks = max(self.max_recovery_ticks, replayed)
+        self._record_event(
+            "worker_restart",
+            coordinator.current_tick,
+            shard_id,
+            n_restart,
+            reason,
+            replayed,
+        )
+
+    def _baseline_records(
+        self, coordinator: _WatchCoordinator, shard_id: int
+    ) -> list[CustomerStateRecord]:
+        """The failed shard's state as of its last baseline.
+
+        Customers that a *buffered* install event will (re)deliver are
+        skipped: replaying their install restores them at the correct
+        position, and installing the baseline copy first would trip
+        the live-state epoch guard when the replayed record arrives.
+        """
+        covered: set[str] = set()
+        for event in self._buffers.get(shard_id, ()):
+            if event[0] == "install":
+                covered.update(record.customer_id for record in event[1])
+        if self.store is None:
+            return [
+                record
+                for record in self._snapshots.get(shard_id, ())
+                if record.customer_id not in covered
+            ]
+        from ..store import StoreCorruptionError
+
+        records: list[CustomerStateRecord] = []
+        for customer_id in sorted(coordinator._members.get(shard_id, ())):
+            if customer_id in covered:
+                continue
+            try:
+                record = self.store.load_customer_state(customer_id)
+            except StoreCorruptionError as exc:
+                # One damaged blob costs one customer, not the shard:
+                # quarantine it (event-logged) and restore the rest.
+                # The marker record keeps the replay from resurrecting
+                # it as a brand-new customer.
+                coordinator.quarantine_corrupt(customer_id, str(exc))
+                records.append(
+                    CustomerStateRecord(customer_id, None, quarantined=True)
+                )
+                continue
+            if record is not None:
+                records.append(record)
+        return records
+
+    def _quarantine_shard(
+        self,
+        pool: _WatchPool,
+        coordinator: _WatchCoordinator,
+        shard_id: int,
+        reason: str,
+    ) -> None:
+        """Retire a flapping shard from restarting; contain the blast.
+
+        Every in-flight sample on the shard resolves to one error
+        update per customer (at its first owed sequence position, so
+        the merged stream stays ordered), every resident is
+        customer-quarantined, and a fresh empty worker takes over for
+        customers first seen later.
+        """
+        from .engine import FleetLiveUpdate
+
+        n_restart = self._restarts.get(shard_id, 0)
+        message = (
+            f"shard {shard_id} quarantined after {self.config.max_restarts} "
+            f"worker restarts ({reason})"
+        )
+        buffered_ticks = {
+            event[1]: event[2]
+            for event in self._buffers.get(shard_id, ())
+            if event[0] == "tick"
+        }
+        already_errored: set[str] = set()
+        for entry in pool._pending:
+            if shard_id not in entry.owing:
+                continue
+            emissions: list = []
+            for seq, sample in buffered_ticks.get(entry.tick_id, ()):
+                if sample.customer_id in already_errored:
+                    continue
+                already_errored.add(sample.customer_id)
+                emissions.append(
+                    (
+                        seq,
+                        FleetLiveUpdate(
+                            customer_id=sample.customer_id,
+                            update=None,
+                            error=message,
+                        ),
+                    )
+                )
+            pool.fold(entry.tick_id, shard_id, emissions, 0.0)
+        for customer_id in sorted(coordinator._members.get(shard_id, set())):
+            coordinator.mark_quarantined(customer_id)
+        with self.suppress():
+            pool.replace_shard(shard_id)
+        self._buffers.pop(shard_id, None)
+        self._snapshots.pop(shard_id, None)
+        self.quarantined_shards.add(shard_id)
+        self._record_event(
+            "shard_quarantine", coordinator.current_tick, shard_id, n_restart, reason
+        )
+
+    def _record_event(
+        self,
+        kind: str,
+        tick_id: int,
+        shard_id: int,
+        restarts: int,
+        reason: str,
+        replayed_ticks: int = 0,
+    ) -> None:
+        self.events.append(
+            WorkerEvent(kind, tick_id, shard_id, restarts, reason, replayed_ticks)
+        )
+        if self.store is not None:
+            self.store.append_event(
+                kind,
+                tick_id=tick_id,
+                source_shard=shard_id,
+                detail={
+                    "reason": reason,
+                    "restarts": restarts,
+                    "replayed_ticks": replayed_ticks,
+                },
+            )
+
+    def stats(self, pool: _WatchPool) -> WatchSupervisionStats:
+        return WatchSupervisionStats(
+            n_restarts=self.n_restarts,
+            n_deadline_kills=self.n_deadline_kills,
+            n_forced_stops=pool.n_forced_stops,
+            n_replayed_ticks=self.n_replayed_ticks,
+            n_corrupt_quarantined=self.coordinator.n_corrupt_quarantined,
+            max_recovery_ticks=self.max_recovery_ticks,
+            quarantined_shards=tuple(sorted(self.quarantined_shards)),
+            events=tuple(self.events),
+        )
 
 
 class ExecutionBackend(ABC):
@@ -1259,6 +2079,7 @@ class ExecutionBackend(ABC):
         self.max_workers = max_workers
         self._watch_stats: tuple[CurveCacheStats, ...] = ()
         self._rebalance_stats: WatchRebalanceStats | None = None
+        self._supervision_stats: WatchSupervisionStats | None = None
 
     @property
     def n_workers(self) -> int:
@@ -1307,6 +2128,7 @@ class ExecutionBackend(ABC):
         tick_samples: int | None = None,
         checkpoint: "CheckpointConfig | None" = None,
         resume_from: "FleetStore | None" = None,
+        supervision: SupervisionConfig | None = None,
     ) -> "Iterator[FleetLiveUpdate]":
         """Stream live assessments over a fleet-wide feed, in feed order.
 
@@ -1327,11 +2149,26 @@ class ExecutionBackend(ABC):
         uninterrupted run would have emitted from that point.  The
         caller must replay the *same* feed; the checkpoint records how
         much of it is already accounted for.
+
+        ``supervision`` (default: :class:`SupervisionConfig`'s
+        defaults -- supervision is always on) governs worker-failure
+        recovery: a dead or deadline-hung process worker is replaced,
+        restored and replayed instead of aborting the watch, and the
+        emitted stream stays byte-identical to the unfailed run.
         """
         if tick_samples is not None and tick_samples <= 0:
             raise ValueError(f"tick_samples must be positive, got {tick_samples!r}")
+        if supervision is None:
+            supervision = SupervisionConfig()
         return self._watch_loop(
-            config, samples, policy, on_rebalance, tick_samples, checkpoint, resume_from
+            config,
+            samples,
+            policy,
+            on_rebalance,
+            tick_samples,
+            checkpoint,
+            resume_from,
+            supervision,
         )
 
     def _watch_loop(
@@ -1343,6 +2180,7 @@ class ExecutionBackend(ABC):
         tick_samples: int | None = None,
         checkpoint: "CheckpointConfig | None" = None,
         resume_from: "FleetStore | None" = None,
+        supervision: SupervisionConfig | None = None,
     ) -> "Iterator[FleetLiveUpdate]":
         # The pool spawns lazily, on first iteration: a watch generator
         # that is created but never consumed must not leave worker
@@ -1351,22 +2189,63 @@ class ExecutionBackend(ABC):
         if tick_samples is not None:
             pool.tick_per_shard = tick_samples
         coordinator = _WatchCoordinator(pool.n_shards, policy, on_rebalance, checkpoint)
+        if supervision is None:
+            supervision = SupervisionConfig()
+        supervisor = _WatchSupervisor(
+            supervision,
+            coordinator,
+            store=checkpoint.store if checkpoint is not None else None,
+        )
+        # Recording (replay buffers, baseline snapshots, deadlines)
+        # only pays for itself where recovery is possible and wanted:
+        # always on volatile (process) pools, and anywhere a fault
+        # plan will injure workers on purpose.
+        supervisor.active = pool.volatile or (
+            supervision.faults is not None and not supervision.faults.is_noop()
+        )
+        pool.supervisor = supervisor
+        snapshot_mode = supervisor.active and supervisor.store is None
         stream = iter(enumerate(samples))
         completed = False
 
-        def emit_next() -> "Iterator[FleetLiveUpdate]":
-            emissions, busy = pool.drain_next()
+        def drain_one() -> "list[FleetLiveUpdate]":
+            while True:
+                try:
+                    emissions, busy = pool.drain_next()
+                    break
+                except _WorkerFailure as failure:
+                    supervisor.recover(pool, coordinator, failure)
             coordinator.record_busy(busy)
+            updates: "list[FleetLiveUpdate]" = []
             for _, update in emissions:
                 if update.update is None:  # failure update: customer quarantined
                     coordinator.mark_quarantined(update.customer_id)
                 coordinator.n_emitted += 1
-                yield update
+                updates.append(update)
+            return updates
+
+        def checkpoint_with_recovery(at_tick: int, n_consumed: int) -> None:
+            # Snapshot handshakes are read-only and idempotent, so a
+            # worker death mid-checkpoint recovers and retries; a
+            # second failure aborts (something is systemically wrong).
+            try:
+                coordinator.checkpoint_now(pool, at_tick, n_consumed)
+            except _WorkerFailure as failure:
+                supervisor.recover(pool, coordinator, failure)
+                coordinator.checkpoint_now(pool, at_tick, n_consumed)
 
         try:
             n_consumed = 0
             if resume_from is not None:
-                resume_point = coordinator.restore(pool, resume_from)
+                # Restore handshakes are not recoverable mid-flight (a
+                # partial install forks state); suppress recording --
+                # the store itself is the baseline for resumed state.
+                with supervisor.suppress():
+                    resume_point = coordinator.restore(pool, resume_from)
+                if snapshot_mode:
+                    # Resumed state continues without a durable
+                    # baseline: seed the in-parent one immediately.
+                    supervisor.snapshot_now(pool)
                 # The checkpointed run already consumed (and emitted
                 # for) this feed prefix; skip it.
                 while n_consumed < resume_point.n_consumed:
@@ -1397,7 +2276,7 @@ class ExecutionBackend(ABC):
                     )
                     if returning:
                         while pool.pending():  # installs only run fully drained
-                            yield from emit_next()
+                            yield from drain_one()
                         coordinator.readmit(pool, returning)
                 by_shard: dict[int, list] = {}
                 for seq, sample in tick:
@@ -1406,30 +2285,45 @@ class ExecutionBackend(ABC):
                     by_shard.setdefault(coordinator.route(sample.customer_id), []).append(
                         (seq, sample)
                     )
-                pool.submit(tick_id, by_shard)
+                try:
+                    pool.submit(tick_id, by_shard)
+                except _WorkerFailure as failure:
+                    # The tick is already in the reorder buffer; the
+                    # recovery replay credits it, so no resubmit.
+                    supervisor.recover(pool, coordinator, failure)
                 tick_id += 1
                 if pool.pending() >= pool.max_inflight:
-                    yield from emit_next()
+                    yield from drain_one()
                 if policy is not None:
                     ticks_since_decision += 1
                     if ticks_since_decision >= policy.interval_ticks:
                         while pool.pending():  # decision points run fully drained
-                            yield from emit_next()
+                            yield from drain_one()
                         coordinator.rebalance(pool, tick_id - 1)
                         ticks_since_decision = 0
                 if checkpoint is not None:
                     ticks_since_checkpoint += 1
                     if ticks_since_checkpoint >= checkpoint.every_ticks:
                         while pool.pending():  # checkpoints run fully drained
-                            yield from emit_next()
-                        coordinator.checkpoint_now(pool, tick_id - 1, n_consumed)
+                            yield from drain_one()
+                        checkpoint_with_recovery(tick_id - 1, n_consumed)
                         ticks_since_checkpoint = 0
+                if snapshot_mode:
+                    supervisor.ticks_since_snapshot += 1
+                    if supervisor.ticks_since_snapshot >= supervision.snapshot_every_ticks:
+                        while pool.pending():  # snapshots run fully drained
+                            yield from drain_one()
+                        try:
+                            supervisor.snapshot_now(pool)
+                        except _WorkerFailure as failure:
+                            supervisor.recover(pool, coordinator, failure)
+                            supervisor.snapshot_now(pool)
             while pool.pending():
-                yield from emit_next()
+                yield from drain_one()
             if checkpoint is not None and ticks_since_checkpoint > 0:
                 # End-of-feed checkpoint: a completed watch leaves the
                 # store current, so a restart has nothing to replay.
-                coordinator.checkpoint_now(pool, max(tick_id - 1, 0), n_consumed)
+                checkpoint_with_recovery(max(tick_id - 1, 0), n_consumed)
             pool.finish()
             completed = True
         finally:
@@ -1437,6 +2331,7 @@ class ExecutionBackend(ABC):
                 pool.abort()
             self._watch_stats = pool.stats()
             self._rebalance_stats = coordinator.stats()
+            self._supervision_stats = supervisor.stats(pool)
             pool.close()
 
     def watch_stats(self) -> tuple[CurveCacheStats, ...]:
@@ -1451,6 +2346,15 @@ class ExecutionBackend(ABC):
     def watch_rebalance_stats(self) -> WatchRebalanceStats | None:
         """Rebalancing account of the last watch (None before any watch)."""
         return self._rebalance_stats
+
+    def watch_supervision_stats(self) -> WatchSupervisionStats | None:
+        """Self-healing account of the last watch (None before any watch).
+
+        A healthy run reports all-zero counters; nonzero
+        ``n_forced_stops`` means a worker had to be terminated to keep
+        teardown from hanging.
+        """
+        return self._supervision_stats
 
 
 class SerialBackend(ExecutionBackend):

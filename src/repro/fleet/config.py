@@ -28,6 +28,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Literal
 
+from ..faults import FaultPlan
 from ..telemetry.streaming import DEFAULT_STREAM_WINDOW
 from ..telemetry.timeseries import DEFAULT_SAMPLE_INTERVAL_MINUTES
 from .rebalance import RebalanceEvent, RebalancePolicy
@@ -36,7 +37,7 @@ if TYPE_CHECKING:  # circular-import-free typing only
     from ..store import FleetStore
     from .backends import FleetBackend
 
-__all__ = ["CheckpointConfig", "WatchConfig"]
+__all__ = ["CheckpointConfig", "SupervisionConfig", "WatchConfig"]
 
 #: Ticks between checkpoints when a :class:`CheckpointConfig` does not
 #: say otherwise.  At the default watch tick (64 samples per shard)
@@ -45,6 +46,90 @@ __all__ = ["CheckpointConfig", "WatchConfig"]
 #: measured throughput cost stays under the 10% budget gated in
 #: ``bench_streaming.py``.
 DEFAULT_CHECKPOINT_EVERY_TICKS = 64
+
+#: Default per-tick deadline before the supervisor declares a shard
+#: hung and restarts it.  Generous -- a tick is at most a few thousand
+#: assessments -- so only a genuinely wedged worker trips it; a false
+#: positive costs a replay, never correctness.
+DEFAULT_TICK_DEADLINE_S = 120.0
+
+#: Ticks between in-parent recovery snapshots when no durable
+#: checkpoint truncates the replay buffer instead.  Matches the
+#: checkpoint cadence: the replay buffer is bounded by this many ticks
+#: of feed.
+DEFAULT_SNAPSHOT_EVERY_TICKS = 64
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """How a watch survives worker failure.
+
+    Attached via ``WatchConfig(supervision=...)``; ``None`` there means
+    these defaults.  The supervisor detects dead or
+    deadline-overrunning shard workers, spawns replacements, restores
+    their customers from the last durable checkpoint (or in-parent
+    snapshot) and replays the un-checkpointed feed suffix -- output
+    stays byte-identical to an uninterrupted run.  Repeated failures
+    back off exponentially; past ``max_restarts`` the shard is
+    quarantined instead of restarted.
+
+    Attributes:
+        max_restarts: Restarts one shard may consume over a watch
+            before it is quarantined (its resident customers emit one
+            error update each and further samples are dropped).
+        backoff_base_s: First-restart backoff sleep; doubles per
+            restart of the same shard.  Zero disables the sleep
+            (tests).
+        backoff_cap_s: Upper bound on the backoff sleep.
+        tick_deadline_s: Seconds a submitted tick may remain
+            unanswered before the shard is declared hung and
+            restarted; ``None`` disables deadlines (death detection
+            only).
+        snapshot_every_ticks: In-parent recovery-snapshot cadence used
+            when no :class:`CheckpointConfig` store is attached.  Also
+            the bound on the replay buffer: at most this many ticks of
+            feed are ever held for replay.
+        faults: A :class:`~repro.faults.FaultPlan` to inject
+            deterministic failures, or ``None`` (production) for no
+            injection.
+    """
+
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    tick_deadline_s: float | None = DEFAULT_TICK_DEADLINE_S
+    snapshot_every_ticks: int = DEFAULT_SNAPSHOT_EVERY_TICKS
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts!r}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff_base_s must be >= 0, got {self.backoff_base_s!r}")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s must be >= backoff_base_s, got {self.backoff_cap_s!r}"
+            )
+        if self.tick_deadline_s is not None and self.tick_deadline_s <= 0:
+            raise ValueError(
+                f"tick_deadline_s must be positive or None, got {self.tick_deadline_s!r}"
+            )
+        if self.snapshot_every_ticks < 1:
+            raise ValueError(
+                f"snapshot_every_ticks must be >= 1, got {self.snapshot_every_ticks!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(f"faults must be a FaultPlan or None, got {self.faults!r}")
+
+    def backoff_delay(self, n_restart: int) -> float:
+        """Capped exponential backoff before the ``n_restart``-th restart."""
+        if n_restart <= 0 or self.backoff_base_s == 0.0:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (n_restart - 1)))
+
+    def replace(self, **changes) -> "SupervisionConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -113,6 +198,10 @@ class WatchConfig:
         checkpoint: A :class:`CheckpointConfig` that persists shard
             state to a durable store at tick boundaries, or None for a
             memory-only watch.
+        supervision: A :class:`SupervisionConfig` tuning worker
+            failure detection and recovery; None means the defaults
+            (supervision is always on -- a dead process worker is
+            restored and replayed rather than aborting the watch).
     """
 
     window: int = DEFAULT_STREAM_WINDOW
@@ -127,6 +216,7 @@ class WatchConfig:
     on_rebalance: Callable[[RebalanceEvent], None] | None = None
     tick_samples: int | None = None
     checkpoint: CheckpointConfig | None = None
+    supervision: SupervisionConfig | None = None
 
     def __post_init__(self) -> None:
         # Engine-independent validation happens here so a bad config
@@ -144,6 +234,10 @@ class WatchConfig:
         if self.checkpoint is not None and not isinstance(self.checkpoint, CheckpointConfig):
             raise ValueError(
                 f"checkpoint must be a CheckpointConfig or None, got {self.checkpoint!r}"
+            )
+        if self.supervision is not None and not isinstance(self.supervision, SupervisionConfig):
+            raise ValueError(
+                f"supervision must be a SupervisionConfig or None, got {self.supervision!r}"
             )
 
     def replace(self, **changes) -> "WatchConfig":

@@ -31,7 +31,13 @@ from ..core.profiler import GroupKey
 from ..core.types import CloudCustomerRecord, DopplerRecommendation
 from ..telemetry.counters import PerfDimension
 from ..telemetry.trace import PerformanceTrace
-from .backends import BatchJob, FleetBackend, ShardAssessmentConfig, make_backend
+from .backends import (
+    BatchJob,
+    FleetBackend,
+    ShardAssessmentConfig,
+    WatchSupervisionStats,
+    make_backend,
+)
 from .cache import (
     DEFAULT_CACHE_SIZE,
     CurveCache,
@@ -116,12 +122,20 @@ class FleetRecommendation:
             ``current_sku_name`` (None when no current SKU was given
             or the assessment failed).
         error: Failure message when ``recommendation`` is None.
+        stale: True when the recommendation was answered from the
+            durable store's last known value because the customer's
+            live shard is restarting (degraded-mode serving); the
+            verdict may lag the feed.
+        retry_after_s: Suggested wait before asking again, set only on
+            stale answers.
     """
 
     customer_id: str
     recommendation: DopplerRecommendation | None
     over_provisioned: bool | None = None
     error: str | None = None
+    stale: bool = False
+    retry_after_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -157,12 +171,18 @@ class FleetLiveUpdate:
         update: The underlying per-sample outcome, or None when the
             customer's live assessment failed.
         error: Failure message when ``update`` is None; the customer
-            is quarantined from the rest of the watch.
+            is quarantined from the rest of the watch -- unless
+            ``deferred`` is set, in which case nothing is wrong with
+            the customer and the sample will still be assessed.
+        deferred: True when the sample was buffered instead of
+            assessed because its shard is restarting (degraded-mode
+            serving); it replays once the shard heals.
     """
 
     customer_id: str
     update: "LiveUpdate | None"
     error: str | None = None
+    deferred: bool = False
 
     @property
     def ok(self) -> bool:
@@ -492,6 +512,7 @@ class FleetEngine:
         self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size), self.columnar)
         self._last_watch_stats: tuple[CurveCacheStats, ...] | None = None
         self._last_rebalance_stats: WatchRebalanceStats | None = None
+        self._last_supervision_stats: WatchSupervisionStats | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -695,6 +716,7 @@ class FleetEngine:
             config.tick_samples,
             config.checkpoint,
             resume_from,
+            config.supervision,
         )
 
     def _shard_config(
@@ -759,14 +781,23 @@ class FleetEngine:
         tick_samples=None,
         checkpoint=None,
         resume_from=None,
+        supervision=None,
     ) -> Iterator[FleetLiveUpdate]:
         try:
             yield from backend_obj.watch(
-                config, samples, policy, on_rebalance, tick_samples, checkpoint, resume_from
+                config,
+                samples,
+                policy,
+                on_rebalance,
+                tick_samples,
+                checkpoint,
+                resume_from,
+                supervision,
             )
         finally:
             self._last_watch_stats = backend_obj.watch_stats()
             self._last_rebalance_stats = backend_obj.watch_rebalance_stats()
+            self._last_supervision_stats = backend_obj.watch_supervision_stats()
 
     def cache_stats(self) -> CurveCacheStats:
         """Parent-side curve-cache counters (serial/thread backends).
@@ -789,6 +820,17 @@ class FleetEngine:
         if self._last_watch_stats is None:
             return None
         return combine_cache_stats(self._last_watch_stats)
+
+    def watch_supervision_stats(self) -> WatchSupervisionStats | None:
+        """Self-healing account of the last finished watch.
+
+        Worker restarts, deadline kills, forced stops, replayed ticks
+        and shard quarantines
+        (:class:`~repro.fleet.backends.WatchSupervisionStats`).  A
+        healthy watch reports all-zero counters.  None until a watch
+        has finished.
+        """
+        return self._last_supervision_stats
 
     def watch_rebalance_stats(self) -> WatchRebalanceStats | None:
         """Rebalancing account of the last finished watch.

@@ -34,6 +34,11 @@ class ServeConfig:
             queue delay (queued work times the lane's observed
             seconds-per-request) exceeds this is rejected instead of
             queued -- the shed-early half of the SLO story.
+        replay_limit: Per-shard bound on observe samples buffered
+            while that shard is degraded (its state failed and is
+            awaiting :meth:`~repro.serve.service.RecommendationService.restore_shard`).
+            Buffered samples replay through the rebuilt shard; beyond
+            the bound observes are rejected with a retry-after.
         watch: Per-customer live-assessment parameters for the observe
             path (window, cadence, drift threshold, warm-up,
             ``profile_mode``).  Execution fields (``backend``,
@@ -50,6 +55,7 @@ class ServeConfig:
     max_delay_ms: float = 5.0
     queue_limit: int = 256
     slo_ms: float = 250.0
+    replay_limit: int = 1024
     watch: WatchConfig = field(default_factory=WatchConfig)
     host: str = "127.0.0.1"
     port: int = 0
@@ -65,6 +71,8 @@ class ServeConfig:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit!r}")
         if self.slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {self.slo_ms!r}")
+        if self.replay_limit < 1:
+            raise ValueError(f"replay_limit must be >= 1, got {self.replay_limit!r}")
         if not isinstance(self.watch, WatchConfig):
             raise ValueError(f"watch must be a WatchConfig, got {self.watch!r}")
 

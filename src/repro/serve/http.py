@@ -52,6 +52,8 @@ def recommendation_to_json(result: FleetRecommendation) -> dict:
         "ok": result.ok,
         "error": result.error,
         "over_provisioned": result.over_provisioned,
+        "stale": result.stale,
+        "retry_after_s": result.retry_after_s,
         "recommendation": None,
     }
     if result.recommendation is not None:
@@ -73,6 +75,7 @@ def update_to_json(update: FleetLiveUpdate) -> dict:
         "customer_id": update.customer_id,
         "ok": update.ok,
         "error": update.error,
+        "deferred": update.deferred,
         "refreshed": False,
         "n_seen": None,
         "n_window": None,
@@ -210,7 +213,12 @@ async def _handle_one(
             update = await service.observe(_parse_observe(document))
             return _response(200, update_to_json(update))
         result = await service.recommend(_parse_recommend(document))
-        return _response(200, recommendation_to_json(result))
+        # Stale answers (degraded-mode serving) advertise when to come
+        # back for a fresh one.
+        headers: tuple[tuple[str, str], ...] = ()
+        if result.stale and result.retry_after_s is not None:
+            headers = (("Retry-After", f"{result.retry_after_s:.3f}"),)
+        return _response(200, recommendation_to_json(result), extra_headers=headers)
     except _BadRequest as exc:
         return _response(400, {"error": str(exc)})
     except AdmissionError as exc:

@@ -36,11 +36,23 @@ customers are transparently restored when they observe again, and
 :meth:`RecommendationService.recommendation_for` serves cold
 customers' recommendations straight from the store without waking
 their state.
+
+The service also degrades instead of failing.  When a shard's flush
+raises -- its in-memory state can no longer be trusted -- the shard
+enters *degraded mode*: observes for its customers buffer into a
+bounded replay queue and answer immediately with a ``deferred`` error
+update; recommends for its customers answer from the store's last
+known recommendation marked ``stale`` with a suggested retry-after.
+:meth:`RecommendationService.restore_shard` rebuilds the shard from
+the store's snapshots (corrupt per-customer blobs quarantine that
+customer rather than aborting the restore), replays the buffered
+samples, and returns the shard to normal service.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -189,6 +201,14 @@ class RecommendationService:
         self._shards: list[_WatchShard] = []
         self._executors: list[ThreadPoolExecutor] = []
         self._observe_lanes: list[_Lane] = []
+        # Degraded-mode bookkeeping: shard_id -> replay queue of
+        # samples buffered while that shard awaits restore_shard().
+        self._degraded: dict[int, deque[FleetSample]] = {}
+        self._degraded_reason: dict[int, str] = {}
+        self._n_deferred = 0
+        self._n_stale_served = 0
+        self._n_shard_restores = 0
+        self._n_corrupt_quarantined = 0
         self._recommend_lane: _Lane | None = None
         self._recommend_executor: ThreadPoolExecutor | None = None
         self.observe_latency = LatencyRecorder()
@@ -240,6 +260,8 @@ class RecommendationService:
         self._shards.clear()
         self._executors.clear()
         self._observe_lanes.clear()
+        self._degraded.clear()
+        self._degraded_reason.clear()
         self._recommend_lane = None
         self._recommend_executor = None
         self._started = False
@@ -272,7 +294,12 @@ class RecommendationService:
         started = loop.time()
         self._observed_seq += 1
         self._last_observed[sample.customer_id] = self._observed_seq
-        lane = self._observe_lanes[self._ring.route(sample.customer_id)]
+        shard_id = self._ring.route(sample.customer_id)
+        if shard_id in self._degraded:
+            update = self._defer_observe(shard_id, sample)
+            self.observe_latency.record(loop.time() - started)
+            return update
+        lane = self._observe_lanes[shard_id]
         lane.admit()
         try:
             update = await lane.batcher.submit(sample)
@@ -290,12 +317,25 @@ class RecommendationService:
         pass.  Per-customer assessment failures come back as error
         results (the fleet containment contract), never exceptions.
 
+        While the customer's observe shard is degraded, the freshest
+        verdict may depend on state that is mid-restore; with a store
+        attached the service answers from the last stored
+        recommendation marked ``stale=True`` with a ``retry_after_s``
+        hint instead of computing a possibly-inconsistent fresh one.
+
         Raises:
-            AdmissionError: When the recommend lane is saturated.
+            AdmissionError: When the recommend lane is saturated, or
+                the customer's shard is degraded and no stored
+                recommendation exists to serve stale.
         """
         self._require_started()
         loop = asyncio.get_running_loop()
         started = loop.time()
+        shard_id = self._ring.route(customer.customer_id)
+        if shard_id in self._degraded:
+            result = self._stale_recommend(shard_id, customer)
+            self.recommend_latency.record(loop.time() - started)
+            return result
         lane = self._recommend_lane
         assert lane is not None
         lane.admit()
@@ -315,6 +355,7 @@ class RecommendationService:
             entry.update(lane.summary())
             entry["n_customers"] = len(shard.recommenders)
             entry["n_quarantined"] = len(shard.quarantined)
+            entry["degraded"] = shard_id in self._degraded
             per_shard.append(entry)
         recommend = (
             self._recommend_lane.summary() if self._recommend_lane is not None else {}
@@ -327,6 +368,18 @@ class RecommendationService:
                 "n_checkpoints": self._n_checkpoints,
                 "n_evictions": self._n_evictions,
                 "n_evicted_resident": len(self._evicted),
+            },
+            "degraded": {
+                "shards": sorted(self._degraded),
+                "reasons": {
+                    str(shard_id): reason
+                    for shard_id, reason in sorted(self._degraded_reason.items())
+                },
+                "replay_buffered": sum(len(q) for q in self._degraded.values()),
+                "n_deferred": self._n_deferred,
+                "n_stale_served": self._n_stale_served,
+                "n_shard_restores": self._n_shard_restores,
+                "n_corrupt_quarantined": self._n_corrupt_quarantined,
             },
             "observe": {
                 "latency": self.observe_latency.summary(),
@@ -347,6 +400,8 @@ class RecommendationService:
     # ------------------------------------------------------------------
     def _make_observe_flush(self, shard_id: int):
         async def flush(samples: list[FleetSample]) -> list[FleetLiveUpdate]:
+            from ..store import StoreCorruptionError
+
             loop = asyncio.get_running_loop()
             shard = self._shards[shard_id]
             batch = list(enumerate(samples))
@@ -357,27 +412,42 @@ class RecommendationService:
                 if self._evicted and self.store is not None
                 else []
             )
+            corrupt: list[tuple[str, str]] = []
 
             def run() -> tuple:
                 # Cold customers observing again: restore their stored
                 # state before the batch runs, on the shard's own
-                # executor thread so state stays thread-confined.
+                # executor thread so state stays thread-confined.  A
+                # corrupt blob quarantines that one customer instead of
+                # failing the whole flush.
                 if returning:
                     assert self.store is not None
-                    records = [
-                        record
-                        for customer_id in returning
-                        if (record := self.store.load_customer_state(customer_id))
-                        is not None
-                    ]
+                    records = []
+                    for customer_id in returning:
+                        try:
+                            record = self.store.load_customer_state(customer_id)
+                        except StoreCorruptionError as exc:
+                            corrupt.append((customer_id, str(exc)))
+                            shard.quarantined.add(customer_id)
+                            continue
+                        if record is not None:
+                            records.append(record)
                     shard.restore_records(records)
                 return shard.process(batch)
 
-            emissions, busy_seconds = await loop.run_in_executor(
-                self._executors[shard_id], run
-            )
+            try:
+                emissions, busy_seconds = await loop.run_in_executor(
+                    self._executors[shard_id], run
+                )
+            except Exception as exc:
+                # The shard's in-memory state can no longer be trusted:
+                # degrade it and answer every admitted sample with a
+                # deferred update instead of failing the whole lane.
+                return self._fail_shard(shard_id, samples, exc)
             if returning:
                 self._evicted.difference_update(returning)
+            if corrupt:
+                self._note_corrupt(shard_id, corrupt)
             self._observe_lanes[shard_id].observe_flush(busy_seconds, len(batch))
             # refreshes_only is forced off, so every non-quarantined
             # sample emits; the missing sequence numbers are exactly
@@ -398,6 +468,175 @@ class RecommendationService:
         return flush
 
     # ------------------------------------------------------------------
+    # Degraded mode and self-healing
+    # ------------------------------------------------------------------
+    def _fail_shard(
+        self, shard_id: int, samples: list[FleetSample], exc: Exception
+    ) -> list[FleetLiveUpdate]:
+        """Degrade a shard whose flush raised; answer its admitted batch."""
+        reason = f"{type(exc).__name__}: {exc}"
+        if shard_id not in self._degraded:
+            self._degraded[shard_id] = deque()
+            self._degraded_reason[shard_id] = reason
+        buffer = self._degraded[shard_id]
+        updates = []
+        for sample in samples:
+            if len(buffer) < self.config.replay_limit:
+                buffer.append(sample)
+                self._n_deferred += 1
+                updates.append(self._deferred_update(shard_id, sample))
+            else:
+                updates.append(
+                    FleetLiveUpdate(
+                        customer_id=sample.customer_id,
+                        update=None,
+                        error=(
+                            f"shard {shard_id} is restarting and its replay "
+                            "buffer is full; sample dropped"
+                        ),
+                    )
+                )
+        return updates
+
+    def _deferred_update(self, shard_id: int, sample: FleetSample) -> FleetLiveUpdate:
+        return FleetLiveUpdate(
+            customer_id=sample.customer_id,
+            update=None,
+            error=f"shard {shard_id} is restarting; sample buffered for replay",
+            deferred=True,
+        )
+
+    def _defer_observe(self, shard_id: int, sample: FleetSample) -> FleetLiveUpdate:
+        """Buffer one observe against a degraded shard, or shed it."""
+        buffer = self._degraded[shard_id]
+        if len(buffer) >= self.config.replay_limit:
+            lane = self._observe_lanes[shard_id]
+            lane.n_rejected += 1
+            raise AdmissionError(
+                lane.name,
+                self._restore_eta(shard_id),
+                "shard degraded and replay buffer full",
+            )
+        buffer.append(sample)
+        self._n_deferred += 1
+        return self._deferred_update(shard_id, sample)
+
+    def _stale_recommend(
+        self, shard_id: int, customer: FleetCustomer
+    ) -> FleetRecommendation:
+        """Answer a recommend for a degraded shard from the store."""
+        from ..store import StoreCorruptionError
+
+        stored = None
+        if self.store is not None:
+            try:
+                record = self.store.load_customer_state(customer.customer_id)
+            except StoreCorruptionError:
+                record = None
+            if record is not None and record.state is not None:
+                stored = record.state.recommendation
+        retry_after = self._restore_eta(shard_id)
+        if stored is None:
+            raise AdmissionError(
+                f"recommend[{shard_id}]",
+                retry_after,
+                "shard degraded and no stored recommendation to serve stale",
+            )
+        self._n_stale_served += 1
+        return FleetRecommendation(
+            customer_id=customer.customer_id,
+            recommendation=stored,
+            stale=True,
+            retry_after_s=retry_after,
+        )
+
+    def _restore_eta(self, shard_id: int) -> float:
+        """Suggested retry-after while a shard restores: its replay debt."""
+        lane = self._observe_lanes[shard_id]
+        buffered = len(self._degraded.get(shard_id, ()))
+        return max(0.05, (buffered + 1) * max(lane.ewma_s_per_item, 0.001))
+
+    def _note_corrupt(self, shard_id: int, corrupt: list[tuple[str, str]]) -> None:
+        """Record corrupt-blob quarantines (event log + counters)."""
+        self._n_corrupt_quarantined += len(corrupt)
+        self._evicted.difference_update(cid for cid, _ in corrupt)
+        if self.store is None:
+            return
+        for customer_id, detail in corrupt:
+            self.store.append_event(
+                "quarantine",
+                tick_id=self._n_checkpoints,
+                customer_id=customer_id,
+                source_shard=shard_id,
+                detail={"reason": "corrupt_state", "error": detail},
+            )
+
+    async def restore_shard(self, shard_id: int) -> int:
+        """Heal a degraded shard; returns the number of replayed samples.
+
+        Rebuilds the shard from scratch, restores its customers'
+        snapshots from the attached store (per-customer corruption
+        quarantines that customer instead of aborting the restore;
+        without a store, customers restart their warm-up from the
+        replayed samples alone), replays the buffered observes in
+        arrival order, and returns the shard to normal service.
+        """
+        self._require_started()
+        if shard_id not in self._degraded:
+            raise ValueError(f"shard {shard_id} is not degraded")
+        from ..store import StoreCorruptionError
+
+        loop = asyncio.get_running_loop()
+        executor = self._executors[shard_id]
+        old = self._shards[shard_id]
+        fresh = _WatchShard(self._shard_config)
+        fresh.quarantined.update(old.quarantined)
+        members = sorted(old.recommenders)
+        corrupt: list[tuple[str, str]] = []
+
+        def rebuild() -> None:
+            if self.store is None:
+                return
+            records = []
+            for customer_id in members:
+                try:
+                    record = self.store.load_customer_state(customer_id)
+                except StoreCorruptionError as exc:
+                    corrupt.append((customer_id, str(exc)))
+                    fresh.quarantined.add(customer_id)
+                    continue
+                if record is not None:
+                    records.append(record)
+            fresh.restore_records(records)
+
+        await loop.run_in_executor(executor, rebuild)
+        if corrupt:
+            self._note_corrupt(shard_id, corrupt)
+        # Replay in rounds: each round drains the buffer on the loop
+        # thread, then processes off-loop; observes arriving during a
+        # round land in the buffer and are picked up by the next one.
+        replayed = 0
+        while True:
+            buffer = self._degraded[shard_id]
+            if not buffer:
+                # No await between this check and the hand-back below,
+                # so no observe can slip into the buffer we are about
+                # to discard.
+                break
+            batch: list[FleetSample] = []
+            while buffer:
+                batch.append(buffer.popleft())
+            await loop.run_in_executor(
+                executor, fresh.process, list(enumerate(batch))
+            )
+            replayed += len(batch)
+        self._shards[shard_id] = fresh
+        del self._degraded[shard_id]
+        self._degraded_reason.pop(shard_id, None)
+        self._n_shard_restores += 1
+        return replayed
+
+    # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
     async def checkpoint(self) -> "CheckpointRecord":
@@ -412,10 +651,16 @@ class RecommendationService:
         self._require_started()
         store = self._require_store()
         loop = asyncio.get_running_loop()
+        # Degraded shards are excluded: their in-memory state is the
+        # very thing that failed, and checkpointing it would poison the
+        # snapshots restore_shard rebuilds from.
         shard_records = await asyncio.gather(
             *(
                 loop.run_in_executor(executor, shard.snapshot_records)
-                for shard, executor in zip(self._shards, self._executors)
+                for shard_id, (shard, executor) in enumerate(
+                    zip(self._shards, self._executors)
+                )
+                if shard_id not in self._degraded
             )
         )
         records = [record for batch in shard_records for record in batch]

@@ -61,7 +61,7 @@ __all__ = [
     "register_migration",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 EVENT_KINDS = (
     "rebalance",
@@ -70,6 +70,8 @@ EVENT_KINDS = (
     "resize",
     "eviction",
     "checkpoint",
+    "worker_restart",
+    "shard_quarantine",
 )
 
 # Registered forward migrations: version N -> callable upgrading an open
@@ -87,6 +89,40 @@ def register_migration(from_version: int, migrate: Callable[[sqlite3.Connection]
     if from_version in _MIGRATIONS:
         raise ValueError(f"migration from schema version {from_version} already registered")
     _MIGRATIONS[from_version] = migrate
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v1 -> v2: extend the event-kind vocabulary with supervision kinds.
+
+    SQLite cannot alter a CHECK constraint in place, so the events
+    table is rebuilt with the extended kind list and its rows copied
+    across (ids included -- audit history must survive verbatim).
+    """
+    conn.executescript(
+        """
+        CREATE TABLE events_v2 (
+            event_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+            tick_id      INTEGER NOT NULL,
+            kind         TEXT NOT NULL CHECK (kind IN
+                ('rebalance', 'migration', 'quarantine', 'resize', 'eviction',
+                 'checkpoint', 'worker_restart', 'shard_quarantine')),
+            customer_id  TEXT,
+            source_shard INTEGER,
+            target_shard INTEGER,
+            detail       TEXT
+        );
+        INSERT INTO events_v2 (event_id, tick_id, kind, customer_id, source_shard,
+                               target_shard, detail)
+            SELECT event_id, tick_id, kind, customer_id, source_shard,
+                   target_shard, detail FROM events;
+        DROP TABLE events;
+        ALTER TABLE events_v2 RENAME TO events;
+        CREATE INDEX IF NOT EXISTS idx_events_kind_tick ON events (kind, tick_id);
+        """
+    )
+
+
+register_migration(1, _migrate_v1_to_v2)
 
 
 @dataclass(frozen=True)
@@ -155,7 +191,8 @@ CREATE TABLE IF NOT EXISTS events (
     event_id     INTEGER PRIMARY KEY AUTOINCREMENT,
     tick_id      INTEGER NOT NULL,
     kind         TEXT NOT NULL CHECK (kind IN
-        ('rebalance', 'migration', 'quarantine', 'resize', 'eviction', 'checkpoint')),
+        ('rebalance', 'migration', 'quarantine', 'resize', 'eviction', 'checkpoint',
+         'worker_restart', 'shard_quarantine')),
     customer_id  TEXT,
     source_shard INTEGER,
     target_shard INTEGER,
@@ -337,14 +374,32 @@ class FleetStore:
             return None
         return self._record_from_row(customer_id, row[0], row[1])
 
-    def iter_customer_states(self) -> Iterator[CustomerStateRecord]:
-        """Yield every stored customer record, ordered by customer id."""
+    def iter_customer_states(
+        self,
+        on_corrupt: Callable[[str, StoreCorruptionError], None] | None = None,
+    ) -> Iterator[CustomerStateRecord]:
+        """Yield every stored customer record, ordered by customer id.
+
+        With ``on_corrupt`` given, a customer whose state blob fails to
+        decode invokes the callback and is skipped instead of aborting
+        the whole iteration -- the resume path uses this to quarantine
+        the one damaged customer rather than losing the entire fleet.
+        Without it, corruption raises :class:`StoreCorruptionError` as
+        before.
+        """
         with self._lock:
             rows = self._conn.execute(
                 "SELECT customer_id, quarantined, state FROM customers ORDER BY customer_id"
             ).fetchall()
         for customer_id, quarantined, blob in rows:
-            yield self._record_from_row(customer_id, quarantined, blob)
+            try:
+                record = self._record_from_row(customer_id, quarantined, blob)
+            except StoreCorruptionError as exc:
+                if on_corrupt is None:
+                    raise
+                on_corrupt(customer_id, exc)
+                continue
+            yield record
 
     @staticmethod
     def _record_from_row(
@@ -358,6 +413,22 @@ class FleetStore:
             )
         state = decode_state(blob, customer_id=customer_id)
         return CustomerStateRecord(customer_id, state, quarantined=False)
+
+    def corrupt_customer_state(self, customer_id: str) -> bool:
+        """Deliberately truncate a customer's stored state blob.
+
+        Fault-injection hook for :meth:`repro.faults.FaultPlan.corrupt_store`
+        and the recovery tests: the damaged blob fails to decode on the
+        next load, exercising the corruption-quarantine path.  Returns
+        False when the customer has no stored state to damage.
+        """
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE customers SET state = X'00' WHERE customer_id = ?"
+                " AND state IS NOT NULL",
+                (customer_id,),
+            )
+        return cursor.rowcount > 0
 
     def delete_customer_states(self, customer_ids: Sequence[str]) -> None:
         with self._lock, self._conn:

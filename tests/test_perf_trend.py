@@ -40,6 +40,14 @@ def latency_record(name: str, p95_ms: float, smoke: bool = False) -> dict:
     }
 
 
+def recovery_record(name: str, mttr_ticks: float, smoke: bool = False) -> dict:
+    return {
+        "benchmark": name,
+        "smoke": smoke,
+        "recovery": {"mttr_ticks": mttr_ticks, "n_restarts": 3, "n_diverged": 0},
+    }
+
+
 class TestCollectMetrics:
     def test_only_per_sec_leaves_participate(self):
         metrics = collect_metrics(record("x", 100.0))
@@ -59,6 +67,11 @@ class TestCollectMetrics:
     def test_direction_follows_suffix(self):
         assert not lower_is_better("closed.requests_per_sec")
         assert lower_is_better("closed.p95_ms")
+        assert lower_is_better("recovery.mttr_ticks")
+
+    def test_ticks_leaves_participate_too(self):
+        metrics = collect_metrics(recovery_record("x", 2.5))
+        assert metrics == {"recovery.mttr_ticks": 2.5}
 
 
 class TestCompareRecords:
@@ -104,6 +117,15 @@ class TestCompareRecords:
         assert [metric for metric, *_ in regressions] == ["s:closed.p95_ms"]
         faster = {"s": latency_record("s", 40.0)}  # -60% latency: improvement
         regressions, _ = compare_records(baseline, faster, threshold=0.2)
+        assert regressions == []
+
+    def test_ticks_increase_is_the_regression(self):
+        baseline = {"s": recovery_record("s", 2.0)}
+        deeper = {"s": recovery_record("s", 5.0)}  # replaying 2.5x more feed
+        regressions, _ = compare_records(baseline, deeper, threshold=0.2)
+        assert [metric for metric, *_ in regressions] == ["s:recovery.mttr_ticks"]
+        shallower = {"s": recovery_record("s", 1.0)}  # improvement
+        regressions, _ = compare_records(baseline, shallower, threshold=0.2)
         assert regressions == []
 
 
@@ -169,6 +191,15 @@ class TestFloors:
         floors = {"serving": {"open.p99_ms": 50.0}}
         violations = check_floors({"serving": latency_record("serving", 30.0)}, floors)
         assert violations and "missing" in violations[0]
+
+    def test_ticks_floor_is_a_ceiling(self):
+        floors = {"streaming": {"recovery.mttr_ticks": 8.0}}
+        shallow = {"streaming": recovery_record("streaming", 2.0)}
+        assert check_floors(shallow, floors) == []
+        deep = {"streaming": recovery_record("streaming", 20.0)}
+        violations = check_floors(deep, floors)
+        assert len(violations) == 1
+        assert "above the absolute ceiling" in violations[0]
 
     def test_missing_floored_metric_is_a_violation(self):
         floors = {"fleet": {"sizes[9].cust_per_sec": 500.0}}
@@ -248,9 +279,14 @@ class TestBlockingBenchmarks:
         assert "serving" in floors  # serving tier: throughput floor + p95 ceiling
         assert "closed_loop.requests_per_sec" in floors["serving"]
         assert "closed_loop.p95_ms" in floors["serving"]
+        assert "recovery.mttr_ticks" in floors["streaming"]  # fault-matrix ceiling
         for metric_floors in floors.values():
             for metric, floor in metric_floors.items():
-                assert metric.endswith("_per_sec") or metric.endswith("_ms")
+                assert (
+                    metric.endswith("_per_sec")
+                    or metric.endswith("_ms")
+                    or metric.endswith("_ticks")
+                )
                 assert floor > 0
 
 
@@ -308,3 +344,25 @@ class TestWarnMetrics:
         argv = ["--baseline", str(baseline), "--current", str(current)]
         assert main(argv) == 1
         assert main(argv + ["--warn-metric", "streaming:"]) == 0
+
+    def test_warn_metric_exempts_floor_violations(self, tmp_path, capsys):
+        # The one-cycle grace period for a freshly pinned ceiling: the
+        # violation prints but does not fail until the exemption is
+        # dropped next cycle.
+        current = tmp_path / "cur"
+        self.write(current, "streaming", recovery_record("streaming", 50.0))
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"streaming": {"recovery.mttr_ticks": 8.0}}), encoding="utf-8"
+        )
+        argv = [
+            "--baseline",
+            str(tmp_path / "none"),
+            "--current",
+            str(current),
+            "--floors",
+            str(floors),
+        ]
+        assert main(argv) == 1
+        assert main(argv + ["--warn-metric", "recovery.mttr_ticks"]) == 0
+        assert "FLOOR (warn-only metric)" in capsys.readouterr().out

@@ -123,8 +123,14 @@ class TestSchemaVersioning:
     def test_missing_migration_is_a_schema_error(self, store_path):
         FleetStore(store_path).close()
         self._set_version(store_path, SCHEMA_VERSION - 1)
-        with pytest.raises(StoreSchemaError, match="no migration registered"):
-            FleetStore(store_path)
+        # The shipped v1 -> v2 migration occupies the slot; hide it to
+        # exercise the missing-migration error path.
+        shipped = _MIGRATIONS.pop(SCHEMA_VERSION - 1)
+        try:
+            with pytest.raises(StoreSchemaError, match="no migration registered"):
+                FleetStore(store_path)
+        finally:
+            _MIGRATIONS[SCHEMA_VERSION - 1] = shipped
 
     def test_registered_migration_upgrades_on_open(self, store_path, small_catalog):
         state = make_state(small_catalog)
@@ -136,13 +142,15 @@ class TestSchemaVersioning:
         def migrate(conn: sqlite3.Connection) -> None:
             ran.append(conn.execute("SELECT COUNT(*) FROM customers").fetchone()[0])
 
+        # Swap the shipped v1 -> v2 migration for an observable one.
+        shipped = _MIGRATIONS.pop(SCHEMA_VERSION - 1)
         register_migration(SCHEMA_VERSION - 1, migrate)
         try:
             with FleetStore(store_path) as store:
                 assert store.schema_version == SCHEMA_VERSION
                 assert store.customer_counts() == (1, 0)
         finally:
-            _MIGRATIONS.pop(SCHEMA_VERSION - 1)
+            _MIGRATIONS[SCHEMA_VERSION - 1] = shipped
         assert ran == [1]
         # The bumped version is durable: reopening does not migrate again.
         with FleetStore(store_path) as store:
@@ -152,12 +160,9 @@ class TestSchemaVersioning:
         def migrate(conn: sqlite3.Connection) -> None:  # pragma: no cover
             pass
 
-        register_migration(SCHEMA_VERSION - 1, migrate)
-        try:
-            with pytest.raises(ValueError, match="already registered"):
-                register_migration(SCHEMA_VERSION - 1, migrate)
-        finally:
-            _MIGRATIONS.pop(SCHEMA_VERSION - 1)
+        # The shipped v1 -> v2 migration already holds this slot.
+        with pytest.raises(ValueError, match="already registered"):
+            register_migration(SCHEMA_VERSION - 1, migrate)
 
 
 # ----------------------------------------------------------------------
