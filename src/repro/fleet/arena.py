@@ -1,0 +1,512 @@
+"""Shared-memory data plane for the process backend.
+
+The process backend's dominant cost at fleet scale is data movement:
+every chunk of traces used to pickle all of its counter arrays through
+the executor's queues, and every worker deserialized private copies.
+This module replaces that with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the parent packs each chunk's
+raw series *and* precomputed demand matrices into one arena segment,
+publishes the per-deployment capacity matrices once per pass into
+shared segments of their own, and only lightweight descriptors (name,
+offset, shape, dtype) cross the queues.  Workers map ndarray views
+over the segments -- rehydration is zero-copy, since
+:class:`~repro.telemetry.timeseries.TimeSeries` passes float64 arrays
+through ``np.asarray`` untouched.
+
+Lifecycle contract (the part that keeps ``/dev/shm`` clean):
+
+* The parent owns every segment.  An :class:`ArenaRegistry` refcounts
+  them; a chunk segment holds one reference, a capacity segment one
+  per chunk that mentions it.  When the last reference is released the
+  segment is closed *and unlinked*.
+* ``release`` runs as each chunk's result is yielded; ``close`` (from
+  the pump's ``finally``) force-releases everything outstanding, so an
+  abandoned stream, a worker crash (``BrokenProcessPool``) or a raised
+  result all converge to zero leaked segments.  Unlinking while a
+  straggler worker still maps a segment is safe on POSIX: the name
+  disappears, the mapping survives until the worker drops it.
+* Workers never own anything: they attach and close their mappings
+  when the chunk is done.  A mapping pinned by a live view
+  (``BufferError``) is left attached and retried on the next chunk
+  rather than crashing the worker.  Attach-time resource-tracker
+  registrations are left alone -- under fork the workers share the
+  parent's tracker, whose set-based cache collapses the duplicates
+  (see :func:`_attach`).
+* If the parent itself dies, its resource tracker unlinks the
+  registered segments -- the crash-safe backstop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from ..catalog.models import DeploymentType
+from ..telemetry.counters import DB_DIMENSIONS, MI_DIMENSIONS, PerfDimension
+from ..telemetry.timeseries import TimeSeries
+from ..telemetry.trace import PerformanceTrace
+
+if TYPE_CHECKING:
+    from ..core.ppm import PricePerformanceModeler
+    from .engine import FleetCustomer, FleetRecommendation  # noqa: F401
+
+__all__ = [
+    "ArenaRegistry",
+    "ArrayDescriptor",
+    "ChunkPublisher",
+    "ShmChunk",
+    "leaked_segments",
+]
+
+#: Prefix of every arena segment name; the leak checks key off it.
+SEGMENT_PREFIX = "doppler-arena"
+
+_FLOAT64_ITEMSIZE = 8
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of live shared-memory segments under ``prefix``.
+
+    Reads ``/dev/shm`` directly (Linux), so it sees segments regardless
+    of which process created them -- the property the kill-mid-chunk
+    test needs.  On platforms without ``/dev/shm`` it returns an empty
+    list; the lifecycle tests are effectively Linux-only.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:
+        return []
+    return sorted(entry for entry in entries if entry.startswith(prefix))
+
+
+@dataclass(frozen=True)
+class ArrayDescriptor:
+    """Where one float64 ndarray lives inside a shared segment.
+
+    The only thing that crosses a process queue in place of the array
+    itself.  ``segment`` names the shared-memory block; ``offset`` is
+    in bytes from its start.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        n = _FLOAT64_ITEMSIZE
+        for extent in self.shape:
+            n *= extent
+        return n
+
+    def view(self, buf) -> np.ndarray:
+        """A read-write ndarray view over ``buf`` (no copy)."""
+        return np.ndarray(self.shape, dtype=np.float64, buffer=buf, offset=self.offset)
+
+
+class ArenaRegistry:
+    """Parent-side refcounted owner of shared-memory segments.
+
+    Every segment created through the registry is unlinked exactly
+    once: when its refcount drops to zero, or -- whichever comes first
+    -- when :meth:`close_all` force-releases the registry.  The
+    registry is process-local and not thread-safe; the batch pump
+    drives it from a single thread.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refcounts: dict[str, int] = {}
+        self._counter = 0
+        atexit.register(self.close_all)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A fresh segment with refcount 1, named for this process."""
+        self._counter += 1
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{self._counter}"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+        self._segments[segment.name] = segment
+        self._refcounts[segment.name] = 1
+        return segment
+
+    def acquire(self, name: str) -> None:
+        """Add one reference to an owned segment."""
+        self._refcounts[name] += 1
+
+    def release(self, name: str) -> None:
+        """Drop one reference; the last one closes and unlinks."""
+        count = self._refcounts.get(name)
+        if count is None:
+            return  # already force-released by close_all
+        if count > 1:
+            self._refcounts[name] = count - 1
+            return
+        self._unlink(name)
+
+    def close_all(self) -> None:
+        """Force-release every owned segment (teardown/crash path)."""
+        for name in list(self._segments):
+            self._unlink(name)
+        # Registries are per-pass; drop the atexit hook so finished
+        # passes don't pile dead callbacks onto long-lived processes.
+        atexit.unregister(self.close_all)
+
+    def _unlink(self, name: str) -> None:
+        segment = self._segments.pop(name)
+        self._refcounts.pop(name, None)
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # e.g. an external cleaner raced us
+
+
+# ----------------------------------------------------------------------
+# Descriptors shipped to workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SeriesSpec:
+    """One dimension's counter series inside the chunk segment."""
+
+    dimension: PerfDimension
+    array: ArrayDescriptor
+    interval_minutes: float
+    start_minute: float
+
+
+@dataclass(frozen=True)
+class _TraceSpec:
+    """One trace: raw series plus its pre-exported demand matrix."""
+
+    entity_id: str
+    series: tuple[_SeriesSpec, ...]
+    demand_dims: tuple[PerfDimension, ...] | None
+    demand: ArrayDescriptor | None
+
+
+@dataclass(frozen=True)
+class _RecordSpec:
+    """A ``CloudCustomerRecord`` with its trace swapped for a spec."""
+
+    trace: _TraceSpec
+    deployment_value: str
+    chosen_sku_name: str
+    days_on_sku: float
+
+
+@dataclass(frozen=True)
+class _CustomerSpec:
+    """A ``FleetCustomer`` with its trace swapped for a spec."""
+
+    customer_id: str
+    trace: _TraceSpec
+    deployment_value: str
+    file_sizes_gib: tuple[float, ...] | None
+    current_sku_name: str | None
+
+
+@dataclass(frozen=True)
+class _CapsSpec:
+    """One published capacity matrix: adopt into the worker's modeler."""
+
+    deployment_value: str
+    dimensions: tuple[PerfDimension, ...]
+    array: ArrayDescriptor
+
+
+def _demand_dimensions(
+    trace: PerformanceTrace, deployment: DeploymentType
+) -> tuple[PerfDimension, ...]:
+    """The dimension tuple the columnar curve kernel will evaluate.
+
+    Must match :meth:`PricePerformanceModeler.build_curves_batch`'s
+    grouping exactly -- the pre-exported demand matrix is only adopted
+    if the worker asks for this precise tuple.
+    """
+    base = DB_DIMENSIONS if deployment is DeploymentType.SQL_DB else MI_DIMENSIONS
+    return tuple(dim for dim in base if dim in trace)
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment management
+# ----------------------------------------------------------------------
+#: Per-process cache of attached segments, by name.  Entries normally
+#: live for one chunk; a BufferError-pinned mapping stays until the
+#: pin clears (see :func:`_release_attachments`).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        # Attaching re-registers the segment with the resource tracker
+        # (Python < 3.13 has no track=False).  Under the fork start
+        # method -- this data plane's platform -- pool workers share
+        # the parent's tracker process, whose cache is a *set*: the
+        # duplicate registration collapses and the parent's single
+        # ``unlink`` balances it.  Unregistering here instead would
+        # strip the parent's crash-safety registration out of the
+        # shared cache, so we deliberately leave the tracker alone.
+        _ATTACHED[name] = segment
+    return segment
+
+
+def _release_attachments() -> None:
+    """Close every attached segment this process can let go of.
+
+    A ``BufferError`` means an ndarray view still points into the
+    mapping (something retained chunk data past its lifetime); the
+    segment stays attached -- losing a few pages beats corrupting a
+    live array -- and the close is retried after the next chunk.
+    """
+    for name in list(_ATTACHED):
+        segment = _ATTACHED[name]
+        try:
+            segment.close()
+        except BufferError:
+            continue
+        del _ATTACHED[name]
+
+
+@dataclass(frozen=True)
+class ShmChunk:
+    """One packed chunk: descriptors only, pickles in microseconds.
+
+    What the process backend ships through the executor queue instead
+    of the customer list itself.  ``kind`` selects the rebuild
+    (``"fit"`` -> ``CloudCustomerRecord``, ``"recommend"`` ->
+    ``FleetCustomer``); ``caps`` carries the capacity matrices the
+    chunk's deployments need, for adoption into the worker's modeler.
+    """
+
+    kind: str
+    items: tuple
+    caps: tuple[_CapsSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @contextmanager
+    def mapped(self, ppm: "PricePerformanceModeler") -> Iterator[list]:
+        """Materialize the chunk against this process's modeler.
+
+        Yields the rebuilt customer/record list backed by shm views;
+        on exit the local references are dropped and the mappings
+        closed.  Results computed inside the block must not retain
+        views into the chunk (the fleet result types don't: they carry
+        curves, profiles and scalars, never trace arrays).
+        """
+        for spec in self.caps:
+            _adopt_caps(ppm, spec)
+        items: list | None = [_rebuild_item(self.kind, item) for item in self.items]
+        try:
+            yield items
+        finally:
+            items = None  # noqa: F841 - drop the views before closing mappings
+            _release_attachments()
+
+
+def _adopt_caps(ppm: "PricePerformanceModeler", spec: _CapsSpec) -> None:
+    deployment = DeploymentType(spec.deployment_value)
+    if ppm.has_capacity_matrix(deployment, spec.dimensions):
+        return  # adopted by an earlier chunk; skip the attach entirely
+    segment = _attach(spec.array.segment)
+    # Adopt a private copy: the modeler's memo outlives this chunk's
+    # mapping, and the matrix is tiny (n_skus x n_dims floats).
+    ppm.adopt_capacity_matrix(
+        deployment, spec.dimensions, spec.array.view(segment.buf).copy()
+    )
+
+
+def _rebuild_trace(spec: _TraceSpec) -> PerformanceTrace:
+    series: dict[PerfDimension, TimeSeries] = {}
+    for entry in spec.series:
+        segment = _attach(entry.array.segment)
+        series[entry.dimension] = TimeSeries(
+            entry.array.view(segment.buf),
+            interval_minutes=entry.interval_minutes,
+            start_minute=entry.start_minute,
+        )
+    trace = PerformanceTrace(series=series, entity_id=spec.entity_id)
+    if spec.demand is not None and spec.demand_dims is not None:
+        segment = _attach(spec.demand.segment)
+        trace.adopt_demand_matrix(spec.demand_dims, spec.demand.view(segment.buf))
+    return trace
+
+
+def _rebuild_item(kind: str, item):
+    if kind == "fit":
+        from ..core.types import CloudCustomerRecord
+
+        return CloudCustomerRecord(
+            trace=_rebuild_trace(item.trace),
+            deployment=DeploymentType(item.deployment_value),
+            chosen_sku_name=item.chosen_sku_name,
+            days_on_sku=item.days_on_sku,
+        )
+    from .engine import FleetCustomer
+
+    return FleetCustomer(
+        customer_id=item.customer_id,
+        trace=_rebuild_trace(item.trace),
+        deployment=DeploymentType(item.deployment_value),
+        file_sizes_gib=item.file_sizes_gib,
+        current_sku_name=item.current_sku_name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent-side packing
+# ----------------------------------------------------------------------
+class ChunkPublisher:
+    """Packs batch chunks into shared memory, one segment per chunk.
+
+    Owned by the parent for the duration of one ``map_chunks`` pass.
+    ``pack`` returns the :class:`ShmChunk` payload plus a release
+    token; the pump calls ``release(token)`` as each chunk's result is
+    yielded and ``close()`` from its ``finally``.  Capacity matrices
+    are published once per distinct (deployment, dimension-tuple) and
+    refcounted across the chunks that mention them.
+    """
+
+    def __init__(self, ppm: "PricePerformanceModeler", task: str) -> None:
+        if task not in ("fit", "recommend"):
+            raise ValueError(f"unknown batch task {task!r}")
+        self.ppm = ppm
+        self.task = task
+        self.registry = ArenaRegistry()
+        self._caps_segments: dict[tuple[str, tuple[PerfDimension, ...]], _CapsSpec] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def release(self, token: tuple[str, ...] | None) -> None:
+        """Drop one chunk's references (its segment + its caps)."""
+        if token is None:
+            return
+        for name in token:
+            self.registry.release(name)
+
+    def close(self) -> None:
+        """Force-release everything (end of pass, error, abandonment)."""
+        self._caps_segments.clear()
+        self.registry.close_all()
+
+    # -- packing -------------------------------------------------------
+    def pack(self, chunk: Sequence) -> tuple[ShmChunk, tuple[str, ...]]:
+        """Publish one chunk; returns (payload, release token)."""
+        traces, deployments = self._traces_and_deployments(chunk)
+        caps_specs = self._publish_caps(traces, deployments)
+        demand_dims = [
+            _demand_dimensions(trace, deployment)
+            for trace, deployment in zip(traces, deployments)
+        ]
+        nbytes = 0
+        for trace, dims in zip(traces, demand_dims):
+            nbytes += trace.n_samples * len(trace.series) * _FLOAT64_ITEMSIZE
+            nbytes += trace.n_samples * len(dims) * _FLOAT64_ITEMSIZE
+        segment = self.registry.create(nbytes)
+        offset = 0
+        trace_specs: list[_TraceSpec] = []
+        for trace, dims in zip(traces, demand_dims):
+            series_specs: list[_SeriesSpec] = []
+            for dimension in trace.dimensions:
+                ts = trace[dimension]
+                descriptor = ArrayDescriptor(segment.name, offset, (len(ts),))
+                descriptor.view(segment.buf)[:] = ts.values
+                series_specs.append(
+                    _SeriesSpec(
+                        dimension=dimension,
+                        array=descriptor,
+                        interval_minutes=ts.interval_minutes,
+                        start_minute=ts.start_minute,
+                    )
+                )
+                offset += descriptor.nbytes
+            demand_descriptor: ArrayDescriptor | None = None
+            if dims:
+                demand_descriptor = ArrayDescriptor(
+                    segment.name, offset, (trace.n_samples, len(dims))
+                )
+                trace.export_demand_matrix(dims, demand_descriptor.view(segment.buf))
+                offset += demand_descriptor.nbytes
+            trace_specs.append(
+                _TraceSpec(
+                    entity_id=trace.entity_id,
+                    series=tuple(series_specs),
+                    demand_dims=dims if dims else None,
+                    demand=demand_descriptor,
+                )
+            )
+        items = tuple(
+            self._item_spec(original, spec)
+            for original, spec in zip(chunk, trace_specs)
+        )
+        token = [segment.name]
+        for spec in caps_specs:
+            self.registry.acquire(spec.array.segment)
+            token.append(spec.array.segment)
+        return ShmChunk(kind=self.task, items=items, caps=caps_specs), tuple(token)
+
+    def _traces_and_deployments(
+        self, chunk: Sequence
+    ) -> tuple[list[PerformanceTrace], list[DeploymentType]]:
+        return [item.trace for item in chunk], [item.deployment for item in chunk]
+
+    def _publish_caps(
+        self, traces: Sequence[PerformanceTrace], deployments: Sequence[DeploymentType]
+    ) -> tuple[_CapsSpec, ...]:
+        """Capacity matrices for the chunk's (deployment, dims) groups.
+
+        Published lazily, once per pass; the matrices come from the
+        parent modeler's own memo (:meth:`caps_for`), so worker-adopted
+        and worker-built capacities are byte-identical.
+        """
+        needed: dict[tuple[str, tuple[PerfDimension, ...]], _CapsSpec] = {}
+        for trace, deployment in zip(traces, deployments):
+            dims = _demand_dimensions(trace, deployment)
+            if not dims:
+                continue  # the worker raises the no-dimensions error itself
+            key = (deployment.value, dims)
+            if key in needed:
+                continue
+            spec = self._caps_segments.get(key)
+            if spec is None:
+                caps = self.ppm.capacity_matrix_for(deployment, dims)
+                segment = self.registry.create(caps.nbytes)
+                descriptor = ArrayDescriptor(segment.name, 0, caps.shape)
+                descriptor.view(segment.buf)[:] = caps
+                spec = _CapsSpec(
+                    deployment_value=deployment.value,
+                    dimensions=dims,
+                    array=descriptor,
+                )
+                self._caps_segments[key] = spec
+            needed[key] = spec
+        return tuple(needed.values())
+
+    def _item_spec(self, original, trace_spec: _TraceSpec):
+        if self.task == "fit":
+            return _RecordSpec(
+                trace=trace_spec,
+                deployment_value=original.deployment.value,
+                chosen_sku_name=original.chosen_sku_name,
+                days_on_sku=original.days_on_sku,
+            )
+        return _CustomerSpec(
+            customer_id=original.customer_id,
+            trace=trace_spec,
+            deployment_value=original.deployment.value,
+            file_sizes_gib=original.file_sizes_gib,
+            current_sku_name=original.current_sku_name,
+        )

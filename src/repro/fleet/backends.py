@@ -83,6 +83,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
 
 from ..catalog.models import DeploymentType
 from ..store.persistence import CustomerStateRecord
+from .arena import ChunkPublisher, ShmChunk
 from .cache import CurveCacheStats
 from .config import SupervisionConfig
 from .rebalance import (
@@ -272,6 +273,13 @@ class BatchJob:
             initializers (workers rebuild private runners from it).
         cache_size: Curve-cache capacity per runner.
         columnar: Whether shard bodies run the columnar batch kernel.
+        kernel: Violation-kernel selector installed in every worker
+            (``numpy``/``numba``/``auto``; see
+            :func:`repro.core.throttling.use_kernel`).
+        zero_copy: Ship chunks through the shared-memory data plane
+            (:mod:`repro.fleet.arena`) instead of pickling trace
+            arrays.  Only the process backend reads this -- the serial
+            and thread backends already share the parent's memory.
     """
 
     task: str
@@ -279,6 +287,8 @@ class BatchJob:
     engine: "DopplerEngine"
     cache_size: int
     columnar: bool
+    kernel: str = "numpy"
+    zero_copy: bool = False
 
     def local_fn(self) -> Callable:
         """The parent-side chunk body for serial/thread execution."""
@@ -539,6 +549,11 @@ class _WatchCoordinator:
         # LRU clock for cold-customer eviction; only maintained when a
         # resident cap is configured.
         self._track_last_seen = checkpoint is not None and checkpoint.max_resident is not None
+        # Delta-checkpoint dirty set: customers whose live state may
+        # have moved since the last checkpoint.  Only maintained when a
+        # delta-mode checkpoint config is attached.
+        self._track_dirty = checkpoint is not None and checkpoint.delta
+        self._dirty: set[str] = set()
         self._last_seen: dict[str, int] = {}
         self._seen_counter = 0
         self._n_decisions = 0
@@ -559,6 +574,8 @@ class _WatchCoordinator:
         if self._track_last_seen:
             self._seen_counter += 1
             self._last_seen[customer_id] = self._seen_counter
+        if self._track_dirty:
+            self._dirty.add(customer_id)
         if self.policy is not None:
             self._samples_recent[shard_id] = self._samples_recent.get(shard_id, 0) + 1
             self._customer_recent[customer_id] = (
@@ -587,6 +604,8 @@ class _WatchCoordinator:
         if customer_id in self.quarantined:
             return
         self.quarantined.add(customer_id)
+        if self._track_dirty:
+            self._dirty.add(customer_id)
         self._customer_recent.pop(customer_id, None)
         self._last_seen.pop(customer_id, None)
         shard_id = self._routes.get(customer_id)
@@ -728,6 +747,12 @@ class _WatchCoordinator:
                 moves.append(Migration(customer_id, target, source=source))
             for target in sorted(by_target):
                 pool.install(target, by_target[target])
+        if self._track_dirty:
+            # Moved state re-persists on the next delta checkpoint: the
+            # stored rows are not stale (state is unchanged by a move),
+            # but restored epochs advance and the cheap re-write keeps
+            # the store unconditionally current across migrations.
+            self._dirty.update(planned)
         if resized_to is not None and resized_to < (resized_from or 0):
             for shard_id in range(resized_to, resized_from):
                 pool.retire_shard(shard_id)  # empty by now; state moved above
@@ -781,11 +806,29 @@ class _WatchCoordinator:
         emitted (``n_emitted`` counts them) and no shard holds partial
         tick state.  The store write is one transaction -- a crash
         mid-checkpoint leaves the previous checkpoint intact.
+
+        In delta mode (the config default) only dirty customers --
+        those routed, quarantined, migrated or readmitted since the
+        last checkpoint -- are snapshot and re-written; everyone
+        else's last-stored row is already current, so resumes see the
+        full fleet while a mostly-idle fleet's checkpoint shrinks to
+        its active minority.
         """
         assert self.checkpoint_config is not None and self.store is not None
         records: list[CustomerStateRecord] = []
-        for shard_id in self.ring.shard_ids:
-            records.extend(pool.snapshot_shard(shard_id))
+        if self._track_dirty:
+            wanted_by_shard: dict[int, list[str]] = {}
+            for customer_id in self._dirty:
+                shard_id = self._routes.get(customer_id)
+                if shard_id is not None:
+                    wanted_by_shard.setdefault(shard_id, []).append(customer_id)
+            for shard_id in self.ring.shard_ids:
+                wanted = wanted_by_shard.get(shard_id)
+                if wanted:
+                    records.extend(pool.snapshot_shard(shard_id, sorted(wanted)))
+        else:
+            for shard_id in self.ring.shard_ids:
+                records.extend(pool.snapshot_shard(shard_id))
         self.store.checkpoint(
             tick_id=tick_id,
             n_consumed=n_consumed,
@@ -794,6 +837,7 @@ class _WatchCoordinator:
             overrides=self.ring.overrides,
             records=records,
         )
+        self._dirty.clear()
         self.n_checkpoints += 1
         # The store is now the recovery baseline: truncate the
         # supervisor's replay buffers *before* eviction, so any
@@ -871,6 +915,10 @@ class _WatchCoordinator:
             else:
                 self._routes[customer_id] = shard_id
                 self._members.setdefault(shard_id, set()).add(customer_id)
+                if self._track_dirty:
+                    # The install bumped the state's epoch; re-persist
+                    # it at the next delta checkpoint.
+                    self._dirty.add(customer_id)
 
     def restore(self, pool: "_WatchPool", store: "FleetStore") -> "CheckpointRecord":
         """Rebuild topology and state from the store's latest checkpoint.
@@ -1363,22 +1411,32 @@ class _ThreadShardPool(_WatchPool):
 _WORKER_RUNNER = None
 
 
-def _init_batch_worker(engine: "DopplerEngine", cache_size: int, columnar: bool) -> None:
+def _init_batch_worker(
+    engine: "DopplerEngine", cache_size: int, columnar: bool, kernel: str = "numpy"
+) -> None:
     """Pool initializer: one private runner (engine + cache) per worker."""
     global _WORKER_RUNNER
+    from ..core.throttling import use_kernel
     from .cache import CurveCache
     from .engine import _FleetRunner
 
+    use_kernel(kernel)  # per-process state; ``auto`` probes on first use
     _WORKER_RUNNER = _FleetRunner(engine, CurveCache(cache_size), columnar)
 
 
-def _fit_chunk_in_worker(chunk: list, exclude_over_provisioned: bool):
+def _fit_chunk_in_worker(chunk, exclude_over_provisioned: bool):
     assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    if isinstance(chunk, ShmChunk):
+        with chunk.mapped(_WORKER_RUNNER.engine.ppm) as records:
+            return _WORKER_RUNNER.fit_chunk(records, exclude_over_provisioned)
     return _WORKER_RUNNER.fit_chunk(chunk, exclude_over_provisioned)
 
 
-def _recommend_chunk_in_worker(chunk: list):
+def _recommend_chunk_in_worker(chunk):
     assert _WORKER_RUNNER is not None, "worker pool not initialized"
+    if isinstance(chunk, ShmChunk):
+        with chunk.mapped(_WORKER_RUNNER.engine.ppm) as customers:
+            return _WORKER_RUNNER.recommend_chunk(customers)
     return _WORKER_RUNNER.recommend_chunk(chunk)
 
 
@@ -2094,23 +2152,51 @@ class ExecutionBackend(ABC):
         """Run ``job`` over every shard, yielding results in order."""
 
     def _pump(
-        self, executor: Executor, fn: Callable, chunks: Iterator[list], extra: tuple
+        self,
+        executor: Executor,
+        fn: Callable,
+        chunks: Iterator[list],
+        extra: tuple,
+        publisher: "ChunkPublisher | None" = None,
     ) -> Iterator[list]:
-        """Submission-ordered streaming with a bounded in-flight window."""
+        """Submission-ordered streaming with a bounded in-flight window.
+
+        With a ``publisher`` attached (process backend, zero-copy
+        plane) each chunk is packed into shared memory at submission
+        -- the bounded window therefore also bounds live segments --
+        and its segments are released as its result is yielded.  The
+        ``finally`` force-closes whatever is still published, so a
+        broken pool, a raising chunk or an abandoned stream all leave
+        ``/dev/shm`` clean.
+        """
         max_inflight = self.n_workers * INFLIGHT_PER_WORKER
-        pending: deque[Future] = deque()
+        pending: deque[tuple[Future, object]] = deque()
+
+        def submit(chunk) -> None:
+            payload, token = (chunk, None) if publisher is None else publisher.pack(chunk)
+            pending.append((executor.submit(fn, payload, *extra), token))
+
+        def settle() -> list:
+            future, token = pending.popleft()
+            result = future.result()
+            if publisher is not None:
+                publisher.release(token)
+            return result
+
         try:
             for chunk in chunks:
-                pending.append(executor.submit(fn, chunk, *extra))
+                submit(chunk)
                 if len(pending) >= max_inflight:
-                    yield pending.popleft().result()
+                    yield settle()
             while pending:
-                yield pending.popleft().result()
+                yield settle()
         finally:
             # Abandoned stream (consumer broke out early) or failure:
             # drop queued chunks instead of draining the whole in-flight
             # window; running chunks finish, their results are discarded.
             executor.shutdown(wait=False, cancel_futures=True)
+            if publisher is not None:
+                publisher.close()
 
     # ------------------------------------------------------------------
     # Streaming protocol
@@ -2400,7 +2486,12 @@ class ProcessBackend(ExecutionBackend):
 
     Batch chunks run on a :class:`ProcessPoolExecutor` whose workers
     hold private runners (curves are cheaper to rebuild than to ship).
-    Streaming runs on persistent :mod:`multiprocessing` workers (see
+    With ``job.zero_copy`` set, chunk payloads travel through the
+    shared-memory data plane (:mod:`repro.fleet.arena`): trace arrays,
+    demand matrices and capacity matrices are published into arena
+    segments by the parent and mapped -- not deserialized -- by the
+    workers; only descriptors cross the executor queues.  Streaming
+    runs on persistent :mod:`multiprocessing` workers (see
     :class:`_ProcessShardPool`); migrated live state is the one
     exception to "state never crosses" -- it ships as picklable
     snapshots over the same queues the ticks use.
@@ -2412,9 +2503,14 @@ class ProcessBackend(ExecutionBackend):
         executor = ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_init_batch_worker,
-            initargs=(job.engine, job.cache_size, job.columnar),
+            initargs=(job.engine, job.cache_size, job.columnar, job.kernel),
         )
-        yield from self._pump(executor, _BATCH_WORKER_FNS[job.task], chunks, extra)
+        publisher = (
+            ChunkPublisher(job.engine.ppm, job.task) if job.zero_copy else None
+        )
+        yield from self._pump(
+            executor, _BATCH_WORKER_FNS[job.task], chunks, extra, publisher
+        )
 
     def _make_watch_pool(self, config: ShardAssessmentConfig) -> _WatchPool:
         return _ProcessShardPool(config, self.n_workers)

@@ -145,11 +145,20 @@ class CheckpointConfig:
             the cap are evicted to the store and transparently
             restored if they show up in the feed again; None keeps
             everything resident.
+        delta: Checkpoint only customers whose state may have moved
+            since the previous checkpoint (routed a sample, was
+            quarantined, migrated or readmitted).  The store keeps
+            every other customer's last-written row, so a resume still
+            sees the whole fleet; on a mostly-idle fleet the per-
+            checkpoint write shrinks to the active minority.  Set
+            False to re-write the full fleet every time (the pre-delta
+            behaviour).
     """
 
     store: "FleetStore"
     every_ticks: int = DEFAULT_CHECKPOINT_EVERY_TICKS
     max_resident: int | None = None
+    delta: bool = True
 
     def __post_init__(self) -> None:
         from ..store import FleetStore as _FleetStore

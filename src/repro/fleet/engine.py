@@ -28,6 +28,7 @@ from ..catalog.models import DeploymentType
 from ..core.engine import DopplerEngine
 from ..core.matching import GroupObservation, GroupScoreModel
 from ..core.profiler import GroupKey
+from ..core.throttling import KERNEL_KINDS, numba_available, use_kernel
 from ..core.types import CloudCustomerRecord, DopplerRecommendation
 from ..telemetry.counters import PerfDimension
 from ..telemetry.trace import PerformanceTrace
@@ -498,6 +499,20 @@ class FleetEngine:
             chunk) instead of the per-customer loop.  Results are
             byte-identical either way; the flag exists so benchmarks
             and regression tests can compare the two paths.
+        kernel: Violation-kernel selector (``"numpy"``, ``"numba"`` or
+            ``"auto"``).  ``auto`` -- the default -- runs a one-shot
+            measured fit-probe per process (parent and every pool
+            worker decide for themselves) and falls back to numpy
+            cleanly when numba is absent; ``"numba"`` raises at
+            construction when the optional dependency is missing.
+            Counts are byte-identical on either kernel, so this is
+            purely a speed knob.
+        zero_copy: Ship process-backend chunks through the
+            shared-memory data plane (:mod:`repro.fleet.arena`)
+            instead of pickling trace arrays across worker queues.
+            Ignored by the serial and thread backends, which already
+            share the parent's memory.  Results are byte-identical
+            either way.
     """
 
     engine: DopplerEngine
@@ -506,9 +521,24 @@ class FleetEngine:
     chunk_size: int | None = None
     cache_size: int = DEFAULT_CACHE_SIZE
     columnar: bool = True
+    kernel: str = "auto"
+    zero_copy: bool = True
 
     def __post_init__(self) -> None:
         make_backend(self.backend, self.max_workers)  # validate both up front
+        # Validate the kernel selection eagerly (same contract as the
+        # backend name) without touching the process-global selector --
+        # that only moves when a pass actually runs.
+        if self.kernel not in KERNEL_KINDS:
+            raise ValueError(
+                f"unknown violation kernel {self.kernel!r}; choose one of "
+                + ", ".join(repr(option) for option in KERNEL_KINDS)
+            )
+        if self.kernel == "numba" and not numba_available():
+            raise ValueError(
+                "violation kernel 'numba' requested but numba is not installed; "
+                "install the repro[numba] extra or use kernel='auto'"
+            )
         self._runner = _FleetRunner(self.engine, CurveCache(self.cache_size), self.columnar)
         self._last_watch_stats: tuple[CurveCacheStats, ...] | None = None
         self._last_rebalance_stats: WatchRebalanceStats | None = None
@@ -604,6 +634,7 @@ class FleetEngine:
         to :meth:`recommend_fleet` over the same customers (both end
         in the same ``_finish_recommendation`` tail).
         """
+        use_kernel(self.kernel)
         return self._runner.recommend_chunk(list(customers))
 
     def summary_report(self, customers: Iterable[FleetCustomer]) -> FleetSummary:
@@ -865,11 +896,18 @@ class FleetEngine:
         # as the process-scaling baseline.
         name = self.backend if self._effective_workers() > 1 else "serial"
         backend_obj = make_backend(name, self.max_workers)
+        # Install the kernel selection in this process too: the serial
+        # and thread backends run chunk bodies right here, and even a
+        # process pass builds parent-side curves (cache misses during
+        # result handling).  Pool workers select in their initializer.
+        use_kernel(self.kernel)
         job = BatchJob(
             task=task,
             runner=self._runner,
             engine=self.engine,
             cache_size=self.cache_size,
             columnar=self.columnar,
+            kernel=self.kernel,
+            zero_copy=self.zero_copy,
         )
         return backend_obj.map_chunks(job, chunks, *extra)

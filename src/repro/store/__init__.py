@@ -5,6 +5,7 @@ from .fleetstore import (
     SCHEMA_VERSION,
     CheckpointRecord,
     FleetStore,
+    RetentionPolicy,
     StoredEvent,
     StoredRecommendation,
     register_migration,
@@ -27,6 +28,7 @@ __all__ = [
     "CustomerStateRecord",
     "FleetStore",
     "FleetStoreError",
+    "RetentionPolicy",
     "StaleStateError",
     "StatePersistence",
     "StoreCorruptionError",

@@ -56,12 +56,13 @@ __all__ = [
     "SCHEMA_VERSION",
     "CheckpointRecord",
     "FleetStore",
+    "RetentionPolicy",
     "StoredEvent",
     "StoredRecommendation",
     "register_migration",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 EVENT_KINDS = (
     "rebalance",
@@ -125,6 +126,53 @@ def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
 register_migration(1, _migrate_v1_to_v2)
 
 
+def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
+    """v2 -> v3: record per-checkpoint state bytes (delta accounting).
+
+    Pre-delta checkpoints rewrote the full fleet, so their byte count
+    was uninteresting; delta checkpoints persist only dirty customers
+    and ``n_state_bytes`` is the observable that shrinks.  Historical
+    rows default to 0 (unknown).
+    """
+    conn.execute(
+        "ALTER TABLE checkpoints ADD COLUMN n_state_bytes INTEGER NOT NULL DEFAULT 0"
+    )
+
+
+register_migration(2, _migrate_v2_to_v3)
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Age/count bounds for an append-only store table.
+
+    Applied at checkpoint time (the store's natural maintenance
+    boundary, already one transaction): rows older than
+    ``max_age_ticks`` before the checkpoint's tick are dropped, then
+    rows beyond ``max_count`` newest are dropped.  ``None`` disables a
+    bound; ``RetentionPolicy()`` retains everything.
+
+    For the recommendation history the count bound applies *per
+    customer* (each keeps its ``max_count`` newest refreshes); for the
+    event log it applies globally.
+    """
+
+    max_count: int | None = None
+    max_age_ticks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_count is not None and self.max_count < 1:
+            raise ValueError(f"max_count must be >= 1, got {self.max_count!r}")
+        if self.max_age_ticks is not None and self.max_age_ticks < 0:
+            raise ValueError(
+                f"max_age_ticks must be >= 0, got {self.max_age_ticks!r}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        return self.max_count is None and self.max_age_ticks is None
+
+
 @dataclass(frozen=True)
 class StoredEvent:
     """One row of the append-only fleet event log."""
@@ -153,7 +201,13 @@ class StoredRecommendation:
 
 @dataclass(frozen=True)
 class CheckpointRecord:
-    """A durable stream position a watch can resume from."""
+    """A durable stream position a watch can resume from.
+
+    ``n_customers`` counts the customer rows *written by this
+    checkpoint* -- under delta checkpointing that is the dirty subset,
+    not the fleet; ``n_state_bytes`` sums their encoded state blobs
+    (the quantity delta mode exists to shrink).
+    """
 
     checkpoint_id: int
     tick_id: int
@@ -162,6 +216,7 @@ class CheckpointRecord:
     n_shards: int
     overrides: Mapping[str, int]
     n_customers: int
+    n_state_bytes: int = 0
 
 
 _SCHEMA = """
@@ -206,7 +261,8 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     n_emitted     INTEGER NOT NULL,
     n_shards      INTEGER NOT NULL,
     overrides     TEXT NOT NULL DEFAULT '{}',
-    n_customers   INTEGER NOT NULL
+    n_customers   INTEGER NOT NULL,
+    n_state_bytes INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -221,7 +277,32 @@ class FleetStore:
     polls a store that a soon-to-be-SIGKILLed child is writing.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        retain_events: RetentionPolicy | None = None,
+        retain_recommendations: RetentionPolicy | None = None,
+    ) -> None:
+        """Open (or create) a fleet store.
+
+        Args:
+            path: SQLite database path; ``":memory:"`` for ephemeral.
+            retain_events: Age/count bounds for the append-only event
+                log, enforced at each checkpoint.  ``None`` retains
+                everything.
+            retain_recommendations: Bounds for the recommendation
+                history; the count bound is per customer (newest
+                refreshes win).  ``None`` retains everything.
+        """
+        for name, policy in (
+            ("retain_events", retain_events),
+            ("retain_recommendations", retain_recommendations),
+        ):
+            if policy is not None and not isinstance(policy, RetentionPolicy):
+                raise ValueError(f"{name} must be a RetentionPolicy, got {policy!r}")
+        self.retain_events = retain_events
+        self.retain_recommendations = retain_recommendations
         self._path = str(path)
         self._lock = threading.RLock()
         try:
@@ -315,8 +396,13 @@ class FleetStore:
 
     def _upsert_records(
         self, records: Sequence[CustomerStateRecord], tick_id: int
-    ) -> None:
-        """Upsert customer rows inside the caller's transaction (lock held)."""
+    ) -> int:
+        """Upsert customer rows inside the caller's transaction (lock held).
+
+        Returns the summed size of the state blobs written, the
+        per-checkpoint byte account delta checkpointing shrinks.
+        """
+        n_bytes = 0
         for record in records:
             epoch = record.state.epoch if record.state is not None else 0
             row = self._conn.execute(
@@ -329,6 +415,8 @@ class FleetStore:
                     f"over stored epoch {row[0]}"
                 )
             blob = encode_state(record.state) if record.state is not None else None
+            if blob is not None:
+                n_bytes += len(blob)
             self._conn.execute(
                 "INSERT INTO customers (customer_id, quarantined, epoch, updated_tick, state)"
                 " VALUES (?, ?, ?, ?, ?)"
@@ -356,6 +444,7 @@ class FleetStore:
                         str(rec.strategy),
                     ),
                 )
+        return n_bytes
 
     def save_customer_states(
         self, records: Sequence[CustomerStateRecord], *, tick_id: int = 0
@@ -554,16 +643,30 @@ class FleetStore:
         A resume sees either all of this checkpoint (states, topology,
         stream position) or none of it -- WAL plus the single
         transaction guarantee there is no torn middle ground.
+
+        Retention policies attached to the store (``retain_events``,
+        ``retain_recommendations``) are enforced here, inside the same
+        transaction: checkpoints are the store's natural maintenance
+        boundary, and a crash mid-prune rolls back with the checkpoint
+        it belonged to.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         overrides_json = json.dumps(dict(overrides), sort_keys=True)
         with self._lock, self._conn:
-            self._upsert_records(records, tick_id)
+            n_state_bytes = self._upsert_records(records, tick_id)
             cursor = self._conn.execute(
                 "INSERT INTO checkpoints (tick_id, n_consumed, n_emitted, n_shards,"
-                " overrides, n_customers) VALUES (?, ?, ?, ?, ?, ?)",
-                (tick_id, n_consumed, n_emitted, n_shards, overrides_json, len(records)),
+                " overrides, n_customers, n_state_bytes) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    tick_id,
+                    n_consumed,
+                    n_emitted,
+                    n_shards,
+                    overrides_json,
+                    len(records),
+                    n_state_bytes,
+                ),
             )
             checkpoint_id = int(cursor.lastrowid or 0)
             self._conn.execute(
@@ -571,11 +674,16 @@ class FleetStore:
                 (
                     tick_id,
                     json.dumps(
-                        {"n_customers": len(records), "n_consumed": n_consumed},
+                        {
+                            "n_customers": len(records),
+                            "n_consumed": n_consumed,
+                            "n_state_bytes": n_state_bytes,
+                        },
                         sort_keys=True,
                     ),
                 ),
             )
+            self._apply_retention(tick_id)
         return CheckpointRecord(
             checkpoint_id=checkpoint_id,
             tick_id=tick_id,
@@ -584,13 +692,48 @@ class FleetStore:
             n_shards=n_shards,
             overrides=dict(overrides),
             n_customers=len(records),
+            n_state_bytes=n_state_bytes,
         )
+
+    def _apply_retention(self, tick_id: int) -> None:
+        """Prune events/recommendations inside the caller's transaction."""
+        events = self.retain_events
+        if events is not None and not events.is_noop:
+            if events.max_age_ticks is not None:
+                self._conn.execute(
+                    "DELETE FROM events WHERE tick_id < ?",
+                    (tick_id - events.max_age_ticks,),
+                )
+            if events.max_count is not None:
+                self._conn.execute(
+                    "DELETE FROM events WHERE event_id NOT IN"
+                    " (SELECT event_id FROM events ORDER BY event_id DESC LIMIT ?)",
+                    (events.max_count,),
+                )
+        recs = self.retain_recommendations
+        if recs is not None and not recs.is_noop:
+            if recs.max_age_ticks is not None:
+                self._conn.execute(
+                    "DELETE FROM recommendations WHERE tick_id < ?",
+                    (tick_id - recs.max_age_ticks,),
+                )
+            if recs.max_count is not None:
+                # Per-customer bound: each keeps its newest refreshes.
+                self._conn.execute(
+                    "DELETE FROM recommendations WHERE recommendation_id IN ("
+                    " SELECT recommendation_id FROM ("
+                    "   SELECT recommendation_id, ROW_NUMBER() OVER ("
+                    "     PARTITION BY customer_id ORDER BY n_refreshes DESC"
+                    "   ) AS rank FROM recommendations"
+                    " ) WHERE rank > ?)",
+                    (recs.max_count,),
+                )
 
     def latest_checkpoint(self) -> CheckpointRecord | None:
         with self._lock:
             row = self._conn.execute(
                 "SELECT checkpoint_id, tick_id, n_consumed, n_emitted, n_shards,"
-                " overrides, n_customers FROM checkpoints"
+                " overrides, n_customers, n_state_bytes FROM checkpoints"
                 " ORDER BY checkpoint_id DESC LIMIT 1"
             ).fetchone()
         if row is None:
@@ -609,6 +752,7 @@ class FleetStore:
             n_shards=int(row[4]),
             overrides=overrides,
             n_customers=int(row[6]),
+            n_state_bytes=int(row[7]),
         )
 
     def checkpoint_count(self) -> int:

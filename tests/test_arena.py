@@ -1,0 +1,369 @@
+"""Shared-memory data plane and compiled violation kernel.
+
+Two contracts under test.  First, the arena lifecycle
+(:mod:`repro.fleet.arena`): every segment the parent publishes is
+unlinked exactly once -- on normal drain, on an abandoned stream, and
+after a SIGKILL'd worker -- so ``/dev/shm`` ends every pass exactly as
+it started.  Second, kernel neutrality (:mod:`repro.core.throttling`):
+``kernel="numpy"``, ``"numba"`` and ``"auto"`` are speed decisions
+only; violation counts, and every recommendation derived from them,
+are byte-identical across kernels, with ``"auto"`` falling back to
+numpy cleanly when numba is not installed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.catalog import DeploymentType, SkuCatalog
+from repro.core import DopplerEngine
+from repro.core import throttling
+from repro.core.throttling import (
+    KERNEL_KINDS,
+    batch_violation_counts,
+    numba_available,
+    resolve_kernel,
+    use_kernel,
+    violation_counts,
+)
+from repro.fleet import FleetCustomer, FleetEngine
+from repro.fleet.arena import (
+    ArenaRegistry,
+    ArrayDescriptor,
+    ChunkPublisher,
+    ShmChunk,
+    leaked_segments,
+)
+from repro.simulation import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def module_catalog() -> SkuCatalog:
+    return SkuCatalog.default()
+
+
+@pytest.fixture(scope="module")
+def records(module_catalog):
+    config = FleetConfig.paper_db(12, duration_days=3.0, interval_minutes=60.0)
+    return [
+        customer.record for customer in simulate_fleet(config, module_catalog, rng=37)
+    ]
+
+
+@pytest.fixture(scope="module")
+def customers(records):
+    return [
+        FleetCustomer.from_record(record, customer_id=f"c{index:03d}")
+        for index, record in enumerate(records)
+    ]
+
+
+@pytest.fixture()
+def numpy_kernel():
+    """Pin the numpy kernel and restore the selector state afterwards."""
+    use_kernel("numpy")
+    yield
+    use_kernel("numpy")
+
+
+def result_key(result):
+    recommendation = result.recommendation
+    return (
+        result.customer_id,
+        recommendation.sku.name if recommendation else None,
+        repr(recommendation.expected_throttling) if recommendation else None,
+        result.over_provisioned,
+        result.error,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry + descriptors
+# ----------------------------------------------------------------------
+class TestArenaRegistry:
+    def test_refcount_release_unlinks_on_last_reference(self):
+        registry = ArenaRegistry()
+        segment = registry.create(64)
+        assert segment.name in leaked_segments()
+        registry.acquire(segment.name)
+        registry.release(segment.name)  # 2 -> 1: still live
+        assert segment.name in leaked_segments()
+        registry.release(segment.name)  # 1 -> 0: unlinked
+        assert segment.name not in leaked_segments()
+        assert len(registry) == 0
+
+    def test_release_after_close_all_is_a_noop(self):
+        registry = ArenaRegistry()
+        segment = registry.create(64)
+        registry.close_all()
+        assert segment.name not in leaked_segments()
+        registry.release(segment.name)  # force-released already; no raise
+
+    def test_close_all_unlinks_everything(self):
+        registry = ArenaRegistry()
+        names = [registry.create(32).name for _ in range(3)]
+        registry.acquire(names[0])
+        registry.close_all()
+        live = leaked_segments()
+        assert all(name not in live for name in names)
+
+    def test_descriptor_round_trip_preserves_bytes(self):
+        registry = ArenaRegistry()
+        try:
+            values = np.arange(24, dtype=np.float64).reshape(4, 6) * np.pi
+            segment = registry.create(8 + values.nbytes)
+            descriptor = ArrayDescriptor(segment.name, 8, (4, 6))
+            assert descriptor.nbytes == values.nbytes
+            descriptor.view(segment.buf)[:] = values
+            # A descriptor is what crosses the queue: pickle it, attach
+            # fresh, and the view must be byte-identical to the source.
+            reloaded = pickle.loads(pickle.dumps(descriptor))
+            from multiprocessing import shared_memory
+
+            attached = shared_memory.SharedMemory(name=reloaded.segment)
+            try:
+                assert reloaded.view(attached.buf).tobytes() == values.tobytes()
+            finally:
+                attached.close()
+        finally:
+            registry.close_all()
+
+
+# ----------------------------------------------------------------------
+# Publisher round-trip (in-process)
+# ----------------------------------------------------------------------
+class TestChunkRoundTrip:
+    def test_packed_chunk_rebuilds_byte_identical_customers(
+        self, module_catalog, customers
+    ):
+        parent = DopplerEngine(catalog=module_catalog)
+        publisher = ChunkPublisher(parent.ppm, "recommend")
+        try:
+            chunk = customers[:4]
+            payload, token = publisher.pack(chunk)
+            assert isinstance(payload, ShmChunk)
+            assert len(payload) == len(chunk)
+            worker = DopplerEngine(catalog=module_catalog)
+            with payload.mapped(worker.ppm) as rebuilt:
+                for original, copy in zip(chunk, rebuilt):
+                    assert copy.customer_id == original.customer_id
+                    assert copy.deployment is original.deployment
+                    assert copy.current_sku_name == original.current_sku_name
+                    assert set(copy.trace.dimensions) == set(original.trace.dimensions)
+                    for dimension in original.trace.dimensions:
+                        theirs = copy.trace[dimension]
+                        ours = original.trace[dimension]
+                        assert theirs.values.tobytes() == ours.values.tobytes()
+                        assert theirs.interval_minutes == ours.interval_minutes
+            publisher.release(token)
+        finally:
+            publisher.close()
+        assert len(publisher.registry) == 0
+
+    def test_adopted_demand_and_caps_match_worker_built(
+        self, module_catalog, customers
+    ):
+        parent = DopplerEngine(catalog=module_catalog)
+        publisher = ChunkPublisher(parent.ppm, "recommend")
+        try:
+            payload, _token = publisher.pack(customers[:2])
+            worker = DopplerEngine(catalog=module_catalog)
+            reference = DopplerEngine(catalog=module_catalog)
+            with payload.mapped(worker.ppm) as rebuilt:
+                for original, copy in zip(customers[:2], rebuilt):
+                    spec = next(
+                        s for s in payload.items if s.customer_id == copy.customer_id
+                    )
+                    dims = spec.trace.demand_dims
+                    assert dims is not None
+                    # Adopted demand matrix is the pre-exported one.
+                    adopted = copy.trace.demand_matrix(dims)
+                    built = original.trace.demand_matrix(dims)
+                    assert adopted.tobytes() == built.tobytes()
+                    # Adopted capacity matrix equals a cold build.
+                    theirs = worker.ppm.capacity_matrix_for(copy.deployment, dims)
+                    ours = reference.ppm.capacity_matrix_for(original.deployment, dims)
+                    assert theirs.tobytes() == ours.tobytes()
+        finally:
+            publisher.close()
+
+    def test_publisher_rejects_unknown_task(self, module_catalog):
+        engine = DopplerEngine(catalog=module_catalog)
+        with pytest.raises(ValueError, match="unknown batch task"):
+            ChunkPublisher(engine.ppm, "train")
+
+
+# ----------------------------------------------------------------------
+# End-to-end lifecycle through the process backend
+# ----------------------------------------------------------------------
+class TestZeroCopyLifecycle:
+    def test_zero_copy_recommend_matches_pickle_and_serial(
+        self, module_catalog, records, customers
+    ):
+        baseline = leaked_segments()
+        serial = FleetEngine(
+            engine=DopplerEngine(catalog=module_catalog), backend="serial"
+        )
+        serial.fit_fleet(records)
+        expected = [result_key(r) for r in serial.recommend_fleet(customers)]
+        for zero_copy in (False, True):
+            fleet = FleetEngine(
+                engine=serial.engine,
+                backend="process",
+                max_workers=2,
+                chunk_size=3,
+                zero_copy=zero_copy,
+            )
+            got = [result_key(r) for r in fleet.recommend_fleet(customers)]
+            assert got == expected, f"zero_copy={zero_copy} diverged from serial"
+        assert leaked_segments() == baseline
+
+    def test_abandoned_stream_leaks_nothing(self, module_catalog, records, customers):
+        baseline = leaked_segments()
+        fleet = FleetEngine(
+            engine=DopplerEngine(catalog=module_catalog),
+            backend="process",
+            max_workers=2,
+            chunk_size=3,
+            zero_copy=True,
+        )
+        fleet.fit_fleet(records)
+        stream = fleet.recommend_fleet(customers)
+        next(stream)
+        stream.close()  # abandon mid-pass: pump finally must clean up
+        assert leaked_segments() == baseline
+
+    def test_killed_worker_leaves_no_segments(
+        self, monkeypatch, module_catalog, records, customers
+    ):
+        """SIGKILL a worker mid-chunk; /dev/shm must end clean.
+
+        The worker is killed *after* rebuilding the chunk (so it holds
+        live mappings when it dies) by a patched ``_rebuild_item`` that
+        forked children inherit.  The parent sees BrokenProcessPool;
+        its pump's ``finally`` force-releases the arena, and the dead
+        worker's mappings evaporate with its address space.
+        """
+        from repro.fleet import arena
+
+        original = arena._rebuild_item
+
+        def rebuild_then_die(kind, item):
+            result = original(kind, item)
+            if getattr(item, "customer_id", "") == "c005":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return result
+
+        baseline = leaked_segments()
+        fleet = FleetEngine(
+            engine=DopplerEngine(catalog=module_catalog),
+            backend="process",
+            max_workers=2,
+            chunk_size=3,
+            zero_copy=True,
+        )
+        fleet.fit_fleet(records)
+        monkeypatch.setattr(arena, "_rebuild_item", rebuild_then_die)
+        with pytest.raises(BrokenProcessPool):
+            list(fleet.recommend_fleet(customers))
+        assert leaked_segments() == baseline
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+class TestKernelSelection:
+    def test_unknown_kernel_message_lists_choices(self, numpy_kernel):
+        with pytest.raises(ValueError) as excinfo:
+            use_kernel("fortran")
+        message = str(excinfo.value)
+        assert "unknown violation kernel 'fortran'" in message
+        for kind in KERNEL_KINDS:
+            assert repr(kind) in message
+
+    def test_auto_resolves_cleanly_without_numba(self, numpy_kernel):
+        use_kernel("auto")
+        resolved = resolve_kernel()
+        if numba_available():
+            assert resolved in ("numpy", "numba")
+        else:
+            assert resolved == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed")
+    def test_explicit_numba_without_dependency_raises(self, numpy_kernel):
+        with pytest.raises(ValueError, match="numba is not installed"):
+            use_kernel("numba")
+
+    def test_fleet_engine_validates_kernel_eagerly(self, module_catalog):
+        with pytest.raises(ValueError, match="unknown violation kernel"):
+            FleetEngine(engine=DopplerEngine(catalog=module_catalog), kernel="simd")
+        if not numba_available():
+            with pytest.raises(ValueError, match="numba is not installed"):
+                FleetEngine(engine=DopplerEngine(catalog=module_catalog), kernel="numba")
+
+    def test_engine_validation_does_not_flip_process_kernel(self, module_catalog):
+        use_kernel("numpy")
+        FleetEngine(engine=DopplerEngine(catalog=module_catalog), kernel="auto")
+        assert throttling._REQUESTED_KERNEL == "numpy"
+
+
+AVAILABLE_KERNELS = ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+class TestKernelByteIdentity:
+    @pytest.fixture()
+    def problem(self):
+        rng = np.random.default_rng(5)
+        demands = rng.uniform(0.0, 120.0, size=(512, 6))
+        caps = rng.uniform(30.0, 100.0, size=(24, 6))
+        return demands, caps
+
+    @pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+    def test_violation_counts_identical_across_kernels(
+        self, kernel, problem, numpy_kernel
+    ):
+        demands, caps = problem
+        use_kernel("numpy")
+        reference = violation_counts(demands, caps)
+        use_kernel(kernel)
+        counts = violation_counts(demands, caps)
+        assert counts.dtype == reference.dtype
+        assert counts.tobytes() == reference.tobytes()
+
+    @pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+    def test_batch_counts_identical_across_kernels(self, kernel, problem, numpy_kernel):
+        rng = np.random.default_rng(11)
+        blocks = [
+            rng.uniform(0.0, 120.0, size=(n, 6)) for n in (64, 200, 512, 31)
+        ]
+        _, caps = problem
+        use_kernel("numpy")
+        reference = batch_violation_counts(blocks, caps)
+        use_kernel(kernel)
+        counts = batch_violation_counts(blocks, caps)
+        assert counts.tobytes() == reference.tobytes()
+
+    @pytest.mark.parametrize("kernel", ["auto"] + list(AVAILABLE_KERNELS))
+    def test_recommendations_identical_across_kernels(
+        self, kernel, module_catalog, records, customers, numpy_kernel
+    ):
+        use_kernel("numpy")
+        reference_fleet = FleetEngine(
+            engine=DopplerEngine(catalog=module_catalog), backend="serial"
+        )
+        reference_fleet.fit_fleet(records)
+        expected = [result_key(r) for r in reference_fleet.recommend_fleet(customers)]
+        fleet = FleetEngine(
+            engine=DopplerEngine(catalog=module_catalog),
+            backend="serial",
+            kernel=kernel,
+        )
+        fleet.fit_fleet(records)
+        got = [result_key(r) for r in fleet.recommend_fleet(customers)]
+        assert got == expected

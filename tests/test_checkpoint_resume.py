@@ -182,6 +182,82 @@ class TestOutputInvariance:
         assert store.event_counts().get("quarantine", 0) == 1
         store.close()
 
+    def test_delta_checkpoints_shrink_on_mostly_idle_fleet(
+        self, small_catalog, tmp_path
+    ):
+        """Satellite contract: delta checkpoints write the active minority.
+
+        A fleet where every customer streams for a warm-up phase and
+        then all but one go idle: full checkpoints keep re-writing all
+        six customers forever, delta checkpoints shrink to the single
+        active one -- in rows and in bytes -- while the store still
+        holds (and can resume) the whole fleet.
+        """
+        from repro.fleet import CheckpointConfig, FleetSample
+
+        from .test_fleet_backends import live_samples
+
+        n_customers, n_warm, n_tail = 6, 16, 32
+        rng = np.random.default_rng(3)
+        streams = {
+            f"cust-{i}": live_samples(n_warm + n_tail, rng, scale=1.0 + 0.3 * i)
+            for i in range(n_customers)
+        }
+        feed = [
+            FleetSample(customer_id=cid, values=streams[cid][pos])
+            for pos in range(n_warm)
+            for cid in streams
+        ] + [
+            FleetSample(customer_id="cust-0", values=streams["cust-0"][pos])
+            for pos in range(n_warm, n_warm + n_tail)
+        ]
+        baseline = list(make_fleet(small_catalog).watch_fleet(feed, config=WATCH))
+
+        def run(path, delta):
+            store = FleetStore(str(tmp_path / path))
+            config = WATCH.replace(
+                checkpoint=CheckpointConfig(store=store, every_ticks=1, delta=delta)
+            )
+            stream = list(make_fleet(small_catalog).watch_fleet(feed, config=config))
+            assert canonical_updates(stream) == canonical_updates(baseline)
+            rows = store._conn.execute(
+                "SELECT n_customers, n_state_bytes FROM checkpoints"
+                " ORDER BY checkpoint_id"
+            ).fetchall()
+            return store, rows
+
+        full_store, full_rows = run("full.db", delta=False)
+        delta_store, delta_rows = run("delta.db", delta=True)
+        # Full mode re-writes the whole fleet at every checkpoint.
+        assert all(n == n_customers for n, _ in full_rows)
+        # Delta mode: the warm phase still writes everyone, the idle
+        # tail shrinks to the lone active customer -- and the bytes
+        # shrink with the rows.
+        first_customers, first_bytes = delta_rows[0]
+        tail_customers, tail_bytes = delta_rows[-1]
+        assert first_customers == n_customers
+        assert tail_customers == 1
+        assert 0 < tail_bytes < first_bytes
+        assert tail_bytes < full_rows[-1][1]
+        # The idle majority was skipped, not lost: the store holds the
+        # whole fleet and resumes it byte-identically.
+        assert delta_store.customer_counts()[0] == n_customers
+        resumed = list(
+            make_fleet(small_catalog).watch_fleet(
+                feed,
+                config=WATCH.replace(
+                    checkpoint=CheckpointConfig(store=delta_store, every_ticks=1)
+                ),
+                resume_from=delta_store,
+            )
+        )
+        checkpoint = delta_store.require_checkpoint()
+        assert canonical_updates(resumed) == canonical_updates(
+            baseline[checkpoint.n_emitted :]
+        )
+        full_store.close()
+        delta_store.close()
+
     def test_rebalance_events_land_in_the_store(self, small_catalog):
         feed = interleaved_feed(6, 24, seed=8)
         store = FleetStore()

@@ -23,6 +23,7 @@ from repro.store import (
     CustomerStateRecord,
     FleetStore,
     FleetStoreError,
+    RetentionPolicy,
     StaleStateError,
     StoreCorruptionError,
     StoreSchemaError,
@@ -123,7 +124,7 @@ class TestSchemaVersioning:
     def test_missing_migration_is_a_schema_error(self, store_path):
         FleetStore(store_path).close()
         self._set_version(store_path, SCHEMA_VERSION - 1)
-        # The shipped v1 -> v2 migration occupies the slot; hide it to
+        # The newest shipped migration occupies the slot; hide it to
         # exercise the missing-migration error path.
         shipped = _MIGRATIONS.pop(SCHEMA_VERSION - 1)
         try:
@@ -142,7 +143,7 @@ class TestSchemaVersioning:
         def migrate(conn: sqlite3.Connection) -> None:
             ran.append(conn.execute("SELECT COUNT(*) FROM customers").fetchone()[0])
 
-        # Swap the shipped v1 -> v2 migration for an observable one.
+        # Swap the newest shipped migration for an observable one.
         shipped = _MIGRATIONS.pop(SCHEMA_VERSION - 1)
         register_migration(SCHEMA_VERSION - 1, migrate)
         try:
@@ -160,7 +161,7 @@ class TestSchemaVersioning:
         def migrate(conn: sqlite3.Connection) -> None:  # pragma: no cover
             pass
 
-        # The shipped v1 -> v2 migration already holds this slot.
+        # The newest shipped migration already holds this slot.
         with pytest.raises(ValueError, match="already registered"):
             register_migration(SCHEMA_VERSION - 1, migrate)
 
@@ -402,6 +403,154 @@ class TestCheckpoints:
             store._conn.commit()
             with pytest.raises(StoreCorruptionError, match="unreadable overrides"):
                 store.latest_checkpoint()
+
+    def test_checkpoint_records_state_bytes(self, small_catalog):
+        states = [make_state(small_catalog, f"cust-{i}", seed=i) for i in range(3)]
+        with FleetStore() as store:
+            full = store.checkpoint(
+                tick_id=1,
+                n_consumed=30,
+                n_emitted=3,
+                n_shards=1,
+                overrides={},
+                records=[
+                    CustomerStateRecord(f"cust-{i}", state)
+                    for i, state in enumerate(states)
+                ],
+            )
+            assert full.n_state_bytes > 0
+            partial = store.checkpoint(
+                tick_id=2,
+                n_consumed=40,
+                n_emitted=4,
+                n_shards=1,
+                overrides={},
+                records=[CustomerStateRecord("cust-0", states[0])],
+            )
+            # Fewer rows written -> fewer bytes, surfaced on the
+            # record, the latest_checkpoint read-back, and the event.
+            assert 0 < partial.n_state_bytes < full.n_state_bytes
+            assert store.latest_checkpoint().n_state_bytes == partial.n_state_bytes
+            import json
+
+            details = [
+                json.loads(e.detail) for e in store.events("checkpoint")
+            ]
+            assert [d["n_state_bytes"] for d in details] == [
+                full.n_state_bytes,
+                partial.n_state_bytes,
+            ]
+
+    def test_v2_store_migrates_and_backfills_zero_bytes(self, store_path):
+        FleetStore(store_path).close()
+        conn = sqlite3.connect(store_path)
+        conn.execute("ALTER TABLE checkpoints DROP COLUMN n_state_bytes")
+        conn.execute("UPDATE meta SET value = '2' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with FleetStore(store_path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            record = store.checkpoint(
+                tick_id=1, n_consumed=0, n_emitted=0, n_shards=1, overrides={}, records=[]
+            )
+            assert record.n_state_bytes == 0
+            assert store.latest_checkpoint() == record
+
+
+# ----------------------------------------------------------------------
+# Retention policies
+# ----------------------------------------------------------------------
+class TestRetention:
+    def checkpoint_at(self, store, tick):
+        return store.checkpoint(
+            tick_id=tick, n_consumed=0, n_emitted=0, n_shards=1, overrides={}, records=[]
+        )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_count"):
+            RetentionPolicy(max_count=0)
+        with pytest.raises(ValueError, match="max_age_ticks"):
+            RetentionPolicy(max_age_ticks=-1)
+        assert RetentionPolicy().is_noop
+        assert not RetentionPolicy(max_count=5).is_noop
+        with pytest.raises(ValueError, match="retain_events must be a RetentionPolicy"):
+            FleetStore(retain_events=42)
+        with pytest.raises(ValueError, match="retain_recommendations"):
+            FleetStore(retain_recommendations="forever")
+
+    def test_events_pruned_by_count_at_checkpoint_only(self):
+        with FleetStore(retain_events=RetentionPolicy(max_count=4)) as store:
+            for tick in range(10):
+                store.append_event("eviction", tick_id=tick, customer_id="c")
+            # Appending never prunes; only a checkpoint does.
+            assert len(store.events("eviction")) == 10
+            self.checkpoint_at(store, 10)
+            kept = store.events()
+            assert len(kept) == 4
+            # The newest events survive -- including the checkpoint's own.
+            assert kept[-1].kind == "checkpoint"
+            assert [e.tick_id for e in kept[:-1]] == [7, 8, 9]
+
+    def test_events_pruned_by_age(self):
+        with FleetStore(retain_events=RetentionPolicy(max_age_ticks=5)) as store:
+            for tick in (1, 4, 8, 12):
+                store.append_event("migration", tick_id=tick, customer_id="c")
+            self.checkpoint_at(store, 14)
+            # Ticks below 14 - 5 = 9 are dropped.
+            assert [e.tick_id for e in store.events("migration")] == [12]
+
+    def test_recommendation_history_bounded_per_customer(self, small_catalog):
+        import dataclasses
+
+        base = make_state(small_catalog)
+        refreshes = [
+            dataclasses.replace(base, n_refreshes=base.n_refreshes + bump)
+            for bump in range(4)
+        ]
+        with FleetStore(
+            retain_recommendations=RetentionPolicy(max_count=2)
+        ) as store:
+            for tick, state in enumerate(refreshes):
+                store.save_customer_states(
+                    [CustomerStateRecord("cust-0", state)], tick_id=tick
+                )
+            assert len(store.recommendation_history("cust-0")) == 4
+            self.checkpoint_at(store, 10)
+            history = store.recommendation_history("cust-0")
+            # The two newest refreshes survive, newest still queryable.
+            assert [h.n_refreshes for h in history] == [
+                refreshes[-2].n_refreshes,
+                refreshes[-1].n_refreshes,
+            ]
+            latest = store.latest_recommendation("cust-0")
+            assert latest is not None
+            assert latest.n_refreshes == refreshes[-1].n_refreshes
+
+    def test_recommendations_pruned_by_age(self, small_catalog):
+        import dataclasses
+
+        base = make_state(small_catalog)
+        with FleetStore(
+            retain_recommendations=RetentionPolicy(max_age_ticks=3)
+        ) as store:
+            for tick, bump in ((1, 0), (8, 1)):
+                state = dataclasses.replace(base, n_refreshes=base.n_refreshes + bump)
+                store.save_customer_states(
+                    [CustomerStateRecord("cust-0", state)], tick_id=tick
+                )
+            self.checkpoint_at(store, 10)
+            history = store.recommendation_history("cust-0")
+            assert [h.tick_id for h in history] == [8]
+
+    def test_no_policy_keeps_everything(self, small_catalog):
+        state = make_state(small_catalog)
+        with FleetStore() as store:
+            for tick in range(6):
+                store.append_event("eviction", tick_id=tick, customer_id="c")
+            store.save_customer_states([CustomerStateRecord("cust-0", state)])
+            self.checkpoint_at(store, 6)
+            assert len(store.events("eviction")) == 6
+            assert len(store.recommendation_history("cust-0")) == 1
 
 
 # ----------------------------------------------------------------------
