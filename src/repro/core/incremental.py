@@ -321,6 +321,40 @@ class IncrementalThrottlingEstimator:
         self._ring = None if ring is None else ring.copy()
         self._n_seen = int(state["n_seen"])
 
+    @staticmethod
+    def state_arrays(state: dict, arrays: list[np.ndarray]) -> dict:
+        """Flatten a :meth:`state_dict` into numpy payloads + skeleton.
+
+        The counts vector and the (potentially multi-megabyte)
+        violation ring land in ``arrays`` for the zero-copy handoff;
+        the overrides dict stays pickled -- it is a handful of floats.
+        :meth:`state_from_arrays` is the exact inverse.
+        """
+        base = len(arrays)
+        arrays.append(np.asarray(state["counts"], dtype=np.int64))
+        ring = state["ring"]
+        if ring is not None:
+            arrays.append(np.asarray(ring, dtype=bool))
+        return {
+            "n_seen": state["n_seen"],
+            "has_ring": ring is not None,
+            "iops_overrides": state["iops_overrides"],
+            "base": base,
+        }
+
+    @staticmethod
+    def state_from_arrays(skeleton: dict, arrays: list[np.ndarray]) -> dict:
+        """Rebuild a :meth:`state_dict` from framed arrays (copies out)."""
+        base = skeleton["base"]
+        return {
+            "n_seen": skeleton["n_seen"],
+            "counts": np.array(arrays[base], dtype=np.int64),
+            "ring": np.array(arrays[base + 1], dtype=bool)
+            if skeleton["has_ring"]
+            else None,
+            "iops_overrides": skeleton["iops_overrides"],
+        }
+
     def estimates_by_name(self) -> dict[str, float]:
         """``{sku_name: probability}`` convenience view for drift checks."""
         return {

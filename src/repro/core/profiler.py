@@ -134,8 +134,8 @@ class CustomerProfiler:
         :class:`~repro.telemetry.streaming.StreamingSeriesStats`
         maintained sample-by-sample, so no counter window is
         re-scanned.  Accuracy follows the summarizer's
-        ``summarize_streaming`` contract (exact for AUC summarizers,
-        sketch rank error for thresholding).
+        ``summarize_streaming`` contract (exact for the AUC, outlier
+        and STL summarizers, sketch rank error for thresholding).
 
         Raises:
             KeyError: If a profiled dimension has no streaming stats.

@@ -83,7 +83,18 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Literal
 
 from ..catalog.models import DeploymentType
 from ..store.persistence import CustomerStateRecord
-from .arena import ChunkPublisher, ShmChunk
+from .arena import (
+    ChunkPublisher,
+    ResultFrame,
+    ShmChunk,
+    StateFrame,
+    TickFrame,
+    TickPlane,
+    adopt_state_frame,
+    pack_state_records,
+    unpack_tick,
+    write_result_columns,
+)
 from .cache import CurveCacheStats
 from .config import SupervisionConfig
 from .rebalance import (
@@ -186,7 +197,9 @@ class WorkerEvent:
     """One supervision action taken during a watch.
 
     Attributes:
-        kind: ``"worker_restart"`` or ``"shard_quarantine"``.
+        kind: ``"worker_restart"``, ``"shard_quarantine"`` or
+            ``"shard_probation"`` (a quarantined shard readmitted to
+            supervision after its cool-down).
         tick_id: The tick the watch was on when the action ran.
         shard_id: The shard acted on.
         restarts: The shard's restart count after this action.
@@ -318,6 +331,11 @@ class ShardAssessmentConfig:
     refreshes_only: bool
     profile_mode: str
     cache_size: int
+    #: Resolved data-plane choice (see ``WatchConfig.zero_copy``):
+    #: True routes tick microbatches, result columns and state
+    #: handoffs through the shared-memory tick plane.  Only the
+    #: process pool reads it; in-address-space pools ignore it.
+    zero_copy: bool = False
 
     def __post_init__(self) -> None:
         # Imported lazily for the same cycle reason as _WatchShard;
@@ -1457,19 +1475,32 @@ def _watch_worker_main(
     Message protocol (all tuples, kind first):
 
     * parent -> worker: ``("tick", tick_id, batch, directive)`` where
+      ``batch`` is a plain list or an arena
+      :class:`~repro.fleet.arena.TickFrame` (zero-copy watches) and
       ``directive`` is ``None`` or an injected-fault order
       (``("kill",)``, ``("delay", seconds)``, ``("drop",)``),
-      ``("extract", request_id, customer_ids)``,
-      ``("install", request_id, records)``,
-      ``("snapshot", request_id, customer_ids_or_None)``, or the
-      ``None`` stop sentinel.
+      ``("extract", request_id, customer_ids[, frame_spec])``,
+      ``("install", request_id, records_or_frame)``,
+      ``("snapshot", request_id, customer_ids_or_None[, frame_spec])``,
+      or the ``None`` stop sentinel.
     * worker -> parent: ``("tick", worker_id, tick_id, emissions,
-      busy_seconds)``, ``("extracted", worker_id, request_id,
-      records)``, ``("installed", worker_id, request_id)``,
-      ``("snapshotted", worker_id, request_id, records)``,
-      ``("stats", worker_id, cache_stats)`` on graceful stop, or
-      ``("error", worker_id, details)`` on any failure the shard's
-      per-customer containment did not absorb.
+      busy_seconds)`` where ``emissions`` is a plain list or a
+      :class:`~repro.fleet.arena.ResultFrame`, ``("extracted",
+      worker_id, request_id, records_or_frame)``, ``("installed",
+      worker_id, request_id)``, ``("snapshotted", worker_id,
+      request_id, records_or_frame)``, ``("stats", worker_id,
+      cache_stats)`` on graceful stop, or ``("error", worker_id,
+      details)`` on any failure the shard's per-customer containment
+      did not absorb.
+
+    On the zero-copy plane, a tick frame whose slot generation no
+    longer matches (the parent recycled the buffer under this worker
+    -- only possible if the worker fell pathologically behind the
+    in-flight window) raises and surfaces as an ``error`` reply, which
+    the supervisor treats like any worker failure: restore and replay.
+    Handoff replies fall back to plain pickled records whenever the
+    offered frame is too small; the frame is an optimization, never a
+    correctness dependency.
 
     Fault directives execute *here*, in the real worker, so the parent
     sees exactly what a production failure looks like: ``kill`` is a
@@ -1479,6 +1510,10 @@ def _watch_worker_main(
     """
     try:
         shard = _WatchShard(config)
+        # Last recommendation object shipped per customer over the
+        # result plane; unchanged objects cross as a 1-token instead
+        # of a re-pickle (see ``write_result_columns``).
+        shipped: dict[str, object] = {}
         while True:
             message = in_queue.get()
             if message is _STOP:
@@ -1492,29 +1527,39 @@ def _watch_worker_main(
                         os._exit(13)
                     if directive[0] == "delay":
                         time.sleep(directive[1])
+                frame = batch if isinstance(batch, TickFrame) else None
+                if frame is not None:
+                    batch = unpack_tick(frame)
                 emissions, busy_seconds = shard.process(batch)
                 if directive is not None and directive[0] == "drop":
                     continue
+                if frame is not None:
+                    reply = write_result_columns(frame, emissions, shipped)
+                    if reply is not None:
+                        emissions = reply
                 out_queue.put(("tick", worker_id, tick_id, emissions, busy_seconds))
             elif kind == "extract":
-                _, request_id, customer_ids = message
-                out_queue.put(
-                    ("extracted", worker_id, request_id, shard.extract(customer_ids))
-                )
+                _, request_id, customer_ids = message[:3]
+                payload = shard.extract(customer_ids)
+                if len(message) > 3:
+                    framed = pack_state_records(payload, message[3])
+                    if framed is not None:
+                        payload = framed
+                out_queue.put(("extracted", worker_id, request_id, payload))
             elif kind == "install":
                 _, request_id, records = message
+                if isinstance(records, StateFrame):
+                    records = adopt_state_frame(records)
                 shard.install(records)
                 out_queue.put(("installed", worker_id, request_id))
             elif kind == "snapshot":
-                _, request_id, customer_ids = message
-                out_queue.put(
-                    (
-                        "snapshotted",
-                        worker_id,
-                        request_id,
-                        shard.snapshot_records(customer_ids),
-                    )
-                )
+                _, request_id, customer_ids = message[:3]
+                payload = shard.snapshot_records(customer_ids)
+                if len(message) > 3:
+                    framed = pack_state_records(payload, message[3])
+                    if framed is not None:
+                        payload = framed
+                out_queue.put(("snapshotted", worker_id, request_id, payload))
             else:
                 raise RuntimeError(f"unknown watch message kind {kind!r}")
     except BaseException as exc:  # noqa: BLE001 - parent must see worker death
@@ -1551,6 +1596,11 @@ class _ProcessShardPool(_WatchPool):
         self._closed_queues: list = []
         self._final_stats: list[CurveCacheStats] = []
         self._request_id = 0
+        # The zero-copy streaming plane: parent-owned double-buffered
+        # ring slots per shard, reused across every tick of the watch.
+        # Workers only attach, so any worker death leaks nothing and
+        # close() restores a clean /dev/shm.
+        self._plane = TickPlane(config.window) if config.zero_copy else None
         for shard_id in range(n_shards):
             self.add_shard(shard_id)
 
@@ -1562,12 +1612,53 @@ class _ProcessShardPool(_WatchPool):
         self, tick_id: int, by_shard: dict[int, list], directives: dict[int, tuple]
     ) -> None:
         for shard_id, batch in by_shard.items():
+            if self._plane is not None:
+                # Safe to repack this parity's slot: with the two-tick
+                # in-flight window, the prior same-parity tick has
+                # fully drained (its reply was decoded) before this
+                # submit can run.
+                batch = self._plane.pack_tick(shard_id, tick_id, batch)
             self._in_queues[shard_id].put(
                 ("tick", tick_id, batch, directives.get(shard_id))
             )
         self._pending.append(
             _PendingTick(tick_id, by_shard, deadline=self._tick_deadline())
         )
+
+    def _owes(self, tick_id: int, shard_id: int) -> bool:
+        """Is this (tick, shard) reply still expected by the buffer?"""
+        for entry in self._pending:
+            if entry.tick_id == tick_id:
+                return shard_id in entry.owing
+        return False
+
+    def _reply_emissions(self, shard_id: int, tick_id: int, payload):
+        """Decode one tick reply's emissions at receive time.
+
+        Result-column frames are mapped out of the result slot
+        *before* any other message is processed, and only when the
+        reorder buffer still owes this (tick, shard) -- owed implies
+        no concurrent writer on that slot (the parent grows/repacks a
+        result slot only after the prior same-parity tick drained, and
+        quarantine settles owed ticks before respawning a worker), so
+        the read is race-free.  A frame that is *not* owed is a
+        replaced incarnation's stale duplicate: skipped undecoded
+        (returns None), exactly as ``fold`` would have discarded it.
+        """
+        if not isinstance(payload, ResultFrame):
+            return payload
+        if not self._owes(tick_id, shard_id):
+            return None
+        emissions = self._plane.read_results(payload)
+        if emissions is None:
+            # Owed but unreadable means the slot was recycled under a
+            # reply we still need -- a protocol violation, not a
+            # stale duplicate.  Fail loudly rather than dropping data.
+            raise RuntimeError(
+                f"result slot for shard {shard_id} tick {tick_id} was "
+                "recycled before its reply was decoded"
+            )
+        return emissions
 
     def _receive(
         self,
@@ -1629,6 +1720,9 @@ class _ProcessShardPool(_WatchPool):
             _, shard_id, tick_id, emissions, busy_seconds = message
             # A miss is a replaced worker's stale reply (its
             # replacement already replayed the tick); drop it.
+            emissions = self._reply_emissions(shard_id, tick_id, emissions)
+            if emissions is None:
+                continue
             self.fold(tick_id, shard_id, emissions, busy_seconds)
         entry = self._pending.popleft()
         entry.emissions.sort(key=lambda pair: pair[0])
@@ -1648,7 +1742,9 @@ class _ProcessShardPool(_WatchPool):
                 raise _WorkerFailure([message[1]], "error", message[2])
             if message[0] == "tick":
                 _, stale_shard, stale_tick, emissions, busy_seconds = message
-                self.fold(stale_tick, stale_shard, emissions, busy_seconds)
+                emissions = self._reply_emissions(stale_shard, stale_tick, emissions)
+                if emissions is not None:
+                    self.fold(stale_tick, stale_shard, emissions, busy_seconds)
                 continue
             if message[0] != kind or message[1] != shard_id or message[2] != request_id:
                 raise RuntimeError(
@@ -1657,22 +1753,58 @@ class _ProcessShardPool(_WatchPool):
                 )
             return message
 
+    def _framed_request(
+        self, kind: str, reply_kind: str, shard_id: int, customer_ids
+    ) -> list[CustomerStateRecord]:
+        """Run one extract/snapshot handshake, framed when possible.
+
+        With the plane on and a known record count, the parent offers
+        a one-shot scratch segment sized by the per-record bound; the
+        worker packs numpy state payloads into it (or replies plain if
+        they overflow -- correctness never depends on the frame).  The
+        scratch segment is parent-owned and released here either way.
+        """
+        self._request_id += 1
+        spec = None
+        if self._plane is not None and customer_ids is not None:
+            spec = self._plane.offer_frame(len(customer_ids))
+            message = (kind, self._request_id, customer_ids, spec)
+        else:
+            message = (kind, self._request_id, customer_ids)
+        self._in_queues[shard_id].put(message)
+        try:
+            payload = self._await_reply(reply_kind, shard_id, self._request_id)[3]
+            if isinstance(payload, StateFrame):
+                payload = self._plane.adopt_records(payload)
+            return payload
+        finally:
+            if spec is not None:
+                self._plane.release(spec.segment)
+
     def snapshot_shard(
         self, shard_id: int, customer_ids: list[str] | None = None
     ) -> list[CustomerStateRecord]:
-        self._request_id += 1
-        self._in_queues[shard_id].put(("snapshot", self._request_id, customer_ids))
-        return self._await_reply("snapshotted", shard_id, self._request_id)[3]
+        # A full-shard snapshot (ids None) has no record count to size
+        # a frame by and stays on the plain path.
+        return self._framed_request("snapshot", "snapshotted", shard_id, customer_ids)
 
     def _do_extract(self, shard_id: int, customer_ids: list[str]) -> list:
-        self._request_id += 1
-        self._in_queues[shard_id].put(("extract", self._request_id, customer_ids))
-        return self._await_reply("extracted", shard_id, self._request_id)[3]
+        return self._framed_request("extract", "extracted", shard_id, customer_ids)
 
     def _do_install(self, shard_id: int, records: list) -> None:
         self._request_id += 1
-        self._in_queues[shard_id].put(("install", self._request_id, records))
-        self._await_reply("installed", shard_id, self._request_id)
+        frame_segment = None
+        payload = records
+        if self._plane is not None and records:
+            framed = self._plane.publish_records(records)
+            if framed is not None:
+                payload, frame_segment = framed
+        self._in_queues[shard_id].put(("install", self._request_id, payload))
+        try:
+            self._await_reply("installed", shard_id, self._request_id)
+        finally:
+            if frame_segment is not None:
+                self._plane.release(frame_segment)
 
     def add_shard(self, shard_id: int) -> None:
         in_queue = self._context.Queue()
@@ -1720,6 +1852,8 @@ class _ProcessShardPool(_WatchPool):
         self._reap(self._workers.pop(shard_id))
         queue = self._in_queues.pop(shard_id)
         self._closed_queues.append(queue)
+        if self._plane is not None:
+            self._plane.drop_shard(shard_id)
 
     def replace_shard(self, shard_id: int) -> None:
         worker = self._workers.pop(shard_id, None)
@@ -1757,10 +1891,23 @@ class _ProcessShardPool(_WatchPool):
                 )
             _, msg_shard, msg_tick, emissions, busy_seconds = message
             if msg_shard == shard_id and msg_tick == tick_id:
+                if isinstance(emissions, ResultFrame):
+                    # A stale columns reply from the dead incarnation
+                    # matching the replay target: decode it if its
+                    # slot is intact (no one writes result slots
+                    # during a replay, and assessment is
+                    # deterministic, so the bytes equal what the
+                    # replay will produce); keep waiting otherwise.
+                    decoded = self._plane.read_results(emissions)
+                    if decoded is None:
+                        continue
+                    emissions = decoded
                 return emissions, busy_seconds
             # In-flight result from a healthy peer (or a stale reply
             # from the dead incarnation): credit it and keep waiting.
-            self.fold(msg_tick, msg_shard, emissions, busy_seconds)
+            emissions = self._reply_emissions(msg_shard, msg_tick, emissions)
+            if emissions is not None:
+                self.fold(msg_tick, msg_shard, emissions, busy_seconds)
 
     def finish(self) -> None:
         for shard_id in sorted(self._workers):
@@ -1793,6 +1940,11 @@ class _ProcessShardPool(_WatchPool):
         for queue in (*self._in_queues.values(), *self._closed_queues, self._out_queue):
             queue.close()
             queue.cancel_join_thread()
+        if self._plane is not None:
+            # Workers only ever attach to plane segments, so tearing
+            # the plane down after the reap leaves /dev/shm clean even
+            # when workers died by SIGKILL.
+            self._plane.close()
 
 
 class _WatchSupervisor:
@@ -1844,6 +1996,7 @@ class _WatchSupervisor:
         self._buffers: dict[int, list[tuple]] = {}
         self._snapshots: dict[int, list[CustomerStateRecord]] = {}
         self._restarts: dict[int, int] = {}
+        self._quarantined_at: dict[int, int] = {}
 
     # -- recording -----------------------------------------------------
     def directives_for(
@@ -2079,9 +2232,36 @@ class _WatchSupervisor:
         self._buffers.pop(shard_id, None)
         self._snapshots.pop(shard_id, None)
         self.quarantined_shards.add(shard_id)
+        self._quarantined_at[shard_id] = coordinator.current_tick
         self._record_event(
             "shard_quarantine", coordinator.current_tick, shard_id, n_restart, reason
         )
+
+    def probation_sweep(self, tick_id: int) -> None:
+        """Readmit cooled-down quarantined shards to supervision.
+
+        With ``probation_ticks`` configured, a shard that survived its
+        cool-down (its replacement worker has been serving newly seen
+        customers without exhausting restarts again) gets its restart
+        budget back: future failures restart it instead of being
+        terminal.  Customers quarantined when the shard went down stay
+        quarantined -- their update streams already carry the error
+        emission, and resurrecting them would punch a hole in serial
+        byte-identity.
+        """
+        window = self.config.probation_ticks
+        if window is None or not self.quarantined_shards:
+            return
+        for shard_id in sorted(self.quarantined_shards):
+            quarantined_at = self._quarantined_at.get(shard_id, 0)
+            if tick_id - quarantined_at < window:
+                continue
+            self.quarantined_shards.discard(shard_id)
+            self._quarantined_at.pop(shard_id, None)
+            self._restarts[shard_id] = 0
+            self._record_event(
+                "shard_probation", tick_id, shard_id, 0, "cooldown elapsed"
+            )
 
     def _record_event(
         self,
@@ -2378,6 +2558,8 @@ class ExecutionBackend(ABC):
                     # recovery replay credits it, so no resubmit.
                     supervisor.recover(pool, coordinator, failure)
                 tick_id += 1
+                if supervisor.active:
+                    supervisor.probation_sweep(tick_id)
                 if pool.pending() >= pool.max_inflight:
                     yield from drain_one()
                 if policy is not None:

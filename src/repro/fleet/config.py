@@ -89,6 +89,13 @@ class SupervisionConfig:
             when no :class:`CheckpointConfig` store is attached.  Also
             the bound on the replay buffer: at most this many ticks of
             feed are ever held for replay.
+        probation_ticks: Fully drained ticks a quarantined shard sits
+            out before re-entering service on probation: its restart
+            budget resets and fresh feed routes to a new worker again.
+            Customers quarantined while the shard was down stay
+            quarantined -- their streams have a hole, so silently
+            resuming them would break the byte-identity contract.
+            ``None`` (the default) keeps quarantine permanent.
         faults: A :class:`~repro.faults.FaultPlan` to inject
             deterministic failures, or ``None`` (production) for no
             injection.
@@ -99,6 +106,7 @@ class SupervisionConfig:
     backoff_cap_s: float = 2.0
     tick_deadline_s: float | None = DEFAULT_TICK_DEADLINE_S
     snapshot_every_ticks: int = DEFAULT_SNAPSHOT_EVERY_TICKS
+    probation_ticks: int | None = None
     faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
@@ -117,6 +125,10 @@ class SupervisionConfig:
         if self.snapshot_every_ticks < 1:
             raise ValueError(
                 f"snapshot_every_ticks must be >= 1, got {self.snapshot_every_ticks!r}"
+            )
+        if self.probation_ticks is not None and self.probation_ticks < 1:
+            raise ValueError(
+                f"probation_ticks must be >= 1 or None, got {self.probation_ticks!r}"
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ValueError(f"faults must be a FaultPlan or None, got {self.faults!r}")
@@ -211,6 +223,15 @@ class WatchConfig:
             failure detection and recovery; None means the defaults
             (supervision is always on -- a dead process worker is
             restored and replayed rather than aborting the watch).
+        zero_copy: Route streaming microbatches, result columns and
+            state handoffs through the shared-memory tick plane
+            (:mod:`repro.fleet.arena`) instead of pickling them across
+            worker queues.  ``None`` (the default) auto-enables on the
+            process backend -- the only backend with a process
+            boundary to cross -- and stays off elsewhere; serial and
+            thread backends ignore the flag (they share an address
+            space already).  Output is byte-identical either way; this
+            is purely a data-plane choice.
     """
 
     window: int = DEFAULT_STREAM_WINDOW
@@ -226,6 +247,7 @@ class WatchConfig:
     tick_samples: int | None = None
     checkpoint: CheckpointConfig | None = None
     supervision: SupervisionConfig | None = None
+    zero_copy: bool | None = None
 
     def __post_init__(self) -> None:
         # Engine-independent validation happens here so a bad config
@@ -247,6 +269,10 @@ class WatchConfig:
         if self.supervision is not None and not isinstance(self.supervision, SupervisionConfig):
             raise ValueError(
                 f"supervision must be a SupervisionConfig or None, got {self.supervision!r}"
+            )
+        if self.zero_copy is not None and not isinstance(self.zero_copy, bool):
+            raise ValueError(
+                f"zero_copy must be True, False or None (auto), got {self.zero_copy!r}"
             )
 
     def replace(self, **changes) -> "WatchConfig":

@@ -35,6 +35,7 @@ from ..telemetry.trace import PerformanceTrace
 from .backends import (
     BatchJob,
     FleetBackend,
+    ProcessBackend,
     ShardAssessmentConfig,
     WatchSupervisionStats,
     make_backend,
@@ -737,7 +738,13 @@ class FleetEngine:
             config.backend if config.backend is not None else self.backend,
             config.max_workers if config.max_workers is not None else self.max_workers,
         )
-        shard_config = self._shard_config(config)
+        # zero_copy=None auto-resolves per backend: only the process
+        # backend has a process boundary the shared-memory tick plane
+        # can short-circuit; serial/thread share an address space.
+        zero_copy = config.zero_copy
+        if zero_copy is None:
+            zero_copy = isinstance(backend_obj, ProcessBackend)
+        shard_config = self._shard_config(config, zero_copy=zero_copy)
         return self._run_watch(
             backend_obj,
             shard_config,
@@ -751,7 +758,10 @@ class FleetEngine:
         )
 
     def _shard_config(
-        self, config: WatchConfig, refreshes_only: bool | None = None
+        self,
+        config: WatchConfig,
+        refreshes_only: bool | None = None,
+        zero_copy: bool | None = None,
     ) -> ShardAssessmentConfig:
         """Resolve a public config into the internal per-shard form.
 
@@ -763,6 +773,9 @@ class FleetEngine:
         serving tier fail fast on a bad config.  ``refreshes_only``
         overrides the config's flag when given (the serving tier
         forces it off: every observe call needs an answer).
+        ``zero_copy`` is the *resolved* data-plane choice -- the
+        caller has already folded the backend-dependent auto default;
+        None (serving tier, tests) means the pickle plane.
         """
         # Imported here, not at module top: streaming builds on the
         # fleet curve cache, so a top-level import would be circular.
@@ -786,6 +799,7 @@ class FleetEngine:
             ),
             profile_mode=config.profile_mode,
             cache_size=self.cache_size,
+            zero_copy=bool(zero_copy),
         )
 
     @staticmethod

@@ -91,6 +91,20 @@ class _CompressedBlock:
             return 0
         return self.counts[position - 1]
 
+    @classmethod
+    def _rebuild(cls, values: list[float], counts: list[int], n: int) -> "_CompressedBlock":
+        """Reassemble a block from already-compressed state.
+
+        Bypasses ``__init__`` -- running the constructor would
+        re-compress the kept order statistics and change every later
+        rank estimate, breaking byte-identity of restored sketches.
+        """
+        block = cls.__new__(cls)
+        block.values = values
+        block.counts = counts
+        block.n = n
+        return block
+
 
 class MergingQuantileSketch:
     """Block-merging sliding-window quantile sketch.
@@ -239,3 +253,71 @@ class MergingQuantileSketch:
         position = int(np.searchsorted(cumulative, target, side="left"))
         position = min(position, len(values) - 1)
         return float(values[order][position])
+
+    # ------------------------------------------------------------------
+    # Array framing (zero-copy state handoff)
+    # ------------------------------------------------------------------
+    def to_arrays(self, arrays: list[np.ndarray]) -> dict:
+        """Harvest the sketch into numpy payloads plus a small skeleton.
+
+        Appends the concatenated block order statistics, cumulative
+        ranks, per-block shapes and the raw buffer to ``arrays`` and
+        returns a picklable skeleton referencing them by index;
+        :meth:`from_arrays` is the inverse.  ``.tolist()`` round-trips
+        float64 exactly, so a framed sketch answers every rank query
+        byte-identically to its source.
+        """
+        base = len(arrays)
+        arrays.append(
+            np.asarray(
+                [value for block in self._blocks for value in block.values],
+                dtype=np.float64,
+            )
+        )
+        arrays.append(
+            np.asarray(
+                [count for block in self._blocks for count in block.counts],
+                dtype=np.int64,
+            )
+        )
+        arrays.append(
+            np.asarray([len(block.values) for block in self._blocks], dtype=np.int64)
+        )
+        arrays.append(np.asarray([block.n for block in self._blocks], dtype=np.int64))
+        arrays.append(np.asarray(self._buffer, dtype=np.float64))
+        return {
+            "window": self.window,
+            "block_size": self.block_size,
+            "compression": self.compression,
+            "base": base,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, skeleton: dict, arrays: list[np.ndarray]
+    ) -> "MergingQuantileSketch":
+        """Rebuild a sketch from :meth:`to_arrays` output (copies out)."""
+        sketch = cls(
+            window=skeleton["window"],
+            block_size=skeleton["block_size"],
+            compression=skeleton["compression"],
+        )
+        base = skeleton["base"]
+        values = arrays[base].tolist()
+        counts = arrays[base + 1].tolist()
+        lens = arrays[base + 2].tolist()
+        ns = arrays[base + 3].tolist()
+        cursor = 0
+        for kept, n in zip(lens, ns):
+            kept = int(kept)
+            sketch._blocks.append(
+                _CompressedBlock._rebuild(
+                    values[cursor : cursor + kept],
+                    [int(count) for count in counts[cursor : cursor + kept]],
+                    int(n),
+                )
+            )
+            cursor += kept
+        sketch._compressed_n = int(sum(ns))
+        sketch._buffer = arrays[base + 4].tolist()
+        return sketch

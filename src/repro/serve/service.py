@@ -209,6 +209,7 @@ class RecommendationService:
         self._n_stale_served = 0
         self._n_shard_restores = 0
         self._n_corrupt_quarantined = 0
+        self._n_warm_restored = 0
         self._recommend_lane: _Lane | None = None
         self._recommend_executor: ThreadPoolExecutor | None = None
         self.observe_latency = LatencyRecorder()
@@ -218,7 +219,16 @@ class RecommendationService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Build shards, executors and batch loops on the running loop."""
+        """Build shards, executors and batch loops on the running loop.
+
+        With a store attached that holds a checkpoint, start is a
+        *warm restart*: every checkpointed customer's live state is
+        restored into its ring-routed shard before the first request
+        lands, so a restarted service answers exactly as the
+        uninterrupted one would instead of re-warming every customer
+        from scratch.  A customer whose stored blob fails to decode is
+        quarantined (event-logged) rather than aborting startup.
+        """
         if self._started:
             return
         config = self.config
@@ -243,7 +253,39 @@ class RecommendationService:
         )
         self._recommend_lane = _Lane("recommend", recommend_batcher, config)
         recommend_batcher.start()
+        self._warm_restore()
         self._started = True
+
+    def _warm_restore(self) -> None:
+        """Restore checkpointed observe-shard state from the store."""
+        if self.store is None or self.store.latest_checkpoint() is None:
+            return
+        corrupt: list[tuple[int, str, str]] = []
+
+        def on_corrupt(customer_id: str, exc: Exception) -> None:
+            shard_id = self._ring.route(customer_id)
+            self._shards[shard_id].quarantined.add(customer_id)
+            corrupt.append((shard_id, customer_id, str(exc)))
+
+        by_shard: dict[int, list] = {}
+        for record in self.store.iter_customer_states(on_corrupt=on_corrupt):
+            by_shard.setdefault(self._ring.route(record.customer_id), []).append(
+                record
+            )
+        for shard_id, records in sorted(by_shard.items()):
+            self._shards[shard_id].restore_records(records)
+            self._n_warm_restored += sum(
+                1 for record in records if not record.quarantined
+            )
+        for shard_id, customer_id, detail in corrupt:
+            self._n_corrupt_quarantined += 1
+            self.store.append_event(
+                "quarantine",
+                tick_id=self._n_checkpoints,
+                customer_id=customer_id,
+                source_shard=shard_id,
+                detail={"reason": "corrupt_state", "error": detail},
+            )
 
     async def stop(self) -> None:
         """Drain every lane, then tear down executors and shard state."""
@@ -368,6 +410,7 @@ class RecommendationService:
                 "n_checkpoints": self._n_checkpoints,
                 "n_evictions": self._n_evictions,
                 "n_evicted_resident": len(self._evicted),
+                "n_warm_restored": self._n_warm_restored,
             },
             "degraded": {
                 "shards": sorted(self._degraded),

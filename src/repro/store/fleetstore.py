@@ -62,7 +62,7 @@ __all__ = [
     "register_migration",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 EVENT_KINDS = (
     "rebalance",
@@ -73,6 +73,7 @@ EVENT_KINDS = (
     "checkpoint",
     "worker_restart",
     "shard_quarantine",
+    "shard_probation",
 )
 
 # Registered forward migrations: version N -> callable upgrading an open
@@ -140,6 +141,41 @@ def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
 
 
 register_migration(2, _migrate_v2_to_v3)
+
+
+def _migrate_v3_to_v4(conn: sqlite3.Connection) -> None:
+    """v3 -> v4: admit ``shard_probation`` into the event-kind CHECK.
+
+    Same rebuild dance as v1 -> v2: SQLite cannot alter a CHECK
+    constraint in place, so the events table is recreated with the
+    extended kind list and its rows copied across verbatim.
+    """
+    conn.executescript(
+        """
+        CREATE TABLE events_v4 (
+            event_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+            tick_id      INTEGER NOT NULL,
+            kind         TEXT NOT NULL CHECK (kind IN
+                ('rebalance', 'migration', 'quarantine', 'resize', 'eviction',
+                 'checkpoint', 'worker_restart', 'shard_quarantine',
+                 'shard_probation')),
+            customer_id  TEXT,
+            source_shard INTEGER,
+            target_shard INTEGER,
+            detail       TEXT
+        );
+        INSERT INTO events_v4 (event_id, tick_id, kind, customer_id, source_shard,
+                               target_shard, detail)
+            SELECT event_id, tick_id, kind, customer_id, source_shard,
+                   target_shard, detail FROM events;
+        DROP TABLE events;
+        ALTER TABLE events_v4 RENAME TO events;
+        CREATE INDEX IF NOT EXISTS idx_events_kind_tick ON events (kind, tick_id);
+        """
+    )
+
+
+register_migration(3, _migrate_v3_to_v4)
 
 
 @dataclass(frozen=True)
@@ -247,7 +283,7 @@ CREATE TABLE IF NOT EXISTS events (
     tick_id      INTEGER NOT NULL,
     kind         TEXT NOT NULL CHECK (kind IN
         ('rebalance', 'migration', 'quarantine', 'resize', 'eviction', 'checkpoint',
-         'worker_restart', 'shard_quarantine')),
+         'worker_restart', 'shard_quarantine', 'shard_probation')),
     customer_id  TEXT,
     source_shard INTEGER,
     target_shard INTEGER,

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "CustomerStateRecord",
     "FleetStoreError",
+    "STATE_FRAME_MAGIC",
     "StaleStateError",
     "StatePersistence",
     "StoreCorruptionError",
@@ -41,6 +42,11 @@ __all__ = [
     "decode_state",
     "encode_state",
 ]
+
+#: Magic prefix of array-framed state blobs.  A plain pickle stream
+#: starts with ``\x80`` (the PROTO opcode), so the two formats can
+#: never collide and :func:`decode_state` reads both.
+STATE_FRAME_MAGIC = b"DSF1"
 
 
 class FleetStoreError(RuntimeError):
@@ -113,14 +119,43 @@ class StatePersistence(Protocol):
 
 
 def encode_state(state: "LiveAssessmentState") -> bytes:
-    """Serialize a live-assessment snapshot for storage."""
-    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialize a live-assessment snapshot for storage.
+
+    Reuses the zero-copy plane's array framing: the snapshot is split
+    into a small pickled skeleton plus raw ndarray payloads
+    (:func:`~repro.streaming.live.flatten_state`), so the numpy bulk
+    -- ring buffers, violation ring, sketch blocks -- serializes via
+    pickle's out-of-band buffer path instead of opcode-by-opcode
+    object traversal.  Checkpoint encode and the streaming handoff
+    thereby share one framing (and one set of byte-identity gates).
+    """
+    from ..streaming.live import flatten_state
+
+    arrays: list = []
+    try:
+        skeleton = flatten_state(state, arrays)
+    except Exception:  # noqa: BLE001 - unknown state shape: plain fallback
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    return STATE_FRAME_MAGIC + pickle.dumps(
+        (skeleton, arrays), protocol=pickle.HIGHEST_PROTOCOL
+    )
 
 
 def decode_state(blob: bytes, *, customer_id: str = "?") -> "LiveAssessmentState":
-    """Deserialize a stored snapshot, surfacing corruption loudly."""
+    """Deserialize a stored snapshot, surfacing corruption loudly.
+
+    Reads both the array-framed format (``DSF1`` prefix) and legacy
+    plain pickles, so stores written before the framing landed keep
+    restoring.
+    """
+    from ..streaming.live import unflatten_state
+
     try:
-        state = pickle.loads(blob)
+        if blob[:4] == STATE_FRAME_MAGIC:
+            skeleton, arrays = pickle.loads(blob[4:])
+            state = unflatten_state(skeleton, arrays)
+        else:
+            state = pickle.loads(blob)
     except Exception as exc:  # noqa: BLE001 - any unpickling failure is corruption
         raise StoreCorruptionError(
             f"customer {customer_id!r}: stored state blob is corrupt ({exc})"

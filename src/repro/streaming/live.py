@@ -43,6 +43,8 @@ __all__ = [
     "LiveAssessmentState",
     "LiveRecommender",
     "LiveUpdate",
+    "flatten_state",
+    "unflatten_state",
 ]
 
 #: Samples required before the first recommendation is issued -- two
@@ -487,3 +489,68 @@ class LiveRecommender:
             drift=drift,
             recommendation=self._recommendation,
         )
+
+
+# ----------------------------------------------------------------------
+# Arena framing (zero-copy state handoff)
+# ----------------------------------------------------------------------
+def flatten_state(state: LiveAssessmentState, arrays: list) -> dict:
+    """Split a :class:`LiveAssessmentState` into arrays + skeleton.
+
+    The zero-copy handoff's harvest pass: every numpy payload in the
+    snapshot -- ring buffers, the violation ring, sketch blocks, deque
+    columns, the drift baseline -- is appended to ``arrays`` (to ride
+    a shared-memory frame as raw bytes), and the returned skeleton
+    holds only scalars, small strings/enums and array indices, cheap
+    to pickle.  :func:`unflatten_state` is the exact inverse:
+    ``unflatten_state(flatten_state(s, a), a)`` reproduces ``s``
+    byte-identically, which the handoff test suite pins on every
+    migration/restore/checkpoint path.
+    """
+    return {
+        "deployment_value": state.deployment_value,
+        "window": state.window,
+        "dimensions": state.dimensions,
+        "profile_mode": state.profile_mode,
+        "entity_id": state.entity_id,
+        "builder": StreamingTraceBuilder.state_arrays(state.builder, arrays),
+        "estimator": IncrementalThrottlingEstimator.state_arrays(
+            state.estimator, arrays
+        ),
+        "detector": DriftDetector.state_arrays(state.detector, arrays),
+        "profile_stats": tuple(
+            (dim, StreamingSeriesStats.state_arrays(stats, arrays))
+            for dim, stats in state.profile_stats
+        ),
+        "recommendation": state.recommendation,
+        "n_refreshes": state.n_refreshes,
+        "epoch": state.epoch,
+    }
+
+
+def unflatten_state(skeleton: dict, arrays: list) -> LiveAssessmentState:
+    """Rebuild a :class:`LiveAssessmentState` from a framed skeleton.
+
+    Copies every array out of ``arrays`` (which may view shared
+    memory), so the rebuilt state owns its buffers and survives the
+    frame's release.
+    """
+    return LiveAssessmentState(
+        deployment_value=skeleton["deployment_value"],
+        window=skeleton["window"],
+        dimensions=skeleton["dimensions"],
+        profile_mode=skeleton["profile_mode"],
+        entity_id=skeleton["entity_id"],
+        builder=StreamingTraceBuilder.state_from_arrays(skeleton["builder"], arrays),
+        estimator=IncrementalThrottlingEstimator.state_from_arrays(
+            skeleton["estimator"], arrays
+        ),
+        detector=DriftDetector.state_from_arrays(skeleton["detector"], arrays),
+        profile_stats=tuple(
+            (dim, StreamingSeriesStats.state_from_arrays(stats_skeleton, arrays))
+            for dim, stats_skeleton in skeleton["profile_stats"]
+        ),
+        recommendation=skeleton["recommendation"],
+        n_refreshes=skeleton["n_refreshes"],
+        epoch=skeleton["epoch"],
+    )

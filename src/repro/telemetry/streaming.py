@@ -207,6 +207,21 @@ class StreamingSeriesStats:
             raise ValueError("no samples ingested yet")
         return self._min_deque[0][1]
 
+    def window_values(self) -> np.ndarray:
+        """Retained samples in chronological order (a copy).
+
+        The exact window contents backing the incremental STL
+        evaluation: streaming decomposition summarizers re-run the
+        batch fit over precisely these values, so streaming and batch
+        modes agree bit-for-bit on the covered window.
+        """
+        if self._n_seen < self.window:
+            return self._ring[: self._n_seen].copy()
+        pivot = self._n_seen % self.window
+        if pivot == 0:
+            return self._ring.copy()
+        return np.concatenate([self._ring[pivot:], self._ring[:pivot]])
+
     # ------------------------------------------------------------------
     # Sketch-backed rank queries
     # ------------------------------------------------------------------
@@ -259,6 +274,48 @@ class StreamingSeriesStats:
         self._max_deque = deque(state["max_deque"])
         self._min_deque = deque(state["min_deque"])
         self._sketch = copy.deepcopy(state["sketch"])
+
+    @staticmethod
+    def state_arrays(state: dict, arrays: list[np.ndarray]) -> dict:
+        """Flatten a :meth:`state_dict` into numpy payloads + skeleton.
+
+        The zero-copy handoff hook: the ring, the monotonic deques
+        (as parallel index/value columns) and the sketch's blocks land
+        in ``arrays``; only scalars stay in the returned skeleton.
+        :meth:`state_from_arrays` is the exact inverse.
+        """
+        base = len(arrays)
+        arrays.append(np.asarray(state["ring"], dtype=np.float64))
+        for key in ("max_deque", "min_deque"):
+            pairs = state[key]
+            arrays.append(np.asarray([index for index, _ in pairs], dtype=np.int64))
+            arrays.append(np.asarray([value for _, value in pairs], dtype=np.float64))
+        return {
+            "n_seen": state["n_seen"],
+            "sum": state["sum"],
+            "sum_sq": state["sum_sq"],
+            "base": base,
+            "sketch": state["sketch"].to_arrays(arrays),
+        }
+
+    @staticmethod
+    def state_from_arrays(skeleton: dict, arrays: list[np.ndarray]) -> dict:
+        """Rebuild a :meth:`state_dict` from framed arrays (copies out)."""
+        base = skeleton["base"]
+        state = {
+            "n_seen": skeleton["n_seen"],
+            "ring": np.array(arrays[base], dtype=float),
+            "sum": skeleton["sum"],
+            "sum_sq": skeleton["sum_sq"],
+            "sketch": MergingQuantileSketch.from_arrays(skeleton["sketch"], arrays),
+        }
+        for offset, key in ((1, "max_deque"), (3, "min_deque")):
+            indices = arrays[base + offset].tolist()
+            values = arrays[base + offset + 1].tolist()
+            state[key] = tuple(
+                (int(index), float(value)) for index, value in zip(indices, values)
+            )
+        return state
 
 
 class StreamingTraceBuilder:
@@ -422,6 +479,32 @@ class StreamingTraceBuilder:
             restored[dim] = array.copy()
         self._buffers = restored
         self._n_seen = int(state["n_seen"])
+
+    @staticmethod
+    def state_arrays(state: dict, arrays: list[np.ndarray]) -> dict:
+        """Flatten a :meth:`state_dict` into numpy payloads + skeleton.
+
+        Ring buffers ride in ``arrays``; the dimension table (tiny
+        interned enums) stays in the skeleton so
+        :meth:`state_from_arrays` can realign them.
+        """
+        base = len(arrays)
+        dims = tuple(state["buffers"])
+        for dim in dims:
+            arrays.append(np.asarray(state["buffers"][dim], dtype=np.float64))
+        return {"n_seen": state["n_seen"], "dims": dims, "base": base}
+
+    @staticmethod
+    def state_from_arrays(skeleton: dict, arrays: list[np.ndarray]) -> dict:
+        """Rebuild a :meth:`state_dict` from framed arrays (copies out)."""
+        base = skeleton["base"]
+        return {
+            "n_seen": skeleton["n_seen"],
+            "buffers": {
+                dim: np.array(arrays[base + i], dtype=float)
+                for i, dim in enumerate(skeleton["dims"])
+            },
+        }
 
     # ------------------------------------------------------------------
     # Snapshot

@@ -367,3 +367,248 @@ class TestKernelByteIdentity:
         fleet.fit_fleet(records)
         got = [result_key(r) for r in fleet.recommend_fleet(customers)]
         assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Streaming tick plane
+# ----------------------------------------------------------------------
+class TestTickPlane:
+    """Unit contracts of the watch's double-buffered ring arenas."""
+
+    def make_batch(self):
+        from repro.fleet import FleetSample
+        from repro.telemetry import PerfDimension
+
+        return [
+            (
+                7,
+                FleetSample(
+                    customer_id="cust-a",
+                    values={
+                        PerfDimension.CPU: 1.5,
+                        PerfDimension.STORAGE: 120.0,
+                    },
+                ),
+            ),
+            (
+                9,
+                FleetSample(
+                    customer_id="cust-b",
+                    values={PerfDimension.MEMORY: 8.25},
+                    deployment=DeploymentType.SQL_MI,
+                ),
+            ),
+            # Irregular row: a non-float value must travel verbatim so
+            # worker-side validation raises exactly what serial would.
+            (
+                11,
+                FleetSample(
+                    customer_id="cust-c",
+                    values={PerfDimension.CPU: "not-a-number"},
+                ),
+            ),
+        ]
+
+    def test_tick_frame_round_trip_preserves_batch(self):
+        from repro.fleet.arena import TickPlane, unpack_tick
+
+        plane = TickPlane(window=16)
+        try:
+            batch = self.make_batch()
+            frame = plane.pack_tick(0, 0, batch)
+            rebuilt = unpack_tick(frame)
+            assert [seq for seq, _ in rebuilt] == [seq for seq, _ in batch]
+            for (_, original), (_, copy) in zip(batch, rebuilt):
+                assert copy.customer_id == original.customer_id
+                assert copy.deployment == original.deployment
+                assert copy.values == original.values
+        finally:
+            plane.close()
+        assert leaked_segments() == []
+
+    def test_slots_are_reused_across_ticks_not_recreated(self):
+        from repro.fleet.arena import TickPlane
+
+        plane = TickPlane(window=16)
+        try:
+            batch = self.make_batch()
+            first = plane.pack_tick(0, 0, batch)
+            # Same parity two ticks later: same segment, new generation.
+            third = plane.pack_tick(0, 2, batch)
+            assert third.segment == first.segment
+            assert third.generation != first.generation
+            # Opposite parity lives in the sibling buffer.
+            second = plane.pack_tick(0, 1, batch)
+            assert second.segment != first.segment
+        finally:
+            plane.close()
+
+    def test_generation_tag_stops_a_slow_reader_on_recycled_slot(self):
+        from repro.fleet.arena import TickPlane, unpack_tick
+
+        plane = TickPlane(window=16)
+        try:
+            batch = self.make_batch()
+            stale = plane.pack_tick(0, 0, batch)
+            plane.pack_tick(0, 2, batch)  # recycles the parity-0 slot
+            with pytest.raises(RuntimeError, match="recycled"):
+                unpack_tick(stale)
+        finally:
+            plane.close()
+
+    def test_result_columns_round_trip_and_memoized_recommendation(self):
+        from repro.fleet import FleetLiveUpdate
+        from repro.fleet.arena import TickPlane, write_result_columns
+        from repro.streaming.drift import DriftReport
+        from repro.streaming.live import LiveUpdate
+
+        plane = TickPlane(window=16)
+        try:
+            batch = self.make_batch()[:2]
+            recommendation = object()  # identity is what crosses ticks
+            shipped: dict = {}
+
+            def emissions_for(frame):
+                return [
+                    (
+                        7,
+                        FleetLiveUpdate(
+                            customer_id="cust-a",
+                            update=LiveUpdate(
+                                n_seen=12,
+                                n_window=12,
+                                refreshed=True,
+                                drift=DriftReport(
+                                    max_divergence=0.25,
+                                    worst_sku="GP_S_Gen5_2",
+                                    threshold=0.1,
+                                ),
+                                recommendation=recommendation,
+                            ),
+                        ),
+                    ),
+                    (
+                        9,
+                        FleetLiveUpdate(
+                            customer_id="cust-b",
+                            update=None,
+                            error="ValueError: boom",
+                        ),
+                    ),
+                ]
+
+            frame = plane.pack_tick(0, 0, batch)
+            reply = write_result_columns(frame, emissions_for(frame), shipped)
+            decoded = dict(plane.read_results(reply))
+            update = decoded[7].update
+            assert update.n_seen == 12 and update.refreshed
+            assert update.drift.worst_sku == "GP_S_Gen5_2"
+            assert update.recommendation is recommendation
+            assert decoded[9].error == "ValueError: boom"
+            assert decoded[9].update is None
+            # Second tick: the unchanged recommendation crosses as a
+            # token and resolves from the parent's memo by identity.
+            frame2 = plane.pack_tick(0, 1, batch)
+            reply2 = write_result_columns(frame2, emissions_for(frame2), shipped)
+            assert reply2.sidecar[0][3] == 1  # token, not the object
+            decoded2 = dict(plane.read_results(reply2))
+            assert decoded2[7].update.recommendation is recommendation
+        finally:
+            plane.close()
+
+    def test_read_results_of_a_dropped_shard_is_stale(self):
+        from repro.fleet import FleetLiveUpdate
+        from repro.fleet.arena import TickPlane, write_result_columns
+
+        plane = TickPlane(window=16)
+        try:
+            batch = self.make_batch()[:1]
+            frame = plane.pack_tick(3, 0, batch)
+            reply = write_result_columns(
+                frame,
+                [(7, FleetLiveUpdate(customer_id="cust-a", update=None, error="x"))],
+                {},
+            )
+            plane.drop_shard(3)
+            assert plane.read_results(reply) is None
+        finally:
+            plane.close()
+
+    def test_state_frame_round_trip_matches_plain_records(self, module_catalog):
+        from repro.fleet.arena import TickPlane, adopt_state_frame, pack_state_records
+        from repro.store import CustomerStateRecord
+        from repro.streaming import LiveRecommender
+        from repro.telemetry import PerfDimension
+
+        engine = DopplerEngine(catalog=module_catalog)
+        live = LiveRecommender(
+            engine, DeploymentType.SQL_DB, window=8, min_refresh_samples=4
+        )
+        rng = np.random.default_rng(3)
+        for index in range(10):
+            live.observe(
+                {
+                    PerfDimension.CPU: float(abs(rng.normal(1.5, 0.4))),
+                    PerfDimension.MEMORY: float(abs(rng.normal(6.0, 1.0))),
+                    PerfDimension.IOPS: float(abs(rng.normal(200.0, 50.0))),
+                    PerfDimension.IO_LATENCY: float(abs(rng.normal(6.0, 0.5)) + 0.5),
+                    PerfDimension.LOG_RATE: float(abs(rng.normal(2.0, 0.5))),
+                    PerfDimension.STORAGE: 120.0,
+                }
+            )
+        records = [
+            CustomerStateRecord("cust-a", live.snapshot_state()),
+            CustomerStateRecord("cust-q", None, quarantined=True),
+        ]
+        plane = TickPlane(window=8)
+        try:
+            spec = plane.offer_frame(len(records))
+            frame = pack_state_records(records, spec)
+            assert frame is not None
+            rebuilt = adopt_state_frame(frame)
+            assert [r.customer_id for r in rebuilt] == ["cust-a", "cust-q"]
+            assert rebuilt[1].quarantined and rebuilt[1].state is None
+            original, copy = records[0].state, rebuilt[0].state
+            # Field-wise equality: whole-object pickle bytes can differ
+            # by memoized sharing alone, so compare each field.
+            from dataclasses import fields
+
+            for field in fields(original):
+                assert pickle.dumps(getattr(copy, field.name)) == pickle.dumps(
+                    getattr(original, field.name)
+                ), field.name
+            plane.release(spec.segment)
+        finally:
+            plane.close()
+        assert leaked_segments() == []
+
+    def test_oversized_state_falls_back_to_plain(self, module_catalog):
+        from repro.fleet.arena import StateFrameSpec, TickPlane, pack_state_records
+        from repro.store import CustomerStateRecord
+        from repro.streaming import LiveRecommender
+        from repro.telemetry import PerfDimension
+
+        engine = DopplerEngine(catalog=module_catalog)
+        live = LiveRecommender(
+            engine, DeploymentType.SQL_DB, window=8, min_refresh_samples=4
+        )
+        for _ in range(6):
+            live.observe(
+                {
+                    PerfDimension.CPU: 1.0,
+                    PerfDimension.MEMORY: 4.0,
+                    PerfDimension.IOPS: 100.0,
+                    PerfDimension.IO_LATENCY: 5.0,
+                    PerfDimension.LOG_RATE: 1.0,
+                    PerfDimension.STORAGE: 120.0,
+                }
+            )
+        records = [CustomerStateRecord("cust-a", live.snapshot_state())]
+        plane = TickPlane(window=8)
+        try:
+            spec = plane.offer_frame(1)
+            tiny = StateFrameSpec(segment=spec.segment, capacity=32)
+            assert pack_state_records(records, tiny) is None
+            plane.release(spec.segment)
+        finally:
+            plane.close()

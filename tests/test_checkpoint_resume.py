@@ -343,3 +343,120 @@ class TestServiceDurability:
             store.close()
 
         self.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Serving warm restart: a new service resumes from the latest checkpoint
+# ----------------------------------------------------------------------
+class TestServiceWarmRestart:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_restart_restores_observe_state_and_serves_identically(
+        self, small_catalog
+    ):
+        feed = interleaved_feed(5, 20, seed=17)
+        half = len(feed) // 2
+
+        async def scenario():
+            store = FleetStore()
+            fleet = make_fleet(small_catalog)
+            config = ServeConfig(n_shards=2, watch=WATCH)
+            service = RecommendationService(fleet, config, store=store)
+            async with service:
+                for sample in feed[:half]:
+                    await service.observe(sample)
+                await service.checkpoint()
+                assert service.stats()["durability"]["n_warm_restored"] == 0
+
+            # A direct (never-interrupted) run over the whole feed is
+            # the identity baseline.
+            direct_store = FleetStore()
+            direct = RecommendationService(
+                make_fleet(small_catalog), config, store=direct_store
+            )
+            direct_updates = {}
+            async with direct:
+                for sample in feed:
+                    update = await direct.observe(sample)
+                    direct_updates[sample.customer_id] = update
+
+            # Restart: a fresh service on the same store picks up the
+            # checkpointed observe state before accepting traffic.
+            restarted = RecommendationService(
+                make_fleet(small_catalog), config, store=store
+            )
+            served_updates = {}
+            async with restarted:
+                assert (
+                    restarted.stats()["durability"]["n_warm_restored"] == 5
+                )
+                for sample in feed[half:]:
+                    update = await restarted.observe(sample)
+                    served_updates[sample.customer_id] = update
+            store.close()
+            direct_store.close()
+            return direct_updates, served_updates
+
+        direct_updates, served_updates = self.run(scenario())
+        assert set(served_updates) == set(direct_updates)
+        for customer_id, expected in sorted(direct_updates.items()):
+            served = served_updates[customer_id]
+            assert served.ok and expected.ok
+            assert served.update.n_seen == expected.update.n_seen
+            expected_rec = expected.update.recommendation
+            served_rec = served.update.recommendation
+            assert (served_rec is None) == (expected_rec is None)
+            if expected_rec is not None:
+                assert served_rec.sku.name == expected_rec.sku.name
+                assert repr(served_rec.expected_throttling) == repr(
+                    expected_rec.expected_throttling
+                )
+
+    def test_restart_without_checkpoint_is_cold(self, small_catalog):
+        async def scenario():
+            store = FleetStore()
+            fleet = make_fleet(small_catalog)
+            service = RecommendationService(
+                fleet, ServeConfig(n_shards=1, watch=WATCH), store=store
+            )
+            async with service:
+                assert service.stats()["durability"]["n_warm_restored"] == 0
+            store.close()
+
+        self.run(scenario())
+
+    def test_restart_quarantines_corrupt_blobs_but_serves_the_rest(
+        self, small_catalog
+    ):
+        from repro.faults import FaultPlan
+
+        feed = interleaved_feed(4, 16, seed=19)
+
+        async def scenario():
+            store = FleetStore()
+            config = ServeConfig(n_shards=2, watch=WATCH)
+            service = RecommendationService(
+                make_fleet(small_catalog), config, store=store
+            )
+            async with service:
+                for sample in feed:
+                    await service.observe(sample)
+                await service.checkpoint()
+            FaultPlan(corrupt_snapshots=("cust-2",)).corrupt_store(store)
+            restarted = RecommendationService(
+                make_fleet(small_catalog), config, store=store
+            )
+            async with restarted:
+                stats = restarted.stats()
+                assert stats["durability"]["n_warm_restored"] == 3
+                assert stats["degraded"]["n_corrupt_quarantined"] == 1
+                update = await restarted.observe(feed[0])
+                assert update.ok
+            kinds = [
+                (event.kind, event.customer_id) for event in store.events()
+            ]
+            assert ("quarantine", "cust-2") in kinds
+            store.close()
+
+        self.run(scenario())

@@ -521,3 +521,117 @@ class TestDegradedServing:
 
         asyncio.run(scenario())
         store.close()
+
+
+# ----------------------------------------------------------------------
+# Probation: quarantined shards re-enter service after a cool-down
+# ----------------------------------------------------------------------
+class TestShardProbation:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_quarantined_shard_reenters_after_cooldown(
+        self, backend, small_catalog, tmp_path
+    ):
+        feed = interleaved_feed(6, 48, seed=11)
+        store = FleetStore(str(tmp_path / "probation.db"))
+        fleet = make_fleet(small_catalog)
+        # Kill shard 1 on its first few ticks only: the restart budget
+        # exhausts, the shard quarantines, then the cool-down elapses
+        # with no further faults and probation readmits it.  (Several
+        # coordinates because the pipelined watch replays in-flight
+        # ticks without their directives.)
+        config = WATCH.replace(
+            backend=backend,
+            max_workers=3,
+            checkpoint=CheckpointConfig(store=store, every_ticks=2),
+            supervision=supervised(
+                FaultPlan(kill_worker=tuple((1, tick) for tick in range(4))),
+                max_restarts=1,
+                snapshot_every_ticks=1,
+                probation_ticks=2,
+            ),
+        )
+        list(fleet.watch_fleet(feed, config=config))
+        stats = fleet.watch_supervision_stats()
+        kinds = [event.kind for event in stats.events]
+        assert "shard_quarantine" in kinds
+        assert "shard_probation" in kinds
+        assert kinds.index("shard_quarantine") < kinds.index("shard_probation")
+        probation = [e for e in stats.events if e.kind == "shard_probation"]
+        assert probation[0].shard_id == 1
+        assert probation[0].reason == "cooldown elapsed"
+        # Readmitted: the shard is no longer quarantined at drain time,
+        # and its restart budget is back for the next incident.
+        assert stats.quarantined_shards == ()
+        # The readmission is audited durably too.
+        store_kinds = [event.kind for event in store.events()]
+        assert store_kinds.count("shard_probation") >= 1
+        store.close()
+
+    def test_probation_disabled_by_default(self, small_catalog):
+        feed = interleaved_feed(6, 32, seed=11)
+        fleet = make_fleet(small_catalog)
+        kills = tuple((1, tick) for tick in range(64))
+        config = WATCH.replace(
+            backend="thread",
+            max_workers=3,
+            supervision=supervised(
+                FaultPlan(kill_worker=kills), max_restarts=1, snapshot_every_ticks=1
+            ),
+        )
+        list(fleet.watch_fleet(feed, config=config))
+        stats = fleet.watch_supervision_stats()
+        assert stats.quarantined_shards == (1,)  # no cool-down configured
+        assert all(event.kind != "shard_probation" for event in stats.events)
+
+    def test_probation_ticks_validated(self):
+        with pytest.raises(ValueError, match="probation_ticks"):
+            SupervisionConfig(probation_ticks=0)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy plane hygiene under faults
+# ----------------------------------------------------------------------
+class TestZeroCopyFaultHygiene:
+    def test_sigkill_recovery_is_identical_and_leaves_shm_clean(
+        self, small_catalog
+    ):
+        from repro.fleet.arena import leaked_segments
+
+        baseline_segments = leaked_segments()
+        feed = interleaved_feed(6, 32, seed=11)
+        baseline = canonical_updates(
+            make_fleet(small_catalog).watch_fleet(feed, config=WATCH)
+        )
+        fleet = make_fleet(small_catalog)
+        config = WATCH.replace(
+            backend="process",
+            max_workers=3,
+            zero_copy=True,
+            supervision=supervised(FaultPlan(kill_worker=((1, 1),))),
+        )
+        assert canonical_updates(fleet.watch_fleet(feed, config=config)) == baseline
+        assert fleet.watch_supervision_stats().n_restarts == 1
+        # The killed worker only ever *attached* arena segments; the
+        # parent owns them all, so nothing survives teardown.
+        assert leaked_segments() == baseline_segments
+
+    def test_quarantine_under_zero_copy_leaves_shm_clean(self, small_catalog):
+        from repro.fleet.arena import leaked_segments
+
+        baseline_segments = leaked_segments()
+        feed = interleaved_feed(6, 32, seed=11)
+        fleet = make_fleet(small_catalog)
+        kills = tuple((1, tick) for tick in range(64))
+        config = WATCH.replace(
+            backend="process",
+            max_workers=3,
+            zero_copy=True,
+            supervision=supervised(
+                FaultPlan(kill_worker=kills), max_restarts=1, snapshot_every_ticks=1
+            ),
+        )
+        updates = list(fleet.watch_fleet(feed, config=config))
+        stats = fleet.watch_supervision_stats()
+        assert stats.quarantined_shards == (1,)
+        assert [u for u in updates if u.update is not None]
+        assert leaked_segments() == baseline_segments

@@ -144,10 +144,23 @@ class TestBackendSelection:
             fleet.watch_fleet([], config=WatchConfig(profile_mode="psychic"))
 
     def test_streaming_profile_mode_checked_against_summarizer(self, small_catalog):
-        engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
+        class OpaqueSummarizer(StlSummarizer):
+            name = "opaque"
+            supports_streaming = False
+
+        engine = DopplerEngine(catalog=small_catalog, summarizer=OpaqueSummarizer())
         fleet = FleetEngine(engine=engine, backend="serial")
         with pytest.raises(ValueError, match="no streaming"):
             fleet.watch_fleet([], config=WatchConfig(profile_mode="streaming"))
+
+    def test_stl_summarizer_accepted_in_streaming_mode(self, small_catalog):
+        # Incremental STL landed: all six paper summarizers stream.
+        engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
+        fleet = FleetEngine(engine=engine, backend="serial")
+        assert (
+            list(fleet.watch_fleet([], config=WatchConfig(profile_mode="streaming")))
+            == []
+        )
 
 
 # ----------------------------------------------------------------------
@@ -540,8 +553,17 @@ class TestProfileBatch:
 # ----------------------------------------------------------------------
 class TestOutlierStreaming:
     def test_supports_streaming_flag(self):
-        assert OutlierSummarizer.supports_streaming
-        assert not StlSummarizer.supports_streaming
+        # Since the incremental STL evaluation landed, every built-in
+        # summarizer streams.
+        for summarizer in (
+            OutlierSummarizer,
+            StlSummarizer,
+            ThresholdingSummarizer,
+            MaxAucSummarizer,
+            MinMaxAucSummarizer,
+            CombinedSummarizer,
+        ):
+            assert summarizer.supports_streaming, summarizer.name
 
     def test_matches_batch_within_sketch_tolerance(self):
         rng = np.random.default_rng(80)
@@ -578,3 +600,140 @@ class TestOutlierStreaming:
         rng = np.random.default_rng(81)
         updates = [live.observe(sample) for sample in live_samples(16, rng)]
         assert updates[-1].recommendation is not None
+
+
+# ----------------------------------------------------------------------
+# Zero-copy streaming tick plane
+# ----------------------------------------------------------------------
+class TestZeroCopyTickPlane:
+    """The arena-backed watch data plane: identity, handoff, hygiene."""
+
+    def test_zero_copy_watch_matches_serial(self, small_catalog):
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(7, 24, seed=70, poison=("cust-3",))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
+        zero_copy = canonical_updates(
+            fleet.watch_fleet(
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="process", max_workers=3, zero_copy=True
+                ),
+            )
+        )
+        assert zero_copy == serial
+
+    def test_every_sample_mode_matches_serial_under_zero_copy(self, small_catalog):
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(5, 16, seed=71)
+        serial = canonical_updates(
+            fleet.watch_fleet(feed, config=WATCH_CONFIG.replace(refreshes_only=False))
+        )
+        zero_copy = canonical_updates(
+            fleet.watch_fleet(
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="process",
+                    max_workers=3,
+                    refreshes_only=False,
+                    zero_copy=True,
+                ),
+            )
+        )
+        assert zero_copy == serial
+
+    def test_zero_copy_defaults_on_for_process_backend(self, small_catalog, monkeypatch):
+        from repro.fleet import backends as backends_module
+
+        created = []
+        original = backends_module.TickPlane
+
+        class CountingPlane(original):
+            def __init__(self, window):
+                created.append(window)
+                super().__init__(window)
+
+        monkeypatch.setattr(backends_module, "TickPlane", CountingPlane)
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(3, 8, seed=72)
+        list(
+            fleet.watch_fleet(
+                feed, config=WATCH_CONFIG.replace(backend="process", max_workers=2)
+            )
+        )
+        assert len(created) == 1  # auto-enabled, allocated once per watch
+        list(
+            fleet.watch_fleet(
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="process", max_workers=2, zero_copy=False
+                ),
+            )
+        )
+        assert len(created) == 1  # opt-out respected
+        list(
+            fleet.watch_fleet(
+                feed, config=WATCH_CONFIG.replace(backend="thread", max_workers=2)
+            )
+        )
+        assert len(created) == 1  # same-address-space backends never pay
+
+    def test_migration_during_watch_rides_state_frames(self, small_catalog):
+        from repro.fleet.rebalance import Migration, RebalanceDecision, ScheduledRebalancePolicy
+
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(8, 24, seed=73, poison=("cust-2",))
+        serial = canonical_updates(fleet.watch_fleet(feed, config=WATCH_CONFIG))
+        schedule = {
+            1: RebalanceDecision(
+                migrations=(Migration("cust-0", 2), Migration("cust-5", 1))
+            ),
+            3: RebalanceDecision(migrations=(Migration("cust-1", 0),), resize_to=2),
+            5: RebalanceDecision(resize_to=4),
+        }
+        migrated = canonical_updates(
+            fleet.watch_fleet(
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="process",
+                    max_workers=3,
+                    zero_copy=True,
+                    tick_samples=4,
+                    rebalance=ScheduledRebalancePolicy(schedule=schedule),
+                ),
+            )
+        )
+        assert migrated == serial
+        stats = fleet.watch_rebalance_stats()
+        assert stats.n_migrations >= 3  # the handoff actually ran
+
+    def test_drained_watch_leaves_shm_clean(self, small_catalog):
+        from repro.fleet.arena import leaked_segments
+
+        baseline = leaked_segments()
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(4, 12, seed=74)
+        list(
+            fleet.watch_fleet(
+                feed,
+                config=WATCH_CONFIG.replace(
+                    backend="process", max_workers=2, zero_copy=True
+                ),
+            )
+        )
+        assert leaked_segments() == baseline
+
+    def test_abandoned_watch_leaves_shm_clean(self, small_catalog):
+        from repro.fleet.arena import leaked_segments
+
+        baseline = leaked_segments()
+        fleet = FleetEngine(engine=DopplerEngine(catalog=small_catalog), backend="serial")
+        feed = interleaved_feed(4, 20, seed=75)
+        stream = fleet.watch_fleet(
+            feed,
+            config=WATCH_CONFIG.replace(
+                backend="process", max_workers=2, zero_copy=True, refreshes_only=False
+            ),
+        )
+        next(stream)
+        stream.close()  # abandon mid-watch: teardown must clean up
+        assert leaked_segments() == baseline

@@ -171,12 +171,25 @@ class TestStreamingSeriesStats:
             _ = stats.mean
 
     def test_unsupported_summarizer_raises(self):
+        from repro.core.negotiability import NegotiabilitySummarizer
+
+        # All six built-ins stream now (STL was the last holdout), so
+        # the unsupported path needs a custom summarizer.
+        class OpaqueSummarizer(NegotiabilitySummarizer):
+            name = "opaque"
+
+            def features(self, series):  # pragma: no cover - unused
+                return np.zeros(1)
+
+            def is_negotiable(self, series):  # pragma: no cover - unused
+                return True
+
+        assert StlSummarizer.supports_streaming
+        assert not OpaqueSummarizer.supports_streaming
         stats = StreamingSeriesStats(window=16)
         stats.update(1.0)
-        summarizer = StlSummarizer()
-        assert not summarizer.supports_streaming
         with pytest.raises(NotImplementedError, match="streaming"):
-            summarizer.summarize_streaming(stats)
+            OpaqueSummarizer().summarize_streaming(stats)
 
     def test_block_size_adapts_to_window(self):
         assert StreamingSeriesStats(window=1008)._sketch.block_size == 126

@@ -573,3 +573,97 @@ class TestThreading:
                 list(pool.map(write, range(32)))
             assert store.customer_counts() == (32, 0)
             assert store.event_counts()["eviction"] == 32
+
+
+# ----------------------------------------------------------------------
+# Framed state encoding (the arena wire format, durable flavor)
+# ----------------------------------------------------------------------
+class TestStateFrameEncoding:
+    def test_encode_state_is_framed_with_magic(self, small_catalog):
+        from repro.store.persistence import STATE_FRAME_MAGIC, encode_state
+
+        blob = encode_state(make_state(small_catalog))
+        assert blob[:4] == STATE_FRAME_MAGIC
+
+    def test_framed_round_trip_is_field_identical(self, small_catalog):
+        import dataclasses
+
+        from repro.store.persistence import decode_state, encode_state
+
+        state = make_state(small_catalog)
+        decoded = decode_state(encode_state(state), customer_id="cust-0")
+        for field in dataclasses.fields(state):
+            assert pickle.dumps(getattr(decoded, field.name)) == pickle.dumps(
+                getattr(state, field.name)
+            ), field.name
+
+    def test_legacy_plain_pickle_blob_still_decodes(self, small_catalog):
+        import dataclasses
+
+        from repro.store.persistence import decode_state
+
+        state = make_state(small_catalog)
+        decoded = decode_state(pickle.dumps(state), customer_id="cust-0")
+        for field in dataclasses.fields(state):
+            assert pickle.dumps(getattr(decoded, field.name)) == pickle.dumps(
+                getattr(state, field.name)
+            ), field.name
+
+    def test_torn_frame_is_a_corruption_error(self, small_catalog):
+        from repro.store.persistence import encode_state
+
+        blob = encode_state(make_state(small_catalog))
+        with pytest.raises(StoreCorruptionError, match="cust-9"):
+            from repro.store.persistence import decode_state
+
+            decode_state(blob[: len(blob) // 2], customer_id="cust-9")
+
+
+# ----------------------------------------------------------------------
+# v3 -> v4: the shard_probation event kind
+# ----------------------------------------------------------------------
+class TestProbationEventMigration:
+    def test_v3_store_upgrades_and_accepts_shard_probation(self, store_path):
+        FleetStore(store_path).close()
+        # Downgrade on disk: rebuild the events table with the v3 CHECK
+        # (no shard_probation) and stamp the old schema version.
+        conn = sqlite3.connect(store_path)
+        conn.executescript(
+            """
+            DROP INDEX idx_events_kind_tick;
+            DROP TABLE events;
+            CREATE TABLE events (
+                event_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+                tick_id      INTEGER NOT NULL,
+                kind         TEXT NOT NULL CHECK (kind IN
+                    ('rebalance', 'migration', 'quarantine', 'resize', 'eviction',
+                     'checkpoint', 'worker_restart', 'shard_quarantine')),
+                customer_id  TEXT,
+                source_shard INTEGER,
+                target_shard INTEGER,
+                detail       TEXT
+            );
+            CREATE INDEX idx_events_kind_tick ON events (kind, tick_id);
+            """
+        )
+        conn.execute(
+            "INSERT INTO events (tick_id, kind, source_shard) VALUES (3, 'shard_quarantine', 1)"
+        )
+        conn.execute(
+            "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        # Sanity: the v3 CHECK really rejects the new kind.
+        with pytest.raises(sqlite3.IntegrityError):
+            conn.execute(
+                "INSERT INTO events (tick_id, kind) VALUES (4, 'shard_probation')"
+            )
+        conn.close()
+        with FleetStore(store_path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            # History survived the rebuild verbatim...
+            (survivor,) = store.events()
+            assert survivor.kind == "shard_quarantine" and survivor.tick_id == 3
+            # ...and the widened CHECK admits the probation kind.
+            store.append_event("shard_probation", tick_id=5, source_shard=1)
+            assert store.event_counts()["shard_probation"] == 1

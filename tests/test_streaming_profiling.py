@@ -110,11 +110,62 @@ class TestLiveRecommenderStreamingProfile:
         assert results["exact"] == results["streaming"]
 
     def test_unsupported_summarizer_rejected_up_front(self, small_catalog):
-        engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
+        class OpaqueSummarizer(StlSummarizer):
+            name = "opaque"
+            supports_streaming = False
+
+        engine = DopplerEngine(catalog=small_catalog, summarizer=OpaqueSummarizer())
         with pytest.raises(ValueError, match="streaming"):
             LiveRecommender(
                 engine, DeploymentType.SQL_DB, profile_mode="streaming"
             )
+
+    def test_stl_streaming_matches_batch_on_the_same_window(self, small_catalog):
+        """STL went streaming: windowed re-decomposition, exact parity."""
+        rng = np.random.default_rng(11)
+        window = 96
+        profiler = CustomerProfiler(
+            dimensions=PROFILING_DB_DIMENSIONS, summarizer=StlSummarizer()
+        )
+        stats = {
+            dim: StreamingSeriesStats(window=window)
+            for dim in PROFILING_DB_DIMENSIONS
+        }
+        # Overfill past the window so the ring has wrapped (the
+        # chronological pivot copy is the interesting path).
+        for index in range(window + 37):
+            sample = db_sample(rng, index)
+            for dim in PROFILING_DB_DIMENSIONS:
+                stats[dim].update(sample[dim])
+        streaming_profile = profiler.profile_streaming(stats, entity_id="s")
+        columns = {dim: stats[dim].window_values() for dim in PROFILING_DB_DIMENSIONS}
+        trace = make_trace(
+            columns[PerfDimension.CPU],
+            memory_gb=columns[PerfDimension.MEMORY],
+            data_iops=columns[PerfDimension.IOPS],
+            log_rate_mbps=columns[PerfDimension.LOG_RATE],
+            entity_id="s",
+        )
+        exact_profile = profiler.profile(trace)
+        assert streaming_profile.group_key == exact_profile.group_key
+        assert (
+            streaming_profile.features.tobytes() == exact_profile.features.tobytes()
+        )
+
+    def test_stl_streaming_live_loop_runs(self, small_catalog):
+        engine = DopplerEngine(catalog=small_catalog, summarizer=StlSummarizer())
+        rng = np.random.default_rng(13)
+        live = LiveRecommender(
+            engine,
+            DeploymentType.SQL_DB,
+            window=64,
+            min_refresh_samples=12,
+            profile_mode="streaming",
+        )
+        update = None
+        for index in range(48):
+            update = live.observe(db_sample(rng, index))
+        assert update.has_recommendation
 
     def test_unknown_profile_mode_rejected(self, engine):
         with pytest.raises(ValueError, match="profile mode"):
